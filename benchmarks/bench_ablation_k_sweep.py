@@ -1,0 +1,19 @@
+"""Extension: demonstration-count sweep."""
+
+from conftest import publish
+
+from repro.bench import ablation_k_sweep
+
+
+def test_k_sweep(benchmark):
+    result = benchmark.pedantic(ablation_k_sweep.run, rounds=1, iterations=1)
+    publish(result)
+
+    for row in result.rows:
+        scores = row[2:]
+        # The first demonstrations carry most of the value…
+        assert scores[1] >= scores[0]
+        # …and k=10 sits well above zero-shot everywhere.
+        assert scores[4] > scores[0]
+        # Saturation: doubling k from 10 to 20 moves little.
+        assert abs(scores[5] - scores[4]) < 10.0

@@ -1,0 +1,26 @@
+"""Extension: knowledge-knockout ablation."""
+
+from conftest import publish
+
+from repro.bench import ablation_knowledge
+
+
+def test_knowledge_knockout(benchmark):
+    result = benchmark.pedantic(ablation_knowledge.run, rounds=1, iterations=1)
+    publish(result)
+
+    rows = {(row[0], row[1], row[2]): row for row in result.rows}
+    stock_col = result.headers.index("stock")
+    ablated_col = result.headers.index("no_knowledge")
+
+    # Imputation collapses without encoded knowledge (Section 4.2.2's
+    # conjecture, quantified).
+    for key in (("imputation", "restaurant", 10), ("imputation", "buy", 10)):
+        row = rows[key]
+        assert row[ablated_col] < row[stock_col] - 40.0
+
+    # Semantic transformations collapse; syntactic ones barely move.
+    bing = rows[("transformation", "bing_querylogs", 3)]
+    stackoverflow = rows[("transformation", "stackoverflow", 3)]
+    assert bing[stock_col] - bing[ablated_col] > 30.0
+    assert stackoverflow[stock_col] - stackoverflow[ablated_col] < 15.0

@@ -1,0 +1,20 @@
+"""Appendix D: the model-size grid across all five tasks."""
+
+from conftest import publish
+
+from repro.bench import appendix_d
+
+
+def test_model_grid(benchmark):
+    result = benchmark.pedantic(appendix_d.run, rounds=1, iterations=1)
+    publish(result)
+
+    small = result.headers.index("gpt3-1.3b")
+    large = result.headers.index("gpt3-175b")
+    for row in result.rows:
+        # Scale never hurts by much, and the 175B model tops every task
+        # family within a small tolerance.
+        assert row[large] >= row[small] - 3.0, row[0]
+    # Hospital error detection is the scale cliff: only 175B solves it.
+    hospital = next(row for row in result.rows if "hospital" in row[0])
+    assert hospital[small] < 10.0 <= hospital[large]

@@ -1,0 +1,23 @@
+"""Extension: blocking effectiveness + cost study."""
+
+from conftest import publish
+
+from repro.bench import blocking_study
+
+
+def test_blocking_study(benchmark):
+    result = benchmark.pedantic(blocking_study.run, rounds=1, iterations=1)
+    publish(result)
+
+    completeness_col = result.headers.index("completeness")
+    reduction_col = result.headers.index("reduction")
+    blocked_col = result.headers.index("cost_blocked_usd")
+    full_col = result.headers.index("cost_crossproduct_usd")
+
+    for row in result.rows:
+        # Blocking must keep the bulk of the true matches…
+        assert row[completeness_col] >= 75.0, row[0]
+        # …while pruning most of the cross product…
+        assert row[reduction_col] >= 70.0, row[0]
+        # …which is where the simulated API bill shrinks.
+        assert row[blocked_col] < row[full_col] / 3, row[0]

@@ -1,0 +1,28 @@
+"""Figure 4 — sample/training-efficiency trade-off."""
+
+from conftest import publish
+
+from repro.bench import figure4
+
+
+def test_figure4_tradeoff(benchmark):
+    result = benchmark.pedantic(figure4.run, rounds=1, iterations=1)
+    publish(result)
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    params_column = result.headers.index("trainable_params")
+    labels_column = result.headers.index("labels_to_90pct_of_175b")
+
+    # The 175B model needs no parameter updates and only its demonstrations.
+    few_shot = rows[("gpt3-175b", "few-shot (k=10)")]
+    assert few_shot[params_column] == 0
+    assert few_shot[labels_column] == 10
+
+    # Adapters train ~5% of the parameters full finetuning trains.
+    full = rows[("gpt3-6.7b", "full")]
+    adapter = rows[("gpt3-6.7b", "adapter")]
+    assert adapter[params_column] * 15 < full[params_column]
+
+    # Full finetuning of the 6.7B model reaches the target with some
+    # fraction of the labels (sample efficiency of the finetuned regime).
+    assert isinstance(full[labels_column], int)

@@ -1,0 +1,45 @@
+"""Figure 5 — finetuning curves for the small FMs."""
+
+from conftest import publish
+
+from repro.bench import figure5
+
+
+def _series(result, dataset: str, label: str) -> list[float]:
+    for row in result.rows:
+        if row[0] == dataset and row[1] == label:
+            return row[2:]
+    raise KeyError((dataset, label))
+
+
+def test_figure5_finetuning(benchmark):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    publish(result)
+
+    # Restaurant's test split deliberately contains a held-out-city slice
+    # that no finetuned model can answer (Table 5), so its closable gap is
+    # structurally wider.
+    tolerances = {"walmart_amazon": 12.0, "hospital": 12.0, "restaurant": 18.0}
+    for dataset, _task, _metric in figure5.EXPERIMENTS:
+        reference = _series(result, dataset, "175b few-shot")[0]
+        full_67 = _series(result, dataset, "gpt3-6.7b full")
+        # Claim 1: full finetuning of 6.7B approaches the 175B few-shot
+        # score by the full-data end of the curve.
+        assert max(full_67) >= reference - tolerances[dataset], dataset
+        # Curves are learning curves: full-data ≥ low-data (within noise).
+        assert full_67[-1] >= full_67[0] - 5.0, dataset
+
+    # Claim 2: the adapter closes the gap on Walmart-Amazon and Restaurant
+    # but NOT on Hospital (frozen base = no character-level features).
+    hospital_reference = _series(result, "hospital", "175b few-shot")[0]
+    hospital_adapter = _series(result, "hospital", "gpt3-6.7b adapter")
+    assert max(hospital_adapter) < hospital_reference - 25.0
+    walmart_reference = _series(result, "walmart_amazon", "175b few-shot")[0]
+    walmart_adapter = _series(result, "walmart_amazon", "gpt3-6.7b adapter")
+    assert max(walmart_adapter) >= walmart_reference - 12.0
+
+    # Claim 3: 1.3B is no more sample-efficient than 6.7B — compare the
+    # low-data halves of the curves (single points are noisy).
+    curve_13 = _series(result, "walmart_amazon", "gpt3-1.3b full")[:3]
+    curve_67 = _series(result, "walmart_amazon", "gpt3-6.7b full")[:3]
+    assert sum(curve_67) / 3 >= sum(curve_13) / 3 - 3.0

@@ -1,0 +1,38 @@
+"""Section 5 research-agenda studies."""
+
+from conftest import publish
+
+from repro.bench import research_agenda
+
+
+def test_prototyping(benchmark):
+    result = benchmark.pedantic(research_agenda.run_prototyping, rounds=1,
+                                iterations=1)
+    publish(result)
+    rows = {row[0]: row for row in result.rows}
+    teacher = rows["GPT3-175B teacher (k=10)"][2]
+    student = rows["Ditto on FM labels"][2]
+    gold = rows["Ditto on gold labels"][2]
+    # Distillation lands near the teacher with zero gold labels…
+    assert student >= teacher - 5.0
+    # …and cannot beat fully gold-supervised training by much.
+    assert student <= gold + 2.0
+
+
+def test_selective_prediction(benchmark):
+    result = benchmark.pedantic(research_agenda.run_selective_prediction,
+                                rounds=1, iterations=1)
+    publish(result)
+    accuracy = {row[0]: row[2] for row in result.rows}
+    # Trusting only the model's confident half beats taking everything.
+    assert accuracy["50%"] >= accuracy["100%"] + 1.0
+
+
+def test_prompt_ensembling(benchmark):
+    result = benchmark.pedantic(research_agenda.run_ensembling, rounds=1,
+                                iterations=1)
+    publish(result)
+    f1 = {row[0]: row[1] for row in result.rows}
+    # Voting over rewordings never hurts and usually helps the small model.
+    assert f1["gpt3-6.7b ensemble"] >= f1["gpt3-6.7b single prompt"] - 0.5
+    assert f1["gpt3-175b ensemble"] >= f1["gpt3-175b single prompt"] - 0.5

@@ -1,0 +1,30 @@
+"""Table 5 — Restaurant imputation slices by training-set frequency."""
+
+from conftest import publish
+
+from repro.bench import table5
+
+
+def test_table5_knowledge_slices(benchmark):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    publish(result)
+
+    few_shot = "GPT3-175B (few-shot)"
+    # Only the prompted 175B solves never-in-train entities: that slice is
+    # pretraining knowledge, unreachable by any finetuned head.
+    assert result.cell(few_shot, "freq=0") >= 80.0
+    for percent in (100, 50, 10):
+        for mode in ("adapter", "finetune"):
+            row = f"GPT3-6.7B ({mode}, {percent}%)"
+            assert result.cell(row, "freq=0") == 0.0, row
+
+    # Rare entities (1-10 train occurrences) are learned by finetuning on
+    # the full data, not by few-shot prompting.
+    assert result.cell("GPT3-6.7B (finetune, 100%)", "0<freq<=10") > \
+        result.cell(few_shot, "0<freq<=10")
+    # Frequent entities: everyone does well with full data.
+    assert result.cell(few_shot, "freq>10") >= 85.0
+    assert result.cell("GPT3-6.7B (finetune, 100%)", "freq>10") >= 85.0
+    # Less training data ⇒ no better on rare entities.
+    assert result.cell("GPT3-6.7B (adapter, 10%)", "0<freq<=10") <= \
+        result.cell("GPT3-6.7B (adapter, 100%)", "0<freq<=10")

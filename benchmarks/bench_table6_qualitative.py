@@ -1,0 +1,26 @@
+"""Table 6 — qualitative functional-dependency probes."""
+
+from conftest import publish
+
+from repro.bench import table6
+
+
+def test_table6_qualitative(benchmark):
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    publish(result)
+
+    rows = {row[0]: row for row in result.rows}
+    zip_row = next(row for key, row in rows.items() if "1720" in key)
+    malibu_row = next(row for key, row in rows.items() if "26025" in key)
+    sf_row = next(row for key, row in rows.items() if "804 north point" in key)
+
+    # 175B recalls the exact dependencies.
+    assert zip_row[2].startswith("35")            # an Alabama zip
+    assert "malibu" in malibu_row[2].casefold()
+    assert "san francisco" in sf_row[2].casefold()
+
+    # 1.3B answers have the right semantic *type* but the wrong identity.
+    small_zip = zip_row[4]
+    assert any(ch.isdigit() for ch in small_zip)
+    assert not small_zip.startswith("352")
+    assert "san francisco" not in sf_row[4].casefold()

@@ -1,0 +1,21 @@
+"""Extension: sampling-temperature variance."""
+
+from conftest import publish
+
+from repro.bench import variance_study
+
+
+def test_variance_study(benchmark):
+    result = benchmark.pedantic(variance_study.run, rounds=1, iterations=1)
+    publish(result)
+
+    rows = {row[0]: row for row in result.rows}
+    std_col = result.headers.index("std")
+    mean_col = result.headers.index("mean_f1")
+
+    # Temperature 0 is exactly reproducible.
+    assert rows[0.0][std_col] == 0.0
+    # Sampling introduces run-to-run variance…
+    assert rows[0.7][std_col] > 0.0
+    # …and hotter sampling does not beat greedy decoding on average.
+    assert rows[0.7][mean_col] <= rows[0.0][mean_col] + 1.0

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper,
+prints it (so ``pytest benchmarks/ --benchmark-only -s`` shows the same
+rows the paper reports), writes it under ``results/``, and asserts the
+qualitative claims the paper makes about that experiment.
+
+Experiment bodies run exactly once (``pedantic(rounds=1)``): these are
+end-to-end evaluations, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(result) -> None:
+    """Print a rendered experiment and persist it under results/."""
+    rendered = result.render()
+    print("\n" + rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+
+
+def publish_many(results) -> None:
+    for result in results:
+        publish(result)

@@ -1,0 +1,78 @@
+"""From prototype to production: the paper's Section 5 workflow, end to end.
+
+The discovery-and-design phase starts with ten curated demonstrations and
+no labeled training data; the deployment phase wants a cheap supervised
+model.  This script walks the bridge the paper sketches:
+
+1. prototype a matcher with the prompted 175B model (§5.1 "rapid
+   prototyping via prompting"),
+2. inspect its *confidence* on individual verdicts and keep only the sure
+   ones (§5.2 debuggability),
+3. let the FM label the unlabeled pool and distill a supervised Ditto
+   student from the machine labels (§5.1 "use the FM to label data"),
+4. check what prompt ensembling buys the smaller open model you could run
+   privately (§5.3).
+
+Run:  python examples/model_prototyping.py
+"""
+
+from repro.baselines import DittoMatcher
+from repro.core import ModelPrototyper, PromptEnsemble
+from repro.core.metrics import binary_metrics
+from repro.core.prompts import build_entity_matching_prompt
+from repro.core.tasks import run_entity_matching
+from repro.core.tasks.entity_matching import (
+    default_prompt_config,
+    select_demonstrations,
+)
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+
+def main() -> None:
+    dataset = load_dataset("walmart_amazon")
+    fm = SimulatedFoundationModel("gpt3-175b")
+    config = default_prompt_config(dataset)
+    labels = [pair.label for pair in dataset.test]
+
+    # -- 1. prototype -----------------------------------------------------
+    demos = select_demonstrations(fm, dataset, 10, config, "manual")
+    teacher = run_entity_matching(fm, dataset, k=10, selection="manual")
+    print(f"prototype (GPT3-175B, 10 demos): F1 {100 * teacher.metric:.1f}")
+
+    # -- 2. confidence ------------------------------------------------------
+    print("\nconfidence on three test pairs:")
+    for pair in dataset.test[:3]:
+        prompt = build_entity_matching_prompt(pair, demos, config)
+        completion = fm.complete_verbose(prompt)
+        print(f"  {completion.text:3s} (confidence {completion.confidence:.2f}) "
+              f"gold={pair.label}  left={pair.left['title']!r:.45}")
+
+    # -- 3. distill ----------------------------------------------------------
+    prototyper = ModelPrototyper(fm, demonstrations=demos, config=config)
+    student = prototyper.distill(
+        dataset.train, student_factory=lambda: DittoMatcher.for_dataset(dataset)
+    )
+    report = prototyper.report
+    student_f1 = binary_metrics(student.predict_many(dataset.test), labels).f1
+    print(f"\ndistillation: FM labeled {report.n_labeled} pairs "
+          f"({100 * report.agreement_with_gold:.1f}% agreement with gold)")
+    print(f"  Ditto on FM labels:   F1 {100 * student_f1:.1f}   (zero gold labels)")
+    gold = DittoMatcher.for_dataset(dataset).fit(dataset.train)
+    gold_f1 = binary_metrics(gold.predict_many(dataset.test), labels).f1
+    print(f"  Ditto on gold labels: F1 {100 * gold_f1:.1f}   "
+          f"({len(dataset.train)} labels)")
+
+    # -- 4. private deployment: small model + ensembling ----------------------
+    print("\nsmall-model route (data never leaves the building):")
+    small = SimulatedFoundationModel("gpt3-6.7b")
+    single = run_entity_matching(small, dataset, k=10, selection="manual")
+    ensembled = run_entity_matching(
+        PromptEnsemble(small), dataset, k=10, selection="manual"
+    )
+    print(f"  GPT3-6.7B single prompt: F1 {100 * single.metric:.1f}")
+    print(f"  GPT3-6.7B 5-way ensemble: F1 {100 * ensembled.metric:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Prompt engineering playground: what Section 4.3 is about.
+
+Interactively reproduces the three prompt-tuning levers on one dataset:
+
+* attribute selection (serialize everything vs the informative subset),
+* demonstration selection (random vs validation-guided curation),
+* prompt wording ("the same?" vs alternatives).
+
+Run:  python examples/prompt_engineering.py
+"""
+
+from repro.core.tasks import run_entity_matching
+from repro.core.tasks.entity_matching import default_prompt_config
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+DATASET = "walmart_amazon"
+EVAL = 200
+
+
+def f1(model, dataset, **kwargs) -> float:
+    return 100 * run_entity_matching(
+        model, dataset, k=10, max_examples=EVAL, **kwargs
+    ).metric
+
+
+def main() -> None:
+    fm = SimulatedFoundationModel("gpt3-175b")
+    dataset = load_dataset(DATASET)
+    print(f"dataset: {DATASET}  (first {EVAL} test pairs)\n")
+
+    default_config = default_prompt_config(dataset)
+    baseline = f1(fm, dataset, selection="manual", config=default_config)
+    print(f"default prompt (attr selection + manual demos):  F1 {baseline:5.1f}")
+
+    # -- attribute selection ---------------------------------------------
+    all_attrs = default_prompt_config(dataset, select_attributes=False)
+    score = f1(fm, dataset, selection="manual", config=all_attrs)
+    print(f"serializing ALL attributes:                      F1 {score:5.1f}"
+          f"   (Δ {score - baseline:+.1f})")
+
+    no_names = default_prompt_config(dataset, include_attribute_names=False)
+    score = f1(fm, dataset, selection="manual", config=no_names)
+    print(f"values only, no attribute names:                 F1 {score:5.1f}"
+          f"   (Δ {score - baseline:+.1f})")
+
+    # -- demonstration selection -------------------------------------------
+    for seed in (0, 1, 2):
+        score = f1(fm, dataset, selection="random", seed=seed,
+                   config=default_config)
+        print(f"random demonstrations (seed {seed}):                  "
+              f"F1 {score:5.1f}   (Δ {score - baseline:+.1f})")
+
+    # -- prompt wording ------------------------------------------------------
+    for question in (
+        "Are {noun} A and {noun} B equivalent?",
+        "Do {noun} A and {noun} B refer to the same entity?",
+        "Is {noun} A identical to {noun} B?",
+    ):
+        config = default_prompt_config(dataset, question=question)
+        score = f1(fm, dataset, selection="manual", config=config)
+        short = question.replace("{noun}", "X")[:42]
+        print(f"wording {short!r:46s} F1 {score:5.1f}   (Δ {score - baseline:+.1f})")
+
+    print("\ntakeaway: the same data, the same model — only the prompt "
+          "changed.")
+
+
+if __name__ == "__main__":
+    main()

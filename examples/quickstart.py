@@ -1,0 +1,100 @@
+"""Quickstart: one foundation model, five data-wrangling tasks.
+
+Reproduces the paper's Figure 1/2 interaction style: structured rows are
+serialized to text, wrapped in a natural-language prompt (optionally with
+demonstrations), and the model's generated string is the answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Wrangler
+from repro.core.prompts import build_entity_matching_prompt
+from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
+from repro.knowledge.medical import OMOP_ATTRIBUTES, SYNTHEA_ATTRIBUTES
+
+
+def show(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    wrangler = Wrangler(model="gpt3-175b")
+
+    # ------------------------------------------------------------------
+    show("The prompt a task becomes (Figure 1)")
+    pair = MatchingPair(
+        left={"name": "sony digital camera DSC-W55", "price": "199.99"},
+        right={"name": "Sony DSC-W55 camera, black", "price": "189.00"},
+        label=True,
+    )
+    demo = MatchingPair(
+        left={"name": "canon inkjet printer IP-90", "price": "79.99"},
+        right={"name": "Canon IP-90 printer", "price": "81.50"},
+        label=True,
+    )
+    print(build_entity_matching_prompt(pair, [demo]))
+
+    # ------------------------------------------------------------------
+    show("Entity matching")
+    verdict = wrangler.match(pair.left, pair.right, demonstrations=[demo])
+    print(f"same product? -> {verdict}")
+    verdict = wrangler.match(
+        pair.left, {"name": "hp laser printer LJ-1020", "price": "149.00"},
+        demonstrations=[demo],
+    )
+    print(f"camera vs printer -> {verdict}")
+
+    # ------------------------------------------------------------------
+    show("Data imputation (knowledge recall: Table 6)")
+    row = {"name": "blue heron", "addr": "804 north point st",
+           "phone": "415-775-7036"}
+    print(f"row: {row}")
+    print(f"imputed city -> {wrangler.impute(row, 'city')!r}")
+
+    row = {"addr": "1720 university blvd", "state": "AL"}
+    print(f"row: {row}")
+    print(f"imputed zipcode -> {wrangler.impute(row, 'zipcode')!r}")
+
+    # ------------------------------------------------------------------
+    show("Error detection (few-shot: Figure 2)")
+    demos = [
+        ErrorExample(row={"city": "boston", "state": "ma"},
+                     attribute="city", label=False),
+        ErrorExample(row={"city": "chicxgo", "state": "il"},
+                     attribute="city", label=True),
+    ]
+    for city in ("seattle", "seaxtle"):
+        verdict = wrangler.detect_error(
+            {"city": city, "state": "wa"}, "city", demonstrations=demos
+        )
+        print(f"is there an error in city: {city}? -> {verdict}")
+
+    # ------------------------------------------------------------------
+    show("Schema matching")
+    birthdate = next(a for a in SYNTHEA_ATTRIBUTES if a.name == "birthdate")
+    birth_dt = next(a for a in OMOP_ATTRIBUTES if a.name == "birth_datetime")
+    ssn = next(a for a in SYNTHEA_ATTRIBUTES if a.name == "ssn")
+    from repro.datasets.base import SchemaPair
+
+    demos = [
+        SchemaPair(
+            left=next(a for a in SYNTHEA_ATTRIBUTES if a.name == "city"),
+            right=next(a for a in OMOP_ATTRIBUTES if a.qualified == "location.city"),
+            label=True,
+        ),
+        SchemaPair(left=ssn, right=birth_dt, label=False),
+    ]
+    verdict = wrangler.match_schema(birthdate, birth_dt, demonstrations=demos)
+    print(f"patients.birthdate ~ person.birth_datetime? -> {verdict}")
+
+    # ------------------------------------------------------------------
+    show("Data transformation (by example)")
+    examples = [("Seattle", "WA"), ("Boston", "MA"), ("Denver", "CO")]
+    for city in ("Chicago", "Miami"):
+        print(f"{city} -> {wrangler.transform(city, examples=examples)}")
+    examples = [("report.pdf", "pdf"), ("notes.txt", "txt"), ("a.csv", "csv")]
+    print(f"slides.key -> {wrangler.transform('slides.key', examples=examples)}")
+
+
+if __name__ == "__main__":
+    main()

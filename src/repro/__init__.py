@@ -1,0 +1,28 @@
+"""Reproduction of "Can Foundation Models Wrangle Your Data?" (VLDB 2022).
+
+Public surface:
+
+* :class:`repro.Wrangler` — one prompted model, five wrangling verbs.
+* :class:`repro.SimulatedFoundationModel` — the GPT-3-style completion
+  engine (text in, text out).
+* :class:`repro.CompletionClient` — the cached, metered API layer.
+* :func:`repro.load_dataset` — the 14 benchmark datasets by name.
+
+Everything else lives in the subpackages (see README architecture map).
+"""
+
+from repro.api import CompletionClient
+from repro.core import Wrangler
+from repro.datasets import available_datasets, load_dataset
+from repro.fm import SimulatedFoundationModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompletionClient",
+    "SimulatedFoundationModel",
+    "Wrangler",
+    "__version__",
+    "available_datasets",
+    "load_dataset",
+]

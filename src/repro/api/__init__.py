@@ -1,0 +1,21 @@
+"""Completion-API client layer.
+
+The paper's experiments run against the OpenAI API; the released
+``fm_data_tasks`` code wraps it with a response cache and cost accounting
+so ablations don't re-pay for identical prompts.  This package reproduces
+that engineering layer over the simulated model: an SQLite-backed prompt
+cache, token/usage accounting, and simulated rate limiting with retries.
+"""
+
+from repro.api.cache import PromptCache
+from repro.api.client import CompletionClient, RateLimitError
+from repro.api.usage import Usage, UsageTracker, count_tokens
+
+__all__ = [
+    "CompletionClient",
+    "PromptCache",
+    "RateLimitError",
+    "Usage",
+    "UsageTracker",
+    "count_tokens",
+]

@@ -1,0 +1,77 @@
+"""SQLite-backed prompt/response cache."""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS completions (
+    key TEXT PRIMARY KEY,
+    model TEXT NOT NULL,
+    prompt TEXT NOT NULL,
+    completion TEXT NOT NULL,
+    created_at REAL DEFAULT (unixepoch('subsec'))
+);
+CREATE INDEX IF NOT EXISTS completions_model ON completions (model);
+"""
+
+
+def _cache_key(model: str, prompt: str, temperature: float) -> str:
+    payload = f"{model}\x00{temperature:.6f}\x00{prompt}"
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class PromptCache:
+    """Persistent (or in-memory) completion cache.
+
+    ``path=":memory:"`` gives a per-process cache; a file path persists
+    across runs, which is what makes re-running a benchmark sweep free.
+    Thread-safe via a single lock — contention is irrelevant next to the
+    latency the cache is hiding.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def get(self, model: str, prompt: str, temperature: float = 0.0) -> str | None:
+        key = _cache_key(model, prompt, temperature)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT completion FROM completions WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row else None
+
+    def put(
+        self, model: str, prompt: str, completion: str, temperature: float = 0.0
+    ) -> None:
+        key = _cache_key(model, prompt, temperature)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO completions "
+                "(key, model, prompt, completion) VALUES (?, ?, ?, ?)",
+                (key, model, prompt, completion),
+            )
+            self._conn.commit()
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM completions"
+            ).fetchone()
+        return count
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM completions")
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

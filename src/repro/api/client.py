@@ -1,0 +1,108 @@
+"""The completion client: cache + usage + simulated rate limiting."""
+
+from __future__ import annotations
+
+from repro.api.cache import PromptCache
+from repro.api.usage import UsageTracker
+from repro.fm.engine import SimulatedFoundationModel
+
+
+class RateLimitError(RuntimeError):
+    """Raised by the simulated endpoint when the request budget is hit."""
+
+
+class CompletionClient:
+    """Drop-in ``complete()`` provider with caching and accounting.
+
+    Wraps any backend exposing ``complete(prompt, ...) -> str`` (by default
+    a :class:`SimulatedFoundationModel`).  Mirrors the ergonomics of the
+    released fm_data_tasks wrapper around the OpenAI API:
+
+    * identical prompts are served from the cache without touching the
+      backend (and without re-counting tokens),
+    * every request is tallied in :class:`UsageTracker`,
+    * an optional ``requests_per_run`` budget raises
+      :class:`RateLimitError`, with ``max_retries`` transparent retries —
+      the simulated endpoint "recovers" deterministically after a retry.
+    """
+
+    def __init__(
+        self,
+        model="gpt3-175b",
+        cache: PromptCache | None = None,
+        usage: UsageTracker | None = None,
+        requests_per_run: int | None = None,
+        failure_every: int | None = None,
+        max_retries: int = 2,
+    ):
+        if isinstance(model, str):
+            model = SimulatedFoundationModel(model)
+        self.backend = model
+        self.cache = cache or PromptCache()
+        self.usage = usage or UsageTracker()
+        self.requests_per_run = requests_per_run
+        self.failure_every = failure_every
+        self.max_retries = max_retries
+        self._n_backend_calls = 0
+        self._n_transient_failures = 0
+
+    @property
+    def name(self) -> str:
+        return getattr(self.backend, "name", type(self.backend).__name__)
+
+    def _backend_complete(self, prompt: str, temperature: float) -> str:
+        """One backend call with simulated transient failures."""
+        if (
+            self.requests_per_run is not None
+            and self._n_backend_calls >= self.requests_per_run
+        ):
+            raise RateLimitError(
+                f"request budget of {self.requests_per_run} exhausted"
+            )
+        attempts = 0
+        while True:
+            self._n_backend_calls += 1
+            attempts += 1
+            inject_failure = (
+                self.failure_every is not None
+                and self._n_backend_calls % self.failure_every == 0
+                and attempts <= self.max_retries
+            )
+            if inject_failure:
+                self._n_transient_failures += 1
+                continue  # "retry after backoff"
+            return self.backend.complete(prompt, temperature=temperature)
+
+    def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
+        """Cached completion of ``prompt``."""
+        del kwargs  # accepted for API-compatibility with richer backends
+        cached = self.cache.get(self.name, prompt, temperature)
+        if cached is not None:
+            self.usage.record(self.name, prompt, cached, cached=True)
+            return cached
+        completion = self._backend_complete(prompt, temperature)
+        self.cache.put(self.name, prompt, completion, temperature)
+        self.usage.record(self.name, prompt, completion, cached=False)
+        return completion
+
+    def complete_verbose(self, prompt: str, temperature: float = 0.0):
+        """Confidence-carrying completion (uncached pass-through).
+
+        Confidence is not stored in the cache (it is a model introspection,
+        not part of the API response contract), so verbose calls always
+        reach the backend.
+        """
+        if not hasattr(self.backend, "complete_verbose"):
+            raise AttributeError("backend does not report confidence")
+        completion = self.backend.complete_verbose(prompt, temperature=temperature)
+        self.cache.put(self.name, prompt, completion.text, temperature)
+        self.usage.record(self.name, prompt, completion.text, cached=False)
+        return completion
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "backend_calls": self._n_backend_calls,
+            "transient_failures": self._n_transient_failures,
+            "cache_entries": len(self.cache),
+        }

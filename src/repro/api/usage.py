@@ -1,0 +1,86 @@
+"""Token counting and usage accounting."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# GPT-style BPE averages ~4 characters/token on English text; we count
+# word-ish pieces directly, which lands in the same ballpark and is stable.
+_PIECE_RE = re.compile(r"[A-Za-z]+|\d|[^\sA-Za-z\d]")
+
+#: USD per 1K tokens, modeled on the published davinci pricing tiers.
+PRICE_PER_1K_TOKENS = {
+    "gpt3-175b": 0.02,
+    "gpt3-6.7b": 0.002,
+    "gpt3-1.3b": 0.0008,
+}
+
+
+def count_tokens(text: str) -> int:
+    """Approximate BPE token count of ``text``.
+
+    Words count once per ~6 characters (long words split), digits and
+    punctuation count individually — close enough for budget tracking.
+    """
+    if not text:
+        return 0
+    total = 0
+    for piece in _PIECE_RE.findall(text):
+        if piece.isalpha():
+            total += 1 + len(piece) // 7
+        else:
+            total += 1
+    return total
+
+
+@dataclass
+class Usage:
+    """Cumulative usage for one model."""
+
+    model: str
+    n_requests: int = 0
+    n_cache_hits: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def cost_usd(self) -> float:
+        rate = PRICE_PER_1K_TOKENS.get(self.model, 0.02)
+        return self.total_tokens * rate / 1000.0
+
+
+@dataclass
+class UsageTracker:
+    """Usage per model, in request order."""
+
+    per_model: dict[str, Usage] = field(default_factory=dict)
+
+    def record(
+        self, model: str, prompt: str, completion: str, cached: bool
+    ) -> None:
+        usage = self.per_model.setdefault(model, Usage(model=model))
+        usage.n_requests += 1
+        if cached:
+            usage.n_cache_hits += 1
+            return
+        usage.prompt_tokens += count_tokens(prompt)
+        usage.completion_tokens += count_tokens(completion)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(usage.cost_usd for usage in self.per_model.values())
+
+    def summary(self) -> str:
+        lines = []
+        for model, usage in sorted(self.per_model.items()):
+            lines.append(
+                f"{model}: {usage.n_requests} requests "
+                f"({usage.n_cache_hits} cached), "
+                f"{usage.total_tokens} tokens, ${usage.cost_usd:.4f}"
+            )
+        return "\n".join(lines) if lines else "no usage recorded"

@@ -1,0 +1,40 @@
+"""Baseline systems the paper compares against.
+
+Real (simplified, dependency-free) implementations of each comparator:
+
+* :class:`MagellanMatcher` — classic similarity-feature EM with a random
+  forest (Konda et al., VLDB 2016).
+* :class:`DittoMatcher` — the "finetuned PLM" EM baseline: character-gram
+  TF-IDF representations with a trained logistic head and Ditto's
+  augmentation/summarization tricks (Li et al., VLDB 2020).
+* :class:`HoloClean` — statistical repair: denial-constraint violations +
+  pseudo-likelihood inference over co-occurrence statistics (Rekatsinas et
+  al., VLDB 2017).  Used both for error detection and imputation.
+* :class:`HoloDetect` — few-shot error detection with noisy-channel data
+  augmentation (Heidari et al., SIGMOD 2019).
+* :class:`ImpImputer` — the "finetuned RoBERTa" imputation baseline:
+  contextual naive Bayes over serialized rows (Mei et al., ICDE 2021).
+* :class:`SmatMatcher` — supervised schema matching on name/description/
+  instance features (Zhang et al., ADBIS 2021).
+* :mod:`repro.baselines.tde` — Transform-Data-by-Example: breadth-first
+  program synthesis over a string-transformation DSL (He et al., VLDB
+  2018).
+"""
+
+from repro.baselines.magellan import MagellanMatcher
+from repro.baselines.ditto import DittoMatcher
+from repro.baselines.holoclean import HoloClean
+from repro.baselines.holodetect import HoloDetect
+from repro.baselines.imp import ImpImputer
+from repro.baselines.smat import SmatMatcher
+from repro.baselines.tde import TdeSynthesizer
+
+__all__ = [
+    "DittoMatcher",
+    "HoloClean",
+    "HoloDetect",
+    "ImpImputer",
+    "MagellanMatcher",
+    "SmatMatcher",
+    "TdeSynthesizer",
+]

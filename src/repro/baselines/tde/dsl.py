@@ -1,0 +1,168 @@
+"""TDE's string-transformation DSL.
+
+Operators are unary string functions returning ``None`` when inapplicable.
+Parameters (separators, indices, affixes, replacement pairs, pad widths,
+prefix lengths) are *inferred from the demonstration pairs*, which is what
+lets a breadth-first search stay small while covering a large program
+space — the essence of transform-by-example engines.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass
+
+Transform = Callable[[str], "str | None"]
+
+SEPARATORS = (" ", "-", "_", "/", ".", ",", ", ", ": ", "|", "(", ")", "//")
+REMOVABLE = ("$", ",", "(", ")", " ", "-", "_", '"', "'", "%", "#")
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A named DSL operator."""
+
+    name: str
+    fn: Transform
+
+    def __call__(self, value: str) -> str | None:
+        return self.fn(value)
+
+
+def _split_take(separator: str, index: int) -> Transform:
+    def fn(value: str) -> str | None:
+        parts = value.split(separator)
+        if len(parts) < 2:
+            return None
+        try:
+            return parts[index]
+        except IndexError:
+            return None
+    return fn
+
+
+def _remove(char: str) -> Transform:
+    return lambda value: value.replace(char, "") if char in value else None
+
+
+def _replace(old: str, new: str) -> Transform:
+    return lambda value: value.replace(old, new) if old in value else None
+
+
+def _swap(separator: str) -> Transform:
+    def fn(value: str) -> str | None:
+        if separator not in value:
+            return None
+        head, _sep, tail = value.partition(separator)
+        return f"{tail} {head}"
+    return fn
+
+
+def _zfill(width: int) -> Transform:
+    return lambda value: value.zfill(width)
+
+
+def _affix(prefix: str, suffix: str) -> Transform:
+    return lambda value: f"{prefix}{value}{suffix}"
+
+
+def _prefix_chars(n: int) -> Transform:
+    return lambda value: value[:n] if len(value) >= n else None
+
+
+def _suffix_chars(n: int) -> Transform:
+    return lambda value: value[-n:] if len(value) >= n else None
+
+
+def _extract(pattern: re.Pattern) -> Transform:
+    def fn(value: str) -> str | None:
+        match = pattern.search(value)
+        return match.group(0) if match else None
+    return fn
+
+
+def _initials(value: str) -> str | None:
+    words = value.split()
+    if len(words) < 2:
+        return None
+    return "".join(word[0] + "." for word in words)
+
+
+def _title_words(value: str) -> str:
+    return " ".join(word.capitalize() for word in value.split())
+
+
+_DIGITS_RE = re.compile(r"\d+")
+_ALPHA_RE = re.compile(r"[A-Za-z]+")
+
+
+def _inferred_replacements(examples: list[tuple[str, str]]) -> list[tuple[str, str]]:
+    """Candidate (old, new) replacement pairs suggested by the demos.
+
+    TDE mines its web-crawled program corpus; we approximate by diffing
+    the character multisets of inputs and outputs: characters/bigrams that
+    vanish suggest removals, and the bigram to the output's advantage at a
+    fixed context suggests substitutions like ") " → "-".
+    """
+    from collections import Counter
+
+    candidates: set[tuple[str, str]] = set()
+    for source, target in examples[:2]:
+        source_counts, target_counts = Counter(source), Counter(target)
+        # Count-aware diff: a character whose multiplicity grows was gained
+        # even if it already appeared ("415 775-7036" → "415-775-7036").
+        lost = {ch for ch in source_counts
+                if source_counts[ch] > target_counts.get(ch, 0)}
+        gained = {ch for ch in target_counts
+                  if target_counts[ch] > source_counts.get(ch, 0)}
+        for old in lost:
+            candidates.add((old, ""))
+            for new in gained:
+                candidates.add((old, new))
+        # Two-character contexts around each lost character.
+        for i, ch in enumerate(source):
+            if ch in lost:
+                bigram = source[i : i + 2]
+                for new in gained | {""}:
+                    if len(bigram) == 2:
+                        candidates.add((bigram, new))
+    return sorted(candidates)[:40]
+
+
+def base_operators(examples: list[tuple[str, str]]) -> list[Operator]:
+    """The full candidate operator set, parameterized by the demos."""
+    operators: list[Operator] = [
+        Operator("identity", lambda value: value),
+        Operator("lower", str.lower),
+        Operator("upper", str.upper),
+        Operator("title_words", _title_words),
+        Operator("strip", str.strip),
+        Operator("extract_digits", _extract(_DIGITS_RE)),
+        Operator("extract_alpha", _extract(_ALPHA_RE)),
+    ]
+    for separator in SEPARATORS:
+        operators.append(Operator(f"swap({separator!r})", _swap(separator)))
+        for index in (0, 1, 2, 3, -1, -2):
+            operators.append(
+                Operator(f"take({separator!r},{index})", _split_take(separator, index))
+            )
+    for char in REMOVABLE:
+        operators.append(Operator(f"remove({char!r})", _remove(char)))
+    for old, new in _inferred_replacements(examples):
+        operators.append(Operator(f"replace({old!r},{new!r})", _replace(old, new)))
+
+    target_lengths = {len(target) for _source, target in examples}
+    if len(target_lengths) == 1:
+        width = target_lengths.pop()
+        operators.append(Operator(f"zfill({width})", _zfill(width)))
+        operators.append(Operator(f"prefix({width})", _prefix_chars(width)))
+        operators.append(Operator(f"suffix({width})", _suffix_chars(width)))
+
+    # Affix inference: constant prefix/suffix around the input.
+    source0, target0 = examples[0]
+    if source0 and source0 in target0:
+        prefix, _mid, suffix = target0.partition(source0)
+        if all(t == f"{prefix}{s}{suffix}" for s, t in examples):
+            operators.append(Operator(f"affix({prefix!r},{suffix!r})", _affix(prefix, suffix)))
+    return operators

@@ -1,0 +1,90 @@
+"""Breadth-first program search over the TDE DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.tde.dsl import Operator, base_operators
+
+
+@dataclass
+class Program:
+    """A pipeline of DSL operators."""
+
+    operators: tuple[Operator, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.operators)
+
+    @property
+    def description(self) -> str:
+        return " | ".join(op.name for op in self.operators) or "identity"
+
+    def __call__(self, value: str) -> str | None:
+        result: str | None = value
+        for operator in self.operators:
+            if result is None:
+                return None
+            result = operator(result)
+        return result
+
+
+def _consistent(program: Program, examples: list[tuple[str, str]]) -> bool:
+    return all(program(source) == target for source, target in examples)
+
+
+def synthesize(
+    examples: list[tuple[str, str]],
+    max_depth: int = 3,
+    beam_width: int = 600,
+) -> Program | None:
+    """Smallest DSL program consistent with every example, else ``None``.
+
+    Classic TBE search: expand programs breadth-first; prune branches
+    whose intermediate outputs are no longer reachable (None on any
+    example); keep the frontier bounded by ``beam_width`` states with
+    distinct intermediate signatures.
+    """
+    if not examples:
+        return None
+    operators = base_operators(examples)
+    sources = tuple(source for source, _target in examples)
+
+    # Frontier entries: (intermediate values, program ops so far).
+    frontier: list[tuple[tuple[str, ...], tuple[Operator, ...]]] = [(sources, ())]
+    seen_signatures = {sources}
+
+    for _depth in range(max_depth):
+        next_frontier: list[tuple[tuple[str, ...], tuple[Operator, ...]]] = []
+        for values, ops in frontier:
+            for operator in operators:
+                outputs = []
+                dead = False
+                for value in values:
+                    result = operator(value)
+                    if result is None:
+                        dead = True
+                        break
+                    outputs.append(result)
+                if dead:
+                    continue
+                signature = tuple(outputs)
+                program = Program(operators=ops + (operator,))
+                if all(
+                    output == target
+                    for output, (_source, target) in zip(outputs, examples)
+                ):
+                    return program
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                next_frontier.append((signature, program.operators))
+                if len(next_frontier) >= beam_width:
+                    break
+            if len(next_frontier) >= beam_width:
+                break
+        frontier = next_frontier
+        if not frontier:
+            break
+    return None

@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerate every table and figure in the paper.
+
+One module per experiment.  Each exposes a ``run(...)`` function returning
+an :class:`ExperimentResult` (structured rows plus the paper's published
+values for side-by-side comparison) and the ``benchmarks/`` directory
+wraps them in pytest-benchmark entries.
+"""
+
+from repro.bench.reporting import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

@@ -1,0 +1,54 @@
+"""Extension ablation — how many demonstrations are enough?
+
+The paper reports k=0 and k=10 (k=3 for integration tasks); this sweep
+fills in the curve: F1/accuracy as a function of the demonstration count,
+for one dataset per task family.  The expected shape: a steep gain from
+the first few demonstrations (format grounding + threshold calibration),
+then saturation — the "rapid prototyping" regime of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentResult
+from repro.core.tasks import (
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+)
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+K_VALUES = (0, 1, 2, 5, 10, 20)
+MAX_EXAMPLES = 300
+
+SWEEPS = (
+    ("walmart_amazon", run_entity_matching, "f1"),
+    ("restaurant", run_imputation, "accuracy"),
+    ("hospital", run_error_detection, "f1"),
+)
+
+
+def run(model: str = "gpt3-175b") -> ExperimentResult:
+    fm = SimulatedFoundationModel(model)
+    result = ExperimentResult(
+        experiment="ablation_k_sweep",
+        title=f"Demonstration-count sweep ({model})",
+        headers=["dataset", "metric"] + [f"k={k}" for k in K_VALUES],
+        notes="manual demonstration curation at every k > 0",
+    )
+    for dataset_name, runner, metric_name in SWEEPS:
+        dataset = load_dataset(dataset_name)
+        scores = []
+        for k in K_VALUES:
+            selection = "manual" if k else "random"
+            run_result = runner(
+                fm, dataset, k=k, selection=selection,
+                max_examples=MAX_EXAMPLES,
+            )
+            scores.append(round(100 * run_result.metric, 1))
+        result.add_row(dataset_name, metric_name, *scores)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,57 @@
+"""Appendix D — evaluating more FMs on the data-wrangling tasks.
+
+The paper contributed its tasks to the HELM benchmark to evaluate a
+broader set of models.  Here: the full size grid — every simulated model
+on every task family, few-shot — the scaling picture in one table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentResult
+from repro.core.tasks import (
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+    run_schema_matching,
+    run_transformation,
+)
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+MODELS = ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b")
+MAX_EXAMPLES = 300
+
+TASKS = (
+    ("EM/walmart_amazon (F1)", "walmart_amazon", run_entity_matching, 10),
+    ("DI/restaurant (acc)", "restaurant", run_imputation, 10),
+    ("ED/hospital (F1)", "hospital", run_error_detection, 10),
+    ("ED/adult (F1)", "adult", run_error_detection, 10),
+    ("SM/synthea (F1)", "synthea", run_schema_matching, 3),
+    ("DT/bing_querylogs (acc)", "bing_querylogs", run_transformation, 3),
+)
+
+
+def run() -> ExperimentResult:
+    models = {name: SimulatedFoundationModel(name) for name in MODELS}
+    result = ExperimentResult(
+        experiment="appendix_d",
+        title="Model-size grid across all five tasks (few-shot)",
+        headers=["task"] + list(MODELS),
+        notes="HELM-style sweep (paper Appendix D)",
+    )
+    for label, dataset_name, runner, k in TASKS:
+        dataset = load_dataset(dataset_name)
+        row = [label]
+        for name in MODELS:
+            kwargs = {"k": k}
+            if runner is not run_transformation:
+                kwargs["selection"] = "manual"
+                kwargs["max_examples"] = MAX_EXAMPLES
+            score = runner(models[name], dataset, **kwargs).metric
+            row.append(round(100 * score, 1))
+        result.rows.append(row)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,66 @@
+"""Figure 4 — sample/training-efficiency trade-off.
+
+The paper's conceptual figure: larger FMs are usable zero/few-shot (no
+parameter updates, almost no labels); smaller FMs need finetuning —
+adapters update ~5% of parameters but want more labels, full finetuning
+updates everything but reaches quality with fewer labels.
+
+We realize it quantitatively on Walmart-Amazon: for each (model,
+adaptation) we report the trainable-parameter count and the smallest
+training fraction whose F1 reaches 90% of the 175B few-shot score.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentResult
+from repro.bench.figure5 import FRACTIONS, _few_shot_reference, _fit_and_score
+from repro.datasets import load_dataset
+from repro.fm import AdapterModel, FinetunedModel
+
+SERIES = (
+    ("gpt3-175b", "few-shot", None),
+    ("gpt3-6.7b", "full", FinetunedModel),
+    ("gpt3-6.7b", "adapter", AdapterModel),
+    ("gpt3-1.3b", "full", FinetunedModel),
+    ("gpt3-1.3b", "adapter", AdapterModel),
+)
+
+
+def run(dataset_name: str = "walmart_amazon") -> ExperimentResult:
+    dataset = load_dataset(dataset_name)
+    reference = _few_shot_reference("entity_matching", dataset)
+    target = 0.9 * reference
+
+    result = ExperimentResult(
+        experiment="figure4",
+        title=f"Sample/training-efficiency trade-off ({dataset_name})",
+        headers=[
+            "model", "adaptation", "trainable_params",
+            "labels_to_90pct_of_175b", "best_f1",
+        ],
+        notes=(
+            f"target = 90% of 175B few-shot F1 ({100 * reference:.1f}); "
+            "'-' = target not reached at 100% of the training data"
+        ),
+    )
+    result.add_row("gpt3-175b", "few-shot (k=10)", 0, 10, round(100 * reference, 1))
+    for model_name, mode, cls in SERIES[1:]:
+        needed: int | str = "-"
+        best = 0.0
+        for fraction in FRACTIONS:
+            model = cls(model_name)
+            score = _fit_and_score(model, "entity_matching", dataset, fraction)
+            best = max(best, score)
+            if score >= target and needed == "-":
+                needed = max(4, int(len(dataset.train) * fraction))
+        model = cls(model_name)
+        params = (
+            model.profile.n_parameters if mode == "full"
+            else int(model.profile.n_parameters * 0.05)
+        )
+        result.add_row(model_name, mode, params, needed, round(100 * best, 1))
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

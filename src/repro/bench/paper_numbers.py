@@ -1,0 +1,70 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+All values transcribed from Narayan et al., VLDB 2022 (Tables 1-5).
+These are *reference points*: our substrate is synthetic, so we compare
+orderings and gaps, not absolute values (see EXPERIMENTS.md).
+"""
+
+# Table 1 — entity matching F1.
+TABLE1 = {
+    # dataset: (Magellan, Ditto, GPT3-175B k=0, GPT3-175B k=10)
+    "fodors_zagats": (100.0, 100.0, 87.2, 100.0),
+    "beer": (78.8, 94.37, 78.6, 100.0),
+    "itunes_amazon": (91.2, 97.06, 65.9, 98.2),
+    "walmart_amazon": (71.9, 86.76, 60.6, 87.0),
+    "dblp_acm": (98.4, 98.99, 93.5, 96.6),
+    "dblp_scholar": (92.3, 95.60, 64.6, 83.8),
+    "amazon_google": (49.1, 75.58, 54.3, 63.5),
+}
+
+# Table 2 — imputation accuracy and error-detection F1.
+TABLE2_IMPUTATION = {
+    # dataset: (HoloClean, IMP, 175B k=0, 6.7B k=10, 175B k=10)
+    "restaurant": (33.1, 77.2, 70.9, 80.2, 88.4),
+    "buy": (16.2, 96.5, 84.6, 86.2, 98.5),
+}
+TABLE2_ERROR_DETECTION = {
+    # dataset: (HoloClean, HoloDetect, 175B k=0, 6.7B k=10, 175B k=10)
+    "hospital": (51.4, 94.4, 6.9, 2.1, 97.8),
+    "adult": (54.5, 99.1, 0.0, 99.1, 99.1),
+}
+
+# Table 3 — transformation accuracy and schema-matching F1.
+TABLE3_TRANSFORMATION = {
+    # dataset: (previous SoTA = TDE, 175B k=0, 175B k=3)
+    "stackoverflow": (63.0, 32.7, 65.3),
+    "bing_querylogs": (32.0, 24.0, 54.0),
+}
+TABLE3_SCHEMA = {
+    # dataset: (previous SoTA = SMAT, 175B k=0, 175B k=3)
+    "synthea": (38.5, 0.5, 45.2),
+}
+
+# Table 4 — EM prompt ablations (k=10, ≤200 eval samples).
+TABLE4 = {
+    # row: {dataset: f1}
+    "prompt1_attr_example": {"beer": 100.0, "itunes_amazon": 98.2, "walmart_amazon": 88.9},
+    "prompt1_no_example_select": {"beer": 91.1, "itunes_amazon": 86.6, "walmart_amazon": 65.2},
+    "prompt1_no_attr_select": {"beer": 76.9, "itunes_amazon": 94.1, "walmart_amazon": 75.0},
+    "prompt1_no_attr_names": {"beer": 80.0, "itunes_amazon": 94.5, "walmart_amazon": 84.2},
+    "prompt2_attr_example": {"beer": 96.3, "itunes_amazon": 84.7, "walmart_amazon": 100.0},
+}
+
+# Table 5 — Restaurant city slices by train-set frequency (accuracy).
+TABLE5 = {
+    # model row: (freq=0, 0<freq<=10, freq>10)
+    "175b_few_shot": (100.0, 0.0, 93.7),
+    "6.7b_adapter_100": (0.0, 50.0, 98.7),
+    "6.7b_adapter_50": (0.0, 25.0, 98.7),
+    "6.7b_adapter_10": (0.0, 0.0, 87.3),
+    "6.7b_finetune_100": (0.0, 25.0, 96.2),
+    "6.7b_finetune_50": (0.0, 0.0, 98.7),
+    "6.7b_finetune_10": (0.0, 0.0, 89.9),
+}
+
+# Figure 5 — the qualitative claims we check programmatically.
+FIGURE5_CLAIMS = (
+    "full finetuning of 6.7B approaches 175B few-shot with a fraction of the data",
+    "adapters close the gap on Walmart-Amazon and Restaurant but not Hospital",
+    "1.3B is less sample-efficient than 6.7B",
+)

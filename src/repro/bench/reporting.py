@@ -1,0 +1,57 @@
+"""Result containers and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table (the benches print these)."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def render_row(values: list[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: measured rows + paper reference."""
+
+    experiment: str                      # e.g. "table1"
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        body = render_table(self.headers, self.rows)
+        parts = [f"== {self.experiment}: {self.title} ==", body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def cell(self, row_key, column: str):
+        """Value at (first row whose first cell == row_key, column)."""
+        column_index = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[column_index]
+        raise KeyError(f"no row {row_key!r} in {self.experiment}")

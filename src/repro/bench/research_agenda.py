@@ -1,0 +1,126 @@
+"""Section 5 research-agenda studies, implemented and measured.
+
+Three experiments operationalizing the paper's forward-looking proposals:
+
+* **Prototyping** (§5.1) — the prompted 175B labels an unlabeled pair
+  pool; a supervised Ditto student trains on the machine labels and is
+  compared against the teacher and a gold-trained Ditto.
+* **Selective prediction** (§5.2) — the model's confidence scores gate
+  which verdicts are trusted; accuracy at 50% coverage should beat full
+  coverage.
+* **Prompt ensembling** (§5.3) — majority voting over question rewordings
+  lifts the 6.7B model toward (not necessarily onto) the 175B single-
+  prompt score.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DittoMatcher
+from repro.bench.reporting import ExperimentResult
+from repro.core.ensemble import PromptEnsemble
+from repro.core.metrics import binary_metrics
+from repro.core.prompts import build_entity_matching_prompt
+from repro.core.prototype import ModelPrototyper
+from repro.core.tasks import run_entity_matching
+from repro.core.tasks.common import parse_yes_no
+from repro.core.tasks.entity_matching import (
+    default_prompt_config,
+    select_demonstrations,
+)
+from repro.datasets import load_dataset
+from repro.datasets.base import MatchingPair
+from repro.fm import SimulatedFoundationModel
+
+DATASET = "walmart_amazon"
+
+
+def run_prototyping() -> ExperimentResult:
+    """§5.1: FM-labeled training vs gold training vs the FM itself."""
+    dataset = load_dataset(DATASET)
+    fm = SimulatedFoundationModel("gpt3-175b")
+    config = default_prompt_config(dataset)
+    demos = select_demonstrations(fm, dataset, 10, config, "manual")
+
+    # Unlabeled pool = the train split with labels hidden from the teacher.
+    pool = [MatchingPair(p.left, p.right, p.label) for p in dataset.train]
+    prototyper = ModelPrototyper(fm, demonstrations=demos, config=config)
+    student = prototyper.distill(
+        pool, student_factory=lambda: DittoMatcher.for_dataset(dataset)
+    )
+    labels = [pair.label for pair in dataset.test]
+    student_f1 = binary_metrics(student.predict_many(dataset.test), labels).f1
+
+    gold = DittoMatcher.for_dataset(dataset).fit(dataset.train)
+    gold_f1 = binary_metrics(gold.predict_many(dataset.test), labels).f1
+
+    teacher_f1 = run_entity_matching(fm, dataset, k=10, selection="manual").metric
+
+    result = ExperimentResult(
+        experiment="agenda_prototyping",
+        title=f"§5.1 prototyping on {DATASET}: distill the prompted FM into Ditto",
+        headers=["system", "labels used", "f1"],
+        notes=(
+            f"teacher labeled {prototyper.report.n_labeled} pairs, "
+            f"agreement with gold {100 * prototyper.report.agreement_with_gold:.1f}%"
+        ),
+    )
+    result.add_row("GPT3-175B teacher (k=10)", "10 demonstrations", round(100 * teacher_f1, 1))
+    result.add_row("Ditto on FM labels", "0 gold labels", round(100 * student_f1, 1))
+    result.add_row("Ditto on gold labels", f"{len(dataset.train)} gold", round(100 * gold_f1, 1))
+    return result
+
+
+def run_selective_prediction() -> ExperimentResult:
+    """§5.2: confidence-gated verdicts (coverage vs accuracy)."""
+    dataset = load_dataset(DATASET)
+    fm = SimulatedFoundationModel("gpt3-175b")
+    config = default_prompt_config(dataset)
+    demos = select_demonstrations(fm, dataset, 10, config, "manual")
+
+    scored: list[tuple[float, bool, bool]] = []  # (confidence, prediction, label)
+    for pair in dataset.test:
+        prompt = build_entity_matching_prompt(pair, demos, config)
+        completion = fm.complete_verbose(prompt)
+        scored.append((completion.confidence, parse_yes_no(completion.text), pair.label))
+    scored.sort(key=lambda item: item[0], reverse=True)
+
+    result = ExperimentResult(
+        experiment="agenda_selective",
+        title=f"§5.2 selective prediction on {DATASET} (confidence-ranked)",
+        headers=["coverage", "n", "accuracy"],
+        notes="verdicts ranked by the model's self-reported confidence",
+    )
+    for coverage in (0.25, 0.5, 0.75, 1.0):
+        kept = scored[: max(1, int(len(scored) * coverage))]
+        accuracy = sum(pred == label for _c, pred, label in kept) / len(kept)
+        result.add_row(f"{int(100 * coverage)}%", len(kept), round(100 * accuracy, 1))
+    return result
+
+
+def run_ensembling() -> ExperimentResult:
+    """§5.3: prompt ensembling for the small open model."""
+    dataset = load_dataset(DATASET)
+    result = ExperimentResult(
+        experiment="agenda_ensemble",
+        title=f"§5.3 prompt ensembling on {DATASET} (k=10)",
+        headers=["model", "f1"],
+        notes="ensemble = majority vote over 5 question rewordings",
+    )
+    for name in ("gpt3-6.7b", "gpt3-175b"):
+        fm = SimulatedFoundationModel(name)
+        single = run_entity_matching(fm, dataset, k=10, selection="manual")
+        ensemble = PromptEnsemble(fm)
+        ensembled = run_entity_matching(ensemble, dataset, k=10, selection="manual")
+        result.add_row(f"{name} single prompt", round(100 * single.metric, 1))
+        result.add_row(f"{name} ensemble", round(100 * ensembled.metric, 1))
+    return result
+
+
+def run() -> list[ExperimentResult]:
+    return [run_prototyping(), run_selective_prediction(), run_ensembling()]
+
+
+if __name__ == "__main__":
+    for result in run():
+        print(result.render())
+        print()

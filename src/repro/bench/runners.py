@@ -1,0 +1,74 @@
+"""Shared baseline-evaluation helpers for the bench modules."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    DittoMatcher,
+    HoloClean,
+    HoloDetect,
+    ImpImputer,
+    MagellanMatcher,
+    SmatMatcher,
+    TdeSynthesizer,
+)
+from repro.core.metrics import accuracy, binary_metrics
+from repro.datasets.base import (
+    EntityMatchingDataset,
+    ErrorDetectionDataset,
+    ImputationDataset,
+    SchemaMatchingDataset,
+    TransformationDataset,
+)
+
+
+def evaluate_magellan(dataset: EntityMatchingDataset, max_test: int | None = None) -> float:
+    matcher = MagellanMatcher.for_dataset(dataset).fit(dataset.train)
+    test = dataset.test[:max_test] if max_test else dataset.test
+    predictions = matcher.predict_many(test)
+    return binary_metrics(predictions, [pair.label for pair in test]).f1
+
+
+def evaluate_ditto(dataset: EntityMatchingDataset, max_test: int | None = None) -> float:
+    matcher = DittoMatcher.for_dataset(dataset).fit(dataset.train)
+    test = dataset.test[:max_test] if max_test else dataset.test
+    predictions = matcher.predict_many(test)
+    return binary_metrics(predictions, [pair.label for pair in test]).f1
+
+
+def evaluate_holoclean_detection(dataset: ErrorDetectionDataset,
+                                 max_test: int | None = None) -> float:
+    rows = [example.row for example in dataset.train] + dataset.clean_rows[:100]
+    engine = HoloClean().fit(rows)
+    test = dataset.test[:max_test] if max_test else dataset.test
+    predictions = [engine.detect(example) for example in test]
+    return binary_metrics(predictions, [example.label for example in test]).f1
+
+
+def evaluate_holodetect(dataset: ErrorDetectionDataset,
+                        max_test: int | None = None) -> float:
+    detector = HoloDetect().fit(dataset)
+    test = dataset.test[:max_test] if max_test else dataset.test
+    predictions = detector.predict_many(test)
+    return binary_metrics(predictions, [example.label for example in test]).f1
+
+
+def evaluate_holoclean_imputation(dataset: ImputationDataset) -> float:
+    engine = HoloClean().fit(dataset.complete_train_rows)
+    predictions = [engine.impute(example) for example in dataset.test]
+    return accuracy(predictions, [example.answer for example in dataset.test])
+
+
+def evaluate_imp(dataset: ImputationDataset) -> float:
+    imputer = ImpImputer.for_dataset(dataset).fit(dataset.train)
+    predictions = imputer.predict_many(dataset.test)
+    return accuracy(predictions, [example.answer for example in dataset.test])
+
+
+def evaluate_smat(dataset: SchemaMatchingDataset) -> float:
+    matcher = SmatMatcher.for_dataset(dataset)
+    predictions = matcher.predict_many(dataset.test)
+    return binary_metrics(predictions, [pair.label for pair in dataset.test]).f1
+
+
+def evaluate_tde(dataset: TransformationDataset) -> float:
+    return TdeSynthesizer().evaluate(dataset)

@@ -1,0 +1,60 @@
+"""Table 1 — entity matching F1 across the seven Magellan datasets."""
+
+from __future__ import annotations
+
+from repro.bench.paper_numbers import TABLE1
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import evaluate_ditto, evaluate_magellan
+from repro.core.tasks import run_entity_matching
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+DATASETS = (
+    "fodors_zagats", "beer", "itunes_amazon", "walmart_amazon",
+    "dblp_acm", "dblp_scholar", "amazon_google",
+)
+
+
+def run(
+    datasets: tuple[str, ...] = DATASETS,
+    model: str = "gpt3-175b",
+    max_examples: int | None = None,
+) -> ExperimentResult:
+    """Regenerate Table 1.
+
+    Columns mirror the paper: Magellan, Ditto, FM zero-shot, FM k=10 with
+    manually curated demonstrations — plus the published value for each.
+    """
+    fm = SimulatedFoundationModel(model)
+    result = ExperimentResult(
+        experiment="table1",
+        title="Entity matching (F1)",
+        headers=[
+            "dataset",
+            "magellan", "paper",
+            "ditto", "paper",
+            "fm_k0", "paper",
+            "fm_k10", "paper",
+        ],
+        notes="paper columns: Narayan et al. VLDB 2022, Table 1",
+    )
+    for name in datasets:
+        dataset = load_dataset(name)
+        magellan = 100 * evaluate_magellan(dataset, max_test=max_examples)
+        ditto = 100 * evaluate_ditto(dataset, max_test=max_examples)
+        zero_shot = 100 * run_entity_matching(
+            fm, dataset, k=0, max_examples=max_examples
+        ).metric
+        few_shot = 100 * run_entity_matching(
+            fm, dataset, k=10, selection="manual", max_examples=max_examples
+        ).metric
+        paper = TABLE1[name]
+        result.add_row(
+            name, magellan, paper[0], ditto, paper[1],
+            zero_shot, paper[2], few_shot, paper[3],
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,102 @@
+"""Table 5 — Restaurant city-imputation slices by training-set frequency.
+
+Appendix B's slice analysis: accuracy on test cities that occur 0 times,
+1-10 times, and >10 times in the training split, for the prompted 175B
+model versus finetuned 6.7B variants (adapter and full) trained on 10%,
+50% and 100% of the training data.
+
+Slices are evaluated over the *designed* city groups of the Restaurant
+builder (held-out / rare-tail / common), whose train frequencies match the
+slice definitions by construction — see
+:class:`repro.datasets.imputation_datasets.RestaurantSliceInfo`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.paper_numbers import TABLE5
+from repro.bench.reporting import ExperimentResult
+from repro.core.metrics import normalize_answer
+from repro.core.tasks import run_imputation
+from repro.datasets.base import ImputationExample
+from repro.datasets.imputation_datasets import RestaurantSliceInfo, build_restaurant
+from repro.fm import AdapterModel, FinetunedModel, SimulatedFoundationModel
+
+SLICES = ("freq=0", "0<freq<=10", "freq>10")
+
+
+def _slice_of(example: ImputationExample, info: RestaurantSliceInfo) -> str | None:
+    city = example.answer.casefold()
+    if city in info.heldout_cities:
+        return "freq=0"
+    if city in info.rare_cities:
+        return "0<freq<=10"
+    if city in info.common_cities:
+        return "freq>10"
+    return None
+
+
+def slice_accuracies(
+    predictions: list[str],
+    examples: list[ImputationExample],
+    info: RestaurantSliceInfo,
+) -> dict[str, float]:
+    hits: dict[str, int] = {name: 0 for name in SLICES}
+    totals: dict[str, int] = {name: 0 for name in SLICES}
+    for prediction, example in zip(predictions, examples):
+        slice_name = _slice_of(example, info)
+        if slice_name is None:
+            continue
+        totals[slice_name] += 1
+        if normalize_answer(prediction) == normalize_answer(example.answer):
+            hits[slice_name] += 1
+    return {
+        name: (100.0 * hits[name] / totals[name]) if totals[name] else 0.0
+        for name in SLICES
+    }
+
+
+def _finetuned_predictions(model, dataset, fraction: float) -> list[str]:
+    n = max(1, int(len(dataset.train) * fraction))
+    model.fit_imputation(dataset.train[:n])
+    return [model.predict_imputation(example) for example in dataset.test]
+
+
+def run() -> ExperimentResult:
+    dataset, info = build_restaurant()
+    result = ExperimentResult(
+        experiment="table5",
+        title="Restaurant imputation slices (accuracy by train-set frequency)",
+        headers=["model"] + [
+            column for name in SLICES for column in (name, "paper")
+        ],
+        notes="paper columns: Narayan et al. VLDB 2022, Table 5",
+    )
+
+    fm = SimulatedFoundationModel("gpt3-175b")
+    run_fm = run_imputation(fm, dataset, k=10, selection="manual")
+    rows: list[tuple[str, str, dict[str, float]]] = [
+        ("175b_few_shot", "GPT3-175B (few-shot)",
+         slice_accuracies(run_fm.predictions, dataset.test, info)),
+    ]
+    for mode, cls in (("adapter", AdapterModel), ("finetune", FinetunedModel)):
+        for percent in (100, 50, 10):
+            model = cls("gpt3-6.7b")
+            predictions = _finetuned_predictions(model, dataset, percent / 100)
+            rows.append((
+                f"6.7b_{mode}_{percent}",
+                f"GPT3-6.7B ({mode}, {percent}%)",
+                slice_accuracies(predictions, dataset.test, info),
+            ))
+
+    for key, label, accuracies in rows:
+        row: list = [label]
+        paper = TABLE5[key]
+        for i, name in enumerate(SLICES):
+            row.append(accuracies[name])
+            row.append(paper[i])
+        result.rows.append(row)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

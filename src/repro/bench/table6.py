@@ -1,0 +1,40 @@
+"""Table 6 — qualitative functional-dependency probes across model sizes.
+
+Three imputation prompts exercising geography knowledge: address+state →
+zip code, address+phone → city (twice).  Larger models recall the exact
+dependency; smaller ones produce answers of the right semantic *type* but
+wrong identity — the paper's qualitative observation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentResult
+from repro.fm import SimulatedFoundationModel
+
+PROBES = (
+    ("Address: 1720 university blvd. State: AL. ZipCode?", "zip in AL (352xx)"),
+    ("Address: 26025 pacific coast hwy. Phone number: 310/456-5733. City?", "Malibu"),
+    ("Address: 804 north point st. Phone number: 415-775-7036. City?", "San Francisco"),
+)
+
+MODELS = ("gpt3-175b", "gpt3-6.7b", "gpt3-1.3b")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table6",
+        title="Encoded functional dependencies (qualitative)",
+        headers=["prompt", "expected"] + list(MODELS),
+        notes="paper: Narayan et al. VLDB 2022, Table 6 (qualitative)",
+    )
+    models = {name: SimulatedFoundationModel(name) for name in MODELS}
+    for prompt, expected in PROBES:
+        row: list = [prompt[:46] + "…", expected]
+        for name in MODELS:
+            row.append(models[name].complete(prompt))
+        result.rows.append(row)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets`` — list the 14 benchmark datasets and their split sizes.
+* ``bench <experiment>`` — regenerate one table/figure (table1 … figure5).
+* ``match --left k=v,... --right k=v,...`` — one entity-matching verdict.
+* ``impute --row k=v,... --attribute a`` — fill one missing value.
+* ``repair --row k=v,... --attribute a`` — propose a corrected value.
+* ``transform --value v --examples in=out;in=out`` — one transformation.
+* ``probe`` — the Table 6 functional-dependency probes across model sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_row(text: str) -> dict[str, str]:
+    """``"name=blue heron,phone=415-775-7036"`` → row dict."""
+    row: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise SystemExit(f"bad row field {part!r} (expected key=value)")
+        key, _sep, value = part.partition("=")
+        row[key.strip()] = value.strip()
+    return row
+
+
+def _parse_examples(text: str) -> list[tuple[str, str]]:
+    """``"Seattle=WA;Boston=MA"`` → example pairs."""
+    pairs: list[tuple[str, str]] = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise SystemExit(f"bad example {part!r} (expected in=out)")
+        source, _sep, target = part.partition("=")
+        pairs.append((source.strip(), target.strip()))
+    return pairs
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.datasets import available_datasets, load_dataset
+
+    for name in available_datasets():
+        dataset = load_dataset(name)
+        if hasattr(dataset, "train"):
+            print(f"{name:16s} {dataset.task:16s} "
+                  f"train={len(dataset.train):4d} valid={len(dataset.valid):4d} "
+                  f"test={len(dataset.test):4d}")
+        else:
+            print(f"{name:16s} {dataset.task:16s} "
+                  f"cases={len(dataset.cases):2d} tests={dataset.n_tests:4d}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import importlib
+
+    known = {"table1", "table2", "table3", "table4", "table5", "table6",
+             "figure4", "figure5", "ablation_k_sweep", "ablation_knowledge",
+             "appendix_d", "blocking_study", "research_agenda",
+             "variance_study"}
+    if args.experiment not in known:
+        raise SystemExit(f"unknown experiment {args.experiment!r}; "
+                         f"choose from {sorted(known)}")
+    module = importlib.import_module(f"repro.bench.{args.experiment}")
+    results = module.run()
+    if not isinstance(results, list):
+        results = [results]
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+def _wrangler(args):
+    from repro.core import Wrangler
+
+    return Wrangler(model=args.model)
+
+
+def _cmd_match(args) -> int:
+    wrangler = _wrangler(args)
+    verdict = wrangler.match(_parse_row(args.left), _parse_row(args.right))
+    print("Yes" if verdict else "No")
+    return 0
+
+
+def _cmd_impute(args) -> int:
+    wrangler = _wrangler(args)
+    print(wrangler.impute(_parse_row(args.row), args.attribute))
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    wrangler = _wrangler(args)
+    print(wrangler.repair_cell(_parse_row(args.row), args.attribute))
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    wrangler = _wrangler(args)
+    examples = _parse_examples(args.examples) if args.examples else None
+    print(wrangler.transform(args.value, examples=examples,
+                             instruction=args.instruction))
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.bench import table6
+
+    print(table6.run().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Foundation models for data wrangling (VLDB 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets").set_defaults(
+        fn=_cmd_datasets
+    )
+
+    bench = sub.add_parser("bench", help="regenerate a table/figure")
+    bench.add_argument("experiment",
+                       help="table1..table6, figure4/5, or an extension study")
+    bench.set_defaults(fn=_cmd_bench)
+
+    def with_model(command, help_text):
+        p = sub.add_parser(command, help=help_text)
+        p.add_argument("--model", default="gpt3-175b",
+                       help="gpt3-1.3b | gpt3-6.7b | gpt3-175b")
+        return p
+
+    match = with_model("match", "entity-matching verdict for two rows")
+    match.add_argument("--left", required=True, help="k=v,k=v row")
+    match.add_argument("--right", required=True, help="k=v,k=v row")
+    match.set_defaults(fn=_cmd_match)
+
+    impute = with_model("impute", "fill one missing attribute")
+    impute.add_argument("--row", required=True, help="k=v,k=v row (without the target)")
+    impute.add_argument("--attribute", required=True)
+    impute.set_defaults(fn=_cmd_impute)
+
+    repair = with_model("repair", "propose a corrected value for a dirty cell")
+    repair.add_argument("--row", required=True, help="k=v,k=v row (with the dirty value)")
+    repair.add_argument("--attribute", required=True)
+    repair.set_defaults(fn=_cmd_repair)
+
+    transform = with_model("transform", "transform one value")
+    transform.add_argument("--value", required=True)
+    transform.add_argument("--examples", help="in=out;in=out demonstration pairs")
+    transform.add_argument("--instruction", help="zero-shot task description")
+    transform.set_defaults(fn=_cmd_transform)
+
+    probe = sub.add_parser("probe", help="Table 6 knowledge probes")
+    probe.set_defaults(fn=_cmd_probe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""The paper's contribution: data tasks as prompting tasks.
+
+This package turns structured data-wrangling inputs into natural-language
+prompts (Section 3 of the paper), selects task demonstrations (random or
+manually curated), runs them through a foundation model, and scores the
+generated answers:
+
+* :mod:`repro.core.serialization` — ``attr: val`` row serialization with
+  attribute sub-selection (Section 3.1),
+* :mod:`repro.core.prompts` — the task prompt templates (Section 3.2),
+* :mod:`repro.core.demonstrations` — demonstration selection (Section 3.3),
+* :mod:`repro.core.tasks` — one runner per task,
+* :mod:`repro.core.metrics` — F1 / accuracy,
+* :mod:`repro.core.pipeline` — the high-level :class:`Wrangler` API.
+"""
+
+from repro.core.blocking import (
+    BlockingReport,
+    CandidatePair,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    evaluate_blocking,
+)
+from repro.core.serialization import SerializationConfig, serialize_row
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    ErrorDetectionPromptConfig,
+    ImputationPromptConfig,
+    SchemaMatchingPromptConfig,
+    TransformationPromptConfig,
+)
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.metrics import (
+    BinaryMetrics,
+    accuracy,
+    binary_metrics,
+    normalize_answer,
+)
+from repro.core.analysis import (
+    ErrorBreakdown,
+    analyze_error_detection,
+    analyze_imputation,
+    analyze_matching,
+)
+from repro.core.ensemble import PromptEnsemble
+from repro.core.pipeline import Wrangler
+from repro.core.prototype import LabelingReport, ModelPrototyper
+
+__all__ = [
+    "BinaryMetrics",
+    "BlockingReport",
+    "CandidatePair",
+    "SortedNeighborhoodBlocker",
+    "TokenBlocker",
+    "evaluate_blocking",
+    "DemonstrationSelector",
+    "EntityMatchingPromptConfig",
+    "ErrorBreakdown",
+    "analyze_error_detection",
+    "analyze_imputation",
+    "analyze_matching",
+    "ErrorDetectionPromptConfig",
+    "ImputationPromptConfig",
+    "LabelingReport",
+    "ManualCurator",
+    "ModelPrototyper",
+    "PromptEnsemble",
+    "RandomSelector",
+    "SchemaMatchingPromptConfig",
+    "SerializationConfig",
+    "TransformationPromptConfig",
+    "Wrangler",
+    "accuracy",
+    "binary_metrics",
+    "normalize_answer",
+    "serialize_row",
+]

@@ -1,0 +1,113 @@
+"""Error analysis over task runs (the debuggability loop of Section 5.2).
+
+The paper's prompt-tuning procedure is "analyzing errors on the validation
+set" — a human activity this module tools up: given a finished
+:class:`~repro.core.tasks.common.TaskRun` and the examples it scored,
+produce the confusion buckets, per-attribute breakdowns and the concrete
+failing examples a prompt engineer reads next.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.metrics import normalize_answer
+from repro.core.tasks.common import TaskRun
+from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
+
+
+@dataclass
+class ErrorBreakdown:
+    """Confusion buckets plus the examples in each."""
+
+    task: str
+    n_examples: int
+    false_positives: list = field(default_factory=list)
+    false_negatives: list = field(default_factory=list)
+    wrong_values: list = field(default_factory=list)   # generation tasks
+    by_attribute: Counter = field(default_factory=Counter)
+
+    @property
+    def n_errors(self) -> int:
+        return (
+            len(self.false_positives) + len(self.false_negatives)
+            + len(self.wrong_values)
+        )
+
+    def summary(self, max_shown: int = 3) -> str:
+        lines = [
+            f"{self.task}: {self.n_errors} errors over {self.n_examples} examples"
+        ]
+        if self.false_positives or self.false_negatives:
+            lines.append(
+                f"  false positives: {len(self.false_positives)}, "
+                f"false negatives: {len(self.false_negatives)}"
+            )
+        if self.by_attribute:
+            worst = ", ".join(
+                f"{attribute} ({count})"
+                for attribute, count in self.by_attribute.most_common(3)
+            )
+            lines.append(f"  worst attributes: {worst}")
+        for title, bucket in (
+            ("FP", self.false_positives),
+            ("FN", self.false_negatives),
+            ("wrong", self.wrong_values),
+        ):
+            for item in bucket[:max_shown]:
+                lines.append(f"  [{title}] {item}")
+        return "\n".join(lines)
+
+
+def _describe_pair(pair: MatchingPair) -> str:
+    return f"{dict(pair.left)} vs {dict(pair.right)}"
+
+
+def analyze_matching(run: TaskRun, pairs: list[MatchingPair]) -> ErrorBreakdown:
+    """Confusion buckets for an entity-/schema-matching run."""
+    if len(run.predictions) != len(pairs):
+        raise ValueError("run and pairs disagree on example count")
+    breakdown = ErrorBreakdown(task=run.task, n_examples=len(pairs))
+    for prediction, pair in zip(run.predictions, pairs):
+        if prediction and not pair.label:
+            breakdown.false_positives.append(_describe_pair(pair))
+        elif not prediction and pair.label:
+            breakdown.false_negatives.append(_describe_pair(pair))
+    return breakdown
+
+
+def analyze_error_detection(
+    run: TaskRun, examples: list[ErrorExample]
+) -> ErrorBreakdown:
+    """Confusion buckets + per-attribute counts for an ED run."""
+    if len(run.predictions) != len(examples):
+        raise ValueError("run and examples disagree on example count")
+    breakdown = ErrorBreakdown(task=run.task, n_examples=len(examples))
+    for prediction, example in zip(run.predictions, examples):
+        if prediction == example.label:
+            continue
+        cell = f"{example.attribute}={example.row.get(example.attribute)!r}"
+        if prediction:
+            breakdown.false_positives.append(cell)
+        else:
+            breakdown.false_negatives.append(cell)
+        breakdown.by_attribute[example.attribute] += 1
+    return breakdown
+
+
+def analyze_imputation(
+    run: TaskRun, examples: list[ImputationExample]
+) -> ErrorBreakdown:
+    """Wrong-value bucket + per-answer counts for a DI run."""
+    if len(run.predictions) != len(examples):
+        raise ValueError("run and examples disagree on example count")
+    breakdown = ErrorBreakdown(task=run.task, n_examples=len(examples))
+    for prediction, example in zip(run.predictions, examples):
+        if normalize_answer(prediction) == normalize_answer(example.answer):
+            continue
+        breakdown.wrong_values.append(
+            f"{example.answer!r} -> {prediction!r}"
+        )
+        breakdown.by_attribute[example.answer] += 1
+    return breakdown

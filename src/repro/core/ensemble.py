@@ -1,0 +1,81 @@
+"""Prompt ensembling: majority voting over reworded prompts (Section 5.3).
+
+The paper's privacy discussion cites Ask-Me-Anything-style results:
+"prompt ensembling and prompt reframing can enable open-source models …
+to out-perform GPT3-175B" — the motivation being organizations that
+cannot ship data to a closed API and must squeeze a smaller local model.
+
+:class:`PromptEnsemble` wraps any completion model.  For Yes/No prompts it
+rewrites the question line into each configured phrasing, collects the
+votes, and answers with the majority — averaging away the per-phrasing
+brittleness that Table 4 measures.  Non-binary prompts pass through
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.fm.parsing import MatchExample, parse_prompt
+
+#: Default rewordings for entity-style Yes/No questions.  ``{question}``
+#: placeholders are not used — each variant is a complete question line
+#: with ``A`` and ``B`` referring to the serialized entities.
+DEFAULT_VARIANTS: tuple[str, ...] = (
+    "Are {noun} A and {noun} B the same?",
+    "Are {noun} A and {noun} B equivalent?",
+    "Do {noun} A and {noun} B refer to the same entity?",
+    "Is {noun} A identical to {noun} B?",
+    "Are {noun} A and {noun} B duplicates?",
+)
+
+
+class PromptEnsemble:
+    """Majority vote over question rewordings of Yes/No prompts."""
+
+    def __init__(self, model, variants: tuple[str, ...] = DEFAULT_VARIANTS):
+        if not hasattr(model, "complete"):
+            raise TypeError("model must expose complete(prompt) -> str")
+        if len(variants) < 2:
+            raise ValueError("an ensemble needs at least two variants")
+        self.model = model
+        self.variants = tuple(variants)
+
+    @property
+    def name(self) -> str:
+        base = getattr(self.model, "name", type(self.model).__name__)
+        return f"{base}-ensemble{len(self.variants)}"
+
+    def _reworded(self, prompt: str, question: str, noun: str) -> list[str]:
+        """The prompt under each variant phrasing (demos rewritten too)."""
+        prompts = []
+        for variant in self.variants:
+            new_question = variant.format(noun=noun)
+            prompts.append(prompt.replace(question, new_question))
+        return prompts
+
+    def complete(self, prompt: str, **kwargs) -> str:
+        parsed = parse_prompt(prompt)
+        if parsed.task not in ("match", "schema") or not isinstance(
+            parsed.query, MatchExample
+        ):
+            return self.model.complete(prompt, **kwargs)
+        question = parsed.query.question
+        noun = parsed.query.noun
+        votes = Counter()
+        for variant_prompt in self._reworded(prompt, question, noun):
+            answer = self.model.complete(variant_prompt, **kwargs)
+            text = answer.strip().casefold()
+            if text.startswith("yes"):
+                votes["Yes"] += 1
+            elif text.startswith("no"):
+                votes["No"] += 1
+            # Free-text answers abstain from the vote.
+        if not votes:
+            return self.model.complete(prompt, **kwargs)
+        best, count = votes.most_common(1)[0]
+        # Break exact ties toward the original phrasing's answer.
+        ranked = votes.most_common(2)
+        if len(ranked) == 2 and ranked[0][1] == ranked[1][1]:
+            return self.model.complete(prompt, **kwargs)
+        return best

@@ -1,0 +1,93 @@
+"""Evaluation metrics: binary P/R/F1 and exact-match accuracy."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.text.normalize import normalize_whitespace
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Precision / recall / F1 with raw confusion counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def support(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def binary_metrics(
+    predictions: Sequence[bool], labels: Sequence[bool]
+) -> BinaryMetrics:
+    """P/R/F1 treating ``True`` as the positive class.
+
+    F1 is 0 when there are no true positives (the usual convention, and
+    what makes the paper's zero-shot error-detection rows read 0.0).
+    """
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels disagree on length")
+    tp = fp = fn = tn = 0
+    for predicted, actual in zip(predictions, labels):
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return BinaryMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def normalize_answer(text: str) -> str:
+    """Canonical form for exact-match comparison of generated values.
+
+    Casefolds and collapses whitespace — mild enough that a correct answer
+    in the wrong case still counts, strict enough that embellished answers
+    ("San Francisco, CA" for "san francisco") do not.
+    """
+    return normalize_whitespace(text).casefold()
+
+
+def accuracy(predictions: Sequence[str], answers: Sequence[str]) -> float:
+    """Normalized exact-match accuracy (the paper's DI / DT metric)."""
+    if len(predictions) != len(answers):
+        raise ValueError("predictions and answers disagree on length")
+    if not predictions:
+        return 0.0
+    hits = sum(
+        normalize_answer(predicted) == normalize_answer(actual)
+        for predicted, actual in zip(predictions, answers)
+    )
+    return hits / len(predictions)

@@ -1,0 +1,192 @@
+"""The high-level ``Wrangler`` API.
+
+One object, five verbs — the "single foundation model, many data tasks"
+interface the paper argues for:
+
+>>> from repro.core import Wrangler
+>>> wrangler = Wrangler(model="gpt3-175b")              # doctest: +SKIP
+>>> wrangler.match(row_a, row_b)                        # doctest: +SKIP
+True
+>>> wrangler.impute({"name": "...", "phone": "415-..."}, "city")  # doctest: +SKIP
+'san francisco'
+"""
+
+from __future__ import annotations
+
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    ErrorDetectionPromptConfig,
+    ImputationPromptConfig,
+    SchemaMatchingPromptConfig,
+    TransformationPromptConfig,
+    build_entity_matching_prompt,
+    build_error_detection_prompt,
+    build_imputation_prompt,
+    build_schema_matching_prompt,
+    build_transformation_prompt,
+)
+from repro.core.tasks.common import parse_yes_no
+from repro.datasets.base import (
+    ErrorExample,
+    ImputationExample,
+    MatchingPair,
+    SchemaPair,
+)
+from repro.datasets.table import Row
+from repro.fm.engine import SimulatedFoundationModel
+from repro.knowledge.medical import SchemaAttribute
+
+
+class Wrangler:
+    """Prompt-driven data wrangling over one foundation model.
+
+    ``model`` may be a model name ("gpt3-175b"), a
+    :class:`~repro.fm.SimulatedFoundationModel`, or any object with a
+    ``complete(prompt) -> str`` method (e.g. an API client).
+
+    Demonstrations are optional everywhere; provide them to move from
+    zero-shot to few-shot prompting.
+    """
+
+    def __init__(self, model="gpt3-175b"):
+        if isinstance(model, str):
+            model = SimulatedFoundationModel(model)
+        if not hasattr(model, "complete"):
+            raise TypeError("model must expose complete(prompt) -> str")
+        self.model = model
+
+    @property
+    def model_name(self) -> str:
+        return getattr(self.model, "name", type(self.model).__name__)
+
+    # -- entity matching ------------------------------------------------------
+
+    def match(
+        self,
+        left: Row,
+        right: Row,
+        demonstrations: list[MatchingPair] | None = None,
+        config: EntityMatchingPromptConfig | None = None,
+    ) -> bool:
+        """Do ``left`` and ``right`` refer to the same real-world entity?"""
+        pair = MatchingPair(left=left, right=right, label=False)
+        prompt = build_entity_matching_prompt(
+            pair, demonstrations or [], config or EntityMatchingPromptConfig()
+        )
+        return parse_yes_no(self.model.complete(prompt))
+
+    # -- error detection --------------------------------------------------------
+
+    def detect_error(
+        self,
+        row: Row,
+        attribute: str,
+        demonstrations: list[ErrorExample] | None = None,
+        config: ErrorDetectionPromptConfig | None = None,
+    ) -> bool:
+        """Is the value of ``attribute`` in ``row`` erroneous?"""
+        example = ErrorExample(row=row, attribute=attribute, label=False)
+        prompt = build_error_detection_prompt(
+            example, demonstrations or [], config or ErrorDetectionPromptConfig()
+        )
+        return parse_yes_no(self.model.complete(prompt))
+
+    def detect_errors(
+        self,
+        row: Row,
+        demonstrations: list[ErrorExample] | None = None,
+    ) -> dict[str, bool]:
+        """Per-attribute error verdicts for a whole row."""
+        return {
+            attribute: self.detect_error(row, attribute, demonstrations)
+            for attribute, value in row.items()
+            if value is not None
+        }
+
+    # -- imputation ----------------------------------------------------------------
+
+    def impute(
+        self,
+        row: Row,
+        attribute: str,
+        demonstrations: list[ImputationExample] | None = None,
+        config: ImputationPromptConfig | None = None,
+    ) -> str:
+        """Fill the missing value of ``attribute`` in ``row``."""
+        example = ImputationExample(
+            row={**row, attribute: None}, attribute=attribute, answer=""
+        )
+        prompt = build_imputation_prompt(
+            example, demonstrations or [], config or ImputationPromptConfig()
+        )
+        return self.model.complete(prompt).strip()
+
+    # -- schema matching ---------------------------------------------------------------
+
+    def match_schema(
+        self,
+        left: SchemaAttribute,
+        right: SchemaAttribute,
+        demonstrations: list[SchemaPair] | None = None,
+        config: SchemaMatchingPromptConfig | None = None,
+    ) -> bool:
+        """Do two schema attributes describe the same concept?"""
+        pair = SchemaPair(left=left, right=right, label=False)
+        prompt = build_schema_matching_prompt(
+            pair, demonstrations or [], config or SchemaMatchingPromptConfig()
+        )
+        return parse_yes_no(self.model.complete(prompt))
+
+    # -- repair ------------------------------------------------------------------------
+
+    def repair_cell(
+        self,
+        row: Row,
+        attribute: str,
+        demonstrations: list[ImputationExample] | None = None,
+    ) -> str:
+        """Propose a corrected value for a (suspected dirty) cell.
+
+        The row is serialized *with* the dirty value and the model is asked
+        for the ``corrected <attribute>`` — so it can either repair the
+        typo in place (character-level reasoning, large models only) or
+        re-derive the value from the rest of the row (functional
+        dependencies), whichever its routes support.
+        """
+        example = ImputationExample(
+            row={**row, f"corrected {attribute}": None},
+            attribute=f"corrected {attribute}",
+            answer="",
+        )
+        prompt = build_imputation_prompt(example, demonstrations or [])
+        return self.model.complete(prompt).strip()
+
+    def repair_row(
+        self,
+        row: Row,
+        error_demonstrations: list[ErrorExample] | None = None,
+    ) -> Row:
+        """Detect-and-repair every attribute of ``row``.
+
+        Cells the model flags as erroneous are replaced by its proposed
+        corrections; everything else passes through untouched.
+        """
+        verdicts = self.detect_errors(row, error_demonstrations)
+        repaired = dict(row)
+        for attribute, is_error in verdicts.items():
+            if is_error:
+                repaired[attribute] = self.repair_cell(row, attribute)
+        return repaired
+
+    # -- transformation ----------------------------------------------------------------
+
+    def transform(
+        self,
+        value: str,
+        examples: list[tuple[str, str]] | None = None,
+        instruction: str | None = None,
+    ) -> str:
+        """Transform ``value`` by example (few-shot) or instruction (zero-shot)."""
+        config = TransformationPromptConfig(instruction=instruction)
+        prompt = build_transformation_prompt(value, examples or [], config)
+        return self.model.complete(prompt).strip()

@@ -1,0 +1,262 @@
+"""Prompt templates for the five data tasks (paper Section 3.2).
+
+Prompts are line-oriented: each demonstration is a small block of lines,
+blocks are separated by a blank line, and the final block is the query to
+complete.  The exact wording of the question line is configurable because
+FMs are brittle to it (Table 4's Prompt 1 vs Prompt 2 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.serialization import SerializationConfig, serialize_row
+from repro.datasets.base import (
+    ErrorExample,
+    ImputationExample,
+    MatchingPair,
+    SchemaPair,
+)
+from repro.knowledge.medical import SchemaAttribute
+
+YES = "Yes"
+NO = "No"
+
+BLOCK_SEPARATOR = "\n\n"
+
+
+def _label_text(label: bool) -> str:
+    return YES if label else NO
+
+
+# ---------------------------------------------------------------------------
+# Entity matching
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EntityMatchingPromptConfig:
+    """Template knobs for EM prompts.
+
+    ``question`` is Prompt 1 by default; Table 4's Prompt 2 replaces "the
+    same" with "equivalent".  ``entity_noun`` follows the dataset ("Product",
+    "Song", …) though the paper uses "Product" throughout.
+    """
+
+    entity_noun: str = "Product"
+    question: str = "Are {noun} A and {noun} B the same?"
+    serialization: SerializationConfig = field(default_factory=SerializationConfig)
+    instruction: str | None = None
+
+    @property
+    def question_text(self) -> str:
+        return self.question.format(noun=self.entity_noun)
+
+
+def entity_matching_block(
+    pair: MatchingPair,
+    config: EntityMatchingPromptConfig,
+    include_answer: bool,
+) -> str:
+    noun = config.entity_noun
+    left = serialize_row(pair.left, config.serialization)
+    right = serialize_row(pair.right, config.serialization)
+    lines = [
+        f"{noun} A is {left}.",
+        f"{noun} B is {right}.",
+        config.question_text + (f" {_label_text(pair.label)}" if include_answer else ""),
+    ]
+    return "\n".join(lines)
+
+
+def build_entity_matching_prompt(
+    query: MatchingPair,
+    demonstrations: list[MatchingPair],
+    config: EntityMatchingPromptConfig | None = None,
+) -> str:
+    config = config or EntityMatchingPromptConfig()
+    blocks: list[str] = []
+    if config.instruction:
+        blocks.append(config.instruction)
+    blocks.extend(
+        entity_matching_block(demo, config, include_answer=True)
+        for demo in demonstrations
+    )
+    blocks.append(entity_matching_block(query, config, include_answer=False))
+    return BLOCK_SEPARATOR.join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Error detection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ErrorDetectionPromptConfig:
+    """Template knobs for ED prompts (paper: "Is there an error in attr: val?")."""
+
+    question: str = "Is there an error in {attribute}: {value}?"
+    serialization: SerializationConfig = field(default_factory=SerializationConfig)
+    include_row_context: bool = True
+    instruction: str | None = None
+
+
+def error_detection_block(
+    example: ErrorExample,
+    config: ErrorDetectionPromptConfig,
+    include_answer: bool,
+) -> str:
+    value = example.row.get(example.attribute) or ""
+    question = config.question.format(attribute=example.attribute, value=value)
+    if include_answer:
+        question += f" {_label_text(example.label)}"
+    if config.include_row_context:
+        context = serialize_row(example.row, config.serialization)
+        return f"{context}\n{question}"
+    return question
+
+
+def build_error_detection_prompt(
+    query: ErrorExample,
+    demonstrations: list[ErrorExample],
+    config: ErrorDetectionPromptConfig | None = None,
+) -> str:
+    config = config or ErrorDetectionPromptConfig()
+    blocks: list[str] = []
+    if config.instruction:
+        blocks.append(config.instruction)
+    blocks.extend(
+        error_detection_block(demo, config, include_answer=True)
+        for demo in demonstrations
+    )
+    blocks.append(error_detection_block(query, config, include_answer=False))
+    return BLOCK_SEPARATOR.join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Data imputation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ImputationPromptConfig:
+    """Template knobs for DI prompts (paper: "attr_1: val_1 … attr_j?")."""
+
+    serialization: SerializationConfig = field(default_factory=SerializationConfig)
+    instruction: str | None = None
+
+
+def imputation_block(
+    example: ImputationExample,
+    config: ImputationPromptConfig,
+    include_answer: bool,
+) -> str:
+    context_attributes = [
+        attribute for attribute in example.row
+        if attribute != example.attribute
+    ]
+    serialization = config.serialization
+    if serialization.attributes is not None:
+        context_attributes = [
+            attribute for attribute in serialization.attributes
+            if attribute != example.attribute and attribute in example.row
+        ]
+    context = serialize_row(
+        example.row, serialization.with_attributes(context_attributes)
+    )
+    line = f"{context}. {example.attribute}?"
+    if include_answer:
+        line += f" {example.answer}"
+    return line
+
+
+def build_imputation_prompt(
+    query: ImputationExample,
+    demonstrations: list[ImputationExample],
+    config: ImputationPromptConfig | None = None,
+) -> str:
+    config = config or ImputationPromptConfig()
+    blocks: list[str] = []
+    if config.instruction:
+        blocks.append(config.instruction)
+    blocks.extend(
+        imputation_block(demo, config, include_answer=True)
+        for demo in demonstrations
+    )
+    blocks.append(imputation_block(query, config, include_answer=False))
+    return BLOCK_SEPARATOR.join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Schema matching
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SchemaMatchingPromptConfig:
+    """Template knobs for SM prompts."""
+
+    question: str = "Are Attribute A and Attribute B semantically equivalent?"
+    include_samples: bool = True
+    instruction: str | None = None
+
+
+def _describe_attribute(attribute: SchemaAttribute, include_samples: bool) -> str:
+    text = f"{attribute.table}.{attribute.name} ({attribute.description})"
+    if include_samples and attribute.sample_values:
+        samples = ", ".join(attribute.sample_values[:3])
+        text += f" with values like {samples}"
+    return text
+
+
+def schema_matching_block(
+    pair: SchemaPair,
+    config: SchemaMatchingPromptConfig,
+    include_answer: bool,
+) -> str:
+    lines = [
+        f"Attribute A is {_describe_attribute(pair.left, config.include_samples)}.",
+        f"Attribute B is {_describe_attribute(pair.right, config.include_samples)}.",
+        config.question + (f" {_label_text(pair.label)}" if include_answer else ""),
+    ]
+    return "\n".join(lines)
+
+
+def build_schema_matching_prompt(
+    query: SchemaPair,
+    demonstrations: list[SchemaPair],
+    config: SchemaMatchingPromptConfig | None = None,
+) -> str:
+    config = config or SchemaMatchingPromptConfig()
+    blocks: list[str] = []
+    if config.instruction:
+        blocks.append(config.instruction)
+    blocks.extend(
+        schema_matching_block(demo, config, include_answer=True)
+        for demo in demonstrations
+    )
+    blocks.append(schema_matching_block(query, config, include_answer=False))
+    return BLOCK_SEPARATOR.join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Data transformation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransformationPromptConfig:
+    """Template knobs for DT prompts (Input:/Output: pairs)."""
+
+    instruction: str | None = None
+
+
+def build_transformation_prompt(
+    query_input: str,
+    demonstrations: list[tuple[str, str]],
+    config: TransformationPromptConfig | None = None,
+) -> str:
+    config = config or TransformationPromptConfig()
+    blocks: list[str] = []
+    if config.instruction:
+        blocks.append(config.instruction)
+    blocks.extend(
+        f"Input: {source}\nOutput: {target}" for source, target in demonstrations
+    )
+    blocks.append(f"Input: {query_input}\nOutput:")
+    return BLOCK_SEPARATOR.join(blocks)

@@ -1,0 +1,108 @@
+"""Model prototyping: FM-labeled training data (paper Section 5.1).
+
+The paper proposes that FMs shine in the *discovery and design* phase:
+"we can use the FM to label and generate data … when a sufficient amount
+of data has been collected, transitioning to the fully-supervised model
+development regime is the optimal choice."
+
+:class:`ModelPrototyper` implements that loop for entity matching: the
+prompted FM labels an unlabeled pair pool (optionally keeping only its
+high-confidence labels), and a supervised matcher is trained on those
+machine labels — distillation from the prompt-programmed teacher into a
+cheap deployable student.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    build_entity_matching_prompt,
+)
+from repro.core.tasks.common import parse_yes_no
+from repro.datasets.base import MatchingPair
+
+
+@dataclass
+class LabelingReport:
+    """What the teacher produced."""
+
+    n_pool: int
+    n_labeled: int
+    n_positive: int
+    agreement_with_gold: float | None = None
+
+
+class ModelPrototyper:
+    """Label pairs with a prompted FM; train a student on the labels."""
+
+    def __init__(
+        self,
+        model,
+        demonstrations: list[MatchingPair] | None = None,
+        config: EntityMatchingPromptConfig | None = None,
+        min_confidence: float = 0.0,
+    ):
+        if not hasattr(model, "complete"):
+            raise TypeError("model must expose complete(prompt) -> str")
+        self.model = model
+        self.demonstrations = demonstrations or []
+        self.config = config or EntityMatchingPromptConfig()
+        self.min_confidence = min_confidence
+        self.report: LabelingReport | None = None
+
+    def _label_one(self, pair: MatchingPair) -> tuple[bool, float]:
+        prompt = build_entity_matching_prompt(pair, self.demonstrations, self.config)
+        if self.min_confidence > 0 and hasattr(self.model, "complete_verbose"):
+            completion = self.model.complete_verbose(prompt)
+            return parse_yes_no(completion.text), completion.confidence
+        return parse_yes_no(self.model.complete(prompt)), 1.0
+
+    def label(self, pool: Sequence[MatchingPair]) -> list[MatchingPair]:
+        """Relabel ``pool`` with the FM's verdicts.
+
+        Pairs below ``min_confidence`` are dropped (abstention): a human
+        prototyper keeps only the labels the model is sure about.  Gold
+        labels on the incoming pairs, if any, are used solely to report
+        teacher agreement.
+        """
+        labeled: list[MatchingPair] = []
+        agreements = 0
+        for pair in pool:
+            verdict, confidence = self._label_one(pair)
+            if confidence < self.min_confidence:
+                continue
+            labeled.append(
+                MatchingPair(left=pair.left, right=pair.right, label=verdict)
+            )
+            if verdict == pair.label:
+                agreements += 1
+        self.report = LabelingReport(
+            n_pool=len(pool),
+            n_labeled=len(labeled),
+            n_positive=sum(pair.label for pair in labeled),
+            agreement_with_gold=agreements / len(labeled) if labeled else None,
+        )
+        return labeled
+
+    def distill(
+        self,
+        pool: Sequence[MatchingPair],
+        student_factory: Callable[[], object],
+    ):
+        """Label ``pool`` and fit ``student_factory()`` on the machine labels.
+
+        Returns the fitted student.  Raises if the teacher produced a
+        single-class labeling (nothing learnable).
+        """
+        labeled = self.label(pool)
+        labels = {pair.label for pair in labeled}
+        if len(labels) < 2:
+            raise ValueError(
+                "teacher produced a single-class labeling; widen the pool"
+            )
+        student = student_factory()
+        student.fit(labeled)
+        return student

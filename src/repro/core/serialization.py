@@ -1,0 +1,80 @@
+"""Tabular data serialization (paper Section 3.1).
+
+``serialize(e) := attr_1: val_1. attr_2: val_2. …`` — NULL values become
+the empty string, and serialization may run over a task-relevant subset of
+attributes (the attribute-selection step ablated in Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.table import Row
+
+
+#: Supported row-to-text styles: the paper's ``attr: val`` rendering and
+#: Ditto's ``COL attr VAL val`` rendering (both appear in the released
+#: fm_data_tasks code; the FM's prompt parser understands either).
+STYLES = ("colon", "ditto")
+
+
+@dataclass(frozen=True)
+class SerializationConfig:
+    """How to render a row as text.
+
+    ``attributes`` — serialize only these, in this order (None = all row
+    attributes in row order).  ``include_attribute_names`` — the Table 4
+    "w/o Attr. names" ablation drops the ``attr:`` prefixes.  ``style`` —
+    "colon" (``attr: val. attr: val``) or "ditto" (``COL attr VAL val``).
+    """
+
+    attributes: tuple[str, ...] | None = None
+    include_attribute_names: bool = True
+    pair_separator: str = ". "
+    key_value_separator: str = ": "
+    style: str = "colon"
+
+    def __post_init__(self):
+        if self.style not in STYLES:
+            raise ValueError(f"unknown serialization style {self.style!r}")
+
+    def with_attributes(self, attributes: list[str] | None) -> "SerializationConfig":
+        return SerializationConfig(
+            attributes=tuple(attributes) if attributes is not None else None,
+            include_attribute_names=self.include_attribute_names,
+            pair_separator=self.pair_separator,
+            key_value_separator=self.key_value_separator,
+            style=self.style,
+        )
+
+
+def _clean_value(value: str | None) -> str:
+    """NULL → empty string; newlines collapsed (prompts are line-oriented)."""
+    if value is None:
+        return ""
+    return " ".join(str(value).split())
+
+
+def serialize_row(row: Row, config: SerializationConfig | None = None) -> str:
+    """Serialize ``row`` per ``config``.
+
+    >>> serialize_row({"name": "pcanywhere 11.0", "price": None})
+    'name: pcanywhere 11.0. price: '
+    """
+    config = config or SerializationConfig()
+    attributes = (
+        list(config.attributes) if config.attributes is not None else list(row)
+    )
+    parts: list[str] = []
+    for attribute in attributes:
+        value = _clean_value(row.get(attribute))
+        if not config.include_attribute_names:
+            if value:
+                parts.append(value)
+        elif config.style == "ditto":
+            parts.append(f"COL {attribute} VAL {value}")
+        else:
+            parts.append(f"{attribute}{config.key_value_separator}{value}")
+    if config.style == "ditto" and config.include_attribute_names:
+        return " ".join(parts)
+    return config.pair_separator.join(parts)

@@ -1,0 +1,18 @@
+"""Task runners: dataset + model + prompt config → predictions + metric."""
+
+from repro.core.tasks.common import TaskRun, parse_yes_no
+from repro.core.tasks.entity_matching import run_entity_matching
+from repro.core.tasks.error_detection import run_error_detection
+from repro.core.tasks.imputation import run_imputation
+from repro.core.tasks.schema_matching import run_schema_matching
+from repro.core.tasks.transformation import run_transformation
+
+__all__ = [
+    "TaskRun",
+    "parse_yes_no",
+    "run_entity_matching",
+    "run_error_detection",
+    "run_imputation",
+    "run_schema_matching",
+    "run_transformation",
+]

@@ -1,0 +1,46 @@
+"""Shared plumbing for the task runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def parse_yes_no(response: str) -> bool:
+    """Interpret a generated answer as a binary label.
+
+    Per the paper's footnote 1: if the model does not produce a Yes/No
+    answer, default to "No".
+    """
+    text = response.strip().casefold()
+    if text.startswith("yes"):
+        return True
+    return False
+
+
+@dataclass
+class TaskRun:
+    """The outcome of evaluating one (model, dataset, configuration)."""
+
+    task: str
+    dataset: str
+    model: str
+    k: int
+    metric_name: str
+    metric: float
+    n_examples: int
+    predictions: list = field(default_factory=list)
+    labels: list = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.task}/{self.dataset} {self.model} (k={self.k}): "
+            f"{self.metric_name}={100 * self.metric:.1f}"
+        )
+
+
+def subsample(items: list, limit: int | None) -> list:
+    """Deterministic head-of-list cap (the paper caps ablations at 200)."""
+    if limit is None or limit >= len(items):
+        return list(items)
+    return list(items[:limit])

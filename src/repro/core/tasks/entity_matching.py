@@ -1,0 +1,135 @@
+"""Entity matching as a prompting task."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.metrics import binary_metrics
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    build_entity_matching_prompt,
+)
+from repro.core.serialization import SerializationConfig
+from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.datasets.base import EntityMatchingDataset, MatchingPair
+
+
+def default_prompt_config(
+    dataset: EntityMatchingDataset,
+    select_attributes: bool = True,
+    include_attribute_names: bool = True,
+    question: str | None = None,
+) -> EntityMatchingPromptConfig:
+    """The paper's default EM prompt for ``dataset``.
+
+    ``select_attributes`` keeps only the dataset's key attributes during
+    serialization (Section 4.3's attribute-selection step).
+    """
+    attributes = dataset.key_attributes if select_attributes else dataset.attributes
+    serialization = SerializationConfig(
+        attributes=tuple(attributes),
+        include_attribute_names=include_attribute_names,
+    )
+    kwargs = {}
+    if question is not None:
+        kwargs["question"] = question
+    return EntityMatchingPromptConfig(
+        entity_noun=dataset.entity_noun,
+        serialization=serialization,
+        **kwargs,
+    )
+
+
+def _predict(
+    model,
+    pairs: Sequence[MatchingPair],
+    demonstrations: list[MatchingPair],
+    config: EntityMatchingPromptConfig,
+) -> list[bool]:
+    predictions = []
+    for pair in pairs:
+        prompt = build_entity_matching_prompt(pair, demonstrations, config)
+        predictions.append(parse_yes_no(model.complete(prompt)))
+    return predictions
+
+
+def make_validation_scorer(
+    model,
+    dataset: EntityMatchingDataset,
+    config: EntityMatchingPromptConfig,
+    max_validation: int = 48,
+):
+    """Score a candidate demonstration list by validation F1."""
+    validation = subsample(dataset.valid, max_validation)
+    labels = [pair.label for pair in validation]
+
+    def evaluate(demonstrations: list[MatchingPair]) -> float:
+        predictions = _predict(model, validation, demonstrations, config)
+        return binary_metrics(predictions, labels).f1
+
+    return evaluate
+
+
+def select_demonstrations(
+    model,
+    dataset: EntityMatchingDataset,
+    k: int,
+    config: EntityMatchingPromptConfig,
+    selection: str | DemonstrationSelector = "manual",
+    seed: int = 0,
+) -> list[MatchingPair]:
+    """Pick ``k`` demonstrations by name ("manual"/"random") or selector."""
+    if k <= 0:
+        return []
+    if isinstance(selection, DemonstrationSelector):
+        return selection.select(dataset.train, k)
+    if selection == "random":
+        selector = RandomSelector(seed=seed)
+    elif selection == "manual":
+        selector = ManualCurator(
+            evaluate=make_validation_scorer(model, dataset, config),
+            seed=seed,
+            label_of=lambda pair: pair.label,
+        )
+    else:
+        raise ValueError(f"unknown selection strategy {selection!r}")
+    return selector.select(dataset.train, k)
+
+
+def run_entity_matching(
+    model,
+    dataset: EntityMatchingDataset,
+    k: int = 10,
+    selection: str | DemonstrationSelector = "manual",
+    config: EntityMatchingPromptConfig | None = None,
+    max_examples: int | None = None,
+    split: str = "test",
+    seed: int = 0,
+) -> TaskRun:
+    """Evaluate ``model`` on ``dataset`` with ``k`` demonstrations.
+
+    ``model`` is anything with a ``complete(prompt) -> str`` method.
+    """
+    config = config or default_prompt_config(dataset)
+    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
+    pairs = subsample(dataset.split(split), max_examples)
+    predictions = _predict(model, pairs, demonstrations, config)
+    labels = [pair.label for pair in pairs]
+    metrics = binary_metrics(predictions, labels)
+    return TaskRun(
+        task="entity_matching",
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=len(demonstrations),
+        metric_name="f1",
+        metric=metrics.f1,
+        n_examples=len(pairs),
+        predictions=predictions,
+        labels=labels,
+        details={"precision": metrics.precision, "recall": metrics.recall},
+    )

@@ -1,0 +1,113 @@
+"""Error detection as a prompting task."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.metrics import binary_metrics
+from repro.core.prompts import (
+    ErrorDetectionPromptConfig,
+    build_error_detection_prompt,
+)
+from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.datasets.base import ErrorDetectionDataset, ErrorExample
+
+
+def _predict(
+    model,
+    examples: Sequence[ErrorExample],
+    demonstrations: list[ErrorExample],
+    config: ErrorDetectionPromptConfig,
+) -> list[bool]:
+    predictions = []
+    for example in examples:
+        prompt = build_error_detection_prompt(example, demonstrations, config)
+        predictions.append(parse_yes_no(model.complete(prompt)))
+    return predictions
+
+
+def make_validation_scorer(
+    model,
+    dataset: ErrorDetectionDataset,
+    config: ErrorDetectionPromptConfig,
+    max_validation: int = 40,
+):
+    """Score candidate demonstrations by validation F1.
+
+    The validation sample is error-enriched: with a ~5% positive rate a
+    uniform sample of 40 cells might contain one error, which is not
+    enough signal to steer curation (a human doing error analysis would
+    look at the errors, too).
+    """
+    positives = [example for example in dataset.valid if example.label]
+    negatives = [example for example in dataset.valid if not example.label]
+    n_pos = min(len(positives), max_validation // 3)
+    validation = positives[:n_pos] + negatives[: max_validation - n_pos]
+    labels = [example.label for example in validation]
+
+    def evaluate(demonstrations: list[ErrorExample]) -> float:
+        predictions = _predict(model, validation, demonstrations, config)
+        return binary_metrics(predictions, labels).f1
+
+    return evaluate
+
+
+def select_demonstrations(
+    model,
+    dataset: ErrorDetectionDataset,
+    k: int,
+    config: ErrorDetectionPromptConfig,
+    selection: str | DemonstrationSelector = "manual",
+    seed: int = 0,
+) -> list[ErrorExample]:
+    if k <= 0:
+        return []
+    if isinstance(selection, DemonstrationSelector):
+        return selection.select(dataset.train, k)
+    if selection == "random":
+        selector = RandomSelector(seed=seed)
+    elif selection == "manual":
+        selector = ManualCurator(
+            evaluate=make_validation_scorer(model, dataset, config),
+            seed=seed,
+            label_of=lambda example: example.label,
+        )
+    else:
+        raise ValueError(f"unknown selection strategy {selection!r}")
+    return selector.select(dataset.train, k)
+
+
+def run_error_detection(
+    model,
+    dataset: ErrorDetectionDataset,
+    k: int = 10,
+    selection: str | DemonstrationSelector = "manual",
+    config: ErrorDetectionPromptConfig | None = None,
+    max_examples: int | None = None,
+    split: str = "test",
+    seed: int = 0,
+) -> TaskRun:
+    """Evaluate ``model`` on cell-level error detection."""
+    config = config or ErrorDetectionPromptConfig()
+    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
+    examples = subsample(dataset.split(split), max_examples)
+    predictions = _predict(model, examples, demonstrations, config)
+    labels = [example.label for example in examples]
+    metrics = binary_metrics(predictions, labels)
+    return TaskRun(
+        task="error_detection",
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=len(demonstrations),
+        metric_name="f1",
+        metric=metrics.f1,
+        n_examples=len(examples),
+        predictions=predictions,
+        labels=labels,
+        details={"precision": metrics.precision, "recall": metrics.recall},
+    )

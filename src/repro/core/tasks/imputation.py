@@ -1,0 +1,97 @@
+"""Data imputation as a prompting task."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.metrics import accuracy
+from repro.core.prompts import ImputationPromptConfig, build_imputation_prompt
+from repro.core.tasks.common import TaskRun, subsample
+from repro.datasets.base import ImputationDataset, ImputationExample
+
+
+def _predict(
+    model,
+    examples: Sequence[ImputationExample],
+    demonstrations: list[ImputationExample],
+    config: ImputationPromptConfig,
+) -> list[str]:
+    predictions = []
+    for example in examples:
+        prompt = build_imputation_prompt(example, demonstrations, config)
+        predictions.append(model.complete(prompt).strip())
+    return predictions
+
+
+def make_validation_scorer(
+    model,
+    dataset: ImputationDataset,
+    config: ImputationPromptConfig,
+    max_validation: int = 48,
+):
+    validation = subsample(dataset.valid, max_validation)
+    answers = [example.answer for example in validation]
+
+    def evaluate(demonstrations: list[ImputationExample]) -> float:
+        predictions = _predict(model, validation, demonstrations, config)
+        return accuracy(predictions, answers)
+
+    return evaluate
+
+
+def select_demonstrations(
+    model,
+    dataset: ImputationDataset,
+    k: int,
+    config: ImputationPromptConfig,
+    selection: str | DemonstrationSelector = "manual",
+    seed: int = 0,
+) -> list[ImputationExample]:
+    if k <= 0:
+        return []
+    if isinstance(selection, DemonstrationSelector):
+        return selection.select(dataset.train, k)
+    if selection == "random":
+        selector = RandomSelector(seed=seed)
+    elif selection == "manual":
+        selector = ManualCurator(
+            evaluate=make_validation_scorer(model, dataset, config),
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown selection strategy {selection!r}")
+    return selector.select(dataset.train, k)
+
+
+def run_imputation(
+    model,
+    dataset: ImputationDataset,
+    k: int = 10,
+    selection: str | DemonstrationSelector = "manual",
+    config: ImputationPromptConfig | None = None,
+    max_examples: int | None = None,
+    split: str = "test",
+    seed: int = 0,
+) -> TaskRun:
+    """Evaluate ``model`` on missing-value imputation (accuracy)."""
+    config = config or ImputationPromptConfig()
+    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
+    examples = subsample(dataset.split(split), max_examples)
+    predictions = _predict(model, examples, demonstrations, config)
+    answers = [example.answer for example in examples]
+    return TaskRun(
+        task="imputation",
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=len(demonstrations),
+        metric_name="accuracy",
+        metric=accuracy(predictions, answers),
+        n_examples=len(examples),
+        predictions=predictions,
+        labels=answers,
+    )

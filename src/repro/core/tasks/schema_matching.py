@@ -1,0 +1,103 @@
+"""Schema matching as a prompting task."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.metrics import binary_metrics
+from repro.core.prompts import (
+    SchemaMatchingPromptConfig,
+    build_schema_matching_prompt,
+)
+from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.datasets.base import SchemaMatchingDataset, SchemaPair
+
+
+def _predict(
+    model,
+    pairs: Sequence[SchemaPair],
+    demonstrations: list[SchemaPair],
+    config: SchemaMatchingPromptConfig,
+) -> list[bool]:
+    predictions = []
+    for pair in pairs:
+        prompt = build_schema_matching_prompt(pair, demonstrations, config)
+        predictions.append(parse_yes_no(model.complete(prompt)))
+    return predictions
+
+
+def make_validation_scorer(
+    model,
+    dataset: SchemaMatchingDataset,
+    config: SchemaMatchingPromptConfig,
+    max_validation: int = 48,
+):
+    validation = subsample(dataset.valid, max_validation)
+    labels = [pair.label for pair in validation]
+
+    def evaluate(demonstrations: list[SchemaPair]) -> float:
+        predictions = _predict(model, validation, demonstrations, config)
+        return binary_metrics(predictions, labels).f1
+
+    return evaluate
+
+
+def select_demonstrations(
+    model,
+    dataset: SchemaMatchingDataset,
+    k: int,
+    config: SchemaMatchingPromptConfig,
+    selection: str | DemonstrationSelector = "manual",
+    seed: int = 0,
+) -> list[SchemaPair]:
+    if k <= 0:
+        return []
+    if isinstance(selection, DemonstrationSelector):
+        return selection.select(dataset.train, k)
+    if selection == "random":
+        selector = RandomSelector(seed=seed)
+    elif selection == "manual":
+        selector = ManualCurator(
+            evaluate=make_validation_scorer(model, dataset, config),
+            seed=seed,
+            label_of=lambda pair: pair.label,
+        )
+    else:
+        raise ValueError(f"unknown selection strategy {selection!r}")
+    return selector.select(dataset.train, k)
+
+
+def run_schema_matching(
+    model,
+    dataset: SchemaMatchingDataset,
+    k: int = 3,
+    selection: str | DemonstrationSelector = "manual",
+    config: SchemaMatchingPromptConfig | None = None,
+    max_examples: int | None = None,
+    split: str = "test",
+    seed: int = 0,
+) -> TaskRun:
+    """Evaluate ``model`` on attribute-correspondence prediction (F1)."""
+    config = config or SchemaMatchingPromptConfig()
+    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
+    pairs = subsample(dataset.split(split), max_examples)
+    predictions = _predict(model, pairs, demonstrations, config)
+    labels = [pair.label for pair in pairs]
+    metrics = binary_metrics(predictions, labels)
+    return TaskRun(
+        task="schema_matching",
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=len(demonstrations),
+        metric_name="f1",
+        metric=metrics.f1,
+        n_examples=len(pairs),
+        predictions=predictions,
+        labels=labels,
+        details={"precision": metrics.precision, "recall": metrics.recall},
+    )

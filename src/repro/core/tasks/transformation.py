@@ -1,0 +1,61 @@
+"""Data transformation as a prompting task."""
+
+from __future__ import annotations
+
+from repro.core.metrics import normalize_answer
+from repro.core.prompts import (
+    TransformationPromptConfig,
+    build_transformation_prompt,
+)
+from repro.core.tasks.common import TaskRun
+from repro.datasets.base import TransformationCase, TransformationDataset
+
+
+def run_transformation_case(
+    model,
+    case: TransformationCase,
+    k: int = 3,
+) -> tuple[int, int, list[str]]:
+    """(hits, total, predictions) for one case with ``k`` demonstrations.
+
+    Zero-shot (k=0) prompts carry the case's natural-language instruction
+    instead of examples — the user telling the model what they want.
+    """
+    demonstrations = list(case.examples[:k])
+    instruction = case.instruction if k == 0 else None
+    config = TransformationPromptConfig(instruction=instruction)
+    hits = 0
+    predictions: list[str] = []
+    for source, target in case.tests:
+        prompt = build_transformation_prompt(source, demonstrations, config)
+        prediction = model.complete(prompt).strip()
+        predictions.append(prediction)
+        if normalize_answer(prediction) == normalize_answer(target):
+            hits += 1
+    return hits, len(case.tests), predictions
+
+
+def run_transformation(
+    model,
+    dataset: TransformationDataset,
+    k: int = 3,
+) -> TaskRun:
+    """Micro-averaged exact-match accuracy over all cases' test pairs."""
+    total_hits = 0
+    total = 0
+    per_case: dict[str, float] = {}
+    for case in dataset.cases:
+        hits, n, _predictions = run_transformation_case(model, case, k)
+        total_hits += hits
+        total += n
+        per_case[case.name] = hits / n if n else 0.0
+    return TaskRun(
+        task="transformation",
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=k,
+        metric_name="accuracy",
+        metric=total_hits / total if total else 0.0,
+        n_examples=total,
+        details={"per_case": per_case},
+    )

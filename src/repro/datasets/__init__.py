@@ -1,0 +1,52 @@
+"""Benchmark datasets.
+
+Synthetic, seeded equivalents of every dataset in the paper's evaluation:
+
+* Entity matching (Magellan benchmark): Fodors-Zagats, Beer, iTunes-Amazon,
+  Walmart-Amazon, DBLP-ACM, DBLP-GoogleScholar, Amazon-Google.
+* Data imputation: Restaurant (city), Buy (manufacturer).
+* Error detection: Hospital (typo corruption), Adult (semantic violations).
+* Schema matching: Synthea → OMOP (from the OMAP benchmark).
+* Data transformation (TDE benchmark): StackOverflow (syntactic cases),
+  Bing-QueryLogs (semantic cases).
+
+Every generator draws entities from :mod:`repro.knowledge`'s shared world,
+so the knowledge a large simulated FM can recall is exactly the knowledge
+that generated the ground truth — the paper's "encoded knowledge" dynamic.
+"""
+
+from repro.datasets.base import (
+    EntityMatchingDataset,
+    ErrorDetectionDataset,
+    ErrorExample,
+    ImputationDataset,
+    ImputationExample,
+    MatchingPair,
+    SchemaMatchingDataset,
+    SchemaPair,
+    TransformationCase,
+    TransformationDataset,
+)
+from repro.datasets.table import Table
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    available_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "EntityMatchingDataset",
+    "ErrorDetectionDataset",
+    "ErrorExample",
+    "ImputationDataset",
+    "ImputationExample",
+    "MatchingPair",
+    "SchemaMatchingDataset",
+    "SchemaPair",
+    "Table",
+    "TransformationCase",
+    "TransformationDataset",
+    "available_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,225 @@
+"""Typed example containers and dataset classes for the five tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.table import Row
+from repro.knowledge.medical import SchemaAttribute
+
+
+# ---------------------------------------------------------------------------
+# Entity matching
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MatchingPair:
+    """One labeled entity-matching example: do two rows co-refer?"""
+
+    left: Row
+    right: Row
+    label: bool
+
+    def key(self) -> tuple:
+        """Hashable identity of the pair (used for dedup in generators)."""
+        return (
+            tuple(sorted((k, v) for k, v in self.left.items())),
+            tuple(sorted((k, v) for k, v in self.right.items())),
+        )
+
+
+@dataclass
+class EntityMatchingDataset:
+    """A Magellan-style EM dataset with fixed train/valid/test splits.
+
+    ``attributes`` is the full schema of both sides; ``key_attributes`` is
+    the informative subset the paper's attribute-selection step keeps
+    (Section 4.3 / Table 4).
+    """
+
+    name: str
+    attributes: list[str]
+    key_attributes: list[str]
+    train: list[MatchingPair]
+    valid: list[MatchingPair]
+    test: list[MatchingPair]
+    entity_noun: str = "Product"
+
+    def __post_init__(self):
+        unknown = set(self.key_attributes) - set(self.attributes)
+        if unknown:
+            raise ValueError(f"key attributes not in schema: {sorted(unknown)}")
+
+    @property
+    def task(self) -> str:
+        return "entity_matching"
+
+    def split(self, name: str) -> list[MatchingPair]:
+        try:
+            return {"train": self.train, "valid": self.valid, "test": self.test}[name]
+        except KeyError:
+            raise KeyError(f"unknown split {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Error detection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ErrorExample:
+    """One cell-level error-detection example.
+
+    ``row`` is the (possibly dirty) row as observed; ``attribute`` the cell
+    under scrutiny; ``label`` True iff the cell is erroneous;
+    ``clean_value`` the ground-truth repair (available to oracle analyses,
+    never shown to systems at prediction time).
+    """
+
+    row: Row
+    attribute: str
+    label: bool
+    clean_value: str | None = None
+
+
+@dataclass
+class ErrorDetectionDataset:
+    """Cell-level ED dataset with train/valid/test example splits."""
+
+    name: str
+    attributes: list[str]
+    train: list[ErrorExample]
+    valid: list[ErrorExample]
+    test: list[ErrorExample]
+    #: Clean reference rows (the generator's pristine table) for systems
+    #: like HoloClean that learn statistics from the dataset itself.
+    clean_rows: list[Row] = field(default_factory=list)
+
+    @property
+    def task(self) -> str:
+        return "error_detection"
+
+    def split(self, name: str) -> list[ErrorExample]:
+        try:
+            return {"train": self.train, "valid": self.valid, "test": self.test}[name]
+        except KeyError:
+            raise KeyError(f"unknown split {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Data imputation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ImputationExample:
+    """One imputation example: fill ``attribute`` of ``row``.
+
+    ``row`` has the target attribute already removed/NULLed; ``answer`` is
+    the ground truth.
+    """
+
+    row: Row
+    attribute: str
+    answer: str
+
+
+@dataclass
+class ImputationDataset:
+    """DI dataset: complete training rows plus held-out examples."""
+
+    name: str
+    attributes: list[str]
+    target_attribute: str
+    train: list[ImputationExample]
+    valid: list[ImputationExample]
+    test: list[ImputationExample]
+    #: Complete rows (target attribute included) the supervised baselines
+    #: train on.
+    complete_train_rows: list[Row] = field(default_factory=list)
+
+    @property
+    def task(self) -> str:
+        return "imputation"
+
+    def split(self, name: str) -> list[ImputationExample]:
+        try:
+            return {"train": self.train, "valid": self.valid, "test": self.test}[name]
+        except KeyError:
+            raise KeyError(f"unknown split {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Schema matching
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SchemaPair:
+    """One schema-matching example: do two attributes correspond?"""
+
+    left: SchemaAttribute
+    right: SchemaAttribute
+    label: bool
+
+
+@dataclass
+class SchemaMatchingDataset:
+    """SM dataset over a (source schema, target schema) pair."""
+
+    name: str
+    train: list[SchemaPair]
+    valid: list[SchemaPair]
+    test: list[SchemaPair]
+
+    @property
+    def task(self) -> str:
+        return "schema_matching"
+
+    def split(self, name: str) -> list[SchemaPair]:
+        try:
+            return {"train": self.train, "valid": self.valid, "test": self.test}[name]
+        except KeyError:
+            raise KeyError(f"unknown split {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Data transformation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransformationCase:
+    """One transform-by-example case (one row of the TDE benchmark).
+
+    ``examples`` are the demonstration input/output pairs every system may
+    consume; ``tests`` are the held-out pairs accuracy is measured on.
+    ``kind`` is ``"syntactic"`` (string manipulation suffices) or
+    ``"semantic"`` (requires world knowledge) — the axis on which TDE and
+    the FM trade places.
+    """
+
+    name: str
+    examples: tuple[tuple[str, str], ...]
+    tests: tuple[tuple[str, str], ...]
+    kind: str = "syntactic"
+    #: Natural-language task description used for zero-shot prompting.
+    instruction: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("syntactic", "semantic"):
+            raise ValueError(f"unknown case kind {self.kind!r}")
+        if not self.examples or not self.tests:
+            raise ValueError(f"case {self.name!r} needs examples and tests")
+
+
+@dataclass
+class TransformationDataset:
+    """A collection of transformation cases; accuracy averages over tests."""
+
+    name: str
+    cases: list[TransformationCase]
+
+    @property
+    def task(self) -> str:
+        return "transformation"
+
+    @property
+    def n_tests(self) -> int:
+        return sum(len(case.tests) for case in self.cases)

@@ -1,0 +1,149 @@
+"""Generic entity-matching dataset generator.
+
+Every Magellan-style dataset is produced the same way:
+
+1. Take a corpus of underlying entities from the shared world.
+2. Render each entity into a clean row (two dataset-specific renderers, one
+   per source, so the two "tables" disagree on formatting conventions).
+3. *Matches*: perturb the two renderings of the same entity independently.
+4. *Non-matches*: pair different entities — a mix of random negatives and
+   *hard negatives* drawn from the same blocking group (same brand line,
+   same artist, …), which is what survives real blocking and is what makes
+   the jargon-heavy datasets hard.
+5. Shuffle and split 3:1:1 into train/valid/test (the Magellan protocol).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from repro.datasets.base import EntityMatchingDataset, MatchingPair
+from repro.datasets.perturb import PerturbationConfig, perturb_row
+from repro.datasets.table import Row
+
+Renderer = Callable[[object], Row]
+GroupKey = Callable[[object], str]
+
+
+def split_3_1_1(items: list, rng: random.Random) -> tuple[list, list, list]:
+    """Shuffle and split into 60/20/20 train/valid/test."""
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    n = len(shuffled)
+    n_train = int(n * 0.6)
+    n_valid = int(n * 0.2)
+    return (
+        shuffled[:n_train],
+        shuffled[n_train : n_train + n_valid],
+        shuffled[n_train + n_valid :],
+    )
+
+
+def generate_matching_pairs(
+    entities: Sequence[object],
+    render_left: Renderer,
+    render_right: Renderer,
+    left_config: PerturbationConfig,
+    right_config: PerturbationConfig,
+    group_key: GroupKey,
+    n_matches: int,
+    n_hard_negatives: int,
+    n_random_negatives: int,
+    rng: random.Random,
+) -> list[MatchingPair]:
+    """Produce a labeled pair list per the module docstring."""
+    if len(entities) < 2:
+        raise ValueError("need at least two entities to build pairs")
+
+    pairs: list[MatchingPair] = []
+    seen: set[tuple] = set()
+
+    def add_pair(left_entity: object, right_entity: object, label: bool) -> bool:
+        left = perturb_row(render_left(left_entity), left_config, rng)
+        right = perturb_row(render_right(right_entity), right_config, rng)
+        pair = MatchingPair(left=left, right=right, label=label)
+        key = pair.key()
+        if key in seen:
+            return False
+        seen.add(key)
+        pairs.append(pair)
+        return True
+
+    # Matches: same entity, independently dirtied renderings.
+    match_pool = list(entities)
+    rng.shuffle(match_pool)
+    i = 0
+    while sum(pair.label for pair in pairs) < n_matches and i < len(match_pool) * 4:
+        entity = match_pool[i % len(match_pool)]
+        add_pair(entity, entity, True)
+        i += 1
+
+    # Hard negatives: different entities from the same blocking group.
+    groups: dict[str, list[object]] = defaultdict(list)
+    for entity in entities:
+        groups[group_key(entity)].append(entity)
+    crowded = [members for members in groups.values() if len(members) >= 2]
+    attempts = 0
+    added_hard = 0
+    while added_hard < n_hard_negatives and crowded and attempts < n_hard_negatives * 20:
+        attempts += 1
+        members = crowded[rng.randrange(len(crowded))]
+        left_entity, right_entity = rng.sample(members, 2)
+        if add_pair(left_entity, right_entity, False):
+            added_hard += 1
+
+    # Random negatives: any two distinct entities.
+    attempts = 0
+    added_random = 0
+    while added_random < n_random_negatives and attempts < n_random_negatives * 20:
+        attempts += 1
+        left_entity, right_entity = rng.sample(list(entities), 2)
+        if add_pair(left_entity, right_entity, False):
+            added_random += 1
+
+    rng.shuffle(pairs)
+    return pairs
+
+
+def build_em_dataset(
+    name: str,
+    entities: Sequence[object],
+    attributes: list[str],
+    key_attributes: list[str],
+    render_left: Renderer,
+    render_right: Renderer,
+    left_config: PerturbationConfig,
+    right_config: PerturbationConfig,
+    group_key: GroupKey,
+    n_matches: int,
+    n_hard_negatives: int,
+    n_random_negatives: int,
+    seed: int,
+    entity_noun: str = "Product",
+) -> EntityMatchingDataset:
+    """Assemble an :class:`EntityMatchingDataset` with 3:1:1 splits."""
+    rng = random.Random(seed)
+    pairs = generate_matching_pairs(
+        entities=entities,
+        render_left=render_left,
+        render_right=render_right,
+        left_config=left_config,
+        right_config=right_config,
+        group_key=group_key,
+        n_matches=n_matches,
+        n_hard_negatives=n_hard_negatives,
+        n_random_negatives=n_random_negatives,
+        rng=rng,
+    )
+    train, valid, test = split_3_1_1(pairs, rng)
+    return EntityMatchingDataset(
+        name=name,
+        attributes=attributes,
+        key_attributes=key_attributes,
+        train=train,
+        valid=valid,
+        test=test,
+        entity_noun=entity_noun,
+    )

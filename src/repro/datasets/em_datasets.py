@@ -1,0 +1,417 @@
+"""The seven Magellan entity-matching dataset builders.
+
+Each builder renders entities from the shared world into two differently
+formatted "sources" and delegates pair generation to
+:func:`repro.datasets.em.build_em_dataset`.  Per-dataset perturbation and
+hard-negative settings are tuned to the published difficulty ordering:
+Fodors-Zagats trivial → DBLP-ACM easy → Beer/iTunes moderate →
+Walmart-Amazon/DBLP-Scholar harder → Amazon-Google hardest (jargon-dense
+software listings whose only discriminative token is a version number).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import EntityMatchingDataset
+from repro.datasets.em import build_em_dataset
+from repro.datasets.perturb import PerturbationConfig
+from repro.datasets.table import Row
+from repro.knowledge.beers import STYLES
+from repro.knowledge.music import GENRES
+from repro.knowledge.papers import VENUE_ALIASES
+from repro.knowledge.world import World, default_world
+
+_PLATFORM_JARGON = (
+    "xp 98 nt w2k me", "windows xp/vista", "win 2000 pro", "mac os x",
+    "cd-rom", "host only cd-rom", "dvd retail", "3-user pack", "oem sp2",
+    "v2 upgrade only",
+)
+
+
+def _initials(full_name: str) -> str:
+    """"Ada Chen" → "A. Chen" — GoogleScholar-style author rendering."""
+    parts = full_name.split()
+    if len(parts) < 2:
+        return full_name
+    return f"{parts[0][0]}. {' '.join(parts[1:])}"
+
+
+# ---------------------------------------------------------------------------
+# Fodors-Zagats (restaurants; trivial)
+# ---------------------------------------------------------------------------
+
+def build_fodors_zagats(seed: int = 101, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+
+    def render(restaurant) -> Row:
+        return {
+            "name": restaurant.name,
+            "addr": restaurant.address,
+            "city": restaurant.city.lower(),
+            "phone": restaurant.phone,
+            "type": restaurant.cuisine,
+        }
+
+    def render_zagats(restaurant) -> Row:
+        row = render(restaurant)
+        # Zagats writes phones with slashes: 310/456-5733.
+        row["phone"] = restaurant.phone.replace("-", "/", 1)
+        return row
+
+    light = PerturbationConfig(
+        typo_rate=0.03, drop_token_rate=0.03, abbreviate_rate=0.25,
+        case_rate=0.1, truncate_rate=0.0, null_rate=0.01,
+        protected=("phone",),
+    )
+    return build_em_dataset(
+        name="fodors_zagats",
+        entities=world.restaurants,
+        attributes=["name", "addr", "city", "phone", "type"],
+        key_attributes=["name", "addr", "phone"],
+        render_left=render,
+        render_right=render_zagats,
+        left_config=light,
+        right_config=light,
+        group_key=lambda restaurant: restaurant.city,
+        n_matches=120,
+        n_hard_negatives=160,
+        n_random_negatives=320,
+        seed=seed,
+        entity_noun="Restaurant",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Beer (small training set; moderate)
+# ---------------------------------------------------------------------------
+
+def build_beer(seed: int = 102, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+    rng = random.Random(seed * 31 + 5)
+
+    def render_left(beer) -> Row:
+        return {
+            "Beer_Name": beer.name,
+            "Brew_Factory_Name": beer.brewery,
+            "Style": beer.style,
+            "ABV": beer.abv,
+        }
+
+    def render_right(beer) -> Row:
+        # The second source prefixes the brewery into the beer name,
+        # renders ABV inconsistently (rounded, re-measured, unit-free) and
+        # follows its own style taxonomy — the non-key attributes are
+        # noise across sources.
+        abv = f"{float(beer.abv.rstrip('%')) + rng.uniform(-0.2, 0.2):.1f}"
+        if rng.random() < 0.5:
+            abv += "%"
+        style = beer.style if rng.random() < 0.75 else rng.choice(STYLES)
+        return {
+            "Beer_Name": f"{beer.brewery} {beer.name}",
+            "Brew_Factory_Name": beer.brewery,
+            "Style": style,
+            "ABV": abv,
+        }
+
+    config = PerturbationConfig(
+        typo_rate=0.16, drop_token_rate=0.22, abbreviate_rate=0.15,
+        case_rate=0.35, truncate_rate=0.08, null_rate=0.1,
+    )
+    return build_em_dataset(
+        name="beer",
+        entities=world.beers,
+        attributes=["Beer_Name", "Brew_Factory_Name", "Style", "ABV"],
+        key_attributes=["Beer_Name", "Brew_Factory_Name"],
+        render_left=render_left,
+        render_right=render_right,
+        left_config=config,
+        right_config=config,
+        group_key=lambda beer: beer.name.split()[-1],
+        n_matches=60,
+        n_hard_negatives=100,
+        n_random_negatives=120,
+        seed=seed,
+        entity_noun="Beer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# iTunes-Amazon (music; moderate, cross-source format skew)
+# ---------------------------------------------------------------------------
+
+def build_itunes_amazon(seed: int = 103, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+    rng = random.Random(seed * 31 + 7)
+
+    attributes = [
+        "Song_Name", "Artist_Name", "Album_Name", "Genre", "Price", "Time",
+        "Released",
+    ]
+
+    def render_itunes(track) -> Row:
+        return {
+            "Song_Name": track.title,
+            "Artist_Name": track.artist,
+            "Album_Name": track.album,
+            "Genre": track.genre,
+            "Price": track.price,
+            "Time": track.time,
+            "Released": track.released,
+        }
+
+    def render_amazon(track) -> Row:
+        # Non-key attributes genuinely disagree across stores: prices and
+        # genre taxonomies differ, release dates refer to reissues, track
+        # lengths to different masters.  This is why attribute selection
+        # helps (Table 4): these columns are noise, not signal.
+        row = render_itunes(track)
+        row["Price"] = rng.choice(("0.99", "1.29", "1.99"))
+        if rng.random() < 0.5:
+            row["Genre"] = rng.choice(GENRES)
+        if rng.random() < 0.5:
+            released_year = rng.randint(1998, 2014)
+            row["Released"] = f"{rng.randint(1, 12)}/{rng.randint(1, 28)}/{released_year}"
+        if rng.random() < 0.4:                   # "[Explicit]"-style suffixes
+            row["Song_Name"] = f"{track.title} [{rng.choice(('Explicit', 'Album Version', 'Live'))}]"
+        minutes, seconds = track.time.split(":")
+        if rng.random() < 0.5:
+            row["Time"] = f"{minutes} min {rng.randint(0, 59)} sec"
+        return row
+
+    config = PerturbationConfig(
+        typo_rate=0.11, drop_token_rate=0.09, abbreviate_rate=0.05,
+        case_rate=0.3, truncate_rate=0.05, null_rate=0.08,
+    )
+    return build_em_dataset(
+        name="itunes_amazon",
+        entities=world.tracks,
+        attributes=attributes,
+        key_attributes=["Song_Name", "Artist_Name", "Album_Name"],
+        render_left=render_itunes,
+        render_right=render_amazon,
+        left_config=config,
+        right_config=config,
+        group_key=lambda track: track.title.split()[0].casefold(),
+        n_matches=110,
+        n_hard_negatives=180,
+        n_random_negatives=250,
+        seed=seed,
+        entity_noun="Song",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Walmart-Amazon (products; harder, model-number jargon)
+# ---------------------------------------------------------------------------
+
+def build_walmart_amazon(seed: int = 104, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+    rng = random.Random(seed * 31 + 11)
+
+    def render_walmart(product) -> Row:
+        # Walmart titles frequently omit the brand.
+        title = product.short_name if rng.random() < 0.4 else product.name
+        return {
+            "title": title,
+            "category": product.category,
+            "brand": product.manufacturer,
+            "modelno": product.model_code if rng.random() < 0.7 else None,
+            "price": f"{product.price:.2f}",
+        }
+
+    def render_amazon(product) -> Row:
+        return {
+            "title": product.name,
+            "category": product.category,
+            "brand": product.manufacturer if rng.random() < 0.7 else None,
+            "modelno": product.model_code if rng.random() < 0.55 else None,
+            "price": f"{product.price * rng.uniform(0.93, 1.07):.2f}",
+        }
+
+    config = PerturbationConfig(
+        typo_rate=0.07, drop_token_rate=0.1, abbreviate_rate=0.1,
+        case_rate=0.35, truncate_rate=0.06, noise_rate=0.15, null_rate=0.04,
+        price_jitter_rate=0.3,
+    )
+
+    def line_of(product) -> str:
+        # Everything but the model code: "sony digital camera".
+        return f"{product.manufacturer} {product.short_name.rsplit(' ', 1)[0]}"
+
+    return build_em_dataset(
+        name="walmart_amazon",
+        entities=world.products,
+        attributes=["title", "category", "brand", "modelno", "price"],
+        key_attributes=["title", "modelno", "brand"],
+        render_left=render_walmart,
+        render_right=render_amazon,
+        left_config=config,
+        right_config=config,
+        group_key=line_of,
+        n_matches=190,
+        n_hard_negatives=360,
+        n_random_negatives=410,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DBLP-ACM (citations; easy) and DBLP-GoogleScholar (citations; noisy)
+# ---------------------------------------------------------------------------
+
+def _paper_topic(title: str) -> str:
+    """Blocking key for citations: the title minus its leading template words.
+
+    Template siblings ("Towards adaptive join algorithms" vs "Rethinking
+    adaptive join algorithms") share a suffix — ideal hard negatives.
+    """
+    words = title.lower().replace(":", "").split()
+    return " ".join(words[-4:])
+
+
+def build_dblp_acm(seed: int = 105, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+
+    def render(paper) -> Row:
+        return {
+            "title": paper.title,
+            "authors": ", ".join(paper.authors),
+            "venue": paper.venue,
+            "year": str(paper.year),
+        }
+
+    clean = PerturbationConfig(
+        typo_rate=0.02, drop_token_rate=0.02, abbreviate_rate=0.02,
+        case_rate=0.15, truncate_rate=0.0, null_rate=0.01,
+    )
+    return build_em_dataset(
+        name="dblp_acm",
+        entities=world.papers,
+        attributes=["title", "authors", "venue", "year"],
+        key_attributes=["title", "authors", "year"],
+        render_left=render,
+        render_right=render,
+        left_config=clean,
+        right_config=clean,
+        group_key=lambda paper: _paper_topic(paper.title),
+        n_matches=220,
+        n_hard_negatives=300,
+        n_random_negatives=420,
+        seed=seed,
+        entity_noun="Citation",
+    )
+
+
+def build_dblp_scholar(seed: int = 106, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+    rng = random.Random(seed * 31 + 13)
+
+    def render_dblp(paper) -> Row:
+        return {
+            "title": paper.title,
+            "authors": ", ".join(paper.authors),
+            "venue": paper.venue,
+            "year": str(paper.year),
+        }
+
+    def render_scholar(paper) -> Row:
+        # GoogleScholar: sloppy venue strings, initials for authors,
+        # lowercase titles, years often missing.
+        authors = ", ".join(_initials(author) for author in paper.authors)
+        if rng.random() < 0.3 and len(paper.authors) > 1:
+            authors = _initials(paper.authors[0]) + " et al."
+        return {
+            "title": paper.title.lower(),
+            "authors": authors,
+            "venue": VENUE_ALIASES.get(paper.venue, paper.venue),
+            "year": str(paper.year) if rng.random() < 0.6 else None,
+        }
+
+    dirty = PerturbationConfig(
+        typo_rate=0.08, drop_token_rate=0.08, abbreviate_rate=0.05,
+        case_rate=0.2, truncate_rate=0.08, null_rate=0.05,
+    )
+    return build_em_dataset(
+        name="dblp_scholar",
+        entities=world.papers,
+        attributes=["title", "authors", "venue", "year"],
+        key_attributes=["title", "authors", "year"],
+        render_left=render_dblp,
+        render_right=render_scholar,
+        left_config=PerturbationConfig(
+            typo_rate=0.02, drop_token_rate=0.02, abbreviate_rate=0.02,
+            case_rate=0.1, null_rate=0.01,
+        ),
+        right_config=dirty,
+        group_key=lambda paper: _paper_topic(paper.title),
+        n_matches=220,
+        n_hard_negatives=380,
+        n_random_negatives=360,
+        seed=seed,
+        entity_noun="Citation",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Amazon-Google (software; hardest — version-number jargon, NULL brands)
+# ---------------------------------------------------------------------------
+
+def build_amazon_google(seed: int = 107, world: World | None = None) -> EntityMatchingDataset:
+    world = world or default_world()
+    rng = random.Random(seed * 31 + 17)
+    software = [product for product in world.products if product.category == "software"]
+
+    def render_amazon(product) -> Row:
+        jargon = rng.choice(_PLATFORM_JARGON)
+        return {
+            "title": f"{product.short_name} {jargon}",
+            "manufacturer": product.manufacturer if rng.random() < 0.35 else None,
+            "price": f"{product.price:.2f}" if rng.random() < 0.5 else None,
+        }
+
+    def render_google(product) -> Row:
+        name = f"{product.manufacturer} {product.short_name}"
+        if rng.random() < 0.3:
+            # Google listings sometimes drop the version/model token.
+            name = f"{product.manufacturer} {product.short_name.rsplit(' ', 1)[0]}"
+        return {
+            "title": name.lower(),
+            "manufacturer": None if rng.random() < 0.6 else product.manufacturer,
+            "price": f"{product.price * rng.uniform(0.85, 1.15):.2f}",
+        }
+
+    config = PerturbationConfig(
+        typo_rate=0.08, drop_token_rate=0.12, abbreviate_rate=0.08,
+        case_rate=0.3, truncate_rate=0.08, noise_rate=0.1, null_rate=0.05,
+    )
+
+    def line_of(product) -> str:
+        return f"{product.manufacturer} {product.short_name.rsplit(' ', 1)[0]}"
+
+    return build_em_dataset(
+        name="amazon_google",
+        entities=software,
+        attributes=["title", "manufacturer", "price"],
+        key_attributes=["title", "manufacturer"],
+        render_left=render_amazon,
+        render_right=render_google,
+        left_config=config,
+        right_config=config,
+        group_key=line_of,
+        n_matches=180,
+        n_hard_negatives=450,
+        n_random_negatives=330,
+        seed=seed,
+    )
+
+
+EM_BUILDERS = {
+    "fodors_zagats": build_fodors_zagats,
+    "beer": build_beer,
+    "itunes_amazon": build_itunes_amazon,
+    "walmart_amazon": build_walmart_amazon,
+    "dblp_acm": build_dblp_acm,
+    "dblp_scholar": build_dblp_scholar,
+    "amazon_google": build_amazon_google,
+}

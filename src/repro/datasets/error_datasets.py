@@ -1,0 +1,214 @@
+"""Error-detection datasets: Hospital and Adult.
+
+Hospital reproduces the classic data-cleaning benchmark's corruption style:
+a single character of a cell replaced by ``x`` ("bxrmingham").  Adult uses
+semantic violations — a categorical value swapped in from the wrong domain,
+or a numeric value pushed far out of range.
+
+Following the paper (and HoloDetect's few-shot setting), Hospital's train
+split is deliberately tiny (100 examples).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.base import ErrorDetectionDataset, ErrorExample
+from repro.datasets.perturb import corrupt_char_x
+from repro.datasets.table import Row
+from repro.knowledge.census import ADULT_DOMAINS
+from repro.knowledge.medical import CONDITIONS_MEASURES, HOSPITAL_NAME_PARTS
+from repro.knowledge.world import World, default_world
+
+HOSPITAL_ATTRIBUTES = [
+    "provider_number", "hospital_name", "address", "city", "state",
+    "zip_code", "county", "phone", "condition", "measure_name",
+]
+
+ADULT_ATTRIBUTES = [
+    "age", "workclass", "education", "marital_status", "occupation",
+    "race", "sex", "hours_per_week", "country", "income",
+]
+
+
+def _make_hospital_rows(world: World, n_rows: int, rng: random.Random) -> list[Row]:
+    rows: list[Row] = []
+    conditions = CONDITIONS_MEASURES
+    for i in range(n_rows):
+        city = world.head_cities[rng.randrange(len(world.head_cities))]
+        condition, measures = conditions[rng.randrange(len(conditions))]
+        rows.append({
+            "provider_number": str(10000 + i),
+            "hospital_name": f"{city.name.lower()} {rng.choice(HOSPITAL_NAME_PARTS)} hospital",
+            "address": f"{rng.randint(1, 9999)} {rng.choice(('main st', 'oak ave', 'hospital dr', 'medical center blvd'))}",
+            "city": city.name.lower(),
+            "state": city.state_abbr.lower(),
+            "zip_code": rng.choice(city.zip_codes),
+            "county": f"{city.name.lower()} county",
+            "phone": f"{city.primary_area_code}{rng.randint(2000000, 9999999)}",
+            "condition": condition,
+            "measure_name": rng.choice(measures),
+        })
+    return rows
+
+
+@dataclass
+class _InjectedCell:
+    row_index: int
+    attribute: str
+    dirty_value: str
+    clean_value: str
+
+
+def _inject_x_errors(
+    rows: list[Row], attributes: list[str], error_rate: float, rng: random.Random
+) -> tuple[list[Row], list[_InjectedCell]]:
+    """Corrupt ``error_rate`` of cells by single-char 'x' substitution."""
+    dirty_rows = [dict(row) for row in rows]
+    injected: list[_InjectedCell] = []
+    for i, row in enumerate(dirty_rows):
+        for attribute in attributes:
+            value = row[attribute]
+            if value is None or rng.random() >= error_rate:
+                continue
+            dirty = corrupt_char_x(value, rng)
+            if dirty == value:  # the replaced char happened to be 'x'
+                continue
+            row[attribute] = dirty
+            injected.append(_InjectedCell(i, attribute, dirty, value))
+    return dirty_rows, injected
+
+
+def _to_examples(
+    dirty_rows: list[Row],
+    attributes: list[str],
+    injected: list[_InjectedCell],
+    clean_rows: list[Row],
+) -> list[ErrorExample]:
+    """One example per (row, attribute) cell, labeled by injection."""
+    dirty_cells = {(cell.row_index, cell.attribute): cell for cell in injected}
+    examples: list[ErrorExample] = []
+    for i, row in enumerate(dirty_rows):
+        for attribute in attributes:
+            if row[attribute] is None:
+                continue
+            cell = dirty_cells.get((i, attribute))
+            examples.append(
+                ErrorExample(
+                    row=row,
+                    attribute=attribute,
+                    label=cell is not None,
+                    clean_value=cell.clean_value if cell else clean_rows[i][attribute],
+                )
+            )
+    return examples
+
+
+def build_hospital(
+    seed: int = 301,
+    world: World | None = None,
+    n_rows: int = 220,
+    error_rate: float = 0.05,
+    n_train_examples: int = 100,
+) -> ErrorDetectionDataset:
+    """The Hospital ED dataset with 'x'-substitution corruption."""
+    world = world or default_world()
+    rng = random.Random(seed)
+    clean_rows = _make_hospital_rows(world, n_rows, rng)
+    dirty_rows, injected = _inject_x_errors(clean_rows, HOSPITAL_ATTRIBUTES, error_rate, rng)
+    examples = _to_examples(dirty_rows, HOSPITAL_ATTRIBUTES, injected, clean_rows)
+    rng.shuffle(examples)
+
+    # Keep the train split small but not error-free: few-shot systems need
+    # at least a handful of positive demonstrations.
+    positives = [example for example in examples if example.label]
+    negatives = [example for example in examples if not example.label]
+    n_train_pos = max(5, int(n_train_examples * len(positives) / len(examples)))
+    train = positives[:n_train_pos] + negatives[: n_train_examples - n_train_pos]
+    rest = positives[n_train_pos:] + negatives[n_train_examples - n_train_pos :]
+    rng.shuffle(train)
+    rng.shuffle(rest)
+    n_valid = len(rest) // 10
+    return ErrorDetectionDataset(
+        name="hospital",
+        attributes=HOSPITAL_ATTRIBUTES,
+        train=train,
+        valid=rest[:n_valid],
+        test=rest[n_valid:],
+        clean_rows=clean_rows,
+    )
+
+
+def _make_adult_rows(n_rows: int, rng: random.Random) -> list[Row]:
+    rows: list[Row] = []
+    for _ in range(n_rows):
+        education = rng.choice(ADULT_DOMAINS["education"])
+        rows.append({
+            "age": str(rng.randint(17, 90)),
+            "workclass": rng.choice(ADULT_DOMAINS["workclass"]),
+            "education": education,
+            "marital_status": rng.choice(ADULT_DOMAINS["marital_status"]),
+            "occupation": rng.choice(ADULT_DOMAINS["occupation"]),
+            "race": rng.choice(ADULT_DOMAINS["race"]),
+            "sex": rng.choice(ADULT_DOMAINS["sex"]),
+            "hours_per_week": str(rng.randint(1, 99)),
+            "country": rng.choice(ADULT_DOMAINS["country"]),
+            "income": rng.choice(ADULT_DOMAINS["income"]),
+        })
+    return rows
+
+
+def _inject_adult_errors(
+    rows: list[Row], error_rate: float, rng: random.Random
+) -> tuple[list[Row], list[_InjectedCell]]:
+    """Semantic violations: cross-domain category swaps, absurd numbers."""
+    dirty_rows = [dict(row) for row in rows]
+    injected: list[_InjectedCell] = []
+    categorical = list(ADULT_DOMAINS)
+    for i, row in enumerate(dirty_rows):
+        for attribute in ADULT_ATTRIBUTES:
+            if rng.random() >= error_rate:
+                continue
+            clean = row[attribute]
+            if attribute in ("age", "hours_per_week"):
+                dirty = str(rng.choice((rng.randint(150, 999), -rng.randint(1, 50))))
+            else:
+                # Swap in a value from a *different* attribute's domain.
+                other = rng.choice([a for a in categorical if a != attribute])
+                dirty = rng.choice(ADULT_DOMAINS[other])
+                if dirty in ADULT_DOMAINS.get(attribute, ()):
+                    continue
+            row[attribute] = dirty
+            injected.append(_InjectedCell(i, attribute, dirty, clean))
+    return dirty_rows, injected
+
+
+def build_adult(
+    seed: int = 302,
+    world: World | None = None,
+    n_rows: int = 150,
+    error_rate: float = 0.04,
+) -> ErrorDetectionDataset:
+    """The Adult ED dataset with semantic-violation errors.
+
+    ``world`` is accepted for registry uniformity but unused: the census
+    domain is self-contained.  The paper evaluates on a 1K-row sample of
+    Adult; here 150 rows × 10 attributes ≈ 1.5K cell examples.
+    """
+    del world
+    rng = random.Random(seed)
+    clean_rows = _make_adult_rows(n_rows, rng)
+    dirty_rows, injected = _inject_adult_errors(clean_rows, error_rate, rng)
+    examples = _to_examples(dirty_rows, ADULT_ATTRIBUTES, injected, clean_rows)
+    rng.shuffle(examples)
+    n_train = int(len(examples) * 0.4)
+    n_valid = int(len(examples) * 0.1)
+    return ErrorDetectionDataset(
+        name="adult",
+        attributes=ADULT_ATTRIBUTES,
+        train=examples[:n_train],
+        valid=examples[n_train : n_train + n_valid],
+        test=examples[n_train + n_valid :],
+        clean_rows=clean_rows,
+    )

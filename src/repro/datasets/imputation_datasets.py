@@ -1,0 +1,227 @@
+"""Imputation datasets: Restaurant (city) and Buy (manufacturer).
+
+The Restaurant builder is also the substrate for the paper's Appendix B
+slice analysis (Table 5), so it controls *training-set frequency* per city:
+
+* ``heldout`` head cities — world-famous (high corpus frequency, so a large
+  FM can recall them) but appearing **zero** times in the train split;
+* ``rare`` tail cities — corpus frequency 0 (no FM recalls them) appearing
+  1-10 times in train, learnable only through finetuning;
+* ``common`` head cities — frequent both in the corpus and in train.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.base import ImputationDataset, ImputationExample
+from repro.datasets.perturb import PerturbationConfig, perturb_row
+from repro.datasets.table import Row
+from repro.knowledge.world import World, default_world
+
+RESTAURANT_ATTRIBUTES = ["name", "addr", "phone", "type", "city"]
+BUY_ATTRIBUTES = ["name", "description", "price", "manufacturer"]
+
+
+@dataclass
+class RestaurantSliceInfo:
+    """City-name → slice membership bookkeeping for Table 5."""
+
+    heldout_cities: set[str] = field(default_factory=set)   # train freq = 0
+    rare_cities: set[str] = field(default_factory=set)      # 0 < freq <= 10
+    common_cities: set[str] = field(default_factory=set)    # freq > 10
+    train_frequency: Counter = field(default_factory=Counter)
+
+    def slice_of(self, city: str) -> str:
+        """Which Table 5 slice a test example with this city falls into."""
+        freq = self.train_frequency[city.casefold()]
+        if freq == 0:
+            return "freq=0"
+        if freq <= 10:
+            return "0<freq<=10"
+        return "freq>10"
+
+
+def build_restaurant(
+    seed: int = 201, world: World | None = None
+) -> tuple[ImputationDataset, RestaurantSliceInfo]:
+    """The Restaurant city-imputation dataset plus slice bookkeeping."""
+    world = world or default_world()
+    rng = random.Random(seed)
+
+    heads = sorted(world.head_cities, key=lambda city: city.frequency, reverse=True)
+    # Held-out cities sit *between* the 175B and 6.7B knowledge floors:
+    # famous enough that a 175B model recalls their geography, obscure
+    # enough that smaller models do not — and they never appear in train,
+    # so no finetuned model can learn them (Table 5's freq=0 slice).
+    heldout = {city.name for city in heads[50:60]}
+    common = {city.name for city in heads[:6]}          # famous, frequent in train
+    rare = {city.name for city in world.tail_cities[:10]}  # tail, few train rows
+
+    info = RestaurantSliceInfo(
+        heldout_cities={name.casefold() for name in heldout},
+        rare_cities={name.casefold() for name in rare},
+        common_cities={name.casefold() for name in common},
+    )
+
+    def render(restaurant) -> Row:
+        return {
+            "name": restaurant.name,
+            "addr": restaurant.address,
+            "phone": restaurant.phone,
+            "type": restaurant.cuisine,
+            "city": restaurant.city.lower(),
+        }
+
+    light = PerturbationConfig(
+        typo_rate=0.03, drop_token_rate=0.02, abbreviate_rate=0.3,
+        case_rate=0.0, truncate_rate=0.0, null_rate=0.0,
+        protected=("phone", "city"),
+    )
+
+    by_slice: dict[str, list] = {"heldout": [], "rare": [], "common": [], "other": []}
+    for restaurant in world.restaurants:
+        if restaurant.city in heldout:
+            by_slice["heldout"].append(restaurant)
+        elif restaurant.city in rare:
+            by_slice["rare"].append(restaurant)
+        elif restaurant.city in common:
+            by_slice["common"].append(restaurant)
+        else:
+            by_slice["other"].append(restaurant)
+    for group in by_slice.values():
+        rng.shuffle(group)
+
+    train_restaurants: list = []
+    test_restaurants: list = []
+    # Held-out cities: test only (train frequency must stay exactly 0).
+    test_restaurants.extend(by_slice["heldout"])
+    # Rare tail cities: at most 3 train rows per city, the rest to test.
+    rare_counter: Counter = Counter()
+    for restaurant in by_slice["rare"]:
+        if rare_counter[restaurant.city] < 3:
+            rare_counter[restaurant.city] += 1
+            train_restaurants.append(restaurant)
+        else:
+            test_restaurants.append(restaurant)
+    # Common cities: mostly train (they must exceed 10 occurrences).
+    for i, restaurant in enumerate(by_slice["common"]):
+        (test_restaurants if i % 4 == 0 else train_restaurants).append(restaurant)
+    # Everything else: mid-tier cities, mostly train — and always at least
+    # one train row per city, so supervised imputers face no unlearnable
+    # cities outside the designed held-out slice.
+    seen_mid: set[str] = set()
+    for i, restaurant in enumerate(by_slice["other"]):
+        if restaurant.city not in seen_mid:
+            seen_mid.add(restaurant.city)
+            train_restaurants.append(restaurant)
+        elif i % 3 == 0:
+            test_restaurants.append(restaurant)
+        else:
+            train_restaurants.append(restaurant)
+
+    def to_example(restaurant) -> ImputationExample:
+        row = perturb_row(render(restaurant), light, rng)
+        masked = dict(row)
+        masked["city"] = None
+        return ImputationExample(row=masked, attribute="city", answer=row["city"])
+
+    rng.shuffle(train_restaurants)
+    complete_train_rows = [perturb_row(render(r), light, rng) for r in train_restaurants]
+    for row in complete_train_rows:
+        info.train_frequency[(row["city"] or "").casefold()] += 1
+
+    train_examples = [
+        ImputationExample(
+            row={**row, "city": None}, attribute="city", answer=row["city"]
+        )
+        for row in complete_train_rows
+    ]
+    rng.shuffle(test_restaurants)
+    test_examples = [to_example(restaurant) for restaurant in test_restaurants]
+    n_valid = max(1, len(test_examples) // 5)
+    valid_examples, test_examples = test_examples[:n_valid], test_examples[n_valid:]
+
+    dataset = ImputationDataset(
+        name="restaurant",
+        attributes=RESTAURANT_ATTRIBUTES,
+        target_attribute="city",
+        train=train_examples,
+        valid=valid_examples,
+        test=test_examples,
+        complete_train_rows=complete_train_rows,
+    )
+    return dataset, info
+
+
+def build_restaurant_dataset(seed: int = 201, world: World | None = None) -> ImputationDataset:
+    """Registry-friendly wrapper returning just the dataset."""
+    dataset, _info = build_restaurant(seed, world)
+    return dataset
+
+
+def build_buy(seed: int = 202, world: World | None = None) -> ImputationDataset:
+    """The Buy manufacturer-imputation dataset.
+
+    Product names usually contain the brand token (so supervised context
+    models excel); when the brand is absent the manufacturer can only be
+    recovered from product-line knowledge — the FM's edge.
+    """
+    world = world or default_world()
+    rng = random.Random(seed)
+
+    def render(product) -> Row:
+        omit_brand = rng.random() < 0.2
+        name = product.short_name if omit_brand else product.name
+        description = f"{product.category} - {product.short_name}"
+        return {
+            "name": name,
+            "description": description,
+            "price": f"${product.price:.2f}",
+            "manufacturer": product.manufacturer,
+        }
+
+    light = PerturbationConfig(
+        typo_rate=0.02, drop_token_rate=0.03, abbreviate_rate=0.05,
+        case_rate=0.3, truncate_rate=0.0, null_rate=0.0,
+        protected=("manufacturer", "price"),
+    )
+
+    products = list(world.products)
+    rng.shuffle(products)
+    n_train = int(len(products) * 0.6)
+    n_valid = int(len(products) * 0.1)
+
+    def to_example(product) -> ImputationExample:
+        row = perturb_row(render(product), light, rng)
+        masked = dict(row)
+        masked["manufacturer"] = None
+        return ImputationExample(
+            row=masked, attribute="manufacturer", answer=row["manufacturer"]
+        )
+
+    complete_train_rows = [
+        perturb_row(render(product), light, rng) for product in products[:n_train]
+    ]
+    train_examples = [
+        ImputationExample(
+            row={**row, "manufacturer": None},
+            attribute="manufacturer",
+            answer=row["manufacturer"],
+        )
+        for row in complete_train_rows
+    ]
+    valid_examples = [to_example(p) for p in products[n_train : n_train + n_valid]]
+    test_examples = [to_example(p) for p in products[n_train + n_valid :]]
+
+    return ImputationDataset(
+        name="buy",
+        attributes=BUY_ATTRIBUTES,
+        target_attribute="manufacturer",
+        train=train_examples,
+        valid=valid_examples,
+        test=test_examples,
+        complete_train_rows=complete_train_rows,
+    )

@@ -1,0 +1,182 @@
+"""Perturbation machinery: turning clean entities into dirty variants.
+
+Entity-matching datasets are built by rendering one underlying entity into
+two differently-dirty rows; error-detection datasets by injecting cell
+errors into clean rows.  All operators take an explicit ``random.Random``
+so generation is deterministic per dataset seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.table import Row
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+# Inverse of the expansion table in repro.text.normalize: used to
+# *introduce* abbreviations, simulating a tersely-formatted source.
+_CONTRACTIONS = {
+    "street": "st.",
+    "avenue": "ave.",
+    "boulevard": "blvd",
+    "road": "rd",
+    "highway": "hwy",
+    "drive": "dr",
+    "north": "n",
+    "south": "s",
+    "east": "e",
+    "west": "w",
+    "corporation": "corp.",
+    "incorporated": "inc.",
+    "company": "co.",
+    "and": "&",
+    "limited": "ltd",
+    "international": "intl",
+}
+
+_MARKETING_NOISE = (
+    "new", "sale", "best price", "free shipping", "in stock", "hot",
+    "limited", "original", "genuine", "sealed",
+)
+
+
+def typo(value: str, rng: random.Random) -> str:
+    """One keyboard-plausible edit: substitute, transpose, drop or double."""
+    if len(value) < 2:
+        return value
+    i = rng.randrange(len(value))
+    operation = rng.randrange(4)
+    if operation == 0:  # substitution with a keyboard neighbor
+        ch = value[i].lower()
+        neighbors = _KEYBOARD_NEIGHBORS.get(ch)
+        if not neighbors:
+            return value
+        replacement = rng.choice(neighbors)
+        if value[i].isupper():
+            replacement = replacement.upper()
+        return value[:i] + replacement + value[i + 1 :]
+    if operation == 1 and i < len(value) - 1:  # transposition
+        return value[:i] + value[i + 1] + value[i] + value[i + 2 :]
+    if operation == 2:  # deletion
+        return value[:i] + value[i + 1 :]
+    return value[:i] + value[i] + value[i:]  # doubling
+
+
+def drop_token(value: str, rng: random.Random) -> str:
+    """Remove one whitespace-delimited token (keeps at least one)."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    tokens.pop(rng.randrange(len(tokens)))
+    return " ".join(tokens)
+
+
+def abbreviate(value: str, rng: random.Random) -> str:
+    """Contract one expandable word ("street" → "st.")."""
+    tokens = value.split()
+    candidates = [i for i, token in enumerate(tokens) if token.lower() in _CONTRACTIONS]
+    if not candidates:
+        return value
+    i = rng.choice(candidates)
+    tokens[i] = _CONTRACTIONS[tokens[i].lower()]
+    return " ".join(tokens)
+
+
+def change_case(value: str, rng: random.Random) -> str:
+    """Switch between lower / UPPER / Title case."""
+    return rng.choice((value.lower(), value.upper(), value.title()))
+
+
+def truncate(value: str, rng: random.Random) -> str:
+    """Keep a prefix of the tokens (at least one)."""
+    tokens = value.split()
+    if len(tokens) < 3:
+        return value
+    keep = rng.randint(max(1, len(tokens) - 2), len(tokens) - 1)
+    return " ".join(tokens[:keep])
+
+
+def add_marketing_noise(value: str, rng: random.Random) -> str:
+    """Append a marketplace filler phrase ("free shipping")."""
+    return f"{value} {rng.choice(_MARKETING_NOISE)}"
+
+
+def corrupt_char_x(value: str, rng: random.Random) -> str:
+    """Replace one character with 'x' — the Hospital dataset's error style."""
+    if not value:
+        return value
+    i = rng.randrange(len(value))
+    return value[:i] + "x" + value[i + 1 :]
+
+
+def jitter_price(value: str, rng: random.Random) -> str:
+    """Perturb a price string by a few percent, preserving format."""
+    stripped = value.replace("$", "").replace(",", "")
+    try:
+        price = float(stripped)
+    except ValueError:
+        return value
+    price *= 1.0 + rng.uniform(-0.05, 0.05)
+    prefix = "$" if value.strip().startswith("$") else ""
+    return f"{prefix}{price:.2f}"
+
+
+@dataclass
+class PerturbationConfig:
+    """Rates for each operator, applied independently per cell.
+
+    ``null_rate`` NULLs the cell outright (NULL-heavy sources like the
+    Amazon-Google manufacturer column are a named pain point in the paper).
+    """
+
+    typo_rate: float = 0.1
+    drop_token_rate: float = 0.1
+    abbreviate_rate: float = 0.2
+    case_rate: float = 0.3
+    truncate_rate: float = 0.05
+    noise_rate: float = 0.0
+    null_rate: float = 0.02
+    price_jitter_rate: float = 0.0
+    #: attributes never perturbed (e.g. the label-bearing key).
+    protected: tuple[str, ...] = field(default_factory=tuple)
+
+
+def perturb_value(value: str, config: PerturbationConfig, rng: random.Random) -> str | None:
+    """Apply the configured operators to one cell value."""
+    if rng.random() < config.null_rate:
+        return None
+    result = value
+    if rng.random() < config.abbreviate_rate:
+        result = abbreviate(result, rng)
+    if rng.random() < config.typo_rate:
+        result = typo(result, rng)
+    if rng.random() < config.drop_token_rate:
+        result = drop_token(result, rng)
+    if rng.random() < config.truncate_rate:
+        result = truncate(result, rng)
+    if rng.random() < config.noise_rate:
+        result = add_marketing_noise(result, rng)
+    if rng.random() < config.price_jitter_rate:
+        result = jitter_price(result, rng)
+    if rng.random() < config.case_rate:
+        result = change_case(result, rng)
+    return result
+
+
+def perturb_row(row: Row, config: PerturbationConfig, rng: random.Random) -> Row:
+    """A dirty copy of ``row``; protected and NULL cells pass through."""
+    dirty: Row = {}
+    for attribute, value in row.items():
+        if value is None or attribute in config.protected:
+            dirty[attribute] = value
+        else:
+            dirty[attribute] = perturb_value(value, config, rng)
+    return dirty

@@ -1,0 +1,47 @@
+"""Dataset registry: name → builder."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.em_datasets import EM_BUILDERS
+from repro.datasets.error_datasets import build_adult, build_hospital
+from repro.datasets.imputation_datasets import build_buy, build_restaurant_dataset
+from repro.datasets.synthea_dataset import build_synthea
+from repro.datasets.transformations import build_bing_querylogs, build_stackoverflow
+
+#: name → builder(seed=..., world=...) for every benchmark dataset.
+DATASET_BUILDERS: dict[str, Callable] = {
+    **EM_BUILDERS,
+    "restaurant": build_restaurant_dataset,
+    "buy": build_buy,
+    "hospital": build_hospital,
+    "adult": build_adult,
+    "synthea": build_synthea,
+    "stackoverflow": build_stackoverflow,
+    "bing_querylogs": build_bing_querylogs,
+}
+
+
+def available_datasets() -> list[str]:
+    """All registered dataset names, sorted."""
+    return sorted(DATASET_BUILDERS)
+
+
+def load_dataset(name: str, seed: int | None = None, world=None):
+    """Build the dataset called ``name``.
+
+    ``seed`` overrides the builder's canonical seed (use this only for
+    robustness studies — the canonical seeds define the benchmark).
+    """
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(available_datasets())
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if world is not None:
+        kwargs["world"] = world
+    return builder(**kwargs)

@@ -1,0 +1,80 @@
+"""Synthea → OMOP schema-matching dataset (OMAP benchmark style).
+
+Pairs are (source attribute, target attribute) with a binary correspondence
+label.  Positives come from the ground-truth correspondence list in
+:mod:`repro.knowledge.medical`; negatives are sampled with a bias toward
+*hard* negatives — pairs that share a table theme or a token ("start" vs
+"visit_end_datetime") without corresponding.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import SchemaMatchingDataset, SchemaPair
+from repro.knowledge.medical import (
+    CORRESPONDENCES,
+    OMOP_ATTRIBUTES,
+    SYNTHEA_ATTRIBUTES,
+    SchemaAttribute,
+)
+
+
+def _attribute_index(attributes) -> dict[str, SchemaAttribute]:
+    return {attribute.qualified: attribute for attribute in attributes}
+
+
+#: Split by *source table*: a matcher trained on the demographic tables
+#: must generalize to the clinical-event tables, whose correspondences are
+#: dominated by domain jargon (code → drug_concept_id) rather than lexical
+#: overlap.  This is what keeps supervised lexical matchers modest on the
+#: real OMAP benchmark.
+TRAIN_TABLES = frozenset({"patients", "providers"})
+VALID_TABLES = frozenset({"encounters"})
+TEST_TABLES = frozenset({"medications", "conditions", "observations"})
+
+
+def build_synthea(seed: int = 401, world=None, negatives_per_positive: int = 6) -> SchemaMatchingDataset:
+    """Build the Synthea SM dataset.  ``world`` accepted for uniformity."""
+    del world
+    rng = random.Random(seed)
+    source_index = _attribute_index(SYNTHEA_ATTRIBUTES)
+    target_index = _attribute_index(OMOP_ATTRIBUTES)
+    positive_keys = set(CORRESPONDENCES)
+
+    pairs: list[SchemaPair] = [
+        SchemaPair(left=source_index[src], right=target_index[dst], label=True)
+        for src, dst in CORRESPONDENCES
+    ]
+
+    def tokens(attribute: SchemaAttribute) -> set[str]:
+        return set(attribute.name.replace("_", " ").split()) | {attribute.table}
+
+    sources = list(SYNTHEA_ATTRIBUTES)
+    targets = list(OMOP_ATTRIBUTES)
+    n_negatives = negatives_per_positive * len(pairs)
+    seen: set[tuple[str, str]] = set(positive_keys)
+    attempts = 0
+    added = 0
+    while added < n_negatives and attempts < n_negatives * 30:
+        attempts += 1
+        left = sources[rng.randrange(len(sources))]
+        right = targets[rng.randrange(len(targets))]
+        key = (left.qualified, right.qualified)
+        if key in seen:
+            continue
+        # Bias toward hard negatives: half must share a token.
+        shares_token = bool(tokens(left) & tokens(right))
+        if added % 2 == 0 and not shares_token:
+            continue
+        seen.add(key)
+        pairs.append(SchemaPair(left=left, right=right, label=False))
+        added += 1
+
+    train = [pair for pair in pairs if pair.left.table in TRAIN_TABLES]
+    valid = [pair for pair in pairs if pair.left.table in VALID_TABLES]
+    test = [pair for pair in pairs if pair.left.table in TEST_TABLES]
+    rng.shuffle(train)
+    rng.shuffle(valid)
+    rng.shuffle(test)
+    return SchemaMatchingDataset(name="synthea", train=train, valid=valid, test=test)

@@ -1,0 +1,81 @@
+"""A minimal relational table.
+
+The library avoids pandas; a table is an ordered list of column names and a
+list of row dictionaries mapping column → string value (or ``None`` for
+NULL).  Values are kept as strings throughout — the paper serializes rows
+to text, and every system here consumes that textual form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+Row = dict[str, "str | None"]
+
+
+class Table:
+    """An ordered collection of rows sharing a schema."""
+
+    def __init__(self, columns: list[str], rows: Iterable[Row] | None = None):
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        self.columns = list(columns)
+        self._rows: list[Row] = []
+        for row in rows or []:
+            self.append(row)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, row: Row) -> None:
+        """Append a row; missing columns become NULL, extras are an error."""
+        extras = set(row) - set(self.columns)
+        if extras:
+            raise ValueError(f"row has unknown columns: {sorted(extras)}")
+        normalized: Row = {column: row.get(column) for column in self.columns}
+        self._rows.append(normalized)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    @property
+    def rows(self) -> list[Row]:
+        return self._rows
+
+    def column_values(self, column: str, drop_null: bool = False) -> list[str | None]:
+        """All values of ``column`` in row order."""
+        if column not in self.columns:
+            raise KeyError(column)
+        values = [row[column] for row in self._rows]
+        if drop_null:
+            return [value for value in values if value is not None]
+        return values
+
+    def select(self, columns: list[str]) -> "Table":
+        """A new table restricted to ``columns`` (order preserved)."""
+        missing = [column for column in columns if column not in self.columns]
+        if missing:
+            raise KeyError(f"unknown columns: {missing}")
+        rows = [{column: row[column] for column in columns} for row in self._rows]
+        return Table(columns, rows)
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Table":
+        """A new table of the rows satisfying ``predicate``."""
+        return Table(self.columns, [row for row in self._rows if predicate(row)])
+
+    def copy(self) -> "Table":
+        """Deep-enough copy: rows are re-created dicts."""
+        return Table(self.columns, [dict(row) for row in self._rows])
+
+    def head(self, n: int = 5) -> "Table":
+        return Table(self.columns, [dict(row) for row in self._rows[:n]])
+
+    def __repr__(self) -> str:
+        return f"Table(columns={self.columns}, n_rows={len(self)})"

@@ -1,0 +1,278 @@
+"""Data-transformation benchmarks (TDE style).
+
+Two datasets of transform-by-example cases:
+
+* **StackOverflow** — predominantly *syntactic* transformations (the kind
+  users ask about on Stack Overflow): name reordering, date reformatting,
+  substring extraction.  A search-based synthesizer like TDE handles most
+  of these.
+* **Bing-QueryLogs** — predominantly *semantic* transformations requiring
+  world knowledge (city → state, month name → number, brand alias).  No
+  string program derives these; the FM's knowledge does.
+
+Each case carries demonstration pairs (available to every system) and
+held-out test pairs; dataset accuracy is the micro-average over all test
+pairs, matching how the paper reports a single number per dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.datasets.base import TransformationCase, TransformationDataset
+from repro.knowledge.calendar import MONTHS, month_number
+from repro.knowledge.world import World, default_world
+
+_FIRST_NAMES = ("John", "Ada", "Maria", "Omar", "Wei", "Tara", "Boris", "Elena",
+                "Liam", "Priya", "Stefan", "Rosa", "Hiro", "Nadia")
+_LAST_NAMES = ("Doe", "Chen", "Garcia", "Novak", "Silva", "Park", "Weber",
+               "Rossi", "Jensen", "Gupta", "Tanaka", "Vargas")
+_DOMAINS = ("example.com", "dataworks.io", "acme.org", "labs.dev", "北site.net",
+            "query.co", "openshelf.net")
+_FILES = ("report.final", "summary.v2", "notes.draft", "archive.backup",
+          "photo.edit", "slides.deck")
+_EXTENSIONS = ("pdf", "csv", "txt", "xlsx", "png", "json")
+
+
+def _split_case(
+    name: str,
+    pairs: list[tuple[str, str]],
+    kind: str,
+    instruction: str = "",
+    n_examples: int = 4,
+) -> TransformationCase:
+    """First ``n_examples`` pairs become demonstrations, the rest tests."""
+    if len(pairs) <= n_examples:
+        raise ValueError(f"case {name!r} needs more than {n_examples} pairs")
+    return TransformationCase(
+        name=name,
+        examples=tuple(pairs[:n_examples]),
+        tests=tuple(pairs[n_examples:]),
+        kind=kind,
+        instruction=instruction,
+    )
+
+
+def _apply(inputs: list[str], fn: Callable[[str], str]) -> list[tuple[str, str]]:
+    return [(value, fn(value)) for value in inputs]
+
+
+# ---------------------------------------------------------------------------
+# StackOverflow: syntactic cases
+# ---------------------------------------------------------------------------
+
+def build_stackoverflow(seed: int = 501, world: World | None = None) -> TransformationDataset:
+    del world
+    rng = random.Random(seed)
+    cases: list[TransformationCase] = []
+
+    def sample_names(n: int) -> list[str]:
+        return [
+            f"{rng.choice(_LAST_NAMES)}, {rng.choice(_FIRST_NAMES)}" for _ in range(n)
+        ]
+
+    # 1. "Doe, John" -> "John Doe"
+    cases.append(_split_case(
+        "flip_comma_name",
+        _apply(sample_names(12), lambda s: f"{s.split(', ')[1]} {s.split(', ')[0]}"),
+        "syntactic", instruction="Rewrite each last-name-comma-first-name as first name then last name.",
+    ))
+
+    # 2. URL -> bare domain
+    urls = [f"https://www.{rng.choice(_DOMAINS)}/p/{rng.randint(1, 999)}" for _ in range(12)]
+    cases.append(_split_case(
+        "url_to_domain",
+        _apply(urls, lambda s: s.split("//www.")[1].split("/")[0]),
+        "syntactic", instruction="Extract the bare domain name from each URL.",
+    ))
+
+    # 3. ISO date -> US date
+    dates = [f"{rng.randint(1999, 2022)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+             for _ in range(12)]
+    cases.append(_split_case(
+        "iso_to_us_date",
+        _apply(dates, lambda s: f"{s[5:7]}/{s[8:10]}/{s[0:4]}"),
+        "syntactic", instruction="Convert each ISO date to US MM/DD/YYYY format.",
+    ))
+
+    # 4. filename -> extension
+    files = [f"{rng.choice(_FILES)}.{rng.choice(_EXTENSIONS)}" for _ in range(12)]
+    cases.append(_split_case(
+        "file_extension", _apply(files, lambda s: s.rsplit(".", 1)[1]), "syntactic", instruction="Extract the file extension from each filename.",
+    ))
+
+    # 5. snake_case -> Title Case
+    snakes = ["_".join(rng.sample(("total", "net", "gross", "tax", "unit", "price",
+                                   "count", "mean", "max"), rng.randint(2, 3)))
+              for _ in range(12)]
+    cases.append(_split_case(
+        "snake_to_title",
+        _apply(snakes, lambda s: " ".join(w.capitalize() for w in s.split("_"))),
+        "syntactic", instruction="Convert each snake_case identifier to title case words.",
+    ))
+
+    # 6. "(415) 775-7036" -> "415-775-7036"
+    phones = [f"({rng.randint(200, 989)}) {rng.randint(200, 999)}-{rng.randint(1000, 9999)}"
+              for _ in range(12)]
+    cases.append(_split_case(
+        "normalize_phone",
+        _apply(phones, lambda s: s.replace("(", "").replace(") ", "-")),
+        "syntactic", instruction="Normalize each phone number to the 999-999-9999 format.",
+    ))
+
+    # 7. zero-pad to width 5
+    numbers = [str(rng.randint(1, 9999)) for _ in range(12)]
+    cases.append(_split_case(
+        "zero_pad", _apply(numbers, lambda s: s.zfill(5)), "syntactic", instruction="Pad each number with zeros to five digits.",
+    ))
+
+    # 8. take middle of dash triple
+    triples = ["-".join(str(rng.randint(10, 99)) for _ in range(3)) for _ in range(12)]
+    cases.append(_split_case(
+        "dash_middle", _apply(triples, lambda s: s.split("-")[1]), "syntactic", instruction="Extract the middle segment of each dash-separated code.",
+    ))
+
+    # 9. strip currency formatting
+    amounts = [f"${rng.randint(1, 9)},{rng.randint(100, 999)}.{rng.randint(10, 99)}"
+               for _ in range(12)]
+    cases.append(_split_case(
+        "strip_currency",
+        _apply(amounts, lambda s: s.replace("$", "").replace(",", "")),
+        "syntactic", instruction="Strip the currency formatting from each amount.",
+    ))
+
+    # 10. full name -> initials ("Ada Chen" -> "A.C.")
+    full_names = [f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}" for _ in range(12)]
+    cases.append(_split_case(
+        "name_initials",
+        _apply(full_names, lambda s: "".join(w[0] + "." for w in s.split())),
+        "syntactic", instruction="Convert each full name to its initials.",
+    ))
+
+    # 11. SEMANTIC outlier in the SO set: "14 March 2005" -> "2005-03-14".
+    # Requires knowing month numbers; this is the slice TDE drops.
+    month_dates = [
+        f"{rng.randint(1, 28)} {rng.choice(MONTHS)} {rng.randint(1999, 2022)}"
+        for _ in range(12)
+    ]
+
+    def iso_of(s: str) -> str:
+        day, month, year = s.split()
+        return f"{year}-{month_number(month):02d}-{int(day):02d}"
+
+    cases.append(_split_case(
+        "textual_date_to_iso", _apply(month_dates, iso_of), "semantic",
+        instruction="Convert each textual date to ISO format.",
+    ))
+
+    # 12. weekday abbreviation -> full day name (semantic: the expansion
+    # suffix is irregular, so no string program covers it).
+    from repro.knowledge.calendar import WEEKDAYS
+    weekdays = [(d[:3], d) for d in WEEKDAYS] + [
+        (d[:3].upper(), d) for d in WEEKDAYS[:5]
+    ]
+    rng.shuffle(weekdays)
+    cases.append(_split_case(
+        "weekday_expand", weekdays[:12], "semantic",
+        instruction="Expand each weekday abbreviation to the full day name.",
+    ))
+
+    # 13. wrap in quotes and append comma (list building)
+    words = [rng.choice(("alpha", "beta", "gamma", "delta", "omega", "sigma",
+                         "kappa", "theta")) + str(rng.randint(1, 99)) for _ in range(12)]
+    cases.append(_split_case(
+        "quote_and_comma", _apply(words, lambda s: f'"{s}",'), "syntactic",
+        instruction="Wrap each word in quotes and append a comma.",
+    ))
+
+    return TransformationDataset(name="stackoverflow", cases=cases)
+
+
+# ---------------------------------------------------------------------------
+# Bing-QueryLogs: semantic cases
+# ---------------------------------------------------------------------------
+
+def build_bing_querylogs(seed: int = 502, world: World | None = None) -> TransformationDataset:
+    world = world or default_world()
+    rng = random.Random(seed)
+    cases: list[TransformationCase] = []
+    heads = sorted(world.head_cities, key=lambda c: c.frequency, reverse=True)
+
+    # 1. city -> state abbreviation
+    cities = rng.sample(heads[:40], 12)
+    cases.append(_split_case(
+        "city_to_state", [(c.name, c.state_abbr) for c in cities], "semantic", instruction="Give the US state abbreviation for each city.",
+    ))
+
+    # 2. state name -> abbreviation
+    states = list({(c.state_name, c.state_abbr) for c in heads})
+    rng.shuffle(states)
+    cases.append(_split_case(
+        "state_to_abbr", states[:12], "semantic",
+        instruction="Give the two-letter abbreviation for each state name.",
+    ))
+
+    # 3. month name -> number
+    months = [(m, str(i)) for i, m in enumerate(MONTHS, start=1)]
+    rng.shuffle(months)
+    cases.append(_split_case(
+        "month_to_number", months, "semantic",
+        instruction="Give the month number for each month name.",
+    ))
+
+    # 4. month -> three-letter abbreviation (semantic intent, but a prefix
+    # program happens to solve it — the sliver of this dataset a syntactic
+    # synthesizer gets right).
+    to_abbrev = [(m, m[:3]) for m in MONTHS]
+    rng.shuffle(to_abbrev)
+    cases.append(_split_case(
+        "month_to_abbrev", to_abbrev, "semantic",
+        instruction="Give the three-letter abbreviation for each month.",
+    ))
+
+    # 5. month abbreviation -> full name
+    abbrevs = [(m[:3], m) for m in MONTHS]
+    rng.shuffle(abbrevs)
+    cases.append(_split_case(
+        "month_abbrev_expand", abbrevs, "semantic",
+        instruction="Expand each month abbreviation to the full month name.",
+    ))
+
+    # 5. city -> primary area code
+    cities2 = rng.sample(heads[:40], 12)
+    cases.append(_split_case(
+        "city_to_area_code",
+        [(c.name, c.primary_area_code) for c in cities2],
+        "semantic", instruction="Give the telephone area code for each city.",
+    ))
+
+    # 6. zip code -> city
+    zips = rng.sample([(c.primary_zip, c.name) for c in heads[:40]], 12)
+    cases.append(_split_case(
+        "zip_to_city", zips, "semantic",
+        instruction="Give the city for each zip code.",
+    ))
+
+    # 7. "Mar 14, 2011" -> "2011-03-14" (semantic month + syntax)
+    def render_date(_):
+        month = rng.choice(MONTHS)
+        day = rng.randint(1, 28)
+        year = rng.randint(1999, 2022)
+        return (f"{month[:3]} {day}, {year}",
+                f"{year}-{month_number(month):02d}-{day:02d}")
+
+    cases.append(_split_case(
+        "us_textual_to_iso", [render_date(i) for i in range(12)], "semantic",
+        instruction="Convert each date to ISO format.",
+    ))
+
+    # 8. ONE syntactic case — query logs contain some plain reformatting,
+    # which is the sliver TDE does solve on this dataset.
+    codes = [f"{rng.randint(100, 999)}.{rng.randint(10, 99)}" for _ in range(12)]
+    cases.append(_split_case(
+        "drop_decimal", _apply(codes, lambda s: s.split(".")[0]), "syntactic",
+        instruction="Drop the decimal part of each number.",
+    ))
+
+    return TransformationDataset(name="bing_querylogs", cases=cases)

@@ -1,0 +1,36 @@
+"""The simulated foundation model.
+
+A text-in/text-out completion engine standing in for the GPT-3 family.  It
+has no task-specific entry points: callers build a natural-language prompt
+(zero-shot or with demonstrations) and read the generated string, exactly
+as they would against the OpenAI API.  Internally the engine
+
+1. parses the prompt into (instruction, demonstrations, query) — the
+   mechanical analogue of in-context learning,
+2. answers the query with similarity reasoning, frequency-gated knowledge
+   recall and demonstration-calibrated decision thresholds,
+3. modulates everything by a size-dependent capability profile, so the
+   1.3B / 6.7B / 175B variants reproduce the paper's scaling behaviour.
+
+See DESIGN.md §4 for the mechanism-by-mechanism mapping to the paper's
+findings.
+"""
+
+from repro.fm.profiles import (
+    MODEL_PROFILES,
+    ModelProfile,
+    get_profile,
+)
+from repro.fm.engine import Completion, SimulatedFoundationModel
+from repro.fm.finetune import AdapterModel, FinetunedModel, FinetuningResult
+
+__all__ = [
+    "AdapterModel",
+    "Completion",
+    "FinetunedModel",
+    "FinetuningResult",
+    "MODEL_PROFILES",
+    "ModelProfile",
+    "SimulatedFoundationModel",
+    "get_profile",
+]

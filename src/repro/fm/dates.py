@@ -1,0 +1,98 @@
+"""Date understanding for the simulated FM.
+
+Recognizes a handful of common layouts, parses them into (year, month,
+day), and renders them back — the substrate for format-conversion
+transformations ("Mar 14, 2011" → "2011-03-14").  Month-name knowledge is
+head knowledge every profile recalls.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.knowledge.calendar import MONTHS, month_number
+
+_PATTERNS: tuple[tuple[str, re.Pattern], ...] = (
+    ("iso", re.compile(r"^(?P<y>\d{4})-(?P<m>\d{1,2})-(?P<d>\d{1,2})$")),
+    ("us_slash", re.compile(r"^(?P<m>\d{1,2})/(?P<d>\d{1,2})/(?P<y>\d{4})$")),
+    ("us_dash", re.compile(r"^(?P<m>\d{1,2})-(?P<d>\d{1,2})-(?P<y>\d{4})$")),
+    ("textual_mdy", re.compile(
+        r"^(?P<mon>[A-Za-z]{3,9})\.?\s+(?P<d>\d{1,2}),?\s+(?P<y>\d{4})$")),
+    ("textual_dmy", re.compile(
+        r"^(?P<d>\d{1,2})\s+(?P<mon>[A-Za-z]{3,9})\.?\s+(?P<y>\d{4})$")),
+)
+
+RENDER_FORMATS = (
+    "iso", "us_slash", "us_dash", "textual_mdy", "textual_dmy",
+    "textual_mdy_abbrev",
+)
+
+
+@dataclass(frozen=True)
+class ParsedDate:
+    year: int
+    month: int
+    day: int
+    layout: str
+
+
+def parse_date(text: str) -> ParsedDate | None:
+    """Parse ``text`` into a date if it matches a known layout."""
+    stripped = text.strip()
+    for layout, pattern in _PATTERNS:
+        match = pattern.match(stripped)
+        if not match:
+            continue
+        groups = match.groupdict()
+        if "mon" in groups:
+            month = month_number(groups["mon"])
+            if month is None:
+                return None
+        else:
+            month = int(groups["m"])
+        year, day = int(groups["y"]), int(groups["d"])
+        if not (1 <= month <= 12 and 1 <= day <= 31):
+            return None
+        return ParsedDate(year=year, month=month, day=day, layout=layout)
+    return None
+
+
+def render_date(date: ParsedDate, layout: str) -> str:
+    """Render a parsed date in ``layout`` (one of ``RENDER_FORMATS``)."""
+    month_name = MONTHS[date.month - 1]
+    if layout == "iso":
+        return f"{date.year}-{date.month:02d}-{date.day:02d}"
+    if layout == "us_slash":
+        return f"{date.month:02d}/{date.day:02d}/{date.year}"
+    if layout == "us_dash":
+        return f"{date.month:02d}-{date.day:02d}-{date.year}"
+    if layout == "textual_mdy":
+        return f"{month_name} {date.day}, {date.year}"
+    if layout == "textual_mdy_abbrev":
+        return f"{month_name[:3]} {date.day}, {date.year}"
+    if layout == "textual_dmy":
+        return f"{date.day} {month_name} {date.year}"
+    raise ValueError(f"unknown date layout {layout!r}")
+
+
+def induce_date_conversion(
+    examples: list[tuple[str, str]]
+) -> str | None:
+    """If every example is a date-format conversion, return the output layout.
+
+    Returns ``None`` unless all example inputs parse as dates and one single
+    output layout reproduces every example output exactly.
+    """
+    if not examples:
+        return None
+    parsed = [parse_date(source) for source, _target in examples]
+    if any(date is None for date in parsed):
+        return None
+    for layout in RENDER_FORMATS:
+        if all(
+            render_date(date, layout) == target.strip()
+            for date, (_source, target) in zip(parsed, examples)
+        ):
+            return layout
+    return None

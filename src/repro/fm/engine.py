@@ -1,0 +1,605 @@
+"""The completion engine: text in, text out.
+
+``SimulatedFoundationModel.complete`` is the only entry point — the same
+surface the OpenAI API exposes.  Everything else in this module is the
+machinery behind that surface: prompt parsing, demonstration-calibrated
+thresholds, knowledge recall, and deterministic "temperature-0" noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.fm.error_signals import ErrorSignalModel
+from repro.fm.impute_routes import ImputationReasoner
+from repro.fm.induction import induce_transformation
+from repro.fm.lexicon import default_lexicon
+from repro.fm.parsing import (
+    ErrorExampleParsed,
+    ImputeExampleParsed,
+    MatchExample,
+    ParsedPrompt,
+    TransformExampleParsed,
+    parse_prompt,
+    parse_serialized_entity,
+)
+from repro.fm.profiles import ModelProfile, get_profile
+from repro.fm.semantic import SemanticComparator, stable_unit
+from repro.fm.dates import parse_date, render_date
+from repro.knowledge.world import World, default_world
+from repro.text.normalize import normalize_value
+from repro.text.similarity import jaro_winkler, monge_elkan
+from repro.text.tokenize import word_tokens
+
+#: What the model says when it does not understand the task well enough to
+#: answer in the expected format (callers default this to "No", per the
+#: paper's footnote 1).
+_CONFUSED = "I'm not sure."
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A completion with the model's self-reported confidence.
+
+    The paper's debuggability discussion (Section 5.2) proposes collecting
+    "model confidence scores" to make FM pipelines monitorable; a real LM
+    can "learn to express uncertainty about its own answers".  The
+    simulator reports the decision margin behind each answer, squashed to
+    [0, 1]: distance from the calibrated threshold for Yes/No tasks, route
+    strength for generation tasks.
+    """
+
+    text: str
+    confidence: float
+
+_SCHEMA_DESC_RE = re.compile(
+    r"^(?P<table>[\w]+)\.(?P<name>[\w]+)\s*\((?P<desc>.*?)\)"
+    r"(?:\s+with values like (?P<samples>.*))?$"
+)
+
+# Generic tokens that appear in many attribute names and carry little
+# matching signal on their own.
+_SCHEMA_STOPWORDS = frozenset(
+    {"id", "source", "value", "concept", "datetime", "date", "occurrence"}
+)
+
+#: Question phrasings the model has seen countless times in pretraining.
+_FAMILIAR_QUESTION_RE = re.compile(r"\bthe same\b|\bsemantically equivalent\b")
+
+
+def _calibrate_threshold(
+    scored: list[tuple[float, bool]], prior: float
+) -> float:
+    """Demonstration-calibrated decision threshold.
+
+    Scans candidate thresholds (between and just beside the demonstration
+    scores) and keeps those whose demonstration error rate is within a
+    ~20% tolerance of the best achievable — an LM does not contort its
+    decision boundary to satisfy every last demo.  Among those it stays as
+    close to its prior inclination as possible.  Single-class
+    demonstration sets leave the prior untouched.
+    """
+    if not scored:
+        return prior
+    labels = {label for _score, label in scored}
+    if len(labels) < 2:
+        return prior
+    points = sorted(score for score, _label in scored)
+    candidates = [prior]
+    candidates.extend(
+        (points[i] + points[i + 1]) / 2.0 for i in range(len(points) - 1)
+    )
+    for point in points:
+        candidates.append(max(point - 0.02, 0.0))
+        candidates.append(min(point + 0.02, 1.0))
+    candidates.append(max(points[0] - 0.05, 0.0))
+    candidates.append(min(points[-1] + 0.05, 1.0))
+
+    def errors(threshold: float) -> int:
+        return sum(
+            1 for score, label in scored if (score >= threshold) != label
+        )
+
+    tolerance = max(1, round(len(scored) / 5)) if len(scored) >= 4 else 0
+    allowed = max(min(errors(t) for t in candidates), tolerance)
+    eligible = [t for t in candidates if errors(t) <= allowed]
+    return min(eligible, key=lambda t: abs(t - prior))
+
+
+class SimulatedFoundationModel:
+    """A GPT-3-style completion model over the synthetic world.
+
+    >>> fm = SimulatedFoundationModel("gpt3-175b")
+    >>> fm.complete("name: blue heron. addr: 10 main st. "
+    ...             "phone: 415-775-7036. city?")   # doctest: +SKIP
+    'San Francisco'
+    """
+
+    MATCH_PRIOR = 0.62
+    SCHEMA_PRIOR = 0.52
+
+    def __init__(self, model: str | ModelProfile = "gpt3-175b",
+                 world: World | None = None):
+        self.profile = model if isinstance(model, ModelProfile) else get_profile(model)
+        self.world = world or default_world()
+        self.kb = self.world.kb
+        self.comparator = SemanticComparator(self.profile, self.kb)
+        self.lexicon = default_lexicon(self.world)
+        self.reasoner = ImputationReasoner(
+            self.profile, self.kb, self.comparator, lexicon=self.lexicon
+        )
+        self.n_completions = 0
+        #: Confidence of the most recent completion (set by the handlers).
+        self._last_confidence = 0.5
+        #: Whole-prompt salt for temperature sampling (set per complete()).
+        self._sampling_salt = ""
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------ API
+
+    def complete(self, prompt: str, max_tokens: int = 64,
+                 temperature: float = 0.0) -> str:
+        """Generate a completion for ``prompt``.
+
+        ``temperature`` > 0 adds a deterministic-per-prompt jitter to the
+        decision margin (sampling is simulated, not truly random, so runs
+        stay reproducible).
+        """
+        if not isinstance(prompt, str):
+            raise TypeError(f"prompt must be a string, got {type(prompt)!r}")
+        self.n_completions += 1
+        # Sampling at temperature > 0 depends on the entire context, so
+        # otherwise-identical queries inside different prompts resample
+        # differently (temperature 0 stays exactly reproducible).
+        self._sampling_salt = prompt if temperature > 0 else ""
+        parsed = parse_prompt(prompt)
+        handler = {
+            "match": self._answer_match,
+            "schema": self._answer_schema,
+            "error": self._answer_error,
+            "impute": self._answer_impute,
+            "transform": self._answer_transform,
+        }.get(parsed.task)
+        if handler is None:
+            answer = self._answer_unknown(prompt)
+        else:
+            answer = handler(parsed, temperature)
+        return answer[: max(1, max_tokens * 8)]
+
+    def complete_many(self, prompts: list[str], **kwargs) -> list[str]:
+        """Batch helper around :meth:`complete`."""
+        return [self.complete(prompt, **kwargs) for prompt in prompts]
+
+    def complete_verbose(self, prompt: str, **kwargs) -> Completion:
+        """Like :meth:`complete`, with the model's confidence attached.
+
+        Confidence semantics: ~0.5 means the answer sat on the decision
+        boundary (or came from a weak fallback); values near 1.0 mean a
+        wide margin or a direct knowledge-base recall.
+        """
+        self._last_confidence = 0.5
+        text = self.complete(prompt, **kwargs)
+        if text == _CONFUSED:
+            return Completion(text=text, confidence=0.0)
+        return Completion(text=text, confidence=self._last_confidence)
+
+    # ----------------------------------------------------------- match task
+
+    def _structure_signature(self, query: MatchExample) -> str:
+        entity = parse_serialized_entity(query.left_text)
+        if entity is None:
+            return "flat"
+        return ",".join(sorted(entity))
+
+    def _decide_yes_no(
+        self,
+        score: float,
+        demos_scored: list[tuple[float, bool]],
+        prior: float,
+        question: str,
+        signature: str,
+        margin_key: str,
+        temperature: float,
+    ) -> str:
+        profile = self.profile
+        question_norm = " ".join(question.casefold().split())
+        # Familiar phrasings ("are X and Y the same?") behave predictably;
+        # anything else lands wherever the model's priors put it — the
+        # brittleness Table 4 measures.
+        familiar = bool(_FAMILIAR_QUESTION_RE.search(question_norm))
+        if familiar:
+            format_bias = 0.0
+        else:
+            format_bias = (
+                stable_unit(f"fmt|{profile.name}|{question_norm}|{signature}") - 0.5
+            ) * profile.format_sensitivity * 0.6
+
+        if demos_scored:
+            calibrated = _calibrate_threshold(demos_scored, prior)
+            threshold = (
+                profile.icl_strength * calibrated
+                + (1.0 - profile.icl_strength) * prior
+            )
+            # Majority-label bias (Zhao et al. 2021): a prompt stacked with
+            # "No" demonstrations pulls answers toward "No" and vice versa.
+            # Curated prompts are balanced; random ones pay this tax.
+            n_positive = sum(1 for _s, label in demos_scored if label)
+            n_negative = len(demos_scored) - n_positive
+            threshold += 0.12 * (n_negative - n_positive) / len(demos_scored)
+        else:
+            miscalibration = (
+                stable_unit(f"zs|{profile.name}|{signature}") - 0.5
+            ) * (1.0 - profile.instruction_following) * 0.3
+            threshold = prior + miscalibration
+
+        threshold += format_bias
+        # Without demonstrations the judgment itself is shakier: no format
+        # grounding, no examples of what "the same" means for this data.
+        zero_shot_jitter = (
+            (1.0 - profile.instruction_following) * 0.5 if not demos_scored else 0.0
+        )
+        # Unbalanced demonstrations (nine Yes, one No) leave the model's
+        # notion of the boundary mushy — randomly selected demos pay this
+        # tax, curated balanced ones do not (Table 4's ±14.7 gap).
+        imbalance_jitter = 0.0
+        if demos_scored:
+            n_positive = sum(1 for _s, label in demos_scored if label)
+            n_negative = len(demos_scored) - n_positive
+            balance = (
+                min(n_positive, n_negative) / max(n_positive, n_negative)
+                if n_positive and n_negative else 0.0
+            )
+            imbalance_jitter = 0.35 * (1.0 - balance)
+        salt = getattr(self, "_sampling_salt", "")
+        noise = (stable_unit(f"margin|{profile.name}|{margin_key}|{salt}") - 0.5) * (
+            0.05 + zero_shot_jitter + imbalance_jitter + 0.25 * temperature
+        )
+        margin = abs(score + noise - threshold)
+        self._last_confidence = min(1.0, 0.5 + 2.0 * margin)
+        return "Yes" if score + noise >= threshold else "No"
+
+    def _answer_match(self, parsed: ParsedPrompt, temperature: float) -> str:
+        query: MatchExample = parsed.query
+        profile = self.profile
+        if not parsed.demonstrations:
+            # Zero-shot format failure: with no demonstration of the
+            # expected Yes/No, the model periodically answers in free text
+            # (the caller defaults those to "No", costing recall — the
+            # paper's footnote 1).
+            failure = (1.0 - profile.instruction_following) * 0.85
+            failure_key = f"zsfail|{profile.name}|{query.left_text}|{query.right_text}"
+            if stable_unit(failure_key) < failure:
+                return _CONFUSED
+        score = self.comparator.entity_similarity(query.left_text, query.right_text)
+        demos_scored = [
+            (
+                self.comparator.entity_similarity(demo.left_text, demo.right_text),
+                demo.label,
+            )
+            for demo in parsed.demonstrations
+            if isinstance(demo, MatchExample) and demo.label is not None
+        ]
+        return self._decide_yes_no(
+            score=score,
+            demos_scored=demos_scored,
+            prior=self.MATCH_PRIOR,
+            question=query.question,
+            signature=self._structure_signature(query),
+            margin_key=f"{query.left_text}|{query.right_text}",
+            temperature=temperature,
+        )
+
+    # ---------------------------------------------------------- schema task
+
+    def _schema_similarity(self, left_text: str, right_text: str) -> float:
+        left = _SCHEMA_DESC_RE.match(left_text.strip())
+        right = _SCHEMA_DESC_RE.match(right_text.strip())
+        if not (left and right):
+            return self.comparator.value_similarity(left_text, right_text)
+        floor = self.profile.knowledge_floor
+
+        def name_tokens(match) -> list[str]:
+            return [t for t in match.group("name").casefold().split("_") if t]
+
+        tokens_a, tokens_b = name_tokens(left), name_tokens(right)
+        full_a = " ".join(tokens_a)
+        full_b = " ".join(tokens_b)
+
+        # Full-name synonymy ("birthdate" ↔ "birth datetime").
+        synonym = self.kb.lookup_one("attr_synonym", full_a, min_frequency=floor)
+        name_score = 0.0
+        if full_a == full_b or (synonym and synonym.casefold() == full_b):
+            name_score = 1.0
+        else:
+            informative_a = [t for t in tokens_a if t not in _SCHEMA_STOPWORDS]
+            informative_b = [t for t in tokens_b if t not in _SCHEMA_STOPWORDS]
+            def token_match(a: str, b: str) -> float:
+                if a == b:
+                    return 1.0
+                obj = self.kb.lookup_one("attr_synonym", a, min_frequency=floor)
+                if obj and b in obj.casefold().split():
+                    return 0.95
+                jw = jaro_winkler(a, b)
+                return jw if jw > 0.85 else 0.0
+            if informative_a and informative_b:
+                best = [
+                    max(token_match(a, b) for b in informative_b)
+                    for a in informative_a
+                ]
+                name_score = sum(best) / len(best)
+            elif tokens_a and tokens_b:
+                name_score = monge_elkan(tokens_a, tokens_b)
+
+        desc_score = monge_elkan(
+            word_tokens(left.group("desc")), word_tokens(right.group("desc"))
+        )
+        # Description synonym bridge: the model notices a description of A
+        # naming B's concept ("rxnorm code of the drug" vs drug_concept_id).
+        desc_tokens_a = set(word_tokens(left.group("desc")))
+        desc_tokens_b = set(word_tokens(right.group("desc")))
+        bridge = 0.0
+        if desc_tokens_a & set(tokens_b) or desc_tokens_b & set(tokens_a):
+            bridge = 0.5
+
+        samples_a = left.group("samples") or ""
+        samples_b = right.group("samples") or ""
+        sample_score = 0.0
+        if samples_a and samples_b:
+            set_a = {s.strip().casefold() for s in samples_a.split(",")}
+            set_b = {s.strip().casefold() for s in samples_b.split(",")}
+            if set_a & set_b:
+                sample_score = 1.0
+
+        return min(
+            1.0,
+            0.40 * name_score + 0.25 * desc_score + 0.15 * max(bridge, 0)
+            + 0.20 * sample_score,
+        )
+
+    def _answer_schema(self, parsed: ParsedPrompt, temperature: float) -> str:
+        query: MatchExample = parsed.query
+        profile = self.profile
+        if not parsed.demonstrations:
+            # Without demonstrations the model rarely understands what a
+            # schema-correspondence question wants (paper: 0.5 F1).
+            failure = 1.0 - profile.instruction_following * 0.15
+            if stable_unit(f"schemafail|{profile.name}|{query.left_text}") < failure:
+                return _CONFUSED
+        score = self._schema_similarity(query.left_text, query.right_text)
+        demos_scored = [
+            (
+                self._schema_similarity(demo.left_text, demo.right_text),
+                demo.label,
+            )
+            for demo in parsed.demonstrations
+            if isinstance(demo, MatchExample) and demo.label is not None
+        ]
+        return self._decide_yes_no(
+            score=score,
+            demos_scored=demos_scored,
+            prior=self.SCHEMA_PRIOR,
+            question=query.question,
+            signature="schema",
+            margin_key=f"{query.left_text}|{query.right_text}",
+            temperature=temperature,
+        )
+
+    # ----------------------------------------------------------- error task
+
+    def _answer_error(self, parsed: ParsedPrompt, temperature: float) -> str:
+        del temperature
+        query: ErrorExampleParsed = parsed.query
+        profile = self.profile
+        demos = [
+            demo for demo in parsed.demonstrations
+            if isinstance(demo, ErrorExampleParsed) and demo.label is not None
+        ]
+        signals = ErrorSignalModel(demos, profile, self.lexicon, self.kb)
+        if not demos:
+            # Zero-shot: the model has no concept of what counts as an
+            # error here and defaults to "No"; only occasionally does an
+            # egregious character-level anomaly provoke a "Yes".
+            if (
+                profile.can_spot_character_errors
+                and signals.typo_signal(query.attribute, query.value)
+                and stable_unit(f"zserr|{profile.name}|{query.value}")
+                < profile.instruction_following * 0.12
+            ):
+                return "Yes"
+            return "No"
+        return "Yes" if signals.is_error(query.attribute, query.value) else "No"
+
+    # ---------------------------------------------------------- impute task
+
+    def _answer_impute(self, parsed: ParsedPrompt, temperature: float) -> str:
+        del temperature
+        query: ImputeExampleParsed = parsed.query
+        profile = self.profile
+        context = parse_serialized_entity(query.context_text) or {}
+        demos = [
+            demo for demo in parsed.demonstrations
+            if isinstance(demo, ImputeExampleParsed) and demo.answer
+        ]
+
+        routes: list[str] | None = None
+        if demos:
+            verified = self.reasoner.verified_routes(demos)
+            if verified:
+                routes = verified
+        candidate, route = self.reasoner.infer(context, query.attribute, routes)
+        self._last_confidence = 0.9 if candidate is not None else 0.2
+        if routes is not None and candidate is not None:
+            self._last_confidence = 0.95  # demonstration-verified route
+        if candidate is None:
+            candidate = self.reasoner.fallback_guess(
+                query.attribute, query.context_text
+            )
+        if not candidate:
+            return _CONFUSED
+
+        if demos:
+            # Demonstrations ground the answer format (here: casing).
+            if all(demo.answer == demo.answer.lower() for demo in demos):
+                candidate = candidate.lower()
+            return candidate
+
+        # Zero-shot: no format grounding — the model embellishes.  A
+        # correction request is the exception: the original value sits in
+        # the prompt and anchors the output format.
+        correction = query.attribute.casefold().startswith(
+            ("corrected ", "fixed ", "repaired ")
+        )
+        embellish = (1.0 - profile.instruction_following) * 0.7
+        if not correction and (
+            stable_unit(f"embellish|{profile.name}|{query.context_text}") < embellish
+        ):
+            candidate = self._embellished(candidate, query.attribute)
+        return candidate
+
+    def _embellished(self, value: str, target: str) -> str:
+        """Add the kind of helpful-but-format-breaking detail LMs volunteer."""
+        target_folded = target.casefold()
+        if "city" in target_folded:
+            state = self.kb.lookup_one(
+                "city_to_state", value, min_frequency=self.profile.knowledge_floor
+            )
+            return f"{value}, {state}" if state else f"the city of {value}"
+        if target_folded in ("manufacturer", "brand", "maker"):
+            return f"{value} Inc."
+        return f"{target} is {value}"
+
+    # -------------------------------------------------------- transform task
+
+    def _answer_transform(self, parsed: ParsedPrompt, temperature: float) -> str:
+        del temperature
+        query: TransformExampleParsed = parsed.query
+        profile = self.profile
+        demos = [
+            (demo.source, demo.target)
+            for demo in parsed.demonstrations
+            if isinstance(demo, TransformExampleParsed) and demo.target is not None
+        ]
+        if demos:
+            exact = {source: target for source, target in demos}
+            if query.source in exact:
+                self._last_confidence = 1.0
+                return exact[query.source]
+            # Applying an induced program is fallible even for the largest
+            # models (the paper's FM solves ~2/3 of transformation tests at
+            # k=3): per-item slips, worse with weaker ICL.
+            demo_signature = "|".join(f"{s}->{t}" for s, t in demos)
+            failure = 0.15 + (1.0 - profile.icl_strength) * 0.5
+            draw_key = f"induct|{profile.name}|{demo_signature}|{query.source}"
+            if stable_unit(draw_key) < failure:
+                return query.source
+            hypothesis = induce_transformation(demos, profile, self.kb)
+            if hypothesis is not None:
+                result = hypothesis[1](query.source)
+                if result is not None:
+                    self._last_confidence = 0.9
+                    return result
+            self._last_confidence = 0.1  # echoing the input back
+            return query.source
+        return self._zero_shot_transform(parsed.instruction or "", query.source)
+
+    def _zero_shot_transform(self, instruction: str, source: str) -> str:
+        """Keyword-routed zero-shot transformation.
+
+        Two gates model why zero-shot transformation trails few-shot so
+        badly (Table 3): executing a *described* transformation requires
+        mapping the description onto an internal skill.  Syntactic skills
+        gate on instruction following alone; knowledge transforms must
+        additionally align the description with the right relation, which
+        fails more often.
+        """
+        profile = self.profile
+        text = instruction.casefold()
+        if not text:
+            return source
+        draw = stable_unit(f"zstransform|{profile.name}|{text}")
+        syntactic_gate = profile.instruction_following * 0.65
+        semantic_gate = profile.instruction_following * 0.3
+        floor = profile.knowledge_floor
+
+        # Knowledge routes.
+        if draw < semantic_gate:
+            if "area code" in text:
+                return self.kb.lookup_one("city_to_area_code", source, min_frequency=floor) or source
+            if "state" in text and "abbrev" in text:
+                return (
+                    self.kb.lookup_one("state_name_to_abbr", source, min_frequency=floor)
+                    or self.kb.lookup_one("city_to_state", source, min_frequency=floor)
+                    or source
+                )
+            if "state" in text:
+                return self.kb.lookup_one("city_to_state", source, min_frequency=floor) or source
+            if "city" in text:
+                return self.kb.lookup_one("zip_to_city", source, min_frequency=floor) or source
+            if "month" in text and "number" in text:
+                return self.kb.lookup_one("month_to_number", source, min_frequency=floor) or source
+            if "month" in text and ("full" in text or "expand" in text):
+                return self.kb.lookup_one("month_abbrev", source, min_frequency=floor) or source
+            if "month" in text and "abbrev" in text:
+                return source[:3]
+            if "to iso" in text or ("iso" in text and "convert" in text):
+                date = parse_date(source)
+                return render_date(date, "iso") if date else source
+
+        # Syntactic routes.
+        if draw < syntactic_gate:
+            if "extension" in text:
+                return source.rsplit(".", 1)[-1]
+            if "domain" in text:
+                without_scheme = source.split("//")[-1]
+                host = without_scheme.split("/")[0]
+                return host[4:] if host.startswith("www.") else host
+            if "initial" in text:
+                words = source.split()
+                return "".join(word[0] + "." for word in words) if len(words) > 1 else source
+            if "first name then last" in text or "swap" in text:
+                if ", " in source:
+                    head, _sep, tail = source.partition(", ")
+                    return f"{tail} {head}"
+                return source
+            if "pad" in text and "zero" in text:
+                return source.zfill(5)
+            if "middle" in text and "-" in source:
+                parts = source.split("-")
+                return parts[len(parts) // 2] if len(parts) >= 3 else source
+            if "currency" in text:
+                return source.replace("$", "").replace(",", "")
+            if "decimal" in text:
+                return source.split(".")[0]
+            if "upper" in text:
+                return source.upper()
+            if "lower" in text:
+                return source.lower()
+            if "title" in text:
+                return " ".join(
+                    word.capitalize() for word in source.replace("_", " ").split()
+                )
+            if "mm/dd/yyyy" in text or ("us" in text.split() and "date" in text):
+                date = parse_date(source)
+                return render_date(date, "us_slash") if date else source
+        return source
+
+    # ----------------------------------------------------------- fallthrough
+
+    def _answer_unknown(self, prompt: str) -> str:
+        """Free-text continuation for unrecognized prompts.
+
+        A real LM would ramble; the simulator picks a canned continuation
+        keyed by the prompt so the behaviour is at least deterministic.
+        """
+        tokens = word_tokens(prompt)[-3:]
+        seedling = " ".join(tokens) if tokens else "that"
+        choices = (
+            f"Here is more about {seedling}.",
+            _CONFUSED,
+            f"{seedling.capitalize()}.",
+        )
+        return choices[int(stable_unit(f"unk|{prompt}") * len(choices))]

@@ -1,0 +1,194 @@
+"""Error-detection signals the simulated FM derives from a prompt.
+
+Few-shot error detection works because demonstrations teach the model what
+"error" means *for this dataset*.  The engine operationalizes that as a set
+of signals computed from the demonstrations plus the model's pretraining
+lexicon:
+
+* **Typo signals** (Hospital-style corruption) — a token that is not in
+  the lexicon/demo vocabulary but is within edit distance 1–2 of a known
+  token, or a digits+`x` hybrid, or a value whose structural pattern
+  deviates from the attribute's unanimous demo pattern.  These require
+  character-level reasoning and are gated on
+  ``profile.can_spot_character_errors`` — subword tokenization denies them
+  to smaller models, which is why GPT-3-6.7B scores ≈0 F1 on Hospital
+  while acing Adult.
+* **Domain signals** (Adult-style violation) — the value belongs to a
+  different attribute's observed domain, or falls far outside the numeric
+  range the demonstrations establish.  These need only in-context
+  learning, not depth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.fm.parsing import ErrorExampleParsed, parse_serialized_entity
+from repro.fm.profiles import ModelProfile
+from repro.knowledge.base import KnowledgeBase
+from repro.text.patterns import is_numeric, value_pattern
+from repro.text.similarity import levenshtein
+from repro.text.tokenize import word_tokens
+
+
+class ErrorSignalModel:
+    """Signals learned from the demonstrations of one ED prompt."""
+
+    def __init__(
+        self,
+        demonstrations: list[ErrorExampleParsed],
+        profile: ModelProfile,
+        lexicon: frozenset[str],
+        kb: KnowledgeBase | None = None,
+    ):
+        self.profile = profile
+        self.lexicon = lexicon
+        self.kb = kb
+        self.attribute_values: dict[str, set[str]] = defaultdict(set)
+        self.attribute_patterns: dict[str, set[str]] = defaultdict(set)
+        self.demo_tokens: set[str] = set()
+        self._ingest(demonstrations)
+
+    def _ingest(self, demonstrations: list[ErrorExampleParsed]) -> None:
+        # Values labeled dirty anywhere must never enter the clean
+        # vocabulary — context rows repeat the same cells, and absorbing a
+        # corrupted token as "known" would mask every later occurrence.
+        known_dirty = {
+            (demo.attribute, demo.value.casefold().strip())
+            for demo in demonstrations
+            if demo.label is True and demo.value
+        }
+        dirty_values = {value for _attr, value in known_dirty}
+        for demo in demonstrations:
+            # The question cell itself, when labeled clean, is trusted.
+            if demo.label is False and demo.value:
+                self._observe(demo.attribute, demo.value)
+            # Context rows are overwhelmingly clean cells; a real LM reads
+            # them as examples of what this table's values look like.
+            entity = parse_serialized_entity(demo.context_text) or {}
+            for attribute, value in entity.items():
+                if not value:
+                    continue
+                folded = value.casefold().strip()
+                if (attribute, folded) in known_dirty or folded in dirty_values:
+                    continue
+                self._observe(attribute, value)
+
+    def _observe(self, attribute: str, value: str) -> None:
+        folded = value.casefold().strip()
+        self.attribute_values[attribute].add(folded)
+        self.attribute_patterns[attribute].add(value_pattern(folded))
+        self.demo_tokens.update(word_tokens(folded))
+
+    @property
+    def has_demonstrations(self) -> bool:
+        return bool(self.attribute_values)
+
+    # -- token plausibility --------------------------------------------------
+
+    def _token_known(self, token: str) -> bool:
+        if token in self.lexicon or token in self.demo_tokens:
+            return True
+        return is_numeric(token)
+
+    def _near_miss(self, token: str) -> bool:
+        """Unknown token one or two edits from a known token of same length."""
+        if len(token) < 2:
+            return False
+        budget = 1 if len(token) <= 5 else 2
+        for known in self.demo_tokens:
+            if abs(len(known) - len(token)) <= budget:
+                if levenshtein(token, known, max_distance=budget) <= budget:
+                    return True
+        # The lexicon is large; restrict to candidates sharing a first or
+        # last character to keep this linear scan honest but cheap.
+        for known in self.lexicon:
+            if abs(len(known) - len(token)) > budget:
+                continue
+            if known and token and known[0] != token[0] and known[-1] != token[-1]:
+                continue
+            if levenshtein(token, known, max_distance=budget) <= budget:
+                return True
+        return False
+
+    @staticmethod
+    def _digits_with_x(token: str) -> bool:
+        """'100x5'-style hybrids: digits with an embedded x."""
+        if "x" not in token:
+            return False
+        stripped = token.replace("x", "")
+        return stripped.isdigit() and len(stripped) >= 1
+
+    # -- signals ---------------------------------------------------------------
+
+    def typo_signal(self, attribute: str, value: str) -> bool:
+        """Character-level corruption evidence (depth-gated by the caller)."""
+        folded = value.casefold().strip()
+        if folded in self.attribute_values.get(attribute, ()):
+            return False
+        for token in word_tokens(folded):
+            if self._digits_with_x(token):
+                return True
+            if not self._token_known(token) and self._near_miss(token):
+                return True
+        # Structural deviation from a unanimous attribute pattern.
+        patterns = self.attribute_patterns.get(attribute)
+        if patterns and len(patterns) == 1:
+            if value_pattern(folded) not in patterns:
+                return True
+        return False
+
+    def domain_signal(self, attribute: str, value: str) -> bool:
+        """Wrong-domain or out-of-range evidence (needs only ICL)."""
+        folded = value.casefold().strip()
+        own = self.attribute_values.get(attribute, set())
+        # Numeric range learned from demonstrations.  Numbers are never
+        # treated as categorical domain members — an age of 47 showing up
+        # among hours-per-week values means nothing.
+        own_numeric = [float(v) for v in own if is_numeric(v)]
+        if is_numeric(folded):
+            if not own_numeric:
+                return False
+            low, high = min(own_numeric), max(own_numeric)
+            # Ten demonstrations bracket the range loosely; the model's
+            # common sense extends it by a full span in each direction.
+            span = max(high - low, 1.0)
+            number = float(folded)
+            if number < 0 and low >= 0:
+                return True  # a sign flip is visible even to a subword model
+            if number < low - span or number > high + span:
+                return True
+            return False
+        # Pretrained domain semantics first: the model *knows* which
+        # attribute a category value belongs to, and that knowledge beats
+        # demonstration context (which may itself contain dirty cells).
+        if self.kb is not None:
+            domain = self.kb.lookup_one(
+                "census_domain", folded,
+                min_frequency=self.profile.knowledge_floor,
+            )
+            if domain is not None:
+                return domain.casefold() != attribute.casefold()
+        if folded in own:
+            return False
+        # Categorical cross-domain membership observed in the demos.
+        for other_attribute, values in self.attribute_values.items():
+            if other_attribute == attribute:
+                continue
+            if folded in values:
+                return True
+        return False
+
+    # -- decision -------------------------------------------------------------
+
+    def is_error(self, attribute: str, value: str) -> bool:
+        """Combined few-shot decision for one cell."""
+        if not value.strip():
+            return False
+        if self.has_demonstrations and self.profile.icl_strength >= 0.55:
+            if self.domain_signal(attribute, value):
+                return True
+        if self.profile.can_spot_character_errors:
+            if self.typo_signal(attribute, value):
+                return True
+        return False

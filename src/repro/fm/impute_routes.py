@@ -1,0 +1,345 @@
+"""Imputation reasoning: inference routes from row context to missing value.
+
+A prompted FM imputes a missing value by combining functional dependencies
+it memorized during pretraining (area code → city, product line → brand)
+with format conventions it reads off the demonstrations.  Each *route* is
+one such dependency; with demonstrations available, routes are verified
+against them before use (in-context route selection), without them the
+model falls back to a fixed prior ordering — one of the reasons zero-shot
+imputation trails few-shot.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fm.parsing import ImputeExampleParsed, parse_serialized_entity
+from repro.fm.profiles import ModelProfile
+from repro.fm.semantic import SemanticComparator, stable_unit
+from repro.knowledge.base import KnowledgeBase
+from repro.text.normalize import normalize_value
+from repro.text.patterns import is_zip_like
+from repro.text.similarity import levenshtein
+from repro.text.tokenize import word_tokens
+
+_AREA_CODE_RE = re.compile(r"^\D*(\d{3})")
+_WORDISH_RE = re.compile(r"[A-Za-z0-9]+")
+
+#: High-frequency English words a language model prefers when a repair is
+#: otherwise ambiguous ("ax" → "at", not "ak").
+_FUNCTION_WORDS = frozenset(
+    "a an and are as at be by for from in is it of on or the to with".split()
+)
+
+
+class ImputationReasoner:
+    """Applies knowledge routes to impute one attribute of one row."""
+
+    #: Prior route order used when no demonstrations can verify routes.
+    PRIOR_ORDER = (
+        "spell_repair", "phone_to_city", "zip_to_city", "zip_to_state",
+        "name_to_city", "brand_in_name", "product_line", "city_to_state",
+        "state_to_zip", "city_to_zip", "name_to_brewery", "name_to_artist",
+    )
+
+    def __init__(self, profile: ModelProfile, kb: KnowledgeBase,
+                 comparator: SemanticComparator,
+                 lexicon: frozenset[str] | None = None):
+        self.profile = profile
+        self.kb = kb
+        self.comparator = comparator
+        #: Pretraining vocabulary used by the spell-repair route.
+        self.lexicon = lexicon or frozenset()
+
+    # -- context access -------------------------------------------------------
+
+    @staticmethod
+    def _context_value(context: dict[str, str], *keywords: str) -> str | None:
+        """First context value whose attribute name contains a keyword."""
+        for attribute, value in context.items():
+            folded = attribute.casefold()
+            if value and any(keyword in folded for keyword in keywords):
+                return value
+        return None
+
+    def _extract_area_code(self, phone: str) -> str | None:
+        """Pull the leading area code; shallow models sometimes fumble it.
+
+        Area-code extraction is character-level surgery on a formatted
+        string — reliably available only to deep models.
+        """
+        match = _AREA_CODE_RE.match(phone)
+        if not match:
+            return None
+        failure = (1.0 - self.profile.semantic_depth) * 0.5
+        if stable_unit(f"areacode|{self.profile.name}|{phone}") < failure:
+            return None
+        return match.group(1)
+
+    # -- routes ---------------------------------------------------------------
+
+    def _best_lexicon_match(self, token: str) -> str | None:
+        """Deterministic closest lexicon word within one edit of ``token``."""
+        best: tuple | None = None
+        for known in self.lexicon:
+            if abs(len(known) - len(token)) > 1:
+                continue
+            if known and token and known[0] != token[0] and known[-1] != token[-1]:
+                continue
+            distance = levenshtein(token, known, max_distance=1)
+            if distance > 1:
+                continue
+            rank = (
+                distance,
+                0 if known and token and known[0] == token[0] else 1,
+                0 if known in _FUNCTION_WORDS else 1,  # LM prior: common words win ties
+                abs(len(known) - len(token)),
+                known,
+            )
+            if best is None or rank < best[0]:
+                best = (rank, known)
+        return best[1] if best else None
+
+    def _spell_repair(self, context: dict[str, str], target: str) -> str | None:
+        """Fix a corrupted value in place: "corrected city?" given
+        "city: bxston".
+
+        Character-level surgery plus functional-dependency cross-checks —
+        available only to models deep enough to see characters through
+        their tokenization.  Edits are spliced into the original string so
+        punctuation and casing outside the bad token survive.
+        """
+        if not self.profile.can_spot_character_errors or not self.lexicon:
+            return None
+        target_folded = target.casefold()
+        if not target_folded.startswith(("corrected ", "fixed ", "repaired ")):
+            return None
+        base_attribute = target_folded.split(" ", 1)[1]
+        dirty = None
+        for attribute, value in context.items():
+            if attribute.casefold() == base_attribute and value:
+                dirty = value
+                break
+        if dirty is None:
+            return None
+
+        floor = self.profile.knowledge_floor
+        city = self._context_value(
+            {k: v for k, v in context.items() if k.casefold() != base_attribute},
+            "city",
+        )
+
+        # FD-aware repair: the row's city pins down states and zip codes.
+        if "state" in base_attribute and city:
+            state = self.kb.lookup_one(
+                "city_to_state", normalize_value(city), min_frequency=floor
+            )
+            if state:
+                return state.lower() if dirty.islower() else state
+        if "zip" in base_attribute and city:
+            known_city = self.kb.lookup_one(
+                "city_to_state", normalize_value(city), min_frequency=floor
+            )
+            if known_city is not None:
+                candidates = [
+                    fact.obj
+                    for fact in self.kb.lookup(
+                        "city_to_zip", normalize_value(city), min_frequency=floor
+                    )
+                ]
+                for candidate in candidates:
+                    if levenshtein(candidate, dirty, max_distance=1) <= 1:
+                        return candidate
+
+        # Token-level repair, spliced back into the original string.
+        repaired = dirty
+        changed = False
+        for match in list(_WORDISH_RE.finditer(dirty))[::-1]:
+            token = match.group(0).casefold()
+            if token in self.lexicon or token.isdigit():
+                continue
+            replacement = self._best_lexicon_match(token)
+            if replacement is None:
+                continue
+            repaired = (
+                repaired[: match.start()] + replacement + repaired[match.end():]
+            )
+            changed = True
+        if changed:
+            return repaired.casefold() if dirty.islower() else repaired
+        return dirty
+
+    def _apply_route(
+        self, route: str, context: dict[str, str], target: str
+    ) -> str | None:
+        floor = self.profile.knowledge_floor
+        target_folded = target.casefold()
+
+        if route == "spell_repair":
+            return self._spell_repair(context, target)
+        if route == "phone_to_city" and "city" in target_folded:
+            phone = self._context_value(context, "phone")
+            if phone:
+                area_code = self._extract_area_code(phone)
+                if area_code:
+                    return self.kb.lookup_one(
+                        "area_code_to_city", area_code, min_frequency=floor
+                    )
+        elif route == "zip_to_city" and "city" in target_folded:
+            zip_value = self._context_value(context, "zip", "postal")
+            if zip_value and is_zip_like(zip_value):
+                return self.kb.lookup_one("zip_to_city", zip_value, min_frequency=floor)
+        elif route == "zip_to_state" and "state" in target_folded:
+            zip_value = self._context_value(context, "zip", "postal")
+            if zip_value and is_zip_like(zip_value):
+                return self.kb.lookup_one("zip_to_state", zip_value, min_frequency=floor)
+        elif route == "name_to_city" and "city" in target_folded:
+            name = self._context_value(context, "name")
+            if name:
+                return self.kb.lookup_one(
+                    "restaurant_to_city", normalize_value(name), min_frequency=floor
+                )
+        elif route == "brand_in_name" and target_folded in (
+            "manufacturer", "brand", "maker",
+        ):
+            blob = " ".join(value for value in context.values() if value)
+            return self.comparator.infer_brand(blob)
+        elif route == "product_line" and target_folded in (
+            "manufacturer", "brand", "maker",
+        ):
+            name = self._context_value(context, "name", "title")
+            if name:
+                return self._product_line_lookup(name)
+        elif route == "city_to_state" and "state" in target_folded:
+            city = self._context_value(context, "city")
+            if city:
+                return self.kb.lookup_one(
+                    "city_to_state", normalize_value(city), min_frequency=floor
+                )
+        elif route == "city_to_zip" and "zip" in target_folded:
+            city = self._context_value(context, "city")
+            if city:
+                return self.kb.lookup_one(
+                    "city_to_zip", normalize_value(city), min_frequency=floor
+                )
+        elif route == "state_to_zip" and "zip" in target_folded:
+            # "Address + State → ZipCode" (Table 6's first probe): recall
+            # the state's best-attested city and answer with its zip — a
+            # plausible, type-correct zip in the right region.
+            state = self._context_value(context, "state")
+            if state:
+                city = self.kb.lookup_one(
+                    "state_to_city", state.strip(), min_frequency=floor
+                )
+                if city:
+                    return self.kb.lookup_one(
+                        "city_to_zip", city, min_frequency=floor
+                    )
+        elif route == "name_to_brewery" and (
+            "brew" in target_folded or "factory" in target_folded
+        ):
+            name = self._context_value(context, "name")
+            if name:
+                return self.kb.lookup_one(
+                    "beer_to_brewery", normalize_value(name), min_frequency=floor
+                )
+        elif route == "name_to_artist" and "artist" in target_folded:
+            name = self._context_value(context, "name", "song")
+            if name:
+                return self.kb.lookup_one(
+                    "track_to_artist", normalize_value(name), min_frequency=floor
+                )
+        return None
+
+    def _product_line_lookup(self, name: str) -> str | None:
+        """Match a (possibly dirty) product name against known product lines.
+
+        Exact subject lookup first, then a token-subset fuzzy match for
+        deep models.
+        """
+        floor = self.profile.knowledge_floor
+        normalized = normalize_value(name)
+        answer = self.kb.lookup_one(
+            "product_to_manufacturer", normalized, min_frequency=floor
+        )
+        if answer is not None:
+            return answer
+        if self.profile.semantic_depth < 0.6:
+            return None
+        name_tokens = set(word_tokens(normalized))
+        if not name_tokens:
+            return None
+        best: tuple[float, str] | None = None
+        for fact in self.kb.facts_for_relation("product_to_manufacturer"):
+            if fact.frequency < floor:
+                continue
+            subject_tokens = set(word_tokens(normalize_value(fact.subject)))
+            if not subject_tokens or not subject_tokens <= name_tokens:
+                continue
+            score = len(subject_tokens)
+            if best is None or score > best[0]:
+                best = (score, fact.obj)
+        return best[1] if best else None
+
+    # -- fallback guesses -------------------------------------------------------
+
+    def fallback_guess(self, target: str, context_key: str) -> str:
+        """Type-consistent guess when no route fires.
+
+        This is the small-model behaviour Table 6 documents: the answer has
+        the right *semantic type* but the wrong identity.
+        """
+        target_folded = target.casefold()
+        if "city" in target_folded:
+            return self.kb.lookup_one("area_code_to_city", "212") or "new york"
+        if "state" in target_folded:
+            return "CA"
+        if "zip" in target_folded:
+            unit = stable_unit(f"zipguess|{self.profile.name}|{context_key}")
+            return f"{10000 + int(unit * 89999):05d}"
+        if target_folded in ("manufacturer", "brand", "maker"):
+            return "Sony"
+        if "artist" in target_folded:
+            return "unknown artist"
+        return ""
+
+    # -- public API ---------------------------------------------------------------
+
+    def verified_routes(self, demonstrations: list[ImputeExampleParsed]) -> list[str]:
+        """Routes that reproduce the demonstrations, best-verified first."""
+        scores: list[tuple[float, int, str]] = []
+        for order, route in enumerate(self.PRIOR_ORDER):
+            attempted = 0
+            correct = 0
+            for demo in demonstrations:
+                if demo.answer is None:
+                    continue
+                context = parse_serialized_entity(demo.context_text) or {}
+                candidate = self._apply_route(route, context, demo.attribute)
+                if candidate is None:
+                    continue
+                attempted += 1
+                if candidate.casefold().strip() == demo.answer.casefold().strip():
+                    correct += 1
+            if attempted:
+                scores.append((correct / attempted, -order, route))
+        scores.sort(reverse=True)
+        return [route for score, _order, route in scores if score >= 0.5]
+
+    def infer(
+        self,
+        context: dict[str, str],
+        target: str,
+        routes: list[str] | None = None,
+    ) -> tuple[str | None, str]:
+        """Best candidate value and the route that produced it.
+
+        ``routes`` restricts/reorders the attempts (demonstration-verified
+        routes); ``None`` means the zero-shot prior ordering.
+        """
+        order = routes if routes is not None else list(self.PRIOR_ORDER)
+        for route in order:
+            candidate = self._apply_route(route, context, target)
+            if candidate:
+                return candidate, route
+        return None, "fallback"

@@ -1,0 +1,235 @@
+"""In-context program induction for transformation prompts.
+
+Given Input/Output demonstration pairs, the simulated FM tries, in order:
+
+1. **Knowledge route** — a single knowledge-base relation consistent with
+   every demonstration (city → state, month → number, zip → city …),
+   gated by the profile's knowledge floor.  This is the route no string
+   program can imitate and the reason the FM dominates the semantic
+   Bing-QueryLogs cases.
+2. **Date route** — a date-layout conversion consistent with the demos.
+3. **Syntactic route** — a small search over the model's latent string
+   programs (split/take, case mapping, character removal, affixing,
+   initials, zero-padding), composed up to depth 2.  The repertoire is
+   narrower than a dedicated synthesizer like TDE — deliberately: the FM
+   is a generalist.
+
+``icl_strength`` scales the syntactic repertoire and search depth, so
+smaller models induce fewer programs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.fm.dates import induce_date_conversion, parse_date, render_date
+from repro.fm.profiles import ModelProfile
+from repro.knowledge.base import KnowledgeBase
+
+Program = Callable[[str], "str | None"]
+
+
+# ---------------------------------------------------------------------------
+# Knowledge route
+# ---------------------------------------------------------------------------
+
+def induce_knowledge_relation(
+    examples: list[tuple[str, str]],
+    kb: KnowledgeBase,
+    floor: float,
+) -> str | None:
+    """A single KB relation that explains every demonstration, if any."""
+    if len(examples) < 2:
+        return None
+    for relation in sorted(kb.relations()):
+        consistent = True
+        for source, target in examples:
+            answer = kb.lookup_one(relation, source.strip(), min_frequency=floor)
+            if answer is None or answer.casefold() != target.strip().casefold():
+                consistent = False
+                break
+        if consistent:
+            return relation
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Syntactic route
+# ---------------------------------------------------------------------------
+
+_SEPARATORS = (" ", "-", "_", "/", ".", ", ", "|", "//www.")
+_REMOVABLE = ("$", ",", "(", ")", " ", "-", '"')
+
+
+def _take(separator: str, index: int) -> Program:
+    def program(value: str) -> str | None:
+        parts = value.split(separator)
+        if len(parts) < 2:
+            return None
+        try:
+            return parts[index]
+        except IndexError:
+            return None
+    return program
+
+
+def _swap_comma(value: str) -> str | None:
+    if ", " not in value:
+        return None
+    head, _sep, tail = value.partition(", ")
+    return f"{tail} {head}"
+
+
+def _initials(value: str) -> str | None:
+    words = value.split()
+    if len(words) < 2:
+        return None
+    return "".join(word[0] + "." for word in words)
+
+
+def _remove(char: str) -> Program:
+    def program(value: str) -> str | None:
+        if char not in value:
+            return None
+        return value.replace(char, "")
+    return program
+
+
+def _replace(old: str, new: str) -> Program:
+    def program(value: str) -> str | None:
+        if old not in value:
+            return None
+        return value.replace(old, new)
+    return program
+
+
+def _zfill(width: int) -> Program:
+    return lambda value: value.zfill(width)
+
+
+def _affix(prefix: str, suffix: str) -> Program:
+    return lambda value: f"{prefix}{value}{suffix}"
+
+
+def _title_words(value: str) -> str:
+    return " ".join(word.capitalize() for word in value.split())
+
+
+def _base_programs(examples: list[tuple[str, str]], rich: bool) -> list[tuple[str, Program]]:
+    """Unary candidate programs, with parameters inferred from the demos."""
+    programs: list[tuple[str, Program]] = [
+        ("identity", lambda value: value),
+        ("lower", str.lower),
+        ("upper", str.upper),
+        ("title_words", _title_words),
+        ("swap_comma", _swap_comma),
+        ("initials", _initials),
+    ]
+    for separator in _SEPARATORS:
+        for index in (0, 1, 2, -1):
+            programs.append((f"take({separator!r},{index})", _take(separator, index)))
+    for char in _REMOVABLE:
+        programs.append((f"remove({char!r})", _remove(char)))
+    if rich:
+        programs.append(("replace('_',' ')", _replace("_", " ")))
+        programs.append(("replace(' ','_')", _replace(" ", "_")))
+
+    # Parameter inference from demonstrations: zero-pad width, common affixes.
+    widths = {len(target) for _source, target in examples}
+    if len(widths) == 1:
+        programs.append((f"zfill({widths.pop()})", _zfill(len(examples[0][1]))))
+    sources = [source for source, _target in examples]
+    targets = [target for _source, target in examples]
+    for source, target in examples[:1]:
+        if source and source in target:
+            prefix, _mid, suffix = target.partition(source)
+            if all(s in t and t == f"{prefix}{s}{suffix}" for s, t in zip(sources, targets)):
+                programs.append((f"affix({prefix!r},{suffix!r})", _affix(prefix, suffix)))
+    return programs
+
+
+def _consistent(program: Program, examples: list[tuple[str, str]]) -> bool:
+    for source, target in examples:
+        result = program(source)
+        if result is None or result != target:
+            return False
+    return True
+
+
+def induce_string_program(
+    examples: list[tuple[str, str]],
+    profile: ModelProfile,
+) -> tuple[str, Program] | None:
+    """Search the latent program space for one consistent with the demos.
+
+    Depth-1 first, then depth-2 compositions when ``icl_strength`` allows.
+    Returns (description, program) or ``None``.
+    """
+    if not examples:
+        return None
+    rich = profile.icl_strength >= 0.6
+    candidates = _base_programs(examples, rich=rich)
+
+    for name, program in candidates:
+        if _consistent(program, examples):
+            return name, program
+
+    if profile.icl_strength < 0.55:
+        return None
+
+    # Depth-2: compose, pruning first stages that fail on the first demo.
+    first_source = examples[0][0]
+    viable_first = [
+        (name, program) for name, program in candidates
+        if program(first_source) is not None
+    ]
+    for name_a, program_a in viable_first:
+        intermediate_examples = []
+        broken = False
+        for source, target in examples:
+            mid = program_a(source)
+            if mid is None:
+                broken = True
+                break
+            intermediate_examples.append((mid, target))
+        if broken:
+            continue
+        # Second-stage candidates get parameters re-inferred on the
+        # intermediate pairs (affixes, pad widths).
+        for name_b, program_b in _base_programs(intermediate_examples, rich=rich):
+            if name_b == "identity":
+                continue
+            if _consistent(program_b, intermediate_examples):
+                return f"{name_a} | {name_b}", program_b if name_a == "identity" else (
+                    lambda value, pa=program_a, pb=program_b: (
+                        None if pa(value) is None else pb(pa(value))
+                    )
+                )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Combined induction
+# ---------------------------------------------------------------------------
+
+def induce_transformation(
+    examples: list[tuple[str, str]],
+    profile: ModelProfile,
+    kb: KnowledgeBase,
+) -> tuple[str, Program] | None:
+    """Best transformation hypothesis for the demos, or ``None``."""
+    relation = induce_knowledge_relation(examples, kb, profile.knowledge_floor)
+    if relation is not None:
+        def knowledge_program(value: str, rel=relation) -> str | None:
+            return kb.lookup_one(rel, value.strip(),
+                                 min_frequency=profile.knowledge_floor)
+        return f"kb:{relation}", knowledge_program
+
+    layout = induce_date_conversion(examples)
+    if layout is not None:
+        def date_program(value: str, out=layout) -> str | None:
+            date = parse_date(value)
+            return None if date is None else render_date(date, out)
+        return f"date:{layout}", date_program
+
+    return induce_string_program(examples, profile)

@@ -1,0 +1,129 @@
+"""The simulated model's pretraining vocabulary.
+
+A real web-scale FM has seen virtually every common English word and every
+entity name in our synthetic world.  The lexicon materializes that: the
+set of word tokens appearing in the world corpora, the domain vocabularies
+in :mod:`repro.knowledge`, and a core English function/content word list.
+
+The engine uses the lexicon for *plausibility* checks — a token that is
+not in the lexicon but lies within edit distance 1–2 of a lexicon token is
+the signature of a typo (the Hospital benchmark's corruption style).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.knowledge.calendar import MONTHS, WEEKDAYS
+from repro.knowledge.census import ADULT_DOMAINS
+from repro.knowledge.geography import CUISINES, STREET_NAMES
+from repro.knowledge.medical import (
+    CONDITIONS_MEASURES,
+    HOSPITAL_NAME_PARTS,
+    OMOP_ATTRIBUTES,
+    SYNTHEA_ATTRIBUTES,
+)
+from repro.knowledge.world import World, default_world
+from repro.text.normalize import ABBREVIATIONS
+from repro.text.tokenize import word_tokens
+
+# Core English: function words plus the content words our templates and
+# generators lean on.  (A real FM's vocabulary is unbounded; this list only
+# needs to cover words that might appear in a *clean* cell.)
+_CORE_ENGLISH = """
+a an and are at be but by for from has have in is it of on or the to with
+was were will would can could should this that these those not no yes
+hospital clinic center medical health care street avenue boulevard road
+drive lane highway suite apartment north south east west old new upper
+lower town city county state zip code phone number address name type
+restaurant cafe grill bistro kitchen bar eatery food menu
+company corporation incorporated limited international manufacturing
+department university college school institute
+black silver white refurbished retail box oem pack case compact
+professional home edition upgrade full version windows wireless digital
+camera camcorder monitor printer router flash drive external hard
+noise canceling headphones bluetooth speaker navigator player theater
+system scanner inkjet memory card mouse keyboard webcam projector
+receiver antivirus office suite photo editor video tax software backup
+utility firewall tuneup drawing pdf remote access cad
+song artist album genre price time released explicit live
+title authors venue year conference proceedings journal transactions
+beer brewery ales brewing factory style stout ale lager pilsner porter
+saison witbier barleywine hefeweizen
+age workclass education marital status occupation relationship race sex
+hours per week country income private federal local gov
+measure condition discharge arrival instructions evaluation function
+vaccination culture blood timing selection prevention surgical infection
+pneumonia failure heart attack aspirin antibiotic antibiotics beta
+blocker fibrinolytic inhibitor prophylactic pneumococcal hour minutes
+stopped within initial before at
+main oak maple elm cedar lake river valley view mission ocean park
+church pearl spring canal front bay grand union melrose ventura colorado
+sunset pacific coast point highland market broadway
+"""
+
+
+def _add_text(vocabulary: set[str], text: str) -> None:
+    vocabulary.update(word_tokens(text))
+
+
+@lru_cache(maxsize=2)
+def _build_lexicon(world: World) -> frozenset[str]:
+    vocabulary: set[str] = set()
+    _add_text(vocabulary, _CORE_ENGLISH)
+    vocabulary.update(ABBREVIATIONS)
+    vocabulary.update(ABBREVIATIONS.values())
+
+    for street in STREET_NAMES:
+        _add_text(vocabulary, street)
+    for cuisine in CUISINES:
+        _add_text(vocabulary, cuisine)
+    for part in HOSPITAL_NAME_PARTS:
+        _add_text(vocabulary, part)
+    for condition, measures in CONDITIONS_MEASURES:
+        _add_text(vocabulary, condition)
+        for measure in measures:
+            _add_text(vocabulary, measure)
+    for domain in ADULT_DOMAINS.values():
+        for value in domain:
+            _add_text(vocabulary, value)
+    for month in MONTHS:
+        _add_text(vocabulary, month)
+        vocabulary.add(month[:3].lower())
+    for day in WEEKDAYS:
+        _add_text(vocabulary, day)
+        vocabulary.add(day[:3].lower())
+    for attribute in SYNTHEA_ATTRIBUTES + OMOP_ATTRIBUTES:
+        _add_text(vocabulary, attribute.name.replace("_", " "))
+        _add_text(vocabulary, attribute.description)
+
+    for city in world.cities:
+        _add_text(vocabulary, city.name)
+        _add_text(vocabulary, city.state_name)
+        vocabulary.add(city.state_abbr.lower())
+    for product in world.products:
+        _add_text(vocabulary, product.name)
+    for track in world.tracks:
+        _add_text(vocabulary, track.title)
+        _add_text(vocabulary, track.artist)
+        _add_text(vocabulary, track.album)
+        _add_text(vocabulary, track.genre)
+    for paper in world.papers:
+        _add_text(vocabulary, paper.title)
+        for author in paper.authors:
+            _add_text(vocabulary, author)
+        _add_text(vocabulary, paper.venue)
+    for restaurant in world.restaurants:
+        _add_text(vocabulary, restaurant.name)
+        _add_text(vocabulary, restaurant.address)
+    for beer in world.beers:
+        _add_text(vocabulary, beer.name)
+        _add_text(vocabulary, beer.brewery)
+        _add_text(vocabulary, beer.style)
+
+    return frozenset(vocabulary)
+
+
+def default_lexicon(world: World | None = None) -> frozenset[str]:
+    """The cached pretraining vocabulary for ``world`` (default world)."""
+    return _build_lexicon(world or default_world())

@@ -1,0 +1,256 @@
+"""Prompt parsing — the mechanical analogue of in-context learning.
+
+The engine receives one opaque string.  This module splits it into blank-
+line-separated blocks, classifies each block as a demonstration or the
+query of one of the recognized task shapes, and extracts structure:
+
+* ``match``     — "<Noun> A is …\\n<Noun> B is …\\n<question>? [Yes|No]"
+* ``schema``    — the same shape with noun "Attribute"
+* ``error``     — "[context line]\\nIs there an error in attr: value? [Yes|No]"
+* ``impute``    — "attr: val. … attr_j? [answer]"
+* ``transform`` — "Input: …\\nOutput: [answer]"
+
+Anything unrecognized at the top of the prompt is kept as the instruction.
+The parser is intentionally tolerant about wording (question text is
+captured verbatim — the engine hashes it for format sensitivity) but
+strict about the structural skeleton, mirroring how a real FM keys off
+prompt structure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_ENTITY_A_RE = re.compile(r"^([A-Z][A-Za-z]*) A is (.*?)\.?$")
+_ENTITY_B_RE = re.compile(r"^([A-Z][A-Za-z]*) B is (.*?)\.?$")
+_QUESTION_ANSWER_RE = re.compile(r"^(.*\?)(?:\s+(Yes|No))?\s*$")
+_ERROR_RE = re.compile(
+    r"^(?P<question>Is there an error in (?P<attribute>[\w &/-]+?)"
+    r":\s*(?P<value>.*?)\?)(?:\s+(?P<answer>Yes|No))?\s*$"
+)
+_IMPUTE_RE = re.compile(
+    r"^(?P<context>.+?)\.\s+(?P<attribute>[\w &/-]+?)\?(?:\s+(?P<answer>.+?))?\s*$"
+)
+_INPUT_RE = re.compile(r"^Input:\s*(?P<value>.*)$")
+_OUTPUT_RE = re.compile(r"^Output:\s*(?P<value>.*)$")
+# "name: " style key prefixes inside a serialized entity.
+_KEY_RE = re.compile(r"(?:^|\.\s+)([A-Za-z_][\w ]{0,30}?):\s")
+# Ditto-style "COL name VAL value" rendering.
+_DITTO_RE = re.compile(r"COL ([\w ]{1,30}?) VAL ")
+
+
+def parse_serialized_entity(text: str) -> dict[str, str] | None:
+    """Recover the attr → value dict from ``serialize_row`` output.
+
+    Returns ``None`` when no ``attr:`` keys are present (the "w/o attribute
+    names" ablation), in which case callers fall back to whole-text
+    comparison.
+    """
+    ditto_matches = list(_DITTO_RE.finditer(text))
+    if ditto_matches:
+        entity: dict[str, str] = {}
+        for i, match in enumerate(ditto_matches):
+            start = match.end()
+            end = (
+                ditto_matches[i + 1].start()
+                if i + 1 < len(ditto_matches) else len(text)
+            )
+            entity[match.group(1).strip()] = text[start:end].strip()
+        return entity
+    matches = list(_KEY_RE.finditer(text))
+    if not matches:
+        return None
+    entity: dict[str, str] = {}
+    for i, match in enumerate(matches):
+        key = match.group(1).strip()
+        start = match.end()
+        if i + 1 < len(matches):
+            end = matches[i + 1].start()
+        else:
+            end = len(text)
+        value = text[start:end].strip()
+        # Trim the pair separator left behind before the next key.
+        value = value.rstrip(".").strip()
+        entity[key] = value
+    return entity
+
+
+@dataclass(frozen=True)
+class MatchExample:
+    """One (pair, label) in a match/schema prompt; label None = query."""
+
+    left_text: str
+    right_text: str
+    question: str
+    noun: str
+    label: bool | None
+
+
+@dataclass(frozen=True)
+class ErrorExampleParsed:
+    """One error-detection block."""
+
+    context_text: str
+    attribute: str
+    value: str
+    question: str
+    label: bool | None
+
+
+@dataclass(frozen=True)
+class ImputeExampleParsed:
+    """One imputation block."""
+
+    context_text: str
+    attribute: str
+    answer: str | None
+
+
+@dataclass(frozen=True)
+class TransformExampleParsed:
+    """One Input/Output block."""
+
+    source: str
+    target: str | None
+
+
+@dataclass
+class ParsedPrompt:
+    """The parser's view of a prompt."""
+
+    task: str                      # match / schema / error / impute / transform / unknown
+    instruction: str | None = None
+    demonstrations: list = field(default_factory=list)
+    query: object | None = None
+
+    @property
+    def question_text(self) -> str:
+        """Wording used for the format-sensitivity hash."""
+        query = self.query
+        if isinstance(query, (MatchExample, ErrorExampleParsed)):
+            return query.question
+        return ""
+
+
+def _parse_match_block(block: str) -> MatchExample | None:
+    lines = block.split("\n")
+    if len(lines) != 3:
+        return None
+    a = _ENTITY_A_RE.match(lines[0])
+    b = _ENTITY_B_RE.match(lines[1])
+    qa = _QUESTION_ANSWER_RE.match(lines[2])
+    if not (a and b and qa):
+        return None
+    if a.group(1) != b.group(1):
+        return None
+    answer = qa.group(2)
+    return MatchExample(
+        left_text=a.group(2),
+        right_text=b.group(2),
+        question=qa.group(1),
+        noun=a.group(1),
+        label=None if answer is None else answer == "Yes",
+    )
+
+
+def _parse_error_block(block: str) -> ErrorExampleParsed | None:
+    lines = block.split("\n")
+    match = _ERROR_RE.match(lines[-1])
+    if not match:
+        return None
+    context = "\n".join(lines[:-1]).strip()
+    answer = match.group("answer")
+    return ErrorExampleParsed(
+        context_text=context,
+        attribute=match.group("attribute").strip(),
+        value=match.group("value").strip(),
+        question=match.group("question"),
+        label=None if answer is None else answer == "Yes",
+    )
+
+
+def _parse_impute_block(block: str) -> ImputeExampleParsed | None:
+    if "\n" in block:
+        return None
+    match = _IMPUTE_RE.match(block)
+    if not match:
+        return None
+    context = match.group("context").strip()
+    # The context must look like a serialization, otherwise this is just a
+    # sentence that happens to end with a question.
+    if ":" not in context:
+        return None
+    return ImputeExampleParsed(
+        context_text=context,
+        attribute=match.group("attribute").strip(),
+        answer=match.group("answer"),
+    )
+
+
+def _parse_transform_block(block: str) -> TransformExampleParsed | None:
+    lines = block.split("\n")
+    if len(lines) != 2:
+        return None
+    source = _INPUT_RE.match(lines[0])
+    target = _OUTPUT_RE.match(lines[1])
+    if not (source and target):
+        return None
+    target_value = target.group("value")
+    return TransformExampleParsed(
+        source=source.group("value"),
+        target=target_value if target_value else None,
+    )
+
+
+def _classify_block(block: str):
+    """Try each block shape; order matters (most specific first)."""
+    parsed = _parse_transform_block(block)
+    if parsed is not None:
+        return "transform", parsed
+    parsed = _parse_match_block(block)
+    if parsed is not None:
+        task = "schema" if parsed.noun.lower() == "attribute" else "match"
+        return task, parsed
+    parsed = _parse_error_block(block)
+    if parsed is not None:
+        return "error", parsed
+    parsed = _parse_impute_block(block)
+    if parsed is not None:
+        return "impute", parsed
+    return "unknown", block
+
+
+def parse_prompt(prompt: str) -> ParsedPrompt:
+    """Parse a complete prompt into instruction + demonstrations + query."""
+    blocks = [block.strip() for block in prompt.split("\n\n") if block.strip()]
+    if not blocks:
+        return ParsedPrompt(task="unknown")
+
+    instruction: str | None = None
+    examples: list[tuple[str, object]] = []
+    for i, block in enumerate(blocks):
+        task, parsed = _classify_block(block)
+        if task == "unknown":
+            if i == 0:
+                instruction = block
+            # Unrecognized non-leading blocks are ignored, the way an LM
+            # glosses over text it cannot use.
+            continue
+        examples.append((task, parsed))
+
+    if not examples:
+        return ParsedPrompt(task="unknown", instruction=instruction)
+
+    # The dominant task is decided by the query (final block); demos of a
+    # different shape are dropped.
+    query_task, query = examples[-1]
+    demonstrations = [
+        parsed for task, parsed in examples[:-1] if task == query_task
+    ]
+    return ParsedPrompt(
+        task=query_task,
+        instruction=instruction,
+        demonstrations=demonstrations,
+        query=query,
+    )

@@ -1,0 +1,35 @@
+"""World-knowledge substrate.
+
+The paper's central observation about data imputation is that a large FM
+succeeds because of *knowledge encoded during pretraining* — functional
+dependencies between addresses and zip codes, brands and manufacturers,
+and so on.  To reproduce that offline, this package provides a consistent
+synthetic world: a geography with city↔state↔zip↔area-code dependencies,
+a product/brand catalogue, bibliographic and music corpora, restaurant and
+beer vocabularies, and the medical schema pair for schema matching.
+
+Every fact carries a *corpus frequency* (Zipf-distributed by prominence).
+The simulated foundation model can only recall facts whose frequency clears
+a size-dependent floor — so a 175B model "knows" tail cities a 1.3B model
+does not, which is exactly the mechanism behind the paper's Tables 2, 5
+and 6.  Dataset generators sample from the same world, so ground truth and
+model knowledge are consistent by construction.
+"""
+
+from repro.knowledge.base import Fact, KnowledgeBase
+from repro.knowledge.geography import City, build_geography
+from repro.knowledge.products import Product, build_product_catalog
+from repro.knowledge.world import World, build_world, default_knowledge, default_world
+
+__all__ = [
+    "City",
+    "Fact",
+    "KnowledgeBase",
+    "Product",
+    "World",
+    "build_geography",
+    "build_product_catalog",
+    "build_world",
+    "default_knowledge",
+    "default_world",
+]

@@ -1,0 +1,121 @@
+"""Generic frequency-annotated fact store."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One (relation, subject, object) triple with a corpus frequency.
+
+    ``frequency`` models how often the fact appears in a pretraining corpus
+    (arbitrary positive units; larger = more common).  A fact with
+    frequency 0 exists in the world but was never written down — no model
+    can recall it, only infer it from structure.
+    """
+
+    relation: str
+    subject: str
+    obj: str
+    frequency: float = 1.0
+
+    def __post_init__(self):
+        if self.frequency < 0:
+            raise ValueError(f"frequency must be >= 0, got {self.frequency}")
+
+
+class KnowledgeBase:
+    """An indexed collection of :class:`Fact` triples.
+
+    Lookups are case-insensitive on the subject.  ``lookup`` honours an
+    optional ``min_frequency`` floor — the hook the simulated FM uses to
+    model size-dependent knowledge coverage.
+    """
+
+    def __init__(self):
+        self._facts: list[Fact] = []
+        self._by_relation_subject: dict[tuple[str, str], list[Fact]] = defaultdict(list)
+        self._by_relation: dict[str, list[Fact]] = defaultdict(list)
+        self._entity_frequency: dict[str, float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, relation: str, subject: str, obj: str, frequency: float = 1.0) -> Fact:
+        """Add one triple and return the stored :class:`Fact`."""
+        fact = Fact(relation=relation, subject=subject, obj=obj, frequency=frequency)
+        key = (relation, subject.casefold())
+        self._facts.append(fact)
+        self._by_relation_subject[key].append(fact)
+        self._by_relation[relation].append(fact)
+        for entity in (subject, obj):
+            folded = entity.casefold()
+            self._entity_frequency[folded] = max(
+                self._entity_frequency.get(folded, 0.0), frequency
+            )
+        return fact
+
+    def add_symmetric(self, relation: str, a: str, b: str, frequency: float = 1.0) -> None:
+        """Add a triple in both directions (synonymy, equivalence)."""
+        self.add(relation, a, b, frequency)
+        self.add(relation, b, a, frequency)
+
+    def merge(self, other: "KnowledgeBase") -> None:
+        """Absorb every fact from ``other``."""
+        for fact in other._facts:
+            self.add(fact.relation, fact.subject, fact.obj, fact.frequency)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def relations(self) -> set[str]:
+        return set(self._by_relation)
+
+    def lookup(
+        self, relation: str, subject: str, min_frequency: float = 0.0
+    ) -> list[Fact]:
+        """All facts for (relation, subject) at or above ``min_frequency``.
+
+        Results are sorted most-frequent first, so ``lookup(...)[0]`` is the
+        best-attested answer.
+        """
+        facts = self._by_relation_subject.get((relation, subject.casefold()), [])
+        eligible = [fact for fact in facts if fact.frequency >= min_frequency]
+        return sorted(eligible, key=lambda fact: fact.frequency, reverse=True)
+
+    def lookup_one(
+        self, relation: str, subject: str, min_frequency: float = 0.0
+    ) -> str | None:
+        """The best-attested object for (relation, subject), if any."""
+        facts = self.lookup(relation, subject, min_frequency)
+        return facts[0].obj if facts else None
+
+    def facts_for_relation(self, relation: str) -> list[Fact]:
+        return list(self._by_relation.get(relation, []))
+
+    def entity_frequency(self, entity: str) -> float:
+        """Maximum frequency of any fact mentioning ``entity`` (0 if unknown)."""
+        return self._entity_frequency.get(entity.casefold(), 0.0)
+
+    def knows_entity(self, entity: str, min_frequency: float = 0.0) -> bool:
+        """True if ``entity`` appears in some fact above the floor."""
+        return self.entity_frequency(entity) >= min_frequency and (
+            entity.casefold() in self._entity_frequency
+        )
+
+    def subjects(self, relation: str) -> list[str]:
+        """Distinct subjects of ``relation`` (original casing, first wins)."""
+        seen: dict[str, str] = {}
+        for fact in self._by_relation.get(relation, []):
+            seen.setdefault(fact.subject.casefold(), fact.subject)
+        return list(seen.values())
+
+    def objects(self, relation: str) -> list[str]:
+        """Distinct objects of ``relation`` (original casing, first wins)."""
+        seen: dict[str, str] = {}
+        for fact in self._by_relation.get(relation, []):
+            seen.setdefault(fact.obj.casefold(), fact.obj)
+        return list(seen.values())

@@ -1,0 +1,77 @@
+"""Beer and brewery vocabulary for the Beer entity-matching dataset."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+
+_BREWERIES: tuple[str, ...] = (
+    "Granite Peak Brewing", "Foggy Harbor Ales", "Ironwood Brewery",
+    "Sun Dog Brewing Co.", "Riverbend Craft Works", "Old Cellar Brewing",
+    "Timberline Ales", "Copper Canyon Brewery", "Wandering Bison Beer Co.",
+    "Lighthouse Point Brewing", "Prairie Sky Brewing", "Black Spruce Ales",
+    "Hollow Tree Brewing", "Salt Flat Brewing Co.", "Juniper Ridge Brewery",
+    "Red Barn Brewing", "Cascade Hollow Ales", "Fiddlehead Fermentations",
+    "Stonewheel Brewing", "Driftwood Coast Beer Co.",
+)
+
+_BEER_ADJECTIVES: tuple[str, ...] = (
+    "Hazy", "Imperial", "Rustic", "Smoked", "Barrel-Aged", "Dry-Hopped",
+    "Midnight", "Golden", "Velvet", "Wild", "Nitro", "Double",
+)
+
+_BEER_NOUNS: tuple[str, ...] = (
+    "Trail", "Harvest", "Anchor", "Lantern", "Raven", "Meadow", "Summit",
+    "Ember", "Orchard", "Fjord", "Badger", "Comet",
+)
+
+STYLES: tuple[str, ...] = (
+    "American IPA", "Imperial Stout", "Pale Ale", "Hefeweizen", "Pilsner",
+    "Porter", "Saison", "Amber Ale", "Sour Ale", "Brown Ale", "Witbier",
+    "Barleywine",
+)
+
+
+@dataclass(frozen=True)
+class Beer:
+    """One beer entity."""
+
+    name: str
+    brewery: str
+    style: str
+    abv: str          # "6.5%"
+    frequency: float
+
+
+def build_beer_corpus(n_beers: int = 180, seed: int = 19) -> list[Beer]:
+    """Mint beers with unique (name, brewery) pairs."""
+    rng = random.Random(seed)
+    beers: list[Beer] = []
+    seen: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(beers) < n_beers and attempts < n_beers * 20:
+        attempts += 1
+        name = f"{rng.choice(_BEER_ADJECTIVES)} {rng.choice(_BEER_NOUNS)}"
+        brewery_rank = rng.randrange(len(_BREWERIES))
+        brewery = _BREWERIES[brewery_rank]
+        if (name, brewery) in seen:
+            continue
+        seen.add((name, brewery))
+        beers.append(
+            Beer(
+                name=name,
+                brewery=brewery,
+                style=rng.choice(STYLES),
+                abv=f"{rng.uniform(3.8, 12.5):.1f}%",
+                frequency=60.0 / (brewery_rank + 1),
+            )
+        )
+    return beers
+
+
+def add_beer_facts(kb: KnowledgeBase, beers: list[Beer]) -> None:
+    """Relation: ``beer_to_brewery``."""
+    for beer in beers:
+        kb.add("beer_to_brewery", beer.name, beer.brewery, beer.frequency)

@@ -1,0 +1,43 @@
+"""Calendar knowledge: months and weekdays.
+
+Head knowledge (every model size recalls these) used by the semantic data
+transformations and the FM's date normalization.
+"""
+
+from __future__ import annotations
+
+from repro.knowledge.base import KnowledgeBase
+
+MONTHS: tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+WEEKDAYS: tuple[str, ...] = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+)
+
+MONTH_FREQUENCY = 800.0
+WEEKDAY_FREQUENCY = 800.0
+
+
+def month_number(name: str) -> int | None:
+    """1-based month number for a full or abbreviated month name."""
+    prefix = name.strip()[:3].casefold()
+    for i, month in enumerate(MONTHS, start=1):
+        if month[:3].casefold() == prefix:
+            return i
+    return None
+
+
+def add_calendar_facts(kb: KnowledgeBase) -> None:
+    """Relations: ``month_to_number``, ``number_to_month``,
+    ``month_abbrev`` (symmetric), ``weekday_abbrev`` (symmetric)."""
+    for i, month in enumerate(MONTHS, start=1):
+        kb.add("month_to_number", month, str(i), MONTH_FREQUENCY)
+        kb.add("month_to_number", month[:3], str(i), MONTH_FREQUENCY)
+        kb.add("number_to_month", str(i), month, MONTH_FREQUENCY)
+        kb.add_symmetric("month_abbrev", month, month[:3], MONTH_FREQUENCY)
+    for day in WEEKDAYS:
+        kb.add_symmetric("weekday_abbrev", day, day[:3], WEEKDAY_FREQUENCY)

@@ -1,0 +1,39 @@
+"""Census vocabulary (the Adult dataset's categorical domains).
+
+Lives in the knowledge package because these category names are common
+English that any foundation model has seen; the Adult dataset generator
+and the FM's lexicon both import from here.
+"""
+
+from __future__ import annotations
+
+from repro.knowledge.base import KnowledgeBase
+
+#: Census category names are extremely common text; any model recalls them.
+CENSUS_FREQUENCY = 300.0
+
+ADULT_DOMAINS: dict[str, tuple[str, ...]] = {
+    "workclass": ("private", "self-emp", "federal-gov", "state-gov", "local-gov"),
+    "education": ("bachelors", "hs-grad", "masters", "some-college", "doctorate", "11th"),
+    "marital_status": ("married", "never-married", "divorced", "widowed", "separated"),
+    "occupation": (
+        "tech-support", "craft-repair", "sales", "exec-managerial",
+        "prof-specialty", "handlers-cleaners", "adm-clerical", "farming-fishing",
+    ),
+    "race": ("white", "black", "asian-pac-islander", "amer-indian-eskimo", "other"),
+    "sex": ("male", "female"),
+    "country": ("united-states", "mexico", "philippines", "germany", "canada", "india"),
+    "income": ("<=50k", ">50k"),
+}
+
+
+def add_census_facts(kb: KnowledgeBase) -> None:
+    """Relation ``census_domain``: category value → the attribute it belongs to.
+
+    This is the pretraining knowledge that lets a prompted FM recognise
+    "sales" as an occupation and "doctorate" as an education level even
+    when the demonstrations never showed those particular values.
+    """
+    for attribute, values in ADULT_DOMAINS.items():
+        for value in values:
+            kb.add("census_domain", value, attribute, CENSUS_FREQUENCY)

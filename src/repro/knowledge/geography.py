@@ -1,0 +1,224 @@
+"""Synthetic-but-consistent US geography.
+
+Head entities are real, well-known cities (with their real area codes where
+famous — the paper's Table 6 probes "415-775-7036 → San Francisco" style
+dependencies).  Tail entities are procedurally generated neighborhoods and
+small towns with corpus frequency ≈ 0: they exist in the world (dataset
+generators can use them as ground truth) but no model size can *recall*
+them — they can only be learned from task training data.  This split is
+what Appendix B's Table 5 slices measure.
+
+All functional dependencies hold by construction:
+
+* ``zip → (city, state)`` — each zip code belongs to exactly one city,
+* ``area code → city`` — unique here (a simplification; good enough for
+  the phone→city imputation probes),
+* ``city → state`` — city names are unique across states in this world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.knowledge.base import KnowledgeBase
+
+# (city, state abbr, state name, zip prefix, area codes, prominence rank)
+# Prominence rank 1 = most famous; corpus frequency decays as 1/rank.
+_HEAD_CITIES: list[tuple[str, str, str, str, tuple[str, ...], int]] = [
+    ("New York", "NY", "New York", "100", ("212", "917"), 1),
+    ("Los Angeles", "CA", "California", "900", ("213", "323"), 2),
+    ("Chicago", "IL", "Illinois", "606", ("312", "773"), 3),
+    ("Houston", "TX", "Texas", "770", ("713",), 4),
+    ("Philadelphia", "PA", "Pennsylvania", "191", ("215",), 5),
+    ("Phoenix", "AZ", "Arizona", "850", ("602",), 6),
+    ("San Francisco", "CA", "California", "941", ("415",), 7),
+    ("San Diego", "CA", "California", "921", ("619",), 8),
+    ("Dallas", "TX", "Texas", "752", ("214",), 9),
+    ("Boston", "MA", "Massachusetts", "021", ("617",), 10),
+    ("Seattle", "WA", "Washington", "981", ("206",), 11),
+    ("Denver", "CO", "Colorado", "802", ("303",), 12),
+    ("Atlanta", "GA", "Georgia", "303", ("404",), 13),
+    ("Miami", "FL", "Florida", "331", ("305",), 14),
+    ("Las Vegas", "NV", "Nevada", "891", ("702",), 15),
+    ("Detroit", "MI", "Michigan", "482", ("313",), 16),
+    ("Minneapolis", "MN", "Minnesota", "554", ("612",), 17),
+    ("New Orleans", "LA", "Louisiana", "701", ("504",), 18),
+    ("Portland", "OR", "Oregon", "972", ("503",), 19),
+    ("Nashville", "TN", "Tennessee", "372", ("615",), 20),
+    ("Baltimore", "MD", "Maryland", "212", ("410",), 21),
+    ("Washington", "DC", "District of Columbia", "200", ("202",), 22),
+    ("Austin", "TX", "Texas", "787", ("512",), 23),
+    ("Memphis", "TN", "Tennessee", "381", ("901",), 24),
+    ("Milwaukee", "WI", "Wisconsin", "532", ("414",), 25),
+    ("Kansas City", "MO", "Missouri", "641", ("816",), 26),
+    ("Sacramento", "CA", "California", "958", ("916",), 27),
+    ("St. Louis", "MO", "Missouri", "631", ("314",), 28),
+    ("Pittsburgh", "PA", "Pennsylvania", "152", ("412",), 29),
+    ("Cincinnati", "OH", "Ohio", "452", ("513",), 30),
+    ("Cleveland", "OH", "Ohio", "441", ("216",), 31),
+    ("Tampa", "FL", "Florida", "336", ("813",), 32),
+    ("Orlando", "FL", "Florida", "328", ("407",), 33),
+    ("San Jose", "CA", "California", "951", ("408",), 34),
+    ("Columbus", "OH", "Ohio", "432", ("614",), 35),
+    ("Charlotte", "NC", "North Carolina", "282", ("704",), 36),
+    ("Indianapolis", "IN", "Indiana", "462", ("317",), 37),
+    ("Salt Lake City", "UT", "Utah", "841", ("801",), 38),
+    ("Oklahoma City", "OK", "Oklahoma", "731", ("405",), 39),
+    ("Louisville", "KY", "Kentucky", "402", ("502",), 40),
+    ("Birmingham", "AL", "Alabama", "352", ("205",), 41),
+    ("Richmond", "VA", "Virginia", "232", ("804",), 42),
+    ("Buffalo", "NY", "New York", "142", ("716",), 43),
+    ("Hartford", "CT", "Connecticut", "061", ("860",), 44),
+    ("Providence", "RI", "Rhode Island", "029", ("401",), 45),
+    ("Albuquerque", "NM", "New Mexico", "871", ("505",), 46),
+    ("Tucson", "AZ", "Arizona", "857", ("520",), 47),
+    ("Omaha", "NE", "Nebraska", "681", ("402",), 48),
+    ("Honolulu", "HI", "Hawaii", "968", ("808",), 49),
+    ("Anchorage", "AK", "Alaska", "995", ("907",), 50),
+    ("Malibu", "CA", "California", "902", ("310",), 51),
+    ("Pasadena", "CA", "California", "911", ("626",), 52),
+    ("Berkeley", "CA", "California", "947", ("510",), 53),
+    ("Santa Monica", "CA", "California", "904", ("424",), 54),
+    ("Boulder", "CO", "Colorado", "803", ("720",), 55),
+    ("Ann Arbor", "MI", "Michigan", "481", ("734",), 56),
+    ("Savannah", "GA", "Georgia", "314", ("912",), 57),
+    ("Tuscaloosa", "AL", "Alabama", "354", ("659",), 58),
+    ("Santa Fe", "NM", "New Mexico", "875", ("575",), 59),
+    ("Boise", "ID", "Idaho", "837", ("208",), 60),
+]
+
+# Directional prefixes / suffixes used to mint tail neighborhoods of the
+# head cities ("West LA", "North Beach Seattle" …).  These get corpus
+# frequency 0: no model recalls them; they can only be learned from data.
+_TAIL_PREFIXES = ("West", "East", "North", "South", "Old Town", "Upper", "Lower")
+_TAIL_STEMS = (
+    "LA", "Ridge", "Haven", "Falls", "Grove", "Crossing", "Harbor", "Meadows",
+    "Springs", "Heights", "Junction", "Pines", "Bluff", "Landing", "Hollow",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "main st", "broadway", "university blvd", "pacific coast hwy",
+    "north point st", "oak ave", "maple dr", "5th ave", "lake shore dr",
+    "market st", "elm st", "sunset blvd", "washington ave", "park rd",
+    "river rd", "highland ave", "cedar ln", "valley view dr", "mission st",
+    "ocean ave", "state st", "church st", "pearl st", "spring st",
+    "canal st", "front st", "bay st", "grand ave", "union sq",
+    "melrose ave", "ventura blvd", "la cienega blvd", "colorado blvd",
+)
+
+CUISINES: tuple[str, ...] = (
+    "american", "italian", "french", "chinese", "japanese", "mexican",
+    "thai", "indian", "mediterranean", "seafood", "steakhouse", "bbq",
+    "vegetarian", "cajun", "greek", "korean", "vietnamese", "spanish",
+    "delis", "coffee shops", "pizza", "southern", "continental",
+)
+
+#: Corpus frequency assigned to the most prominent city (rank 1); the rest
+#: decay as ``HEAD_FREQUENCY_SCALE / rank`` (a Zipf law).
+HEAD_FREQUENCY_SCALE = 1000.0
+
+
+@dataclass(frozen=True)
+class City:
+    """One city in the synthetic world."""
+
+    name: str
+    state_abbr: str
+    state_name: str
+    zip_codes: tuple[str, ...]
+    area_codes: tuple[str, ...]
+    frequency: float
+    is_tail: bool = False
+
+    @property
+    def primary_zip(self) -> str:
+        return self.zip_codes[0]
+
+    @property
+    def primary_area_code(self) -> str:
+        return self.area_codes[0]
+
+
+def _head_cities() -> list[City]:
+    cities = []
+    for name, abbr, state, zip_prefix, area_codes, rank in _HEAD_CITIES:
+        zips = tuple(f"{zip_prefix}{i:02d}" for i in (1, 5, 12, 33))
+        cities.append(
+            City(
+                name=name,
+                state_abbr=abbr,
+                state_name=state,
+                zip_codes=zips,
+                area_codes=area_codes,
+                frequency=HEAD_FREQUENCY_SCALE / rank,
+            )
+        )
+    return cities
+
+
+def _tail_cities(n_tail: int) -> list[City]:
+    """Mint ``n_tail`` deterministic tail neighborhoods (frequency 0)."""
+    cities = []
+    head = _HEAD_CITIES
+    for i in range(n_tail):
+        prefix = _TAIL_PREFIXES[i % len(_TAIL_PREFIXES)]
+        stem = _TAIL_STEMS[(i // len(_TAIL_PREFIXES)) % len(_TAIL_STEMS)]
+        name = f"{prefix} {stem}"
+        # Park each tail city in a host state, with synthetic codes derived
+        # from its index so the FDs stay collision-free: tail zips use the
+        # reserved 990xx band, tail area codes the 930-989 band.
+        host = head[i % len(head)]
+        zip_code = f"9{9000 + i:04d}"[:5]
+        # Tail area codes live in the 930-989 band, which no head city
+        # occupies — the uniqueness FD must hold for any tail count.
+        area_code = f"9{30 + (i % 60):02d}"
+        cities.append(
+            City(
+                name=name,
+                state_abbr=host[1],
+                state_name=host[2],
+                zip_codes=(zip_code,),
+                area_codes=(area_code,),
+                frequency=0.0,
+                is_tail=True,
+            )
+        )
+    return cities
+
+
+def build_geography(n_tail: int = 40) -> list[City]:
+    """The full city list: heads (Zipf frequencies) then tails (frequency 0).
+
+    Deterministic; city names are unique.
+    """
+    cities = _head_cities() + _tail_cities(n_tail)
+    names = [city.name.casefold() for city in cities]
+    if len(set(names)) != len(names):
+        raise AssertionError("geography invariant violated: duplicate city names")
+    return cities
+
+
+def add_geography_facts(kb: KnowledgeBase, cities: list[City]) -> None:
+    """Register the geographic functional dependencies in ``kb``.
+
+    Relations: ``zip_to_city``, ``zip_to_state``, ``city_to_state``,
+    ``city_to_zip``, ``area_code_to_city``, ``city_to_area_code``,
+    ``state_abbr_to_name`` (symmetric via ``state_name_to_abbr``).
+    """
+    seen_states: set[str] = set()
+    for city in cities:
+        freq = city.frequency
+        kb.add("city_to_state", city.name, city.state_abbr, freq)
+        kb.add("state_to_city", city.state_abbr, city.name, freq)
+        for zip_code in city.zip_codes:
+            kb.add("zip_to_city", zip_code, city.name, freq)
+            kb.add("zip_to_state", zip_code, city.state_abbr, freq)
+            kb.add("city_to_zip", city.name, zip_code, freq)
+        for area_code in city.area_codes:
+            kb.add("area_code_to_city", area_code, city.name, freq)
+            kb.add("city_to_area_code", city.name, area_code, freq)
+        if city.state_abbr not in seen_states:
+            seen_states.add(city.state_abbr)
+            # State names are extremely common; give them head frequency.
+            kb.add("state_abbr_to_name", city.state_abbr, city.state_name, 900.0)
+            kb.add("state_name_to_abbr", city.state_name, city.state_abbr, 900.0)

@@ -1,0 +1,214 @@
+"""Medical schema vocabulary: the Synthea → OMOP schema-matching world.
+
+The OMAP benchmark's Synthea task asks whether an attribute of the Synthea
+EHR schema corresponds to an attribute of the OMOP common data model.  We
+reproduce that structure: two schemas of (table, attribute, description)
+triples and a ground-truth correspondence list.  Generic synonym pairs
+("birthdate" ↔ "date of birth") get head corpus frequency; domain jargon
+("rxnorm code" ↔ "drug_concept_id") gets tail frequency — which is why the
+paper's zero-shot schema matching collapses (0.5 F1) while few-shot recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+
+
+# Hospital-benchmark vocabulary: conditions and the quality measures
+# reported for each.  Shared by the Hospital dataset generator and the
+# FM's lexicon (these are ordinary medical English).
+CONDITIONS_MEASURES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("heart attack", (
+        "aspirin at arrival", "aspirin at discharge",
+        "beta blocker at discharge", "fibrinolytic within 30 minutes",
+    )),
+    ("heart failure", (
+        "evaluation of lvs function", "ace inhibitor for lvsd",
+        "discharge instructions",
+    )),
+    ("pneumonia", (
+        "initial antibiotic timing", "blood culture before antibiotic",
+        "pneumococcal vaccination",
+    )),
+    ("surgical infection prevention", (
+        "prophylactic antibiotic within 1 hour", "antibiotic selection",
+        "antibiotics stopped within 24 hours",
+    )),
+)
+
+HOSPITAL_NAME_PARTS: tuple[str, ...] = (
+    "general", "memorial", "regional", "community", "saint mary",
+    "university", "baptist", "mercy", "county", "sacred heart",
+)
+
+
+@dataclass(frozen=True)
+class SchemaAttribute:
+    """One attribute of a schema."""
+
+    table: str
+    name: str
+    description: str
+    sample_values: tuple[str, ...] = ()
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}"
+
+
+# Source schema: Synthea-style EHR export.
+SYNTHEA_ATTRIBUTES: tuple[SchemaAttribute, ...] = (
+    SchemaAttribute("patients", "id", "unique patient identifier", ("a3f1", "b772")),
+    SchemaAttribute("patients", "birthdate", "date the patient was born", ("1974-03-02",)),
+    SchemaAttribute("patients", "deathdate", "date the patient died", ("2011-07-19",)),
+    SchemaAttribute("patients", "ssn", "social security number", ("999-54-1200",)),
+    SchemaAttribute("patients", "first", "patient given name", ("Mei", "Omar")),
+    SchemaAttribute("patients", "last", "patient family name", ("Chen", "Vargas")),
+    SchemaAttribute("patients", "gender", "administrative sex of the patient", ("M", "F")),
+    SchemaAttribute("patients", "race", "patient race", ("white", "asian")),
+    SchemaAttribute("patients", "ethnicity", "patient ethnicity", ("hispanic",)),
+    SchemaAttribute("patients", "address", "street address of residence", ("12 oak ave",)),
+    SchemaAttribute("patients", "city", "city of residence", ("Boston",)),
+    SchemaAttribute("patients", "state", "state of residence", ("MA",)),
+    SchemaAttribute("patients", "zip", "postal code of residence", ("02101",)),
+    SchemaAttribute("encounters", "id", "unique encounter identifier", ("e1",)),
+    SchemaAttribute("encounters", "start", "encounter start timestamp", ("2019-01-03T09:00",)),
+    SchemaAttribute("encounters", "stop", "encounter end timestamp", ("2019-01-03T09:40",)),
+    SchemaAttribute("encounters", "patient", "patient the encounter belongs to", ("a3f1",)),
+    SchemaAttribute("encounters", "provider", "clinician for the encounter", ("p9",)),
+    SchemaAttribute("encounters", "encounterclass", "visit category", ("ambulatory",)),
+    SchemaAttribute("encounters", "code", "snomed code of the visit type", ("185349003",)),
+    SchemaAttribute("encounters", "reasoncode", "snomed code for the visit reason", ("44054006",)),
+    SchemaAttribute("medications", "start", "date the prescription began", ("2018-05-01",)),
+    SchemaAttribute("medications", "stop", "date the prescription ended", ("2018-06-01",)),
+    SchemaAttribute("medications", "patient", "patient taking the medication", ("b772",)),
+    SchemaAttribute("medications", "code", "rxnorm code of the drug", ("860975",)),
+    SchemaAttribute("medications", "description", "drug name", ("metformin 500 mg",)),
+    SchemaAttribute("conditions", "start", "date the condition was diagnosed", ("2017-02-11",)),
+    SchemaAttribute("conditions", "stop", "date the condition resolved", ("2017-03-11",)),
+    SchemaAttribute("conditions", "patient", "patient with the condition", ("a3f1",)),
+    SchemaAttribute("conditions", "code", "snomed code of the condition", ("44054006",)),
+    SchemaAttribute("conditions", "description", "condition name", ("type 2 diabetes",)),
+    SchemaAttribute("observations", "date", "date of the measurement", ("2020-10-01",)),
+    SchemaAttribute("observations", "patient", "patient measured", ("b772",)),
+    SchemaAttribute("observations", "code", "loinc code of the measurement", ("8302-2",)),
+    SchemaAttribute("observations", "value", "measured value", ("172",)),
+    SchemaAttribute("observations", "units", "unit of measure", ("cm",)),
+    SchemaAttribute("providers", "id", "unique provider identifier", ("p9",)),
+    SchemaAttribute("providers", "name", "provider full name", ("Dr. Rosa Jensen",)),
+    SchemaAttribute("providers", "speciality", "provider speciality", ("general practice",)),
+)
+
+# Target schema: OMOP common data model.
+OMOP_ATTRIBUTES: tuple[SchemaAttribute, ...] = (
+    SchemaAttribute("person", "person_id", "unique identifier of the person", ("1001",)),
+    SchemaAttribute("person", "birth_datetime", "date and time of birth", ("1988-10-23",)),
+    SchemaAttribute("person", "death_datetime", "date and time of death", ("2003-04-30",)),
+    SchemaAttribute("person", "person_source_value", "source identifier such as ssn", ("999-12-7755",)),
+    SchemaAttribute("person", "gender_concept_id", "standard concept for sex", ("8507",)),
+    SchemaAttribute("person", "race_concept_id", "standard concept for race", ("8527",)),
+    SchemaAttribute("person", "ethnicity_concept_id", "standard concept for ethnicity", ("38003563",)),
+    SchemaAttribute("location", "address_1", "street address line", ("87 canal st",)),
+    SchemaAttribute("location", "city", "city name", ("Denver",)),
+    SchemaAttribute("location", "state", "state code", ("CO",)),
+    SchemaAttribute("location", "zip", "postal zip code", ("80201",)),
+    SchemaAttribute("visit_occurrence", "visit_occurrence_id", "unique visit identifier", ("v1",)),
+    SchemaAttribute("visit_occurrence", "visit_start_datetime", "visit start date and time", ("2021-06-12T14:30",)),
+    SchemaAttribute("visit_occurrence", "visit_end_datetime", "visit end date and time", ("2021-06-12T15:05",)),
+    SchemaAttribute("visit_occurrence", "person_id", "person who had the visit", ("1001",)),
+    SchemaAttribute("visit_occurrence", "provider_id", "provider for the visit", ("77",)),
+    SchemaAttribute("visit_occurrence", "visit_concept_id", "standard concept of visit type", ("9202",)),
+    SchemaAttribute("visit_occurrence", "visit_source_value", "source visit category", ("inpatient",)),
+    SchemaAttribute("drug_exposure", "drug_exposure_start_date", "begin of the exposure interval", ("2020-09-14",)),
+    SchemaAttribute("drug_exposure", "drug_exposure_end_date", "end of the exposure interval", ("2020-10-14",)),
+    SchemaAttribute("drug_exposure", "person_id", "fk to person", ("1002",)),
+    SchemaAttribute("drug_exposure", "drug_concept_id", "fk to standard concept, drug domain", ("1503297",)),
+    SchemaAttribute("drug_exposure", "drug_source_value", "verbatim source code", ("lisinopril 10 mg",)),
+    SchemaAttribute("condition_occurrence", "condition_start_date", "begin of the era", ("2015-08-19",)),
+    SchemaAttribute("condition_occurrence", "condition_end_date", "end of the era", ("2015-09-02",)),
+    SchemaAttribute("condition_occurrence", "person_id", "fk to person", ("1001",)),
+    SchemaAttribute("condition_occurrence", "condition_concept_id", "fk to standard concept, condition domain", ("201826",)),
+    SchemaAttribute("condition_occurrence", "condition_source_value", "verbatim source code", ("essential hypertension",)),
+    SchemaAttribute("measurement", "measurement_date", "when the result was obtained", ("2022-02-07",)),
+    SchemaAttribute("measurement", "person_id", "fk to person", ("1002",)),
+    SchemaAttribute("measurement", "measurement_concept_id", "fk to standard concept, measurement domain", ("3036277",)),
+    SchemaAttribute("measurement", "value_as_number", "numeric result", ("94",)),
+    SchemaAttribute("measurement", "unit_source_value", "verbatim unit code", ("kg",)),
+    SchemaAttribute("provider", "provider_id", "unique provider identifier", ("77",)),
+    SchemaAttribute("provider", "provider_name", "full name of the provider", ("Dr. Rosa Jensen",)),
+    SchemaAttribute("provider", "specialty_concept_id", "standard specialty concept", ("38004446",)),
+)
+
+# Ground-truth correspondences: (synthea qualified name, omop qualified name).
+CORRESPONDENCES: tuple[tuple[str, str], ...] = (
+    ("patients.id", "person.person_id"),
+    ("patients.birthdate", "person.birth_datetime"),
+    ("patients.deathdate", "person.death_datetime"),
+    ("patients.ssn", "person.person_source_value"),
+    ("patients.gender", "person.gender_concept_id"),
+    ("patients.race", "person.race_concept_id"),
+    ("patients.ethnicity", "person.ethnicity_concept_id"),
+    ("patients.address", "location.address_1"),
+    ("patients.city", "location.city"),
+    ("patients.state", "location.state"),
+    ("patients.zip", "location.zip"),
+    ("encounters.id", "visit_occurrence.visit_occurrence_id"),
+    ("encounters.start", "visit_occurrence.visit_start_datetime"),
+    ("encounters.stop", "visit_occurrence.visit_end_datetime"),
+    ("encounters.patient", "visit_occurrence.person_id"),
+    ("encounters.provider", "visit_occurrence.provider_id"),
+    ("encounters.encounterclass", "visit_occurrence.visit_source_value"),
+    ("encounters.code", "visit_occurrence.visit_concept_id"),
+    ("medications.start", "drug_exposure.drug_exposure_start_date"),
+    ("medications.stop", "drug_exposure.drug_exposure_end_date"),
+    ("medications.patient", "drug_exposure.person_id"),
+    ("medications.code", "drug_exposure.drug_concept_id"),
+    ("medications.description", "drug_exposure.drug_source_value"),
+    ("conditions.start", "condition_occurrence.condition_start_date"),
+    ("conditions.stop", "condition_occurrence.condition_end_date"),
+    ("conditions.patient", "condition_occurrence.person_id"),
+    ("conditions.code", "condition_occurrence.condition_concept_id"),
+    ("conditions.description", "condition_occurrence.condition_source_value"),
+    ("observations.date", "measurement.measurement_date"),
+    ("observations.patient", "measurement.person_id"),
+    ("observations.code", "measurement.measurement_concept_id"),
+    ("observations.value", "measurement.value_as_number"),
+    ("observations.units", "measurement.unit_source_value"),
+    ("providers.id", "provider.provider_id"),
+    ("providers.name", "provider.provider_name"),
+    ("providers.speciality", "provider.specialty_concept_id"),
+)
+
+# Attribute-name synonymy with corpus frequency: generic English synonyms
+# are head knowledge; clinical-informatics jargon is tail knowledge.
+_SYNONYMS: tuple[tuple[str, str, float], ...] = (
+    ("birthdate", "birth datetime", 90.0),
+    ("birthdate", "date of birth", 120.0),
+    ("deathdate", "death datetime", 60.0),
+    ("first", "given name", 80.0),
+    ("last", "family name", 80.0),
+    ("provider", "clinician", 70.0),
+    ("speciality", "specialty", 110.0),
+    ("start", "start date", 100.0),
+    ("stop", "end date", 90.0),
+    ("patient", "person", 100.0),
+    ("encounter", "visit", 40.0),
+    ("ssn", "person source value", 0.5),
+    ("gender", "gender concept id", 0.8),
+    ("race", "race concept id", 0.8),
+    ("ethnicity", "ethnicity concept id", 0.8),
+    ("medication", "drug exposure", 0.9),
+    ("condition", "condition occurrence", 0.9),
+    ("observation", "measurement", 6.0),
+    ("code", "concept id", 0.6),
+    ("description", "source value", 0.4),
+    ("units", "unit source value", 0.5),
+)
+
+
+def add_medical_facts(kb: KnowledgeBase) -> None:
+    """Register schema synonymy facts (relation ``attr_synonym``)."""
+    for a, b, freq in _SYNONYMS:
+        kb.add_symmetric("attr_synonym", a, b, freq)

@@ -1,0 +1,95 @@
+"""Music catalogue for the iTunes-Amazon entity-matching generator."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+
+_ARTISTS: tuple[str, ...] = (
+    "The Midnight Echoes", "Silver Canyon", "Nora Vale", "DJ Copperfield",
+    "The Paper Lanterns", "Iris & June", "Cold Harbor", "Marcus Reed",
+    "Velvet Antlers", "The Northern Line", "Stella Marquez", "Glass Orchard",
+    "Benny Calloway", "The Atlas Wires", "Maple & Stone", "Ruby Fontaine",
+    "The Hollow Kings", "Sierra Boulevard", "Tommy Lark", "Golden Harbor",
+    "Ashes of August", "The Quiet Mile", "Lena Hartwood", "Crimson Tides",
+    "The Wandering Sons", "Phoebe Sinclair", "Neon Prairie", "Jack Mercer",
+    "The Lantern Club", "Violet Skyline",
+)
+
+_ALBUM_WORDS: tuple[str, ...] = (
+    "Midnight", "Roads", "Electric", "Harvest", "Sunset", "Paper", "Wild",
+    "Golden", "Shadows", "Rivers", "Holiday", "Echo", "Blue", "Stories",
+    "Summer", "Winter", "Vagabond", "Satellite", "Lighthouse", "Reverie",
+)
+
+_TRACK_WORDS: tuple[str, ...] = (
+    "Home", "Run", "Falling", "Tonight", "Stay", "Fire", "Ghost", "Heart",
+    "Gone", "Again", "Slow", "Gold", "River", "Train", "Light", "Wires",
+    "Saturday", "Diamonds", "Stranger", "静", "Carousel", "Anthem",
+)
+
+GENRES: tuple[str, ...] = (
+    "Pop", "Rock", "Indie Rock", "Folk", "Electronic", "Hip-Hop", "Country",
+    "R&B", "Jazz", "Alternative",
+)
+
+
+@dataclass(frozen=True)
+class Track:
+    """One song: the entity matched in the iTunes-Amazon dataset."""
+
+    title: str
+    artist: str
+    album: str
+    genre: str
+    time: str        # "m:ss"
+    price: str       # "$0.99"
+    released: str    # "Mar 14, 2011"
+    frequency: float
+
+
+def build_music_catalog(n_tracks: int = 240, seed: int = 11) -> list[Track]:
+    """Mint a deterministic track catalogue with unique (title, artist)."""
+    rng = random.Random(seed)
+    months = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+              "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+    tracks: list[Track] = []
+    seen: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(tracks) < n_tracks and attempts < n_tracks * 20:
+        attempts += 1
+        artist_rank = rng.randrange(len(_ARTISTS))
+        artist = _ARTISTS[artist_rank]
+        title_words = rng.sample(_TRACK_WORDS, rng.randint(1, 3))
+        title = " ".join(title_words)
+        if (title, artist) in seen:
+            continue
+        seen.add((title, artist))
+        album = " ".join(rng.sample(_ALBUM_WORDS, rng.randint(1, 2)))
+        time = f"{rng.randint(2, 6)}:{rng.randint(0, 59):02d}"
+        price = rng.choice(("$0.99", "$1.29", "$1.99"))
+        released = (
+            f"{rng.choice(months)} {rng.randint(1, 28)}, {rng.randint(1998, 2014)}"
+        )
+        tracks.append(
+            Track(
+                title=title,
+                artist=artist,
+                album=album,
+                genre=rng.choice(GENRES),
+                time=time,
+                price=price,
+                released=released,
+                frequency=200.0 / (artist_rank + 1),
+            )
+        )
+    return tracks
+
+
+def add_music_facts(kb: KnowledgeBase, tracks: list[Track]) -> None:
+    """Relations: ``track_to_artist``, ``album_to_artist``."""
+    for track in tracks:
+        kb.add("track_to_artist", track.title, track.artist, track.frequency)
+        kb.add("album_to_artist", track.album, track.artist, track.frequency)

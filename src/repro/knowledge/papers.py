@@ -1,0 +1,115 @@
+"""Bibliographic corpus for the DBLP-ACM / DBLP-GoogleScholar generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+
+_SURNAMES: tuple[str, ...] = (
+    "Chen", "Garcia", "Kowalski", "Nakamura", "Okafor", "Petrov", "Silva",
+    "Hoffmann", "Lindqvist", "Marino", "Novak", "O'Brien", "Park", "Rossi",
+    "Sanders", "Tanaka", "Ullman-Ray", "Vargas", "Weber", "Yilmaz",
+    "Andersen", "Banerjee", "Costa", "Dimitrov", "Eriksson", "Fontaine",
+    "Gupta", "Haddad", "Ivanova", "Jensen",
+)
+
+_GIVEN: tuple[str, ...] = (
+    "Ada", "Boris", "Clara", "Dmitri", "Elena", "Farid", "Grace", "Hiro",
+    "Ingrid", "Jonas", "Katya", "Liam", "Mei", "Nadia", "Omar", "Priya",
+    "Quentin", "Rosa", "Stefan", "Tara", "Uma", "Viktor", "Wen", "Yara",
+)
+
+_TOPIC_HEADS: tuple[str, ...] = (
+    "query optimization", "entity resolution", "data cleaning",
+    "stream processing", "transaction management", "index structures",
+    "approximate query answering", "schema evolution", "view maintenance",
+    "graph analytics", "columnar storage", "join algorithms",
+    "concurrency control", "data provenance", "workload forecasting",
+    "sketch synopses", "federated search", "cardinality estimation",
+)
+
+_TOPIC_MODIFIERS: tuple[str, ...] = (
+    "adaptive", "scalable", "distributed", "incremental", "learned",
+    "probabilistic", "robust", "interactive", "parallel", "self-tuning",
+    "secure", "energy-aware",
+)
+
+_TITLE_TEMPLATES: tuple[str, ...] = (
+    "{Mod} {head} for large-scale data systems",
+    "Towards {mod} {head}",
+    "{Mod} {head}: a practical approach",
+    "On the complexity of {mod} {head}",
+    "{Mod} {head} in the cloud",
+    "Rethinking {mod} {head}",
+)
+
+VENUES: tuple[str, ...] = (
+    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "CIKM", "PODS",
+    "SIGMOD Record", "VLDB J.", "TKDE", "Inf. Syst.",
+)
+
+# GoogleScholar-style sloppy venue renderings keyed by the clean name.
+VENUE_ALIASES: dict[str, str] = {
+    "SIGMOD Conference": "Proc. ACM SIGMOD Int. Conf. on Management of Data",
+    "VLDB": "Proceedings of the VLDB Endowment",
+    "ICDE": "IEEE Int. Conf. on Data Engineering",
+    "EDBT": "Int. Conf. on Extending Database Technology",
+    "CIKM": "ACM Conf. on Information and Knowledge Management",
+    "PODS": "Symposium on Principles of Database Systems",
+    "SIGMOD Record": "ACM SIGMOD Record",
+    "VLDB J.": "The VLDB Journal",
+    "TKDE": "IEEE Trans. Knowl. Data Eng.",
+    "Inf. Syst.": "Information Systems",
+}
+
+
+@dataclass(frozen=True)
+class Paper:
+    """One bibliographic record."""
+
+    title: str
+    authors: tuple[str, ...]
+    venue: str
+    year: int
+    frequency: float
+
+
+def build_paper_corpus(n_papers: int = 260, seed: int = 13) -> list[Paper]:
+    """Mint a deterministic citation corpus with unique titles."""
+    rng = random.Random(seed)
+    papers: list[Paper] = []
+    seen_titles: set[str] = set()
+    attempts = 0
+    while len(papers) < n_papers and attempts < n_papers * 20:
+        attempts += 1
+        modifier = rng.choice(_TOPIC_MODIFIERS)
+        head = rng.choice(_TOPIC_HEADS)
+        template = rng.choice(_TITLE_TEMPLATES)
+        title = template.format(Mod=modifier.capitalize(), mod=modifier, head=head)
+        if title in seen_titles:
+            continue
+        seen_titles.add(title)
+        n_authors = rng.randint(1, 4)
+        authors = tuple(
+            f"{rng.choice(_GIVEN)} {rng.choice(_SURNAMES)}" for _ in range(n_authors)
+        )
+        papers.append(
+            Paper(
+                title=title,
+                authors=authors,
+                venue=rng.choice(VENUES),
+                year=rng.randint(1995, 2012),
+                frequency=50.0 / (1 + len(papers) % 25),
+            )
+        )
+    return papers
+
+
+def add_paper_facts(kb: KnowledgeBase, papers: list[Paper]) -> None:
+    """Relations: ``venue_alias`` (symmetric), ``paper_to_venue``."""
+    for clean, alias in VENUE_ALIASES.items():
+        kb.add_symmetric("venue_alias", clean, alias, 80.0)
+    for paper in papers:
+        kb.add("paper_to_venue", paper.title, paper.venue, paper.frequency)

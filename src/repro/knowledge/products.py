@@ -1,0 +1,177 @@
+"""Product and brand catalogue.
+
+Used by the Buy imputation dataset (manufacturer is the attribute to
+impute), the Walmart-Amazon and Amazon-Google entity-matching generators
+(jargon-heavy product listings), and the simulated FM's brand knowledge
+("pcanywhere is a symantec product").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+
+# (brand, aliases, category, prominence rank)
+_BRANDS: list[tuple[str, tuple[str, ...], str, int]] = [
+    ("Sony", (), "electronics", 1),
+    ("Apple", (), "electronics", 2),
+    ("Samsung", (), "electronics", 3),
+    ("Microsoft", ("msft",), "software", 4),
+    ("Hewlett-Packard", ("hp",), "electronics", 5),
+    ("Canon", (), "electronics", 6),
+    ("Dell", (), "electronics", 7),
+    ("Panasonic", (), "electronics", 8),
+    ("LG", ("lg electronics",), "electronics", 9),
+    ("Toshiba", (), "electronics", 10),
+    ("Adobe", ("adobe systems",), "software", 11),
+    ("Symantec", (), "software", 12),
+    ("Logitech", (), "electronics", 13),
+    ("Nikon", (), "electronics", 14),
+    ("Epson", (), "electronics", 15),
+    ("Intel", (), "electronics", 16),
+    ("Cisco", ("cisco systems",), "electronics", 17),
+    ("Garmin", (), "electronics", 18),
+    ("Philips", (), "electronics", 19),
+    ("Sharp", (), "electronics", 20),
+    ("Brother", (), "electronics", 21),
+    ("Netgear", (), "electronics", 22),
+    ("Linksys", (), "electronics", 23),
+    ("Kodak", ("eastman kodak",), "electronics", 24),
+    ("McAfee", (), "software", 25),
+    ("Corel", (), "software", 26),
+    ("Intuit", (), "software", 27),
+    ("Autodesk", (), "software", 28),
+    ("Belkin", (), "electronics", 29),
+    ("Olympus", (), "electronics", 30),
+    ("JVC", (), "electronics", 31),
+    ("Pioneer", (), "electronics", 32),
+    ("Kenwood", (), "electronics", 33),
+    ("Sandisk", (), "electronics", 34),
+    ("Seagate", (), "electronics", 35),
+    ("Western Digital", ("wd",), "electronics", 36),
+    ("Casio", (), "electronics", 37),
+    ("TomTom", (), "electronics", 38),
+    ("Plantronics", (), "electronics", 39),
+    ("Kingston", ("kingston technology",), "electronics", 40),
+]
+
+# Product-line stems per category.  Lines are brand-agnostic nouns; a
+# product name is "<brand> <line> <model code> <descriptor?>".
+_LINES: dict[str, tuple[str, ...]] = {
+    "electronics": (
+        "digital camera", "camcorder", "lcd monitor", "laser printer",
+        "wireless router", "usb flash drive", "external hard drive",
+        "noise canceling headphones", "bluetooth speaker", "gps navigator",
+        "dvd player", "home theater system", "photo scanner",
+        "inkjet printer", "memory card", "wireless mouse", "keyboard",
+        "webcam", "projector", "av receiver",
+    ),
+    "software": (
+        "antivirus", "office suite", "photo editor", "video editor",
+        "tax software", "backup utility", "firewall", "pc tuneup",
+        "drawing suite", "pdf editor", "remote access", "cad software",
+    ),
+}
+
+_DESCRIPTORS: tuple[str, ...] = (
+    "black", "silver", "white", "refurbished", "retail box", "oem",
+    "2-pack", "with case", "hd", "compact", "professional", "home edition",
+    "upgrade", "full version", "win/mac", "for windows", "wireless",
+)
+
+#: Corpus frequency of the most prominent brand; decays as 1/rank.
+BRAND_FREQUENCY_SCALE = 500.0
+
+
+@dataclass(frozen=True)
+class Product:
+    """One catalogue product."""
+
+    name: str            # full listing name, brand included
+    short_name: str      # line + model code, brand omitted
+    manufacturer: str
+    category: str
+    model_code: str
+    price: float
+    frequency: float
+
+
+def _model_code(rng: random.Random, style: int) -> str:
+    """A plausible alphanumeric model number.
+
+    Three house styles so different brands "look" different:
+    ``DSC-W55``, ``11.0``, ``mx4500``.
+    """
+    letters = "".join(rng.choice("ABCDEFGHKLMNPRSTVWX") for _ in range(rng.randint(2, 3)))
+    if style == 0:
+        return f"{letters}-{rng.randint(1, 99)}{rng.choice(['', '0', '5'])}"
+    if style == 1:
+        return f"{rng.randint(1, 12)}.{rng.randint(0, 9)}"
+    return f"{letters.lower()}{rng.randint(100, 9999)}"
+
+
+def brand_frequency(rank: int) -> float:
+    return BRAND_FREQUENCY_SCALE / rank
+
+
+def build_product_catalog(n_products: int = 400, seed: int = 7) -> list[Product]:
+    """Deterministically mint ``n_products`` catalogue products.
+
+    Product short names are unique, so ``product_to_manufacturer`` is a
+    true functional dependency.
+    """
+    rng = random.Random(seed)
+    products: list[Product] = []
+    seen_short: set[str] = set()
+    attempts = 0
+    while len(products) < n_products and attempts < n_products * 20:
+        attempts += 1
+        brand, _aliases, category, rank = _BRANDS[rng.randrange(len(_BRANDS))]
+        line = rng.choice(_LINES[category])
+        code = _model_code(rng, rank % 3)
+        short_name = f"{line} {code}"
+        if short_name in seen_short:
+            continue
+        seen_short.add(short_name)
+        descriptor = rng.choice(_DESCRIPTORS) if rng.random() < 0.6 else ""
+        name = " ".join(part for part in (brand, short_name, descriptor) if part)
+        price = round(rng.uniform(9.99, 1299.99), 2)
+        products.append(
+            Product(
+                name=name,
+                short_name=short_name,
+                manufacturer=brand,
+                category=category,
+                model_code=code,
+                price=price,
+                frequency=brand_frequency(rank),
+            )
+        )
+    return products
+
+
+def add_product_facts(kb: KnowledgeBase, products: list[Product]) -> None:
+    """Register brand knowledge.
+
+    Relations: ``product_to_manufacturer`` (short product name → brand),
+    ``brand_alias`` (symmetric), ``brand_category``.
+    """
+    for brand, aliases, category, rank in _BRANDS:
+        freq = brand_frequency(rank)
+        kb.add("brand_category", brand, category, freq)
+        for alias in aliases:
+            kb.add_symmetric("brand_alias", brand, alias, freq)
+    for product in products:
+        kb.add(
+            "product_to_manufacturer",
+            product.short_name,
+            product.manufacturer,
+            product.frequency,
+        )
+
+
+def known_brands() -> list[str]:
+    """All canonical brand names, most prominent first."""
+    return [brand for brand, _aliases, _category, _rank in _BRANDS]

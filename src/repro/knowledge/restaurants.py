@@ -1,0 +1,126 @@
+"""Restaurant vocabulary for Fodors-Zagats EM and the Restaurant DI dataset."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.knowledge.base import KnowledgeBase
+from repro.knowledge.geography import CUISINES, STREET_NAMES, City
+
+_NAME_HEADS: tuple[str, ...] = (
+    "Blue Heron", "Golden Lotus", "Casa Verde", "The Brass Lantern",
+    "Harbor Lights", "La Petite Maison", "Sakura Garden", "El Toro Rojo",
+    "The Copper Kettle", "Magnolia Table", "The Oak Room", "Bella Notte",
+    "Dragon Palace", "The Salty Anchor", "Maple Street Diner",
+    "The Velvet Fig", "Chez Olivier", "Taverna Mykonos", "The Iron Skillet",
+    "Lotus & Vine", "Smokehouse 52", "The Painted Door", "Trattoria Luna",
+    "Bayou Belle", "The Whistling Duck", "Cedar & Salt", "Mision Azul",
+    "The Lazy Oyster", "Pho Saigon Star", "Curry Leaf House",
+    "The Marble Rooster", "Alpine Hearth", "The Crooked Fork",
+    "Jade Fountain", "Rosemary's Kitchen", "The Tin Cup", "Villa Fiorita",
+    "The Grackle", "Saffron & Smoke", "Old Mill Chophouse",
+)
+
+_NAME_SUFFIXES: tuple[str, ...] = (
+    "", "", "", " cafe", " grill", " bistro", " kitchen", " restaurant",
+    " bar & grill", " eatery",
+)
+
+
+@dataclass(frozen=True)
+class Restaurant:
+    """One restaurant entity with a geography-consistent address."""
+
+    name: str
+    address: str
+    city: str
+    state: str
+    phone: str
+    cuisine: str
+    zip_code: str
+    frequency: float
+
+
+def _restaurants_per_city(rank: int, is_tail: bool) -> int:
+    """Restaurant density follows city prominence.
+
+    Major metros (rank ≤ 6) host many restaurants, mid-tier cities a
+    handful, small cities a couple; tail neighborhoods get a few each so
+    that dataset builders can place them in both train and test splits.
+    """
+    if is_tail:
+        return 5
+    if rank <= 6:
+        return 20
+    return 2
+
+
+def build_restaurant_corpus(
+    cities: list[City], n_restaurants: int = 300, seed: int = 17
+) -> list[Restaurant]:
+    """Mint restaurants whose phone area codes and zips match their city.
+
+    Each restaurant's (address, phone, city, zip) tuple satisfies the
+    geographic FDs, so "impute city from phone" is genuinely answerable
+    from the knowledge base.  ``n_restaurants`` is a soft target: the
+    prominence-tiered per-city allocation takes precedence (see
+    :func:`_restaurants_per_city`).
+    """
+    del n_restaurants  # superseded by the tiered allocation
+    rng = random.Random(seed)
+    restaurants: list[Restaurant] = []
+    seen_names: set[str] = set()
+    head_rank = 0
+    for city in cities:
+        if not city.is_tail:
+            head_rank += 1
+        quota = _restaurants_per_city(head_rank, city.is_tail)
+        made = 0
+        attempts = 0
+        while made < quota and attempts < quota * 40:
+            attempts += 1
+            head = rng.choice(_NAME_HEADS)
+            suffix = rng.choice(_NAME_SUFFIXES)
+            name = f"{head}{suffix}".lower()
+            if name in seen_names:
+                # Chains exist, but keep names unique so the
+                # restaurant→city relation stays functional.
+                name = f"{name} {made + 1}"
+                if name in seen_names:
+                    continue
+            seen_names.add(name)
+            street = rng.choice(STREET_NAMES)
+            number = rng.randint(1, 9999)
+            phone = (
+                f"{city.primary_area_code}-{rng.randint(200, 999)}"
+                f"-{rng.randint(1000, 9999)}"
+            )
+            restaurants.append(
+                Restaurant(
+                    name=name,
+                    address=f"{number} {street}",
+                    city=city.name,
+                    state=city.state_abbr,
+                    phone=phone,
+                    cuisine=rng.choice(CUISINES),
+                    zip_code=rng.choice(city.zip_codes),
+                    frequency=city.frequency,
+                )
+            )
+            made += 1
+    rng.shuffle(restaurants)
+    return restaurants
+
+
+def add_restaurant_facts(kb: KnowledgeBase, restaurants: list[Restaurant]) -> None:
+    """Relation: ``restaurant_to_city`` (restaurant name → city).
+
+    Frequency mirrors the host city's prominence: a famous-city restaurant
+    is "written about" proportionally more.
+    """
+    for restaurant in restaurants:
+        kb.add(
+            "restaurant_to_city", restaurant.name, restaurant.city,
+            restaurant.frequency,
+        )

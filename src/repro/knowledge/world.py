@@ -1,0 +1,105 @@
+"""Assembly of the default world: corpora + knowledge base.
+
+``default_knowledge()`` is the single source of truth shared by the dataset
+generators (which sample entities from the corpora) and the simulated
+foundation model (which recalls facts from the knowledge base, subject to
+its size-dependent frequency floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.knowledge.base import KnowledgeBase
+from repro.knowledge.beers import Beer, add_beer_facts, build_beer_corpus
+from repro.knowledge.calendar import add_calendar_facts
+from repro.knowledge.census import add_census_facts
+from repro.knowledge.geography import City, add_geography_facts, build_geography
+from repro.knowledge.medical import add_medical_facts
+from repro.knowledge.music import Track, add_music_facts, build_music_catalog
+from repro.knowledge.papers import Paper, add_paper_facts, build_paper_corpus
+from repro.knowledge.products import (
+    Product,
+    add_product_facts,
+    build_product_catalog,
+)
+from repro.knowledge.restaurants import (
+    Restaurant,
+    add_restaurant_facts,
+    build_restaurant_corpus,
+)
+
+
+@dataclass(frozen=True)
+class World:
+    """The full synthetic world.
+
+    Immutable after construction; every generator and model reads from the
+    same instance, so ground truth and model knowledge stay consistent.
+    """
+
+    cities: tuple[City, ...]
+    products: tuple[Product, ...]
+    tracks: tuple[Track, ...]
+    papers: tuple[Paper, ...]
+    restaurants: tuple[Restaurant, ...]
+    beers: tuple[Beer, ...]
+    kb: KnowledgeBase
+
+    @property
+    def head_cities(self) -> list[City]:
+        return [city for city in self.cities if not city.is_tail]
+
+    @property
+    def tail_cities(self) -> list[City]:
+        return [city for city in self.cities if city.is_tail]
+
+
+def build_world(
+    n_tail_cities: int = 12,
+    n_products: int = 400,
+    n_tracks: int = 240,
+    n_papers: int = 260,
+    n_restaurants: int = 300,
+    n_beers: int = 180,
+) -> World:
+    """Build a world from scratch (deterministic for fixed arguments)."""
+    cities = build_geography(n_tail_cities)
+    products = build_product_catalog(n_products)
+    tracks = build_music_catalog(n_tracks)
+    papers = build_paper_corpus(n_papers)
+    restaurants = build_restaurant_corpus(cities, n_restaurants)
+    beers = build_beer_corpus(n_beers)
+
+    kb = KnowledgeBase()
+    add_geography_facts(kb, cities)
+    add_product_facts(kb, products)
+    add_music_facts(kb, tracks)
+    add_paper_facts(kb, papers)
+    add_restaurant_facts(kb, restaurants)
+    add_beer_facts(kb, beers)
+    add_medical_facts(kb)
+    add_calendar_facts(kb)
+    add_census_facts(kb)
+
+    return World(
+        cities=tuple(cities),
+        products=tuple(products),
+        tracks=tuple(tracks),
+        papers=tuple(papers),
+        restaurants=tuple(restaurants),
+        beers=tuple(beers),
+        kb=kb,
+    )
+
+
+@lru_cache(maxsize=1)
+def default_world() -> World:
+    """The canonical world instance (cached)."""
+    return build_world()
+
+
+def default_knowledge() -> KnowledgeBase:
+    """The canonical knowledge base (cached via :func:`default_world`)."""
+    return default_world().kb

@@ -1,0 +1,24 @@
+"""A miniature ML library on numpy.
+
+The baseline systems in the paper (Magellan, Ditto, HoloDetect, SMAT) are
+learned models.  Rather than depending on scikit-learn, this package
+implements the handful of estimators they need: an L2-regularized logistic
+regression trained with full-batch gradient descent, a multinomial naive
+Bayes, a bagged decision-stump forest, and feature-hashing utilities.
+"""
+
+from repro.ml.features import FeatureHasher, StandardScaler, hash_token
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.forest import StumpForest
+from repro.ml.validation import train_validation_split
+
+__all__ = [
+    "FeatureHasher",
+    "LogisticRegression",
+    "MultinomialNaiveBayes",
+    "StandardScaler",
+    "StumpForest",
+    "hash_token",
+    "train_validation_split",
+]

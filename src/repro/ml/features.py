@@ -1,0 +1,74 @@
+"""Feature engineering utilities: hashing and scaling."""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+def hash_token(token: str, dim: int, salt: str = "") -> tuple[int, float]:
+    """Map ``token`` to a (bucket, sign) pair via a stable hash.
+
+    Uses blake2b so the mapping is stable across processes and Python
+    versions (the builtin ``hash`` is salted per process).
+    """
+    digest = hashlib.blake2b((salt + token).encode("utf-8"), digest_size=8).digest()
+    value = int.from_bytes(digest, "little")
+    bucket = value % dim
+    sign = 1.0 if (value >> 63) & 1 else -1.0
+    return bucket, sign
+
+
+class FeatureHasher:
+    """Hashing vectorizer: token lists -> fixed-width dense numpy rows.
+
+    Signed hashing keeps collisions unbiased.  Dense output keeps the mini
+    estimators simple; the feature spaces here are small (<= 2**14).
+    """
+
+    def __init__(self, dim: int = 4096, salt: str = ""):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.salt = salt
+
+    def transform_one(self, tokens: Sequence[str]) -> np.ndarray:
+        row = np.zeros(self.dim, dtype=np.float64)
+        for token in tokens:
+            bucket, sign = hash_token(token, self.dim, self.salt)
+            row[bucket] += sign
+        norm = np.linalg.norm(row)
+        if norm > 0:
+            row /= norm
+        return row
+
+    def transform(self, documents: Iterable[Sequence[str]]) -> np.ndarray:
+        rows = [self.transform_one(tokens) for tokens in documents]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)
+
+
+class StandardScaler:
+    """Column-wise standardization with guards against zero variance."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        self.mean_ = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,161 @@
+"""A bagged forest of depth-limited decision trees.
+
+Magellan ships random forests as its strongest matcher; this is the
+dependency-free equivalent.  Trees split on single features with exhaustive
+threshold search over quantile candidates; the forest averages leaf
+probabilities over bootstrap resamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a probability, internal nodes a split."""
+
+    probability: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(
+    features: np.ndarray, labels: np.ndarray, feature_ids: np.ndarray
+) -> tuple[int, float, float]:
+    """Best (feature, threshold, gain) over candidate features."""
+    parent_impurity = _gini(labels)
+    n = len(labels)
+    best = (-1, 0.0, 0.0)
+    for feature in feature_ids:
+        column = features[:, feature]
+        candidates = np.unique(
+            np.quantile(column, np.linspace(0.1, 0.9, 9), method="nearest")
+        )
+        for threshold in candidates:
+            mask = column <= threshold
+            n_left = int(mask.sum())
+            if n_left == 0 or n_left == n:
+                continue
+            impurity = (
+                n_left * _gini(labels[mask]) + (n - n_left) * _gini(labels[~mask])
+            ) / n
+            gain = parent_impurity - impurity
+            if gain > best[2]:
+                best = (int(feature), float(threshold), float(gain))
+    return best
+
+
+def _grow(
+    features: np.ndarray,
+    labels: np.ndarray,
+    depth: int,
+    max_depth: int,
+    min_leaf: int,
+    rng: np.random.Generator,
+    n_candidate_features: int,
+) -> _Node:
+    probability = float(labels.mean()) if len(labels) else 0.5
+    node = _Node(probability=probability)
+    if depth >= max_depth or len(labels) < 2 * min_leaf or _gini(labels) == 0.0:
+        return node
+
+    n_features = features.shape[1]
+    feature_ids = rng.choice(
+        n_features, size=min(n_candidate_features, n_features), replace=False
+    )
+    feature, threshold, gain = _best_split(features, labels, feature_ids)
+    if feature < 0 or gain <= 1e-12:
+        return node
+
+    mask = features[:, feature] <= threshold
+    if mask.sum() < min_leaf or (~mask).sum() < min_leaf:
+        return node
+
+    node.feature = feature
+    node.threshold = threshold
+    node.left = _grow(
+        features[mask], labels[mask], depth + 1, max_depth, min_leaf, rng,
+        n_candidate_features,
+    )
+    node.right = _grow(
+        features[~mask], labels[~mask], depth + 1, max_depth, min_leaf, rng,
+        n_candidate_features,
+    )
+    return node
+
+
+class StumpForest:
+    """Bagged shallow trees with feature subsampling.
+
+    Despite the name it grows trees to ``max_depth`` (default 3), "stump"
+    signalling the deliberately low capacity appropriate for the dozen-wide
+    similarity feature vectors it consumes.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 3,
+        min_leaf: int = 2,
+        seed: int = 0,
+    ):
+        if n_trees <= 0:
+            raise ValueError(f"n_trees must be positive, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self.trees_: list[_Node] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "StumpForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        n = len(labels)
+        n_candidates = max(1, int(np.sqrt(features.shape[1])) + 1)
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            self.trees_.append(
+                _grow(
+                    features[sample], labels[sample], 0, self.max_depth,
+                    self.min_leaf, rng, n_candidates,
+                )
+            )
+        return self
+
+    @staticmethod
+    def _score_one(node: _Node, row: np.ndarray) -> float:
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.probability
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("StumpForest used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        scores = np.zeros(len(features))
+        for i, row in enumerate(features):
+            scores[i] = sum(self._score_one(tree, row) for tree in self.trees_)
+        return scores / self.n_trees
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(np.int64)

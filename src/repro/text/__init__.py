@@ -1,0 +1,75 @@
+"""String-processing substrate.
+
+Tokenization, normalization, classical similarity metrics and value-pattern
+profiling. These primitives are shared by the simulated foundation model,
+the dataset generators, and every baseline system (Magellan-style feature
+vectors, HoloDetect featurization, TDE's transformation DSL).
+"""
+
+from repro.text.tokenize import (
+    char_ngrams,
+    sentence_split,
+    word_ngrams,
+    word_tokens,
+)
+from repro.text.normalize import (
+    casefold,
+    expand_abbreviations,
+    normalize_value,
+    normalize_whitespace,
+    strip_punctuation,
+)
+from repro.text.similarity import (
+    cosine_tokens,
+    dice_coefficient,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    monge_elkan,
+    overlap_coefficient,
+    prefix_similarity,
+)
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.patterns import (
+    infer_semantic_type,
+    is_date_like,
+    is_null_token,
+    is_numeric,
+    is_phone_like,
+    is_product_code,
+    is_zip_like,
+    value_pattern,
+)
+
+__all__ = [
+    "TfidfVectorizer",
+    "casefold",
+    "char_ngrams",
+    "cosine_tokens",
+    "dice_coefficient",
+    "expand_abbreviations",
+    "infer_semantic_type",
+    "is_date_like",
+    "is_null_token",
+    "is_numeric",
+    "is_phone_like",
+    "is_product_code",
+    "is_zip_like",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_ratio",
+    "monge_elkan",
+    "normalize_value",
+    "normalize_whitespace",
+    "overlap_coefficient",
+    "prefix_similarity",
+    "sentence_split",
+    "strip_punctuation",
+    "value_pattern",
+    "word_ngrams",
+    "word_tokens",
+]

@@ -1,0 +1,104 @@
+"""Value normalization.
+
+Normalization is the first thing both the simulated FM and the classical
+baselines do to a cell value.  Keeping one shared implementation means the
+systems disagree because of their *algorithms*, not because of accidental
+preprocessing differences.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+
+# Common abbreviations in addresses, company names and product listings.
+# Deliberately small: the broad, frequency-weighted synonym knowledge lives
+# in ``repro.knowledge``; this table is only the uncontroversial core that a
+# classical system would also hard-code.
+ABBREVIATIONS: dict[str, str] = {
+    "st": "street",
+    "st.": "street",
+    "ave": "avenue",
+    "ave.": "avenue",
+    "blvd": "boulevard",
+    "blvd.": "boulevard",
+    "rd": "road",
+    "rd.": "road",
+    "hwy": "highway",
+    "hwy.": "highway",
+    "dr": "drive",
+    "dr.": "drive",
+    "ln": "lane",
+    "ln.": "lane",
+    "n": "north",
+    "s": "south",
+    "e": "east",
+    "w": "west",
+    "apt": "apartment",
+    "ste": "suite",
+    "corp": "corporation",
+    "corp.": "corporation",
+    "inc": "incorporated",
+    "inc.": "incorporated",
+    "co": "company",
+    "co.": "company",
+    "ltd": "limited",
+    "ltd.": "limited",
+    "mfg": "manufacturing",
+    "intl": "international",
+    "dept": "department",
+    "&": "and",
+}
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCT_TABLE = str.maketrans({ch: " " for ch in string.punctuation})
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def casefold(text: str) -> str:
+    """Aggressive lowercase suitable for comparison keys."""
+    return text.casefold()
+
+
+def strip_punctuation(text: str) -> str:
+    """Replace every punctuation character with a space."""
+    return normalize_whitespace(text.translate(_PUNCT_TABLE))
+
+
+def expand_abbreviations(text: str, table: dict[str, str] | None = None) -> str:
+    """Expand whitespace-delimited abbreviations using ``table``.
+
+    >>> expand_abbreviations("123 main st")
+    '123 main street'
+    """
+    mapping = ABBREVIATIONS if table is None else table
+    words = text.split()
+    expanded = [mapping.get(word.lower(), word) for word in words]
+    return " ".join(expanded)
+
+
+def normalize_value(value: str | None) -> str:
+    """Canonical comparison form of a cell value.
+
+    Lowercases, expands common abbreviations, strips punctuation and
+    collapses whitespace.  ``None`` and null-ish sentinels become the empty
+    string, matching the paper's serialization rule that NULL attributes are
+    serialized as the empty string.
+    """
+    if value is None:
+        return ""
+    text = casefold(str(value))
+    if text in {"null", "none", "nan", "n/a", "na", "-", "?", ""}:
+        return ""
+    # Expand twice, around punctuation stripping: the first pass catches
+    # dotted forms ("st.", "&"), the second catches abbreviations that only
+    # become bare words once punctuation is gone (":e" → "e" → "east").
+    # Expansion targets are never themselves abbreviations, so the result
+    # is a fixed point (normalize_value is idempotent).
+    text = expand_abbreviations(text)
+    text = strip_punctuation(text)
+    return expand_abbreviations(text)

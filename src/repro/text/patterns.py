@@ -1,0 +1,127 @@
+"""Value-pattern profiling.
+
+HoloDetect-style featurization, the error injectors and the simulated FM's
+semantic-type inference all need a cheap structural summary of a cell value
+("does this look like a phone number / zip code / date / product code?").
+"""
+
+from __future__ import annotations
+
+import re
+
+_NUMERIC_RE = re.compile(r"^-?\d+(\.\d+)?$")
+_ZIP_RE = re.compile(r"^\d{5}(-\d{4})?$")
+_PHONE_RE = re.compile(
+    r"^\(?\d{3}\)?[\s./-]?\d{3}[\s.-]?\d{4}$"
+)
+_DATE_RES = (
+    re.compile(r"^\d{4}-\d{1,2}-\d{1,2}$"),
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$"),
+    re.compile(r"^\d{1,2}-\d{1,2}-\d{2,4}$"),
+    re.compile(
+        r"^(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{1,2},?\s+\d{4}$",
+        re.IGNORECASE,
+    ),
+    re.compile(
+        r"^\d{1,2}\s+(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{4}$",
+        re.IGNORECASE,
+    ),
+)
+_PRODUCT_CODE_RE = re.compile(r"^(?=.*[a-zA-Z])(?=.*\d)[a-zA-Z0-9][a-zA-Z0-9./-]{2,}$")
+
+NULL_TOKENS = frozenset({"", "null", "none", "nan", "n/a", "na", "-", "?", "missing"})
+
+
+def is_null_token(value: str | None) -> bool:
+    """True for values that denote a missing cell."""
+    if value is None:
+        return True
+    return str(value).strip().casefold() in NULL_TOKENS
+
+
+def is_numeric(value: str) -> bool:
+    """True for plain integers/decimals (optionally negative)."""
+    return bool(_NUMERIC_RE.match(value.strip()))
+
+
+def is_zip_like(value: str) -> bool:
+    """True for 5-digit (or ZIP+4) codes."""
+    return bool(_ZIP_RE.match(value.strip()))
+
+
+def is_phone_like(value: str) -> bool:
+    """True for common US phone-number shapes (415-775-7036, 310/456-5733…)."""
+    return bool(_PHONE_RE.match(value.strip()))
+
+
+def is_date_like(value: str) -> bool:
+    """True if the value matches one of the supported date layouts."""
+    text = value.strip()
+    return any(pattern.match(text) for pattern in _DATE_RES)
+
+
+def is_product_code(value: str) -> bool:
+    """Heuristic for model numbers / SKUs: mixed letters+digits, no spaces.
+
+    The paper's error analysis blames exactly these "product-specific
+    identifiers" for the FM's weakness on Amazon-Google; the simulated FM's
+    semantic-depth mechanism keys off this predicate.
+    """
+    token = value.strip()
+    if " " in token:
+        return False
+    return bool(_PRODUCT_CODE_RE.match(token))
+
+
+def is_identifier_token(token: str) -> bool:
+    """Model numbers, version strings, bare numbers: identifier-like tokens.
+
+    These are compared exactly by careful systems (and misread by shallow
+    ones); both the simulated FM and the Ditto baseline key off them.
+    """
+    return is_numeric(token) or is_product_code(token)
+
+
+def value_pattern(value: str) -> str:
+    """Structural mask of a value: letters→A, digits→9, other kept.
+
+    Runs are collapsed, so ``"415-775-7036"`` → ``"9-9-9"`` and
+    ``"Suite 4B"`` → ``"A 9A"``.  This is HoloDetect's format feature.
+    """
+    out: list[str] = []
+    previous = ""
+    for ch in value:
+        if ch.isalpha():
+            symbol = "A"
+        elif ch.isdigit():
+            symbol = "9"
+        elif ch.isspace():
+            symbol = " "
+        else:
+            symbol = ch
+        if symbol != previous or symbol not in ("A", "9"):
+            out.append(symbol)
+        previous = symbol
+    return "".join(out)
+
+
+def infer_semantic_type(value: str) -> str:
+    """Best-effort semantic type of a single value.
+
+    One of ``null``, ``zip``, ``phone``, ``date``, ``number``, ``code`` or
+    ``text``.  Order matters: more specific shapes win over generic ones.
+    """
+    if is_null_token(value):
+        return "null"
+    text = value.strip()
+    if is_zip_like(text):
+        return "zip"
+    if is_phone_like(text):
+        return "phone"
+    if is_date_like(text):
+        return "date"
+    if is_numeric(text):
+        return "number"
+    if is_product_code(text):
+        return "code"
+    return "text"

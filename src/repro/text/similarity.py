@@ -1,0 +1,200 @@
+"""Classical string-similarity metrics.
+
+These are the building blocks of the Magellan-style feature vectors, the
+blocking heuristics, the SMAT schema-matching features and — with semantic
+re-weighting layered on top — the simulated foundation model's notion of
+entity similarity.
+
+All metrics return values in ``[0, 1]`` (except :func:`levenshtein`, which
+returns an edit distance) and treat the empty string consistently: two empty
+strings are identical (similarity 1), one empty string is maximally
+dissimilar (similarity 0).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+import math
+
+
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b``.
+
+    Uses the classic two-row dynamic program.  If ``max_distance`` is given
+    and the true distance exceeds it, returns ``max_distance + 1`` (an early
+    exit used heavily inside blocking loops).
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(a) + 1))
+    current = [0] * (len(a) + 1)
+    for i, ch_b in enumerate(b, start=1):
+        current[0] = i
+        row_min = i
+        for j, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current[j] = min(
+                previous[j] + 1,      # deletion
+                current[j - 1] + 1,   # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            if current[j] < row_min:
+                row_min = current[j]
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous, current = current, previous
+    return previous[len(a)]
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Normalized edit similarity: ``1 - distance / max(len)``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ch:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if not flagged:
+            continue
+        while not b_flags[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    m = float(matches)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity with the standard prefix boost (<= 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def _as_set(items: Sequence[str]) -> set[str]:
+    return items if isinstance(items, set) else set(items)
+
+
+def jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard similarity of two token collections."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def overlap_coefficient(a: Sequence[str], b: Sequence[str]) -> float:
+    """Szymkiewicz-Simpson overlap: ``|A∩B| / min(|A|, |B|)``."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def dice_coefficient(a: Sequence[str], b: Sequence[str]) -> float:
+    """Sørensen-Dice coefficient of two token collections."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def cosine_tokens(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cosine similarity over raw token counts (bag of words)."""
+    count_a, count_b = Counter(a), Counter(b)
+    if not count_a and not count_b:
+        return 1.0
+    if not count_a or not count_b:
+        return 0.0
+    dot = sum(count_a[token] * count_b[token] for token in count_a.keys() & count_b.keys())
+    norm_a = math.sqrt(sum(value * value for value in count_a.values()))
+    norm_b = math.sqrt(sum(value * value for value in count_b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner=jaro_winkler,
+) -> float:
+    """Monge-Elkan similarity: mean best ``inner`` match of each a-token.
+
+    The asymmetric hybrid metric used by Magellan for multi-word fields; we
+    symmetrize it by averaging both directions so it can serve as a generic
+    feature.
+    """
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def directed(source: Sequence[str], target: Sequence[str]) -> float:
+        total = 0.0
+        for token in source:
+            total += max(inner(token, other) for other in target)
+        return total / len(source)
+
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+def prefix_similarity(a: str, b: str) -> float:
+    """Length of the common prefix over the shorter string's length."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return prefix / min(len(a), len(b))

@@ -1,0 +1,82 @@
+"""A small TF-IDF vectorizer.
+
+Backs the Ditto baseline's feature space and the simulated FM's corpus
+statistics.  Only what is needed here: fit on a token corpus, transform
+documents to sparse dictionaries, and compute cosine similarity between
+them without materializing dense vectors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+
+class TfidfVectorizer:
+    """Fit IDF weights on a corpus and map documents to tf-idf dicts.
+
+    Documents are pre-tokenized lists of strings; tokenization policy is the
+    caller's concern so that word- and char-gram spaces can share this class.
+    """
+
+    def __init__(self, min_df: int = 1, sublinear_tf: bool = True):
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1, got {min_df}")
+        self.min_df = min_df
+        self.sublinear_tf = sublinear_tf
+        self.idf_: dict[str, float] = {}
+        self.n_docs_ = 0
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfVectorizer":
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for tokens in documents:
+            n_docs += 1
+            doc_freq.update(set(tokens))
+        self.n_docs_ = n_docs
+        self.idf_ = {
+            token: math.log((1 + n_docs) / (1 + freq)) + 1.0
+            for token, freq in doc_freq.items()
+            if freq >= self.min_df
+        }
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.n_docs_ > 0
+
+    def transform_one(self, tokens: Sequence[str]) -> dict[str, float]:
+        """Map one document to a normalized tf-idf dictionary."""
+        if not self.is_fitted:
+            raise RuntimeError("TfidfVectorizer used before fit()")
+        counts = Counter(tokens)
+        vector: dict[str, float] = {}
+        for token, count in counts.items():
+            idf = self.idf_.get(token)
+            if idf is None:
+                # Unseen token: give it the max-rarity IDF so out-of-corpus
+                # tokens still discriminate instead of vanishing.
+                idf = math.log((1 + self.n_docs_) / 1.0) + 1.0
+            tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+            vector[token] = tf * idf
+        norm = math.sqrt(sum(value * value for value in vector.values()))
+        if norm > 0:
+            vector = {token: value / norm for token, value in vector.items()}
+        return vector
+
+    def transform(self, documents: Iterable[Sequence[str]]) -> list[dict[str, float]]:
+        return [self.transform_one(tokens) for tokens in documents]
+
+    @staticmethod
+    def cosine(vec_a: dict[str, float], vec_b: dict[str, float]) -> float:
+        """Cosine similarity between two (already normalized) vectors."""
+        if not vec_a and not vec_b:
+            return 1.0
+        if len(vec_a) > len(vec_b):
+            vec_a, vec_b = vec_b, vec_a
+        return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+
+    def similarity(self, tokens_a: Sequence[str], tokens_b: Sequence[str]) -> float:
+        """Convenience: cosine of the transforms of two token lists."""
+        return self.cosine(self.transform_one(tokens_a), self.transform_one(tokens_b))

@@ -1,0 +1,78 @@
+"""Tokenizers used across the library.
+
+All tokenizers are deterministic and regex based.  They intentionally avoid
+any external NLP dependency: the simulated foundation model and the baseline
+systems need consistent token boundaries far more than they need perfect
+linguistic segmentation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[.\-'/][A-Za-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def word_tokens(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    Tokens are maximal runs of alphanumerics, optionally joined by inner
+    punctuation such as ``-``, ``.``, ``'`` or ``/`` (so ``cd-rom`` and
+    ``11.0`` survive as single tokens).
+
+    >>> word_tokens("PCAnywhere 11.0 Host-Only CD-ROM!")
+    ['pcanywhere', '11.0', 'host-only', 'cd-rom']
+    """
+    if not text:
+        return []
+    tokens = _WORD_RE.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens
+
+
+def char_ngrams(text: str, n: int = 3, pad: bool = True) -> list[str]:
+    """Character n-grams of ``text``.
+
+    When ``pad`` is true the string is wrapped in ``#`` sentinels so that
+    prefixes and suffixes get their own grams — the standard trick that makes
+    character-gram Jaccard a robust fuzzy matcher.
+
+    >>> char_ngrams("ab", n=3)
+    ['##a', '#ab', 'ab#', 'b##']
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not text:
+        return []
+    if pad:
+        text = "#" * (n - 1) + text + "#" * (n - 1)
+    if len(text) < n:
+        return [text]
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def word_ngrams(tokens: list[str], n: int = 2) -> list[str]:
+    """Contiguous word n-grams joined by a single space.
+
+    >>> word_ngrams(["new", "york", "city"], n=2)
+    ['new york', 'york city']
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if len(tokens) < n:
+        return [" ".join(tokens)] if tokens else []
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def sentence_split(text: str) -> list[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    Used by the prompt parser to separate serialized entities inside a
+    prompt body ("Product A is ... . Product B is ... .").
+    """
+    if not text:
+        return []
+    parts = _SENTENCE_RE.split(text.strip())
+    return [part.strip() for part in parts if part.strip()]

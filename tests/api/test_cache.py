@@ -1,0 +1,51 @@
+"""Tests for the SQLite prompt cache."""
+
+import pytest
+
+from repro.api import PromptCache
+
+
+@pytest.fixture()
+def cache():
+    return PromptCache(":memory:")
+
+
+class TestCache:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("m", "prompt") is None
+        cache.put("m", "prompt", "answer")
+        assert cache.get("m", "prompt") == "answer"
+
+    def test_model_isolation(self, cache):
+        cache.put("m1", "prompt", "a1")
+        assert cache.get("m2", "prompt") is None
+
+    def test_temperature_isolation(self, cache):
+        cache.put("m", "prompt", "cold", temperature=0.0)
+        assert cache.get("m", "prompt", temperature=0.7) is None
+
+    def test_overwrite(self, cache):
+        cache.put("m", "p", "first")
+        cache.put("m", "p", "second")
+        assert cache.get("m", "p") == "second"
+        assert len(cache) == 1
+
+    def test_len_and_clear(self, cache):
+        cache.put("m", "p1", "a")
+        cache.put("m", "p2", "b")
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_file_persistence(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        first = PromptCache(path)
+        first.put("m", "prompt", "answer")
+        first.close()
+        second = PromptCache(path)
+        assert second.get("m", "prompt") == "answer"
+        second.close()
+
+    def test_unicode_prompts(self, cache):
+        cache.put("m", "prømpt → ünïcode", "svar")
+        assert cache.get("m", "prømpt → ünïcode") == "svar"

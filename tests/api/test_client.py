@@ -1,0 +1,85 @@
+"""Tests for the completion client."""
+
+import pytest
+
+from repro.api import CompletionClient, PromptCache, RateLimitError
+
+
+class CountingBackend:
+    """Minimal backend recording how often it is really called."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, temperature=0.0, **kwargs):
+        self.calls += 1
+        return f"echo:{prompt}"
+
+
+class TestClient:
+    def test_wraps_simulated_model_by_default(self):
+        client = CompletionClient("gpt3-175b")
+        answer = client.complete("name: a. phone: 415-775-7036. city?")
+        assert isinstance(answer, str)
+        assert client.name == "gpt3-175b"
+
+    def test_cache_prevents_backend_calls(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend)
+        assert client.complete("p") == "echo:p"
+        assert client.complete("p") == "echo:p"
+        assert backend.calls == 1
+        assert client.usage.per_model["counting"].n_cache_hits == 1
+
+    def test_distinct_prompts_hit_backend(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend)
+        client.complete("p1")
+        client.complete("p2")
+        assert backend.calls == 2
+
+    def test_request_budget_enforced(self):
+        client = CompletionClient(CountingBackend(), requests_per_run=2)
+        client.complete("a")
+        client.complete("b")
+        with pytest.raises(RateLimitError):
+            client.complete("c")
+
+    def test_cached_responses_do_not_consume_budget(self):
+        client = CompletionClient(CountingBackend(), requests_per_run=1)
+        client.complete("a")
+        assert client.complete("a") == "echo:a"  # from cache, no budget used
+
+    def test_transient_failures_retried(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend, failure_every=2, max_retries=2)
+        for i in range(4):
+            assert client.complete(f"p{i}").startswith("echo:")
+        assert client.stats["transient_failures"] >= 1
+
+    def test_shared_cache_across_clients(self):
+        cache = PromptCache()
+        backend = CountingBackend()
+        CompletionClient(backend, cache=cache).complete("shared")
+        CompletionClient(CountingBackend(), cache=cache).complete("shared")
+        assert backend.calls == 1
+
+    def test_stats_shape(self):
+        client = CompletionClient(CountingBackend())
+        client.complete("x")
+        stats = client.stats
+        assert stats["backend_calls"] == 1
+        assert stats["cache_entries"] == 1
+
+    def test_usable_by_task_runners(self):
+        """The client is a drop-in model for the prompting task runners."""
+        from repro.core.tasks import run_entity_matching
+        from repro.datasets import load_dataset
+
+        client = CompletionClient("gpt3-175b")
+        dataset = load_dataset("fodors_zagats")
+        run = run_entity_matching(client, dataset, k=0, max_examples=20)
+        assert run.model == "gpt3-175b"
+        assert client.stats["backend_calls"] > 0

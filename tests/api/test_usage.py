@@ -1,0 +1,65 @@
+"""Tests for usage accounting and token counting."""
+
+import pytest
+
+from repro.api import Usage, UsageTracker, count_tokens
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_word_count_ballpark(self):
+        text = "the quick brown fox jumps over the lazy dog"
+        assert 7 <= count_tokens(text) <= 12
+
+    def test_long_words_cost_more(self):
+        assert count_tokens("antidisestablishmentarianism") > count_tokens("cat")
+
+    def test_digits_count_individually(self):
+        assert count_tokens("12345") == 5
+
+    def test_monotone_under_concatenation(self):
+        a, b = "name: sony camera", "price: 199.99"
+        assert count_tokens(a + " " + b) >= max(count_tokens(a), count_tokens(b))
+
+
+class TestUsage:
+    def test_cost_uses_model_rate(self):
+        usage = Usage(model="gpt3-175b", prompt_tokens=1000, completion_tokens=0)
+        assert usage.cost_usd == pytest.approx(0.02)
+        cheap = Usage(model="gpt3-6.7b", prompt_tokens=1000, completion_tokens=0)
+        assert cheap.cost_usd < usage.cost_usd
+
+    def test_total_tokens(self):
+        usage = Usage(model="m", prompt_tokens=10, completion_tokens=5)
+        assert usage.total_tokens == 15
+
+
+class TestTracker:
+    def test_records_per_model(self):
+        tracker = UsageTracker()
+        tracker.record("gpt3-175b", "a prompt here", "Yes", cached=False)
+        tracker.record("gpt3-6.7b", "other prompt", "No", cached=False)
+        assert set(tracker.per_model) == {"gpt3-175b", "gpt3-6.7b"}
+
+    def test_cached_requests_free(self):
+        tracker = UsageTracker()
+        tracker.record("m", "prompt text", "answer", cached=False)
+        tokens_before = tracker.per_model["m"].total_tokens
+        tracker.record("m", "prompt text", "answer", cached=True)
+        usage = tracker.per_model["m"]
+        assert usage.n_requests == 2
+        assert usage.n_cache_hits == 1
+        assert usage.total_tokens == tokens_before
+
+    def test_total_cost(self):
+        tracker = UsageTracker()
+        tracker.record("gpt3-175b", "x " * 100, "y", cached=False)
+        assert tracker.total_cost_usd > 0
+
+    def test_summary_text(self):
+        tracker = UsageTracker()
+        assert tracker.summary() == "no usage recorded"
+        tracker.record("m", "p", "c", cached=False)
+        assert "m: 1 requests" in tracker.summary()

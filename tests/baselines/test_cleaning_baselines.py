@@ -1,0 +1,120 @@
+"""Tests for HoloClean, HoloDetect and IMP."""
+
+import pytest
+
+from repro.baselines import HoloClean, HoloDetect, ImpImputer
+from repro.core.metrics import accuracy, binary_metrics
+from repro.datasets import load_dataset
+from repro.datasets.base import ErrorExample, ImputationExample
+
+
+class TestHoloCleanStatistics:
+    ROWS = [
+        {"id": str(i), "city": city, "state": state}
+        for i, (city, state) in enumerate(
+            [("boston", "ma")] * 4 + [("denver", "co")] * 4
+        )
+    ]
+
+    def test_discovers_functional_dependency(self):
+        engine = HoloClean().fit(self.ROWS)
+        assert ("city", "state") in engine.fds
+
+    def test_detects_fd_violation(self):
+        engine = HoloClean().fit(self.ROWS)
+        example = ErrorExample(
+            row={"city": "boston", "state": "co"}, attribute="state", label=True
+        )
+        assert engine.detect(example)
+
+    def test_consistent_cell_passes(self):
+        engine = HoloClean().fit(self.ROWS)
+        example = ErrorExample(
+            row={"city": "boston", "state": "ma"}, attribute="state", label=False
+        )
+        assert not engine.detect(example)
+
+    def test_imputes_from_cooccurrence(self):
+        engine = HoloClean().fit(self.ROWS)
+        example = ImputationExample(
+            row={"city": "denver", "state": None}, attribute="state", answer="co"
+        )
+        assert engine.impute(example) == "co"
+
+    def test_cannot_invent_unseen_values(self):
+        engine = HoloClean().fit(self.ROWS)
+        example = ImputationExample(
+            row={"city": "miami", "state": None}, attribute="state", answer="fl"
+        )
+        assert engine.impute(example) in {"ma", "co"}  # the core limitation
+
+    def test_deduplicates_fitted_rows(self):
+        engine = HoloClean().fit(self.ROWS * 10)
+        assert engine.n_rows == len(self.ROWS)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HoloClean().fit([])
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            HoloClean().detect(ErrorExample(row={"a": "x"}, attribute="a", label=False))
+
+
+class TestHoloDetect:
+    @pytest.fixture(scope="class")
+    def hospital(self):
+        return load_dataset("hospital")
+
+    def test_few_shot_detection(self, hospital):
+        detector = HoloDetect().fit(hospital)
+        predictions = detector.predict_many(hospital.test[:400])
+        f1 = binary_metrics(predictions, [e.label for e in hospital.test[:400]]).f1
+        assert f1 > 0.85
+
+    def test_channel_learned_from_labels(self, hospital):
+        detector = HoloDetect().fit(hospital)
+        assert sum(detector.channel_types.values()) > 0
+        assert "x" in detector.channel_chars
+
+    def test_adult_swap_channel(self):
+        adult = load_dataset("adult")
+        detector = HoloDetect().fit(adult)
+        assert detector.channel_types["swap"] + detector.channel_types["numeric"] > 0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            HoloDetect().predict(
+                ErrorExample(row={"a": "x"}, attribute="a", label=False)
+            )
+
+
+class TestImp:
+    @pytest.fixture(scope="class")
+    def buy(self):
+        return load_dataset("buy")
+
+    def test_copy_mechanism_fires_on_buy(self, buy):
+        imputer = ImpImputer.for_dataset(buy).fit(buy.train)
+        assert imputer.copy_reliability_ > 0.5
+
+    def test_accuracy_on_buy(self, buy):
+        imputer = ImpImputer.for_dataset(buy).fit(buy.train)
+        predictions = imputer.predict_many(buy.test)
+        assert accuracy(predictions, [e.answer for e in buy.test]) > 0.7
+
+    def test_restaurant_uses_association_not_copy(self):
+        restaurant = load_dataset("restaurant")
+        imputer = ImpImputer.for_dataset(restaurant).fit(restaurant.train)
+        assert imputer.copy_reliability_ < 0.1
+
+    def test_closed_label_space(self, buy):
+        imputer = ImpImputer.for_dataset(buy).fit(buy.train[:50])
+        seen = {e.answer.casefold() for e in buy.train[:50]}
+        seen |= {a for a in imputer.answer_vocabulary_}
+        for example in buy.test[:30]:
+            assert imputer.predict(example).casefold() in seen
+
+    def test_fit_empty_rejected(self, buy):
+        with pytest.raises(ValueError):
+            ImpImputer.for_dataset(buy).fit([])

@@ -1,0 +1,73 @@
+"""Tests for the Magellan and Ditto EM baselines."""
+
+import pytest
+
+from repro.baselines import DittoMatcher, MagellanMatcher
+from repro.core.metrics import binary_metrics
+from repro.datasets import load_dataset
+from repro.datasets.base import MatchingPair
+
+
+@pytest.fixture(scope="module")
+def fodors():
+    return load_dataset("fodors_zagats")
+
+
+@pytest.mark.parametrize("cls", [MagellanMatcher, DittoMatcher])
+class TestMatcherContract:
+    def test_fit_predict(self, cls, fodors):
+        matcher = cls.for_dataset(fodors).fit(fodors.train)
+        predictions = matcher.predict_many(fodors.test[:60])
+        f1 = binary_metrics(predictions, [p.label for p in fodors.test[:60]]).f1
+        assert f1 > 0.9  # fodors is the easy benchmark
+
+    def test_predict_before_fit(self, cls, fodors):
+        with pytest.raises(RuntimeError):
+            cls.for_dataset(fodors).predict(fodors.test[0])
+
+    def test_empty_training_rejected(self, cls, fodors):
+        with pytest.raises(ValueError):
+            cls.for_dataset(fodors).fit([])
+
+    def test_empty_attributes_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(attributes=[])
+
+    def test_single_prediction_matches_batch(self, cls, fodors):
+        matcher = cls.for_dataset(fodors).fit(fodors.train)
+        pair = fodors.test[0]
+        assert matcher.predict(pair) == matcher.predict_many([pair])[0]
+
+    def test_handles_null_values(self, cls, fodors):
+        matcher = cls.for_dataset(fodors).fit(fodors.train)
+        pair = MatchingPair(
+            left={attr: None for attr in fodors.attributes},
+            right={attr: None for attr in fodors.attributes},
+            label=False,
+        )
+        assert isinstance(matcher.predict(pair), bool)
+
+
+class TestDittoSpecifics:
+    def test_identifier_block_detects_conflict(self):
+        shared = DittoMatcher._identifier_block("camera dsc-w55", "dsc-w55 black")
+        conflict = DittoMatcher._identifier_block("suite 11.0", "suite 12.0")
+        missing = DittoMatcher._identifier_block("no codes here", "none either")
+        assert shared[0] > 0 and shared[1] == 0
+        assert conflict[1] > 0
+        assert missing == [0.0, 0.0, 0.0]
+
+    def test_augmentation_doubles_training(self, fodors):
+        matcher = DittoMatcher.for_dataset(fodors)
+        augmented = matcher._augmented(fodors.train[:10])
+        assert len(augmented) == 20
+        assert augmented[10].left == fodors.train[0].right
+
+    def test_ditto_beats_magellan_on_jargon(self):
+        dataset = load_dataset("amazon_google")
+        magellan = MagellanMatcher.for_dataset(dataset).fit(dataset.train)
+        ditto = DittoMatcher.for_dataset(dataset).fit(dataset.train)
+        labels = [p.label for p in dataset.test]
+        f1_magellan = binary_metrics(magellan.predict_many(dataset.test), labels).f1
+        f1_ditto = binary_metrics(ditto.predict_many(dataset.test), labels).f1
+        assert f1_ditto >= f1_magellan - 0.02

@@ -1,0 +1,56 @@
+"""Tests for the SMAT schema-matching baseline."""
+
+import pytest
+
+from repro.baselines import SmatMatcher
+from repro.baselines.smat import pair_features
+from repro.core.metrics import binary_metrics
+from repro.datasets import load_dataset
+from repro.datasets.base import SchemaPair
+from repro.knowledge.medical import SchemaAttribute
+
+
+@pytest.fixture(scope="module")
+def synthea():
+    return load_dataset("synthea")
+
+
+class TestFeatures:
+    def test_identical_names_score_high(self):
+        a = SchemaAttribute("t1", "city", "the city", ("Boston",))
+        b = SchemaAttribute("t2", "city", "a city name", ("Denver",))
+        features = pair_features(SchemaPair(a, b, True))
+        assert features[0] == 1.0  # name jaccard
+
+    def test_sample_type_feature(self):
+        a = SchemaAttribute("t1", "zip", "zip", ("02101",))
+        b = SchemaAttribute("t2", "postal", "postal", ("80201",))
+        features = pair_features(SchemaPair(a, b, True))
+        assert features[-3] == 1.0  # same semantic type (zip)
+
+    def test_fixed_width(self):
+        a = SchemaAttribute("t", "x", "d", ())
+        features = pair_features(SchemaPair(a, a, True))
+        assert len(features) == 10
+
+
+class TestSmat:
+    def test_trains_and_predicts(self, synthea):
+        matcher = SmatMatcher.for_dataset(synthea)
+        predictions = matcher.predict_many(synthea.test)
+        f1 = binary_metrics(predictions, [p.label for p in synthea.test]).f1
+        assert 0.2 < f1 < 0.9  # modest on the jargon-heavy test tables
+
+    def test_strong_on_lexical_train_tables(self, synthea):
+        matcher = SmatMatcher.for_dataset(synthea)
+        predictions = matcher.predict_many(synthea.train)
+        f1 = binary_metrics(predictions, [p.label for p in synthea.train]).f1
+        assert f1 > 0.75
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SmatMatcher().fit([])
+
+    def test_predict_before_fit(self, synthea):
+        with pytest.raises(RuntimeError):
+            SmatMatcher().predict(synthea.test[0])

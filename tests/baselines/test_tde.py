@@ -1,0 +1,78 @@
+"""Tests for the TDE transform-by-example synthesizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import TdeSynthesizer
+from repro.baselines.tde import synthesize
+from repro.datasets import load_dataset
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("examples,probe,expected", [
+        ([("Doe, John", "John Doe"), ("Chen, Ada", "Ada Chen")],
+         "Park, Rosa", "Rosa Park"),
+        ([("report.pdf", "pdf"), ("notes.txt", "txt")],
+         "photo.png", "png"),
+        ([("$1,299.99", "1299.99"), ("$88,100.10", "88100.10")],
+         "$7,000.00", "7000.00"),
+        ([("7", "00007"), ("123", "00123")], "99", "00099"),
+        ([("a-b-c", "b"), ("x-y-z", "y")], "p-q-r", "q"),
+        ([("(415) 775-7036", "415-775-7036"), ("(617) 100-2000", "617-100-2000")],
+         "(212) 555-0000", "212-555-0000"),
+    ])
+    def test_solves_syntactic_cases(self, examples, probe, expected):
+        program = synthesize(examples)
+        assert program is not None, examples
+        assert program(probe) == expected
+
+    def test_cannot_solve_semantic_cases(self):
+        examples = [("Seattle", "WA"), ("Boston", "MA"), ("Chicago", "IL")]
+        program = synthesize(examples)
+        if program is not None:  # any accidental program must not generalize
+            assert program("Denver") != "CO"
+
+    def test_program_consistent_on_examples(self):
+        examples = [("net_total", "Net Total"), ("tax_rate", "Tax Rate")]
+        program = synthesize(examples)
+        assert program is not None
+        for source, target in examples:
+            assert program(source) == target
+
+    def test_smallest_program_preferred(self):
+        program = synthesize([("abc", "abc"), ("xyz", "xyz")])
+        assert program is not None
+        assert program.size <= 1
+
+    def test_empty_examples(self):
+        assert synthesize([]) is None
+
+    def test_description_readable(self):
+        program = synthesize([("a-b", "a"), ("c-d", "c")])
+        assert any(op in program.description for op in ("take", "extract_alpha"))
+
+    @given(st.lists(
+        st.tuples(st.text(alphabet="ab-", min_size=1, max_size=8),
+                  st.text(alphabet="ab", min_size=1, max_size=8)),
+        min_size=1, max_size=4,
+    ))
+    def test_synthesized_programs_always_consistent(self, examples):
+        """Whatever search returns must satisfy every example — the core
+        soundness property of program synthesis."""
+        program = synthesize(examples, max_depth=2, beam_width=200)
+        if program is not None:
+            for source, target in examples:
+                assert program(source) == target
+
+
+class TestEvaluate:
+    def test_stackoverflow_beats_bing(self):
+        tde = TdeSynthesizer()
+        syntactic = tde.evaluate(load_dataset("stackoverflow"))
+        semantic = tde.evaluate(load_dataset("bing_querylogs"))
+        assert syntactic > semantic + 0.2
+
+    def test_run_case_counts(self):
+        dataset = load_dataset("stackoverflow")
+        hits, total = TdeSynthesizer().run_case(dataset.cases[0])
+        assert 0 <= hits <= total == len(dataset.cases[0].tests)

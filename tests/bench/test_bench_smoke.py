@@ -1,0 +1,36 @@
+"""Smoke tests for the experiment modules on reduced workloads."""
+
+from repro.bench import table1, table6
+from repro.bench.ablation_knowledge import AMNESIA_FLOOR, amnesiac_model
+
+
+class TestTable1Reduced:
+    def test_subset_run(self):
+        result = table1.run(datasets=("fodors_zagats",), max_examples=40)
+        assert len(result.rows) == 1
+        row_f1 = result.cell("fodors_zagats", "fm_k10")
+        assert 0.0 <= row_f1 <= 100.0
+
+    def test_paper_columns_present(self):
+        result = table1.run(datasets=("beer",), max_examples=30)
+        assert result.headers.count("paper") == 4
+
+
+class TestTable6:
+    def test_three_probes_three_models(self):
+        result = table6.run()
+        assert len(result.rows) == 3
+        assert len(result.rows[0]) == 2 + 3  # prompt, expected, 3 models
+
+
+class TestAmnesiacModel:
+    def test_profile_is_modified_copy(self):
+        model = amnesiac_model()
+        assert model.profile.knowledge_floor == AMNESIA_FLOOR
+        assert model.profile.semantic_depth == 0.88  # everything else intact
+        assert "no-knowledge" in model.name
+
+    def test_amnesia_blocks_recall(self):
+        model = amnesiac_model()
+        answer = model.complete("name: x. phone: 415-775-7036. city?")
+        assert "san francisco" not in answer.casefold()

@@ -1,0 +1,68 @@
+"""Tests for the bench reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "f1"], [["beer", 94.37], ["x", 1.0]])
+        lines = text.split("\n")
+        assert lines[0].startswith("name")
+        assert "94.4" in lines[2]  # floats rounded to one decimal
+
+    def test_none_renders_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text.split("\n")[2]
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestExperimentResult:
+    @pytest.fixture()
+    def result(self):
+        result = ExperimentResult(
+            experiment="tX", title="demo", headers=["dataset", "f1", "paper"]
+        )
+        result.add_row("beer", 90.9, 100.0)
+        result.add_row("itunes", 93.3, 98.2)
+        return result
+
+    def test_cell_lookup(self, result):
+        assert result.cell("beer", "f1") == 90.9
+        assert result.cell("itunes", "paper") == 98.2
+
+    def test_cell_unknown_row(self, result):
+        with pytest.raises(KeyError):
+            result.cell("nope", "f1")
+
+    def test_cell_unknown_column(self, result):
+        with pytest.raises(ValueError):
+            result.cell("beer", "nope")
+
+    def test_render_contains_title_and_rows(self, result):
+        rendered = result.render()
+        assert "== tX: demo ==" in rendered
+        assert "beer" in rendered
+
+    def test_notes_appended(self):
+        result = ExperimentResult(
+            experiment="t", title="t", headers=["a"], notes="a note"
+        )
+        assert result.render().endswith("a note")
+
+
+class TestPaperNumbers:
+    def test_every_em_dataset_covered(self):
+        from repro.bench.paper_numbers import TABLE1
+        from repro.bench.table1 import DATASETS
+
+        assert set(TABLE1) == set(DATASETS)
+
+    def test_table5_rows_have_three_slices(self):
+        from repro.bench.paper_numbers import TABLE5
+
+        assert all(len(values) == 3 for values in TABLE5.values())

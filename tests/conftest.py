@@ -1,0 +1,33 @@
+"""Shared fixtures: expensive objects are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fm import SimulatedFoundationModel
+from repro.knowledge.world import default_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    return default_world()
+
+
+@pytest.fixture(scope="session")
+def kb(world):
+    return world.kb
+
+
+@pytest.fixture(scope="session")
+def fm_175b():
+    return SimulatedFoundationModel("gpt3-175b")
+
+
+@pytest.fixture(scope="session")
+def fm_67b():
+    return SimulatedFoundationModel("gpt3-6.7b")
+
+
+@pytest.fixture(scope="session")
+def fm_13b():
+    return SimulatedFoundationModel("gpt3-1.3b")

@@ -1,0 +1,73 @@
+"""Tests for the error-analysis tooling."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_error_detection,
+    analyze_imputation,
+    analyze_matching,
+)
+from repro.core.tasks import (
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+)
+from repro.datasets import load_dataset
+
+
+class TestMatchingAnalysis:
+    @pytest.fixture(scope="class")
+    def run_and_pairs(self, request):
+        fm = request.getfixturevalue("fm_175b")
+        dataset = load_dataset("amazon_google")
+        pairs = dataset.test[:80]
+        run = run_entity_matching(fm, dataset, k=10, selection="manual",
+                                  max_examples=80)
+        return run, pairs
+
+    def test_buckets_sum_to_confusions(self, run_and_pairs):
+        run, pairs = run_and_pairs
+        breakdown = analyze_matching(run, pairs)
+        expected = sum(
+            1 for p, pair in zip(run.predictions, pairs) if p != pair.label
+        )
+        assert breakdown.n_errors == expected
+
+    def test_summary_renders(self, run_and_pairs):
+        run, pairs = run_and_pairs
+        text = analyze_matching(run, pairs).summary()
+        assert "errors over 80 examples" in text
+
+    def test_length_mismatch_rejected(self, run_and_pairs):
+        run, pairs = run_and_pairs
+        with pytest.raises(ValueError):
+            analyze_matching(run, pairs[:-1])
+
+
+class TestErrorDetectionAnalysis:
+    def test_attribute_attribution(self, fm_67b):
+        dataset = load_dataset("hospital")
+        run = run_error_detection(fm_67b, dataset, k=10, selection="manual",
+                                  max_examples=300)
+        breakdown = analyze_error_detection(run, dataset.test[:300])
+        # The 6.7B model misses typos; the FNs must carry attribute names.
+        assert breakdown.false_negatives
+        assert sum(breakdown.by_attribute.values()) == breakdown.n_errors
+
+
+class TestImputationAnalysis:
+    def test_wrong_values_listed(self, fm_13b):
+        dataset = load_dataset("restaurant")
+        run = run_imputation(fm_13b, dataset, k=0)
+        breakdown = analyze_imputation(run, dataset.test)
+        assert breakdown.wrong_values  # 1.3B gets plenty wrong
+        assert "->" in breakdown.wrong_values[0]
+
+    def test_perfect_run_is_clean(self, fm_175b):
+        dataset = load_dataset("buy")
+        run = run_imputation(fm_175b, dataset, k=10, selection="manual",
+                             max_examples=40)
+        breakdown = analyze_imputation(run, dataset.test[:40])
+        assert breakdown.n_errors == run.n_examples - int(
+            run.metric * run.n_examples + 0.5
+        )

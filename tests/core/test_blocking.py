@@ -1,0 +1,111 @@
+"""Tests for repro.core.blocking."""
+
+import pytest
+
+from repro.core.blocking import (
+    CandidatePair,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    evaluate_blocking,
+)
+
+LEFT = [
+    {"name": "golden lotus cafe", "city": "boston"},
+    {"name": "iron skillet", "city": "denver"},
+    {"name": "blue heron grill", "city": "seattle"},
+]
+RIGHT = [
+    {"name": "the golden lotus", "city": "boston"},
+    {"name": "blue heron bar and grill", "city": "seattle"},
+    {"name": "dragon palace", "city": "miami"},
+]
+TRUE_MATCHES = [(0, 0), (2, 1)]
+
+
+class TestTokenBlocker:
+    def test_retains_true_matches(self):
+        candidates = TokenBlocker("name").candidates(LEFT, RIGHT)
+        report = evaluate_blocking(candidates, TRUE_MATCHES, len(LEFT), len(RIGHT))
+        assert report.pair_completeness == 1.0
+
+    def test_prunes_the_cross_product(self):
+        candidates = TokenBlocker("name").candidates(LEFT, RIGHT)
+        assert len(candidates) < len(LEFT) * len(RIGHT)
+
+    def test_min_shared_tokens_tightens(self):
+        loose = TokenBlocker("name", min_shared_tokens=1).candidates(LEFT, RIGHT)
+        tight = TokenBlocker("name", min_shared_tokens=2).candidates(LEFT, RIGHT)
+        assert len(tight) <= len(loose)
+
+    def test_common_tokens_skipped(self):
+        left = [{"name": f"the item {i}"} for i in range(20)]
+        right = [{"name": f"the thing {i}"} for i in range(20)]
+        blocker = TokenBlocker("name", max_block_size=10)
+        candidates = blocker.candidates(left, right)
+        # "the" appears in every row and is skipped as a blocking key; the
+        # only remaining shared tokens are the distinct numbers, so each
+        # row pairs exactly with its same-numbered counterpart.
+        assert len(candidates) == 20
+        assert all(pair.left_index == pair.right_index for pair in candidates)
+
+    def test_null_values_tolerated(self):
+        candidates = TokenBlocker("name").candidates(
+            [{"name": None}], [{"name": "x"}]
+        )
+        assert candidates == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TokenBlocker("name", min_shared_tokens=0)
+
+    def test_deterministic_ordering(self):
+        a = TokenBlocker("name").candidates(LEFT, RIGHT)
+        b = TokenBlocker("name").candidates(LEFT, RIGHT)
+        assert a == b
+
+
+class TestSortedNeighborhood:
+    def test_neighbors_paired(self):
+        blocker = SortedNeighborhoodBlocker(key=lambda row: row["name"], window=3)
+        candidates = blocker.candidates(LEFT, RIGHT)
+        report = evaluate_blocking(candidates, TRUE_MATCHES, len(LEFT), len(RIGHT))
+        assert report.pair_completeness >= 0.5
+
+    def test_wider_window_more_candidates(self):
+        narrow = SortedNeighborhoodBlocker(lambda r: r["name"], window=2)
+        wide = SortedNeighborhoodBlocker(lambda r: r["name"], window=6)
+        assert len(wide.candidates(LEFT, RIGHT)) >= len(narrow.candidates(LEFT, RIGHT))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(lambda r: r["name"], window=1)
+
+
+class TestReport:
+    def test_reduction_ratio(self):
+        report = evaluate_blocking(
+            [CandidatePair(0, 0)], [(0, 0)], n_left=10, n_right=10
+        )
+        assert report.reduction_ratio == pytest.approx(0.99)
+        assert report.pair_completeness == 1.0
+
+    def test_no_true_matches(self):
+        report = evaluate_blocking([], [], n_left=1, n_right=1)
+        assert report.pair_completeness == 1.0
+
+    def test_blocking_feeds_the_wrangler(self, fm_175b):
+        """End to end: block two tables, match the candidates."""
+        from repro.core import Wrangler
+
+        wrangler = Wrangler(fm_175b)
+        from repro.datasets.base import MatchingPair
+
+        anchor = MatchingPair({"name": "anchor"}, {"name": "anchor"}, True)
+        candidates = TokenBlocker("name").candidates(LEFT, RIGHT)
+        matched = [
+            (pair.left_index, pair.right_index)
+            for pair in candidates
+            if wrangler.match(LEFT[pair.left_index], RIGHT[pair.right_index],
+                              demonstrations=[anchor])
+        ]
+        assert set(matched) == set(TRUE_MATCHES)

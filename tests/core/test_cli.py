@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_examples, _parse_row, main
+
+
+class TestParsers:
+    def test_parse_row(self):
+        assert _parse_row("name=blue heron, city=boston") == {
+            "name": "blue heron", "city": "boston",
+        }
+
+    def test_parse_row_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            _parse_row("no-equals-sign")
+
+    def test_parse_examples(self):
+        assert _parse_examples("Seattle=WA; Boston=MA") == [
+            ("Seattle", "WA"), ("Boston", "MA"),
+        ]
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "walmart_amazon" in out
+        assert "transformation" in out
+
+    def test_match(self, capsys):
+        code = main([
+            "match",
+            "--left", "name=sony camera DSC-W55",
+            "--right", "name=canon printer LBP-6030",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip() in ("Yes", "No")
+
+    def test_impute(self, capsys):
+        main(["impute", "--row", "name=x,phone=617-111-2222",
+              "--attribute", "city"])
+        assert "boston" in capsys.readouterr().out.casefold()
+
+    def test_repair(self, capsys):
+        main(["repair", "--row", "city=bxston,state=ma", "--attribute", "city"])
+        assert capsys.readouterr().out.strip() == "boston"
+
+    def test_transform(self, capsys):
+        main(["transform", "--value", "Chicago",
+              "--examples", "Seattle=WA;Boston=MA"])
+        assert capsys.readouterr().out.strip() == "IL"
+
+    def test_probe(self, capsys):
+        main(["probe"])
+        assert "gpt3-175b" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "tableX"])
+
+    def test_bench_runs_table6(self, capsys):
+        assert main(["bench", "table6"]) == 0
+        assert "Encoded functional dependencies" in capsys.readouterr().out
+
+    def test_model_flag(self, capsys):
+        main(["impute", "--model", "gpt3-1.3b",
+              "--row", "name=z,phone=415-775-7036", "--attribute", "city"])
+        out = capsys.readouterr().out.casefold()
+        assert "san francisco" not in out  # 1.3B cannot recall this

@@ -1,0 +1,87 @@
+"""Tests for §5.3 prompt ensembling."""
+
+import pytest
+
+from repro.core.ensemble import DEFAULT_VARIANTS, PromptEnsemble
+from repro.core.prompts import build_entity_matching_prompt
+from repro.datasets.base import MatchingPair
+
+
+def _prompt(left, right, demos=()):
+    return build_entity_matching_prompt(
+        MatchingPair(left, right, False), list(demos)
+    )
+
+
+class CountingModel:
+    """Backend that records the prompts it sees and answers by keyword."""
+
+    name = "counting"
+
+    def __init__(self, answers=None):
+        self.prompts = []
+        self.answers = answers
+
+    def complete(self, prompt, **kwargs):
+        self.prompts.append(prompt)
+        if self.answers is not None:
+            return self.answers[(len(self.prompts) - 1) % len(self.answers)]
+        return "Yes"
+
+
+class TestEnsemble:
+    def test_votes_across_variants(self):
+        backend = CountingModel()
+        ensemble = PromptEnsemble(backend)
+        answer = ensemble.complete(_prompt({"name": "a"}, {"name": "a"}))
+        assert answer == "Yes"
+        assert len(backend.prompts) == len(DEFAULT_VARIANTS)
+
+    def test_each_variant_question_used(self):
+        backend = CountingModel()
+        PromptEnsemble(backend).complete(_prompt({"name": "a"}, {"name": "b"}))
+        joined = "\n".join(backend.prompts)
+        assert "equivalent?" in joined
+        assert "duplicates?" in joined
+
+    def test_majority_wins(self):
+        backend = CountingModel(answers=["Yes", "No", "Yes", "Yes", "No"])
+        assert PromptEnsemble(backend).complete(
+            _prompt({"name": "a"}, {"name": "b"})
+        ) == "Yes"
+
+    def test_free_text_votes_abstain(self):
+        backend = CountingModel(answers=["hmm", "No", "unsure", "No", "maybe"])
+        assert PromptEnsemble(backend).complete(
+            _prompt({"name": "a"}, {"name": "b"})
+        ) == "No"
+
+    def test_non_binary_prompts_pass_through(self):
+        backend = CountingModel(answers=["boston"])
+        answer = PromptEnsemble(backend).complete("name: x. city?")
+        assert answer == "boston"
+        assert len(backend.prompts) == 1
+
+    def test_demonstration_questions_rewritten_too(self):
+        backend = CountingModel()
+        demo = MatchingPair({"name": "d"}, {"name": "d"}, True)
+        PromptEnsemble(backend).complete(_prompt({"name": "a"}, {"name": "b"}, [demo]))
+        variant_prompt = backend.prompts[1]
+        assert "the same?" not in variant_prompt
+
+    def test_name_property(self, fm_67b):
+        assert PromptEnsemble(fm_67b).name == "gpt3-6.7b-ensemble5"
+
+    def test_needs_two_variants(self, fm_67b):
+        with pytest.raises(ValueError):
+            PromptEnsemble(fm_67b, variants=("only one?",))
+
+    def test_rejects_non_model(self):
+        with pytest.raises(TypeError):
+            PromptEnsemble(object())
+
+    def test_real_model_determinism(self, fm_175b):
+        ensemble = PromptEnsemble(fm_175b)
+        prompt = _prompt({"name": "sony camera DSC-W55"},
+                         {"name": "Sony DSC-W55 camera"})
+        assert ensemble.complete(prompt) == ensemble.complete(prompt)

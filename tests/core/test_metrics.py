@@ -1,0 +1,85 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import accuracy, binary_metrics, normalize_answer
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        metrics = binary_metrics([True, False, True], [True, False, True])
+        assert metrics.f1 == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_all_wrong(self):
+        metrics = binary_metrics([True, False], [False, True])
+        assert metrics.f1 == 0.0
+
+    def test_confusion_counts(self):
+        metrics = binary_metrics(
+            [True, True, False, False], [True, False, True, False]
+        )
+        assert (metrics.true_positives, metrics.false_positives,
+                metrics.false_negatives, metrics.true_negatives) == (1, 1, 1, 1)
+        assert metrics.support == 2
+
+    def test_no_positive_predictions(self):
+        metrics = binary_metrics([False, False], [True, False])
+        assert metrics.precision == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_metrics([True], [True, False])
+
+    def test_as_dict(self):
+        metrics = binary_metrics([True], [True])
+        assert metrics.as_dict() == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=30))
+    def test_f1_is_harmonic_mean(self, outcomes):
+        predictions = [p for p, _l in outcomes]
+        labels = [l for _p, l in outcomes]
+        metrics = binary_metrics(predictions, labels)
+        if metrics.precision + metrics.recall > 0:
+            expected = (
+                2 * metrics.precision * metrics.recall
+                / (metrics.precision + metrics.recall)
+            )
+            assert metrics.f1 == pytest.approx(expected)
+        assert 0.0 <= metrics.f1 <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    def test_perfect_predictions_score_one(self, labels):
+        metrics = binary_metrics(labels, labels)
+        if any(labels):
+            assert metrics.f1 == 1.0
+
+
+class TestNormalizeAnswer:
+    def test_casefold_and_whitespace(self):
+        assert normalize_answer("  San   Francisco ") == "san francisco"
+
+    def test_embellishment_not_erased(self):
+        assert normalize_answer("San Francisco, CA") != normalize_answer("san francisco")
+
+
+class TestAccuracy:
+    def test_case_insensitive_match(self):
+        assert accuracy(["Boston"], ["boston"]) == 1.0
+
+    def test_partial(self):
+        assert accuracy(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], [])
+
+    @given(st.lists(st.text(max_size=6), min_size=1, max_size=20))
+    def test_self_accuracy_one(self, answers):
+        assert accuracy(answers, answers) == 1.0

@@ -1,0 +1,76 @@
+"""Tests for the high-level Wrangler API."""
+
+import pytest
+
+from repro.core import Wrangler
+from repro.datasets.base import ImputationExample, MatchingPair
+from repro.knowledge.medical import OMOP_ATTRIBUTES, SYNTHEA_ATTRIBUTES
+
+
+@pytest.fixture(scope="module")
+def wrangler():
+    return Wrangler(model="gpt3-175b")
+
+
+class TestConstruction:
+    def test_from_model_name(self):
+        assert Wrangler("gpt3-6.7b").model_name == "gpt3-6.7b"
+
+    def test_from_model_object(self, fm_175b):
+        assert Wrangler(fm_175b).model is fm_175b
+
+    def test_rejects_non_models(self):
+        with pytest.raises(TypeError):
+            Wrangler(model=object())
+
+
+class TestVerbs:
+    def test_match(self, wrangler):
+        anchor = MatchingPair({"name": "anchor"}, {"name": "anchor"}, True)
+        assert wrangler.match(
+            {"name": "golden lotus cafe"}, {"name": "Golden Lotus Cafe"},
+            demonstrations=[anchor],
+        )
+        assert not wrangler.match(
+            {"name": "golden lotus cafe"}, {"name": "iron skillet bbq"},
+            demonstrations=[anchor],
+        )
+
+    def test_impute(self, wrangler):
+        answer = wrangler.impute(
+            {"name": "blue heron", "phone": "415-775-7036"}, "city"
+        )
+        assert "san francisco" in answer.casefold()
+
+    def test_impute_with_demonstrations(self, wrangler):
+        demos = [ImputationExample(
+            row={"name": "x", "phone": "617-111-2222", "city": None},
+            attribute="city", answer="boston",
+        )]
+        answer = wrangler.impute(
+            {"name": "y", "phone": "312-555-1234"}, "city", demonstrations=demos
+        )
+        assert answer == "chicago"
+
+    def test_detect_error_zero_shot_defaults_no(self, wrangler):
+        assert not wrangler.detect_error({"city": "boston"}, "city")
+
+    def test_detect_errors_whole_row(self, wrangler):
+        verdicts = wrangler.detect_errors({"city": "boston", "state": "ma"})
+        assert set(verdicts) == {"city", "state"}
+
+    def test_match_schema(self, wrangler):
+        verdict = wrangler.match_schema(SYNTHEA_ATTRIBUTES[0], OMOP_ATTRIBUTES[0])
+        assert isinstance(verdict, bool)
+
+    def test_transform_by_example(self, wrangler):
+        result = wrangler.transform(
+            "Chicago", examples=[("Seattle", "WA"), ("Boston", "MA")]
+        )
+        assert result == "IL"
+
+    def test_transform_by_instruction(self, wrangler):
+        result = wrangler.transform(
+            "report.pdf", instruction="Extract the file extension."
+        )
+        assert result in ("pdf", "report.pdf")  # instruction-following gated

@@ -1,0 +1,108 @@
+"""Tests for repro.core.prompts — exact template shapes."""
+
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    ErrorDetectionPromptConfig,
+    SchemaMatchingPromptConfig,
+    build_entity_matching_prompt,
+    build_error_detection_prompt,
+    build_imputation_prompt,
+    build_schema_matching_prompt,
+    build_transformation_prompt,
+)
+from repro.datasets.base import (
+    ErrorExample,
+    ImputationExample,
+    MatchingPair,
+    SchemaPair,
+)
+from repro.knowledge.medical import SchemaAttribute
+
+
+class TestEntityMatchingTemplate:
+    def test_paper_template_shape(self):
+        pair = MatchingPair({"name": "a"}, {"name": "b"}, False)
+        prompt = build_entity_matching_prompt(pair, [])
+        assert prompt == (
+            "Product A is name: a.\n"
+            "Product B is name: b.\n"
+            "Are Product A and Product B the same?"
+        )
+
+    def test_demo_carries_answer(self):
+        demo = MatchingPair({"n": "x"}, {"n": "x"}, True)
+        query = MatchingPair({"n": "p"}, {"n": "q"}, False)
+        prompt = build_entity_matching_prompt(query, [demo])
+        blocks = prompt.split("\n\n")
+        assert len(blocks) == 2
+        assert blocks[0].endswith("the same? Yes")
+        assert blocks[1].endswith("the same?")
+
+    def test_instruction_prepended(self):
+        config = EntityMatchingPromptConfig(instruction="Decide coreference.")
+        pair = MatchingPair({"n": "a"}, {"n": "b"}, False)
+        prompt = build_entity_matching_prompt(pair, [], config)
+        assert prompt.startswith("Decide coreference.\n\n")
+
+    def test_noun_substitution(self):
+        config = EntityMatchingPromptConfig(entity_noun="Song")
+        pair = MatchingPair({"n": "a"}, {"n": "b"}, False)
+        prompt = build_entity_matching_prompt(pair, [], config)
+        assert "Song A is" in prompt and "Are Song A and Song B" in prompt
+
+
+class TestErrorDetectionTemplate:
+    def test_paper_question(self):
+        example = ErrorExample({"city": "bxston"}, "city", True)
+        prompt = build_error_detection_prompt(example, [])
+        assert prompt.endswith("Is there an error in city: bxston?")
+
+    def test_context_line_first(self):
+        example = ErrorExample({"city": "bxston", "state": "ma"}, "city", True)
+        prompt = build_error_detection_prompt(example, [])
+        first_line = prompt.split("\n")[0]
+        assert first_line == "city: bxston. state: ma"
+
+    def test_no_context_variant(self):
+        config = ErrorDetectionPromptConfig(include_row_context=False)
+        example = ErrorExample({"city": "boston"}, "city", False)
+        prompt = build_error_detection_prompt(example, [], config)
+        assert "\n" not in prompt
+
+
+class TestImputationTemplate:
+    def test_paper_template(self):
+        example = ImputationExample(
+            {"name": "blue heron", "city": None}, "city", "boston"
+        )
+        prompt = build_imputation_prompt(example, [])
+        assert prompt == "name: blue heron. city?"
+
+    def test_demo_answer_inline(self):
+        demo = ImputationExample({"name": "x", "city": None}, "city", "boston")
+        query = ImputationExample({"name": "y", "city": None}, "city", "")
+        prompt = build_imputation_prompt(query, [demo])
+        assert "name: x. city? boston" in prompt
+
+
+class TestSchemaTemplate:
+    A = SchemaAttribute("patients", "birthdate", "date of birth", ("1974-03-02",))
+    B = SchemaAttribute("person", "birth_datetime", "birth timestamp", ("1988-01-01",))
+
+    def test_shape(self):
+        pair = SchemaPair(self.A, self.B, False)
+        prompt = build_schema_matching_prompt(pair, [])
+        assert prompt.startswith("Attribute A is patients.birthdate (date of birth)")
+        assert "with values like 1974-03-02" in prompt
+        assert prompt.endswith("semantically equivalent?")
+
+    def test_samples_suppressible(self):
+        config = SchemaMatchingPromptConfig(include_samples=False)
+        prompt = build_schema_matching_prompt(SchemaPair(self.A, self.B, False), [], config)
+        assert "values like" not in prompt
+
+
+class TestTransformationTemplate:
+    def test_shape(self):
+        prompt = build_transformation_prompt("q", [("a", "b")])
+        assert prompt == "Input: a\nOutput: b\n\nInput: q\nOutput:"

@@ -1,0 +1,75 @@
+"""Tests for the §5.1 model prototyper."""
+
+import pytest
+
+from repro.baselines import MagellanMatcher
+from repro.core.prototype import ModelPrototyper
+from repro.core.tasks.entity_matching import default_prompt_config
+from repro.datasets import load_dataset
+from repro.datasets.base import MatchingPair
+
+
+@pytest.fixture(scope="module")
+def fodors():
+    return load_dataset("fodors_zagats")
+
+
+@pytest.fixture(scope="module")
+def prototyper(fm_175b, fodors):
+    demos = fodors.train[:4]
+    return ModelPrototyper(
+        fm_175b, demonstrations=demos,
+        config=default_prompt_config(fodors),
+    )
+
+
+class TestLabeling:
+    def test_labels_all_pairs(self, prototyper, fodors):
+        pool = fodors.train[:60]
+        labeled = prototyper.label(pool)
+        assert len(labeled) == 60
+        assert prototyper.report.n_pool == 60
+
+    def test_high_agreement_on_easy_data(self, prototyper, fodors):
+        prototyper.label(fodors.train[:80])
+        assert prototyper.report.agreement_with_gold > 0.9
+
+    def test_confidence_filter_abstains(self, fm_175b, fodors):
+        strict = ModelPrototyper(
+            fm_175b, demonstrations=fodors.train[:4],
+            config=default_prompt_config(fodors), min_confidence=0.99,
+        )
+        labeled = strict.label(fodors.train[:60])
+        assert len(labeled) < 60
+        assert strict.report.n_labeled == len(labeled)
+
+    def test_rejects_non_model(self):
+        with pytest.raises(TypeError):
+            ModelPrototyper(object())
+
+
+class TestDistillation:
+    def test_student_learns_from_machine_labels(self, prototyper, fodors):
+        student = prototyper.distill(
+            fodors.train,
+            student_factory=lambda: MagellanMatcher.for_dataset(fodors),
+        )
+        predictions = [student.predict(p) for p in fodors.test[:60]]
+        labels = [p.label for p in fodors.test[:60]]
+        accuracy = sum(p == l for p, l in zip(predictions, labels)) / 60
+        assert accuracy > 0.9
+
+    def test_single_class_pool_rejected(self, fm_175b, fodors):
+        prototyper = ModelPrototyper(
+            fm_175b, demonstrations=fodors.train[:4],
+            config=default_prompt_config(fodors),
+        )
+        obvious_negatives = [
+            MatchingPair({"name": f"alpha {i}"}, {"name": f"omega {i + 50}"}, False)
+            for i in range(8)
+        ]
+        with pytest.raises(ValueError):
+            prototyper.distill(
+                obvious_negatives,
+                student_factory=lambda: MagellanMatcher.for_dataset(fodors),
+            )

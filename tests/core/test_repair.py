@@ -1,0 +1,89 @@
+"""Tests for the repair verbs (Wrangler.repair_cell / repair_row)."""
+
+import pytest
+
+from repro.core import Wrangler
+from repro.datasets import load_dataset
+from repro.datasets.base import ErrorExample
+
+
+@pytest.fixture(scope="module")
+def wrangler(fm_175b):
+    return Wrangler(fm_175b)
+
+
+@pytest.fixture(scope="module")
+def small_wrangler(fm_67b):
+    return Wrangler(fm_67b)
+
+
+class TestRepairCell:
+    def test_typo_repair(self, wrangler):
+        assert wrangler.repair_cell({"city": "bxston", "state": "ma"}, "city") == "boston"
+
+    def test_fd_rederivation_beats_the_typo(self, wrangler):
+        repaired = wrangler.repair_cell(
+            {"city": "san fraxcisco", "phone": "415-775-7036"}, "city"
+        )
+        assert repaired.casefold() == "san francisco"
+
+    def test_unrecoverable_numeric_left_alone(self, wrangler):
+        """A lost digit cannot be conjured back; the model is conservative."""
+        repaired = wrangler.repair_cell(
+            {"provider_number": "10x45", "city": "boston"}, "provider_number"
+        )
+        assert repaired == "10x45"
+
+    def test_zip_repair_uses_city_fd(self, wrangler):
+        repaired = wrangler.repair_cell(
+            {"zip_code": "95x05", "city": "sacramento"}, "zip_code"
+        )
+        assert repaired == "95805"
+
+    def test_state_repair_uses_city_fd(self, wrangler):
+        repaired = wrangler.repair_cell(
+            {"state": "nx", "city": "charlotte"}, "state"
+        )
+        assert repaired == "nc"
+
+    def test_clean_value_passes_through(self, wrangler):
+        assert wrangler.repair_cell({"city": "boston"}, "city") == "boston"
+
+    def test_small_models_cannot_spell_repair(self, small_wrangler):
+        repaired = small_wrangler.repair_cell({"condition": "hearx failure"},
+                                              "condition")
+        assert repaired.casefold() != "heart failure"
+
+
+class TestRepairRow:
+    def test_detect_and_repair(self, wrangler):
+        demos = [
+            ErrorExample(row={"city": "boston", "state": "ma"},
+                         attribute="city", label=False),
+            ErrorExample(row={"city": "chicxgo", "state": "il"},
+                         attribute="city", label=True),
+        ]
+        dirty = {"city": "seaxtle", "state": "wa"}
+        repaired = wrangler.repair_row(dirty, error_demonstrations=demos)
+        assert repaired["city"] == "seattle"
+        assert repaired["state"] == "wa"
+
+    def test_clean_row_untouched(self, wrangler):
+        demos = [
+            ErrorExample(row={"city": "boston"}, attribute="city", label=False),
+        ]
+        row = {"city": "denver", "state": "co"}
+        assert wrangler.repair_row(row, error_demonstrations=demos) == row
+
+
+class TestRepairOnHospital:
+    def test_end_to_end_repair_accuracy(self, wrangler):
+        """Detect-then-repair beats blind imputation on Hospital cells."""
+        dataset = load_dataset("hospital")
+        dirty_cells = [e for e in dataset.test if e.label][:40]
+        hits = 0
+        for example in dirty_cells:
+            suggestion = wrangler.repair_cell(example.row, example.attribute)
+            if suggestion.casefold() == (example.clean_value or "").casefold():
+                hits += 1
+        assert hits / len(dirty_cells) > 0.6

@@ -1,0 +1,69 @@
+"""Tests for the Ditto-style serialization variant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.serialization import SerializationConfig, serialize_row
+from repro.fm.parsing import parse_serialized_entity
+
+value = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                           whitelist_characters=" -"),
+    max_size=12,
+).map(lambda s: " ".join(s.split()))
+rows = st.dictionaries(
+    st.sampled_from(["name", "city", "price"]),
+    st.one_of(st.none(), value),
+    min_size=1, max_size=3,
+)
+
+
+class TestDittoStyle:
+    def test_rendering(self):
+        config = SerializationConfig(style="ditto")
+        text = serialize_row({"name": "sony", "price": "199.99"}, config)
+        assert text == "COL name VAL sony COL price VAL 199.99"
+
+    def test_null_renders_empty(self):
+        config = SerializationConfig(style="ditto")
+        assert serialize_row({"a": None}, config) == "COL a VAL "
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            SerializationConfig(style="xml")
+
+    def test_style_survives_with_attributes(self):
+        config = SerializationConfig(style="ditto").with_attributes(["name"])
+        assert config.style == "ditto"
+
+    @given(rows)
+    def test_parser_roundtrip(self, row):
+        config = SerializationConfig(style="ditto")
+        parsed = parse_serialized_entity(serialize_row(row, config))
+        assert parsed is not None
+        assert set(parsed) == set(row)
+        for attribute, original in row.items():
+            assert parsed[attribute] == (original or "")
+
+    def test_end_to_end_matching(self, fm_175b):
+        """The FM answers identically-structured questions under either
+        serialization style."""
+        from repro.core.prompts import (
+            EntityMatchingPromptConfig,
+            build_entity_matching_prompt,
+        )
+        from repro.datasets.base import MatchingPair
+
+        pair = MatchingPair(
+            {"name": "sony camera DSC-W55"}, {"name": "Sony DSC-W55 camera"},
+            False,
+        )
+        anchor = MatchingPair({"name": "anchor"}, {"name": "anchor"}, True)
+        answers = []
+        for style in ("colon", "ditto"):
+            config = EntityMatchingPromptConfig(
+                serialization=SerializationConfig(style=style)
+            )
+            prompt = build_entity_matching_prompt(pair, [anchor], config)
+            answers.append(fm_175b.complete(prompt))
+        assert answers == ["Yes", "Yes"]

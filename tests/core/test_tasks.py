@@ -1,0 +1,123 @@
+"""Tests for the task runners (with the simulated FM as the model)."""
+
+import pytest
+
+from repro.core.tasks import (
+    parse_yes_no,
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+    run_schema_matching,
+    run_transformation,
+)
+from repro.core.tasks.common import subsample
+from repro.datasets import load_dataset
+
+
+class TestParseYesNo:
+    @pytest.mark.parametrize("text,expected", [
+        ("Yes", True), ("yes!", True), (" YES", True),
+        ("No", False), ("no.", False),
+        ("I'm not sure.", False),   # the paper's default-No rule
+        ("", False),
+    ])
+    def test_cases(self, text, expected):
+        assert parse_yes_no(text) is expected
+
+
+class TestSubsample:
+    def test_caps(self):
+        assert subsample([1, 2, 3], 2) == [1, 2]
+
+    def test_none_means_all(self):
+        assert subsample([1, 2], None) == [1, 2]
+
+    def test_limit_above_length(self):
+        assert subsample([1], 10) == [1]
+
+
+class TestEntityMatchingRunner:
+    def test_zero_shot_run(self, fm_175b):
+        dataset = load_dataset("fodors_zagats")
+        run = run_entity_matching(fm_175b, dataset, k=0, max_examples=40)
+        assert run.task == "entity_matching"
+        assert run.k == 0
+        assert run.n_examples == 40
+        assert 0.0 <= run.metric <= 1.0
+        assert run.metric_name == "f1"
+
+    def test_few_shot_selects_k_demos(self, fm_175b):
+        dataset = load_dataset("beer")
+        run = run_entity_matching(
+            fm_175b, dataset, k=4, selection="random", max_examples=30
+        )
+        assert run.k == 4
+
+    def test_unknown_selection_rejected(self, fm_175b):
+        dataset = load_dataset("beer")
+        with pytest.raises(ValueError):
+            run_entity_matching(fm_175b, dataset, k=2, selection="psychic")
+
+    def test_model_name_recorded(self, fm_175b):
+        dataset = load_dataset("beer")
+        run = run_entity_matching(fm_175b, dataset, k=0, max_examples=10)
+        assert run.model == "gpt3-175b"
+
+    def test_describe(self, fm_175b):
+        dataset = load_dataset("beer")
+        run = run_entity_matching(fm_175b, dataset, k=0, max_examples=10)
+        assert "entity_matching/beer" in run.describe()
+
+    def test_duck_typed_model(self):
+        class AlwaysNo:
+            def complete(self, prompt, **kwargs):
+                return "No"
+
+        dataset = load_dataset("beer")
+        run = run_entity_matching(AlwaysNo(), dataset, k=0, max_examples=20)
+        assert run.metric == 0.0  # no true positives
+
+
+class TestImputationRunner:
+    def test_accuracy_metric(self, fm_175b):
+        dataset = load_dataset("buy")
+        run = run_imputation(fm_175b, dataset, k=0, max_examples=40)
+        assert run.metric_name == "accuracy"
+        assert run.metric > 0.5
+
+    def test_few_shot_at_least_zero_shot_on_buy(self, fm_175b):
+        dataset = load_dataset("buy")
+        zero = run_imputation(fm_175b, dataset, k=0, max_examples=60)
+        few = run_imputation(fm_175b, dataset, k=10, selection="manual",
+                             max_examples=60)
+        assert few.metric >= zero.metric
+
+
+class TestErrorDetectionRunner:
+    def test_runs(self, fm_175b):
+        dataset = load_dataset("adult")
+        run = run_error_detection(fm_175b, dataset, k=6, selection="random",
+                                  max_examples=120)
+        assert run.task == "error_detection"
+        assert run.metric > 0.5
+
+
+class TestSchemaRunner:
+    def test_runs(self, fm_175b):
+        dataset = load_dataset("synthea")
+        run = run_schema_matching(fm_175b, dataset, k=3, selection="manual")
+        assert run.task == "schema_matching"
+        assert 0.0 <= run.metric <= 1.0
+
+
+class TestTransformationRunner:
+    def test_per_case_details(self, fm_175b):
+        dataset = load_dataset("bing_querylogs")
+        run = run_transformation(fm_175b, dataset, k=3)
+        assert set(run.details["per_case"]) == {c.name for c in dataset.cases}
+        assert run.n_examples == dataset.n_tests
+
+    def test_zero_shot_uses_instruction(self, fm_175b):
+        dataset = load_dataset("bing_querylogs")
+        run = run_transformation(fm_175b, dataset, k=0)
+        assert run.metric > 0.0  # instructions rescue some cases

@@ -1,0 +1,143 @@
+"""Tests for the imputation and error-detection dataset builders."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.error_datasets import ADULT_ATTRIBUTES, HOSPITAL_ATTRIBUTES
+from repro.datasets.imputation_datasets import build_restaurant
+from repro.knowledge.census import ADULT_DOMAINS
+
+
+class TestRestaurant:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return build_restaurant()
+
+    def test_answers_never_null(self, built):
+        dataset, _info = built
+        for example in dataset.train + dataset.valid + dataset.test:
+            assert example.answer
+
+    def test_target_masked_in_rows(self, built):
+        dataset, _info = built
+        for example in dataset.test:
+            assert example.row["city"] is None
+
+    def test_heldout_cities_absent_from_train(self, built):
+        dataset, info = built
+        train_cities = {example.answer.casefold() for example in dataset.train}
+        assert not (info.heldout_cities & train_cities)
+
+    def test_heldout_cities_present_in_test(self, built):
+        dataset, info = built
+        test_cities = {example.answer.casefold() for example in dataset.test}
+        assert info.heldout_cities <= test_cities
+
+    def test_rare_cities_between_1_and_10_train_rows(self, built):
+        _dataset, info = built
+        for city in info.rare_cities:
+            assert 1 <= info.train_frequency[city] <= 10, city
+
+    def test_common_cities_above_10_train_rows(self, built):
+        _dataset, info = built
+        for city in info.common_cities:
+            assert info.train_frequency[city] > 10, city
+
+    def test_slice_of_matches_frequency(self, built):
+        _dataset, info = built
+        assert info.slice_of(next(iter(info.heldout_cities))) == "freq=0"
+        assert info.slice_of(next(iter(info.rare_cities))) == "0<freq<=10"
+        assert info.slice_of(next(iter(info.common_cities))) == "freq>10"
+
+    def test_complete_rows_align_with_train(self, built):
+        dataset, _info = built
+        assert len(dataset.complete_train_rows) == len(dataset.train)
+        for row, example in zip(dataset.complete_train_rows, dataset.train):
+            assert row["city"] == example.answer
+
+
+class TestBuy:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("buy")
+
+    def test_manufacturer_masked(self, dataset):
+        for example in dataset.test:
+            assert example.row["manufacturer"] is None
+
+    def test_brand_usually_in_name(self, dataset):
+        hits = sum(
+            example.answer.casefold() in (example.row["name"] or "").casefold()
+            for example in dataset.test
+        )
+        assert hits / len(dataset.test) > 0.6
+
+    def test_split_sizes(self, dataset):
+        assert len(dataset.train) > len(dataset.valid)
+        assert len(dataset.test) > 50
+
+
+class TestHospital:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("hospital")
+
+    def test_schema(self, dataset):
+        assert dataset.attributes == HOSPITAL_ATTRIBUTES
+        for example in dataset.test[:50]:
+            assert set(example.row) == set(HOSPITAL_ATTRIBUTES)
+
+    def test_train_is_small(self, dataset):
+        assert len(dataset.train) == 100
+
+    def test_train_has_some_errors(self, dataset):
+        positives = sum(example.label for example in dataset.train)
+        assert 3 <= positives <= 20
+
+    def test_error_rate_plausible(self, dataset):
+        rate = sum(e.label for e in dataset.test) / len(dataset.test)
+        assert 0.01 < rate < 0.12
+
+    def test_dirty_cells_differ_from_clean_value(self, dataset):
+        for example in dataset.test:
+            if example.label:
+                assert example.row[example.attribute] != example.clean_value
+                assert "x" in example.row[example.attribute]
+
+    def test_clean_cells_match_clean_value(self, dataset):
+        for example in dataset.test[:200]:
+            if not example.label:
+                assert example.row[example.attribute] == example.clean_value
+
+
+class TestAdult:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("adult")
+
+    def test_schema(self, dataset):
+        assert dataset.attributes == ADULT_ATTRIBUTES
+
+    def test_clean_categoricals_in_domain(self, dataset):
+        for example in dataset.test[:300]:
+            attribute = example.attribute
+            if not example.label and attribute in ADULT_DOMAINS:
+                assert example.row[attribute] in ADULT_DOMAINS[attribute]
+
+    def test_dirty_categoricals_out_of_domain(self, dataset):
+        for example in dataset.test:
+            attribute = example.attribute
+            if example.label and attribute in ADULT_DOMAINS:
+                assert example.row[attribute] not in ADULT_DOMAINS[attribute]
+
+    def test_dirty_numerics_out_of_range(self, dataset):
+        for example in dataset.test:
+            if example.label and example.attribute in ("age", "hours_per_week"):
+                value = int(example.row[example.attribute])
+                assert value < 0 or value > 120
+
+    def test_attributes_covered(self, dataset):
+        covered = Counter(example.attribute for example in dataset.test)
+        assert set(covered) == set(ADULT_ATTRIBUTES)

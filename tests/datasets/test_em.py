@@ -1,0 +1,134 @@
+"""Tests for the generic EM pair generator and the seven dataset builders."""
+
+import random
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.em import build_em_dataset, generate_matching_pairs, split_3_1_1
+from repro.datasets.em_datasets import EM_BUILDERS
+from repro.datasets.perturb import PerturbationConfig
+
+
+def _identity_render(entity):
+    return {"name": entity}
+
+
+CLEAN = PerturbationConfig(
+    typo_rate=0, drop_token_rate=0, abbreviate_rate=0, case_rate=0,
+    truncate_rate=0, noise_rate=0, null_rate=0,
+)
+
+
+class TestGenerator:
+    def test_counts(self):
+        entities = [f"entity {i} group{i % 3}" for i in range(40)]
+        pairs = generate_matching_pairs(
+            entities, _identity_render, _identity_render, CLEAN, CLEAN,
+            group_key=lambda e: e.split()[-1],
+            n_matches=10, n_hard_negatives=10, n_random_negatives=10,
+            rng=random.Random(0),
+        )
+        assert sum(pair.label for pair in pairs) == 10
+        assert sum(not pair.label for pair in pairs) == 20
+
+    def test_matches_are_same_entity(self):
+        entities = [f"unique-{i}" for i in range(20)]
+        pairs = generate_matching_pairs(
+            entities, _identity_render, _identity_render, CLEAN, CLEAN,
+            group_key=lambda e: "all",
+            n_matches=5, n_hard_negatives=5, n_random_negatives=5,
+            rng=random.Random(1),
+        )
+        for pair in pairs:
+            if pair.label:
+                assert pair.left == pair.right
+            else:
+                assert pair.left != pair.right
+
+    def test_hard_negatives_share_group(self):
+        entities = [f"item-{i} g{i % 2}" for i in range(20)]
+        pairs = generate_matching_pairs(
+            entities, _identity_render, _identity_render, CLEAN, CLEAN,
+            group_key=lambda e: e.split()[-1],
+            n_matches=0, n_hard_negatives=8, n_random_negatives=0,
+            rng=random.Random(2),
+        )
+        for pair in pairs:
+            assert pair.left["name"].split()[-1] == pair.right["name"].split()[-1]
+
+    def test_no_duplicate_pairs(self):
+        entities = [f"e{i}" for i in range(30)]
+        pairs = generate_matching_pairs(
+            entities, _identity_render, _identity_render, CLEAN, CLEAN,
+            group_key=lambda e: "g",
+            n_matches=10, n_hard_negatives=20, n_random_negatives=20,
+            rng=random.Random(3),
+        )
+        keys = [pair.key() for pair in pairs]
+        assert len(set(keys)) == len(keys)
+
+    def test_too_few_entities_rejected(self):
+        with pytest.raises(ValueError):
+            generate_matching_pairs(
+                ["only"], _identity_render, _identity_render, CLEAN, CLEAN,
+                group_key=lambda e: "g", n_matches=1, n_hard_negatives=0,
+                n_random_negatives=0, rng=random.Random(0),
+            )
+
+
+class TestSplit311:
+    def test_proportions(self):
+        train, valid, test = split_3_1_1(list(range(100)), random.Random(0))
+        assert len(train) == 60
+        assert len(valid) == 20
+        assert len(test) == 20
+
+    def test_partition(self):
+        items = list(range(57))
+        train, valid, test = split_3_1_1(items, random.Random(1))
+        assert sorted(train + valid + test) == items
+
+
+class TestBuildEmDataset:
+    def test_key_attribute_validation(self):
+        with pytest.raises(ValueError):
+            build_em_dataset(
+                name="x", entities=["a", "b"], attributes=["name"],
+                key_attributes=["bogus"], render_left=_identity_render,
+                render_right=_identity_render, left_config=CLEAN,
+                right_config=CLEAN, group_key=lambda e: "g",
+                n_matches=1, n_hard_negatives=1, n_random_negatives=1, seed=0,
+            )
+
+
+@pytest.mark.parametrize("name", sorted(EM_BUILDERS))
+class TestSevenDatasets:
+    def test_splits_nonempty_and_mixed(self, name):
+        dataset = load_dataset(name)
+        for split_name in ("train", "valid", "test"):
+            split = dataset.split(split_name)
+            assert split, (name, split_name)
+            labels = {pair.label for pair in split}
+            assert labels == {True, False}, (name, split_name)
+
+    def test_rows_use_declared_schema(self, name):
+        dataset = load_dataset(name)
+        schema = set(dataset.attributes)
+        for pair in dataset.test[:20]:
+            assert set(pair.left) <= schema
+            assert set(pair.right) <= schema
+
+    def test_deterministic(self, name):
+        a = load_dataset(name)
+        b = load_dataset(name)
+        assert [p.key() for p in a.test] == [p.key() for p in b.test]
+
+    def test_seed_changes_pairs(self, name):
+        a = load_dataset(name)
+        b = load_dataset(name, seed=999)
+        assert [p.key() for p in a.test] != [p.key() for p in b.test]
+
+    def test_unknown_split_rejected(self, name):
+        with pytest.raises(KeyError):
+            load_dataset(name).split("bogus")

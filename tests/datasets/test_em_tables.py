@@ -1,0 +1,44 @@
+"""Tests for reconstructing source tables from EM pair datasets."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.em_tables import dataset_tables
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return dataset_tables(load_dataset("fodors_zagats"))
+
+
+class TestDatasetTables:
+    def test_rows_deduplicated(self, tables):
+        keys = [tuple(sorted(row.items())) for row in tables.left]
+        assert len(set(keys)) == len(keys)
+
+    def test_matches_reference_valid_indexes(self, tables):
+        for left_index, right_index in tables.matches:
+            assert 0 <= left_index < len(tables.left)
+            assert 0 <= right_index < len(tables.right)
+
+    def test_match_count_equals_positive_pairs(self):
+        dataset = load_dataset("beer")
+        tables = dataset_tables(dataset)
+        assert len(tables.matches) == sum(pair.label for pair in dataset.test)
+
+    def test_matched_rows_are_the_pair_rows(self):
+        dataset = load_dataset("beer")
+        tables = dataset_tables(dataset)
+        positives = [pair for pair in dataset.test if pair.label]
+        for (left_index, right_index), pair in zip(tables.matches, positives):
+            assert tables.left[left_index] == pair.left
+            assert tables.right[right_index] == pair.right
+
+    def test_schema_preserved(self, tables):
+        dataset = load_dataset("fodors_zagats")
+        assert tables.left.columns == dataset.attributes
+
+    def test_split_selectable(self):
+        dataset = load_dataset("beer")
+        train_tables = dataset_tables(dataset, split="train")
+        assert len(train_tables.matches) == sum(p.label for p in dataset.train)

@@ -1,0 +1,100 @@
+"""Tests for the schema-matching and transformation dataset builders."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.base import TransformationCase
+from repro.datasets.synthea_dataset import TEST_TABLES, TRAIN_TABLES, VALID_TABLES
+from repro.knowledge.medical import CORRESPONDENCES
+
+
+class TestSynthea:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("synthea")
+
+    def test_split_by_source_table(self, dataset):
+        assert {pair.left.table for pair in dataset.train} <= TRAIN_TABLES
+        assert {pair.left.table for pair in dataset.valid} <= VALID_TABLES
+        assert {pair.left.table for pair in dataset.test} <= TEST_TABLES
+
+    def test_positives_are_true_correspondences(self, dataset):
+        truth = set(CORRESPONDENCES)
+        for pair in dataset.train + dataset.valid + dataset.test:
+            key = (pair.left.qualified, pair.right.qualified)
+            assert (key in truth) == pair.label
+
+    def test_negatives_dominate(self, dataset):
+        pairs = dataset.train + dataset.valid + dataset.test
+        n_pos = sum(pair.label for pair in pairs)
+        assert n_pos * 3 <= len(pairs)
+
+    def test_every_split_has_positives(self, dataset):
+        for split in (dataset.train, dataset.valid, dataset.test):
+            assert any(pair.label for pair in split)
+
+    def test_no_duplicate_pairs(self, dataset):
+        pairs = dataset.train + dataset.valid + dataset.test
+        keys = [(p.left.qualified, p.right.qualified) for p in pairs]
+        assert len(set(keys)) == len(keys)
+
+
+@pytest.mark.parametrize("name", ["stackoverflow", "bing_querylogs"])
+class TestTransformations:
+    def test_cases_well_formed(self, name):
+        dataset = load_dataset(name)
+        for case in dataset.cases:
+            assert len(case.examples) >= 3
+            assert len(case.tests) >= 5
+            assert case.kind in ("syntactic", "semantic")
+            assert case.instruction
+
+    def test_examples_and_tests_disjoint(self, name):
+        dataset = load_dataset(name)
+        for case in dataset.cases:
+            example_inputs = {source for source, _t in case.examples}
+            test_inputs = {source for source, _t in case.tests}
+            # Occasional collisions are possible for tiny domains (months),
+            # but the bulk must be held out.
+            assert len(test_inputs - example_inputs) >= len(test_inputs) - 1
+
+    def test_deterministic(self, name):
+        assert load_dataset(name).cases == load_dataset(name).cases
+
+    def test_n_tests_accounting(self, name):
+        dataset = load_dataset(name)
+        assert dataset.n_tests == sum(len(case.tests) for case in dataset.cases)
+
+
+def test_stackoverflow_mostly_syntactic():
+    kinds = [case.kind for case in load_dataset("stackoverflow").cases]
+    assert kinds.count("syntactic") > kinds.count("semantic")
+
+
+def test_bing_mostly_semantic():
+    kinds = [case.kind for case in load_dataset("bing_querylogs").cases]
+    assert kinds.count("semantic") > kinds.count("syntactic")
+
+
+def test_case_validation():
+    with pytest.raises(ValueError):
+        TransformationCase(name="x", examples=(), tests=(("a", "b"),))
+    with pytest.raises(ValueError):
+        TransformationCase(
+            name="x", examples=(("a", "b"),), tests=(("c", "d"),), kind="bogus"
+        )
+
+
+class TestRegistry:
+    def test_all_fourteen_datasets(self):
+        from repro.datasets import available_datasets
+
+        assert len(available_datasets()) == 14
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_explicit_world_accepted(self, world):
+        dataset = load_dataset("beer", world=world)
+        assert dataset.test

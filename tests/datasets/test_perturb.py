@@ -1,0 +1,113 @@
+"""Tests for repro.datasets.perturb."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasets.perturb import (
+    PerturbationConfig,
+    abbreviate,
+    change_case,
+    corrupt_char_x,
+    drop_token,
+    jitter_price,
+    perturb_row,
+    perturb_value,
+    truncate,
+    typo,
+)
+
+words = st.text(alphabet="abcdefgh ", min_size=2, max_size=30)
+
+
+class TestOperators:
+    @given(words, st.integers())
+    def test_typo_changes_length_by_at_most_one(self, value, seed):
+        result = typo(value, random.Random(seed))
+        assert abs(len(result) - len(value)) <= 1
+
+    @given(words, st.integers())
+    def test_drop_token_keeps_at_least_one(self, value, seed):
+        result = drop_token(value, random.Random(seed))
+        if value.split():
+            assert len(result.split()) >= 1
+
+    def test_drop_token_single_token_noop(self):
+        assert drop_token("word", random.Random(0)) == "word"
+
+    def test_abbreviate_street(self):
+        assert abbreviate("main street", random.Random(0)) == "main st."
+
+    def test_abbreviate_no_candidates(self):
+        assert abbreviate("nothing here", random.Random(0)) == "nothing here"
+
+    @given(words, st.integers())
+    def test_change_case_preserves_casefold(self, value, seed):
+        result = change_case(value, random.Random(seed))
+        assert result.casefold() == value.casefold()
+
+    @given(st.integers())
+    def test_truncate_prefix(self, seed):
+        value = "one two three four five"
+        result = truncate(value, random.Random(seed))
+        assert value.startswith(result)
+        assert len(result.split()) < len(value.split())
+
+    def test_corrupt_char_x_single_position(self):
+        rng = random.Random(0)
+        value = "boston"
+        result = corrupt_char_x(value, rng)
+        assert len(result) == len(value)
+        assert sum(a != b for a, b in zip(result, value)) == 1
+        assert "x" in result
+
+    def test_jitter_price_stays_close(self):
+        result = jitter_price("$100.00", random.Random(0))
+        assert result.startswith("$")
+        assert abs(float(result.lstrip("$")) - 100.0) <= 5.0
+
+    def test_jitter_price_non_numeric_noop(self):
+        assert jitter_price("call us", random.Random(0)) == "call us"
+
+
+class TestPerturbRow:
+    def test_protected_attributes_untouched(self):
+        config = PerturbationConfig(
+            typo_rate=1.0, case_rate=1.0, null_rate=0.0, protected=("phone",)
+        )
+        rng = random.Random(0)
+        row = {"name": "golden lotus", "phone": "415-775-7036"}
+        dirty = perturb_row(row, config, rng)
+        assert dirty["phone"] == "415-775-7036"
+
+    def test_null_rate_one_nulls_everything(self):
+        config = PerturbationConfig(null_rate=1.0)
+        dirty = perturb_row({"a": "x", "b": "y"}, config, random.Random(0))
+        assert dirty == {"a": None, "b": None}
+
+    def test_null_values_pass_through(self):
+        config = PerturbationConfig(typo_rate=1.0)
+        dirty = perturb_row({"a": None}, config, random.Random(0))
+        assert dirty["a"] is None
+
+    def test_zero_rates_identity(self):
+        config = PerturbationConfig(
+            typo_rate=0, drop_token_rate=0, abbreviate_rate=0, case_rate=0,
+            truncate_rate=0, noise_rate=0, null_rate=0, price_jitter_rate=0,
+        )
+        row = {"a": "Exact Value"}
+        assert perturb_row(row, config, random.Random(0)) == row
+
+    def test_deterministic_given_seed(self):
+        config = PerturbationConfig(typo_rate=0.5, case_rate=0.5)
+        row = {"a": "some value here", "b": "another one"}
+        assert perturb_row(row, config, random.Random(42)) == perturb_row(
+            row, config, random.Random(42)
+        )
+
+    @given(st.integers(), words)
+    def test_perturb_value_returns_str_or_none(self, seed, value):
+        config = PerturbationConfig()
+        result = perturb_value(value, config, random.Random(seed))
+        assert result is None or isinstance(result, str)

@@ -1,0 +1,53 @@
+"""Seed-robustness properties: any seed must yield a well-formed dataset."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import load_dataset
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seed=seeds)
+@settings(max_examples=8, deadline=None)
+def test_em_dataset_well_formed_for_any_seed(seed):
+    dataset = load_dataset("beer", seed=seed)
+    for split_name in ("train", "valid", "test"):
+        split = dataset.split(split_name)
+        assert split
+        for pair in split:
+            assert set(pair.left) <= set(dataset.attributes)
+            assert set(pair.right) <= set(dataset.attributes)
+    # Both labels present in the training data (learnability invariant).
+    assert {pair.label for pair in dataset.train} == {True, False}
+
+
+@given(seed=seeds)
+@settings(max_examples=6, deadline=None)
+def test_error_dataset_well_formed_for_any_seed(seed):
+    dataset = load_dataset("adult", seed=seed)
+    assert any(example.label for example in dataset.train)
+    for example in dataset.test[:50]:
+        assert example.attribute in dataset.attributes
+        assert example.row.get(example.attribute) is not None
+
+
+@given(seed=seeds)
+@settings(max_examples=6, deadline=None)
+def test_imputation_dataset_well_formed_for_any_seed(seed):
+    dataset = load_dataset("buy", seed=seed)
+    for example in dataset.train + dataset.test:
+        assert example.answer
+        assert example.row[dataset.target_attribute] is None
+
+
+@given(seed=seeds)
+@settings(max_examples=6, deadline=None)
+def test_transformation_dataset_well_formed_for_any_seed(seed):
+    dataset = load_dataset("stackoverflow", seed=seed)
+    for case in dataset.cases:
+        assert case.examples and case.tests
+        # Demonstrations must be internally consistent (no duplicate
+        # inputs mapping to different outputs).
+        seen = {}
+        for source, target in case.examples:
+            assert seen.setdefault(source, target) == target

@@ -1,0 +1,95 @@
+"""Tests for repro.datasets.table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasets.table import Table
+
+COLUMNS = ["name", "city", "phone"]
+
+
+@pytest.fixture()
+def table():
+    return Table(COLUMNS, [
+        {"name": "a", "city": "boston", "phone": "1"},
+        {"name": "b", "city": None, "phone": "2"},
+        {"name": "c", "city": "boston"},
+    ])
+
+
+class TestConstruction:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"])
+
+    def test_missing_columns_become_null(self, table):
+        assert table[2]["phone"] is None
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.append({"name": "d", "bogus": "x"})
+
+    def test_column_order_normalized(self):
+        table = Table(["a", "b"], [{"b": "2", "a": "1"}])
+        assert list(table[0]) == ["a", "b"]
+
+
+class TestAccess:
+    def test_len_and_iter(self, table):
+        assert len(table) == 3
+        assert [row["name"] for row in table] == ["a", "b", "c"]
+
+    def test_column_values(self, table):
+        assert table.column_values("city") == ["boston", None, "boston"]
+        assert table.column_values("city", drop_null=True) == ["boston", "boston"]
+
+    def test_column_values_unknown(self, table):
+        with pytest.raises(KeyError):
+            table.column_values("bogus")
+
+    def test_select(self, table):
+        projected = table.select(["city", "name"])
+        assert projected.columns == ["city", "name"]
+        assert len(projected) == 3
+        assert "phone" not in projected[0]
+
+    def test_select_unknown(self, table):
+        with pytest.raises(KeyError):
+            table.select(["bogus"])
+
+    def test_where(self, table):
+        filtered = table.where(lambda row: row["city"] == "boston")
+        assert len(filtered) == 2
+
+    def test_head(self, table):
+        assert len(table.head(2)) == 2
+
+    def test_copy_isolated(self, table):
+        clone = table.copy()
+        clone[0]["name"] = "changed"
+        assert table[0]["name"] == "a"
+
+    def test_repr(self, table):
+        assert "n_rows=3" in repr(table)
+
+
+row_strategy = st.dictionaries(
+    st.sampled_from(COLUMNS),
+    st.one_of(st.none(), st.text(max_size=8)),
+    max_size=3,
+)
+
+
+@given(st.lists(row_strategy, max_size=10))
+def test_roundtrip_preserves_values(rows):
+    table = Table(COLUMNS, rows)
+    for original, stored in zip(rows, table):
+        for column in COLUMNS:
+            assert stored[column] == original.get(column)
+
+
+@given(st.lists(row_strategy, max_size=10))
+def test_select_then_where_counts(rows):
+    table = Table(COLUMNS, rows)
+    selected = table.select(["name"])
+    assert len(selected) == len(table)

@@ -1,0 +1,80 @@
+"""Tests for repro.fm.dates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fm.dates import (
+    RENDER_FORMATS,
+    ParsedDate,
+    induce_date_conversion,
+    parse_date,
+    render_date,
+)
+
+dates = st.builds(
+    ParsedDate,
+    year=st.integers(min_value=1900, max_value=2099),
+    month=st.integers(min_value=1, max_value=12),
+    day=st.integers(min_value=1, max_value=28),
+    layout=st.just("iso"),
+)
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,expected", [
+        ("2011-03-14", (2011, 3, 14)),
+        ("03/14/2011", (2011, 3, 14)),
+        ("3-4-2011", (2011, 3, 4)),
+        ("Mar 14, 2011", (2011, 3, 14)),
+        ("March 14 2011", (2011, 3, 14)),
+        ("14 March 2011", (2011, 3, 14)),
+    ])
+    def test_layouts(self, text, expected):
+        date = parse_date(text)
+        assert date is not None
+        assert (date.year, date.month, date.day) == expected
+
+    @pytest.mark.parametrize("text", [
+        "not a date", "2011-13-01", "2011-00-10", "Mar 40, 2011", "14/03/20112",
+    ])
+    def test_rejections(self, text):
+        assert parse_date(text) is None
+
+
+class TestRender:
+    def test_iso(self):
+        date = ParsedDate(2011, 3, 4, "iso")
+        assert render_date(date, "iso") == "2011-03-04"
+
+    def test_textual_abbrev(self):
+        date = ParsedDate(2011, 3, 4, "iso")
+        assert render_date(date, "textual_mdy_abbrev") == "Mar 4, 2011"
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError):
+            render_date(ParsedDate(2011, 1, 1, "iso"), "bogus")
+
+    @given(dates, st.sampled_from(RENDER_FORMATS))
+    def test_render_parse_roundtrip(self, date, layout):
+        text = render_date(date, layout)
+        parsed = parse_date(text)
+        assert parsed is not None
+        assert (parsed.year, parsed.month, parsed.day) == (
+            date.year, date.month, date.day,
+        )
+
+
+class TestInduction:
+    def test_learns_output_layout(self):
+        examples = [("Mar 14, 2011", "2011-03-14"), ("Jan 2, 1999", "1999-01-02")]
+        assert induce_date_conversion(examples) == "iso"
+
+    def test_rejects_non_dates(self):
+        assert induce_date_conversion([("hello", "world")]) is None
+
+    def test_rejects_inconsistent(self):
+        examples = [("Mar 14, 2011", "2011-03-14"), ("Jan 2, 1999", "01/02/1999")]
+        assert induce_date_conversion(examples) is None
+
+    def test_empty(self):
+        assert induce_date_conversion([]) is None

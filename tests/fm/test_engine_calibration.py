@@ -1,0 +1,104 @@
+"""Unit tests for the engine's decision machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fm.engine import _calibrate_threshold
+
+
+class TestCalibrateThreshold:
+    def test_empty_returns_prior(self):
+        assert _calibrate_threshold([], 0.6) == 0.6
+
+    def test_single_class_returns_prior(self):
+        assert _calibrate_threshold([(0.9, True), (0.8, True)], 0.6) == 0.6
+        assert _calibrate_threshold([(0.1, False)], 0.6) == 0.6
+
+    def test_separable_demos_keep_prior_when_inside_band(self):
+        scored = [(0.2, False), (0.3, False), (0.8, True), (0.9, True)]
+        threshold = _calibrate_threshold(scored, 0.6)
+        assert threshold == 0.6  # prior already error-free
+
+    def test_prior_outside_band_gets_pulled_in(self):
+        scored = [(0.2, False), (0.3, False), (0.8, True), (0.9, True)]
+        threshold = _calibrate_threshold(scored, 0.05)
+        # Must move off the hopeless prior; one tolerated demo error means
+        # it may stop just above the first negative.
+        assert 0.2 < threshold < 0.8
+
+    def test_hard_outlier_tolerated(self):
+        """One negative scoring above the positives must not force the
+        threshold above them (the tolerance mechanism)."""
+        scored = [(0.1, False), (0.15, False), (0.2, False), (0.87, False),
+                  (0.7, True), (0.75, True), (0.8, True), (0.9, True)]
+        threshold = _calibrate_threshold(scored, 0.6)
+        assert threshold < 0.7
+
+    def test_classifies_most_demos_correctly(self):
+        scored = [(0.1, False), (0.2, False), (0.3, False),
+                  (0.7, True), (0.8, True), (0.9, True)]
+        threshold = _calibrate_threshold(scored, 0.95)
+        errors = sum((s >= threshold) != l for s, l in scored)
+        assert errors <= 1
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=1,
+                                allow_nan=False), st.booleans()),
+            min_size=1, max_size=16,
+        ),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_threshold_always_in_unit_interval(self, scored, prior):
+        threshold = _calibrate_threshold(scored, prior)
+        assert -0.1 <= threshold <= 1.1
+
+
+class TestConfidence:
+    def test_confused_answers_have_zero_confidence(self, fm_175b):
+        completion = fm_175b.complete_verbose("name: mystery. nothing_known?")
+        if completion.text == "I'm not sure.":
+            assert completion.confidence == 0.0
+
+    def test_recall_beats_fallback(self, fm_175b):
+        strong = fm_175b.complete_verbose("name: x. phone: 415-775-7036. city?")
+        weak = fm_175b.complete_verbose("name: mystery. note: nothing. city?")
+        assert strong.confidence > weak.confidence
+
+    def test_wide_margin_beats_borderline(self, fm_175b):
+        from repro.core.prompts import build_entity_matching_prompt
+        from repro.datasets.base import MatchingPair
+
+        anchor = [MatchingPair({"name": "anchor"}, {"name": "anchor"}, True),
+                  MatchingPair({"name": "anchor"}, {"name": "zzz"}, False)]
+        easy = build_entity_matching_prompt(
+            MatchingPair({"name": "alpha beta"}, {"name": "alpha beta"}, False),
+            anchor,
+        )
+        hard = build_entity_matching_prompt(
+            MatchingPair({"name": "office suite 11.0"},
+                         {"name": "office suite tools"}, False),
+            anchor,
+        )
+        assert (fm_175b.complete_verbose(easy).confidence
+                >= fm_175b.complete_verbose(hard).confidence)
+
+    def test_client_forwards_verbose(self):
+        from repro.api import CompletionClient
+
+        client = CompletionClient("gpt3-175b")
+        completion = client.complete_verbose("name: x. phone: 415-775-7036. city?")
+        assert completion.text == "San Francisco"
+        assert completion.confidence > 0.5
+
+    def test_client_verbose_requires_capable_backend(self):
+        from repro.api import CompletionClient
+
+        class Plain:
+            name = "plain"
+
+            def complete(self, prompt, **kwargs):
+                return "x"
+
+        with pytest.raises(AttributeError):
+            CompletionClient(Plain()).complete_verbose("p")

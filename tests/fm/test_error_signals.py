@@ -1,0 +1,116 @@
+"""Tests for repro.fm.error_signals."""
+
+import pytest
+
+from repro.fm.error_signals import ErrorSignalModel
+from repro.fm.lexicon import default_lexicon
+from repro.fm.parsing import ErrorExampleParsed
+from repro.fm.profiles import get_profile
+
+P175 = get_profile("gpt3-175b")
+P67 = get_profile("gpt3-6.7b")
+
+
+def demo(attribute, value, label, context=""):
+    return ErrorExampleParsed(
+        context_text=context, attribute=attribute, value=value,
+        question="", label=label,
+    )
+
+
+@pytest.fixture(scope="module")
+def lexicon(request):
+    return default_lexicon()
+
+
+@pytest.fixture()
+def hospital_signals(lexicon, kb):
+    demos = [
+        demo("city", "boston", False,
+             "city: boston. state: ma. zip_code: 02101. provider_number: 10001"),
+        demo("zip_code", "02105", False,
+             "city: boston. state: ma. zip_code: 02105. provider_number: 10002"),
+        demo("city", "bxston", True,
+             "city: bxston. state: ma. zip_code: 02101. provider_number: 10003"),
+    ]
+    return ErrorSignalModel(demos, P175, lexicon, kb)
+
+
+class TestTypoSignal:
+    def test_near_miss_of_lexicon_word(self, hospital_signals):
+        assert hospital_signals.typo_signal("city", "chicxgo")
+
+    def test_clean_lexicon_word_passes(self, hospital_signals):
+        assert not hospital_signals.typo_signal("city", "chicago")
+
+    def test_digits_with_x(self, hospital_signals):
+        assert hospital_signals.typo_signal("provider_number", "100x5")
+
+    def test_clean_number_passes(self, hospital_signals):
+        assert not hospital_signals.typo_signal("provider_number", "10455")
+
+    def test_unanimous_pattern_deviation(self, hospital_signals):
+        # zip_code pattern in demos is "9"; a letter inside deviates.
+        assert hospital_signals.typo_signal("zip_code", "021x5")
+
+    def test_known_dirty_values_not_absorbed(self, lexicon, kb):
+        """A value labeled dirty must stay detectable even when it also
+        appears in another demo's context row."""
+        demos = [
+            demo("city", "bxston", True, "city: bxston. state: ma"),
+            demo("state", "ma", False, "city: bxston. state: ma"),
+        ]
+        signals = ErrorSignalModel(demos, P175, lexicon, kb)
+        assert signals.typo_signal("city", "bxston")
+
+
+class TestDomainSignal:
+    @pytest.fixture()
+    def adult_signals(self, lexicon, kb):
+        demos = [
+            demo("age", "47", False, "age: 47. workclass: private. sex: male"),
+            demo("age", "31", False, "age: 31. workclass: state-gov. sex: female"),
+        ]
+        return ErrorSignalModel(demos, P175, lexicon, kb)
+
+    def test_kb_domain_violation(self, adult_signals):
+        # "sales" is occupation knowledge, wherever the demos are silent.
+        assert adult_signals.domain_signal("race", "sales")
+
+    def test_kb_domain_match_is_clean(self, adult_signals):
+        assert not adult_signals.domain_signal("workclass", "federal-gov")
+
+    def test_numeric_out_of_range(self, adult_signals):
+        assert adult_signals.domain_signal("age", "999")
+
+    def test_negative_number_flagged(self, adult_signals):
+        assert adult_signals.domain_signal("age", "-5")
+
+    def test_numeric_within_extended_range_clean(self, adult_signals):
+        assert not adult_signals.domain_signal("age", "20")
+
+    def test_numbers_never_cross_domain(self, lexicon, kb):
+        demos = [
+            demo("age", "47", False, "age: 47. hours_per_week: 19"),
+            demo("age", "31", False, "age: 31. hours_per_week: 40"),
+        ]
+        signals = ErrorSignalModel(demos, P175, lexicon, kb)
+        # 19 appears as an hours value in context; as an age it is fine.
+        assert not signals.domain_signal("age", "19")
+
+
+class TestDecision:
+    def test_typo_gated_on_depth(self, lexicon, kb):
+        demos = [demo("city", "boston", False, "city: boston")]
+        large = ErrorSignalModel(demos, P175, lexicon, kb)
+        small = ErrorSignalModel(demos, P67, lexicon, kb)
+        assert large.is_error("city", "bxston")
+        assert not small.is_error("city", "bxston")
+
+    def test_domain_available_to_small_models(self, lexicon, kb):
+        demos = [demo("age", "47", False, "age: 47. sex: male")]
+        small = ErrorSignalModel(demos, P67, lexicon, kb)
+        assert small.is_error("race", "sales")
+
+    def test_empty_value_never_error(self, hospital_signals):
+        assert not hospital_signals.is_error("city", "")

@@ -1,0 +1,114 @@
+"""Tests for repro.fm.finetune."""
+
+import pytest
+
+from repro.core.metrics import accuracy, binary_metrics, normalize_answer
+from repro.datasets import load_dataset
+from repro.fm import AdapterModel, FinetunedModel
+
+
+@pytest.fixture(scope="module")
+def walmart():
+    return load_dataset("walmart_amazon")
+
+
+@pytest.fixture(scope="module")
+def restaurant():
+    return load_dataset("restaurant")
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_dataset("hospital")
+
+
+class TestBookkeeping:
+    def test_full_trains_all_parameters(self, walmart):
+        model = FinetunedModel("gpt3-6.7b")
+        result = model.fit_matching(walmart.train[:60])
+        assert result.n_trainable_parameters == 6_700_000_000
+        assert result.mode == "full"
+        assert result.n_samples == 60
+
+    def test_adapter_trains_five_percent(self, walmart):
+        model = AdapterModel("gpt3-6.7b")
+        result = model.fit_matching(walmart.train[:60])
+        assert result.n_trainable_parameters == int(6_700_000_000 * 0.05)
+        assert result.mode == "adapter"
+
+    def test_name_includes_mode(self):
+        assert FinetunedModel("gpt3-1.3b").name == "gpt3-1.3b-full"
+        assert AdapterModel("gpt3-6.7b").name == "gpt3-6.7b-adapter"
+
+
+class TestMatching:
+    def test_learns_matching(self, walmart):
+        model = FinetunedModel("gpt3-6.7b")
+        model.fit_matching(walmart.train)
+        predictions = [model.predict_matching(p) for p in walmart.test[:80]]
+        f1 = binary_metrics(predictions, [p.label for p in walmart.test[:80]]).f1
+        assert f1 > 0.7
+
+    def test_wrong_task_raises(self, walmart, restaurant):
+        model = FinetunedModel("gpt3-6.7b")
+        model.fit_matching(walmart.train[:40])
+        with pytest.raises(RuntimeError):
+            model.predict_imputation(restaurant.test[0])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            FinetunedModel("gpt3-6.7b").fit_matching([])
+
+
+class TestImputation:
+    def test_learns_train_values(self, restaurant):
+        model = FinetunedModel("gpt3-6.7b")
+        model.fit_imputation(restaurant.train)
+        predictions = [model.predict_imputation(e) for e in restaurant.test]
+        answers = [e.answer for e in restaurant.test]
+        assert accuracy(predictions, answers) > 0.4
+
+    def test_label_space_closed_over_train(self, restaurant):
+        """Finetuned heads can only emit values seen in training — the
+        mechanism behind Table 5's freq=0 row."""
+        model = FinetunedModel("gpt3-6.7b")
+        model.fit_imputation(restaurant.train[:50])
+        train_answers = {
+            normalize_answer(e.answer) for e in restaurant.train[:50]
+        }
+        for example in restaurant.test[:40]:
+            prediction = model.predict_imputation(example)
+            assert normalize_answer(prediction) in train_answers
+
+    def test_adapter_friendlier_to_rare_classes(self, restaurant):
+        """Adapter prior is flatter than full finetuning's."""
+        full = FinetunedModel("gpt3-6.7b")
+        adapter = AdapterModel("gpt3-6.7b")
+        assert adapter._imputation_hyperparameters()[1] < \
+            full._imputation_hyperparameters()[1]
+
+
+class TestErrorDetection:
+    def test_full_learns_hospital(self, hospital):
+        model = FinetunedModel("gpt3-6.7b")
+        model.fit_error_detection(hospital.train)
+        predictions = [model.predict_error(e) for e in hospital.test[:400]]
+        f1 = binary_metrics(predictions, [e.label for e in hospital.test[:400]]).f1
+        assert f1 > 0.6
+
+    def test_adapter_blind_to_character_errors(self, hospital):
+        """Frozen 6.7B base ⇒ no character-level features ⇒ the adapter
+        cannot learn Hospital (paper Figure 5, claim 2)."""
+        model = AdapterModel("gpt3-6.7b")
+        model.fit_error_detection(hospital.train)
+        predictions = [model.predict_error(e) for e in hospital.test[:400]]
+        f1 = binary_metrics(predictions, [e.label for e in hospital.test[:400]]).f1
+        assert f1 < 0.4
+
+    def test_adapter_on_175b_base_sees_characters(self, hospital):
+        """An adapter on a base that CAN do character reasoning inherits it."""
+        model = AdapterModel("gpt3-175b")
+        model.fit_error_detection(hospital.train)
+        predictions = [model.predict_error(e) for e in hospital.test[:400]]
+        f1 = binary_metrics(predictions, [e.label for e in hospital.test[:400]]).f1
+        assert f1 > 0.6

@@ -1,0 +1,119 @@
+"""Tests for repro.fm.impute_routes."""
+
+import pytest
+
+from repro.fm.impute_routes import ImputationReasoner
+from repro.fm.parsing import ImputeExampleParsed
+from repro.fm.profiles import get_profile
+from repro.fm.semantic import SemanticComparator
+
+
+@pytest.fixture(scope="module")
+def reasoner(request):
+    from repro.knowledge import default_knowledge
+
+    profile = get_profile("gpt3-175b")
+    kb = default_knowledge()
+    return ImputationReasoner(profile, kb, SemanticComparator(profile, kb))
+
+
+@pytest.fixture(scope="module")
+def small_reasoner(request):
+    from repro.knowledge import default_knowledge
+
+    profile = get_profile("gpt3-1.3b")
+    kb = default_knowledge()
+    return ImputationReasoner(profile, kb, SemanticComparator(profile, kb))
+
+
+class TestRoutes:
+    def test_phone_to_city(self, reasoner):
+        candidate, route = reasoner.infer(
+            {"name": "blue heron", "phone": "415-775-7036"}, "city"
+        )
+        assert candidate == "San Francisco"
+        assert route == "phone_to_city"
+
+    def test_zip_to_city(self, reasoner):
+        candidate, _route = reasoner.infer({"zip_code": "35205"}, "city")
+        assert candidate == "Birmingham"
+
+    def test_zip_to_state(self, reasoner):
+        candidate, _route = reasoner.infer({"zip": "94101"}, "state")
+        assert candidate == "CA"
+
+    def test_city_to_state(self, reasoner):
+        candidate, _route = reasoner.infer({"city": "Seattle"}, "state")
+        assert candidate == "WA"
+
+    def test_state_to_zip(self, reasoner):
+        candidate, route = reasoner.infer(
+            {"address": "1720 university blvd", "state": "AL"}, "zipcode"
+        )
+        assert candidate is not None and candidate.startswith("35")
+        assert route == "state_to_zip"
+
+    def test_brand_in_name(self, reasoner):
+        candidate, route = reasoner.infer(
+            {"name": "Sony digital camera DSC-W55"}, "manufacturer"
+        )
+        assert candidate == "Sony"
+        assert route == "brand_in_name"
+
+    def test_product_line_lookup(self, reasoner, world):
+        product = world.products[0]
+        candidate, _route = reasoner.infer(
+            {"name": product.short_name}, "manufacturer"
+        )
+        assert candidate == product.manufacturer
+
+    def test_small_model_cannot_recall_tail(self, small_reasoner, world):
+        tail = world.tail_cities[0]
+        phone = f"{tail.primary_area_code}-555-0000"
+        candidate, route = small_reasoner.infer({"phone": phone}, "city")
+        assert candidate != tail.name
+
+    def test_nothing_applicable_returns_none(self, reasoner):
+        candidate, route = reasoner.infer({"note": "hello"}, "city")
+        assert candidate is None
+        assert route == "fallback"
+
+
+class TestRouteVerification:
+    def _demo(self, context, attribute, answer):
+        return ImputeExampleParsed(
+            context_text=context, attribute=attribute, answer=answer
+        )
+
+    def test_verified_route_ranked_first(self, reasoner):
+        demos = [
+            self._demo("name: x. phone: 415-775-7036", "city", "San Francisco"),
+            self._demo("name: y. phone: 617-100-2000", "city", "Boston"),
+        ]
+        routes = reasoner.verified_routes(demos)
+        assert routes and routes[0] == "phone_to_city"
+
+    def test_contradicted_route_dropped(self, reasoner):
+        demos = [
+            self._demo("name: x. phone: 415-775-7036", "city", "Chicago"),
+            self._demo("name: y. phone: 617-100-2000", "city", "Miami"),
+        ]
+        assert "phone_to_city" not in reasoner.verified_routes(demos)
+
+    def test_demos_without_answers_ignored(self, reasoner):
+        demos = [self._demo("phone: 415-000-0000", "city", None)]
+        assert reasoner.verified_routes(demos) == []
+
+
+class TestFallback:
+    def test_type_consistent_guesses(self, reasoner):
+        assert reasoner.fallback_guess("city", "k").lower() == "new york"
+        assert reasoner.fallback_guess("state", "k") == "CA"
+        zip_guess = reasoner.fallback_guess("zipcode", "k")
+        assert len(zip_guess) == 5 and zip_guess.isdigit()
+        assert reasoner.fallback_guess("manufacturer", "k") == "Sony"
+        assert reasoner.fallback_guess("unknown_attr", "k") == ""
+
+    def test_zip_guess_deterministic_per_context(self, reasoner):
+        assert reasoner.fallback_guess("zip", "ctx") == reasoner.fallback_guess("zip", "ctx")
+        assert reasoner.fallback_guess("zip", "a") != reasoner.fallback_guess("zip", "b")

@@ -1,0 +1,116 @@
+"""Tests for repro.fm.induction — in-context program induction."""
+
+import pytest
+
+from repro.fm.induction import (
+    induce_knowledge_relation,
+    induce_string_program,
+    induce_transformation,
+)
+from repro.fm.profiles import get_profile
+
+P175 = get_profile("gpt3-175b")
+P13 = get_profile("gpt3-1.3b")
+
+
+class TestKnowledgeRoute:
+    def test_city_to_state(self, kb):
+        examples = [("Seattle", "WA"), ("Boston", "MA"), ("Denver", "CO")]
+        assert induce_knowledge_relation(examples, kb, P175.knowledge_floor) == "city_to_state"
+
+    def test_month_to_number(self, kb):
+        examples = [("March", "3"), ("July", "7")]
+        assert induce_knowledge_relation(examples, kb, P175.knowledge_floor) == "month_to_number"
+
+    def test_single_example_insufficient(self, kb):
+        assert induce_knowledge_relation([("Seattle", "WA")], kb, 0.0) is None
+
+    def test_inconsistent_examples_rejected(self, kb):
+        examples = [("Seattle", "WA"), ("Boston", "XX")]
+        assert induce_knowledge_relation(examples, kb, 0.0) is None
+
+    def test_floor_blocks_tail_facts(self, world):
+        tail = world.tail_cities[0]
+        examples = [
+            (tail.primary_area_code, tail.name),
+            (world.tail_cities[1].primary_area_code, world.tail_cities[1].name),
+        ]
+        assert induce_knowledge_relation(examples, world.kb, P175.knowledge_floor) is None
+        # With a zero floor the relation IS there — the gating is the floor.
+        assert induce_knowledge_relation(examples, world.kb, 0.0) == "area_code_to_city"
+
+
+class TestSyntacticRoute:
+    def test_depth_one_take(self):
+        examples = [("a-b-c", "b"), ("x-y-z", "y"), ("1-2-3", "2")]
+        hypothesis = induce_string_program(examples, P175)
+        assert hypothesis is not None
+        name, program = hypothesis
+        assert program("p-q-r") == "q"
+
+    def test_depth_two_composition(self):
+        examples = [("net_total", "Net Total"), ("tax_rate", "Tax Rate")]
+        hypothesis = induce_string_program(examples, P175)
+        assert hypothesis is not None
+        assert hypothesis[1]("unit_price") == "Unit Price"
+
+    def test_affix_inference(self):
+        examples = [("alpha", '"alpha",'), ("beta", '"beta",')]
+        hypothesis = induce_string_program(examples, P175)
+        assert hypothesis is not None
+        assert hypothesis[1]("gamma") == '"gamma",'
+
+    def test_zfill_inference(self):
+        examples = [("7", "00007"), ("123", "00123")]
+        hypothesis = induce_string_program(examples, P175)
+        assert hypothesis is not None
+        assert hypothesis[1]("9") == "00009"
+
+    def test_small_model_misses_depth_two(self):
+        examples = [("net_total", "Net Total"), ("tax_rate", "Tax Rate")]
+        assert induce_string_program(examples, P13) is None
+
+    def test_unsolvable_returns_none(self):
+        examples = [("January", "1"), ("February", "2"), ("March", "3")]
+        assert induce_string_program(examples, P175) is None
+
+    def test_empty_examples(self):
+        assert induce_string_program([], P175) is None
+
+    def test_program_consistent_on_training_examples(self):
+        cases = [
+            [("Doe, John", "John Doe"), ("Chen, Ada", "Ada Chen")],
+            [("report.pdf", "pdf"), ("notes.txt", "txt")],
+            [("$1,299.99", "1299.99"), ("$4,100.10", "4100.10")],
+        ]
+        for examples in cases:
+            hypothesis = induce_string_program(examples, P175)
+            assert hypothesis is not None, examples
+            _name, program = hypothesis
+            for source, target in examples:
+                assert program(source) == target
+
+
+class TestCombined:
+    def test_prefers_knowledge_over_syntax(self, kb):
+        # Month → its own number could never be syntactic; the combined
+        # inducer should find the KB relation.
+        examples = [("March", "3"), ("July", "7"), ("December", "12")]
+        hypothesis = induce_transformation(examples, P175, kb)
+        assert hypothesis is not None
+        name, program = hypothesis
+        assert name.startswith("kb:")
+        assert program("May") == "5"
+
+    def test_date_route(self, kb):
+        examples = [("Mar 14, 2011", "2011-03-14"), ("Jan 2, 1999", "1999-01-02")]
+        hypothesis = induce_transformation(examples, P175, kb)
+        assert hypothesis is not None
+        assert hypothesis[0].startswith("date:")
+        assert hypothesis[1]("Aug 9, 2003") == "2003-08-09"
+
+    def test_falls_back_to_syntax(self, kb):
+        examples = [("a|b", "a"), ("c|d", "c"), ("x|y", "x")]
+        hypothesis = induce_transformation(examples, P175, kb)
+        assert hypothesis is not None
+        assert hypothesis[1]("m|n") == "m"

@@ -1,0 +1,34 @@
+"""Tests for repro.fm.lexicon."""
+
+from repro.fm.lexicon import default_lexicon
+
+
+class TestLexicon:
+    def test_cached(self, world):
+        assert default_lexicon(world) is default_lexicon(world)
+
+    def test_contains_world_entities(self, world):
+        lexicon = default_lexicon(world)
+        assert "birmingham" in lexicon
+        assert "pcanywhere" not in lexicon  # not in this world's catalogue
+        restaurant = world.restaurants[0]
+        for token in restaurant.name.split():
+            assert token.casefold().strip("&") in lexicon or token == "&"
+
+    def test_contains_domain_vocab(self, world):
+        lexicon = default_lexicon(world)
+        for token in ("aspirin", "antibiotic", "doctorate", "hs-grad",
+                      "memorial", "boulevard"):
+            assert token in lexicon, token
+
+    def test_contains_core_english(self, world):
+        lexicon = default_lexicon(world)
+        assert {"the", "and", "hospital", "street"} <= lexicon
+
+    def test_gibberish_absent(self, world):
+        lexicon = default_lexicon(world)
+        assert "bxston" not in lexicon
+        assert "zqzzx" not in lexicon
+
+    def test_reasonable_size(self, world):
+        assert 1000 < len(default_lexicon(world)) < 50000

@@ -1,0 +1,225 @@
+"""Tests for repro.fm.parsing — including the prompt-format round trip.
+
+The core contract of the repository: every prompt ``repro.core.prompts``
+can build must parse back into the structure it encodes.  These round-trip
+property tests are what keeps the prompting framework and the simulated
+model in sync.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    ErrorDetectionPromptConfig,
+    ImputationPromptConfig,
+    build_entity_matching_prompt,
+    build_error_detection_prompt,
+    build_imputation_prompt,
+    build_transformation_prompt,
+)
+from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
+from repro.fm.parsing import (
+    ErrorExampleParsed,
+    ImputeExampleParsed,
+    MatchExample,
+    TransformExampleParsed,
+    parse_prompt,
+    parse_serialized_entity,
+)
+
+value = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters=" -"),
+    min_size=1, max_size=15,
+).map(lambda s: " ".join(s.split())).filter(bool)
+
+
+class TestParseSerializedEntity:
+    def test_basic(self):
+        parsed = parse_serialized_entity("name: golden lotus. city: boston")
+        assert parsed == {"name": "golden lotus", "city": "boston"}
+
+    def test_values_with_periods(self):
+        parsed = parse_serialized_entity("addr: 12 main st. city: new york")
+        assert parsed == {"addr": "12 main st", "city": "new york"}
+
+    def test_empty_value(self):
+        parsed = parse_serialized_entity("name: sony. price: . brand: x")
+        assert parsed["price"] == ""
+
+    def test_no_keys_returns_none(self):
+        assert parse_serialized_entity("just some words") is None
+
+    def test_spaced_attribute_names(self):
+        parsed = parse_serialized_entity("Beer Name: hazy trail. ABV: 6.5%")
+        assert parsed is not None
+        assert parsed["Beer Name"] == "hazy trail"
+
+
+class TestMatchRoundTrip:
+    def _pair(self, left, right, label=False):
+        return MatchingPair(left=left, right=right, label=label)
+
+    def test_zero_shot_query(self):
+        prompt = build_entity_matching_prompt(
+            self._pair({"name": "a"}, {"name": "b"}), []
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "match"
+        assert isinstance(parsed.query, MatchExample)
+        assert parsed.query.label is None
+        assert parsed.demonstrations == []
+
+    def test_few_shot_demo_labels(self):
+        demos = [
+            self._pair({"name": "x"}, {"name": "x"}, True),
+            self._pair({"name": "x"}, {"name": "y"}, False),
+        ]
+        prompt = build_entity_matching_prompt(
+            self._pair({"name": "q1"}, {"name": "q2"}), demos
+        )
+        parsed = parse_prompt(prompt)
+        assert [demo.label for demo in parsed.demonstrations] == [True, False]
+
+    def test_custom_noun_preserved(self):
+        config = EntityMatchingPromptConfig(entity_noun="Song")
+        prompt = build_entity_matching_prompt(
+            self._pair({"t": "a"}, {"t": "b"}), [], config
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "match"
+        assert parsed.query.noun == "Song"
+
+    def test_question_text_captured(self):
+        config = EntityMatchingPromptConfig(
+            question="Are {noun} A and {noun} B equivalent?"
+        )
+        prompt = build_entity_matching_prompt(
+            self._pair({"t": "a"}, {"t": "b"}), [], config
+        )
+        assert "equivalent?" in parse_prompt(prompt).question_text
+
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries({"name": value, "city": value}), min_size=2,
+            max_size=4,
+        ),
+        labels=st.lists(st.booleans(), min_size=1, max_size=3),
+    )
+    def test_roundtrip_entity_values(self, rows, labels):
+        demos = [
+            MatchingPair(left=rows[0], right=rows[1], label=label)
+            for label in labels
+        ]
+        query = MatchingPair(left=rows[-1], right=rows[0], label=False)
+        prompt = build_entity_matching_prompt(query, demos)
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "match"
+        assert len(parsed.demonstrations) == len(demos)
+        left = parse_serialized_entity(parsed.query.left_text)
+        assert left is not None
+        assert left["name"] == rows[-1]["name"].strip()
+
+
+class TestErrorRoundTrip:
+    def _example(self, label=False):
+        return ErrorExample(
+            row={"city": "bxston", "state": "ma"}, attribute="city", label=label
+        )
+
+    def test_query_fields(self):
+        prompt = build_error_detection_prompt(self._example(), [])
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "error"
+        assert parsed.query.attribute == "city"
+        assert parsed.query.value == "bxston"
+        assert parsed.query.label is None
+
+    def test_demo_label(self):
+        prompt = build_error_detection_prompt(
+            self._example(), [self._example(label=True)]
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.demonstrations[0].label is True
+
+    def test_context_carried(self):
+        prompt = build_error_detection_prompt(self._example(), [])
+        parsed = parse_prompt(prompt)
+        assert "state" in parsed.query.context_text
+
+    def test_without_row_context(self):
+        config = ErrorDetectionPromptConfig(include_row_context=False)
+        prompt = build_error_detection_prompt(self._example(), [], config)
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "error"
+        assert parsed.query.context_text == ""
+
+
+class TestImputeRoundTrip:
+    def _example(self, answer=""):
+        return ImputationExample(
+            row={"name": "blue heron", "phone": "415-775-7036", "city": None},
+            attribute="city",
+            answer=answer,
+        )
+
+    def test_query(self):
+        prompt = build_imputation_prompt(self._example(), [])
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "impute"
+        assert parsed.query.attribute == "city"
+        assert parsed.query.answer is None
+
+    def test_demo_answer(self):
+        prompt = build_imputation_prompt(
+            self._example(), [self._example(answer="san francisco")]
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.demonstrations[0].answer == "san francisco"
+
+    def test_context_excludes_target(self):
+        prompt = build_imputation_prompt(self._example(), [])
+        parsed = parse_prompt(prompt)
+        context = parse_serialized_entity(parsed.query.context_text)
+        assert context is not None and "city" not in context
+
+
+class TestTransformRoundTrip:
+    def test_query_and_demos(self):
+        prompt = build_transformation_prompt("input-x", [("a", "b"), ("c", "d")])
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "transform"
+        assert parsed.query.source == "input-x"
+        assert parsed.query.target is None
+        assert [(d.source, d.target) for d in parsed.demonstrations] == [
+            ("a", "b"), ("c", "d"),
+        ]
+
+
+class TestInstructionAndUnknown:
+    def test_instruction_block_captured(self):
+        prompt = build_transformation_prompt("x", [], None)
+        # Manually prepend an instruction, as TransformationPromptConfig does.
+        from repro.core.prompts import TransformationPromptConfig
+
+        config = TransformationPromptConfig(instruction="Convert to ISO format.")
+        prompt = build_transformation_prompt("x", [], config)
+        parsed = parse_prompt(prompt)
+        assert parsed.instruction == "Convert to ISO format."
+
+    def test_unknown_prompt(self):
+        parsed = parse_prompt("Tell me a story about databases.")
+        assert parsed.task == "unknown"
+
+    def test_empty_prompt(self):
+        assert parse_prompt("").task == "unknown"
+
+    def test_mixed_demos_dropped(self):
+        """Demos of a different task shape than the query are ignored."""
+        prompt = (
+            "Input: a\nOutput: b\n\n"
+            "name: x. city?"
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "impute"
+        assert parsed.demonstrations == []

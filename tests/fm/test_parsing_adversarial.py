@@ -1,0 +1,68 @@
+"""Adversarial prompt-parsing: values that mimic the template itself."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.prompts import (
+    build_entity_matching_prompt,
+    build_imputation_prompt,
+    build_transformation_prompt,
+)
+from repro.datasets.base import ImputationExample, MatchingPair
+from repro.fm.parsing import parse_prompt
+
+
+class TestTemplateMimicry:
+    def test_value_containing_question_mark(self):
+        pair = MatchingPair(
+            left={"name": "what? yes!"}, right={"name": "really?"}, label=False
+        )
+        parsed = parse_prompt(build_entity_matching_prompt(pair, []))
+        assert parsed.task == "match"
+
+    def test_value_containing_product_a_is(self):
+        pair = MatchingPair(
+            left={"name": "Product A is great"}, right={"name": "b"}, label=False
+        )
+        parsed = parse_prompt(build_entity_matching_prompt(pair, []))
+        assert parsed.task == "match"
+        assert "great" in parsed.query.left_text
+
+    def test_imputation_answer_with_spaces_and_digits(self):
+        demo = ImputationExample(
+            row={"name": "x", "zip": None}, attribute="zip", answer="94110-1234"
+        )
+        query = ImputationExample(
+            row={"name": "y", "zip": None}, attribute="zip", answer=""
+        )
+        parsed = parse_prompt(build_imputation_prompt(query, [demo]))
+        assert parsed.demonstrations[0].answer == "94110-1234"
+
+    def test_transformation_values_with_colons(self):
+        prompt = build_transformation_prompt(
+            "12:30", [("09:15", "9.25"), ("18:45", "18.75")]
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "transform"
+        assert parsed.query.source == "12:30"
+
+    def test_transformation_output_like_input(self):
+        prompt = build_transformation_prompt("x", [("Input: a", "Output: b")])
+        parsed = parse_prompt(prompt)
+        assert parsed.task == "transform"
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\n"),
+                   min_size=1, max_size=30))
+    def test_any_single_line_value_keeps_match_shape(self, value):
+        pair = MatchingPair(left={"v": value}, right={"v": value}, label=False)
+        parsed = parse_prompt(build_entity_matching_prompt(pair, []))
+        # Whatever the value, the prompt must still parse as a match task
+        # (the template's line skeleton is load-bearing).
+        assert parsed.task == "match"
+
+    @given(st.text(max_size=200))
+    def test_parser_never_raises(self, prompt):
+        parse_prompt(prompt)
+
+    def test_completion_never_raises_on_garbage(self, fm_175b):
+        for prompt in ("", "\n\n\n", "Input:", "a: b?", ":::", "Yes"):
+            assert isinstance(fm_175b.complete(prompt), str)

@@ -1,0 +1,80 @@
+"""Tests for repro.fm.profiles."""
+
+import pytest
+
+from repro.fm.profiles import MODEL_PROFILES, ModelProfile, get_profile
+
+
+class TestRegistry:
+    def test_three_sizes(self):
+        assert set(MODEL_PROFILES) == {"gpt3-1.3b", "gpt3-6.7b", "gpt3-175b"}
+
+    def test_lookup_by_full_name(self):
+        assert get_profile("gpt3-175b").name == "gpt3-175b"
+
+    def test_lookup_by_suffix(self):
+        assert get_profile("175b").name == "gpt3-175b"
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("GPT3-6.7B").name == "gpt3-6.7b"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_profile("gpt3-13b")
+
+
+class TestScaling:
+    """Capabilities must scale monotonically with size — the entire
+    simulation rests on this."""
+
+    ORDER = ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b")
+
+    @pytest.mark.parametrize("capability", [
+        "semantic_depth", "instruction_following", "icl_strength",
+    ])
+    def test_monotone_increasing(self, capability):
+        values = [getattr(get_profile(name), capability) for name in self.ORDER]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_knowledge_floor_decreases_with_size(self):
+        floors = [get_profile(name).knowledge_floor for name in self.ORDER]
+        assert floors == sorted(floors, reverse=True)
+
+    def test_format_sensitivity_decreases_with_size(self):
+        values = [get_profile(name).format_sensitivity for name in self.ORDER]
+        assert values == sorted(values, reverse=True)
+
+    def test_only_175b_spots_character_errors(self):
+        assert get_profile("gpt3-175b").can_spot_character_errors
+        assert not get_profile("gpt3-6.7b").can_spot_character_errors
+        assert not get_profile("gpt3-1.3b").can_spot_character_errors
+
+    def test_parameter_counts(self):
+        assert get_profile("gpt3-175b").n_parameters == 175_000_000_000
+
+
+class TestValidation:
+    def test_capability_out_of_range(self):
+        with pytest.raises(ValueError):
+            ModelProfile(
+                name="x", n_parameters=1, knowledge_floor=0,
+                semantic_depth=1.5, instruction_following=0.5,
+                icl_strength=0.5, format_sensitivity=0.5,
+            )
+
+    def test_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            ModelProfile(
+                name="x", n_parameters=0, knowledge_floor=0,
+                semantic_depth=0.5, instruction_following=0.5,
+                icl_strength=0.5, format_sensitivity=0.5,
+            )
+
+    def test_negative_floor(self):
+        with pytest.raises(ValueError):
+            ModelProfile(
+                name="x", n_parameters=1, knowledge_floor=-1,
+                semantic_depth=0.5, instruction_following=0.5,
+                icl_strength=0.5, format_sensitivity=0.5,
+            )

@@ -1,0 +1,157 @@
+"""Tests for repro.fm.semantic — the comparator's mechanisms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fm.profiles import get_profile
+from repro.fm.semantic import SemanticComparator, stable_unit
+
+value = st.text(alphabet="abcdef 0123", min_size=0, max_size=15)
+
+
+@pytest.fixture(scope="module")
+def comparator(request):
+    from repro.knowledge import default_knowledge
+
+    return SemanticComparator(get_profile("gpt3-175b"), default_knowledge())
+
+
+@pytest.fixture(scope="module")
+def shallow(request):
+    from repro.knowledge import default_knowledge
+
+    return SemanticComparator(get_profile("gpt3-1.3b"), default_knowledge())
+
+
+class TestStableUnit:
+    def test_deterministic(self):
+        assert stable_unit("key") == stable_unit("key")
+
+    def test_keys_differ(self):
+        assert stable_unit("a") != stable_unit("b")
+
+    @given(st.text(max_size=30))
+    def test_unit_interval(self, key):
+        assert 0.0 <= stable_unit(key) < 1.0
+
+
+class TestValueSimilarity:
+    def test_identical(self, comparator):
+        assert comparator.value_similarity("sony camera", "sony camera") == 1.0
+
+    def test_normalized_equal(self, comparator):
+        assert comparator.value_similarity("Main St.", "main street") == 1.0
+
+    def test_both_empty(self, comparator):
+        assert comparator.value_similarity("", "") == 1.0
+        assert comparator.value_similarity(None, None) == 1.0
+
+    def test_one_empty(self, comparator):
+        assert comparator.value_similarity("x", "") == 0.0
+
+    def test_typo_tolerated_by_deep_model(self, comparator):
+        score = comparator.value_similarity("golden lotus cafe", "golden lotuss cafe")
+        assert score > 0.85
+
+    def test_shallow_model_punishes_typos_more(self, comparator, shallow):
+        a, b = "golden lotus cafe", "goldden lotsus caffe"
+        assert shallow.value_similarity(a, b) < comparator.value_similarity(a, b)
+
+    def test_alias_knowledge(self, comparator):
+        assert comparator.value_similarity("hp", "Hewlett-Packard") > 0.9
+
+    def test_alias_gated_by_floor(self, shallow, comparator):
+        # Venue aliases (freq 80) are recallable by both; jargon synonyms
+        # (freq < 1) only by the 175B model.
+        assert comparator.value_similarity("ssn", "person source value") > 0.9
+        assert shallow.value_similarity("ssn", "person source value") < 0.9
+
+    def test_price_tolerance(self, comparator):
+        close = comparator.value_similarity("199.99", "195.00")
+        far = comparator.value_similarity("199.99", "89.00")
+        assert close > 0.8 > far
+
+    def test_integers_near_exact(self, comparator):
+        assert comparator.value_similarity("1998", "2005") < 0.3
+        assert comparator.value_similarity("2006", "2006") == 1.0
+
+    def test_integer_typo_tolerated(self, comparator):
+        assert comparator.value_similarity("2006", "20066") == pytest.approx(0.8)
+
+    def test_version_mismatch_decisive(self, comparator):
+        same = comparator.value_similarity("office suite 11.0", "office suite 11.0")
+        different = comparator.value_similarity("office suite 11.0", "office suite 12.0")
+        assert same > different
+
+    def test_containment_boost(self, comparator):
+        score = comparator.value_similarity(
+            "hazy trail", "granite peak brewing hazy trail"
+        )
+        assert score > 0.9
+
+    def test_single_token_containment_not_boosted(self, comparator):
+        score = comparator.value_similarity("ghost", "ghost home anthem ride")
+        assert score < 0.9
+
+    @given(a=value, b=value)
+    def test_bounded_and_symmetric_enough(self, a, b):
+        from repro.knowledge import default_knowledge
+
+        comparator = SemanticComparator(get_profile("gpt3-175b"), default_knowledge())
+        score = comparator.value_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+
+
+class TestEntitySimilarity:
+    def test_identical_entities(self, comparator):
+        text = "name: golden lotus. city: boston"
+        assert comparator.entity_similarity(text, text) == 1.0
+
+    def test_contradictory_attribute_drags_score(self, comparator):
+        same_authors = comparator.entity_similarity(
+            "title: adaptive joins. authors: ada chen, omar park",
+            "title: adaptive joins. authors: ada chen, omar park",
+        )
+        different_authors = comparator.entity_similarity(
+            "title: adaptive joins. authors: ada chen, omar park",
+            "title: adaptive joins. authors: rosa weber, liam gupta",
+        )
+        assert same_authors - different_authors > 0.2
+
+    def test_flat_text_falls_back(self, comparator):
+        score = comparator.entity_similarity("golden lotus boston", "golden lotus boston")
+        assert score > 0.8
+
+    def test_cached(self, comparator):
+        a = "name: a. city: b"
+        b = "name: a. city: c"
+        first = comparator.entity_similarity(a, b)
+        assert comparator.entity_similarity(a, b) == first
+        assert (a, b) in comparator._entity_cache
+
+    def test_name_attributes_weighted_heavier(self, comparator):
+        name_mismatch = comparator.entity_similarity(
+            "name: alpha beta. style: ipa",
+            "name: gamma delta. style: ipa",
+        )
+        style_mismatch = comparator.entity_similarity(
+            "name: alpha beta. style: ipa",
+            "name: alpha beta. style: porter",
+        )
+        assert style_mismatch > name_mismatch
+
+    def test_brand_inference(self, comparator):
+        assert comparator.infer_brand("sony digital camera dsc-w55") == "Sony"
+        assert comparator.infer_brand("hp laser printer") == "Hewlett-Packard"
+        assert comparator.infer_brand("generic thing") is None
+
+    def test_brand_inference_gated_by_floor(self, shallow):
+        # Kingston is rank 40 (freq 12.5), below the 1.3B floor of 80.
+        assert shallow.infer_brand("kingston memory card") is None
+
+    def test_entity_features_include_per_attribute(self, comparator):
+        features = comparator.entity_features(
+            "name: a. city: b", "name: a. city: c"
+        )
+        assert "sim_name" in features and "sim_city" in features
+        assert "sim_overall" in features

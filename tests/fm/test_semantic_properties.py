@@ -1,0 +1,67 @@
+"""Property tests on the semantic comparator's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fm.profiles import get_profile
+from repro.fm.semantic import SemanticComparator
+
+value = st.text(alphabet="abcdef 0123.-", min_size=0, max_size=18)
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    from repro.knowledge import default_knowledge
+
+    return SemanticComparator(get_profile("gpt3-175b"), default_knowledge())
+
+
+class TestValueSimilarityProperties:
+    @given(a=value, b=value)
+    @settings(max_examples=150)
+    def test_symmetry(self, a, b):
+        from repro.knowledge import default_knowledge
+
+        comparator = SemanticComparator(get_profile("gpt3-175b"), default_knowledge())
+        forward = comparator.value_similarity(a, b)
+        backward = comparator.value_similarity(b, a)
+        # Alias lookups and jargon-noise keys are symmetric by
+        # construction; the whole metric must be too.
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    @given(a=value)
+    def test_identity(self, a):
+        from repro.knowledge import default_knowledge
+
+        comparator = SemanticComparator(get_profile("gpt3-175b"), default_knowledge())
+        assert comparator.value_similarity(a, a) == 1.0
+
+    @given(a=value, b=value)
+    def test_deeper_models_are_not_worse_on_typo_pairs(self, a, b):
+        """Depth ordering shows up as a *systematic* advantage on fuzzy
+        pairs; individual pairs may flip because jargon noise differs per
+        profile, so we assert only the bounded range here."""
+        from repro.knowledge import default_knowledge
+
+        kb = default_knowledge()
+        for name in ("gpt3-1.3b", "gpt3-175b"):
+            score = SemanticComparator(get_profile(name), kb).value_similarity(a, b)
+            assert 0.0 <= score <= 1.0
+
+
+class TestEntitySimilarityProperties:
+    @given(
+        name=st.text(alphabet="abc ", min_size=1, max_size=10),
+        city=st.text(alphabet="xyz ", min_size=1, max_size=10),
+    )
+    def test_identical_serializations_score_one(self, comparator, name, city):
+        text = f"name: {name.strip() or 'n'}. city: {city.strip() or 'c'}"
+        assert comparator.entity_similarity(text, text) == 1.0
+
+    def test_monotone_in_agreement(self, comparator):
+        base = "name: alpha beta. city: boston. phone: 4155550000"
+        one_off = "name: alpha beta. city: denver. phone: 4155550000"
+        two_off = "name: gamma delta. city: denver. phone: 4155550000"
+        assert comparator.entity_similarity(base, base) >= \
+            comparator.entity_similarity(base, one_off) >= \
+            comparator.entity_similarity(base, two_off)

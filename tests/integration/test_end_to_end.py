@@ -1,0 +1,114 @@
+"""End-to-end integration: paper-shaped claims on reduced workloads.
+
+These run the real pipelines (datasets → prompts → FM → metrics, plus
+baselines) on small slices so the whole stack is exercised in seconds.
+The full-size versions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core.tasks import (
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+    run_schema_matching,
+    run_transformation,
+)
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+
+class TestFewShotBeatsZeroShot:
+    """The paper's headline: demonstrations move every task."""
+
+    def test_entity_matching(self, fm_175b):
+        dataset = load_dataset("walmart_amazon")
+        zero = run_entity_matching(fm_175b, dataset, k=0, max_examples=120)
+        few = run_entity_matching(fm_175b, dataset, k=10, selection="manual",
+                                  max_examples=120)
+        assert few.metric > zero.metric
+
+    def test_error_detection(self, fm_175b):
+        dataset = load_dataset("hospital")
+        zero = run_error_detection(fm_175b, dataset, k=0, max_examples=300)
+        few = run_error_detection(fm_175b, dataset, k=10, selection="manual",
+                                  max_examples=300)
+        assert zero.metric < 0.3
+        assert few.metric > 0.85
+
+    def test_imputation(self, fm_175b):
+        dataset = load_dataset("restaurant")
+        zero = run_imputation(fm_175b, dataset, k=0)
+        few = run_imputation(fm_175b, dataset, k=10, selection="manual")
+        assert few.metric >= zero.metric
+
+    def test_schema_matching(self, fm_175b):
+        dataset = load_dataset("synthea")
+        zero = run_schema_matching(fm_175b, dataset, k=0)
+        few = run_schema_matching(fm_175b, dataset, k=3, selection="manual")
+        assert zero.metric < 0.1
+        assert few.metric > 0.3
+
+    def test_transformation(self, fm_175b):
+        dataset = load_dataset("bing_querylogs")
+        zero = run_transformation(fm_175b, dataset, k=0)
+        few = run_transformation(fm_175b, dataset, k=3)
+        assert few.metric > zero.metric + 0.2
+
+
+class TestModelScaling:
+    """Bigger simulated models are better, task by task."""
+
+    def test_imputation_scales(self, fm_13b, fm_67b, fm_175b):
+        dataset = load_dataset("restaurant")
+        scores = [
+            run_imputation(model, dataset, k=10, selection="random").metric
+            for model in (fm_13b, fm_67b, fm_175b)
+        ]
+        assert scores[0] <= scores[1] + 0.05
+        assert scores[1] <= scores[2] + 0.05
+        assert scores[2] > scores[0]
+
+    def test_hospital_needs_scale(self, fm_67b, fm_175b):
+        dataset = load_dataset("hospital")
+        small = run_error_detection(fm_67b, dataset, k=10, selection="manual",
+                                    max_examples=300)
+        large = run_error_detection(fm_175b, dataset, k=10, selection="manual",
+                                    max_examples=300)
+        assert small.metric < 0.1 < large.metric
+
+
+class TestDeterminism:
+    """Identical runs must be bit-identical — the repo's reproducibility
+    contract."""
+
+    def test_same_run_twice(self):
+        dataset = load_dataset("beer")
+        a = run_entity_matching(
+            SimulatedFoundationModel("gpt3-175b"), dataset, k=10,
+            selection="manual",
+        )
+        b = run_entity_matching(
+            SimulatedFoundationModel("gpt3-175b"), dataset, k=10,
+            selection="manual",
+        )
+        assert a.metric == b.metric
+        assert a.predictions == b.predictions
+
+    def test_dataset_rebuild_identical(self):
+        a = load_dataset("restaurant")
+        b = load_dataset("restaurant")
+        assert [e.answer for e in a.test] == [e.answer for e in b.test]
+
+
+class TestCostAccounting:
+    def test_full_run_costs_are_tracked(self):
+        from repro.api import CompletionClient
+
+        client = CompletionClient("gpt3-175b")
+        dataset = load_dataset("beer")
+        run_entity_matching(client, dataset, k=5, selection="random",
+                            max_examples=30)
+        usage = client.usage.per_model["gpt3-175b"]
+        assert usage.n_requests >= 30
+        assert usage.cost_usd > 0

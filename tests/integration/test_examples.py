@@ -1,0 +1,27 @@
+"""Every example script must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their story"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

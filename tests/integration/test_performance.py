@@ -1,0 +1,68 @@
+"""Performance smoke tests: guard against pathological slowdowns.
+
+These are generous budgets (CI machines vary); their job is catching
+accidental quadratic blowups, not micro-optimization.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+from repro.knowledge.world import build_world
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class TestBudgets:
+    def test_world_builds_quickly(self):
+        assert _timed(lambda: build_world(n_tail_cities=20)) < 5.0
+
+    def test_dataset_generation_quick(self):
+        assert _timed(lambda: load_dataset("walmart_amazon", seed=7)) < 5.0
+
+    def test_completion_throughput(self, fm_175b):
+        prompts = [
+            f"name: place {i}. phone: 415-775-70{i % 90 + 10:02d}. city?"
+            for i in range(200)
+        ]
+
+        def run():
+            for prompt in prompts:
+                fm_175b.complete(prompt)
+
+        assert _timed(run) < 10.0
+
+    def test_matching_prompt_throughput(self, fm_175b):
+        dataset = load_dataset("dblp_acm")
+        from repro.core.prompts import build_entity_matching_prompt
+
+        demos = dataset.train[:10]
+        prompts = [
+            build_entity_matching_prompt(pair, demos)
+            for pair in dataset.test[:150]
+        ]
+
+        def run():
+            for prompt in prompts:
+                fm_175b.complete(prompt)
+
+        # Demo similarities are memoized after the first prompt.
+        assert _timed(run) < 15.0
+
+    def test_tde_search_bounded(self):
+        from repro.baselines import TdeSynthesizer
+
+        dataset = load_dataset("stackoverflow")
+        synthesizer = TdeSynthesizer()
+
+        def run():
+            for case in dataset.cases:
+                synthesizer.run_case(case)
+
+        assert _timed(run) < 20.0

@@ -1,0 +1,92 @@
+"""Tests for repro.knowledge.base."""
+
+import pytest
+
+from repro.knowledge.base import Fact, KnowledgeBase
+
+
+@pytest.fixture()
+def small_kb():
+    kb = KnowledgeBase()
+    kb.add("capital", "France", "Paris", frequency=100.0)
+    kb.add("capital", "Nauru", "Yaren", frequency=0.5)
+    kb.add("capital", "Atlantis", "Poseidonis", frequency=0.0)
+    kb.add_symmetric("alias", "hp", "hewlett-packard", frequency=50.0)
+    return kb
+
+
+class TestFact:
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Fact(relation="r", subject="s", obj="o", frequency=-1.0)
+
+    def test_facts_are_frozen(self):
+        fact = Fact(relation="r", subject="s", obj="o")
+        with pytest.raises(AttributeError):
+            fact.obj = "other"
+
+
+class TestLookup:
+    def test_basic(self, small_kb):
+        assert small_kb.lookup_one("capital", "France") == "Paris"
+
+    def test_case_insensitive_subject(self, small_kb):
+        assert small_kb.lookup_one("capital", "FRANCE") == "Paris"
+
+    def test_frequency_floor_gates_recall(self, small_kb):
+        assert small_kb.lookup_one("capital", "Nauru", min_frequency=1.0) is None
+        assert small_kb.lookup_one("capital", "Nauru", min_frequency=0.1) == "Yaren"
+
+    def test_zero_frequency_needs_zero_floor(self, small_kb):
+        assert small_kb.lookup_one("capital", "Atlantis", min_frequency=0.4) is None
+        assert small_kb.lookup_one("capital", "Atlantis") == "Poseidonis"
+
+    def test_unknown_subject(self, small_kb):
+        assert small_kb.lookup_one("capital", "Mars") is None
+        assert small_kb.lookup("capital", "Mars") == []
+
+    def test_most_frequent_first(self):
+        kb = KnowledgeBase()
+        kb.add("r", "s", "rare", frequency=1.0)
+        kb.add("r", "s", "common", frequency=10.0)
+        assert kb.lookup_one("r", "s") == "common"
+        assert [fact.obj for fact in kb.lookup("r", "s")] == ["common", "rare"]
+
+    def test_symmetric(self, small_kb):
+        assert small_kb.lookup_one("alias", "hp") == "hewlett-packard"
+        assert small_kb.lookup_one("alias", "hewlett-packard") == "hp"
+
+
+class TestEntityFrequency:
+    def test_max_over_facts(self, small_kb):
+        assert small_kb.entity_frequency("France") == 100.0
+        assert small_kb.entity_frequency("Paris") == 100.0
+
+    def test_unknown_entity_zero(self, small_kb):
+        assert small_kb.entity_frequency("nowhere") == 0.0
+
+    def test_knows_entity(self, small_kb):
+        assert small_kb.knows_entity("France", min_frequency=50.0)
+        assert not small_kb.knows_entity("France", min_frequency=500.0)
+        assert not small_kb.knows_entity("nowhere")
+
+
+class TestInventory:
+    def test_len_counts_facts(self, small_kb):
+        assert len(small_kb) == 5  # 3 capitals + 2 symmetric alias facts
+
+    def test_relations(self, small_kb):
+        assert small_kb.relations() == {"capital", "alias"}
+
+    def test_subjects_and_objects_deduplicate(self):
+        kb = KnowledgeBase()
+        kb.add("r", "A", "x")
+        kb.add("r", "a", "y")
+        assert kb.subjects("r") == ["A"]
+        assert set(kb.objects("r")) == {"x", "y"}
+
+    def test_merge(self, small_kb):
+        other = KnowledgeBase()
+        other.add("capital", "Japan", "Tokyo")
+        small_kb.merge(other)
+        assert small_kb.lookup_one("capital", "Japan") == "Tokyo"

@@ -1,0 +1,99 @@
+"""Tests for the entity corpora (products, music, papers, restaurants, beers)."""
+
+from collections import Counter
+
+from repro.knowledge.beers import build_beer_corpus
+from repro.knowledge.music import build_music_catalog
+from repro.knowledge.papers import VENUE_ALIASES, build_paper_corpus
+from repro.knowledge.products import build_product_catalog, known_brands
+from repro.knowledge.restaurants import build_restaurant_corpus
+from repro.knowledge.geography import build_geography
+
+
+class TestProducts:
+    def test_requested_count(self):
+        assert len(build_product_catalog(150)) == 150
+
+    def test_short_names_unique(self):
+        products = build_product_catalog(300)
+        names = [product.short_name for product in products]
+        assert len(set(names)) == len(names)
+
+    def test_full_name_contains_brand_and_short_name(self):
+        for product in build_product_catalog(50):
+            assert product.name.startswith(product.manufacturer)
+            assert product.short_name in product.name
+
+    def test_deterministic(self):
+        assert build_product_catalog(40) == build_product_catalog(40)
+
+    def test_manufacturers_are_known_brands(self):
+        brands = set(known_brands())
+        assert all(p.manufacturer in brands for p in build_product_catalog(100))
+
+    def test_prices_positive(self):
+        assert all(p.price > 0 for p in build_product_catalog(100))
+
+
+class TestMusic:
+    def test_title_artist_unique(self):
+        tracks = build_music_catalog(200)
+        keys = [(track.title, track.artist) for track in tracks]
+        assert len(set(keys)) == len(keys)
+
+    def test_time_format(self):
+        for track in build_music_catalog(50):
+            minutes, seconds = track.time.split(":")
+            assert 0 <= int(seconds) < 60
+            assert int(minutes) > 0
+
+    def test_price_format(self):
+        assert all(t.price.startswith("$") for t in build_music_catalog(50))
+
+
+class TestPapers:
+    def test_titles_unique(self):
+        papers = build_paper_corpus(200)
+        titles = [paper.title for paper in papers]
+        assert len(set(titles)) == len(titles)
+
+    def test_every_venue_has_alias(self):
+        for paper in build_paper_corpus(100):
+            assert paper.venue in VENUE_ALIASES
+
+    def test_authors_nonempty(self):
+        assert all(paper.authors for paper in build_paper_corpus(60))
+
+
+class TestRestaurants:
+    def test_geography_consistency(self):
+        cities = build_geography(12)
+        by_name = {city.name: city for city in cities}
+        for restaurant in build_restaurant_corpus(cities):
+            city = by_name[restaurant.city]
+            assert restaurant.phone.split("-")[0] in city.area_codes
+            assert restaurant.zip_code in city.zip_codes
+            assert restaurant.state == city.state_abbr
+
+    def test_names_unique(self):
+        cities = build_geography(12)
+        names = [r.name for r in build_restaurant_corpus(cities)]
+        assert len(set(names)) == len(names)
+
+    def test_density_follows_prominence(self):
+        cities = build_geography(12)
+        restaurants = build_restaurant_corpus(cities)
+        counts = Counter(r.city for r in restaurants)
+        # The most famous city hosts more restaurants than a mid-tier one.
+        assert counts["New York"] > counts["Boise"]
+
+
+class TestBeers:
+    def test_name_brewery_unique(self):
+        beers = build_beer_corpus(150)
+        keys = [(beer.name, beer.brewery) for beer in beers]
+        assert len(set(keys)) == len(keys)
+
+    def test_abv_parses(self):
+        for beer in build_beer_corpus(60):
+            assert 0 < float(beer.abv.rstrip("%")) < 20

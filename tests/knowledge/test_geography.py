@@ -1,0 +1,78 @@
+"""Tests for repro.knowledge.geography — the FD invariants."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.knowledge.base import KnowledgeBase
+from repro.knowledge.geography import add_geography_facts, build_geography
+
+
+def test_city_names_unique():
+    cities = build_geography(n_tail=40)
+    names = [city.name.casefold() for city in cities]
+    assert len(set(names)) == len(names)
+
+
+def test_head_frequencies_follow_zipf():
+    cities = [city for city in build_geography(12) if not city.is_tail]
+    frequencies = [city.frequency for city in cities]
+    assert frequencies == sorted(frequencies, reverse=True)
+    assert frequencies[0] == 1000.0
+
+
+def test_tail_cities_have_zero_frequency():
+    for city in build_geography(12):
+        if city.is_tail:
+            assert city.frequency == 0.0
+
+
+def test_zip_codes_unique_across_cities():
+    """zip → city must be a function."""
+    cities = build_geography(40)
+    counts = Counter(zip_code for city in cities for zip_code in city.zip_codes)
+    assert all(count == 1 for count in counts.values())
+
+
+def test_area_codes_unique_across_cities():
+    """area code → city must be a function (simplification in this world)."""
+    cities = build_geography(40)
+    counts = Counter(code for city in cities for code in city.area_codes)
+    duplicated = [code for code, count in counts.items() if count > 1]
+    assert duplicated == []
+
+
+@given(st.integers(min_value=0, max_value=60))
+def test_deterministic_for_any_tail_count(n_tail):
+    assert build_geography(n_tail) == build_geography(n_tail)
+
+
+class TestFacts:
+    def test_fd_consistency(self):
+        cities = build_geography(12)
+        kb = KnowledgeBase()
+        add_geography_facts(kb, cities)
+        for city in cities:
+            assert kb.lookup_one("city_to_state", city.name) == city.state_abbr
+            for zip_code in city.zip_codes:
+                assert kb.lookup_one("zip_to_city", zip_code) == city.name
+            for area_code in city.area_codes:
+                assert kb.lookup_one("area_code_to_city", area_code) == city.name
+
+    def test_fact_frequency_matches_city(self):
+        cities = build_geography(12)
+        kb = KnowledgeBase()
+        add_geography_facts(kb, cities)
+        sf = next(city for city in cities if city.name == "San Francisco")
+        fact = kb.lookup("area_code_to_city", "415")[0]
+        assert fact.frequency == sf.frequency
+
+    def test_paper_probe_facts_present(self, kb=None):
+        """The Table 6 probes must be answerable from the default world."""
+        from repro.knowledge import default_knowledge
+
+        kb = default_knowledge()
+        assert kb.lookup_one("area_code_to_city", "415") == "San Francisco"
+        assert kb.lookup_one("area_code_to_city", "310") == "Malibu"
+        assert kb.lookup_one("zip_to_city", "35205") == "Birmingham"
+        assert kb.lookup_one("state_abbr_to_name", "AL") == "Alabama"

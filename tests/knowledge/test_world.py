@@ -1,0 +1,82 @@
+"""Tests for the assembled world and its knowledge base."""
+
+from repro.knowledge import default_knowledge, default_world
+from repro.knowledge.calendar import MONTHS
+from repro.knowledge.census import ADULT_DOMAINS
+from repro.knowledge.medical import CORRESPONDENCES
+
+
+class TestWorldAssembly:
+    def test_cached_singleton(self):
+        assert default_world() is default_world()
+
+    def test_corpora_present(self, world):
+        assert len(world.cities) >= 60
+        assert len(world.products) >= 300
+        assert len(world.tracks) >= 200
+        assert len(world.papers) >= 200
+        assert len(world.restaurants) >= 200
+        assert len(world.beers) >= 150
+
+    def test_head_tail_partition(self, world):
+        assert set(world.head_cities).isdisjoint(world.tail_cities)
+        assert len(world.head_cities) + len(world.tail_cities) == len(world.cities)
+
+
+class TestKnowledgeContents:
+    def test_expected_relations(self, kb):
+        expected = {
+            "zip_to_city", "area_code_to_city", "city_to_state",
+            "state_to_city", "product_to_manufacturer", "brand_alias",
+            "track_to_artist", "beer_to_brewery", "restaurant_to_city",
+            "venue_alias", "attr_synonym", "month_to_number",
+            "census_domain", "month_abbrev", "weekday_abbrev",
+        }
+        assert expected <= kb.relations()
+
+    def test_calendar_facts(self, kb):
+        for i, month in enumerate(MONTHS, start=1):
+            assert kb.lookup_one("month_to_number", month) == str(i)
+            assert kb.lookup_one("number_to_month", str(i)) == month
+
+    def test_census_facts(self, kb):
+        for attribute, values in ADULT_DOMAINS.items():
+            for value in values:
+                assert kb.lookup_one("census_domain", value) == attribute
+
+    def test_product_fd(self, world):
+        product = world.products[0]
+        assert (
+            world.kb.lookup_one("product_to_manufacturer", product.short_name)
+            == product.manufacturer
+        )
+
+    def test_restaurant_fd(self, world):
+        restaurant = world.restaurants[0]
+        assert (
+            world.kb.lookup_one("restaurant_to_city", restaurant.name)
+            == restaurant.city
+        )
+
+
+class TestMedicalSchema:
+    def test_correspondences_reference_real_attributes(self):
+        from repro.knowledge.medical import OMOP_ATTRIBUTES, SYNTHEA_ATTRIBUTES
+
+        synthea = {attr.qualified for attr in SYNTHEA_ATTRIBUTES}
+        omop = {attr.qualified for attr in OMOP_ATTRIBUTES}
+        for source, target in CORRESPONDENCES:
+            assert source in synthea, source
+            assert target in omop, target
+
+    def test_correspondences_functional_on_source(self):
+        sources = [source for source, _target in CORRESPONDENCES]
+        assert len(set(sources)) == len(sources)
+
+    def test_generic_synonyms_are_head_knowledge(self, kb):
+        fact = kb.lookup("attr_synonym", "birthdate")[0]
+        assert fact.frequency >= 50.0
+
+    def test_jargon_synonyms_are_tail_knowledge(self, kb):
+        fact = kb.lookup("attr_synonym", "ssn")[0]
+        assert fact.frequency < 15.0  # below the 6.7B knowledge floor

@@ -1,0 +1,68 @@
+"""Tests for repro.ml.features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import FeatureHasher, StandardScaler, hash_token
+
+
+class TestHashToken:
+    def test_stable_across_calls(self):
+        assert hash_token("sony", 512) == hash_token("sony", 512)
+
+    def test_bucket_in_range(self):
+        bucket, sign = hash_token("anything", 64)
+        assert 0 <= bucket < 64
+        assert sign in (1.0, -1.0)
+
+    def test_salt_changes_mapping(self):
+        assert hash_token("sony", 4096) != hash_token("sony", 4096, salt="other")
+
+    @given(st.text(min_size=1, max_size=20), st.integers(min_value=1, max_value=1024))
+    def test_always_valid(self, token, dim):
+        bucket, sign = hash_token(token, dim)
+        assert 0 <= bucket < dim
+
+
+class TestFeatureHasher:
+    def test_unit_norm(self):
+        row = FeatureHasher(dim=128).transform_one(["a", "b", "c"])
+        assert np.linalg.norm(row) == pytest.approx(1.0)
+
+    def test_empty_tokens_zero_vector(self):
+        row = FeatureHasher(dim=16).transform_one([])
+        assert np.linalg.norm(row) == 0.0
+
+    def test_batch_shape(self):
+        matrix = FeatureHasher(dim=32).transform([["a"], ["b", "c"]])
+        assert matrix.shape == (2, 32)
+
+    def test_empty_batch(self):
+        assert FeatureHasher(dim=8).transform([]).shape == (0, 8)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(dim=0)
+
+    def test_same_tokens_same_vector(self):
+        hasher = FeatureHasher(dim=64)
+        assert np.allclose(hasher.transform_one(["x", "y"]),
+                           hasher.transform_one(["x", "y"]))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        matrix = np.random.default_rng(0).normal(5.0, 2.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_guarded(self):
+        matrix = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.isfinite(scaled).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,63 @@
+"""Tests for repro.ml.forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import StumpForest
+
+
+def _xorish(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1, 1, size=(n, 2))
+    labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(float)
+    return features, labels
+
+
+class TestForest:
+    def test_learns_nonlinear_boundary(self):
+        features, labels = _xorish()
+        model = StumpForest(n_trees=40, max_depth=3, seed=0).fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.85
+
+    def test_probabilities_in_unit_interval(self):
+        features, labels = _xorish()
+        probs = StumpForest(seed=1).fit(features, labels).predict_proba(features)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_deterministic_given_seed(self):
+        features, labels = _xorish()
+        a = StumpForest(seed=7).fit(features, labels).predict_proba(features[:20])
+        b = StumpForest(seed=7).fit(features, labels).predict_proba(features[:20])
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        features, labels = _xorish()
+        a = StumpForest(seed=1).fit(features, labels).predict_proba(features)
+        b = StumpForest(seed=2).fit(features, labels).predict_proba(features)
+        assert not np.allclose(a, b)
+
+    def test_pure_class(self):
+        features = np.random.default_rng(0).normal(size=(20, 2))
+        model = StumpForest().fit(features, np.ones(20))
+        assert model.predict(features).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StumpForest().predict(np.zeros((1, 2)))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            StumpForest().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            StumpForest(n_trees=0)
+
+    def test_depth_limits_capacity(self):
+        features, labels = _xorish()
+        shallow = StumpForest(n_trees=30, max_depth=1, seed=0).fit(features, labels)
+        deep = StumpForest(n_trees=30, max_depth=4, seed=0).fit(features, labels)
+        acc_shallow = (shallow.predict(features) == labels).mean()
+        acc_deep = (deep.predict(features) == labels).mean()
+        # Depth-1 stumps cannot express XOR; deeper trees can.
+        assert acc_deep > acc_shallow

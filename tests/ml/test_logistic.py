@@ -1,0 +1,78 @@
+"""Tests for repro.ml.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression
+
+
+def _separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 3))
+    labels = (features[:, 0] + 0.5 * features[:, 1] > 0).astype(float)
+    return features, labels
+
+
+class TestFit:
+    def test_learns_separable_data(self):
+        features, labels = _separable()
+        model = LogisticRegression().fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.97
+
+    def test_probabilities_in_unit_interval(self):
+        features, labels = _separable()
+        probs = LogisticRegression().fit(features, labels).predict_proba(features)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_balanced_weights_help_skew(self):
+        rng = np.random.default_rng(1)
+        # 5% positives, cleanly separable on feature 0.
+        features = rng.normal(size=(400, 2))
+        labels = (features[:, 0] > 1.6).astype(float)
+        balanced = LogisticRegression(class_weight="balanced").fit(features, labels)
+        recall = (balanced.predict(features)[labels == 1] == 1).mean()
+        assert recall > 0.8
+
+    def test_deterministic(self):
+        features, labels = _separable()
+        a = LogisticRegression().fit(features, labels)
+        b = LogisticRegression().fit(features, labels)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_regularization_shrinks_weights(self):
+        features, labels = _separable()
+        lax = LogisticRegression(l2=1e-5).fit(features, labels)
+        tight = LogisticRegression(l2=1.0).fit(features, labels)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(lax.weights_)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_one_dimensional_features_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(3), np.zeros(3))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(epochs=0)
+
+    def test_single_class_does_not_crash(self):
+        features = np.ones((10, 2))
+        labels = np.zeros(10)
+        model = LogisticRegression().fit(features, labels)
+        assert model.predict(features).sum() == 0

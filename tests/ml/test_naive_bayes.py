@@ -1,0 +1,106 @@
+"""Tests for repro.ml.naive_bayes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import MultinomialNaiveBayes
+
+
+def _toy():
+    model = MultinomialNaiveBayes(alpha=0.5)
+    model.partial_fit(["rain", "wet", "cold"], "winter")
+    model.partial_fit(["snow", "cold", "ice"], "winter")
+    model.partial_fit(["sun", "hot", "beach"], "summer")
+    model.partial_fit(["hot", "dry", "sun"], "summer")
+    return model
+
+
+class TestPrediction:
+    def test_obvious_classes(self):
+        model = _toy()
+        assert model.predict(["cold", "snow"]) == "winter"
+        assert model.predict(["sun", "beach"]) == "summer"
+
+    def test_unseen_tokens_are_ignored(self):
+        model = _toy()
+        assert model.predict(["cold", "zzz", "qqq"]) == "winter"
+
+    def test_top_k_ordering(self):
+        model = _toy()
+        ranked = model.top_k(["cold"], k=2)
+        assert ranked[0][0] == "winter"
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict(["x"])
+
+    def test_unknown_label_score(self):
+        assert _toy().log_score(["cold"], "autumn") == -math.inf
+
+    def test_fit_batch_equals_partial(self):
+        batch = MultinomialNaiveBayes(alpha=0.5).fit(
+            [["a", "b"], ["c"]], ["x", "y"]
+        )
+        partial = MultinomialNaiveBayes(alpha=0.5)
+        partial.partial_fit(["a", "b"], "x")
+        partial.partial_fit(["c"], "y")
+        assert batch.log_score(["a"], "x") == partial.log_score(["a"], "x")
+
+    def test_fit_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([["a"]], ["x", "y"])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(alpha=0.0)
+
+    def test_invalid_prior_weight(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(prior_weight=-0.1)
+
+
+class TestComplementMode:
+    def test_resists_class_size_skew(self):
+        """A discriminative token seen once must beat a 20x larger class."""
+        model = MultinomialNaiveBayes(alpha=0.25, complement=True, prior_weight=0.2)
+        for i in range(20):
+            model.partial_fit(["common", f"filler{i}", "noise"], "big")
+        model.partial_fit(["common", "area415", "noise"], "small")
+        assert model.predict(["common", "area415"]) == "small"
+
+    def test_vanilla_mode_prior_dominates(self):
+        """Same data, vanilla NB with full prior: the big class wins.
+
+        This contrast is exactly why the imputation models use complement
+        NB.
+        """
+        model = MultinomialNaiveBayes(alpha=0.25, complement=False, prior_weight=1.0)
+        for i in range(20):
+            model.partial_fit(["common", f"filler{i}", "noise"], "big")
+        model.partial_fit(["common", "area415", "noise"], "small")
+        # "common"/"noise" appear 20x more often in the big class.
+        assert model.predict(["common", "noise"]) == "big"
+
+
+class TestProperties:
+    @given(st.lists(
+        st.tuples(
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=4),
+            st.sampled_from(["x", "y"]),
+        ),
+        min_size=2, max_size=12,
+    ).filter(lambda obs: len({label for _t, label in obs}) == 2))
+    def test_prediction_is_a_known_class(self, observations):
+        model = MultinomialNaiveBayes()
+        for tokens, label in observations:
+            model.partial_fit(tokens, label)
+        assert model.predict(["a", "b"]) in model.classes
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=5))
+    def test_scores_are_finite_for_known_classes(self, tokens):
+        model = _toy()
+        for label in model.classes:
+            assert model.log_score(tokens, label) > -math.inf

@@ -1,0 +1,60 @@
+"""Tests for repro.ml.validation."""
+
+import pytest
+
+from repro.ml import train_validation_split
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, valid = train_validation_split(list(range(100)), 0.1, seed=0)
+        assert len(valid) == 10
+        assert len(train) == 90
+
+    def test_disjoint_and_complete(self):
+        items = list(range(50))
+        train, valid = train_validation_split(items, 0.2, seed=3)
+        assert sorted(train + valid) == items
+
+    def test_deterministic(self):
+        items = list(range(40))
+        a = train_validation_split(items, 0.25, seed=5)
+        b = train_validation_split(items, 0.25, seed=5)
+        assert a == b
+
+    def test_seed_changes_split(self):
+        items = list(range(40))
+        a = train_validation_split(items, 0.25, seed=1)
+        b = train_validation_split(items, 0.25, seed=2)
+        assert a != b
+
+    def test_stratified_preserves_classes(self):
+        items = list(range(100))
+        labels = [1 if i < 10 else 0 for i in items]
+        train, valid = train_validation_split(
+            items, 0.2, seed=0, stratify_labels=labels
+        )
+        assert any(i < 10 for i in valid), "minority class present in validation"
+        assert any(i < 10 for i in train), "minority class never exhausted"
+
+    def test_stratified_singleton_class_stays_in_train(self):
+        items = ["only-positive"] + [f"n{i}" for i in range(20)]
+        labels = [1] + [0] * 20
+        train, _valid = train_validation_split(
+            items, 0.2, seed=0, stratify_labels=labels
+        )
+        assert "only-positive" in train
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_validation_split([1, 2], 0.0)
+        with pytest.raises(ValueError):
+            train_validation_split([1, 2], 1.0)
+
+    def test_stratify_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_validation_split([1, 2, 3], 0.5, stratify_labels=[0, 1])
+
+    def test_tiny_input(self):
+        train, valid = train_validation_split([1], 0.5)
+        assert train == [1] and valid == []

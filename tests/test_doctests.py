@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.core.serialization
+import repro.text.normalize
+import repro.text.tokenize
+
+MODULES = (
+    repro.text.tokenize,
+    repro.text.normalize,
+    repro.core.serialization,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -1,0 +1,80 @@
+"""Tests for repro.text.normalize."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.normalize import (
+    casefold,
+    expand_abbreviations,
+    normalize_value,
+    normalize_whitespace,
+    strip_punctuation,
+)
+
+
+class TestNormalizeWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a   b\t c\n d") == "a b c d"
+
+    def test_strips_ends(self):
+        assert normalize_whitespace("  x  ") == "x"
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text):
+        once = normalize_whitespace(text)
+        assert normalize_whitespace(once) == once
+
+
+class TestExpandAbbreviations:
+    def test_street(self):
+        assert expand_abbreviations("123 main st") == "123 main street"
+
+    def test_dotted_form(self):
+        assert expand_abbreviations("oak ave.") == "oak avenue"
+
+    def test_case_insensitive_lookup(self):
+        assert expand_abbreviations("Main ST") == "Main street"
+
+    def test_ampersand(self):
+        assert expand_abbreviations("bar & grill") == "bar and grill"
+
+    def test_custom_table(self):
+        assert expand_abbreviations("a b", {"a": "alpha"}) == "alpha b"
+
+    def test_no_partial_word_expansion(self):
+        # "st" inside "best" must not expand.
+        assert expand_abbreviations("best coast") == "best coast"
+
+
+class TestNormalizeValue:
+    def test_none_is_empty(self):
+        assert normalize_value(None) == ""
+
+    def test_null_tokens_are_empty(self):
+        for token in ("null", "NULL", "None", "nan", "N/A", "-", "?"):
+            assert normalize_value(token) == "", token
+
+    def test_lowercase_and_punctuation(self):
+        assert normalize_value("Sony DSC-W55!") == "sony dsc w55"
+
+    def test_abbreviation_expansion(self):
+        assert normalize_value("804 North Point St.") == "804 north point street"
+
+    def test_non_string_coerced(self):
+        assert normalize_value(42) == "42"
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text):
+        once = normalize_value(text)
+        assert normalize_value(once) == once
+
+    @given(st.text(max_size=60))
+    def test_output_lowercase(self, text):
+        assert normalize_value(text) == normalize_value(text).casefold()
+
+
+def test_casefold_matches_str_casefold():
+    assert casefold("ÅBC") == "åbc"
+
+
+def test_strip_punctuation_keeps_words():
+    assert strip_punctuation("a,b.c;d") == "a b c d"

@@ -1,0 +1,111 @@
+"""Tests for repro.text.patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.patterns import (
+    infer_semantic_type,
+    is_date_like,
+    is_identifier_token,
+    is_null_token,
+    is_numeric,
+    is_phone_like,
+    is_product_code,
+    is_zip_like,
+    value_pattern,
+)
+
+
+class TestNullToken:
+    @pytest.mark.parametrize("value", [None, "", "NULL", "nan", " n/a ", "?"])
+    def test_nulls(self, value):
+        assert is_null_token(value)
+
+    @pytest.mark.parametrize("value", ["0", "none at all", "x"])
+    def test_non_nulls(self, value):
+        assert not is_null_token(value)
+
+
+class TestNumeric:
+    @pytest.mark.parametrize("value", ["42", "-7", "3.14", " 10 "])
+    def test_numeric(self, value):
+        assert is_numeric(value)
+
+    @pytest.mark.parametrize("value", ["4.2.1", "1e5", "abc", "$5", ""])
+    def test_not_numeric(self, value):
+        assert not is_numeric(value)
+
+
+class TestShapes:
+    def test_zip(self):
+        assert is_zip_like("94110")
+        assert is_zip_like("94110-1234")
+        assert not is_zip_like("9411")
+        assert not is_zip_like("94110x")
+
+    @pytest.mark.parametrize("value", [
+        "415-775-7036", "310/456-5733", "(415) 775-7036", "4157757036",
+    ])
+    def test_phone_shapes(self, value):
+        assert is_phone_like(value)
+
+    def test_not_phone(self):
+        assert not is_phone_like("775-7036")
+
+    @pytest.mark.parametrize("value", [
+        "2011-03-14", "3/14/2011", "03-14-2011", "Mar 14, 2011",
+        "14 March 2011",
+    ])
+    def test_dates(self, value):
+        assert is_date_like(value)
+
+    def test_not_date(self):
+        assert not is_date_like("pi day")
+
+    @pytest.mark.parametrize("value", ["DSC-W55", "mx4500", "11.0b", "w2k3"])
+    def test_product_codes(self, value):
+        assert is_product_code(value)
+
+    @pytest.mark.parametrize("value", ["sony", "12345", "two words 3x"])
+    def test_not_product_codes(self, value):
+        assert not is_product_code(value)
+
+    def test_identifier_includes_numbers_and_codes(self):
+        assert is_identifier_token("42")
+        assert is_identifier_token("dsc-w55")
+        assert not is_identifier_token("camera")
+
+
+class TestValuePattern:
+    def test_phone_mask(self):
+        assert value_pattern("415-775-7036") == "9-9-9"
+
+    def test_mixed(self):
+        assert value_pattern("Suite 4B") == "A 9A"
+
+    def test_collapses_runs(self):
+        assert value_pattern("aaaa1111") == "A9"
+
+    def test_empty(self):
+        assert value_pattern("") == ""
+
+    @given(st.text(max_size=40))
+    def test_mask_uses_only_symbols(self, value):
+        mask = value_pattern(value)
+        # Digits collapse to the literal '9', letters to 'A'.
+        assert all(ch == "9" or not ch.isdigit() for ch in mask)
+        assert all(ch == "A" or not ch.isalpha() for ch in mask if ch.isascii())
+
+
+class TestSemanticType:
+    @pytest.mark.parametrize("value,expected", [
+        ("", "null"),
+        ("94110", "zip"),
+        ("415-775-7036", "phone"),
+        ("2011-03-14", "date"),
+        ("42.5", "number"),
+        ("DSC-W55", "code"),
+        ("san francisco", "text"),
+    ])
+    def test_types(self, value, expected):
+        assert infer_semantic_type(value) == expected

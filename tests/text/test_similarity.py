@@ -1,0 +1,166 @@
+"""Tests for repro.text.similarity — including metric property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.similarity import (
+    cosine_tokens,
+    dice_coefficient,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    monge_elkan,
+    overlap_coefficient,
+    prefix_similarity,
+)
+
+short_text = st.text(alphabet="abcdef ", max_size=12)
+token_lists = st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=6)
+
+
+class TestLevenshtein:
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identical(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein("boston", "bxston") == 1
+
+    def test_max_distance_early_exit(self):
+        assert levenshtein("completely", "different!", max_distance=2) == 3
+
+    def test_max_distance_length_gap(self):
+        assert levenshtein("ab", "abcdefgh", max_distance=2) == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestLevenshteinRatio:
+    def test_range(self):
+        assert levenshtein_ratio("abc", "abd") == pytest.approx(2 / 3)
+
+    def test_both_empty(self):
+        assert levenshtein_ratio("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= levenshtein_ratio(a, b) <= 1.0
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_identical(self):
+        assert jaro_winkler("same", "same") == 1.0
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+        assert jaro("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_symmetry_and_range(self, a, b):
+        score = jaro_winkler(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(jaro_winkler(b, a))
+
+
+SET_METRICS = (jaccard, overlap_coefficient, dice_coefficient, cosine_tokens)
+
+
+class TestSetMetrics:
+    @pytest.mark.parametrize("metric", SET_METRICS)
+    def test_identical_sets(self, metric):
+        assert metric(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("metric", SET_METRICS)
+    def test_disjoint_sets(self, metric):
+        assert metric(["a"], ["b"]) == 0.0
+
+    @pytest.mark.parametrize("metric", SET_METRICS)
+    def test_both_empty(self, metric):
+        assert metric([], []) == 1.0
+
+    @pytest.mark.parametrize("metric", SET_METRICS)
+    def test_one_empty(self, metric):
+        assert metric(["a"], []) == 0.0
+
+    @pytest.mark.parametrize("metric", SET_METRICS)
+    @given(a=token_lists, b=token_lists)
+    def test_symmetry_and_range(self, metric, a, b):
+        score = metric(a, b)
+        assert 0.0 <= score <= 1.0 + 1e-12
+        assert score == pytest.approx(metric(b, a))
+
+    def test_jaccard_half(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_overlap_subset_is_one(self):
+        assert overlap_coefficient(["a"], ["a", "b", "c"]) == 1.0
+
+    def test_cosine_counts_multiplicity(self):
+        # Repetition matters for cosine but not for Jaccard.
+        assert cosine_tokens(["a", "a", "b"], ["a", "b"]) != jaccard(
+            ["a", "a", "b"], ["a", "b"]
+        )
+
+
+class TestMongeElkan:
+    def test_token_reordering_tolerated(self):
+        a = ["golden", "lotus", "cafe"]
+        b = ["cafe", "golden", "lotus"]
+        assert monge_elkan(a, b) == pytest.approx(1.0)
+
+    def test_typo_tolerated(self):
+        assert monge_elkan(["boston"], ["bostom"]) > 0.9
+
+    def test_empty_sides(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+
+    @given(a=token_lists, b=token_lists)
+    def test_symmetrized_and_bounded(self, a, b):
+        score = monge_elkan(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(monge_elkan(b, a))
+
+
+class TestPrefixSimilarity:
+    def test_full_prefix(self):
+        assert prefix_similarity("abc", "abcdef") == 1.0
+
+    def test_no_common_prefix(self):
+        assert prefix_similarity("abc", "xbc") == 0.0
+
+    def test_empty(self):
+        assert prefix_similarity("", "") == 1.0
+        assert prefix_similarity("", "a") == 0.0

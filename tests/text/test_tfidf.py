@@ -1,0 +1,77 @@
+"""Tests for repro.text.tfidf."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.tfidf import TfidfVectorizer
+
+corpus = [
+    ["the", "quick", "fox"],
+    ["the", "lazy", "dog"],
+    ["the", "fox", "and", "the", "dog"],
+]
+
+
+@pytest.fixture()
+def fitted():
+    return TfidfVectorizer().fit(corpus)
+
+
+class TestFit:
+    def test_tracks_document_count(self, fitted):
+        assert fitted.n_docs_ == 3
+        assert fitted.is_fitted
+
+    def test_common_token_has_lower_idf(self, fitted):
+        assert fitted.idf_["the"] < fitted.idf_["quick"]
+
+    def test_min_df_filters(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        assert "quick" not in vectorizer.idf_
+        assert "fox" in vectorizer.idf_
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform_one(["x"])
+
+
+class TestTransform:
+    def test_unit_norm(self, fitted):
+        vector = fitted.transform_one(["quick", "fox", "fox"])
+        norm = sum(value**2 for value in vector.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_unseen_token_still_weighted(self, fitted):
+        vector = fitted.transform_one(["zebra"])
+        assert vector["zebra"] == pytest.approx(1.0)  # alone → unit norm
+
+    def test_batch_matches_single(self, fitted):
+        batch = fitted.transform([["fox"], ["dog"]])
+        assert batch[0] == fitted.transform_one(["fox"])
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, fitted):
+        assert fitted.similarity(["quick", "fox"], ["quick", "fox"]) == pytest.approx(1.0)
+
+    def test_disjoint_similarity_is_zero(self, fitted):
+        assert fitted.similarity(["quick"], ["lazy"]) == 0.0
+
+    def test_rare_overlap_beats_common_overlap(self, fitted):
+        rare = fitted.similarity(["quick", "dog"], ["quick", "cat"])
+        common = fitted.similarity(["the", "dog"], ["the", "cat"])
+        assert rare > common
+
+    @given(st.lists(st.sampled_from(["the", "fox", "dog", "quick"]),
+                    min_size=1, max_size=6))
+    def test_similarity_bounded(self, tokens):
+        vectorizer = TfidfVectorizer().fit(corpus)
+        score = vectorizer.similarity(tokens, ["the", "fox"])
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+    def test_cosine_empty_vectors(self):
+        assert TfidfVectorizer.cosine({}, {}) == 1.0

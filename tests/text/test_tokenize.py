@@ -1,0 +1,96 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.tokenize import char_ngrams, sentence_split, word_ngrams, word_tokens
+
+
+class TestWordTokens:
+    def test_basic_split(self):
+        assert word_tokens("hello world") == ["hello", "world"]
+
+    def test_lowercases_by_default(self):
+        assert word_tokens("Hello WORLD") == ["hello", "world"]
+
+    def test_preserves_case_when_asked(self):
+        assert word_tokens("Hello WORLD", lowercase=False) == ["Hello", "WORLD"]
+
+    def test_inner_punctuation_kept(self):
+        assert word_tokens("PCAnywhere 11.0 Host-Only CD-ROM!") == [
+            "pcanywhere", "11.0", "host-only", "cd-rom",
+        ]
+
+    def test_apostrophes_and_slashes(self):
+        assert word_tokens("rosemary's a/b") == ["rosemary's", "a/b"]
+
+    def test_empty_string(self):
+        assert word_tokens("") == []
+
+    def test_punctuation_only(self):
+        assert word_tokens("!!! ... ???") == []
+
+    def test_strips_outer_punctuation(self):
+        assert word_tokens("(hello)") == ["hello"]
+
+    @given(st.text(max_size=80))
+    def test_never_raises_and_tokens_nonempty(self, text):
+        tokens = word_tokens(text)
+        assert all(tokens), "no empty tokens"
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")), max_size=40))
+    def test_idempotent_on_own_output(self, text):
+        tokens = word_tokens(text)
+        assert word_tokens(" ".join(tokens)) == tokens
+
+
+class TestCharNgrams:
+    def test_padded_trigrams(self):
+        assert char_ngrams("ab", n=3) == ["##a", "#ab", "ab#", "b##"]
+
+    def test_unpadded(self):
+        assert char_ngrams("abcd", n=2, pad=False) == ["ab", "bc", "cd"]
+
+    def test_empty_string(self):
+        assert char_ngrams("", n=3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", n=0)
+
+    @given(st.text(min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+    def test_count_formula_padded(self, text, n):
+        grams = char_ngrams(text, n=n, pad=True)
+        assert len(grams) == len(text) + n - 1
+
+    @given(st.text(min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+    def test_every_gram_has_length_n(self, text, n):
+        grams = char_ngrams(text, n=n, pad=True)
+        assert all(len(gram) == n for gram in grams)
+
+
+class TestWordNgrams:
+    def test_bigrams(self):
+        assert word_ngrams(["new", "york", "city"], n=2) == ["new york", "york city"]
+
+    def test_short_input_collapses(self):
+        assert word_ngrams(["only"], n=2) == ["only"]
+
+    def test_empty(self):
+        assert word_ngrams([], n=2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            word_ngrams(["a"], n=0)
+
+
+class TestSentenceSplit:
+    def test_splits_on_terminal_punctuation(self):
+        parts = sentence_split("One sentence. Another one! A third?")
+        assert parts == ["One sentence.", "Another one!", "A third?"]
+
+    def test_empty(self):
+        assert sentence_split("") == []
+
+    def test_single_sentence(self):
+        assert sentence_split("Just one") == ["Just one"]
