@@ -4,18 +4,36 @@ The paper's experiments run against the OpenAI API; the released
 ``fm_data_tasks`` code wraps it with a response cache and cost accounting
 so ablations don't re-pay for identical prompts.  This package reproduces
 that engineering layer over the simulated model: an SQLite-backed prompt
-cache, token/usage accounting, and simulated rate limiting with retries.
+cache, token/usage accounting, simulated rate limiting with retries, and
+a concurrent batch-execution layer (:mod:`repro.api.batch`) that fans
+independent prompts across worker threads under a shared budget.
 """
 
+from repro.api.batch import (
+    BatchExecutor,
+    RequestRecord,
+    SharedBudget,
+    complete_all,
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+)
 from repro.api.cache import PromptCache
 from repro.api.client import CompletionClient, RateLimitError
 from repro.api.usage import Usage, UsageTracker, count_tokens
 
 __all__ = [
+    "BatchExecutor",
     "CompletionClient",
     "PromptCache",
     "RateLimitError",
+    "RequestRecord",
+    "SharedBudget",
     "Usage",
     "UsageTracker",
+    "complete_all",
     "count_tokens",
+    "get_default_workers",
+    "resolve_workers",
+    "set_default_workers",
 ]

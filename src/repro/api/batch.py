@@ -1,0 +1,250 @@
+"""Concurrent batch execution: fan-out, retry with backoff, shared budgets.
+
+The paper's workloads are thousands of *independent* ``complete()`` calls
+per benchmark table — one prompt per test pair or cell — issued against a
+rate-limited API.  Serial loops pay full round-trip latency per prompt;
+this module fans them across a thread pool while keeping everything the
+harness relies on:
+
+* **order preservation** — results come back in input order regardless of
+  completion order or worker count,
+* **determinism** — at temperature 0 a completion depends only on its
+  prompt, so serial and parallel runs produce identical predictions,
+* **retry with deterministic exponential backoff** on
+  :class:`~repro.api.client.RateLimitError` and transient network-ish
+  failures,
+* **atomic budgets** — a :class:`SharedBudget` charged under a lock, so
+  concurrent workers can never collectively overshoot a request or token
+  ceiling,
+* **per-request accounting** — every attempt produces a
+  :class:`RequestRecord` (latency, attempts, outcome), surfaced through
+  :class:`~repro.api.usage.UsageTracker.request_log`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.api.client import RateLimitError
+from repro.api.usage import UsageTracker, count_tokens
+
+__all__ = [
+    "BatchExecutor",
+    "RequestRecord",
+    "SharedBudget",
+    "complete_all",
+    "get_default_workers",
+    "resolve_workers",
+    "set_default_workers",
+]
+
+# Process-wide default worker count.  The CLI's ``--workers`` flag sets
+# this once so every per-example loop underneath (task runners, bench
+# helpers, Wrangler verbs) picks it up without threading a parameter
+# through fourteen bench modules.
+_DEFAULT_WORKERS = 1
+_DEFAULT_WORKERS_LOCK = threading.Lock()
+
+
+def set_default_workers(n: int) -> None:
+    """Set the process-wide default worker count (``--workers`` backend)."""
+    global _DEFAULT_WORKERS
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, got {n}")
+    with _DEFAULT_WORKERS_LOCK:
+        _DEFAULT_WORKERS = n
+
+
+def get_default_workers() -> int:
+    with _DEFAULT_WORKERS_LOCK:
+        return _DEFAULT_WORKERS
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``workers`` if given (validated), else the process-wide default."""
+    if workers is None:
+        return get_default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Latency and outcome of one logical request (all its attempts)."""
+
+    index: int
+    ok: bool
+    attempts: int
+    latency_s: float
+    error: str | None = None
+
+
+class SharedBudget:
+    """A request/token ceiling charged atomically across workers.
+
+    Unlike the per-client ``requests_per_run`` counter, one budget can be
+    shared by many clients and many threads; ``charge`` either admits the
+    whole request or raises :class:`RateLimitError` without consuming
+    anything, so concurrent workers can never collectively overshoot.
+    """
+
+    def __init__(
+        self,
+        max_requests: int | None = None,
+        max_tokens: int | None = None,
+    ):
+        self.max_requests = max_requests
+        self.max_tokens = max_tokens
+        self.n_requests = 0
+        self.n_tokens = 0
+        self._lock = threading.Lock()
+
+    def charge(self, requests: int = 1, tokens: int = 0) -> None:
+        """Atomically consume budget, or raise without consuming any."""
+        with self._lock:
+            if (
+                self.max_requests is not None
+                and self.n_requests + requests > self.max_requests
+            ):
+                raise RateLimitError(
+                    f"request budget of {self.max_requests} exhausted"
+                )
+            if (
+                self.max_tokens is not None
+                and self.n_tokens + tokens > self.max_tokens
+            ):
+                raise RateLimitError(
+                    f"token budget of {self.max_tokens} exhausted"
+                )
+            self.n_requests += requests
+            self.n_tokens += tokens
+
+    @property
+    def remaining_requests(self) -> int | None:
+        if self.max_requests is None:
+            return None
+        with self._lock:
+            return max(0, self.max_requests - self.n_requests)
+
+
+class BatchExecutor:
+    """Fan a list of prompts (or arbitrary items) across a thread pool.
+
+    ``map(fn, items)`` preserves input order in its result list.  Each
+    item gets up to ``1 + max_retries`` attempts; attempts failing with
+    one of ``retry_on`` sleep a deterministic exponential backoff
+    (``backoff_base * 2**attempt``, capped at ``backoff_cap``) before
+    retrying.  A final failure re-raises from ``map``.
+
+    An optional :class:`SharedBudget` is charged once per attempt (string
+    items are also charged their prompt tokens); an optional
+    :class:`UsageTracker` receives every :class:`RequestRecord`.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_on: tuple[type[BaseException], ...] = (
+            RateLimitError,
+            TimeoutError,
+            ConnectionError,
+        ),
+        budget: SharedBudget | None = None,
+        usage: UsageTracker | None = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_on = tuple(retry_on)
+        self.budget = budget
+        self.usage = usage
+        self.records: list[RequestRecord] = []
+        self._records_lock = threading.Lock()
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic backoff before retry number ``attempt + 1``."""
+        return min(self.backoff_cap, self.backoff_base * (2**attempt))
+
+    def _record(
+        self, index: int, ok: bool, attempts: int, started: float,
+        error: BaseException | None = None,
+    ) -> None:
+        record = RequestRecord(
+            index=index,
+            ok=ok,
+            attempts=attempts,
+            latency_s=time.perf_counter() - started,
+            error=repr(error) if error is not None else None,
+        )
+        with self._records_lock:
+            self.records.append(record)
+        if self.usage is not None:
+            self.usage.log_request(record)
+
+    def _run_one(self, fn: Callable, item, index: int):
+        started = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if self.budget is not None:
+                    tokens = count_tokens(item) if isinstance(item, str) else 0
+                    self.budget.charge(requests=1, tokens=tokens)
+                result = fn(item)
+            except self.retry_on as exc:
+                if attempts > self.max_retries:
+                    self._record(index, False, attempts, started, error=exc)
+                    raise
+                time.sleep(self.backoff_delay(attempts - 1))
+                continue
+            except BaseException as exc:
+                self._record(index, False, attempts, started, error=exc)
+                raise
+            self._record(index, True, attempts, started)
+            return result
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item, returning results in input order."""
+        items = list(items)
+        if not items:
+            return []
+        if self.workers == 1:
+            return [
+                self._run_one(fn, item, index)
+                for index, item in enumerate(items)
+            ]
+        results: list = [None] * len(items)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(self._run_one, fn, item, index)
+                for index, item in enumerate(items)
+            ]
+            for index, future in enumerate(futures):
+                results[index] = future.result()
+        return results
+
+
+def complete_all(
+    model,
+    prompts: Sequence[str],
+    workers: int | None = None,
+    executor: BatchExecutor | None = None,
+) -> list[str]:
+    """Order-preserving batch completion of ``prompts`` against ``model``.
+
+    ``model`` is anything with ``complete(prompt) -> str``.  With
+    ``workers=None`` the process-wide default applies (1 unless the CLI's
+    ``--workers`` raised it), so existing serial callers are unchanged.
+    """
+    if executor is None:
+        executor = BatchExecutor(workers=workers)
+    return executor.map(model.complete, prompts)

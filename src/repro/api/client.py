@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.api.cache import PromptCache
 from repro.api.usage import UsageTracker
 from repro.fm.engine import SimulatedFoundationModel
@@ -24,6 +26,12 @@ class CompletionClient:
     * an optional ``requests_per_run`` budget raises
       :class:`RateLimitError`, with ``max_retries`` transparent retries —
       the simulated endpoint "recovers" deterministically after a retry.
+
+    Every backend touch — plain, verbose, and each retry attempt — goes
+    through one accounting gate, so ``stats["backend_calls"]`` is exact
+    and ``requests_per_run`` can never be exceeded.  The accounting is
+    lock-protected, which makes the client safe to share across the
+    worker threads of a :class:`~repro.api.batch.BatchExecutor`.
     """
 
     def __init__(
@@ -38,40 +46,60 @@ class CompletionClient:
         if isinstance(model, str):
             model = SimulatedFoundationModel(model)
         self.backend = model
-        self.cache = cache or PromptCache()
-        self.usage = usage or UsageTracker()
+        # `cache or PromptCache()` would silently replace a shared *empty*
+        # cache (PromptCache defines __len__, so an empty one is falsy).
+        self.cache = cache if cache is not None else PromptCache()
+        self.usage = usage if usage is not None else UsageTracker()
         self.requests_per_run = requests_per_run
         self.failure_every = failure_every
         self.max_retries = max_retries
         self._n_backend_calls = 0
         self._n_transient_failures = 0
+        self._lock = threading.Lock()
 
     @property
     def name(self) -> str:
         return getattr(self.backend, "name", type(self.backend).__name__)
 
-    def _backend_complete(self, prompt: str, temperature: float) -> str:
-        """One backend call with simulated transient failures."""
-        if (
-            self.requests_per_run is not None
-            and self._n_backend_calls >= self.requests_per_run
-        ):
-            raise RateLimitError(
-                f"request budget of {self.requests_per_run} exhausted"
-            )
+    def _charge_backend_call(self) -> int:
+        """Atomically consume one unit of the request budget.
+
+        Called once per *attempt* (retries included), so a retry that
+        would exceed ``requests_per_run`` raises instead of silently
+        blowing past the budget.
+        """
+        with self._lock:
+            if (
+                self.requests_per_run is not None
+                and self._n_backend_calls >= self.requests_per_run
+            ):
+                raise RateLimitError(
+                    f"request budget of {self.requests_per_run} exhausted"
+                )
+            self._n_backend_calls += 1
+            return self._n_backend_calls
+
+    def _backend_call(self, caller):
+        """Run one backend call with budget checks and simulated failures."""
         attempts = 0
         while True:
-            self._n_backend_calls += 1
+            call_number = self._charge_backend_call()
             attempts += 1
             inject_failure = (
                 self.failure_every is not None
-                and self._n_backend_calls % self.failure_every == 0
+                and call_number % self.failure_every == 0
                 and attempts <= self.max_retries
             )
             if inject_failure:
-                self._n_transient_failures += 1
+                with self._lock:
+                    self._n_transient_failures += 1
                 continue  # "retry after backoff"
-            return self.backend.complete(prompt, temperature=temperature)
+            return caller()
+
+    def _backend_complete(self, prompt: str, temperature: float) -> str:
+        return self._backend_call(
+            lambda: self.backend.complete(prompt, temperature=temperature)
+        )
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
         """Cached completion of ``prompt``."""
@@ -85,24 +113,59 @@ class CompletionClient:
         self.usage.record(self.name, prompt, completion, cached=False)
         return completion
 
+    def complete_many(
+        self,
+        prompts: list[str],
+        temperature: float = 0.0,
+        workers: int | None = None,
+    ) -> list[str]:
+        """Concurrent, order-preserving completion of many prompts.
+
+        Fans ``prompts`` across a :class:`~repro.api.batch.BatchExecutor`
+        thread pool (``workers=None`` uses the process-wide default).  At
+        temperature 0 the result list is identical to a serial loop of
+        :meth:`complete` calls; cache, usage, and budget accounting all go
+        through the same lock-protected paths.  Outer retries are
+        disabled — the client already retries transient failures
+        internally, and budget exhaustion is permanent for a run.
+        """
+        from repro.api.batch import BatchExecutor
+
+        executor = BatchExecutor(
+            workers=workers, max_retries=0, usage=self.usage
+        )
+        return executor.map(
+            lambda prompt: self.complete(prompt, temperature=temperature),
+            prompts,
+        )
+
     def complete_verbose(self, prompt: str, temperature: float = 0.0):
         """Confidence-carrying completion (uncached pass-through).
 
         Confidence is not stored in the cache (it is a model introspection,
         not part of the API response contract), so verbose calls always
-        reach the backend.
+        reach the backend — and therefore always consume request budget,
+        face failure injection, and count in ``stats["backend_calls"]``,
+        exactly like plain completions.
         """
         if not hasattr(self.backend, "complete_verbose"):
             raise AttributeError("backend does not report confidence")
-        completion = self.backend.complete_verbose(prompt, temperature=temperature)
+        completion = self._backend_call(
+            lambda: self.backend.complete_verbose(
+                prompt, temperature=temperature
+            )
+        )
         self.cache.put(self.name, prompt, completion.text, temperature)
         self.usage.record(self.name, prompt, completion.text, cached=False)
         return completion
 
     @property
     def stats(self) -> dict[str, int]:
+        with self._lock:
+            backend_calls = self._n_backend_calls
+            transient_failures = self._n_transient_failures
         return {
-            "backend_calls": self._n_backend_calls,
-            "transient_failures": self._n_transient_failures,
+            "backend_calls": backend_calls,
+            "transient_failures": transient_failures,
             "cache_entries": len(self.cache),
         }

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 
 # GPT-style BPE averages ~4 characters/token on English text; we count
@@ -20,8 +21,10 @@ PRICE_PER_1K_TOKENS = {
 def count_tokens(text: str) -> int:
     """Approximate BPE token count of ``text``.
 
-    Words count once per ~6 characters (long words split), digits and
-    punctuation count individually — close enough for budget tracking.
+    Words cost one token plus one extra per full 7 characters (long words
+    split), digits and punctuation count individually — close enough for
+    budget tracking.  This formula is the repo's cost model; the
+    regression tests pin exact counts so it cannot drift silently.
     """
     if not text:
         return 0
@@ -56,20 +59,55 @@ class Usage:
 
 @dataclass
 class UsageTracker:
-    """Usage per model, in request order."""
+    """Usage per model, in request order.
+
+    Thread-safe: the batch layer shares one tracker across workers.  In
+    addition to per-model token tallies, the tracker keeps a per-request
+    log of latency/outcome records (see
+    :class:`~repro.api.batch.RequestRecord`) pushed by the executor.
+    """
 
     per_model: dict[str, Usage] = field(default_factory=dict)
+    request_log: list = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self, model: str, prompt: str, completion: str, cached: bool
     ) -> None:
-        usage = self.per_model.setdefault(model, Usage(model=model))
-        usage.n_requests += 1
-        if cached:
-            usage.n_cache_hits += 1
-            return
-        usage.prompt_tokens += count_tokens(prompt)
-        usage.completion_tokens += count_tokens(completion)
+        with self._lock:
+            usage = self.per_model.setdefault(model, Usage(model=model))
+            usage.n_requests += 1
+            if cached:
+                usage.n_cache_hits += 1
+                return
+            usage.prompt_tokens += count_tokens(prompt)
+            usage.completion_tokens += count_tokens(completion)
+
+    def log_request(self, record) -> None:
+        """Append one per-request latency/outcome record."""
+        with self._lock:
+            self.request_log.append(record)
+
+    def latency_summary(self) -> dict[str, float]:
+        """Aggregate view of the request log (counts and seconds)."""
+        with self._lock:
+            log = list(self.request_log)
+        if not log:
+            return {
+                "n_requests": 0, "n_failures": 0, "n_retries": 0,
+                "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0,
+            }
+        latencies = [record.latency_s for record in log]
+        return {
+            "n_requests": len(log),
+            "n_failures": sum(1 for record in log if not record.ok),
+            "n_retries": sum(record.attempts - 1 for record in log),
+            "total_s": sum(latencies),
+            "mean_s": sum(latencies) / len(latencies),
+            "max_s": max(latencies),
+        }
 
     @property
     def total_cost_usd(self) -> float:

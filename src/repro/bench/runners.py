@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.api.batch import BatchExecutor
 from repro.baselines import (
     DittoMatcher,
     HoloClean,
@@ -36,11 +37,12 @@ def evaluate_ditto(dataset: EntityMatchingDataset, max_test: int | None = None) 
 
 
 def evaluate_holoclean_detection(dataset: ErrorDetectionDataset,
-                                 max_test: int | None = None) -> float:
+                                 max_test: int | None = None,
+                                 workers: int | None = None) -> float:
     rows = [example.row for example in dataset.train] + dataset.clean_rows[:100]
     engine = HoloClean().fit(rows)
     test = dataset.test[:max_test] if max_test else dataset.test
-    predictions = [engine.detect(example) for example in test]
+    predictions = BatchExecutor(workers=workers).map(engine.detect, test)
     return binary_metrics(predictions, [example.label for example in test]).f1
 
 
@@ -52,9 +54,10 @@ def evaluate_holodetect(dataset: ErrorDetectionDataset,
     return binary_metrics(predictions, [example.label for example in test]).f1
 
 
-def evaluate_holoclean_imputation(dataset: ImputationDataset) -> float:
+def evaluate_holoclean_imputation(dataset: ImputationDataset,
+                                  workers: int | None = None) -> float:
     engine = HoloClean().fit(dataset.complete_train_rows)
-    predictions = [engine.impute(example) for example in dataset.test]
+    predictions = BatchExecutor(workers=workers).map(engine.impute, dataset.test)
     return accuracy(predictions, [example.answer for example in dataset.test])
 
 

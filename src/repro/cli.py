@@ -70,6 +70,15 @@ def _cmd_bench(args) -> int:
     if args.experiment not in known:
         raise SystemExit(f"unknown experiment {args.experiment!r}; "
                          f"choose from {sorted(known)}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        # One switch parallelizes every per-example loop underneath
+        # (task runners, baseline helpers, Wrangler verbs); predictions
+        # are identical to a serial run.
+        from repro.api.batch import set_default_workers
+
+        set_default_workers(args.workers)
     module = importlib.import_module(f"repro.bench.{args.experiment}")
     results = module.run()
     if not isinstance(results, list):
@@ -134,6 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a table/figure")
     bench.add_argument("experiment",
                        help="table1..table6, figure4/5, or an extension study")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="fan per-example prompt loops across N threads")
     bench.set_defaults(fn=_cmd_bench)
 
     def with_model(command, help_text):

@@ -13,6 +13,8 @@ True
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.prompts import (
     EntityMatchingPromptConfig,
     ErrorDetectionPromptConfig,
@@ -59,6 +61,14 @@ class Wrangler:
     def model_name(self) -> str:
         return getattr(self.model, "name", type(self.model).__name__)
 
+    def _complete_many(
+        self, prompts: list[str], workers: int | None = None
+    ) -> list[str]:
+        """Order-preserving batch completion behind every ``*_many`` verb."""
+        from repro.api.batch import complete_all
+
+        return complete_all(self.model, prompts, workers=workers)
+
     # -- entity matching ------------------------------------------------------
 
     def match(
@@ -74,6 +84,26 @@ class Wrangler:
             pair, demonstrations or [], config or EntityMatchingPromptConfig()
         )
         return parse_yes_no(self.model.complete(prompt))
+
+    def match_many(
+        self,
+        pairs: Sequence[tuple[Row, Row]],
+        demonstrations: list[MatchingPair] | None = None,
+        config: EntityMatchingPromptConfig | None = None,
+        workers: int | None = None,
+    ) -> list[bool]:
+        """Batch :meth:`match` over ``(left, right)`` row pairs."""
+        config = config or EntityMatchingPromptConfig()
+        prompts = [
+            build_entity_matching_prompt(
+                MatchingPair(left=left, right=right, label=False),
+                demonstrations or [],
+                config,
+            )
+            for left, right in pairs
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        return [parse_yes_no(response) for response in responses]
 
     # -- error detection --------------------------------------------------------
 
@@ -103,6 +133,41 @@ class Wrangler:
             if value is not None
         }
 
+    def detect_errors_many(
+        self,
+        rows: Sequence[Row],
+        demonstrations: list[ErrorExample] | None = None,
+        config: ErrorDetectionPromptConfig | None = None,
+        workers: int | None = None,
+    ) -> list[dict[str, bool]]:
+        """Batch :meth:`detect_errors`: one cell-level fan-out for all rows.
+
+        All (row, attribute) cells go through a single batch, so the
+        thread pool is shared across rows rather than per row.
+        """
+        config = config or ErrorDetectionPromptConfig()
+        cells = [
+            (row_index, attribute)
+            for row_index, row in enumerate(rows)
+            for attribute, value in row.items()
+            if value is not None
+        ]
+        prompts = [
+            build_error_detection_prompt(
+                ErrorExample(
+                    row=rows[row_index], attribute=attribute, label=False
+                ),
+                demonstrations or [],
+                config,
+            )
+            for row_index, attribute in cells
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        verdicts: list[dict[str, bool]] = [{} for _ in rows]
+        for (row_index, attribute), response in zip(cells, responses):
+            verdicts[row_index][attribute] = parse_yes_no(response)
+        return verdicts
+
     # -- imputation ----------------------------------------------------------------
 
     def impute(
@@ -120,6 +185,28 @@ class Wrangler:
             example, demonstrations or [], config or ImputationPromptConfig()
         )
         return self.model.complete(prompt).strip()
+
+    def impute_many(
+        self,
+        items: Sequence[tuple[Row, str]],
+        demonstrations: list[ImputationExample] | None = None,
+        config: ImputationPromptConfig | None = None,
+        workers: int | None = None,
+    ) -> list[str]:
+        """Batch :meth:`impute` over ``(row, attribute)`` items."""
+        config = config or ImputationPromptConfig()
+        prompts = [
+            build_imputation_prompt(
+                ImputationExample(
+                    row={**row, attribute: None}, attribute=attribute, answer=""
+                ),
+                demonstrations or [],
+                config,
+            )
+            for row, attribute in items
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        return [response.strip() for response in responses]
 
     # -- schema matching ---------------------------------------------------------------
 
@@ -190,3 +277,19 @@ class Wrangler:
         config = TransformationPromptConfig(instruction=instruction)
         prompt = build_transformation_prompt(value, examples or [], config)
         return self.model.complete(prompt).strip()
+
+    def transform_many(
+        self,
+        values: Sequence[str],
+        examples: list[tuple[str, str]] | None = None,
+        instruction: str | None = None,
+        workers: int | None = None,
+    ) -> list[str]:
+        """Batch :meth:`transform` over many values with shared examples."""
+        config = TransformationPromptConfig(instruction=instruction)
+        prompts = [
+            build_transformation_prompt(value, examples or [], config)
+            for value in values
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        return [response.strip() for response in responses]

@@ -44,3 +44,18 @@ def subsample(items: list, limit: int | None) -> list:
     if limit is None or limit >= len(items):
         return list(items)
     return list(items[:limit])
+
+
+def complete_prompts(
+    model, prompts: list[str], workers: int | None = None
+) -> list[str]:
+    """Order-preserving completion of a prompt batch (serial or fanned).
+
+    ``workers=None`` uses the process-wide default (1 unless the CLI's
+    ``--workers`` raised it), so runners stay serial-by-default and every
+    per-example loop gains concurrency from one switch.  At temperature 0
+    the outputs are identical regardless of worker count.
+    """
+    from repro.api.batch import complete_all
+
+    return complete_all(model, prompts, workers=workers)

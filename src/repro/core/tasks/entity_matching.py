@@ -15,7 +15,12 @@ from repro.core.prompts import (
     build_entity_matching_prompt,
 )
 from repro.core.serialization import SerializationConfig
-from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.core.tasks.common import (
+    TaskRun,
+    complete_prompts,
+    parse_yes_no,
+    subsample,
+)
 from repro.datasets.base import EntityMatchingDataset, MatchingPair
 
 
@@ -50,12 +55,14 @@ def _predict(
     pairs: Sequence[MatchingPair],
     demonstrations: list[MatchingPair],
     config: EntityMatchingPromptConfig,
+    workers: int | None = None,
 ) -> list[bool]:
-    predictions = []
-    for pair in pairs:
-        prompt = build_entity_matching_prompt(pair, demonstrations, config)
-        predictions.append(parse_yes_no(model.complete(prompt)))
-    return predictions
+    prompts = [
+        build_entity_matching_prompt(pair, demonstrations, config)
+        for pair in pairs
+    ]
+    responses = complete_prompts(model, prompts, workers=workers)
+    return [parse_yes_no(response) for response in responses]
 
 
 def make_validation_scorer(
@@ -110,15 +117,18 @@ def run_entity_matching(
     max_examples: int | None = None,
     split: str = "test",
     seed: int = 0,
+    workers: int | None = None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` with ``k`` demonstrations.
 
     ``model`` is anything with a ``complete(prompt) -> str`` method.
+    ``workers`` fans the test-set prompts across a thread pool without
+    changing the predictions (serial and parallel runs are identical).
     """
     config = config or default_prompt_config(dataset)
     demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
     pairs = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, pairs, demonstrations, config)
+    predictions = _predict(model, pairs, demonstrations, config, workers=workers)
     labels = [pair.label for pair in pairs]
     metrics = binary_metrics(predictions, labels)
     return TaskRun(

@@ -14,7 +14,12 @@ from repro.core.prompts import (
     ErrorDetectionPromptConfig,
     build_error_detection_prompt,
 )
-from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.core.tasks.common import (
+    TaskRun,
+    complete_prompts,
+    parse_yes_no,
+    subsample,
+)
 from repro.datasets.base import ErrorDetectionDataset, ErrorExample
 
 
@@ -23,12 +28,14 @@ def _predict(
     examples: Sequence[ErrorExample],
     demonstrations: list[ErrorExample],
     config: ErrorDetectionPromptConfig,
+    workers: int | None = None,
 ) -> list[bool]:
-    predictions = []
-    for example in examples:
-        prompt = build_error_detection_prompt(example, demonstrations, config)
-        predictions.append(parse_yes_no(model.complete(prompt)))
-    return predictions
+    prompts = [
+        build_error_detection_prompt(example, demonstrations, config)
+        for example in examples
+    ]
+    responses = complete_prompts(model, prompts, workers=workers)
+    return [parse_yes_no(response) for response in responses]
 
 
 def make_validation_scorer(
@@ -91,12 +98,13 @@ def run_error_detection(
     max_examples: int | None = None,
     split: str = "test",
     seed: int = 0,
+    workers: int | None = None,
 ) -> TaskRun:
     """Evaluate ``model`` on cell-level error detection."""
     config = config or ErrorDetectionPromptConfig()
     demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
     examples = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, examples, demonstrations, config)
+    predictions = _predict(model, examples, demonstrations, config, workers=workers)
     labels = [example.label for example in examples]
     metrics = binary_metrics(predictions, labels)
     return TaskRun(

@@ -11,7 +11,7 @@ from repro.core.demonstrations import (
 )
 from repro.core.metrics import accuracy
 from repro.core.prompts import ImputationPromptConfig, build_imputation_prompt
-from repro.core.tasks.common import TaskRun, subsample
+from repro.core.tasks.common import TaskRun, complete_prompts, subsample
 from repro.datasets.base import ImputationDataset, ImputationExample
 
 
@@ -20,12 +20,14 @@ def _predict(
     examples: Sequence[ImputationExample],
     demonstrations: list[ImputationExample],
     config: ImputationPromptConfig,
+    workers: int | None = None,
 ) -> list[str]:
-    predictions = []
-    for example in examples:
-        prompt = build_imputation_prompt(example, demonstrations, config)
-        predictions.append(model.complete(prompt).strip())
-    return predictions
+    prompts = [
+        build_imputation_prompt(example, demonstrations, config)
+        for example in examples
+    ]
+    responses = complete_prompts(model, prompts, workers=workers)
+    return [response.strip() for response in responses]
 
 
 def make_validation_scorer(
@@ -77,12 +79,13 @@ def run_imputation(
     max_examples: int | None = None,
     split: str = "test",
     seed: int = 0,
+    workers: int | None = None,
 ) -> TaskRun:
     """Evaluate ``model`` on missing-value imputation (accuracy)."""
     config = config or ImputationPromptConfig()
     demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
     examples = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, examples, demonstrations, config)
+    predictions = _predict(model, examples, demonstrations, config, workers=workers)
     answers = [example.answer for example in examples]
     return TaskRun(
         task="imputation",

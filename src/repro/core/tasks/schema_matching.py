@@ -14,7 +14,12 @@ from repro.core.prompts import (
     SchemaMatchingPromptConfig,
     build_schema_matching_prompt,
 )
-from repro.core.tasks.common import TaskRun, parse_yes_no, subsample
+from repro.core.tasks.common import (
+    TaskRun,
+    complete_prompts,
+    parse_yes_no,
+    subsample,
+)
 from repro.datasets.base import SchemaMatchingDataset, SchemaPair
 
 
@@ -23,12 +28,14 @@ def _predict(
     pairs: Sequence[SchemaPair],
     demonstrations: list[SchemaPair],
     config: SchemaMatchingPromptConfig,
+    workers: int | None = None,
 ) -> list[bool]:
-    predictions = []
-    for pair in pairs:
-        prompt = build_schema_matching_prompt(pair, demonstrations, config)
-        predictions.append(parse_yes_no(model.complete(prompt)))
-    return predictions
+    prompts = [
+        build_schema_matching_prompt(pair, demonstrations, config)
+        for pair in pairs
+    ]
+    responses = complete_prompts(model, prompts, workers=workers)
+    return [parse_yes_no(response) for response in responses]
 
 
 def make_validation_scorer(
@@ -81,12 +88,13 @@ def run_schema_matching(
     max_examples: int | None = None,
     split: str = "test",
     seed: int = 0,
+    workers: int | None = None,
 ) -> TaskRun:
     """Evaluate ``model`` on attribute-correspondence prediction (F1)."""
     config = config or SchemaMatchingPromptConfig()
     demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
     pairs = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, pairs, demonstrations, config)
+    predictions = _predict(model, pairs, demonstrations, config, workers=workers)
     labels = [pair.label for pair in pairs]
     metrics = binary_metrics(predictions, labels)
     return TaskRun(

@@ -7,7 +7,7 @@ from repro.core.prompts import (
     TransformationPromptConfig,
     build_transformation_prompt,
 )
-from repro.core.tasks.common import TaskRun
+from repro.core.tasks.common import TaskRun, complete_prompts
 from repro.datasets.base import TransformationCase, TransformationDataset
 
 
@@ -15,6 +15,7 @@ def run_transformation_case(
     model,
     case: TransformationCase,
     k: int = 3,
+    workers: int | None = None,
 ) -> tuple[int, int, list[str]]:
     """(hits, total, predictions) for one case with ``k`` demonstrations.
 
@@ -24,14 +25,19 @@ def run_transformation_case(
     demonstrations = list(case.examples[:k])
     instruction = case.instruction if k == 0 else None
     config = TransformationPromptConfig(instruction=instruction)
-    hits = 0
-    predictions: list[str] = []
-    for source, target in case.tests:
-        prompt = build_transformation_prompt(source, demonstrations, config)
-        prediction = model.complete(prompt).strip()
-        predictions.append(prediction)
-        if normalize_answer(prediction) == normalize_answer(target):
-            hits += 1
+    prompts = [
+        build_transformation_prompt(source, demonstrations, config)
+        for source, _target in case.tests
+    ]
+    predictions = [
+        response.strip()
+        for response in complete_prompts(model, prompts, workers=workers)
+    ]
+    hits = sum(
+        1
+        for prediction, (_source, target) in zip(predictions, case.tests)
+        if normalize_answer(prediction) == normalize_answer(target)
+    )
     return hits, len(case.tests), predictions
 
 
@@ -39,13 +45,16 @@ def run_transformation(
     model,
     dataset: TransformationDataset,
     k: int = 3,
+    workers: int | None = None,
 ) -> TaskRun:
     """Micro-averaged exact-match accuracy over all cases' test pairs."""
     total_hits = 0
     total = 0
     per_case: dict[str, float] = {}
     for case in dataset.cases:
-        hits, n, _predictions = run_transformation_case(model, case, k)
+        hits, n, _predictions = run_transformation_case(
+            model, case, k, workers=workers
+        )
         total_hits += hits
         total += n
         per_case[case.name] = hits / n if n else 0.0

@@ -205,8 +205,10 @@ def build_bing_querylogs(seed: int = 502, world: World | None = None) -> Transfo
         "city_to_state", [(c.name, c.state_abbr) for c in cities], "semantic", instruction="Give the US state abbreviation for each city.",
     ))
 
-    # 2. state name -> abbreviation
-    states = list({(c.state_name, c.state_abbr) for c in heads})
+    # 2. state name -> abbreviation.  Sort before the seeded shuffle:
+    # set iteration order follows string hashes, which vary per process
+    # unless PYTHONHASHSEED is pinned.
+    states = sorted({(c.state_name, c.state_abbr) for c in heads})
     rng.shuffle(states)
     cases.append(_split_case(
         "state_to_abbr", states[:12], "semantic",

@@ -1,0 +1,318 @@
+"""Tests for the concurrent batch-execution layer."""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    BatchExecutor,
+    CompletionClient,
+    PromptCache,
+    RateLimitError,
+    SharedBudget,
+    UsageTracker,
+    complete_all,
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+class CountingBackend:
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, temperature=0.0, **kwargs):
+        with self._lock:
+            self.calls += 1
+        return f"echo:{prompt}"
+
+
+class FlakyFn:
+    """Fails with ``error`` the first ``n_failures`` times per item."""
+
+    def __init__(self, n_failures, error=RateLimitError):
+        self.n_failures = n_failures
+        self.error = error
+        self.seen: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, item):
+        with self._lock:
+            count = self.seen[item] = self.seen.get(item, 0) + 1
+        if count <= self.n_failures:
+            raise self.error(f"transient failure {count} for {item!r}")
+        return f"ok:{item}"
+
+
+class TestDefaultWorkers:
+    def test_default_is_one(self):
+        assert get_default_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_set_and_restore(self):
+        set_default_workers(8)
+        try:
+            assert resolve_workers(None) == 8
+            assert resolve_workers(2) == 2
+        finally:
+            set_default_workers(1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestBatchExecutor:
+    def test_preserves_input_order(self):
+        executor = BatchExecutor(workers=8)
+        items = [f"item-{i}" for i in range(50)]
+        assert executor.map(lambda x: x.upper(), items) == [
+            item.upper() for item in items
+        ]
+
+    def test_deterministic_across_worker_counts(self):
+        """Same inputs → same ordered outputs regardless of worker count."""
+        items = list(range(40))
+        fn = lambda x: x * x  # noqa: E731
+        outputs = [
+            BatchExecutor(workers=n).map(fn, items) for n in (1, 2, 4, 8)
+        ]
+        assert all(out == outputs[0] for out in outputs)
+
+    def test_empty_input(self):
+        assert BatchExecutor(workers=4).map(len, []) == []
+
+    def test_backoff_is_deterministic_exponential(self):
+        executor = BatchExecutor(backoff_base=0.1, backoff_cap=0.5)
+        assert executor.backoff_delay(0) == pytest.approx(0.1)
+        assert executor.backoff_delay(1) == pytest.approx(0.2)
+        assert executor.backoff_delay(2) == pytest.approx(0.4)
+        assert executor.backoff_delay(3) == pytest.approx(0.5)  # capped
+        assert executor.backoff_delay(10) == pytest.approx(0.5)
+
+    def test_retries_transient_failures(self):
+        executor = BatchExecutor(workers=4, max_retries=2, backoff_base=0.0)
+        fn = FlakyFn(n_failures=2)
+        assert executor.map(fn, ["a", "b"]) == ["ok:a", "ok:b"]
+        records = sorted(executor.records, key=lambda r: r.index)
+        assert [record.attempts for record in records] == [3, 3]
+        assert all(record.ok for record in records)
+
+    def test_retry_exhaustion_raises(self):
+        executor = BatchExecutor(workers=1, max_retries=1, backoff_base=0.0)
+        with pytest.raises(RateLimitError):
+            executor.map(FlakyFn(n_failures=5), ["a"])
+        (record,) = executor.records
+        assert not record.ok
+        assert record.attempts == 2
+        assert "transient failure" in record.error
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        executor = BatchExecutor(workers=1, max_retries=3, backoff_base=0.0)
+        fn = FlakyFn(n_failures=5, error=ValueError)
+        with pytest.raises(ValueError):
+            executor.map(fn, ["a"])
+        assert fn.seen["a"] == 1  # no retry burned on a permanent error
+
+    def test_records_latency_into_usage_tracker(self):
+        usage = UsageTracker()
+        executor = BatchExecutor(workers=4, usage=usage)
+        executor.map(lambda x: x, list(range(10)))
+        summary = usage.latency_summary()
+        assert summary["n_requests"] == 10
+        assert summary["n_failures"] == 0
+        assert summary["max_s"] >= summary["mean_s"] >= 0.0
+        assert len(usage.request_log) == 10
+
+
+class TestSharedBudget:
+    def test_charges_atomically_across_threads(self):
+        budget = SharedBudget(max_requests=50)
+        admitted = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(20):
+                try:
+                    budget.charge()
+                except RateLimitError:
+                    continue
+                with lock:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 50
+        assert budget.n_requests == 50
+        assert budget.remaining_requests == 0
+
+    def test_failed_charge_consumes_nothing(self):
+        budget = SharedBudget(max_requests=1, max_tokens=10)
+        budget.charge(tokens=4)
+        with pytest.raises(RateLimitError):
+            budget.charge(tokens=4)
+        assert budget.n_requests == 1
+        assert budget.n_tokens == 4
+
+    def test_token_budget(self):
+        budget = SharedBudget(max_tokens=10)
+        budget.charge(tokens=6)
+        with pytest.raises(RateLimitError):
+            budget.charge(tokens=6)
+
+    def test_executor_never_overshoots_budget(self):
+        budget = SharedBudget(max_requests=5)
+        executor = BatchExecutor(
+            workers=8, max_retries=0, budget=budget,
+        )
+        with pytest.raises(RateLimitError):
+            executor.map(lambda x: x, list(range(32)))
+        assert budget.n_requests == 5
+
+
+class TestCompleteMany:
+    def test_matches_serial_completes(self):
+        prompts = [f"prompt {i}? yes or no" for i in range(16)]
+        serial = CompletionClient(CountingBackend())
+        expected = [serial.complete(prompt) for prompt in prompts]
+        parallel = CompletionClient(CountingBackend())
+        assert parallel.complete_many(prompts, workers=8) == expected
+
+    def test_distinct_prompts_each_hit_backend_once(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend)
+        prompts = [f"p{i}" for i in range(20)]
+        client.complete_many(prompts, workers=8)
+        assert backend.calls == 20
+        assert client.stats["backend_calls"] == 20
+
+    def test_budget_never_exceeded_under_concurrency(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend, requests_per_run=7)
+        with pytest.raises(RateLimitError):
+            client.complete_many([f"p{i}" for i in range(32)], workers=8)
+        assert backend.calls <= 7
+        assert client.stats["backend_calls"] <= 7
+
+    def test_complete_all_helper(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend)
+        prompts = [f"p{i}" for i in range(6)]
+        assert complete_all(client, prompts, workers=3) == [
+            f"echo:p{i}" for i in range(6)
+        ]
+
+    def test_request_log_populated(self):
+        client = CompletionClient(CountingBackend())
+        client.complete_many(["a", "b", "c"], workers=2)
+        assert client.usage.latency_summary()["n_requests"] == 3
+
+
+class TestConcurrentPromptCache:
+    def test_many_threads_on_one_memory_connection(self):
+        cache = PromptCache(":memory:")
+        n_threads, n_keys = 12, 25
+        errors = []
+
+        def worker(thread_index):
+            try:
+                for i in range(n_keys):
+                    cache.put("m", f"prompt-{i}", f"answer-{i}")
+                    assert cache.get("m", f"prompt-{i}") == f"answer-{i}"
+                    assert len(cache) <= n_keys
+                    assert cache.get("m", f"missing-{thread_index}") is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) == n_keys
+
+    def test_concurrent_clients_share_cache(self):
+        cache = PromptCache(":memory:")
+        clients = [
+            CompletionClient(CountingBackend(), cache=cache) for _ in range(4)
+        ]
+        prompts = [f"shared-{i}" for i in range(10)]
+
+        def worker(client):
+            client.complete_many(prompts, workers=4)
+
+        threads = [
+            threading.Thread(target=worker, args=(client,))
+            for client in clients
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every prompt is answered identically no matter which client
+        # computed it first.
+        assert len(cache) == len(prompts)
+        for client in clients:
+            assert client.complete_many(prompts, workers=4) == [
+                f"echo:{prompt}" for prompt in prompts
+            ]
+
+
+class TestTaskRunnerIntegration:
+    def test_parallel_equals_serial_predictions(self, fm_175b):
+        """The tentpole determinism guarantee, end to end on a task."""
+        from repro.core.tasks import run_entity_matching
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset("fodors_zagats")
+        serial = run_entity_matching(
+            fm_175b, dataset, k=0, max_examples=30, workers=1
+        )
+        parallel = run_entity_matching(
+            fm_175b, dataset, k=0, max_examples=30, workers=8
+        )
+        assert serial.predictions == parallel.predictions
+        assert serial.metric == parallel.metric
+
+    def test_wrangler_batch_verbs(self):
+        from repro.core import Wrangler
+
+        wrangler = Wrangler("gpt3-175b")
+        left = {"name": "blue heron", "phone": "415-775-7036"}
+        right = {"name": "blue heron cafe", "phone": "415-775-7036"}
+        verdicts = wrangler.match_many([(left, right)] * 4, workers=2)
+        assert verdicts == [wrangler.match(left, right)] * 4
+
+        row = {"name": "blue heron", "phone": "415-775-7036"}
+        imputed = wrangler.impute_many([(row, "city")] * 3, workers=3)
+        assert imputed == [wrangler.impute(row, "city")] * 3
+
+        transformed = wrangler.transform_many(
+            ["jan 5, 2021", "feb 7, 2022"],
+            examples=[("mar 3, 2020", "2020-03-03")],
+            workers=2,
+        )
+        assert transformed == [
+            wrangler.transform(
+                value, examples=[("mar 3, 2020", "2020-03-03")]
+            )
+            for value in ["jan 5, 2021", "feb 7, 2022"]
+        ]
+
+        verdict_maps = wrangler.detect_errors_many([row, row], workers=4)
+        assert verdict_maps == [wrangler.detect_errors(row)] * 2

@@ -4,6 +4,8 @@ import pytest
 
 from repro.api import PromptCache
 
+pytestmark = pytest.mark.smoke
+
 
 @pytest.fixture()
 def cache():

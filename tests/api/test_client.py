@@ -4,6 +4,8 @@ import pytest
 
 from repro.api import CompletionClient, PromptCache, RateLimitError
 
+pytestmark = pytest.mark.smoke
+
 
 class CountingBackend:
     """Minimal backend recording how often it is really called."""
@@ -16,6 +18,18 @@ class CountingBackend:
     def complete(self, prompt, temperature=0.0, **kwargs):
         self.calls += 1
         return f"echo:{prompt}"
+
+
+class VerboseBackend(CountingBackend):
+    """Counting backend that also reports confidence."""
+
+    name = "verbose"
+
+    def complete_verbose(self, prompt, temperature=0.0, **kwargs):
+        from repro.fm.engine import Completion
+
+        self.calls += 1
+        return Completion(text=f"echo:{prompt}", confidence=0.9)
 
 
 class TestClient:
@@ -59,6 +73,15 @@ class TestClient:
             assert client.complete(f"p{i}").startswith("echo:")
         assert client.stats["transient_failures"] >= 1
 
+    def test_shared_empty_cache_is_not_replaced(self):
+        """An empty PromptCache is falsy (it has __len__) but must still
+        be adopted — `cache or PromptCache()` used to drop it silently."""
+        cache = PromptCache()
+        client = CompletionClient(CountingBackend(), cache=cache)
+        assert client.cache is cache
+        client.complete("p")
+        assert len(cache) == 1
+
     def test_shared_cache_across_clients(self):
         cache = PromptCache()
         backend = CountingBackend()
@@ -72,6 +95,43 @@ class TestClient:
         stats = client.stats
         assert stats["backend_calls"] == 1
         assert stats["cache_entries"] == 1
+
+    def test_verbose_calls_count_as_backend_calls(self):
+        """complete_verbose must not bypass stats accounting."""
+        backend = VerboseBackend()
+        client = CompletionClient(backend)
+        client.complete("plain")
+        client.complete_verbose("confident")
+        assert client.stats["backend_calls"] == 2
+        assert backend.calls == 2
+
+    def test_verbose_calls_consume_budget(self):
+        client = CompletionClient(VerboseBackend(), requests_per_run=1)
+        client.complete("a")
+        with pytest.raises(RateLimitError):
+            client.complete_verbose("b")
+
+    def test_verbose_calls_face_failure_injection(self):
+        backend = VerboseBackend()
+        client = CompletionClient(backend, failure_every=1, max_retries=1)
+        completion = client.complete_verbose("p")
+        assert completion.text == "echo:p"
+        assert client.stats["transient_failures"] == 1
+        assert client.stats["backend_calls"] == 2  # injected attempt + retry
+
+    def test_retries_cannot_exceed_budget(self):
+        """A retry attempt that would blow past requests_per_run raises."""
+        backend = CountingBackend()
+        client = CompletionClient(
+            backend, requests_per_run=2, failure_every=2, max_retries=2
+        )
+        client.complete("a")  # call 1: ok
+        # Call 2 hits the injected failure; its retry would be call 3,
+        # beyond the budget of 2 — so it must raise, not silently retry.
+        with pytest.raises(RateLimitError):
+            client.complete("b")
+        assert client.stats["backend_calls"] <= 2
+        assert backend.calls <= 1  # the injected attempt never reached it
 
     def test_usable_by_task_runners(self):
         """The client is a drop-in model for the prompting task runners."""

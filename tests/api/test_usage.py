@@ -1,8 +1,12 @@
 """Tests for usage accounting and token counting."""
 
+import threading
+
 import pytest
 
 from repro.api import Usage, UsageTracker, count_tokens
+
+pytestmark = pytest.mark.smoke
 
 
 class TestCountTokens:
@@ -22,6 +26,36 @@ class TestCountTokens:
     def test_monotone_under_concatenation(self):
         a, b = "name: sony camera", "price: 199.99"
         assert count_tokens(a + " " + b) >= max(count_tokens(a), count_tokens(b))
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            # Pinned counts: the cost model must not drift silently.
+            # Words cost 1 + len // 7; digits/punctuation cost 1 each.
+            ("cat", 1),
+            ("entity", 1),
+            ("matching", 2),
+            ("antidisestablishmentarianism", 5),
+            ("12345", 5),
+            ("the quick brown fox jumps over the lazy dog", 9),
+            ("name: blue heron. phone: 415-775-7036. city?", 22),
+            (
+                "Product A: name: sony camera 10x zoom. "
+                "Product B: name: sony cam. "
+                "Are Product A and Product B the same? Yes or No?",
+                37,
+            ),
+        ],
+    )
+    def test_regression_pinned_counts(self, text, expected):
+        assert count_tokens(text) == expected
+
+    def test_word_rate_matches_docstring(self):
+        """One token plus one extra per full 7 characters of a word."""
+        assert count_tokens("a" * 6) == 1
+        assert count_tokens("a" * 7) == 2
+        assert count_tokens("a" * 13) == 2
+        assert count_tokens("a" * 14) == 3
 
 
 class TestUsage:
@@ -63,3 +97,25 @@ class TestTracker:
         assert tracker.summary() == "no usage recorded"
         tracker.record("m", "p", "c", cached=False)
         assert "m: 1 requests" in tracker.summary()
+
+    def test_record_is_thread_safe(self):
+        tracker = UsageTracker()
+        n_threads, n_records = 8, 200
+
+        def worker():
+            for _ in range(n_records):
+                tracker.record("m", "one two three", "Yes", cached=False)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        usage = tracker.per_model["m"]
+        assert usage.n_requests == n_threads * n_records
+        assert usage.prompt_tokens == 3 * n_threads * n_records
+
+    def test_latency_summary_empty(self):
+        summary = UsageTracker().latency_summary()
+        assert summary["n_requests"] == 0
+        assert summary["mean_s"] == 0.0

@@ -37,6 +37,7 @@ class TestSubsample:
 
 
 class TestEntityMatchingRunner:
+    @pytest.mark.smoke
     def test_zero_shot_run(self, fm_175b):
         dataset = load_dataset("fodors_zagats")
         run = run_entity_matching(fm_175b, dataset, k=0, max_examples=40)
