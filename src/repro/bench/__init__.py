@@ -4,8 +4,58 @@ One module per experiment.  Each exposes a ``run(...)`` function returning
 an :class:`ExperimentResult` (structured rows plus the paper's published
 values for side-by-side comparison) and the ``benchmarks/`` directory
 wraps them in pytest-benchmark entries.
+
+:data:`EXPERIMENTS` is the single source of truth for what exists: the
+CLI's ``bench`` command, ``available_experiments()`` and the docs all
+derive from it, so adding an experiment module means adding exactly one
+entry here.
 """
+
+from __future__ import annotations
+
+import importlib
 
 from repro.bench.reporting import ExperimentResult, render_table
 
-__all__ = ["ExperimentResult", "render_table"]
+#: experiment name → one-line description.  Every name maps to a module
+#: ``repro.bench.<name>`` exposing ``run()``.
+EXPERIMENTS: dict[str, str] = {
+    "table1": "Entity matching F1 across the seven Magellan datasets",
+    "table2": "Data cleaning: imputation accuracy and error-detection F1",
+    "table3": "Data integration: transformation accuracy and schema-matching F1",
+    "table4": "Entity-matching prompt ablations",
+    "table5": "Restaurant imputation slices by training-set frequency",
+    "table6": "Encoded functional-dependency probes across model sizes",
+    "figure4": "Sample/training-efficiency trade-off",
+    "figure5": "Finetuning curves: metric vs training fraction",
+    "ablation_k_sweep": "Demonstration-count sweep",
+    "ablation_knowledge": "Knowledge knockout: stock vs amnesiac model",
+    "appendix_d": "Model-size grid across all five tasks",
+    "blocking_study": "Token blocking ahead of prompted matching",
+    "research_agenda": "Section 5 agenda: prototyping, selective prediction, ensembling",
+    "variance_study": "Sampling-temperature variance",
+}
+
+
+def available_experiments() -> list[str]:
+    """All registered experiment names, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs) -> list[ExperimentResult]:
+    """Run one registered experiment, normalizing the result to a list."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(available_experiments())
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    module = importlib.import_module(f"repro.bench.{name}")
+    results = module.run(**kwargs)
+    return results if isinstance(results, list) else [results]
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "available_experiments",
+    "render_table",
+    "run_experiment",
+]

@@ -10,11 +10,7 @@ then saturation — the "rapid prototyping" regime of Section 5.1.
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentResult
-from repro.core.tasks import (
-    run_entity_matching,
-    run_error_detection,
-    run_imputation,
-)
+from repro.bench.runners import evaluate_fm
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 
@@ -22,9 +18,9 @@ K_VALUES = (0, 1, 2, 5, 10, 20)
 MAX_EXAMPLES = 300
 
 SWEEPS = (
-    ("walmart_amazon", run_entity_matching, "f1"),
-    ("restaurant", run_imputation, "accuracy"),
-    ("hospital", run_error_detection, "f1"),
+    ("walmart_amazon", "entity_matching", "f1"),
+    ("restaurant", "imputation", "accuracy"),
+    ("hospital", "error_detection", "f1"),
 )
 
 
@@ -36,13 +32,13 @@ def run(model: str = "gpt3-175b") -> ExperimentResult:
         headers=["dataset", "metric"] + [f"k={k}" for k in K_VALUES],
         notes="manual demonstration curation at every k > 0",
     )
-    for dataset_name, runner, metric_name in SWEEPS:
+    for dataset_name, task, metric_name in SWEEPS:
         dataset = load_dataset(dataset_name)
         scores = []
         for k in K_VALUES:
             selection = "manual" if k else "random"
-            run_result = runner(
-                fm, dataset, k=k, selection=selection,
+            run_result = evaluate_fm(
+                task, dataset, k=k, model=fm, selection=selection,
                 max_examples=MAX_EXAMPLES,
             )
             scores.append(round(100 * run_result.metric, 1))

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.bench.reporting import ExperimentResult
-from repro.core.tasks import run_imputation, run_transformation
+from repro.bench.runners import evaluate_fm
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 from repro.fm.profiles import get_profile
@@ -46,14 +46,18 @@ def run(base: str = "gpt3-175b") -> ExperimentResult:
                             ("buy", 0), ("buy", 10)):
         dataset = load_dataset(dataset_name)
         selection = "manual" if k else "random"
-        with_k = 100 * run_imputation(stock, dataset, k=k, selection=selection).metric
-        without = 100 * run_imputation(amnesiac, dataset, k=k, selection=selection).metric
+        with_k = 100 * evaluate_fm(
+            "imputation", dataset, k=k, model=stock, selection=selection
+        ).metric
+        without = 100 * evaluate_fm(
+            "imputation", dataset, k=k, model=amnesiac, selection=selection
+        ).metric
         result.add_row("imputation", dataset_name, k, round(with_k, 1), round(without, 1))
 
     for dataset_name in ("bing_querylogs", "stackoverflow"):
         dataset = load_dataset(dataset_name)
-        with_k = 100 * run_transformation(stock, dataset, k=3).metric
-        without = 100 * run_transformation(amnesiac, dataset, k=3).metric
+        with_k = 100 * evaluate_fm("transformation", dataset, k=3, model=stock).metric
+        without = 100 * evaluate_fm("transformation", dataset, k=3, model=amnesiac).metric
         result.add_row("transformation", dataset_name, 3, round(with_k, 1), round(without, 1))
     return result
 

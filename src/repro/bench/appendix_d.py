@@ -8,13 +8,7 @@ on every task family, few-shot — the scaling picture in one table.
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentResult
-from repro.core.tasks import (
-    run_entity_matching,
-    run_error_detection,
-    run_imputation,
-    run_schema_matching,
-    run_transformation,
-)
+from repro.bench.runners import evaluate_fm
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 
@@ -22,12 +16,12 @@ MODELS = ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b")
 MAX_EXAMPLES = 300
 
 TASKS = (
-    ("EM/walmart_amazon (F1)", "walmart_amazon", run_entity_matching, 10),
-    ("DI/restaurant (acc)", "restaurant", run_imputation, 10),
-    ("ED/hospital (F1)", "hospital", run_error_detection, 10),
-    ("ED/adult (F1)", "adult", run_error_detection, 10),
-    ("SM/synthea (F1)", "synthea", run_schema_matching, 3),
-    ("DT/bing_querylogs (acc)", "bing_querylogs", run_transformation, 3),
+    ("EM/walmart_amazon (F1)", "walmart_amazon", "entity_matching", 10),
+    ("DI/restaurant (acc)", "restaurant", "imputation", 10),
+    ("ED/hospital (F1)", "hospital", "error_detection", 10),
+    ("ED/adult (F1)", "adult", "error_detection", 10),
+    ("SM/synthea (F1)", "synthea", "schema_matching", 3),
+    ("DT/bing_querylogs (acc)", "bing_querylogs", "transformation", 3),
 )
 
 
@@ -39,15 +33,16 @@ def run() -> ExperimentResult:
         headers=["task"] + list(MODELS),
         notes="HELM-style sweep (paper Appendix D)",
     )
-    for label, dataset_name, runner, k in TASKS:
+    for label, dataset_name, task, k in TASKS:
         dataset = load_dataset(dataset_name)
         row = [label]
         for name in MODELS:
-            kwargs = {"k": k}
-            if runner is not run_transformation:
-                kwargs["selection"] = "manual"
+            kwargs = {}
+            if task != "transformation":
                 kwargs["max_examples"] = MAX_EXAMPLES
-            score = runner(models[name], dataset, **kwargs).metric
+            score = evaluate_fm(
+                task, dataset, k=k, model=models[name], **kwargs
+            ).metric
             row.append(round(100 * score, 1))
         result.rows.append(row)
     return result

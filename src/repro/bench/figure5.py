@@ -15,14 +15,10 @@ reference line.  The paper's claims:
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import evaluate_fm
 from repro.core.metrics import accuracy, binary_metrics
-from repro.core.tasks import (
-    run_entity_matching,
-    run_error_detection,
-    run_imputation,
-)
 from repro.datasets import load_dataset
-from repro.fm import AdapterModel, FinetunedModel, SimulatedFoundationModel
+from repro.fm import AdapterModel, FinetunedModel
 
 FRACTIONS = (0.05, 0.10, 0.25, 0.50, 1.00)
 SMALL_MODELS = ("gpt3-1.3b", "gpt3-6.7b")
@@ -76,15 +72,9 @@ def _fit_and_score(model, task: str, dataset, fraction: float) -> float:
 
 
 def _few_shot_reference(task: str, dataset) -> float:
-    fm = SimulatedFoundationModel("gpt3-175b")
-    if task == "entity_matching":
-        return run_entity_matching(fm, dataset, k=10, selection="manual",
-                                   max_examples=MAX_TEST).metric
-    if task == "error_detection":
-        return run_error_detection(fm, dataset, k=10, selection="manual",
-                                   max_examples=MAX_TEST).metric
-    return run_imputation(fm, dataset, k=10, selection="manual",
-                          max_examples=MAX_TEST).metric
+    return evaluate_fm(
+        task, dataset, k=10, model="gpt3-175b", max_examples=MAX_TEST
+    ).metric
 
 
 EXPERIMENTS = (

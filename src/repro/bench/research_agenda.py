@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from repro.baselines import DittoMatcher
 from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import evaluate_fm
 from repro.core.ensemble import PromptEnsemble
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import build_entity_matching_prompt
 from repro.core.prototype import ModelPrototyper
-from repro.core.tasks import run_entity_matching
 from repro.core.tasks.common import parse_yes_no
 from repro.core.tasks.entity_matching import (
     default_prompt_config,
@@ -53,7 +53,7 @@ def run_prototyping() -> ExperimentResult:
     gold = DittoMatcher.for_dataset(dataset).fit(dataset.train)
     gold_f1 = binary_metrics(gold.predict_many(dataset.test), labels).f1
 
-    teacher_f1 = run_entity_matching(fm, dataset, k=10, selection="manual").metric
+    teacher_f1 = evaluate_fm("entity_matching", dataset, k=10, model=fm).metric
 
     result = ExperimentResult(
         experiment="agenda_prototyping",
@@ -108,9 +108,9 @@ def run_ensembling() -> ExperimentResult:
     )
     for name in ("gpt3-6.7b", "gpt3-175b"):
         fm = SimulatedFoundationModel(name)
-        single = run_entity_matching(fm, dataset, k=10, selection="manual")
+        single = evaluate_fm("entity_matching", dataset, k=10, model=fm)
         ensemble = PromptEnsemble(fm)
-        ensembled = run_entity_matching(ensemble, dataset, k=10, selection="manual")
+        ensembled = evaluate_fm("entity_matching", dataset, k=10, model=ensemble)
         result.add_row(f"{name} single prompt", round(100 * single.metric, 1))
         result.add_row(f"{name} ensemble", round(100 * ensembled.metric, 1))
     return result

@@ -1,4 +1,10 @@
-"""Shared baseline-evaluation helpers for the bench modules."""
+"""Shared evaluation helpers for the bench modules.
+
+``evaluate_fm`` is the one entry point for every foundation-model column
+in every table and figure — any registered task, by name, through the
+generic engine.  The ``evaluate_<baseline>`` helpers wrap the
+task-specific supervised/rule-based systems the paper compares against.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +19,7 @@ from repro.baselines import (
     TdeSynthesizer,
 )
 from repro.core.metrics import accuracy, binary_metrics
+from repro.core.tasks import TaskRun, run_task
 from repro.datasets.base import (
     EntityMatchingDataset,
     ErrorDetectionDataset,
@@ -20,6 +27,31 @@ from repro.datasets.base import (
     SchemaMatchingDataset,
     TransformationDataset,
 )
+
+
+def evaluate_fm(
+    task: str,
+    dataset,
+    k: int | None = None,
+    model="gpt3-175b",
+    selection="manual",
+    config=None,
+    max_examples: int | None = None,
+    seed: int = 0,
+    workers: int | None = None,
+    trace: bool = False,
+) -> TaskRun:
+    """Foundation-model column for any registered task.
+
+    ``task`` is a registry name ("entity_matching", "em", …); ``dataset``
+    and ``model`` may be names or objects.  ``k=None`` uses the task's
+    paper default.  Returns the full :class:`TaskRun` — callers take
+    ``.metric`` for a table cell or keep predictions/records for slicing.
+    """
+    return run_task(
+        task, model, dataset, k=k, selection=selection, config=config,
+        max_examples=max_examples, seed=seed, workers=workers, trace=trace,
+    )
 
 
 def evaluate_magellan(dataset: EntityMatchingDataset, max_test: int | None = None) -> float:

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from repro.bench.paper_numbers import TABLE1
 from repro.bench.reporting import ExperimentResult
-from repro.bench.runners import evaluate_ditto, evaluate_magellan
-from repro.core.tasks import run_entity_matching
+from repro.bench.runners import evaluate_ditto, evaluate_fm, evaluate_magellan
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 
@@ -42,11 +41,13 @@ def run(
         dataset = load_dataset(name)
         magellan = 100 * evaluate_magellan(dataset, max_test=max_examples)
         ditto = 100 * evaluate_ditto(dataset, max_test=max_examples)
-        zero_shot = 100 * run_entity_matching(
-            fm, dataset, k=0, max_examples=max_examples
+        zero_shot = 100 * evaluate_fm(
+            "entity_matching", dataset, k=0, model=fm,
+            max_examples=max_examples,
         ).metric
-        few_shot = 100 * run_entity_matching(
-            fm, dataset, k=10, selection="manual", max_examples=max_examples
+        few_shot = 100 * evaluate_fm(
+            "entity_matching", dataset, k=10, model=fm, selection="manual",
+            max_examples=max_examples,
         ).metric
         paper = TABLE1[name]
         result.add_row(

@@ -5,12 +5,12 @@ from __future__ import annotations
 from repro.bench.paper_numbers import TABLE2_ERROR_DETECTION, TABLE2_IMPUTATION
 from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import (
+    evaluate_fm,
     evaluate_holoclean_detection,
     evaluate_holoclean_imputation,
     evaluate_holodetect,
     evaluate_imp,
 )
-from repro.core.tasks import run_error_detection, run_imputation
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 
@@ -39,14 +39,17 @@ def run_imputation_table(max_examples: int | None = None) -> ExperimentResult:
         dataset = load_dataset(name)
         holoclean = 100 * evaluate_holoclean_imputation(dataset)
         imp = 100 * evaluate_imp(dataset)
-        zero_shot = 100 * run_imputation(
-            fm_large, dataset, k=0, max_examples=max_examples
+        zero_shot = 100 * evaluate_fm(
+            "imputation", dataset, k=0, model=fm_large,
+            max_examples=max_examples,
         ).metric
-        small_few = 100 * run_imputation(
-            fm_small, dataset, k=10, selection="manual", max_examples=max_examples
+        small_few = 100 * evaluate_fm(
+            "imputation", dataset, k=10, model=fm_small,
+            max_examples=max_examples,
         ).metric
-        large_few = 100 * run_imputation(
-            fm_large, dataset, k=10, selection="manual", max_examples=max_examples
+        large_few = 100 * evaluate_fm(
+            "imputation", dataset, k=10, model=fm_large,
+            max_examples=max_examples,
         ).metric
         paper = TABLE2_IMPUTATION[name]
         result.add_row(
@@ -76,14 +79,17 @@ def run_error_detection_table(max_examples: int | None = MAX_ED_EXAMPLES) -> Exp
         dataset = load_dataset(name)
         holoclean = 100 * evaluate_holoclean_detection(dataset, max_test=max_examples)
         holodetect = 100 * evaluate_holodetect(dataset, max_test=max_examples)
-        zero_shot = 100 * run_error_detection(
-            fm_large, dataset, k=0, max_examples=max_examples
+        zero_shot = 100 * evaluate_fm(
+            "error_detection", dataset, k=0, model=fm_large,
+            max_examples=max_examples,
         ).metric
-        small_few = 100 * run_error_detection(
-            fm_small, dataset, k=10, selection="manual", max_examples=max_examples
+        small_few = 100 * evaluate_fm(
+            "error_detection", dataset, k=10, model=fm_small,
+            max_examples=max_examples,
         ).metric
-        large_few = 100 * run_error_detection(
-            fm_large, dataset, k=10, selection="manual", max_examples=max_examples
+        large_few = 100 * evaluate_fm(
+            "error_detection", dataset, k=10, model=fm_large,
+            max_examples=max_examples,
         ).metric
         paper = TABLE2_ERROR_DETECTION[name]
         result.add_row(

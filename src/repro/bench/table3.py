@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from repro.bench.paper_numbers import TABLE3_SCHEMA, TABLE3_TRANSFORMATION
 from repro.bench.reporting import ExperimentResult
-from repro.bench.runners import evaluate_smat, evaluate_tde
-from repro.core.tasks import run_schema_matching, run_transformation
+from repro.bench.runners import evaluate_fm, evaluate_smat, evaluate_tde
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
 
@@ -21,8 +20,8 @@ def run_transformation_table() -> ExperimentResult:
     for name in ("stackoverflow", "bing_querylogs"):
         dataset = load_dataset(name)
         tde = 100 * evaluate_tde(dataset)
-        zero_shot = 100 * run_transformation(fm, dataset, k=0).metric
-        few_shot = 100 * run_transformation(fm, dataset, k=3).metric
+        zero_shot = 100 * evaluate_fm("transformation", dataset, k=0, model=fm).metric
+        few_shot = 100 * evaluate_fm("transformation", dataset, k=3, model=fm).metric
         paper = TABLE3_TRANSFORMATION[name]
         result.add_row(name, tde, paper[0], zero_shot, paper[1], few_shot, paper[2])
     return result
@@ -38,8 +37,8 @@ def run_schema_table() -> ExperimentResult:
     fm = SimulatedFoundationModel("gpt3-175b")
     dataset = load_dataset("synthea")
     smat = 100 * evaluate_smat(dataset)
-    zero_shot = 100 * run_schema_matching(fm, dataset, k=0).metric
-    few_shot = 100 * run_schema_matching(fm, dataset, k=3, selection="manual").metric
+    zero_shot = 100 * evaluate_fm("schema_matching", dataset, k=0, model=fm).metric
+    few_shot = 100 * evaluate_fm("schema_matching", dataset, k=3, model=fm).metric
     paper = TABLE3_SCHEMA["synthea"]
     result.add_row("synthea", smat, paper[0], zero_shot, paper[1], few_shot, paper[2])
     return result

@@ -15,7 +15,7 @@ import statistics
 
 from repro.bench.paper_numbers import TABLE4
 from repro.bench.reporting import ExperimentResult
-from repro.core.tasks import run_entity_matching
+from repro.bench.runners import evaluate_fm
 from repro.core.tasks.entity_matching import default_prompt_config
 from repro.datasets import load_dataset
 from repro.fm import SimulatedFoundationModel
@@ -34,9 +34,9 @@ ROWS = (
 
 
 def _f1(model, dataset, config, selection="manual", seed: int = 0) -> float:
-    run = run_entity_matching(
-        model, dataset, k=10, selection=selection, config=config,
-        max_examples=MAX_EXAMPLES, seed=seed,
+    run = evaluate_fm(
+        "entity_matching", dataset, k=10, model=model, selection=selection,
+        config=config, max_examples=MAX_EXAMPLES, seed=seed,
     )
     return 100 * run.metric
 

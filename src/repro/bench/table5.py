@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from repro.bench.paper_numbers import TABLE5
 from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import evaluate_fm
 from repro.core.metrics import normalize_answer
-from repro.core.tasks import run_imputation
 from repro.datasets.base import ImputationExample
 from repro.datasets.imputation_datasets import RestaurantSliceInfo, build_restaurant
 from repro.fm import AdapterModel, FinetunedModel, SimulatedFoundationModel
@@ -73,7 +73,7 @@ def run() -> ExperimentResult:
     )
 
     fm = SimulatedFoundationModel("gpt3-175b")
-    run_fm = run_imputation(fm, dataset, k=10, selection="manual")
+    run_fm = evaluate_fm("imputation", dataset, k=10, model=fm)
     rows: list[tuple[str, str, dict[str, float]]] = [
         ("175b_few_shot", "GPT3-175B (few-shot)",
          slice_accuracies(run_fm.predictions, dataset.test, info)),

@@ -3,6 +3,9 @@
 Commands:
 
 * ``datasets`` — list the 14 benchmark datasets and their split sizes.
+* ``tasks`` — list the registered wrangling tasks (the TaskSpec registry).
+* ``run <task> <dataset>`` — evaluate any registered task on any dataset
+  through the generic engine (``--k``, ``--selection``, ``--workers``, …).
 * ``bench <experiment>`` — regenerate one table/figure (table1 … figure5).
 * ``match --left k=v,... --right k=v,...`` — one entity-matching verdict.
 * ``impute --row k=v,... --attribute a`` — fill one missing value.
@@ -60,16 +63,61 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
-    import importlib
+def _cmd_tasks(_args) -> int:
+    from repro.core.tasks import available_tasks, get_task
 
-    known = {"table1", "table2", "table3", "table4", "table5", "table6",
-             "figure4", "figure5", "ablation_k_sweep", "ablation_knowledge",
-             "appendix_d", "blocking_study", "research_agenda",
-             "variance_study"}
-    if args.experiment not in known:
+    for name in available_tasks():
+        spec = get_task(name)
+        aliases = f" ({', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{name:18s}{aliases:6s} {spec.metric_name:9s} "
+              f"k={spec.default_k:<3d} {spec.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.tasks import get_task, run_task
+    from repro.datasets import available_datasets, load_dataset
+
+    try:
+        spec = get_task(args.task)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        dataset = load_dataset(args.dataset)
+    except KeyError:
+        raise SystemExit(f"unknown dataset {args.dataset!r}; "
+                         f"choose from {available_datasets()}") from None
+    if dataset.task != spec.name:
+        raise SystemExit(f"dataset {args.dataset!r} is a {dataset.task} "
+                         f"benchmark, not {spec.name}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    result = run_task(
+        spec, args.model, dataset, k=args.k, selection=args.selection,
+        max_examples=args.max_examples, split=args.split, seed=args.seed,
+        workers=args.workers, trace=args.trace,
+    )
+    print(result.describe())
+    for key, value in result.details.items():
+        if isinstance(value, float):
+            print(f"  {key}: {100 * value:.1f}")
+        elif isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                print(f"  {key}/{sub_key}: {100 * sub_value:.1f}")
+    if args.trace and result.records:
+        timed = [r.latency_s for r in result.records if r.latency_s is not None]
+        total = sum(timed)
+        print(f"  trace: {len(result.records)} examples, "
+              f"{1000 * total:.1f} ms total completion latency")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import available_experiments, run_experiment
+
+    if args.experiment not in available_experiments():
         raise SystemExit(f"unknown experiment {args.experiment!r}; "
-                         f"choose from {sorted(known)}")
+                         f"choose from {available_experiments()}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.workers > 1:
@@ -79,11 +127,7 @@ def _cmd_bench(args) -> int:
         from repro.api.batch import set_default_workers
 
         set_default_workers(args.workers)
-    module = importlib.import_module(f"repro.bench.{args.experiment}")
-    results = module.run()
-    if not isinstance(results, list):
-        results = [results]
-    for result in results:
+    for result in run_experiment(args.experiment):
         print(result.render())
         print()
     return 0
@@ -139,6 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list benchmark datasets").set_defaults(
         fn=_cmd_datasets
     )
+
+    sub.add_parser("tasks", help="list registered wrangling tasks").set_defaults(
+        fn=_cmd_tasks
+    )
+
+    run = sub.add_parser("run", help="evaluate a task on a dataset")
+    run.add_argument("task", help="task name or alias (em, ed, di, sm, dt)")
+    run.add_argument("dataset", help="benchmark dataset name")
+    run.add_argument("--k", type=int, default=None,
+                     help="demonstration count (default: the task's default)")
+    run.add_argument("--selection", default="manual",
+                     choices=("manual", "random"),
+                     help="demonstration selection strategy")
+    run.add_argument("--model", default="gpt3-175b",
+                     help="gpt3-1.3b | gpt3-6.7b | gpt3-175b")
+    run.add_argument("--max-examples", type=int, default=None,
+                     help="cap on evaluated test examples")
+    run.add_argument("--split", default="test", help="evaluation split")
+    run.add_argument("--seed", type=int, default=0,
+                     help="seed for subsampling/random selection")
+    run.add_argument("--workers", type=int, default=1,
+                     help="fan prompt completion across N threads")
+    run.add_argument("--trace", action="store_true",
+                     help="record per-example prompt/response/latency")
+    run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a table/figure")
     bench.add_argument("experiment",

@@ -9,6 +9,14 @@ interface the paper argues for:
 True
 >>> wrangler.impute({"name": "...", "phone": "415-..."}, "city")  # doctest: +SKIP
 'san francisco'
+
+Every verb is a thin delegation to the spec-driven :meth:`Wrangler.run` /
+:meth:`Wrangler.run_many` core: the verb wraps its raw inputs in the
+task's typed example and the registered
+:class:`~repro.core.tasks.spec.TaskSpec` supplies the prompt builder,
+response parser and default configuration.  A task added to the registry
+is immediately reachable through ``run``/``run_many`` without touching
+this file.
 """
 
 from __future__ import annotations
@@ -21,13 +29,10 @@ from repro.core.prompts import (
     ImputationPromptConfig,
     SchemaMatchingPromptConfig,
     TransformationPromptConfig,
-    build_entity_matching_prompt,
-    build_error_detection_prompt,
     build_imputation_prompt,
-    build_schema_matching_prompt,
-    build_transformation_prompt,
 )
-from repro.core.tasks.common import parse_yes_no
+from repro.core.tasks.spec import TaskSpec, get_task
+from repro.core.tasks.transformation import TransformQuery
 from repro.datasets.base import (
     ErrorExample,
     ImputationExample,
@@ -69,6 +74,43 @@ class Wrangler:
 
         return complete_all(self.model, prompts, workers=workers)
 
+    # -- spec-driven core -----------------------------------------------------
+
+    def run(
+        self,
+        task: str | TaskSpec,
+        example,
+        demonstrations: list | None = None,
+        config=None,
+    ):
+        """One prediction for one typed example of any registered task."""
+        return self.run_many(task, [example], demonstrations, config)[0]
+
+    def run_many(
+        self,
+        task: str | TaskSpec,
+        examples: Sequence,
+        demonstrations: list | None = None,
+        config=None,
+        workers: int | None = None,
+    ) -> list:
+        """Batch predictions for typed examples of any registered task.
+
+        The task's spec builds one prompt per example (ad-hoc default
+        config when none is given), the batch layer fans the prompts out,
+        and the spec's parser interprets each completion.
+        """
+        spec = get_task(task)
+        if config is None:
+            config = spec.default_config(None)
+        demonstrations = demonstrations or []
+        prompts = [
+            spec.build_prompt(example, demonstrations, config, len(demonstrations))
+            for example in examples
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        return [spec.parse_response(response) for response in responses]
+
     # -- entity matching ------------------------------------------------------
 
     def match(
@@ -80,10 +122,7 @@ class Wrangler:
     ) -> bool:
         """Do ``left`` and ``right`` refer to the same real-world entity?"""
         pair = MatchingPair(left=left, right=right, label=False)
-        prompt = build_entity_matching_prompt(
-            pair, demonstrations or [], config or EntityMatchingPromptConfig()
-        )
-        return parse_yes_no(self.model.complete(prompt))
+        return self.run("entity_matching", pair, demonstrations, config)
 
     def match_many(
         self,
@@ -93,17 +132,13 @@ class Wrangler:
         workers: int | None = None,
     ) -> list[bool]:
         """Batch :meth:`match` over ``(left, right)`` row pairs."""
-        config = config or EntityMatchingPromptConfig()
-        prompts = [
-            build_entity_matching_prompt(
-                MatchingPair(left=left, right=right, label=False),
-                demonstrations or [],
-                config,
-            )
+        examples = [
+            MatchingPair(left=left, right=right, label=False)
             for left, right in pairs
         ]
-        responses = self._complete_many(prompts, workers=workers)
-        return [parse_yes_no(response) for response in responses]
+        return self.run_many(
+            "entity_matching", examples, demonstrations, config, workers
+        )
 
     # -- error detection --------------------------------------------------------
 
@@ -116,10 +151,7 @@ class Wrangler:
     ) -> bool:
         """Is the value of ``attribute`` in ``row`` erroneous?"""
         example = ErrorExample(row=row, attribute=attribute, label=False)
-        prompt = build_error_detection_prompt(
-            example, demonstrations or [], config or ErrorDetectionPromptConfig()
-        )
-        return parse_yes_no(self.model.complete(prompt))
+        return self.run("error_detection", example, demonstrations, config)
 
     def detect_errors(
         self,
@@ -127,11 +159,7 @@ class Wrangler:
         demonstrations: list[ErrorExample] | None = None,
     ) -> dict[str, bool]:
         """Per-attribute error verdicts for a whole row."""
-        return {
-            attribute: self.detect_error(row, attribute, demonstrations)
-            for attribute, value in row.items()
-            if value is not None
-        }
+        return self.detect_errors_many([row], demonstrations)[0]
 
     def detect_errors_many(
         self,
@@ -145,27 +173,22 @@ class Wrangler:
         All (row, attribute) cells go through a single batch, so the
         thread pool is shared across rows rather than per row.
         """
-        config = config or ErrorDetectionPromptConfig()
         cells = [
             (row_index, attribute)
             for row_index, row in enumerate(rows)
             for attribute, value in row.items()
             if value is not None
         ]
-        prompts = [
-            build_error_detection_prompt(
-                ErrorExample(
-                    row=rows[row_index], attribute=attribute, label=False
-                ),
-                demonstrations or [],
-                config,
-            )
+        examples = [
+            ErrorExample(row=rows[row_index], attribute=attribute, label=False)
             for row_index, attribute in cells
         ]
-        responses = self._complete_many(prompts, workers=workers)
+        verdict_list = self.run_many(
+            "error_detection", examples, demonstrations, config, workers
+        )
         verdicts: list[dict[str, bool]] = [{} for _ in rows]
-        for (row_index, attribute), response in zip(cells, responses):
-            verdicts[row_index][attribute] = parse_yes_no(response)
+        for (row_index, attribute), verdict in zip(cells, verdict_list):
+            verdicts[row_index][attribute] = verdict
         return verdicts
 
     # -- imputation ----------------------------------------------------------------
@@ -178,13 +201,7 @@ class Wrangler:
         config: ImputationPromptConfig | None = None,
     ) -> str:
         """Fill the missing value of ``attribute`` in ``row``."""
-        example = ImputationExample(
-            row={**row, attribute: None}, attribute=attribute, answer=""
-        )
-        prompt = build_imputation_prompt(
-            example, demonstrations or [], config or ImputationPromptConfig()
-        )
-        return self.model.complete(prompt).strip()
+        return self.impute_many([(row, attribute)], demonstrations, config)[0]
 
     def impute_many(
         self,
@@ -194,19 +211,13 @@ class Wrangler:
         workers: int | None = None,
     ) -> list[str]:
         """Batch :meth:`impute` over ``(row, attribute)`` items."""
-        config = config or ImputationPromptConfig()
-        prompts = [
-            build_imputation_prompt(
-                ImputationExample(
-                    row={**row, attribute: None}, attribute=attribute, answer=""
-                ),
-                demonstrations or [],
-                config,
+        examples = [
+            ImputationExample(
+                row={**row, attribute: None}, attribute=attribute, answer=""
             )
             for row, attribute in items
         ]
-        responses = self._complete_many(prompts, workers=workers)
-        return [response.strip() for response in responses]
+        return self.run_many("imputation", examples, demonstrations, config, workers)
 
     # -- schema matching ---------------------------------------------------------------
 
@@ -219,12 +230,41 @@ class Wrangler:
     ) -> bool:
         """Do two schema attributes describe the same concept?"""
         pair = SchemaPair(left=left, right=right, label=False)
-        prompt = build_schema_matching_prompt(
-            pair, demonstrations or [], config or SchemaMatchingPromptConfig()
+        return self.run("schema_matching", pair, demonstrations, config)
+
+    def match_schema_many(
+        self,
+        pairs: Sequence[tuple[SchemaAttribute, SchemaAttribute]],
+        demonstrations: list[SchemaPair] | None = None,
+        config: SchemaMatchingPromptConfig | None = None,
+        workers: int | None = None,
+    ) -> list[bool]:
+        """Batch :meth:`match_schema` over ``(left, right)`` attribute pairs."""
+        examples = [
+            SchemaPair(left=left, right=right, label=False)
+            for left, right in pairs
+        ]
+        return self.run_many(
+            "schema_matching", examples, demonstrations, config, workers
         )
-        return parse_yes_no(self.model.complete(prompt))
 
     # -- repair ------------------------------------------------------------------------
+
+    @staticmethod
+    def _repair_example(row: Row, attribute: str) -> ImputationExample:
+        """The "corrected <attribute>" imputation example behind repairs.
+
+        The row is serialized *with* the dirty value and the model is
+        asked for the ``corrected <attribute>`` — so it can either repair
+        the typo in place (character-level reasoning, large models only)
+        or re-derive the value from the rest of the row (functional
+        dependencies), whichever its routes support.
+        """
+        return ImputationExample(
+            row={**row, f"corrected {attribute}": None},
+            attribute=f"corrected {attribute}",
+            answer="",
+        )
 
     def repair_cell(
         self,
@@ -232,19 +272,8 @@ class Wrangler:
         attribute: str,
         demonstrations: list[ImputationExample] | None = None,
     ) -> str:
-        """Propose a corrected value for a (suspected dirty) cell.
-
-        The row is serialized *with* the dirty value and the model is asked
-        for the ``corrected <attribute>`` — so it can either repair the
-        typo in place (character-level reasoning, large models only) or
-        re-derive the value from the rest of the row (functional
-        dependencies), whichever its routes support.
-        """
-        example = ImputationExample(
-            row={**row, f"corrected {attribute}": None},
-            attribute=f"corrected {attribute}",
-            answer="",
-        )
+        """Propose a corrected value for a (suspected dirty) cell."""
+        example = self._repair_example(row, attribute)
         prompt = build_imputation_prompt(example, demonstrations or [])
         return self.model.complete(prompt).strip()
 
@@ -252,20 +281,61 @@ class Wrangler:
         self,
         row: Row,
         error_demonstrations: list[ErrorExample] | None = None,
+        repair_demonstrations: list[ImputationExample] | None = None,
+        workers: int | None = None,
     ) -> Row:
         """Detect-and-repair every attribute of ``row``.
 
         Cells the model flags as erroneous are replaced by its proposed
         corrections; everything else passes through untouched.
         """
-        verdicts = self.detect_errors(row, error_demonstrations)
-        repaired = dict(row)
-        for attribute, is_error in verdicts.items():
-            if is_error:
-                repaired[attribute] = self.repair_cell(row, attribute)
+        return self.repair_rows_many(
+            [row], error_demonstrations, repair_demonstrations, workers
+        )[0]
+
+    def repair_rows_many(
+        self,
+        rows: Sequence[Row],
+        error_demonstrations: list[ErrorExample] | None = None,
+        repair_demonstrations: list[ImputationExample] | None = None,
+        workers: int | None = None,
+    ) -> list[Row]:
+        """Batch detect-and-repair: two fan-outs for any number of rows.
+
+        One cell-level detection batch across all rows, then one repair
+        batch over every flagged cell — rather than a serial
+        :meth:`repair_cell` loop per row.
+        """
+        verdicts = self.detect_errors_many(
+            rows, error_demonstrations, workers=workers
+        )
+        flagged = [
+            (row_index, attribute)
+            for row_index, row_verdicts in enumerate(verdicts)
+            for attribute, is_error in row_verdicts.items()
+            if is_error
+        ]
+        prompts = [
+            build_imputation_prompt(
+                self._repair_example(rows[row_index], attribute),
+                repair_demonstrations or [],
+            )
+            for row_index, attribute in flagged
+        ]
+        responses = self._complete_many(prompts, workers=workers)
+        repaired = [dict(row) for row in rows]
+        for (row_index, attribute), response in zip(flagged, responses):
+            repaired[row_index][attribute] = response.strip()
         return repaired
 
     # -- transformation ----------------------------------------------------------------
+
+    @staticmethod
+    def _transform_query(value: str) -> TransformQuery:
+        return TransformQuery(
+            source=value, target="", examples=(), instruction="",
+            case_name="adhoc",
+        )
 
     def transform(
         self,
@@ -274,9 +344,7 @@ class Wrangler:
         instruction: str | None = None,
     ) -> str:
         """Transform ``value`` by example (few-shot) or instruction (zero-shot)."""
-        config = TransformationPromptConfig(instruction=instruction)
-        prompt = build_transformation_prompt(value, examples or [], config)
-        return self.model.complete(prompt).strip()
+        return self.transform_many([value], examples, instruction)[0]
 
     def transform_many(
         self,
@@ -287,9 +355,7 @@ class Wrangler:
     ) -> list[str]:
         """Batch :meth:`transform` over many values with shared examples."""
         config = TransformationPromptConfig(instruction=instruction)
-        prompts = [
-            build_transformation_prompt(value, examples or [], config)
-            for value in values
-        ]
-        responses = self._complete_many(prompts, workers=workers)
-        return [response.strip() for response in responses]
+        queries = [self._transform_query(value) for value in values]
+        return self.run_many(
+            "transformation", queries, list(examples or []), config, workers
+        )

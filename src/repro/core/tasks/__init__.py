@@ -1,6 +1,25 @@
-"""Task runners: dataset + model + prompt config → predictions + metric."""
+"""Task layer: declarative specs + one generic engine.
 
-from repro.core.tasks.common import TaskRun, parse_yes_no
+Each task module defines a frozen :class:`~repro.core.tasks.spec.TaskSpec`
+(prompt builder, response parser, label accessor, metric, defaults) and
+registers it in :data:`~repro.core.tasks.spec.TASKS`; the generic engine
+(:func:`run_task`, :func:`select_demonstrations`,
+:func:`make_validation_scorer`) runs any spec through the identical
+pipeline.  The per-task ``run_*`` functions are thin wrappers kept for
+call-site compatibility.
+"""
+
+from repro.core.tasks import engine, spec
+from repro.core.tasks.common import ExampleRecord, TaskRun, parse_yes_no
+from repro.core.tasks.engine import (
+    make_validation_scorer,
+    predict,
+    run_task,
+    select_demonstrations,
+)
+from repro.core.tasks.spec import TASKS, TaskSpec, available_tasks, get_task
+
+# Importing the task modules registers their specs.
 from repro.core.tasks.entity_matching import run_entity_matching
 from repro.core.tasks.error_detection import run_error_detection
 from repro.core.tasks.imputation import run_imputation
@@ -8,11 +27,20 @@ from repro.core.tasks.schema_matching import run_schema_matching
 from repro.core.tasks.transformation import run_transformation
 
 __all__ = [
+    "ExampleRecord",
+    "TASKS",
     "TaskRun",
+    "TaskSpec",
+    "available_tasks",
+    "get_task",
+    "make_validation_scorer",
     "parse_yes_no",
+    "predict",
     "run_entity_matching",
     "run_error_detection",
     "run_imputation",
     "run_schema_matching",
+    "run_task",
     "run_transformation",
+    "select_demonstrations",
 ]

@@ -17,6 +17,22 @@ def parse_yes_no(response: str) -> bool:
     return False
 
 
+@dataclass(frozen=True)
+class ExampleRecord:
+    """Per-example trace of one evaluated prompt (``run_task(trace=True)``).
+
+    ``latency_s`` comes from the batch executor's request log; ``None``
+    when the request was not individually timed.
+    """
+
+    index: int
+    prompt: str
+    response: str
+    prediction: object
+    label: object
+    latency_s: float | None = None
+
+
 @dataclass
 class TaskRun:
     """The outcome of evaluating one (model, dataset, configuration)."""
@@ -31,6 +47,8 @@ class TaskRun:
     predictions: list = field(default_factory=list)
     labels: list = field(default_factory=list)
     details: dict = field(default_factory=dict)
+    #: Optional per-example traces (see :class:`ExampleRecord`).
+    records: list = field(default_factory=list)
 
     def describe(self) -> str:
         return (

@@ -1,0 +1,194 @@
+"""The generic task-execution engine.
+
+One pipeline serves all registered tasks: resolve the spec, select
+demonstrations, build prompts, fan completions across the batch layer,
+parse, score.  The per-task modules reduce to declarative
+:class:`~repro.core.tasks.spec.TaskSpec` definitions plus thin wrappers
+(``run_entity_matching`` & co.) that delegate here.
+
+``run_task(..., trace=True)`` additionally attaches one
+:class:`~repro.core.tasks.common.ExampleRecord` per evaluated example —
+prompt, response, prediction, label and the request latency pulled from
+the executor's :class:`~repro.api.usage.UsageTracker` request log — so
+every experiment gets observability without per-task plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.core.demonstrations import (
+    DemonstrationSelector,
+    ManualCurator,
+    RandomSelector,
+)
+from repro.core.tasks.common import ExampleRecord, TaskRun, subsample
+from repro.core.tasks.spec import TaskSpec, get_task
+
+
+def _complete(model, prompts: list[str], workers: int | None, tracker=None) -> list[str]:
+    from repro.api.batch import BatchExecutor, complete_all
+
+    if tracker is None:
+        return complete_all(model, prompts, workers=workers)
+    executor = BatchExecutor(workers=workers, usage=tracker)
+    return complete_all(model, prompts, executor=executor)
+
+
+def predict(
+    spec: TaskSpec | str,
+    model,
+    examples,
+    demonstrations: list,
+    config,
+    k: int = 0,
+    workers: int | None = None,
+) -> list:
+    """Predictions for ``examples`` under ``spec`` (order-preserving)."""
+    spec = get_task(spec)
+    prompts = [
+        spec.build_prompt(example, demonstrations, config, k)
+        for example in examples
+    ]
+    responses = _complete(model, prompts, workers)
+    return [spec.parse_response(response) for response in responses]
+
+
+def make_validation_scorer(
+    spec: TaskSpec | str,
+    model,
+    dataset,
+    config,
+    max_validation: int | None = None,
+):
+    """Score a candidate demonstration list on a validation sample.
+
+    The sample and cap come from the spec (error detection enriches its
+    sample with positives; the rest take the head of the validation
+    split), and the score is the spec's own metric — so manual curation
+    optimizes exactly what the task reports.
+    """
+    spec = get_task(spec)
+    if max_validation is None:
+        max_validation = spec.max_validation
+    validation = spec.validation_examples(dataset, max_validation)
+    labels = [spec.label_of(example) for example in validation]
+
+    def evaluate(demonstrations: list) -> float:
+        predictions = predict(spec, model, validation, demonstrations, config)
+        metric, _details = spec.score(predictions, labels, validation)
+        return metric
+
+    return evaluate
+
+
+def select_demonstrations(
+    spec: TaskSpec | str,
+    model,
+    dataset,
+    k: int,
+    config=None,
+    selection: str | DemonstrationSelector = "manual",
+    seed: int = 0,
+) -> list:
+    """Pick ``k`` demonstrations by name ("manual"/"random") or selector."""
+    spec = get_task(spec)
+    if k <= 0 or not spec.supports_selection:
+        return []
+    if config is None:
+        config = spec.default_config(dataset)
+    if isinstance(selection, DemonstrationSelector):
+        return selection.select(dataset.train, k)
+    if selection == "random":
+        selector = RandomSelector(seed=seed)
+    elif selection == "manual":
+        selector = ManualCurator(
+            evaluate=make_validation_scorer(spec, model, dataset, config),
+            seed=seed,
+            label_of=spec.curation_label_of,
+        )
+    else:
+        raise ValueError(f"unknown selection strategy {selection!r}")
+    return selector.select(dataset.train, k)
+
+
+def run_task(
+    task: str | TaskSpec,
+    model,
+    dataset,
+    k: int | None = None,
+    selection: str | DemonstrationSelector = "manual",
+    config=None,
+    max_examples: int | None = None,
+    split: str = "test",
+    seed: int = 0,
+    workers: int | None = None,
+    trace: bool = False,
+) -> TaskRun:
+    """Evaluate ``model`` on ``dataset`` under the named task's spec.
+
+    ``model`` is anything with a ``complete(prompt) -> str`` method, or a
+    model name resolved through the simulator.  ``k=None`` uses the
+    spec's paper default.  ``workers`` fans the test-set prompts across a
+    thread pool without changing the predictions; ``trace=True`` attaches
+    per-example :class:`~repro.core.tasks.common.ExampleRecord` entries.
+    """
+    spec = get_task(task)
+    if isinstance(model, str):
+        from repro.fm import SimulatedFoundationModel
+
+        model = SimulatedFoundationModel(model)
+    if isinstance(dataset, str):
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(dataset)
+    if k is None:
+        k = spec.default_k
+    if config is None:
+        config = spec.default_config(dataset)
+    demonstrations = select_demonstrations(
+        spec, model, dataset, k, config, selection, seed
+    )
+    examples = subsample(spec.examples_of(dataset, split), max_examples)
+    prompts = [
+        spec.build_prompt(example, demonstrations, config, k)
+        for example in examples
+    ]
+    tracker = None
+    if trace:
+        from repro.api.usage import UsageTracker
+
+        tracker = UsageTracker()
+    responses = _complete(model, prompts, workers, tracker=tracker)
+    predictions = [spec.parse_response(response) for response in responses]
+    labels = [spec.label_of(example) for example in examples]
+    metric, details = spec.score(predictions, labels, examples)
+    records: list[ExampleRecord] = []
+    if trace:
+        latencies = {
+            record.index: record.latency_s for record in tracker.request_log
+        }
+        records = [
+            ExampleRecord(
+                index=index,
+                prompt=prompt,
+                response=response,
+                prediction=prediction,
+                label=label,
+                latency_s=latencies.get(index),
+            )
+            for index, (prompt, response, prediction, label) in enumerate(
+                zip(prompts, responses, predictions, labels)
+            )
+        ]
+    return TaskRun(
+        task=spec.name,
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=len(demonstrations) if spec.supports_selection else k,
+        metric_name=spec.metric_name,
+        metric=metric,
+        n_examples=len(examples),
+        predictions=predictions,
+        labels=labels,
+        details=details,
+        records=records,
+    )

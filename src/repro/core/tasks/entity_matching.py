@@ -1,31 +1,24 @@
-"""Entity matching as a prompting task."""
+"""Entity matching as a declarative :class:`TaskSpec`."""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from functools import partial
 
-from repro.core.demonstrations import (
-    DemonstrationSelector,
-    ManualCurator,
-    RandomSelector,
-)
+from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     EntityMatchingPromptConfig,
     build_entity_matching_prompt,
 )
 from repro.core.serialization import SerializationConfig
-from repro.core.tasks.common import (
-    TaskRun,
-    complete_prompts,
-    parse_yes_no,
-    subsample,
-)
+from repro.core.tasks import engine
+from repro.core.tasks.common import TaskRun, parse_yes_no
+from repro.core.tasks.spec import TaskSpec, register
 from repro.datasets.base import EntityMatchingDataset, MatchingPair
 
 
 def default_prompt_config(
-    dataset: EntityMatchingDataset,
+    dataset: EntityMatchingDataset | None = None,
     select_attributes: bool = True,
     include_attribute_names: bool = True,
     question: str | None = None,
@@ -33,8 +26,12 @@ def default_prompt_config(
     """The paper's default EM prompt for ``dataset``.
 
     ``select_attributes`` keeps only the dataset's key attributes during
-    serialization (Section 4.3's attribute-selection step).
+    serialization (Section 4.3's attribute-selection step).  Without a
+    dataset (the ad-hoc :class:`~repro.core.Wrangler` path) every knob
+    falls back to the template default.
     """
+    if dataset is None:
+        return EntityMatchingPromptConfig()
     attributes = dataset.key_attributes if select_attributes else dataset.attributes
     serialization = SerializationConfig(
         attributes=tuple(attributes),
@@ -50,62 +47,32 @@ def default_prompt_config(
     )
 
 
-def _predict(
-    model,
-    pairs: Sequence[MatchingPair],
-    demonstrations: list[MatchingPair],
-    config: EntityMatchingPromptConfig,
-    workers: int | None = None,
-) -> list[bool]:
-    prompts = [
-        build_entity_matching_prompt(pair, demonstrations, config)
-        for pair in pairs
-    ]
-    responses = complete_prompts(model, prompts, workers=workers)
-    return [parse_yes_no(response) for response in responses]
+def _binary_score(predictions, labels, _examples):
+    metrics = binary_metrics(predictions, labels)
+    return metrics.f1, {"precision": metrics.precision, "recall": metrics.recall}
 
 
-def make_validation_scorer(
-    model,
-    dataset: EntityMatchingDataset,
-    config: EntityMatchingPromptConfig,
-    max_validation: int = 48,
-):
-    """Score a candidate demonstration list by validation F1."""
-    validation = subsample(dataset.valid, max_validation)
-    labels = [pair.label for pair in validation]
+SPEC = register(TaskSpec(
+    name="entity_matching",
+    metric_name="f1",
+    default_k=10,
+    build_prompt=lambda pair, demos, config, _k: build_entity_matching_prompt(
+        pair, demos, config
+    ),
+    parse_response=parse_yes_no,
+    label_of=lambda pair: pair.label,
+    score=_binary_score,
+    default_config=default_prompt_config,
+    curation_label_of=lambda pair: pair.label,
+    max_validation=48,
+    aliases=("em",),
+    description="Do two rows refer to the same real-world entity? (Yes/No)",
+))
 
-    def evaluate(demonstrations: list[MatchingPair]) -> float:
-        predictions = _predict(model, validation, demonstrations, config)
-        return binary_metrics(predictions, labels).f1
-
-    return evaluate
-
-
-def select_demonstrations(
-    model,
-    dataset: EntityMatchingDataset,
-    k: int,
-    config: EntityMatchingPromptConfig,
-    selection: str | DemonstrationSelector = "manual",
-    seed: int = 0,
-) -> list[MatchingPair]:
-    """Pick ``k`` demonstrations by name ("manual"/"random") or selector."""
-    if k <= 0:
-        return []
-    if isinstance(selection, DemonstrationSelector):
-        return selection.select(dataset.train, k)
-    if selection == "random":
-        selector = RandomSelector(seed=seed)
-    elif selection == "manual":
-        selector = ManualCurator(
-            evaluate=make_validation_scorer(model, dataset, config),
-            seed=seed,
-            label_of=lambda pair: pair.label,
-        )
-    else:
-        raise ValueError(f"unknown selection strategy {selection!r}")
-    return selector.select(dataset.train, k)
+#: Back-compat aliases for the pre-registry per-task helpers; both are the
+#: generic engine bound to this task's spec.
+select_demonstrations = partial(engine.select_demonstrations, SPEC)
+make_validation_scorer = partial(engine.make_validation_scorer, SPEC)
 
 
 def run_entity_matching(
@@ -118,28 +85,15 @@ def run_entity_matching(
     split: str = "test",
     seed: int = 0,
     workers: int | None = None,
+    trace: bool = False,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` with ``k`` demonstrations.
 
-    ``model`` is anything with a ``complete(prompt) -> str`` method.
-    ``workers`` fans the test-set prompts across a thread pool without
-    changing the predictions (serial and parallel runs are identical).
+    Thin wrapper over :func:`repro.core.tasks.engine.run_task` with this
+    task's spec; kept for call-site compatibility.
     """
-    config = config or default_prompt_config(dataset)
-    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
-    pairs = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, pairs, demonstrations, config, workers=workers)
-    labels = [pair.label for pair in pairs]
-    metrics = binary_metrics(predictions, labels)
-    return TaskRun(
-        task="entity_matching",
-        dataset=dataset.name,
-        model=getattr(model, "name", type(model).__name__),
-        k=len(demonstrations),
-        metric_name="f1",
-        metric=metrics.f1,
-        n_examples=len(pairs),
-        predictions=predictions,
-        labels=labels,
-        details={"precision": metrics.precision, "recall": metrics.recall},
+    return engine.run_task(
+        SPEC, model, dataset, k=k, selection=selection, config=config,
+        max_examples=max_examples, split=split, seed=seed, workers=workers,
+        trace=trace,
     )

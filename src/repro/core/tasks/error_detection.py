@@ -1,92 +1,59 @@
-"""Error detection as a prompting task."""
+"""Error detection as a declarative :class:`TaskSpec`."""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from functools import partial
 
-from repro.core.demonstrations import (
-    DemonstrationSelector,
-    ManualCurator,
-    RandomSelector,
-)
+from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     ErrorDetectionPromptConfig,
     build_error_detection_prompt,
 )
-from repro.core.tasks.common import (
-    TaskRun,
-    complete_prompts,
-    parse_yes_no,
-    subsample,
-)
-from repro.datasets.base import ErrorDetectionDataset, ErrorExample
+from repro.core.tasks import engine
+from repro.core.tasks.common import TaskRun, parse_yes_no
+from repro.core.tasks.spec import TaskSpec, register
+from repro.datasets.base import ErrorDetectionDataset
 
 
-def _predict(
-    model,
-    examples: Sequence[ErrorExample],
-    demonstrations: list[ErrorExample],
-    config: ErrorDetectionPromptConfig,
-    workers: int | None = None,
-) -> list[bool]:
-    prompts = [
-        build_error_detection_prompt(example, demonstrations, config)
-        for example in examples
-    ]
-    responses = complete_prompts(model, prompts, workers=workers)
-    return [parse_yes_no(response) for response in responses]
+def _binary_score(predictions, labels, _examples):
+    metrics = binary_metrics(predictions, labels)
+    return metrics.f1, {"precision": metrics.precision, "recall": metrics.recall}
 
 
-def make_validation_scorer(
-    model,
-    dataset: ErrorDetectionDataset,
-    config: ErrorDetectionPromptConfig,
-    max_validation: int = 40,
-):
-    """Score candidate demonstrations by validation F1.
+def _enriched_validation(dataset: ErrorDetectionDataset, max_validation: int) -> list:
+    """Error-enriched validation sample for curation scoring.
 
-    The validation sample is error-enriched: with a ~5% positive rate a
-    uniform sample of 40 cells might contain one error, which is not
-    enough signal to steer curation (a human doing error analysis would
-    look at the errors, too).
+    With a ~5% positive rate a uniform sample of 40 cells might contain
+    one error, which is not enough signal to steer curation (a human
+    doing error analysis would look at the errors, too).
     """
     positives = [example for example in dataset.valid if example.label]
     negatives = [example for example in dataset.valid if not example.label]
     n_pos = min(len(positives), max_validation // 3)
-    validation = positives[:n_pos] + negatives[: max_validation - n_pos]
-    labels = [example.label for example in validation]
-
-    def evaluate(demonstrations: list[ErrorExample]) -> float:
-        predictions = _predict(model, validation, demonstrations, config)
-        return binary_metrics(predictions, labels).f1
-
-    return evaluate
+    return positives[:n_pos] + negatives[: max_validation - n_pos]
 
 
-def select_demonstrations(
-    model,
-    dataset: ErrorDetectionDataset,
-    k: int,
-    config: ErrorDetectionPromptConfig,
-    selection: str | DemonstrationSelector = "manual",
-    seed: int = 0,
-) -> list[ErrorExample]:
-    if k <= 0:
-        return []
-    if isinstance(selection, DemonstrationSelector):
-        return selection.select(dataset.train, k)
-    if selection == "random":
-        selector = RandomSelector(seed=seed)
-    elif selection == "manual":
-        selector = ManualCurator(
-            evaluate=make_validation_scorer(model, dataset, config),
-            seed=seed,
-            label_of=lambda example: example.label,
-        )
-    else:
-        raise ValueError(f"unknown selection strategy {selection!r}")
-    return selector.select(dataset.train, k)
+SPEC = register(TaskSpec(
+    name="error_detection",
+    metric_name="f1",
+    default_k=10,
+    build_prompt=lambda example, demos, config, _k: build_error_detection_prompt(
+        example, demos, config
+    ),
+    parse_response=parse_yes_no,
+    label_of=lambda example: example.label,
+    score=_binary_score,
+    default_config=lambda _dataset=None: ErrorDetectionPromptConfig(),
+    validation_examples=_enriched_validation,
+    curation_label_of=lambda example: example.label,
+    max_validation=40,
+    aliases=("ed",),
+    description="Is the value of one cell erroneous? (Yes/No)",
+))
+
+select_demonstrations = partial(engine.select_demonstrations, SPEC)
+make_validation_scorer = partial(engine.make_validation_scorer, SPEC)
 
 
 def run_error_detection(
@@ -99,23 +66,11 @@ def run_error_detection(
     split: str = "test",
     seed: int = 0,
     workers: int | None = None,
+    trace: bool = False,
 ) -> TaskRun:
-    """Evaluate ``model`` on cell-level error detection."""
-    config = config or ErrorDetectionPromptConfig()
-    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
-    examples = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, examples, demonstrations, config, workers=workers)
-    labels = [example.label for example in examples]
-    metrics = binary_metrics(predictions, labels)
-    return TaskRun(
-        task="error_detection",
-        dataset=dataset.name,
-        model=getattr(model, "name", type(model).__name__),
-        k=len(demonstrations),
-        metric_name="f1",
-        metric=metrics.f1,
-        n_examples=len(examples),
-        predictions=predictions,
-        labels=labels,
-        details={"precision": metrics.precision, "recall": metrics.recall},
+    """Evaluate ``model`` on cell-level error detection (engine wrapper)."""
+    return engine.run_task(
+        SPEC, model, dataset, k=k, selection=selection, config=config,
+        max_examples=max_examples, split=split, seed=seed, workers=workers,
+        trace=trace,
     )

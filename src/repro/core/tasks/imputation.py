@@ -1,73 +1,39 @@
-"""Data imputation as a prompting task."""
+"""Data imputation as a declarative :class:`TaskSpec`."""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from functools import partial
 
-from repro.core.demonstrations import (
-    DemonstrationSelector,
-    ManualCurator,
-    RandomSelector,
-)
+from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import accuracy
 from repro.core.prompts import ImputationPromptConfig, build_imputation_prompt
-from repro.core.tasks.common import TaskRun, complete_prompts, subsample
-from repro.datasets.base import ImputationDataset, ImputationExample
+from repro.core.tasks import engine
+from repro.core.tasks.common import TaskRun
+from repro.core.tasks.spec import TaskSpec, register
+from repro.datasets.base import ImputationDataset
 
 
-def _predict(
-    model,
-    examples: Sequence[ImputationExample],
-    demonstrations: list[ImputationExample],
-    config: ImputationPromptConfig,
-    workers: int | None = None,
-) -> list[str]:
-    prompts = [
-        build_imputation_prompt(example, demonstrations, config)
-        for example in examples
-    ]
-    responses = complete_prompts(model, prompts, workers=workers)
-    return [response.strip() for response in responses]
+SPEC = register(TaskSpec(
+    name="imputation",
+    metric_name="accuracy",
+    default_k=10,
+    build_prompt=lambda example, demos, config, _k: build_imputation_prompt(
+        example, demos, config
+    ),
+    parse_response=str.strip,
+    label_of=lambda example: example.answer,
+    score=lambda predictions, answers, _examples: (
+        accuracy(predictions, answers), {}
+    ),
+    default_config=lambda _dataset=None: ImputationPromptConfig(),
+    curation_label_of=None,
+    max_validation=48,
+    aliases=("di",),
+    description="Fill the missing value of one attribute (free text).",
+))
 
-
-def make_validation_scorer(
-    model,
-    dataset: ImputationDataset,
-    config: ImputationPromptConfig,
-    max_validation: int = 48,
-):
-    validation = subsample(dataset.valid, max_validation)
-    answers = [example.answer for example in validation]
-
-    def evaluate(demonstrations: list[ImputationExample]) -> float:
-        predictions = _predict(model, validation, demonstrations, config)
-        return accuracy(predictions, answers)
-
-    return evaluate
-
-
-def select_demonstrations(
-    model,
-    dataset: ImputationDataset,
-    k: int,
-    config: ImputationPromptConfig,
-    selection: str | DemonstrationSelector = "manual",
-    seed: int = 0,
-) -> list[ImputationExample]:
-    if k <= 0:
-        return []
-    if isinstance(selection, DemonstrationSelector):
-        return selection.select(dataset.train, k)
-    if selection == "random":
-        selector = RandomSelector(seed=seed)
-    elif selection == "manual":
-        selector = ManualCurator(
-            evaluate=make_validation_scorer(model, dataset, config),
-            seed=seed,
-        )
-    else:
-        raise ValueError(f"unknown selection strategy {selection!r}")
-    return selector.select(dataset.train, k)
+select_demonstrations = partial(engine.select_demonstrations, SPEC)
+make_validation_scorer = partial(engine.make_validation_scorer, SPEC)
 
 
 def run_imputation(
@@ -80,21 +46,11 @@ def run_imputation(
     split: str = "test",
     seed: int = 0,
     workers: int | None = None,
+    trace: bool = False,
 ) -> TaskRun:
-    """Evaluate ``model`` on missing-value imputation (accuracy)."""
-    config = config or ImputationPromptConfig()
-    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
-    examples = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, examples, demonstrations, config, workers=workers)
-    answers = [example.answer for example in examples]
-    return TaskRun(
-        task="imputation",
-        dataset=dataset.name,
-        model=getattr(model, "name", type(model).__name__),
-        k=len(demonstrations),
-        metric_name="accuracy",
-        metric=accuracy(predictions, answers),
-        n_examples=len(examples),
-        predictions=predictions,
-        labels=answers,
+    """Evaluate ``model`` on missing-value imputation (engine wrapper)."""
+    return engine.run_task(
+        SPEC, model, dataset, k=k, selection=selection, config=config,
+        max_examples=max_examples, split=split, seed=seed, workers=workers,
+        trace=trace,
     )

@@ -1,82 +1,45 @@
-"""Schema matching as a prompting task."""
+"""Schema matching as a declarative :class:`TaskSpec`."""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from functools import partial
 
-from repro.core.demonstrations import (
-    DemonstrationSelector,
-    ManualCurator,
-    RandomSelector,
-)
+from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     SchemaMatchingPromptConfig,
     build_schema_matching_prompt,
 )
-from repro.core.tasks.common import (
-    TaskRun,
-    complete_prompts,
-    parse_yes_no,
-    subsample,
-)
-from repro.datasets.base import SchemaMatchingDataset, SchemaPair
+from repro.core.tasks import engine
+from repro.core.tasks.common import TaskRun, parse_yes_no
+from repro.core.tasks.spec import TaskSpec, register
+from repro.datasets.base import SchemaMatchingDataset
 
 
-def _predict(
-    model,
-    pairs: Sequence[SchemaPair],
-    demonstrations: list[SchemaPair],
-    config: SchemaMatchingPromptConfig,
-    workers: int | None = None,
-) -> list[bool]:
-    prompts = [
-        build_schema_matching_prompt(pair, demonstrations, config)
-        for pair in pairs
-    ]
-    responses = complete_prompts(model, prompts, workers=workers)
-    return [parse_yes_no(response) for response in responses]
+def _binary_score(predictions, labels, _examples):
+    metrics = binary_metrics(predictions, labels)
+    return metrics.f1, {"precision": metrics.precision, "recall": metrics.recall}
 
 
-def make_validation_scorer(
-    model,
-    dataset: SchemaMatchingDataset,
-    config: SchemaMatchingPromptConfig,
-    max_validation: int = 48,
-):
-    validation = subsample(dataset.valid, max_validation)
-    labels = [pair.label for pair in validation]
+SPEC = register(TaskSpec(
+    name="schema_matching",
+    metric_name="f1",
+    default_k=3,
+    build_prompt=lambda pair, demos, config, _k: build_schema_matching_prompt(
+        pair, demos, config
+    ),
+    parse_response=parse_yes_no,
+    label_of=lambda pair: pair.label,
+    score=_binary_score,
+    default_config=lambda _dataset=None: SchemaMatchingPromptConfig(),
+    curation_label_of=lambda pair: pair.label,
+    max_validation=48,
+    aliases=("sm",),
+    description="Do two schema attributes describe the same concept? (Yes/No)",
+))
 
-    def evaluate(demonstrations: list[SchemaPair]) -> float:
-        predictions = _predict(model, validation, demonstrations, config)
-        return binary_metrics(predictions, labels).f1
-
-    return evaluate
-
-
-def select_demonstrations(
-    model,
-    dataset: SchemaMatchingDataset,
-    k: int,
-    config: SchemaMatchingPromptConfig,
-    selection: str | DemonstrationSelector = "manual",
-    seed: int = 0,
-) -> list[SchemaPair]:
-    if k <= 0:
-        return []
-    if isinstance(selection, DemonstrationSelector):
-        return selection.select(dataset.train, k)
-    if selection == "random":
-        selector = RandomSelector(seed=seed)
-    elif selection == "manual":
-        selector = ManualCurator(
-            evaluate=make_validation_scorer(model, dataset, config),
-            seed=seed,
-            label_of=lambda pair: pair.label,
-        )
-    else:
-        raise ValueError(f"unknown selection strategy {selection!r}")
-    return selector.select(dataset.train, k)
+select_demonstrations = partial(engine.select_demonstrations, SPEC)
+make_validation_scorer = partial(engine.make_validation_scorer, SPEC)
 
 
 def run_schema_matching(
@@ -89,23 +52,11 @@ def run_schema_matching(
     split: str = "test",
     seed: int = 0,
     workers: int | None = None,
+    trace: bool = False,
 ) -> TaskRun:
-    """Evaluate ``model`` on attribute-correspondence prediction (F1)."""
-    config = config or SchemaMatchingPromptConfig()
-    demonstrations = select_demonstrations(model, dataset, k, config, selection, seed)
-    pairs = subsample(dataset.split(split), max_examples)
-    predictions = _predict(model, pairs, demonstrations, config, workers=workers)
-    labels = [pair.label for pair in pairs]
-    metrics = binary_metrics(predictions, labels)
-    return TaskRun(
-        task="schema_matching",
-        dataset=dataset.name,
-        model=getattr(model, "name", type(model).__name__),
-        k=len(demonstrations),
-        metric_name="f1",
-        metric=metrics.f1,
-        n_examples=len(pairs),
-        predictions=predictions,
-        labels=labels,
-        details={"precision": metrics.precision, "recall": metrics.recall},
+    """Evaluate ``model`` on attribute-correspondence prediction (engine wrapper)."""
+    return engine.run_task(
+        SPEC, model, dataset, k=k, selection=selection, config=config,
+        max_examples=max_examples, split=split, seed=seed, workers=workers,
+        trace=trace,
     )

@@ -1,0 +1,120 @@
+"""Declarative task specifications and the ``TASKS`` registry.
+
+The paper's thesis is "one foundation model, many wrangling tasks"; this
+module is that thesis as code.  Everything task-specific about entity
+matching, error detection, imputation, schema matching and transformation
+is captured in one frozen :class:`TaskSpec` — how to build a prompt, how
+to parse the completion, where the label lives, how to score — and the
+generic engine (:mod:`repro.core.tasks.engine`) runs any spec through the
+identical select-demonstrations → prompt → complete → parse → score
+pipeline.
+
+Adding a sixth task is one file: define a ``TaskSpec`` and call
+:func:`register`.  Every layer above — the :class:`~repro.core.Wrangler`
+verbs, ``repro.bench.runners.evaluate_fm``, the ``python -m repro run``
+command — picks it up for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+
+def _default_examples_of(dataset, split: str) -> list:
+    """Default evaluation-example accessor: the dataset's named split."""
+    return dataset.split(split)
+
+
+def _default_validation_examples(dataset, max_validation: int) -> list:
+    """Default validation sample: head of the validation split."""
+    valid = dataset.valid
+    if max_validation >= len(valid):
+        return list(valid)
+    return list(valid[:max_validation])
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Everything the generic engine needs to run one wrangling task.
+
+    Callable fields (the task's "verbs"):
+
+    * ``build_prompt(example, demonstrations, config, k) -> str`` — turn
+      one typed example plus demonstrations into the full prompt text.
+      ``k`` is only consulted by tasks whose demonstrations ride on the
+      example itself (transformation cases); the others take them from
+      the ``demonstrations`` list.
+    * ``parse_response(text) -> prediction`` — interpret the completion.
+    * ``label_of(example) -> label`` — the ground truth of one example.
+    * ``score(predictions, labels, examples) -> (metric, details)`` — the
+      task metric plus any extra detail columns (precision/recall,
+      per-case accuracies).
+    * ``default_config(dataset | None) -> config | None`` — the paper's
+      default prompt configuration; ``None`` dataset means "no dataset in
+      sight" (the :class:`~repro.core.Wrangler` ad-hoc path).
+    * ``examples_of(dataset, split) -> list`` — the evaluation examples.
+    * ``validation_examples(dataset, max_validation) -> list`` — the
+      sample that guides manual demonstration curation.
+    * ``curation_label_of`` — label accessor handed to the selectors for
+      class balancing, or ``None`` for free-text tasks.
+    """
+
+    name: str
+    metric_name: str
+    default_k: int
+    build_prompt: Callable[..., str]
+    parse_response: Callable[[str], object]
+    label_of: Callable[[object], object]
+    score: Callable[..., tuple[float, dict]]
+    default_config: Callable[[object], object]
+    examples_of: Callable[..., list] = _default_examples_of
+    validation_examples: Callable[..., list] = _default_validation_examples
+    curation_label_of: Callable[[object], bool] | None = None
+    #: Whether train-split demonstration selection applies (False for
+    #: transformation, whose demonstrations are part of each case).
+    supports_selection: bool = True
+    #: Validation-sample cap used by the manual curator's scorer.
+    max_validation: int = 48
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.metric_name}, default k={self.default_k})"
+
+
+#: name → spec for every registered wrangling task (aliases included).
+TASKS: dict[str, TaskSpec] = {}
+
+#: Canonical (non-alias) registration order, for stable listings.
+_CANONICAL: list[str] = []
+
+
+def register(spec: TaskSpec) -> TaskSpec:
+    """Add ``spec`` to the registry (idempotent per name; dup names fail)."""
+    for key in (spec.name, *spec.aliases):
+        existing = TASKS.get(key)
+        if existing is not None and existing.name != spec.name:
+            raise ValueError(
+                f"task name {key!r} already registered by {existing.name!r}"
+            )
+        TASKS[key] = spec
+    if spec.name not in _CANONICAL:
+        _CANONICAL.append(spec.name)
+    return spec
+
+
+def get_task(task: str | TaskSpec) -> TaskSpec:
+    """Resolve a task name (or alias, or spec) to its :class:`TaskSpec`."""
+    if isinstance(task, TaskSpec):
+        return task
+    try:
+        return TASKS[task]
+    except KeyError:
+        known = ", ".join(available_tasks())
+        raise KeyError(f"unknown task {task!r}; known: {known}") from None
+
+
+def available_tasks() -> list[str]:
+    """Canonical task names, in registration order."""
+    return list(_CANONICAL)

@@ -1,14 +1,117 @@
-"""Data transformation as a prompting task."""
+"""Data transformation as a declarative :class:`TaskSpec`.
+
+Transformation differs from the other four tasks in where its
+demonstrations live: each :class:`TransformationCase` carries its own
+example pairs, and zero-shot prompts fall back to the case's
+natural-language instruction.  The spec flattens every case's held-out
+tests into :class:`TransformQuery` records so the generic engine can
+treat them exactly like any other example stream; ``supports_selection``
+is off because there is no train split to select from.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.core.metrics import normalize_answer
 from repro.core.prompts import (
     TransformationPromptConfig,
     build_transformation_prompt,
 )
+from repro.core.tasks import engine
 from repro.core.tasks.common import TaskRun, complete_prompts
+from repro.core.tasks.spec import TaskSpec, register
 from repro.datasets.base import TransformationCase, TransformationDataset
+
+
+@dataclass(frozen=True)
+class TransformQuery:
+    """One held-out test pair, flattened out of its case.
+
+    ``examples`` and ``instruction`` are the case's own demonstration
+    pool and zero-shot description, carried along so the prompt builder
+    needs nothing beyond the query itself.
+    """
+
+    source: str
+    target: str
+    examples: tuple[tuple[str, str], ...]
+    instruction: str
+    case_name: str
+
+
+def _queries_of(dataset: TransformationDataset, split: str = "test") -> list[TransformQuery]:
+    """Every case's tests, flattened in case order (the only split)."""
+    return [
+        TransformQuery(
+            source=source,
+            target=target,
+            examples=case.examples,
+            instruction=case.instruction,
+            case_name=case.name,
+        )
+        for case in dataset.cases
+        for source, target in case.tests
+    ]
+
+
+def _build_prompt(
+    query: TransformQuery,
+    demonstrations: list,
+    config: TransformationPromptConfig | None,
+    k: int,
+) -> str:
+    """Prompt for one query.
+
+    With an explicit ``config`` (the :class:`~repro.core.Wrangler` ad-hoc
+    path) the caller controls demonstrations and instruction directly;
+    otherwise the engine path applies the paper's recipe — the case's
+    first ``k`` example pairs, or its instruction when ``k=0``.
+    """
+    if config is not None:
+        return build_transformation_prompt(
+            query.source, list(demonstrations), config
+        )
+    demos = list(query.examples[:k])
+    instruction = query.instruction if k == 0 else None
+    return build_transformation_prompt(
+        query.source, demos, TransformationPromptConfig(instruction=instruction)
+    )
+
+
+def _score(predictions, targets, queries):
+    """Micro-averaged exact match, plus per-case accuracies."""
+    hits: dict[str, int] = {}
+    totals: dict[str, int] = {}
+    total_hits = 0
+    for prediction, target, query in zip(predictions, targets, queries):
+        totals[query.case_name] = totals.get(query.case_name, 0) + 1
+        hits.setdefault(query.case_name, 0)
+        if normalize_answer(prediction) == normalize_answer(target):
+            hits[query.case_name] += 1
+            total_hits += 1
+    per_case = {
+        name: hits[name] / totals[name] if totals[name] else 0.0
+        for name in totals
+    }
+    metric = total_hits / len(predictions) if predictions else 0.0
+    return metric, {"per_case": per_case}
+
+
+SPEC = register(TaskSpec(
+    name="transformation",
+    metric_name="accuracy",
+    default_k=3,
+    build_prompt=_build_prompt,
+    parse_response=str.strip,
+    label_of=lambda query: query.target,
+    score=_score,
+    default_config=lambda _dataset=None: None,
+    examples_of=_queries_of,
+    supports_selection=False,
+    aliases=("dt",),
+    description="Rewrite a value by example (few-shot) or instruction (zero-shot).",
+))
 
 
 def run_transformation_case(
@@ -22,21 +125,22 @@ def run_transformation_case(
     Zero-shot (k=0) prompts carry the case's natural-language instruction
     instead of examples — the user telling the model what they want.
     """
-    demonstrations = list(case.examples[:k])
-    instruction = case.instruction if k == 0 else None
-    config = TransformationPromptConfig(instruction=instruction)
-    prompts = [
-        build_transformation_prompt(source, demonstrations, config)
-        for source, _target in case.tests
+    queries = [
+        TransformQuery(
+            source=source, target=target, examples=case.examples,
+            instruction=case.instruction, case_name=case.name,
+        )
+        for source, target in case.tests
     ]
+    prompts = [_build_prompt(query, [], None, k) for query in queries]
     predictions = [
         response.strip()
         for response in complete_prompts(model, prompts, workers=workers)
     ]
     hits = sum(
         1
-        for prediction, (_source, target) in zip(predictions, case.tests)
-        if normalize_answer(prediction) == normalize_answer(target)
+        for prediction, query in zip(predictions, queries)
+        if normalize_answer(prediction) == normalize_answer(query.target)
     )
     return hits, len(case.tests), predictions
 
@@ -46,25 +150,11 @@ def run_transformation(
     dataset: TransformationDataset,
     k: int = 3,
     workers: int | None = None,
+    max_examples: int | None = None,
+    trace: bool = False,
 ) -> TaskRun:
     """Micro-averaged exact-match accuracy over all cases' test pairs."""
-    total_hits = 0
-    total = 0
-    per_case: dict[str, float] = {}
-    for case in dataset.cases:
-        hits, n, _predictions = run_transformation_case(
-            model, case, k, workers=workers
-        )
-        total_hits += hits
-        total += n
-        per_case[case.name] = hits / n if n else 0.0
-    return TaskRun(
-        task="transformation",
-        dataset=dataset.name,
-        model=getattr(model, "name", type(model).__name__),
-        k=k,
-        metric_name="accuracy",
-        metric=total_hits / total if total else 0.0,
-        n_examples=total,
-        details={"per_case": per_case},
+    return engine.run_task(
+        SPEC, model, dataset, k=k, workers=workers, max_examples=max_examples,
+        trace=trace,
     )

@@ -59,9 +59,49 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["bench", "tableX"])
 
+    def test_bench_known_set_comes_from_the_registry(self):
+        from repro.bench import available_experiments
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "tableX"])
+        for name in available_experiments():
+            assert name in str(excinfo.value)
+
     def test_bench_runs_table6(self, capsys):
         assert main(["bench", "table6"]) == 0
         assert "Encoded functional dependencies" in capsys.readouterr().out
+
+    def test_tasks_lists_the_registry(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("entity_matching", "error_detection", "imputation",
+                     "schema_matching", "transformation"):
+            assert name in out
+
+    def test_run_schema_matching_end_to_end(self, capsys):
+        assert main(["run", "schema_matching", "synthea", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "schema_matching/synthea" in out
+        assert "precision" in out and "recall" in out
+
+    def test_run_accepts_aliases_and_trace(self, capsys):
+        assert main(["run", "em", "fodors_zagats", "--k", "0",
+                     "--max-examples", "10", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "entity_matching/fodors_zagats" in out
+        assert "trace: 10 examples" in out
+
+    def test_run_rejects_unknown_task(self):
+        with pytest.raises(SystemExit):
+            main(["run", "sentiment", "synthea"])
+
+    def test_run_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["run", "em", "no_such_dataset"])
+
+    def test_run_rejects_task_dataset_mismatch(self):
+        with pytest.raises(SystemExit, match="schema_matching"):
+            main(["run", "em", "synthea"])
 
     def test_model_flag(self, capsys):
         main(["impute", "--model", "gpt3-1.3b",

@@ -74,3 +74,70 @@ class TestVerbs:
             "report.pdf", instruction="Extract the file extension."
         )
         assert result in ("pdf", "report.pdf")  # instruction-following gated
+
+
+class TestBatchVerbs:
+    def test_match_many_agrees_with_match(self, wrangler):
+        anchor = MatchingPair({"name": "anchor"}, {"name": "anchor"}, True)
+        pairs = [
+            ({"name": "golden lotus cafe"}, {"name": "Golden Lotus Cafe"}),
+            ({"name": "golden lotus cafe"}, {"name": "iron skillet bbq"}),
+        ]
+        batch = wrangler.match_many(pairs, demonstrations=[anchor])
+        singles = [wrangler.match(l, r, demonstrations=[anchor]) for l, r in pairs]
+        assert batch == singles == [True, False]
+
+    def test_match_schema_many_agrees_with_match_schema(self, wrangler):
+        pairs = [
+            (SYNTHEA_ATTRIBUTES[0], OMOP_ATTRIBUTES[0]),
+            (SYNTHEA_ATTRIBUTES[1], OMOP_ATTRIBUTES[1]),
+            (SYNTHEA_ATTRIBUTES[0], OMOP_ATTRIBUTES[-1]),
+        ]
+        batch = wrangler.match_schema_many(pairs)
+        assert batch == [wrangler.match_schema(l, r) for l, r in pairs]
+        assert all(isinstance(v, bool) for v in batch)
+
+    def test_match_schema_many_with_workers(self, wrangler):
+        pairs = [(SYNTHEA_ATTRIBUTES[i], OMOP_ATTRIBUTES[i]) for i in range(4)]
+        assert (wrangler.match_schema_many(pairs, workers=3)
+                == wrangler.match_schema_many(pairs))
+
+    def test_impute_many_agrees_with_impute(self, wrangler):
+        items = [
+            ({"name": "blue heron", "phone": "415-775-7036"}, "city"),
+            ({"name": "x", "phone": "617-111-2222"}, "city"),
+        ]
+        batch = wrangler.impute_many(items)
+        assert batch == [wrangler.impute(row, attr) for row, attr in items]
+
+
+class TestSpecDrivenCore:
+    def test_run_matches_the_verb(self, wrangler):
+        pair = MatchingPair(
+            {"name": "golden lotus cafe"}, {"name": "Golden Lotus Cafe"}, False
+        )
+        anchor = MatchingPair({"name": "anchor"}, {"name": "anchor"}, True)
+        assert wrangler.run("entity_matching", pair, [anchor]) == wrangler.match(
+            pair.left, pair.right, demonstrations=[anchor]
+        )
+
+    def test_run_accepts_aliases(self, wrangler):
+        pair = MatchingPair({"name": "a"}, {"name": "b"}, False)
+        assert wrangler.run("em", pair) == wrangler.run("entity_matching", pair)
+
+    def test_run_many_preserves_order(self, wrangler):
+        examples = [
+            ImputationExample(row={"name": "blue heron", "phone": "415-775-7036",
+                                   "city": None},
+                              attribute="city", answer=""),
+            ImputationExample(row={"name": "x", "phone": "617-111-2222",
+                                   "city": None},
+                              attribute="city", answer=""),
+        ]
+        answers = wrangler.run_many("imputation", examples)
+        assert "san francisco" in answers[0].casefold()
+        assert "boston" in answers[1].casefold()
+
+    def test_run_rejects_unknown_task(self, wrangler):
+        with pytest.raises(KeyError):
+            wrangler.run("sentiment", {"text": "hi"})

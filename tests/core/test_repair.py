@@ -76,6 +76,43 @@ class TestRepairRow:
         assert wrangler.repair_row(row, error_demonstrations=demos) == row
 
 
+class TestRepairRowsMany:
+    DEMOS = [
+        ErrorExample(row={"city": "boston", "state": "ma"},
+                     attribute="city", label=False),
+        ErrorExample(row={"city": "chicxgo", "state": "il"},
+                     attribute="city", label=True),
+    ]
+
+    def test_batch_matches_serial(self, wrangler):
+        rows = [
+            {"city": "seaxtle", "state": "wa"},
+            {"city": "denver", "state": "co"},
+            {"city": "poxtland", "state": "or"},
+        ]
+        batch = wrangler.repair_rows_many(rows, error_demonstrations=self.DEMOS)
+        serial = [wrangler.repair_row(row, error_demonstrations=self.DEMOS)
+                  for row in rows]
+        assert batch == serial
+        assert batch[0]["city"] == "seattle"
+        assert batch[1] == rows[1]  # clean row untouched
+
+    def test_workers_do_not_change_repairs(self, wrangler):
+        rows = [
+            {"city": "seaxtle", "state": "wa"},
+            {"city": "chicxgo", "state": "il"},
+        ]
+        assert (wrangler.repair_rows_many(rows, error_demonstrations=self.DEMOS,
+                                          workers=4)
+                == wrangler.repair_rows_many(rows,
+                                             error_demonstrations=self.DEMOS))
+
+    def test_inputs_not_mutated(self, wrangler):
+        row = {"city": "seaxtle", "state": "wa"}
+        wrangler.repair_rows_many([row], error_demonstrations=self.DEMOS)
+        assert row["city"] == "seaxtle"
+
+
 class TestRepairOnHospital:
     def test_end_to_end_repair_accuracy(self, wrangler):
         """Detect-then-repair beats blind imputation on Hospital cells."""

@@ -1,0 +1,177 @@
+"""Parity pins: the generic engine must reproduce the seed runners exactly.
+
+Every expected value below was captured by running the five per-task
+runner implementations from the pre-registry tree with the same model,
+seeds and subsampling.  Predictions are pinned whole — as a bitstring
+for the binary tasks and a digest for the free-text tasks — so any
+drift in prompt construction, demonstration selection, response parsing
+or scoring shows up as a changed string, not just a nudged metric.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.tasks import (
+    run_entity_matching,
+    run_error_detection,
+    run_imputation,
+    run_schema_matching,
+    run_task,
+    run_transformation,
+)
+from repro.datasets import load_dataset
+
+
+def bits(predictions) -> str:
+    return "".join("1" if p else "0" for p in predictions)
+
+
+def strhash(predictions) -> str:
+    return hashlib.sha256("\x1f".join(predictions).encode()).hexdigest()[:16]
+
+
+#: (wrapper, alias, model, dataset, kwargs, (k, n, metric, bits(predictions)))
+BINARY_PINS = [
+    pytest.param(
+        run_entity_matching, "em", "gpt3-175b", "fodors_zagats",
+        dict(k=0, max_examples=40),
+        (0, 40, 0.9523809524, "1001000000001000000110000000001110010100"),
+        id="em_fodors_k0",
+    ),
+    pytest.param(
+        run_entity_matching, "em", "gpt3-175b", "beer",
+        dict(k=4, selection="manual", max_examples=30),
+        (4, 30, 0.9090909091, "000001000000000001001000110000"),
+        id="em_beer_k4_manual",
+    ),
+    pytest.param(
+        run_error_detection, "ed", "gpt3-175b", "adult",
+        dict(k=6, selection="random", max_examples=120),
+        (6, 120, 0.5714285714,
+         "000000000000011000000000000001000000000000000000000000000000"
+         "000000000000000000000000000010000000000000000000100000000000"),
+        id="ed_adult_k6_random",
+    ),
+    pytest.param(
+        run_error_detection, "ed", "gpt3-175b", "hospital",
+        dict(k=4, selection="manual", max_examples=60),
+        (4, 60, 1.0, "000000000001000000000000010010000000010000100000000000000000"),
+        id="ed_hospital_k4_manual",
+    ),
+    pytest.param(
+        run_schema_matching, "sm", "gpt3-175b", "synthea",
+        dict(k=3, selection="manual"),
+        (3, 52, 0.5263157895,
+         "1111010110100000101101001010010000000001100111011001"),
+        id="sm_synthea_k3_manual",
+    ),
+    pytest.param(
+        run_schema_matching, "sm", "gpt3-175b", "synthea",
+        dict(k=0),
+        (0, 52, 0.0, "0" * 52),
+        id="sm_synthea_k0",
+    ),
+]
+
+#: (wrapper, alias, model, dataset, kwargs, (k, n, metric, strhash(predictions)))
+FREETEXT_PINS = [
+    pytest.param(
+        run_imputation, "di", "gpt3-175b", "restaurant",
+        dict(k=0, max_examples=40),
+        (0, 40, 0.65, "c0bd60253376e128"),
+        id="di_restaurant_k0",
+    ),
+    pytest.param(
+        run_imputation, "di", "gpt3-6.7b", "buy",
+        dict(k=10, selection="manual", max_examples=60),
+        (10, 60, 0.8666666667, "ac27058661b8a92f"),
+        id="di_buy_k10_manual_6.7b",
+    ),
+]
+
+#: (dataset, k, metric, per-case accuracies in case order)
+TRANSFORMATION_PINS = [
+    pytest.param(
+        "bing_querylogs", 0, 0.2361111111,
+        {"city_to_state": 0.0, "state_to_abbr": 0.0, "month_to_number": 0.0,
+         "month_to_abbrev": 0.0, "month_abbrev_expand": 0.125,
+         "city_to_area_code": 0.0, "zip_to_city": 0.0,
+         "us_textual_to_iso": 1.0, "drop_decimal": 1.0},
+        id="dt_bing_k0",
+    ),
+    pytest.param(
+        "stackoverflow", 3, 0.7788461538,
+        {"flip_comma_name": 1.0, "url_to_domain": 0.875,
+         "iso_to_us_date": 0.75, "file_extension": 0.5,
+         "snake_to_title": 1.0, "normalize_phone": 0.0, "zero_pad": 0.875,
+         "dash_middle": 0.75, "strip_currency": 0.625, "name_initials": 1.0,
+         "textual_date_to_iso": 0.875, "weekday_expand": 1.0,
+         "quote_and_comma": 0.875},
+        id="dt_stackoverflow_k3",
+    ),
+]
+
+
+def _fingerprint(run, digest):
+    return (run.k, run.n_examples, round(run.metric, 10), digest(run.predictions))
+
+
+class TestBinaryTaskParity:
+    @pytest.mark.smoke
+    @pytest.mark.parametrize("wrapper,alias,model,dataset_name,kwargs,expected",
+                             BINARY_PINS)
+    def test_pinned(self, wrapper, alias, model, dataset_name, kwargs, expected):
+        run = wrapper(model, load_dataset(dataset_name), **kwargs)
+        assert _fingerprint(run, bits) == expected
+
+    @pytest.mark.parametrize("wrapper,alias,model,dataset_name,kwargs,expected",
+                             BINARY_PINS)
+    def test_registry_route_identical(self, wrapper, alias, model,
+                                      dataset_name, kwargs, expected):
+        """``run_task`` by alias + string names hits the exact same pins."""
+        run = run_task(alias, model, dataset_name, **kwargs)
+        assert _fingerprint(run, bits) == expected
+
+
+class TestFreeTextTaskParity:
+    @pytest.mark.parametrize("wrapper,alias,model,dataset_name,kwargs,expected",
+                             FREETEXT_PINS)
+    def test_pinned(self, wrapper, alias, model, dataset_name, kwargs, expected):
+        run = wrapper(model, load_dataset(dataset_name), **kwargs)
+        assert _fingerprint(run, strhash) == expected
+
+    @pytest.mark.parametrize("wrapper,alias,model,dataset_name,kwargs,expected",
+                             FREETEXT_PINS)
+    def test_registry_route_identical(self, wrapper, alias, model,
+                                      dataset_name, kwargs, expected):
+        run = run_task(alias, model, dataset_name, **kwargs)
+        assert _fingerprint(run, strhash) == expected
+
+
+class TestTransformationParity:
+    @pytest.mark.parametrize("dataset_name,k,metric,per_case",
+                             TRANSFORMATION_PINS)
+    def test_pinned(self, fm_175b, dataset_name, k, metric, per_case):
+        run = run_transformation(fm_175b, load_dataset(dataset_name), k=k)
+        assert round(run.metric, 10) == metric
+        assert {name: round(score, 10)
+                for name, score in run.details["per_case"].items()} == per_case
+
+    @pytest.mark.parametrize("dataset_name,k,metric,per_case",
+                             TRANSFORMATION_PINS)
+    def test_registry_route_identical(self, fm_175b, dataset_name, k, metric,
+                                      per_case):
+        run = run_task("dt", fm_175b, dataset_name, k=k)
+        assert round(run.metric, 10) == metric
+        assert run.details["per_case"].keys() == per_case.keys()
+
+
+class TestParallelParity:
+    def test_workers_do_not_change_predictions(self, fm_175b):
+        dataset = load_dataset("fodors_zagats")
+        serial = run_entity_matching(fm_175b, dataset, k=0, max_examples=40)
+        threaded = run_entity_matching(fm_175b, dataset, k=0, max_examples=40,
+                                       workers=4)
+        assert threaded.predictions == serial.predictions
+        assert threaded.metric == serial.metric

@@ -1,0 +1,138 @@
+"""Integrity tests for the TaskSpec registry and the generic engine."""
+
+import pytest
+
+from repro.core.tasks import (
+    TASKS,
+    TaskSpec,
+    available_tasks,
+    get_task,
+    run_task,
+)
+from repro.core.tasks.spec import register
+from repro.datasets import load_dataset
+
+#: One benchmark per task, for the round-trip checks.
+DATASET_FOR = {
+    "entity_matching": "fodors_zagats",
+    "error_detection": "hospital",
+    "imputation": "restaurant",
+    "schema_matching": "synthea",
+    "transformation": "bing_querylogs",
+}
+
+
+class TestRegistry:
+    @pytest.mark.smoke
+    def test_all_five_tasks_registered(self):
+        assert available_tasks() == [
+            "entity_matching", "error_detection", "imputation",
+            "schema_matching", "transformation",
+        ]
+
+    def test_aliases_resolve_to_the_same_spec(self):
+        for alias, name in (("em", "entity_matching"), ("ed", "error_detection"),
+                            ("di", "imputation"), ("sm", "schema_matching"),
+                            ("dt", "transformation")):
+            assert get_task(alias) is get_task(name)
+
+    def test_spec_passes_through(self):
+        spec = get_task("entity_matching")
+        assert get_task(spec) is spec
+
+    def test_unknown_task_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="entity_matching"):
+            get_task("sentiment_analysis")
+
+    def test_aliases_are_listed_in_the_registry_map(self):
+        assert set(TASKS) >= set(available_tasks()) | {"em", "ed", "di", "sm", "dt"}
+
+    def test_register_rejects_name_collisions(self):
+        existing = get_task("entity_matching")
+        impostor = TaskSpec(
+            name="impostor",
+            metric_name="f1",
+            default_k=0,
+            build_prompt=lambda *a: "",
+            parse_response=str,
+            label_of=lambda e: e,
+            score=lambda p, l, e: (0.0, {}),
+            default_config=lambda d: None,
+            aliases=("em",),
+        )
+        with pytest.raises(ValueError):
+            register(impostor)
+        assert get_task("em") is existing  # registry left intact
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_task("entity_matching").default_k = 99
+
+
+class TestSpecRoundTrip:
+    """Every spec's builder/parser/scorer round-trips one real example."""
+
+    @pytest.mark.parametrize("name", sorted(DATASET_FOR))
+    def test_one_example(self, fm_175b, name):
+        spec = get_task(name)
+        dataset = load_dataset(DATASET_FOR[name])
+        example = spec.examples_of(dataset, "test")[0]
+        config = spec.default_config(dataset)
+        prompt = spec.build_prompt(example, [], config, 0)
+        assert isinstance(prompt, str) and prompt.strip()
+        prediction = spec.parse_response(fm_175b.complete(prompt))
+        label = spec.label_of(example)
+        metric, details = spec.score([prediction], [label], [example])
+        assert 0.0 <= metric <= 1.0
+        assert isinstance(details, dict)
+
+    @pytest.mark.parametrize("name", sorted(DATASET_FOR))
+    def test_validation_sample_is_capped_and_typed(self, name):
+        spec = get_task(name)
+        if not spec.supports_selection:
+            pytest.skip("no train/valid splits for this task")
+        dataset = load_dataset(DATASET_FOR[name])
+        validation = spec.validation_examples(dataset, spec.max_validation)
+        assert 0 < len(validation) <= spec.max_validation
+        for example in validation:
+            spec.label_of(example)  # must not raise
+
+
+class TestEngineRunTask:
+    def test_k_none_uses_spec_default(self, fm_175b):
+        run = run_task("schema_matching", fm_175b, "synthea")
+        assert run.k == get_task("schema_matching").default_k
+
+    def test_string_model_and_dataset_coerced(self):
+        run = run_task("em", "gpt3-175b", "fodors_zagats", k=0, max_examples=10)
+        assert run.model == "gpt3-175b"
+        assert run.dataset == "fodors_zagats"
+
+    def test_unknown_selection_rejected(self, fm_175b):
+        with pytest.raises(ValueError):
+            run_task("em", fm_175b, "beer", k=2, selection="psychic")
+
+
+class TestTraceRecords:
+    def test_records_off_by_default(self, fm_175b):
+        run = run_task("em", fm_175b, "fodors_zagats", k=0, max_examples=5)
+        assert run.records == []
+
+    @pytest.mark.smoke
+    def test_records_align_with_predictions(self, fm_175b):
+        dataset = load_dataset("fodors_zagats")
+        run = run_task("em", fm_175b, dataset, k=0, max_examples=8, trace=True)
+        assert len(run.records) == run.n_examples == 8
+        for index, record in enumerate(run.records):
+            assert record.index == index
+            assert record.prompt.strip()
+            assert record.prediction == run.predictions[index]
+            assert record.latency_s is not None and record.latency_s >= 0.0
+
+    def test_tracing_does_not_change_predictions(self, fm_175b):
+        dataset = load_dataset("restaurant")
+        plain = run_task("di", fm_175b, dataset, k=0, max_examples=20)
+        traced = run_task("di", fm_175b, dataset, k=0, max_examples=20,
+                          trace=True)
+        assert traced.predictions == plain.predictions
+        assert [r.label for r in traced.records] == plain.labels
