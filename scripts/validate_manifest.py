@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Validate emitted run manifests against the checked-in JSON schema.
+
+Usage::
+
+    python scripts/validate_manifest.py schemas/run_manifest.schema.json out.json
+    python scripts/validate_manifest.py schemas/run_manifest.schema.json DIR/table5.json --bench
+
+Plain mode validates one run manifest (``repro run --manifest``); with
+``--bench`` the file is an experiment-level manifest (``repro bench
+--manifest DIR``): the aggregate keys are checked and every entry of
+``runs`` is validated against the run schema.
+
+Exits non-zero listing every problem found.  Dependency-free: the
+validation logic lives in :func:`repro.core.manifest.validate_manifest`
+and supports the JSON Schema subset the checked-in schema uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+BENCH_REQUIRED = {
+    "experiment": str,
+    "wall_clock_s": (int, float),
+    "workers": int,
+    "n_runs": int,
+    "runs": list,
+    "totals": dict,
+}
+
+TOTALS_REQUIRED = (
+    "cost_usd", "unknown_price", "tokens", "requests", "retries",
+    "failures", "cache_hits", "cache_lookups", "cache_hit_rate",
+)
+
+
+def validate_bench(instance: dict, run_schema: dict) -> list[str]:
+    problems: list[str] = []
+    for key, expected in BENCH_REQUIRED.items():
+        if key not in instance:
+            problems.append(f"$: missing required key {key!r}")
+        elif not isinstance(instance[key], expected):
+            problems.append(
+                f"$.{key}: expected {expected}, got {type(instance[key]).__name__}"
+            )
+    for key in TOTALS_REQUIRED:
+        if key not in instance.get("totals", {}):
+            problems.append(f"$.totals: missing required key {key!r}")
+    from repro.core.manifest import validate_manifest
+
+    for index, run in enumerate(instance.get("runs", [])):
+        problems.extend(
+            validate_manifest(run, run_schema, path=f"$.runs[{index}]")
+        )
+    if instance.get("n_runs") != len(instance.get("runs", [])):
+        problems.append("$.n_runs: does not match len(runs)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("schema", help="path to run_manifest.schema.json")
+    parser.add_argument("manifest", help="manifest JSON file to validate")
+    parser.add_argument("--bench", action="store_true",
+                        help="treat the file as a bench (experiment-level) "
+                             "manifest wrapping per-run manifests")
+    args = parser.parse_args(argv)
+
+    from repro.core.manifest import validate_manifest
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    with open(args.manifest, encoding="utf-8") as handle:
+        instance = json.load(handle)
+
+    if args.bench:
+        problems = validate_bench(instance, schema)
+    else:
+        problems = validate_manifest(instance, schema)
+    if problems:
+        for problem in problems:
+            print(f"INVALID {args.manifest}: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK {args.manifest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,8 @@ so ablations don't re-pay for identical prompts.  This package reproduces
 that engineering layer over the simulated model: an SQLite-backed prompt
 cache, token/usage accounting, simulated rate limiting with retries, and
 a concurrent batch-execution layer (:mod:`repro.api.batch`) that fans
-independent prompts across worker threads under a shared budget.
+independent prompts across worker threads under a shared budget, failing
+fast (no backoff) when a fatal error such as budget exhaustion occurs.
 """
 
 from repro.api.batch import (
@@ -18,22 +19,39 @@ from repro.api.batch import (
     resolve_workers,
     set_default_workers,
 )
-from repro.api.cache import PromptCache
-from repro.api.client import CompletionClient, RateLimitError
-from repro.api.usage import Usage, UsageTracker, count_tokens
+from repro.api.cache import PromptCache, get_default_cache, set_default_cache
+from repro.api.client import CompletionClient
+from repro.api.retry import (
+    BudgetExhaustedError,
+    FatalError,
+    RateLimitError,
+    RetryPolicy,
+)
+from repro.api.usage import (
+    Usage,
+    UsageTracker,
+    count_tokens,
+    usage_delta,
+)
 
 __all__ = [
     "BatchExecutor",
+    "BudgetExhaustedError",
     "CompletionClient",
+    "FatalError",
     "PromptCache",
     "RateLimitError",
     "RequestRecord",
+    "RetryPolicy",
     "SharedBudget",
     "Usage",
     "UsageTracker",
     "complete_all",
     "count_tokens",
+    "get_default_cache",
     "get_default_workers",
     "resolve_workers",
+    "set_default_cache",
     "set_default_workers",
+    "usage_delta",
 ]

@@ -11,8 +11,13 @@ harness relies on:
 * **determinism** — at temperature 0 a completion depends only on its
   prompt, so serial and parallel runs produce identical predictions,
 * **retry with deterministic exponential backoff** on
-  :class:`~repro.api.client.RateLimitError` and transient network-ish
-  failures,
+  :class:`~repro.api.retry.RateLimitError` and transient network-ish
+  failures, governed by one shared :class:`~repro.api.retry.RetryPolicy`,
+* **fail-fast on fatal errors** — a
+  :class:`~repro.api.retry.FatalError` (e.g. an exhausted
+  :class:`SharedBudget`) aborts the whole batch immediately: no backoff,
+  pending futures are cancelled, in-flight work drains, and the original
+  error re-raises from :meth:`BatchExecutor.map`,
 * **atomic budgets** — a :class:`SharedBudget` charged under a lock, so
   concurrent workers can never collectively overshoot a request or token
   ceiling,
@@ -29,7 +34,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.api.client import RateLimitError
+from repro.api.retry import BudgetExhaustedError, FatalError, RetryPolicy
 from repro.api.usage import UsageTracker, count_tokens
 
 __all__ = [
@@ -89,8 +94,10 @@ class SharedBudget:
 
     Unlike the per-client ``requests_per_run`` counter, one budget can be
     shared by many clients and many threads; ``charge`` either admits the
-    whole request or raises :class:`RateLimitError` without consuming
-    anything, so concurrent workers can never collectively overshoot.
+    whole request or raises :class:`~repro.api.retry.BudgetExhaustedError`
+    without consuming anything, so concurrent workers can never
+    collectively overshoot.  Exhaustion is *fatal*: the budget cannot
+    recover mid-run, so the executor aborts instead of backing off.
     """
 
     def __init__(
@@ -111,14 +118,14 @@ class SharedBudget:
                 self.max_requests is not None
                 and self.n_requests + requests > self.max_requests
             ):
-                raise RateLimitError(
+                raise BudgetExhaustedError(
                     f"request budget of {self.max_requests} exhausted"
                 )
             if (
                 self.max_tokens is not None
                 and self.n_tokens + tokens > self.max_tokens
             ):
-                raise RateLimitError(
+                raise BudgetExhaustedError(
                     f"token budget of {self.max_tokens} exhausted"
                 )
             self.n_requests += requests
@@ -135,44 +142,96 @@ class SharedBudget:
 class BatchExecutor:
     """Fan a list of prompts (or arbitrary items) across a thread pool.
 
-    ``map(fn, items)`` preserves input order in its result list.  Each
-    item gets up to ``1 + max_retries`` attempts; attempts failing with
-    one of ``retry_on`` sleep a deterministic exponential backoff
-    (``backoff_base * 2**attempt``, capped at ``backoff_cap``) before
-    retrying.  A final failure re-raises from ``map``.
+    ``map(fn, items)`` preserves input order in its result list.  Retry
+    behaviour comes from one :class:`~repro.api.retry.RetryPolicy`: each
+    item gets up to ``1 + policy.max_retries`` attempts, and attempts
+    failing with a retryable error sleep the policy's deterministic
+    exponential backoff before retrying.  A final failure re-raises from
+    ``map``.
+
+    A :class:`~repro.api.retry.FatalError` short-circuits everything:
+    the executor sets an abort flag (waking any worker mid-backoff),
+    cancels futures that have not started, lets in-flight attempts
+    drain, and re-raises the first fatal error — so an exhausted budget
+    costs zero backoff sleeps instead of ``workers * Σ backoff``.
 
     An optional :class:`SharedBudget` is charged once per attempt (string
     items are also charged their prompt tokens); an optional
     :class:`UsageTracker` receives every :class:`RequestRecord`.
+
+    The legacy ``max_retries``/``backoff_base``/``backoff_cap``/
+    ``retry_on`` knobs are still accepted and folded into a policy;
+    passing both a ``policy`` and loose knobs is an error.
     """
 
     def __init__(
         self,
         workers: int | None = None,
-        max_retries: int = 2,
-        backoff_base: float = 0.05,
-        backoff_cap: float = 2.0,
-        retry_on: tuple[type[BaseException], ...] = (
-            RateLimitError,
-            TimeoutError,
-            ConnectionError,
-        ),
+        max_retries: int | None = None,
+        backoff_base: float | None = None,
+        backoff_cap: float | None = None,
+        retry_on: tuple[type[BaseException], ...] | None = None,
         budget: SharedBudget | None = None,
         usage: UsageTracker | None = None,
+        policy: RetryPolicy | None = None,
     ):
+        knobs = (max_retries, backoff_base, backoff_cap, retry_on)
+        if policy is None:
+            default = RetryPolicy()
+            policy = RetryPolicy(
+                max_retries=(
+                    default.max_retries if max_retries is None else max_retries
+                ),
+                backoff_base=(
+                    default.backoff_base if backoff_base is None else backoff_base
+                ),
+                backoff_cap=(
+                    default.backoff_cap if backoff_cap is None else backoff_cap
+                ),
+                retry_on=(
+                    default.retry_on if retry_on is None else tuple(retry_on)
+                ),
+            )
+        elif any(knob is not None for knob in knobs):
+            raise ValueError(
+                "pass either a RetryPolicy or loose retry knobs, not both"
+            )
         self.workers = resolve_workers(workers)
-        self.max_retries = max_retries
-        self.backoff_base = backoff_base
-        self.backoff_cap = backoff_cap
-        self.retry_on = tuple(retry_on)
+        self.policy = policy
         self.budget = budget
         self.usage = usage
         self.records: list[RequestRecord] = []
         self._records_lock = threading.Lock()
+        self._abort = threading.Event()
+        self._fatal: BaseException | None = None
+        self._fatal_lock = threading.Lock()
+
+    # Legacy views onto the policy (kept so existing call sites and tests
+    # that introspect the executor keep working).
+    @property
+    def max_retries(self) -> int:
+        return self.policy.max_retries
+
+    @property
+    def backoff_base(self) -> float:
+        return self.policy.backoff_base
+
+    @property
+    def backoff_cap(self) -> float:
+        return self.policy.backoff_cap
+
+    @property
+    def retry_on(self) -> tuple[type[BaseException], ...]:
+        return tuple(self.policy.retry_on)
 
     def backoff_delay(self, attempt: int) -> float:
         """Deterministic backoff before retry number ``attempt + 1``."""
-        return min(self.backoff_cap, self.backoff_base * (2**attempt))
+        return self.policy.delay(attempt)
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the last ``map`` hit a fatal error and bailed out."""
+        return self._abort.is_set()
 
     def _record(
         self, index: int, ok: bool, attempts: int, started: float,
@@ -190,25 +249,45 @@ class BatchExecutor:
         if self.usage is not None:
             self.usage.log_request(record)
 
+    def _set_fatal(self, exc: BaseException) -> None:
+        with self._fatal_lock:
+            if self._fatal is None:
+                self._fatal = exc
+        self._abort.set()
+
     def _run_one(self, fn: Callable, item, index: int):
         started = time.perf_counter()
         attempts = 0
         while True:
+            if self._abort.is_set():
+                # Another worker hit a fatal error; don't start new
+                # attempts.  Items that never attempted are not recorded
+                # (they were cancelled, not failed).
+                exc = self._fatal or FatalError("batch aborted")
+                if attempts:
+                    self._record(index, False, attempts, started, error=exc)
+                raise exc
             attempts += 1
             try:
                 if self.budget is not None:
                     tokens = count_tokens(item) if isinstance(item, str) else 0
                     self.budget.charge(requests=1, tokens=tokens)
                 result = fn(item)
-            except self.retry_on as exc:
-                if attempts > self.max_retries:
-                    self._record(index, False, attempts, started, error=exc)
-                    raise
-                time.sleep(self.backoff_delay(attempts - 1))
-                continue
-            except BaseException as exc:
+            except FatalError as exc:
+                # Checked before retry_on: BudgetExhaustedError is a
+                # RateLimitError, but backing off cannot refill a budget.
+                self._set_fatal(exc)
                 self._record(index, False, attempts, started, error=exc)
                 raise
+            except BaseException as exc:
+                if not self.policy.should_retry(exc, attempts):
+                    self._record(index, False, attempts, started, error=exc)
+                    raise
+                # Backoff that wakes immediately if the batch aborts —
+                # the abort check at loop top then raises without a new
+                # attempt.
+                self._abort.wait(self.policy.delay(attempts - 1))
+                continue
             self._record(index, True, attempts, started)
             return result
 
@@ -217,6 +296,10 @@ class BatchExecutor:
         items = list(items)
         if not items:
             return []
+        # A fresh run: clear any abort state left by a previous map call.
+        self._abort.clear()
+        with self._fatal_lock:
+            self._fatal = None
         if self.workers == 1:
             return [
                 self._run_one(fn, item, index)
@@ -228,8 +311,16 @@ class BatchExecutor:
                 pool.submit(self._run_one, fn, item, index)
                 for index, item in enumerate(items)
             ]
-            for index, future in enumerate(futures):
-                results[index] = future.result()
+            try:
+                for index, future in enumerate(futures):
+                    results[index] = future.result()
+            except BaseException:
+                # Fail fast: queued futures never start; in-flight ones
+                # drain on pool shutdown (fatal aborts make that quick —
+                # the abort event cuts every backoff sleep short).
+                for future in futures:
+                    future.cancel()
+                raise
         return results
 
 

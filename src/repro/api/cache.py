@@ -5,14 +5,19 @@ from __future__ import annotations
 import hashlib
 import sqlite3
 import threading
+import time
 
+# ``created_at`` is stamped from Python at insert time rather than via a
+# DDL default: ``DEFAULT (unixepoch('subsec'))`` needs SQLite >= 3.42
+# (2023), and interpreters bundling an older library would fail at
+# table-creation time.
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS completions (
     key TEXT PRIMARY KEY,
     model TEXT NOT NULL,
     prompt TEXT NOT NULL,
     completion TEXT NOT NULL,
-    created_at REAL DEFAULT (unixepoch('subsec'))
+    created_at REAL NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS completions_model ON completions (model);
 """
@@ -28,8 +33,10 @@ class PromptCache:
 
     ``path=":memory:"`` gives a per-process cache; a file path persists
     across runs, which is what makes re-running a benchmark sweep free.
-    Thread-safe via a single lock — contention is irrelevant next to the
-    latency the cache is hiding.
+    File-backed caches run in WAL journal mode so concurrent processes
+    (a sweep fanned across shells, all pointed at one ``--cache`` file)
+    can read while another writes.  Thread-safe via a single lock —
+    contention is irrelevant next to the latency the cache is hiding.
     """
 
     def __init__(self, path: str = ":memory:"):
@@ -37,6 +44,8 @@ class PromptCache:
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
         with self._lock:
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
 
@@ -55,8 +64,9 @@ class PromptCache:
         with self._lock:
             self._conn.execute(
                 "INSERT OR REPLACE INTO completions "
-                "(key, model, prompt, completion) VALUES (?, ?, ?, ?)",
-                (key, model, prompt, completion),
+                "(key, model, prompt, completion, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (key, model, prompt, completion, time.time()),
             )
             self._conn.commit()
 
@@ -75,3 +85,24 @@ class PromptCache:
     def close(self) -> None:
         with self._lock:
             self._conn.close()
+
+
+# Process-wide default cache.  The CLI's ``--cache PATH`` flag sets this
+# once so every client constructed underneath (task engine, bench
+# runners) shares one persistent file without threading a parameter
+# through every experiment module — same pattern as the default worker
+# count in :mod:`repro.api.batch`.
+_DEFAULT_CACHE: PromptCache | None = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
+
+
+def set_default_cache(cache: PromptCache | None) -> None:
+    """Install (or with ``None``, clear) the process-wide default cache."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        _DEFAULT_CACHE = cache
+
+
+def get_default_cache() -> PromptCache | None:
+    with _DEFAULT_CACHE_LOCK:
+        return _DEFAULT_CACHE

@@ -5,12 +5,21 @@ from __future__ import annotations
 import threading
 
 from repro.api.cache import PromptCache
+from repro.api.retry import (
+    BudgetExhaustedError,
+    FatalError,
+    RateLimitError,
+    RetryPolicy,
+)
 from repro.api.usage import UsageTracker
 from repro.fm.engine import SimulatedFoundationModel
 
-
-class RateLimitError(RuntimeError):
-    """Raised by the simulated endpoint when the request budget is hit."""
+__all__ = [
+    "BudgetExhaustedError",
+    "CompletionClient",
+    "FatalError",
+    "RateLimitError",
+]
 
 
 class CompletionClient:
@@ -24,14 +33,19 @@ class CompletionClient:
       backend (and without re-counting tokens),
     * every request is tallied in :class:`UsageTracker`,
     * an optional ``requests_per_run`` budget raises
-      :class:`RateLimitError`, with ``max_retries`` transparent retries —
-      the simulated endpoint "recovers" deterministically after a retry.
+      :class:`~repro.api.retry.BudgetExhaustedError` once spent — a
+      *fatal* error the batch layer fails fast on — while injected
+      transient failures get ``max_retries`` transparent retries (the
+      simulated endpoint "recovers" deterministically after a retry).
 
     Every backend touch — plain, verbose, and each retry attempt — goes
     through one accounting gate, so ``stats["backend_calls"]`` is exact
     and ``requests_per_run`` can never be exceeded.  The accounting is
     lock-protected, which makes the client safe to share across the
-    worker threads of a :class:`~repro.api.batch.BatchExecutor`.
+    worker threads of a :class:`~repro.api.batch.BatchExecutor`; cache
+    misses are *single-flight* per (model, prompt, temperature) key, so
+    N workers racing on the same prompt produce exactly one backend call
+    (the rest wait and read the cache) instead of N double-charged ones.
     """
 
     def __init__(
@@ -41,7 +55,8 @@ class CompletionClient:
         usage: UsageTracker | None = None,
         requests_per_run: int | None = None,
         failure_every: int | None = None,
-        max_retries: int = 2,
+        max_retries: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if isinstance(model, str):
             model = SimulatedFoundationModel(model)
@@ -52,10 +67,23 @@ class CompletionClient:
         self.usage = usage if usage is not None else UsageTracker()
         self.requests_per_run = requests_per_run
         self.failure_every = failure_every
-        self.max_retries = max_retries
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_retries=2 if max_retries is None else max_retries
+            )
+        elif max_retries is not None:
+            raise ValueError(
+                "pass either retry_policy or max_retries, not both"
+            )
+        self.retry_policy = retry_policy
+        self.max_retries = retry_policy.max_retries
         self._n_backend_calls = 0
         self._n_transient_failures = 0
         self._lock = threading.Lock()
+        # Single-flight bookkeeping: cache key -> Event set once the
+        # leader has either populated the cache or failed.
+        self._inflight: dict[tuple[str, str, float], threading.Event] = {}
+        self._inflight_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -66,14 +94,15 @@ class CompletionClient:
 
         Called once per *attempt* (retries included), so a retry that
         would exceed ``requests_per_run`` raises instead of silently
-        blowing past the budget.
+        blowing past the budget.  Exhaustion is fatal: the per-run
+        budget cannot recover, so callers must not back off on it.
         """
         with self._lock:
             if (
                 self.requests_per_run is not None
                 and self._n_backend_calls >= self.requests_per_run
             ):
-                raise RateLimitError(
+                raise BudgetExhaustedError(
                     f"request budget of {self.requests_per_run} exhausted"
                 )
             self._n_backend_calls += 1
@@ -102,16 +131,45 @@ class CompletionClient:
         )
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
-        """Cached completion of ``prompt``."""
+        """Cached completion of ``prompt`` (single-flight on misses)."""
         del kwargs  # accepted for API-compatibility with richer backends
-        cached = self.cache.get(self.name, prompt, temperature)
-        if cached is not None:
-            self.usage.record(self.name, prompt, cached, cached=True)
-            return cached
-        completion = self._backend_complete(prompt, temperature)
-        self.cache.put(self.name, prompt, completion, temperature)
-        self.usage.record(self.name, prompt, completion, cached=False)
-        return completion
+        while True:
+            cached = self.cache.get(self.name, prompt, temperature)
+            if cached is not None:
+                self.usage.record(self.name, prompt, cached, cached=True)
+                return cached
+            key = (self.name, prompt, temperature)
+            with self._inflight_lock:
+                done = self._inflight.get(key)
+                if done is None:
+                    done = self._inflight[key] = threading.Event()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                # Another worker is already computing this prompt; wait
+                # for it, then re-check the cache.  (If the leader
+                # failed, the cache is still empty and one waiter takes
+                # over as the new leader.)
+                done.wait()
+                continue
+            try:
+                # Double-check under leadership: a previous leader may
+                # have filled the cache between our miss and our claim.
+                cached = self.cache.get(self.name, prompt, temperature)
+                if cached is not None:
+                    self.usage.record(self.name, prompt, cached, cached=True)
+                    return cached
+                completion = self._backend_complete(prompt, temperature)
+                # Populate the cache *before* releasing the waiters so
+                # their re-check hits.
+                self.cache.put(self.name, prompt, completion, temperature)
+                self.usage.record(self.name, prompt, completion, cached=False)
+                return completion
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                done.set()
 
     def complete_many(
         self,
@@ -127,12 +185,14 @@ class CompletionClient:
         :meth:`complete` calls; cache, usage, and budget accounting all go
         through the same lock-protected paths.  Outer retries are
         disabled — the client already retries transient failures
-        internally, and budget exhaustion is permanent for a run.
+        internally, and budget exhaustion is fatal (the executor cancels
+        the rest of the batch instead of backing off).
         """
         from repro.api.batch import BatchExecutor
+        from repro.api.retry import NO_RETRY
 
         executor = BatchExecutor(
-            workers=workers, max_retries=0, usage=self.usage
+            workers=workers, policy=NO_RETRY, usage=self.usage
         )
         return executor.map(
             lambda prompt: self.complete(prompt, temperature=temperature),

@@ -1,0 +1,102 @@
+"""Error taxonomy and the shared retry policy for the completion stack.
+
+The batch layer distinguishes two failure families:
+
+* **transient** — simulated rate limits, timeouts, connection drops.
+  These are worth a deterministic exponential backoff and a bounded
+  number of retries; the endpoint "recovers" and the run proceeds.
+* **fatal** — :class:`FatalError` and subclasses.  A run-level budget
+  that is exhausted (:class:`BudgetExhaustedError`) can never recover
+  mid-run, so retrying it only burns ``workers * Σ backoff`` of
+  wall-clock before failing anyway.  The executor aborts the whole
+  batch immediately instead: pending work is cancelled, in-flight work
+  drains, and the original error propagates.
+
+:class:`RetryPolicy` is the one object that encodes how retries behave
+— which exceptions are retryable, how many attempts, and the backoff
+schedule — shared by :class:`~repro.api.client.CompletionClient`,
+:class:`~repro.api.batch.BatchExecutor`, and the task engine, so the
+three layers can never disagree about what "retry" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class RateLimitError(RuntimeError):
+    """Raised by the simulated endpoint when a request budget is hit."""
+
+
+class FatalError(RuntimeError):
+    """A failure no amount of backoff can fix — fail the batch fast."""
+
+
+class BudgetExhaustedError(FatalError, RateLimitError):
+    """A run-level request/token budget is spent.
+
+    Subclasses :class:`RateLimitError` so existing ``except
+    RateLimitError`` call sites keep working, and :class:`FatalError` so
+    the batch layer knows not to back off: a budget cannot recover
+    mid-run.
+    """
+
+
+#: Exception types worth a backoff-and-retry by default.  Fatal
+#: subclasses are screened out explicitly, so ``BudgetExhaustedError``
+#: being a ``RateLimitError`` does not make it retryable.
+DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (
+    RateLimitError,
+    TimeoutError,
+    ConnectionError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) a failed request is retried.
+
+    ``delay`` is deterministic exponential backoff: ``backoff_base *
+    2**attempt`` capped at ``backoff_cap`` — no jitter, so test runs are
+    reproducible.  :class:`FatalError` is never retryable regardless of
+    ``retry_on``.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    retry_on: tuple[type[BaseException], ...] = field(
+        default=DEFAULT_RETRY_ON
+    )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2**attempt))
+
+    def is_fatal(self, exc: BaseException) -> bool:
+        return isinstance(exc, FatalError)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return not self.is_fatal(exc) and isinstance(exc, tuple(self.retry_on))
+
+    def should_retry(self, exc: BaseException, attempts: int) -> bool:
+        """Whether a request that has made ``attempts`` tries goes again."""
+        return self.is_retryable(exc) and attempts <= self.max_retries
+
+
+#: The stack-wide default (used when no policy is passed explicitly).
+DEFAULT_POLICY = RetryPolicy()
+
+#: For layers that retry internally already (e.g. ``complete_many``'s
+#: executor over a CompletionClient that retries injected failures).
+NO_RETRY = RetryPolicy(max_retries=0)
+
+__all__ = [
+    "BudgetExhaustedError",
+    "DEFAULT_POLICY",
+    "DEFAULT_RETRY_ON",
+    "FatalError",
+    "NO_RETRY",
+    "RateLimitError",
+    "RetryPolicy",
+]

@@ -52,8 +52,22 @@ class Usage:
         return self.prompt_tokens + self.completion_tokens
 
     @property
+    def known_price(self) -> bool:
+        """Whether the model has a published per-token rate."""
+        return self.model in PRICE_PER_1K_TOKENS
+
+    @property
     def cost_usd(self) -> float:
-        rate = PRICE_PER_1K_TOKENS.get(self.model, 0.02)
+        """Simulated spend; 0.0 (never an invented rate) when unknown.
+
+        An unrecognized model name used to be silently priced at the
+        175B rate — a fabricated dollar figure.  Callers that need to
+        distinguish "free" from "unpriced" check :attr:`known_price`
+        (the run manifest surfaces it as an ``unknown_price`` flag).
+        """
+        rate = PRICE_PER_1K_TOKENS.get(self.model)
+        if rate is None:
+            return 0.0
         return self.total_tokens * rate / 1000.0
 
 
@@ -90,6 +104,24 @@ class UsageTracker:
         with self._lock:
             self.request_log.append(record)
 
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Point-in-time copy of the per-model counters.
+
+        Pair two snapshots with :func:`usage_delta` to attribute usage to
+        one run of a shared, long-lived tracker (the run manifest does
+        this around each evaluation).
+        """
+        with self._lock:
+            return {
+                model: {
+                    "n_requests": usage.n_requests,
+                    "n_cache_hits": usage.n_cache_hits,
+                    "prompt_tokens": usage.prompt_tokens,
+                    "completion_tokens": usage.completion_tokens,
+                }
+                for model, usage in self.per_model.items()
+            }
+
     def latency_summary(self) -> dict[str, float]:
         """Aggregate view of the request log (counts and seconds)."""
         with self._lock:
@@ -116,9 +148,33 @@ class UsageTracker:
     def summary(self) -> str:
         lines = []
         for model, usage in sorted(self.per_model.items()):
+            price = f"${usage.cost_usd:.4f}"
+            if not usage.known_price:
+                price += " (price unknown)"
             lines.append(
                 f"{model}: {usage.n_requests} requests "
                 f"({usage.n_cache_hits} cached), "
-                f"{usage.total_tokens} tokens, ${usage.cost_usd:.4f}"
+                f"{usage.total_tokens} tokens, {price}"
             )
         return "\n".join(lines) if lines else "no usage recorded"
+
+
+def usage_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, Usage]:
+    """Per-model :class:`Usage` accrued between two tracker snapshots."""
+    delta: dict[str, Usage] = {}
+    for model, counts in after.items():
+        base = before.get(model, {})
+        usage = Usage(
+            model=model,
+            n_requests=counts["n_requests"] - base.get("n_requests", 0),
+            n_cache_hits=counts["n_cache_hits"] - base.get("n_cache_hits", 0),
+            prompt_tokens=counts["prompt_tokens"] - base.get("prompt_tokens", 0),
+            completion_tokens=(
+                counts["completion_tokens"] - base.get("completion_tokens", 0)
+            ),
+        )
+        if usage.n_requests or usage.total_tokens:
+            delta[model] = usage
+    return delta

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import importlib
 
-from repro.bench.reporting import ExperimentResult, render_table
+from repro.bench.reporting import (
+    ExperimentResult,
+    render_manifest,
+    render_table,
+    summarize_manifests,
+)
 
 #: experiment name → one-line description.  Every name maps to a module
 #: ``repro.bench.<name>`` exposing ``run()``.
@@ -56,6 +61,8 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "available_experiments",
+    "render_manifest",
     "render_table",
     "run_experiment",
+    "summarize_manifests",
 ]

@@ -1,4 +1,4 @@
-"""Result containers and plain-text table rendering."""
+"""Result containers, plain-text table rendering, manifest summaries."""
 
 from __future__ import annotations
 
@@ -55,3 +55,93 @@ class ExperimentResult:
             if row[0] == row_key:
                 return row[column_index]
         raise KeyError(f"no row {row_key!r} in {self.experiment}")
+
+
+def _as_manifest_dict(manifest) -> dict:
+    return manifest.to_dict() if hasattr(manifest, "to_dict") else dict(manifest)
+
+
+def render_manifest(manifest) -> str:
+    """One-paragraph text summary of a run manifest.
+
+    Accepts a :class:`~repro.core.manifest.RunManifest` or its dict form
+    (e.g. re-read from the ``--manifest`` JSON).
+    """
+    m = _as_manifest_dict(manifest)
+    phases = m.get("phases", {})
+    phase_text = " | ".join(
+        f"{name} {seconds:.3f}s" for name, seconds in phases.items()
+    )
+    requests = m.get("requests", {})
+    lines = [
+        f"== run manifest: {m['task']}/{m['dataset']} "
+        f"({m['model']}, k={m['k']}, {m['selection']}) ==",
+        f"{m['metric_name']}: {100 * m['metric']:.1f} "
+        f"on {m['n_examples']} examples ({m['split']} split, seed {m['seed']})",
+        f"phases: {phase_text}  (wall {m['wall_clock_s']:.3f}s, "
+        f"workers {m['workers']})",
+        f"requests: {requests.get('n_requests', 0)} "
+        f"({requests.get('n_failures', 0)} failures, "
+        f"{requests.get('n_retries', 0)} retries)",
+    ]
+    cache = m.get("cache")
+    if cache:
+        lines.append(
+            f"cache: {cache['hits']}/{cache['lookups']} hits "
+            f"({100 * cache['hit_rate']:.1f}%), "
+            f"{cache['backend_calls']} backend calls, "
+            f"{cache['entries']} entries"
+        )
+    usage = m.get("usage") or {}
+    if usage:
+        tokens = sum(entry["total_tokens"] for entry in usage.values())
+        cost = f"${m['cost_usd']:.4f}"
+        if m.get("unknown_price"):
+            cost += " (some models unpriced)"
+        lines.append(f"tokens: {tokens}, cost {cost}")
+    return "\n".join(lines)
+
+
+def summarize_manifests(
+    experiment: str,
+    manifests: list,
+    wall_clock_s: float,
+    workers: int,
+) -> dict:
+    """Experiment-level manifest: per-run manifests plus totals.
+
+    This is the JSON shape ``repro bench --manifest DIR`` writes — one
+    file per experiment, validated in CI against the run-manifest schema
+    (each entry of ``runs``) plus the aggregate keys.
+    """
+    runs = [_as_manifest_dict(manifest) for manifest in manifests]
+    hits = sum((run.get("cache") or {}).get("hits", 0) for run in runs)
+    lookups = sum((run.get("cache") or {}).get("lookups", 0) for run in runs)
+    return {
+        "experiment": experiment,
+        "wall_clock_s": wall_clock_s,
+        "workers": workers,
+        "n_runs": len(runs),
+        "runs": runs,
+        "totals": {
+            "cost_usd": sum(run.get("cost_usd", 0.0) for run in runs),
+            "unknown_price": any(run.get("unknown_price") for run in runs),
+            "tokens": sum(
+                entry["total_tokens"]
+                for run in runs
+                for entry in (run.get("usage") or {}).values()
+            ),
+            "requests": sum(
+                run.get("requests", {}).get("n_requests", 0) for run in runs
+            ),
+            "retries": sum(
+                run.get("requests", {}).get("n_retries", 0) for run in runs
+            ),
+            "failures": sum(
+                run.get("requests", {}).get("n_failures", 0) for run in runs
+            ),
+            "cache_hits": hits,
+            "cache_lookups": lookups,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+        },
+    }

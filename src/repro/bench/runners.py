@@ -8,6 +8,8 @@ task-specific supervised/rule-based systems the paper compares against.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.api.batch import BatchExecutor
 from repro.baselines import (
     DittoMatcher,
@@ -29,6 +31,31 @@ from repro.datasets.base import (
 )
 
 
+# Active manifest sink (see :func:`collect_manifests`).  ``None`` means
+# collection is off and evaluate_fm discards nothing — the manifest still
+# rides on the returned TaskRun.
+_MANIFEST_SINK: list | None = None
+
+
+@contextmanager
+def collect_manifests():
+    """Collect the RunManifest of every ``evaluate_fm`` call in scope.
+
+    The CLI's ``bench --manifest DIR`` wraps each experiment in this to
+    gather per-evaluation telemetry without the fourteen experiment
+    modules knowing manifests exist.  Yields the (mutable) list that
+    accumulates :class:`~repro.core.manifest.RunManifest` objects; nests
+    safely (the inner scope shadows the outer).
+    """
+    global _MANIFEST_SINK
+    previous = _MANIFEST_SINK
+    _MANIFEST_SINK = sink = []
+    try:
+        yield sink
+    finally:
+        _MANIFEST_SINK = previous
+
+
 def evaluate_fm(
     task: str,
     dataset,
@@ -47,11 +74,16 @@ def evaluate_fm(
     and ``model`` may be names or objects.  ``k=None`` uses the task's
     paper default.  Returns the full :class:`TaskRun` — callers take
     ``.metric`` for a table cell or keep predictions/records for slicing.
+    The run's manifest is also pushed to any active
+    :func:`collect_manifests` scope.
     """
-    return run_task(
+    run = run_task(
         task, model, dataset, k=k, selection=selection, config=config,
         max_examples=max_examples, seed=seed, workers=workers, trace=trace,
     )
+    if _MANIFEST_SINK is not None and run.manifest is not None:
+        _MANIFEST_SINK.append(run.manifest)
+    return run
 
 
 def evaluate_magellan(dataset: EntityMatchingDataset, max_test: int | None = None) -> float:

@@ -74,6 +74,17 @@ def _cmd_tasks(_args) -> int:
     return 0
 
 
+def _install_default_cache(path: str | None):
+    """Point every client built underneath at one persistent cache."""
+    if not path:
+        return None
+    from repro.api import PromptCache, set_default_cache
+
+    cache = PromptCache(path)
+    set_default_cache(cache)
+    return cache
+
+
 def _cmd_run(args) -> int:
     from repro.core.tasks import get_task, run_task
     from repro.datasets import available_datasets, load_dataset
@@ -92,11 +103,17 @@ def _cmd_run(args) -> int:
                          f"benchmark, not {spec.name}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    _install_default_cache(args.cache)
     result = run_task(
         spec, args.model, dataset, k=args.k, selection=args.selection,
         max_examples=args.max_examples, split=args.split, seed=args.seed,
         workers=args.workers, trace=args.trace,
     )
+    if args.manifest and result.manifest is not None:
+        from repro.bench.reporting import render_manifest
+
+        result.manifest.write(args.manifest)
+        print(render_manifest(result.manifest))
     print(result.describe())
     for key, value in result.details.items():
         if isinstance(value, float):
@@ -113,6 +130,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import time
+
     from repro.bench import available_experiments, run_experiment
 
     if args.experiment not in available_experiments():
@@ -127,9 +146,37 @@ def _cmd_bench(args) -> int:
         from repro.api.batch import set_default_workers
 
         set_default_workers(args.workers)
-    for result in run_experiment(args.experiment):
-        print(result.render())
-        print()
+    _install_default_cache(args.cache)
+    if not args.manifest:
+        for result in run_experiment(args.experiment):
+            print(result.render())
+            print()
+        return 0
+
+    import json
+    import os
+
+    from repro.bench.reporting import summarize_manifests
+    from repro.bench.runners import collect_manifests
+
+    os.makedirs(args.manifest, exist_ok=True)
+    started = time.perf_counter()
+    with collect_manifests() as sink:
+        for result in run_experiment(args.experiment):
+            print(result.render())
+            print()
+    summary = summarize_manifests(
+        args.experiment, sink, time.perf_counter() - started, args.workers
+    )
+    path = os.path.join(args.manifest, f"{args.experiment}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    totals = summary["totals"]
+    print(f"manifest: {path} ({summary['n_runs']} runs, "
+          f"{totals['requests']} requests, "
+          f"{100 * totals['cache_hit_rate']:.1f}% cache hits, "
+          f"${totals['cost_usd']:.4f})")
     return 0
 
 
@@ -207,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan prompt completion across N threads")
     run.add_argument("--trace", action="store_true",
                      help="record per-example prompt/response/latency")
+    run.add_argument("--manifest", metavar="PATH", default=None,
+                     help="write run telemetry (phase timings, cache hit "
+                          "rate, cost) as JSON to PATH")
+    run.add_argument("--cache", metavar="PATH", default=None,
+                     help="file-backed prompt cache shared across runs "
+                          "(re-runs become near-free)")
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a table/figure")
@@ -214,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="table1..table6, figure4/5, or an extension study")
     bench.add_argument("--workers", type=int, default=1,
                        help="fan per-example prompt loops across N threads")
+    bench.add_argument("--manifest", metavar="DIR", default=None,
+                       help="write per-evaluation manifests + totals to "
+                            "DIR/<experiment>.json")
+    bench.add_argument("--cache", metavar="PATH", default=None,
+                       help="file-backed prompt cache shared by every "
+                            "evaluation in the experiment")
     bench.set_defaults(fn=_cmd_bench)
 
     def with_model(command, help_text):

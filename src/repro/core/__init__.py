@@ -47,6 +47,7 @@ from repro.core.analysis import (
     analyze_matching,
 )
 from repro.core.ensemble import PromptEnsemble
+from repro.core.manifest import RunManifest, validate_manifest
 from repro.core.pipeline import Wrangler
 from repro.core.prototype import LabelingReport, ModelPrototyper
 
@@ -73,7 +74,9 @@ __all__ = [
     "SchemaMatchingPromptConfig",
     "SerializationConfig",
     "TransformationPromptConfig",
+    "RunManifest",
     "Wrangler",
+    "validate_manifest",
     "accuracy",
     "binary_metrics",
     "normalize_answer",

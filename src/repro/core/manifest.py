@@ -1,0 +1,176 @@
+"""Run manifests: one JSON-serializable telemetry record per evaluation.
+
+Production LLM harnesses treat per-run cost, latency, and cache
+telemetry as first-class outputs next to the metric itself — a sweep
+that cannot say what it spent, where the wall-clock went, or whether the
+cache did anything is impossible to budget or debug.  A
+:class:`RunManifest` is assembled by
+:func:`repro.core.tasks.engine.run_task` for every evaluation and
+captures:
+
+* **phase timings** — selection / prompting / completion / scoring
+  seconds, plus the total wall clock,
+* **request outcomes** — logical requests, failures, retries, and
+  latency aggregates from the executor's request log,
+* **cache and cost** — hit rate, token tallies, and simulated USD spend
+  from the client's :class:`~repro.api.usage.UsageTracker` (with an
+  ``unknown_price`` flag instead of an invented rate for unpriced
+  models),
+* **the resolved configuration** — model, k, selection strategy, split,
+  seed, worker count, and the task's prompt config.
+
+``repro run ... --manifest out.json`` writes one; ``repro bench ...
+--manifest DIR`` writes one per underlying evaluation plus experiment
+totals.  The JSON shape is pinned by ``schemas/run_manifest.schema.json``
+and checked in CI; :func:`validate_manifest` is the (dependency-free)
+validator behind ``scripts/validate_manifest.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+#: Bumped on any backward-incompatible change to the manifest shape.
+MANIFEST_SCHEMA_VERSION = 1
+
+PHASE_NAMES = ("selection", "prompting", "completion", "scoring")
+
+
+def jsonable(value):
+    """Best-effort conversion of ``value`` to JSON-serializable types.
+
+    Dataclasses (prompt configs) become dicts, containers recurse, and
+    anything exotic degrades to ``repr`` — a manifest must never fail to
+    serialize because a config grew a field.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [jsonable(item) for item in value]
+    return repr(value)
+
+
+@dataclass
+class RunManifest:
+    """Telemetry for one task evaluation (JSON-serializable)."""
+
+    task: str
+    dataset: str
+    model: str
+    k: int
+    selection: str
+    split: str
+    seed: int
+    workers: int
+    n_examples: int
+    metric_name: str
+    metric: float
+    #: phase name -> seconds (see :data:`PHASE_NAMES`).
+    phases: dict = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+    #: Aggregates over the completion fan-out's request log:
+    #: n_requests / n_failures / n_retries / total_s / mean_s / max_s.
+    requests: dict = field(default_factory=dict)
+    #: hits / lookups / hit_rate (and backend_calls when the model is a
+    #: CompletionClient); ``None`` when the model exposes no cache.
+    cache: dict | None = None
+    #: per-model token/cost tallies accrued during this run.
+    usage: dict = field(default_factory=dict)
+    cost_usd: float = 0.0
+    #: True when any model in ``usage`` has no published per-token rate
+    #: (its cost is reported as 0.0, not invented).
+    unknown_price: bool = False
+    config: dict = field(default_factory=dict)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return jsonable(dataclasses.asdict(self))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        if self.cache is None:
+            return None
+        return self.cache.get("hit_rate")
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (dependency-free subset of JSON Schema).
+#
+# CI validates every emitted manifest against the checked-in schema; the
+# validator understands the subset the schema uses — type / properties /
+# required / items / enum — so neither CI nor the test suite needs the
+# third-party ``jsonschema`` package.
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate_manifest(instance, schema: dict, path: str = "$") -> list[str]:
+    """Structural validation of ``instance`` against ``schema``.
+
+    Returns a list of human-readable problems (empty == valid).  Supports
+    the JSON Schema subset used by ``schemas/run_manifest.schema.json``:
+    ``type`` (string or list of strings), ``properties``, ``required``,
+    ``items``, and ``enum``.
+    """
+    problems: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = [expected] if isinstance(expected, str) else list(expected)
+        if not any(
+            _TYPE_CHECKS.get(name, lambda _v: False)(instance)
+            for name in allowed
+        ):
+            problems.append(
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            )
+            return problems
+    if "enum" in schema and instance not in schema["enum"]:
+        problems.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                problems.append(f"{path}: missing required key {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                problems.extend(
+                    validate_manifest(
+                        instance[name], subschema, f"{path}.{name}"
+                    )
+                )
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            problems.extend(
+                validate_manifest(item, schema["items"], f"{path}[{index}]")
+            )
+    return problems
+
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "PHASE_NAMES",
+    "RunManifest",
+    "jsonable",
+    "validate_manifest",
+]

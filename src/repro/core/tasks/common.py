@@ -49,6 +49,9 @@ class TaskRun:
     details: dict = field(default_factory=dict)
     #: Optional per-example traces (see :class:`ExampleRecord`).
     records: list = field(default_factory=list)
+    #: Run telemetry (see :class:`repro.core.manifest.RunManifest`);
+    #: always attached by the engine, ``None`` only for hand-built runs.
+    manifest: object | None = None
 
     def describe(self) -> str:
         return (

@@ -6,31 +6,73 @@ parse, score.  The per-task modules reduce to declarative
 :class:`~repro.core.tasks.spec.TaskSpec` definitions plus thin wrappers
 (``run_entity_matching`` & co.) that delegate here.
 
+Every run is instrumented: phase wall-clock (selection / prompting /
+completion / scoring), request outcomes, cache hit rate, and token/cost
+totals are assembled into a :class:`~repro.core.manifest.RunManifest`
+attached to the returned :class:`~repro.core.tasks.common.TaskRun`.
+String model names resolve to a :class:`~repro.api.client.CompletionClient`
+(wrapping the simulator) so accounting and the process-default prompt
+cache — the CLI's ``--cache PATH`` — apply without any per-task plumbing.
+
 ``run_task(..., trace=True)`` additionally attaches one
 :class:`~repro.core.tasks.common.ExampleRecord` per evaluated example —
 prompt, response, prediction, label and the request latency pulled from
-the executor's :class:`~repro.api.usage.UsageTracker` request log — so
-every experiment gets observability without per-task plumbing.
+the executor's :class:`~repro.api.usage.UsageTracker` request log.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.core.demonstrations import (
     DemonstrationSelector,
     ManualCurator,
     RandomSelector,
 )
+from repro.core.manifest import RunManifest, jsonable
 from repro.core.tasks.common import ExampleRecord, TaskRun, subsample
 from repro.core.tasks.spec import TaskSpec, get_task
 
 
-def _complete(model, prompts: list[str], workers: int | None, tracker=None) -> list[str]:
+def _complete(
+    model,
+    prompts: list[str],
+    workers: int | None,
+    tracker=None,
+    retry_policy=None,
+) -> list[str]:
     from repro.api.batch import BatchExecutor, complete_all
 
-    if tracker is None:
-        return complete_all(model, prompts, workers=workers)
-    executor = BatchExecutor(workers=workers, usage=tracker)
+    executor = BatchExecutor(
+        workers=workers, usage=tracker, policy=retry_policy
+    )
     return complete_all(model, prompts, executor=executor)
+
+
+def _resolve_model(model):
+    """Model objects pass through; names become accounted clients.
+
+    A :class:`~repro.api.client.CompletionClient` adds caching (the
+    process-default cache if ``--cache`` installed one, else a private
+    in-memory one) and usage accounting without changing any completion:
+    at temperature 0 the wrapped simulator returns exactly what the bare
+    simulator would.  Non-client model *objects* are wrapped only when a
+    default cache is installed — a bench module's bare simulator then
+    shares the sweep's persistent cache too.
+    """
+    from repro.api.cache import get_default_cache
+    from repro.api.client import CompletionClient
+
+    if isinstance(model, str):
+        return CompletionClient(model, cache=get_default_cache())
+    default_cache = get_default_cache()
+    if (
+        default_cache is not None
+        and not isinstance(model, CompletionClient)
+        and hasattr(model, "complete")
+    ):
+        return CompletionClient(model, cache=default_cache)
+    return model
 
 
 def predict(
@@ -110,6 +152,84 @@ def select_demonstrations(
     return selector.select(dataset.train, k)
 
 
+def _build_manifest(
+    spec,
+    dataset,
+    model,
+    *,
+    k: int,
+    selection,
+    split: str,
+    seed: int,
+    workers: int | None,
+    n_examples: int,
+    metric: float,
+    phases: dict[str, float],
+    wall_clock_s: float,
+    tracker,
+    usage_before,
+    config,
+) -> RunManifest:
+    from repro.api.batch import resolve_workers
+    from repro.api.client import CompletionClient
+    from repro.api.usage import usage_delta
+
+    if isinstance(selection, DemonstrationSelector):
+        selection_name = type(selection).__name__
+    else:
+        selection_name = str(selection)
+
+    usage_section: dict[str, dict] = {}
+    cache_section = None
+    cost_usd = 0.0
+    unknown_price = False
+    if isinstance(model, CompletionClient) and usage_before is not None:
+        delta = usage_delta(usage_before, model.usage.snapshot())
+        hits = sum(usage.n_cache_hits for usage in delta.values())
+        lookups = sum(usage.n_requests for usage in delta.values())
+        for name, usage in sorted(delta.items()):
+            usage_section[name] = {
+                "n_requests": usage.n_requests,
+                "n_cache_hits": usage.n_cache_hits,
+                "prompt_tokens": usage.prompt_tokens,
+                "completion_tokens": usage.completion_tokens,
+                "total_tokens": usage.total_tokens,
+                "cost_usd": usage.cost_usd,
+                "unknown_price": not usage.known_price,
+            }
+            cost_usd += usage.cost_usd
+            unknown_price = unknown_price or not usage.known_price
+        cache_section = {
+            "hits": hits,
+            "lookups": lookups,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "entries": len(model.cache),
+            "backend_calls": model.stats["backend_calls"],
+        }
+
+    return RunManifest(
+        task=spec.name,
+        dataset=dataset.name,
+        model=getattr(model, "name", type(model).__name__),
+        k=k,
+        selection=selection_name,
+        split=split,
+        seed=seed,
+        workers=resolve_workers(workers),
+        n_examples=n_examples,
+        metric_name=spec.metric_name,
+        metric=metric,
+        phases=dict(phases),
+        wall_clock_s=wall_clock_s,
+        requests=tracker.latency_summary(),
+        cache=cache_section,
+        usage=usage_section,
+        cost_usd=cost_usd,
+        unknown_price=unknown_price,
+        config=jsonable(config),
+    )
+
+
 def run_task(
     task: str | TaskSpec,
     model,
@@ -122,20 +242,27 @@ def run_task(
     seed: int = 0,
     workers: int | None = None,
     trace: bool = False,
+    retry_policy=None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` under the named task's spec.
 
     ``model`` is anything with a ``complete(prompt) -> str`` method, or a
-    model name resolved through the simulator.  ``k=None`` uses the
+    model name resolved through the simulator (wrapped in an accounted
+    :class:`~repro.api.client.CompletionClient`).  ``k=None`` uses the
     spec's paper default.  ``workers`` fans the test-set prompts across a
-    thread pool without changing the predictions; ``trace=True`` attaches
-    per-example :class:`~repro.core.tasks.common.ExampleRecord` entries.
+    thread pool without changing the predictions; ``retry_policy``
+    (a :class:`~repro.api.retry.RetryPolicy`) governs backoff for that
+    fan-out; ``trace=True`` attaches per-example
+    :class:`~repro.core.tasks.common.ExampleRecord` entries.  The
+    returned run always carries a populated
+    :class:`~repro.core.manifest.RunManifest` in ``.manifest``.
     """
-    spec = get_task(task)
-    if isinstance(model, str):
-        from repro.fm import SimulatedFoundationModel
+    from repro.api.client import CompletionClient
+    from repro.api.usage import UsageTracker
 
-        model = SimulatedFoundationModel(model)
+    run_started = time.perf_counter()
+    spec = get_task(task)
+    model = _resolve_model(model)
     if isinstance(dataset, str):
         from repro.datasets import load_dataset
 
@@ -144,23 +271,41 @@ def run_task(
         k = spec.default_k
     if config is None:
         config = spec.default_config(dataset)
+    usage_before = (
+        model.usage.snapshot() if isinstance(model, CompletionClient) else None
+    )
+    phases: dict[str, float] = {}
+
+    phase_started = time.perf_counter()
     demonstrations = select_demonstrations(
         spec, model, dataset, k, config, selection, seed
     )
+    phases["selection"] = time.perf_counter() - phase_started
+
+    phase_started = time.perf_counter()
     examples = subsample(spec.examples_of(dataset, split), max_examples)
     prompts = [
         spec.build_prompt(example, demonstrations, config, k)
         for example in examples
     ]
-    tracker = None
-    if trace:
-        from repro.api.usage import UsageTracker
+    phases["prompting"] = time.perf_counter() - phase_started
 
-        tracker = UsageTracker()
-    responses = _complete(model, prompts, workers, tracker=tracker)
+    # The tracker receives one RequestRecord per evaluated example from
+    # the executor — retries, failures, and latency for the manifest,
+    # and the per-example latency join for trace records.
+    tracker = UsageTracker()
+    phase_started = time.perf_counter()
+    responses = _complete(
+        model, prompts, workers, tracker=tracker, retry_policy=retry_policy
+    )
+    phases["completion"] = time.perf_counter() - phase_started
+
+    phase_started = time.perf_counter()
     predictions = [spec.parse_response(response) for response in responses]
     labels = [spec.label_of(example) for example in examples]
     metric, details = spec.score(predictions, labels, examples)
+    phases["scoring"] = time.perf_counter() - phase_started
+
     records: list[ExampleRecord] = []
     if trace:
         latencies = {
@@ -179,11 +324,19 @@ def run_task(
                 zip(prompts, responses, predictions, labels)
             )
         ]
+    effective_k = len(demonstrations) if spec.supports_selection else k
+    manifest = _build_manifest(
+        spec, dataset, model,
+        k=effective_k, selection=selection, split=split, seed=seed,
+        workers=workers, n_examples=len(examples), metric=metric,
+        phases=phases, wall_clock_s=time.perf_counter() - run_started,
+        tracker=tracker, usage_before=usage_before, config=config,
+    )
     return TaskRun(
         task=spec.name,
         dataset=dataset.name,
         model=getattr(model, "name", type(model).__name__),
-        k=len(demonstrations) if spec.supports_selection else k,
+        k=effective_k,
         metric_name=spec.metric_name,
         metric=metric,
         n_examples=len(examples),
@@ -191,4 +344,5 @@ def run_task(
         labels=labels,
         details=details,
         records=records,
+        manifest=manifest,
     )

@@ -1,14 +1,18 @@
 """Tests for the concurrent batch-execution layer."""
 
 import threading
+import time
 
 import pytest
 
 from repro.api import (
     BatchExecutor,
+    BudgetExhaustedError,
     CompletionClient,
+    FatalError,
     PromptCache,
     RateLimitError,
+    RetryPolicy,
     SharedBudget,
     UsageTracker,
     complete_all,
@@ -179,6 +183,170 @@ class TestSharedBudget:
         with pytest.raises(RateLimitError):
             executor.map(lambda x: x, list(range(32)))
         assert budget.n_requests == 5
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_matches_executor(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.5)
+        assert [policy.delay(n) for n in range(4)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.5]
+        )
+
+    def test_fatal_errors_are_never_retryable(self):
+        """BudgetExhaustedError is a RateLimitError (in retry_on) but must
+        be screened out: a spent budget cannot recover mid-run."""
+        policy = RetryPolicy()
+        assert policy.is_retryable(RateLimitError("x"))
+        assert not policy.is_retryable(BudgetExhaustedError("x"))
+        assert not policy.is_retryable(FatalError("x"))
+        assert not policy.should_retry(BudgetExhaustedError("x"), attempts=1)
+
+    def test_should_retry_respects_attempt_bound(self):
+        policy = RetryPolicy(max_retries=2)
+        exc = TimeoutError("x")
+        assert policy.should_retry(exc, attempts=1)
+        assert policy.should_retry(exc, attempts=2)
+        assert not policy.should_retry(exc, attempts=3)
+        assert not policy.should_retry(ValueError("x"), attempts=1)
+
+    def test_executor_accepts_policy_object(self):
+        policy = RetryPolicy(max_retries=7, backoff_base=0.3, backoff_cap=0.9)
+        executor = BatchExecutor(workers=2, policy=policy)
+        assert executor.policy is policy
+        assert executor.max_retries == 7
+        assert executor.backoff_delay(0) == pytest.approx(0.3)
+        assert executor.backoff_delay(5) == pytest.approx(0.9)
+
+    def test_executor_rejects_policy_plus_loose_knobs(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(policy=RetryPolicy(), max_retries=3)
+
+    def test_legacy_knobs_fold_into_a_policy(self):
+        executor = BatchExecutor(max_retries=5, backoff_base=0.2)
+        assert executor.policy.max_retries == 5
+        assert executor.policy.backoff_base == pytest.approx(0.2)
+        assert executor.policy.backoff_cap == pytest.approx(2.0)  # default
+
+    def test_client_shares_the_policy_type(self):
+        client = CompletionClient(CountingBackend(),
+                                  retry_policy=RetryPolicy(max_retries=4))
+        assert client.max_retries == 4
+        with pytest.raises(ValueError):
+            CompletionClient(CountingBackend(), max_retries=1,
+                             retry_policy=RetryPolicy())
+
+
+class CountingFn:
+    """Thread-safe call counter around an arbitrary result."""
+
+    def __init__(self, result="ok", error=None, fail_first=frozenset()):
+        self.calls = 0
+        self.result = result
+        self.error = error
+        self.fail_first = set(fail_first)
+        self._failed = set()
+        self._lock = threading.Lock()
+
+    def __call__(self, item):
+        with self._lock:
+            self.calls += 1
+            if self.error is not None:
+                raise self.error(f"fatal on {item!r}")
+            if item in self.fail_first and item not in self._failed:
+                self._failed.add(item)
+                raise TimeoutError(f"transient on {item!r}")
+        return f"{self.result}:{item}"
+
+
+class TestFailFast:
+    def test_budget_exhaustion_raises_without_backoff_sleeps(self):
+        """The ISSUE acceptance bar: SharedBudget(max_requests=N) with 8
+        workers must raise immediately — zero backoff sleeps for
+        exhausted charges — with total calls <= N.  The backoff is set so
+        large that a single retry sleep would blow the time budget."""
+        budget = SharedBudget(max_requests=5)
+        executor = BatchExecutor(
+            workers=8, max_retries=3, backoff_base=30.0, budget=budget,
+        )
+        fn = CountingFn()
+        started = time.perf_counter()
+        with pytest.raises(BudgetExhaustedError):
+            executor.map(fn, list(range(32)))
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0  # any single backoff would take >= 30s
+        assert fn.calls <= 5
+        assert budget.n_requests == 5
+        assert executor.aborted
+
+    def test_budget_exhaustion_is_still_a_rate_limit_error(self):
+        budget = SharedBudget(max_requests=1)
+        executor = BatchExecutor(workers=1, max_retries=0, budget=budget)
+        with pytest.raises(RateLimitError):
+            executor.map(CountingFn(), ["a", "b"])
+
+    def test_fatal_error_cancels_pending_items(self):
+        executor = BatchExecutor(workers=2, backoff_base=0.0)
+        fn = CountingFn(error=FatalError)
+        with pytest.raises(FatalError):
+            executor.map(fn, list(range(200)))
+        # Queued futures are cancelled and aborted workers never call fn:
+        # only the in-flight handful runs, not the remaining ~198 items.
+        assert fn.calls <= 10
+
+    def test_abort_wakes_workers_mid_backoff(self):
+        """A worker sleeping a 30s backoff must wake the moment another
+        worker hits a fatal error — not after its sleep expires."""
+        executor = BatchExecutor(workers=2, max_retries=3, backoff_base=30.0)
+        fatal_after = 0.05
+
+        def fn(item):
+            if item == "transient":
+                raise TimeoutError("retry me")
+            time.sleep(fatal_after)
+            raise FatalError("permanent")
+
+        started = time.perf_counter()
+        with pytest.raises(FatalError):
+            executor.map(fn, ["transient", "fatal"])
+        assert time.perf_counter() - started < 5.0
+
+    def test_client_budget_exhaustion_is_fatal(self):
+        client = CompletionClient(CountingBackend(), requests_per_run=2)
+        client.complete("a")
+        client.complete("b")
+        with pytest.raises(BudgetExhaustedError):
+            client.complete("c")
+
+    def test_complete_many_budget_exhaustion_fails_fast(self):
+        """End to end through the client: 8 workers, budget of 5, large
+        would-be backoff — the run must fail immediately."""
+        backend = CountingBackend()
+        client = CompletionClient(backend, requests_per_run=5)
+        started = time.perf_counter()
+        with pytest.raises(BudgetExhaustedError):
+            client.complete_many([f"p{i}" for i in range(64)], workers=8)
+        assert time.perf_counter() - started < 5.0
+        assert backend.calls <= 5
+
+    def test_executor_is_reusable_after_abort(self):
+        budget = SharedBudget(max_requests=2)
+        executor = BatchExecutor(workers=4, budget=budget)
+        with pytest.raises(BudgetExhaustedError):
+            executor.map(CountingFn(), list(range(8)))
+        assert executor.aborted
+        fresh = BatchExecutor(workers=4)
+        assert executor.map is not None  # abort state clears on next map
+        executor.budget = None
+        assert executor.map(str.upper, ["a", "b"]) == ["A", "B"]
+        assert not executor.aborted
+        assert fresh.map(str.upper, ["c"]) == ["C"]
+
+    def test_transient_retries_still_work_after_fail_fast_change(self):
+        executor = BatchExecutor(workers=4, max_retries=1, backoff_base=0.0)
+        fn = CountingFn(fail_first={"a", "c"})
+        assert executor.map(fn, ["a", "b", "c"]) == ["ok:a", "ok:b", "ok:c"]
+        retried = {r.index: r.attempts for r in executor.records}
+        assert retried[0] == 2 and retried[1] == 1 and retried[2] == 2
 
 
 class TestCompleteMany:

@@ -1,8 +1,10 @@
 """Tests for the SQLite prompt cache."""
 
+import time
+
 import pytest
 
-from repro.api import PromptCache
+from repro.api import PromptCache, get_default_cache, set_default_cache
 
 pytestmark = pytest.mark.smoke
 
@@ -51,3 +53,76 @@ class TestCache:
     def test_unicode_prompts(self, cache):
         cache.put("m", "prømpt → ünïcode", "svar")
         assert cache.get("m", "prømpt → ünïcode") == "svar"
+
+    def test_created_at_stamped_from_python(self, cache):
+        """Rows carry a real wall-clock timestamp set at insert time.
+
+        The stamp comes from Python, not a DDL default — the previous
+        ``DEFAULT (unixepoch('subsec'))`` needed SQLite >= 3.42 and broke
+        table creation on interpreters bundling an older library."""
+        before = time.time()
+        cache.put("m", "p", "a")
+        after = time.time()
+        (created_at,) = cache._conn.execute(
+            "SELECT created_at FROM completions"
+        ).fetchone()
+        assert before <= created_at <= after
+
+    def test_overwrite_refreshes_created_at(self, cache):
+        cache.put("m", "p", "first")
+        (first_at,) = cache._conn.execute(
+            "SELECT created_at FROM completions"
+        ).fetchone()
+        time.sleep(0.01)
+        cache.put("m", "p", "second")
+        (second_at,) = cache._conn.execute(
+            "SELECT created_at FROM completions"
+        ).fetchone()
+        assert second_at > first_at
+
+    def test_file_cache_uses_wal_mode(self, tmp_path):
+        """File-backed caches run in WAL so concurrent processes pointed
+        at one --cache file can read while another writes."""
+        cache = PromptCache(str(tmp_path / "cache.sqlite"))
+        (mode,) = cache._conn.execute("PRAGMA journal_mode").fetchone()
+        cache.close()
+        assert mode == "wal"
+
+    def test_memory_cache_skips_wal(self, cache):
+        (mode,) = cache._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "memory"
+
+
+class TestDefaultCache:
+    def test_unset_by_default(self):
+        assert get_default_cache() is None
+
+    def test_set_and_clear(self):
+        cache = PromptCache(":memory:")
+        try:
+            set_default_cache(cache)
+            assert get_default_cache() is cache
+        finally:
+            set_default_cache(None)
+        assert get_default_cache() is None
+
+    def test_engine_routes_string_models_through_default_cache(self):
+        """run_task('model-name', ...) must serve repeats from the
+        installed default cache — that is what makes the CLI's --cache
+        flag effective without threading a parameter everywhere."""
+        from repro.core.tasks import run_task
+        from repro.datasets import load_dataset
+
+        cache = PromptCache(":memory:")
+        dataset = load_dataset("fodors_zagats")
+        try:
+            set_default_cache(cache)
+            run_task("entity_matching", "gpt3-175b", dataset, k=0,
+                     max_examples=5)
+            assert len(cache) == 5
+            second = run_task("entity_matching", "gpt3-175b", dataset, k=0,
+                              max_examples=5)
+        finally:
+            set_default_cache(None)
+        assert second.manifest.cache["hits"] == 5
+        assert second.manifest.cache_hit_rate == 1.0

@@ -1,5 +1,8 @@
 """Tests for the completion client."""
 
+import threading
+import time
+
 import pytest
 
 from repro.api import CompletionClient, PromptCache, RateLimitError
@@ -17,6 +20,23 @@ class CountingBackend:
 
     def complete(self, prompt, temperature=0.0, **kwargs):
         self.calls += 1
+        return f"echo:{prompt}"
+
+
+class SlowCountingBackend:
+    """Thread-safe counter with a delay long enough to force overlap."""
+
+    name = "slow-counting"
+
+    def __init__(self, delay_s=0.05):
+        self.calls = 0
+        self.delay_s = delay_s
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, temperature=0.0, **kwargs):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay_s)
         return f"echo:{prompt}"
 
 
@@ -132,6 +152,40 @@ class TestClient:
             client.complete("b")
         assert client.stats["backend_calls"] <= 2
         assert backend.calls <= 1  # the injected attempt never reached it
+
+    def test_stampede_regression_duplicate_prompts_single_flight(self):
+        """N workers racing on the same prompt must produce exactly one
+        backend call per *unique* prompt — the documented
+        "stats['backend_calls'] is exact" contract.  Before single-flight
+        every racing thread missed the cache and double-charged."""
+        backend = SlowCountingBackend()
+        client = CompletionClient(backend)
+        unique = [f"p{i}" for i in range(4)]
+        prompts = unique * 8  # every prompt duplicated across 8 workers
+        responses = client.complete_many(prompts, workers=8)
+        assert responses == [f"echo:{prompt}" for prompt in prompts]
+        assert backend.calls == len(unique)
+        assert client.stats["backend_calls"] == len(unique)
+        usage = client.usage.per_model[client.name]
+        assert usage.n_requests == len(prompts)
+        assert usage.n_cache_hits == len(prompts) - len(unique)
+
+    def test_single_flight_budget_counts_unique_prompts_only(self):
+        """Duplicates must not burn requests_per_run: 8 workers on one
+        prompt consume a single unit of budget."""
+        backend = SlowCountingBackend()
+        client = CompletionClient(backend, requests_per_run=1)
+        responses = client.complete_many(["same prompt"] * 8, workers=8)
+        assert responses == ["echo:same prompt"] * 8
+        assert backend.calls == 1
+
+    def test_single_flight_serial_path_unchanged(self):
+        backend = CountingBackend()
+        client = CompletionClient(backend)
+        assert client.complete("p") == "echo:p"
+        assert client.complete("p") == "echo:p"
+        assert backend.calls == 1
+        assert client._inflight == {}  # no leaked in-flight state
 
     def test_usable_by_task_runners(self):
         """The client is a drop-in model for the prompting task runners."""

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.api import Usage, UsageTracker, count_tokens
+from repro.api import Usage, UsageTracker, count_tokens, usage_delta
 
 pytestmark = pytest.mark.smoke
 
@@ -69,6 +69,29 @@ class TestUsage:
         usage = Usage(model="m", prompt_tokens=10, completion_tokens=5)
         assert usage.total_tokens == 15
 
+    def test_unknown_model_costs_nothing(self):
+        """An unpriced model reports $0.00, not a fabricated rate.
+
+        The accounting used to fall back to the 175B price for any
+        unrecognized name, inventing dollar figures out of thin air."""
+        usage = Usage(model="not-a-model", prompt_tokens=1000,
+                      completion_tokens=1000)
+        assert usage.cost_usd == 0.0
+        assert usage.known_price is False
+
+    def test_known_price_flag(self):
+        assert Usage(model="gpt3-175b").known_price is True
+        assert Usage(model="gpt3-6.7b").known_price is True
+        assert Usage(model="counting").known_price is False
+
+    def test_summary_marks_unknown_prices(self):
+        tracker = UsageTracker()
+        tracker.record("mystery-model", "a prompt", "a reply", cached=False)
+        assert "(price unknown)" in tracker.summary()
+        tracker = UsageTracker()
+        tracker.record("gpt3-175b", "a prompt", "a reply", cached=False)
+        assert "(price unknown)" not in tracker.summary()
+
 
 class TestTracker:
     def test_records_per_model(self):
@@ -119,3 +142,39 @@ class TestTracker:
         summary = UsageTracker().latency_summary()
         assert summary["n_requests"] == 0
         assert summary["mean_s"] == 0.0
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_a_copy(self):
+        tracker = UsageTracker()
+        tracker.record("m", "one two", "Yes", cached=False)
+        snapshot = tracker.snapshot()
+        tracker.record("m", "three four", "No", cached=False)
+        assert snapshot["m"]["n_requests"] == 1  # unaffected by later records
+
+    def test_delta_attributes_one_window(self):
+        """usage_delta(before, after) isolates what one run accrued on a
+        shared tracker — the basis of the manifest's cost section."""
+        tracker = UsageTracker()
+        tracker.record("m", "warmup prompt", "x", cached=False)
+        before = tracker.snapshot()
+        tracker.record("m", "one two three", "Yes", cached=False)
+        tracker.record("m", "one two three", "Yes", cached=True)
+        delta = usage_delta(before, tracker.snapshot())
+        assert delta["m"].n_requests == 2
+        assert delta["m"].n_cache_hits == 1
+        assert delta["m"].prompt_tokens == 3
+
+    def test_delta_skips_untouched_models(self):
+        tracker = UsageTracker()
+        tracker.record("idle", "p", "c", cached=False)
+        before = tracker.snapshot()
+        tracker.record("busy", "p", "c", cached=False)
+        delta = usage_delta(before, tracker.snapshot())
+        assert set(delta) == {"busy"}
+
+    def test_delta_from_empty_before(self):
+        tracker = UsageTracker()
+        tracker.record("m", "a prompt", "c", cached=False)
+        delta = usage_delta({}, tracker.snapshot())
+        assert delta["m"].n_requests == 1

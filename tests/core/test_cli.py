@@ -1,8 +1,30 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import _parse_examples, _parse_row, main
+
+SCHEMA_PATH = (
+    Path(__file__).resolve().parents[2] / "schemas" / "run_manifest.schema.json"
+)
+
+
+@pytest.fixture()
+def manifest_schema():
+    return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture()
+def clean_default_cache():
+    """--cache installs a process-wide default; never leak it to other
+    tests."""
+    from repro.api import set_default_cache
+
+    yield
+    set_default_cache(None)
 
 
 class TestParsers:
@@ -102,6 +124,59 @@ class TestCommands:
     def test_run_rejects_task_dataset_mismatch(self):
         with pytest.raises(SystemExit, match="schema_matching"):
             main(["run", "em", "synthea"])
+
+    def test_run_manifest_flag_writes_schema_valid_json(
+        self, capsys, tmp_path, manifest_schema
+    ):
+        from repro.core.manifest import validate_manifest
+
+        path = tmp_path / "run.json"
+        assert main(["run", "em", "fodors_zagats", "--k", "0",
+                     "--max-examples", "8", "--manifest", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== run manifest: entity_matching/fodors_zagats" in out
+        assert "phases:" in out and "requests:" in out
+        instance = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_manifest(instance, manifest_schema) == []
+        assert instance["n_examples"] == 8
+
+    def test_run_cache_flag_makes_reruns_hit(
+        self, capsys, tmp_path, clean_default_cache
+    ):
+        cache = str(tmp_path / "cache.db")
+        manifest = tmp_path / "run.json"
+        argv = ["run", "em", "fodors_zagats", "--k", "0", "--max-examples",
+                "6", "--cache", cache, "--manifest", str(manifest)]
+        assert main(argv) == 0
+        cold = json.loads(manifest.read_text(encoding="utf-8"))
+        assert cold["cache"]["hits"] == 0
+        assert main(argv) == 0
+        warm = json.loads(manifest.read_text(encoding="utf-8"))
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert warm["metric"] == cold["metric"]
+
+    def test_bench_manifest_flag_writes_experiment_summary(
+        self, capsys, tmp_path, manifest_schema, clean_default_cache
+    ):
+        import sys
+
+        sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+        try:
+            from validate_manifest import validate_bench
+        finally:
+            sys.path.pop(0)
+
+        out_dir = tmp_path / "manifests"
+        assert main(["bench", "table5", "--manifest", str(out_dir),
+                     "--cache", str(tmp_path / "cache.db")]) == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out and "cache hits" in out
+        summary = json.loads(
+            (out_dir / "table5.json").read_text(encoding="utf-8")
+        )
+        assert validate_bench(summary, manifest_schema) == []
+        assert summary["n_runs"] == len(summary["runs"]) > 0
+        assert summary["totals"]["requests"] > 0
 
     def test_model_flag(self, capsys):
         main(["impute", "--model", "gpt3-1.3b",

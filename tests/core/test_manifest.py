@@ -1,0 +1,193 @@
+"""Tests for run manifests: schema, engine telemetry, trace alignment."""
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    PHASE_NAMES,
+    RunManifest,
+    jsonable,
+    validate_manifest,
+)
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+SCHEMA_PATH = (
+    Path(__file__).resolve().parents[2] / "schemas" / "run_manifest.schema.json"
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def em_run():
+    """One shared small entity-matching run (string-model route)."""
+    return run_task(
+        "entity_matching", "gpt3-175b", "fodors_zagats", k=0, max_examples=8
+    )
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert jsonable(None) is None
+        assert jsonable(3) == 3
+        assert jsonable("x") == "x"
+        assert jsonable(True) is True
+
+    def test_dataclasses_become_dicts(self):
+        @dataclass
+        class Config:
+            sep: str = "."
+            k: int = 3
+
+        assert jsonable(Config()) == {"sep": ".", "k": 3}
+
+    def test_containers_recurse(self):
+        assert jsonable({"a": (1, 2), "b": [None]}) == {"a": [1, 2], "b": [None]}
+
+    def test_exotic_degrades_to_repr(self):
+        value = jsonable(object())
+        assert isinstance(value, str) and "object" in value
+
+
+class TestValidator:
+    def test_valid_instance(self, schema):
+        manifest = RunManifest(
+            task="entity_matching", dataset="d", model="m", k=0,
+            selection="manual", split="test", seed=0, workers=1,
+            n_examples=1, metric_name="f1", metric=1.0,
+            phases={name: 0.0 for name in PHASE_NAMES},
+            requests={"n_requests": 1, "n_failures": 0, "n_retries": 0,
+                      "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0},
+        )
+        assert validate_manifest(manifest.to_dict(), schema) == []
+
+    def test_missing_required_key_reported(self, schema):
+        instance = {"task": "em"}
+        problems = validate_manifest(instance, schema)
+        assert any("dataset" in problem for problem in problems)
+
+    def test_wrong_type_reported(self, schema, em_run):
+        instance = em_run.manifest.to_dict()
+        instance["metric"] = "high"
+        problems = validate_manifest(instance, schema)
+        assert any("$.metric" in problem for problem in problems)
+
+    def test_null_cache_allowed(self, schema, em_run):
+        instance = em_run.manifest.to_dict()
+        instance["cache"] = None
+        assert validate_manifest(instance, schema) == []
+
+
+class TestEngineManifest:
+    def test_every_run_carries_a_manifest(self, em_run):
+        assert isinstance(em_run.manifest, RunManifest)
+        assert em_run.manifest.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_matches_checked_in_schema(self, schema, em_run):
+        assert validate_manifest(em_run.manifest.to_dict(), schema) == []
+
+    def test_phase_timings_cover_the_run(self, em_run):
+        manifest = em_run.manifest
+        assert set(manifest.phases) == set(PHASE_NAMES)
+        assert all(seconds >= 0.0 for seconds in manifest.phases.values())
+        assert manifest.wall_clock_s >= sum(manifest.phases.values()) - 1e-6
+
+    def test_request_and_cache_sections(self, em_run):
+        manifest = em_run.manifest
+        assert manifest.requests["n_requests"] == manifest.n_examples == 8
+        assert manifest.requests["n_failures"] == 0
+        assert manifest.cache is not None
+        assert manifest.cache["lookups"] == 8
+        assert manifest.cost_usd > 0.0
+        assert manifest.unknown_price is False
+        assert "gpt3-175b" in manifest.usage
+
+    def test_json_round_trip(self, em_run, tmp_path):
+        path = tmp_path / "manifest.json"
+        em_run.manifest.write(path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == em_run.manifest.to_dict()
+
+    def test_unknown_price_flagged_for_unpriced_backends(self):
+        """A model outside the price table must flag, not invent, cost."""
+        class FreeBackend:
+            name = "free-backend"
+
+            def complete(self, prompt, temperature=0.0, **kwargs):
+                return "Yes"
+
+        from repro.api import CompletionClient
+
+        client = CompletionClient(FreeBackend())
+        run = run_task("entity_matching", client, "fodors_zagats", k=0,
+                       max_examples=4)
+        assert run.manifest.cost_usd == 0.0
+        assert run.manifest.unknown_price is True
+
+
+class FlakyModel:
+    """Simulator wrapper whose first attempt times out for 1-in-3 prompts.
+
+    Deterministic per prompt within a run: the first call for every third
+    distinct prompt raises TimeoutError; the retry (and every later call)
+    succeeds with the simulator's answer.
+    """
+
+    def __init__(self, model="gpt3-175b", every=3):
+        self._fm = SimulatedFoundationModel(model)
+        self.name = self._fm.name
+        self.every = every
+        self.timed_out = set()
+        self._seen = {}
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, temperature=0.0, **kwargs):
+        with self._lock:
+            index = self._seen.setdefault(prompt, len(self._seen))
+            if index % self.every == 0 and prompt not in self.timed_out:
+                self.timed_out.add(prompt)
+                raise TimeoutError("simulated request timeout")
+        return self._fm.complete(prompt, temperature=temperature)
+
+
+class TestTraceLatencyAlignment:
+    def test_trace_records_stay_aligned_under_workers_and_retries(self):
+        """Per-example latency must join on the example's *index*, not
+        completion order — under workers>1 with retries the two diverge
+        (a retried example finishes long after its successors)."""
+        dataset = load_dataset("fodors_zagats")
+        model = FlakyModel()
+        run = run_task("entity_matching", model, dataset, k=0,
+                       max_examples=12, workers=4, trace=True)
+        clean = run_task(
+            "entity_matching", SimulatedFoundationModel("gpt3-175b"),
+            dataset, k=0, max_examples=12,
+        )
+        # Retries must not perturb predictions or ordering.
+        assert [record.index for record in run.records] == list(range(12))
+        assert run.predictions == clean.predictions
+        assert model.timed_out  # the flakiness actually fired
+        # The latency join is pinned by the backoff floor: a retried
+        # example's record carries its wait (>= 0.05s backoff), a clean
+        # one finishes in microseconds.  Misaligned indices would hand
+        # some retried example a sub-millisecond latency.
+        for record in run.records:
+            assert record.latency_s is not None
+            if record.prompt in model.timed_out:
+                assert record.latency_s >= 0.045
+            else:
+                assert record.latency_s < 0.045
+        manifest = run.manifest
+        assert manifest.requests["n_requests"] == 12
+        assert manifest.requests["n_retries"] == len(model.timed_out)
+        assert manifest.requests["n_failures"] == 0
