@@ -1,0 +1,139 @@
+"""Chaos resilience — graceful degradation and checkpointed resume.
+
+Three scenarios over the same zero-shot EM configuration (fodors_zagats,
+k=0), asserting the resilience properties the chaos harness promises:
+
+* **fault-free** — the clean baseline every other row is judged against.
+* **chaos (ci profile)** — 10% transient / 2% malformed injection: the
+  run must complete *degraded but scored* (coverage ≥ 0.95), and every
+  non-quarantined prediction must be identical to the fault-free run —
+  fault injection may remove examples, never corrupt survivors.
+* **resume** — a checkpointed run is killed mid-flight (request budget
+  exhausted), then re-invoked with the same resolved config and journal:
+  the second invocation must finish the run with **zero duplicate
+  backend calls** for already-journaled examples.
+"""
+
+import os
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.api import CompletionClient, FaultPlan
+from repro.api.retry import BudgetExhaustedError
+from repro.bench.reporting import ExperimentResult
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+
+MAX_EXAMPLES = 60
+WORKERS = 4
+#: Kill the checkpointed run after this many backend calls (< MAX_EXAMPLES).
+KILL_BUDGET = 25
+
+
+def _run(dataset, model, **kwargs):
+    started = time.perf_counter()
+    run = run_task(
+        "em", model, dataset, k=0, max_examples=MAX_EXAMPLES,
+        workers=WORKERS, **kwargs,
+    )
+    return time.perf_counter() - started, run
+
+
+def _journaled_examples(path: str) -> int:
+    import json
+
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("type") == "example":
+                count += 1
+    return count
+
+
+def run() -> ExperimentResult:
+    dataset = load_dataset("fodors_zagats")
+
+    baseline_s, baseline = _run(dataset, CompletionClient())
+
+    chaos_s, chaos = _run(
+        dataset,
+        CompletionClient(fault_plan=FaultPlan("ci", seed=0)),
+        on_error="quarantine",
+    )
+    quarantined = {record.index for record in chaos.quarantine}
+    survivors_identical = all(
+        chaos.predictions[index] == baseline.predictions[index]
+        for index in range(chaos.n_examples)
+        if index not in quarantined
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "resume.jsonl")
+        killed_client = CompletionClient(requests_per_run=KILL_BUDGET)
+        kill_started = time.perf_counter()
+        try:
+            _run(dataset, killed_client, checkpoint=journal)
+            raise AssertionError("budget never exhausted — raise KILL_BUDGET")
+        except BudgetExhaustedError:
+            pass
+        killed_s = time.perf_counter() - kill_started
+        journaled = _journaled_examples(journal)
+        resume_client = CompletionClient()
+        resume_s, resumed = _run(dataset, resume_client, checkpoint=journal)
+        resume_calls = resume_client.stats["backend_calls"]
+
+    result = ExperimentResult(
+        experiment="chaos_resilience",
+        title=f"Chaos resilience (fodors_zagats k=0, "
+              f"{MAX_EXAMPLES} examples, {WORKERS} workers)",
+        headers=["scenario", "seconds", "f1", "coverage_pct", "quarantined",
+                 "backend_calls", "ok"],
+        notes="chaos = ci profile (10% transient / 2% malformed, seed 0); "
+              "resume = run killed after a 25-request budget, then "
+              "re-invoked against the same journal (ok means zero "
+              "duplicate backend calls for journaled examples)",
+    )
+    result.add_row(
+        "fault-free", baseline_s, 100 * baseline.metric, 100.0, 0,
+        MAX_EXAMPLES, "yes",
+    )
+    result.add_row(
+        "chaos(ci)", chaos_s, 100 * chaos.metric, 100 * chaos.coverage,
+        len(chaos.quarantine), None,
+        "yes" if chaos.degraded and survivors_identical else "NO",
+    )
+    result.add_row(
+        "resume-killed", killed_s, None, 100 * journaled / MAX_EXAMPLES,
+        0, journaled, "yes" if 0 < journaled < MAX_EXAMPLES else "NO",
+    )
+    result.add_row(
+        "resume-finish", resume_s, 100 * resumed.metric, 100 * resumed.coverage,
+        len(resumed.quarantine), resume_calls,
+        "yes" if resume_calls == MAX_EXAMPLES - journaled else "NO",
+    )
+    return result
+
+
+def test_chaos_resilience(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(result)
+    # Degraded-but-scored under the canned ci profile.
+    assert result.cell("chaos(ci)", "ok") == "yes"
+    assert result.cell("chaos(ci)", "coverage_pct") >= 95.0
+    assert result.cell("chaos(ci)", "quarantined") >= 1
+    # The kill landed mid-run (otherwise resume proves nothing) ...
+    assert result.cell("resume-killed", "ok") == "yes"
+    # ... and the re-invocation finished it without re-paying for any
+    # journaled example: second-run backend calls == remaining examples.
+    assert result.cell("resume-finish", "ok") == "yes"
+    assert result.cell("resume-finish", "coverage_pct") == 100.0
+
+
+if __name__ == "__main__":
+    print(run().render())

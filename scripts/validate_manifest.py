@@ -36,6 +36,14 @@ TOTALS_REQUIRED = (
     "failures", "cache_hits", "cache_lookups", "cache_hit_rate",
 )
 
+# Resilience totals (PR 4) are optional — manifests written before the
+# chaos harness keep validating — but when present they must be typed.
+TOTALS_OPTIONAL = {
+    "quarantined": int,
+    "degraded": bool,
+    "coverage": (int, float),
+}
+
 
 def validate_bench(instance: dict, run_schema: dict) -> list[str]:
     problems: list[str] = []
@@ -46,9 +54,16 @@ def validate_bench(instance: dict, run_schema: dict) -> list[str]:
             problems.append(
                 f"$.{key}: expected {expected}, got {type(instance[key]).__name__}"
             )
+    totals = instance.get("totals", {})
     for key in TOTALS_REQUIRED:
-        if key not in instance.get("totals", {}):
+        if key not in totals:
             problems.append(f"$.totals: missing required key {key!r}")
+    for key, expected in TOTALS_OPTIONAL.items():
+        if key in totals and not isinstance(totals[key], expected):
+            problems.append(
+                f"$.totals.{key}: expected {expected}, "
+                f"got {type(totals[key]).__name__}"
+            )
     from repro.core.manifest import validate_manifest
 
     for index, run in enumerate(instance.get("runs", [])):

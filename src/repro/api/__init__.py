@@ -8,10 +8,18 @@ cache, token/usage accounting, simulated rate limiting with retries, and
 a concurrent batch-execution layer (:mod:`repro.api.batch`) that fans
 independent prompts across worker threads under a shared budget, failing
 fast (no backoff) when a fatal error such as budget exhaustion occurs.
+
+:mod:`repro.api.faults` adds the chaos side of the same story: a seeded
+deterministic :class:`FaultPlan` injects rate limits, timeouts,
+connection drops, latency spikes, and corrupted completions at the
+backend boundary, and :class:`CircuitBreaker` keeps a dying endpoint
+from burning the whole batch on backoff sleeps.
 """
 
 from repro.api.batch import (
     BatchExecutor,
+    BatchFailure,
+    CircuitBreaker,
     RequestRecord,
     SharedBudget,
     complete_all,
@@ -21,9 +29,20 @@ from repro.api.batch import (
 )
 from repro.api.cache import PromptCache, get_default_cache, set_default_cache
 from repro.api.client import CompletionClient
+from repro.api.faults import (
+    FAULT_PROFILES,
+    FaultPlan,
+    FaultProfile,
+    get_default_fault_plan,
+    get_fault_profile,
+    malformed_reason,
+    set_default_fault_plan,
+)
 from repro.api.retry import (
     BudgetExhaustedError,
+    CircuitOpenError,
     FatalError,
+    ParseError,
     RateLimitError,
     RetryPolicy,
 )
@@ -36,9 +55,16 @@ from repro.api.usage import (
 
 __all__ = [
     "BatchExecutor",
+    "BatchFailure",
     "BudgetExhaustedError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CompletionClient",
+    "FAULT_PROFILES",
     "FatalError",
+    "FaultPlan",
+    "FaultProfile",
+    "ParseError",
     "PromptCache",
     "RateLimitError",
     "RequestRecord",
@@ -49,9 +75,13 @@ __all__ = [
     "complete_all",
     "count_tokens",
     "get_default_cache",
+    "get_default_fault_plan",
     "get_default_workers",
+    "get_fault_profile",
+    "malformed_reason",
     "resolve_workers",
     "set_default_cache",
+    "set_default_fault_plan",
     "set_default_workers",
     "usage_delta",
 ]

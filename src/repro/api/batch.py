@@ -34,11 +34,18 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.api.retry import BudgetExhaustedError, FatalError, RetryPolicy
+from repro.api.retry import (
+    BudgetExhaustedError,
+    CircuitOpenError,
+    FatalError,
+    RetryPolicy,
+)
 from repro.api.usage import UsageTracker, count_tokens
 
 __all__ = [
     "BatchExecutor",
+    "BatchFailure",
+    "CircuitBreaker",
     "RequestRecord",
     "SharedBudget",
     "complete_all",
@@ -87,6 +94,147 @@ class RequestRecord:
     attempts: int
     latency_s: float
     error: str | None = None
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One item's terminal failure, returned by ``map(on_error="return")``.
+
+    Instead of aborting the whole batch, scatter mode records the final
+    (retries-exhausted or non-retryable) error in the item's result slot
+    so the caller can quarantine that example and keep the rest.  Fatal
+    errors still abort — a spent budget dooms every pending item alike.
+    """
+
+    index: int
+    error: BaseException
+    attempts: int
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+
+class CircuitBreaker:
+    """Trip after N consecutive transient failures; probe to recover.
+
+    When the endpoint is down, every pending item otherwise burns its
+    full retry/backoff budget discovering the same outage.  The breaker
+    *shares* that discovery: ``failure_threshold`` consecutive transient
+    failures open the circuit, after which :meth:`allow` rejects work
+    instantly (the executor fails those items with
+    :class:`~repro.api.retry.CircuitOpenError` — fast, no backend call).
+    Once ``cooldown_s`` elapses the circuit goes *half-open*: exactly one
+    caller is admitted as a probe; its success closes the circuit, its
+    failure re-opens it for another cooldown.  Any success resets the
+    consecutive-failure count, so scattered transient faults under an
+    otherwise healthy endpoint never trip it.
+
+    Thread-safe; state survives across ``map`` calls on purpose (the
+    breaker models endpoint health, not batch progress).
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 0.1):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.n_trips = 0
+        self.n_rejections = 0
+        self.n_probes = 0
+
+    @property
+    def state(self) -> str:
+        """"closed", "open", or "half_open"."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a caller may attempt a request right now."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            now = time.monotonic()
+            if self._state == "open":
+                if now - self._opened_at < self.cooldown_s:
+                    self.n_rejections += 1
+                    return False
+                self._state = "half_open"
+                self._probing = True
+                self.n_probes += 1
+                return True
+            # half_open: one probe at a time.
+            if self._probing:
+                self.n_rejections += 1
+                return False
+            self._probing = True
+            self.n_probes += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Count one transient failure; trip or re-open as needed."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == "half_open":
+                self._state = "open"
+                self._opened_at = time.monotonic()
+                self._probing = False
+                self.n_trips += 1
+            elif (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = time.monotonic()
+                self.n_trips += 1
+
+    def stats(self) -> dict[str, int | str]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "trips": self.n_trips,
+                "rejections": self.n_rejections,
+                "probes": self.n_probes,
+            }
+
+
+class _MapRun:
+    """Abort/fatal state scoped to one ``map`` call.
+
+    Previously this state lived on the executor itself and was recycled
+    by clearing an event at the top of ``map`` — which meant a fatal
+    abort could leak into (or be cleared out from under) another ``map``
+    on the same executor.  Per-run state makes reuse and concurrent
+    ``map`` calls trivially safe: each run aborts only itself.
+    """
+
+    __slots__ = ("abort", "fatal", "lock")
+
+    def __init__(self):
+        self.abort = threading.Event()
+        self.fatal: BaseException | None = None
+        self.lock = threading.Lock()
+
+    def set_fatal(self, exc: BaseException) -> None:
+        with self.lock:
+            if self.fatal is None:
+                self.fatal = exc
+        self.abort.set()
 
 
 class SharedBudget:
@@ -147,13 +295,24 @@ class BatchExecutor:
     item gets up to ``1 + policy.max_retries`` attempts, and attempts
     failing with a retryable error sleep the policy's deterministic
     exponential backoff before retrying.  A final failure re-raises from
-    ``map``.
+    ``map`` — or, with ``map(..., on_error="return")``, is captured as a
+    :class:`BatchFailure` in that item's result slot so the caller can
+    quarantine the example and keep the batch alive.
 
     A :class:`~repro.api.retry.FatalError` short-circuits everything:
     the executor sets an abort flag (waking any worker mid-backoff),
     cancels futures that have not started, lets in-flight attempts
     drain, and re-raises the first fatal error — so an exhausted budget
-    costs zero backoff sleeps instead of ``workers * Σ backoff``.
+    costs zero backoff sleeps instead of ``workers * Σ backoff``.  Abort
+    state is scoped to each ``map`` call, so an executor that failed
+    fatally is immediately reusable and concurrent ``map`` calls cannot
+    abort each other.
+
+    An optional :class:`CircuitBreaker` guards every attempt: while the
+    circuit is open, items fail fast with
+    :class:`~repro.api.retry.CircuitOpenError` instead of hammering a
+    dead endpoint, and a single half-open probe per cooldown decides
+    when to resume.
 
     An optional :class:`SharedBudget` is charged once per attempt (string
     items are also charged their prompt tokens); an optional
@@ -174,6 +333,7 @@ class BatchExecutor:
         budget: SharedBudget | None = None,
         usage: UsageTracker | None = None,
         policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         knobs = (max_retries, backoff_base, backoff_cap, retry_on)
         if policy is None:
@@ -200,11 +360,10 @@ class BatchExecutor:
         self.policy = policy
         self.budget = budget
         self.usage = usage
+        self.breaker = breaker
         self.records: list[RequestRecord] = []
         self._records_lock = threading.Lock()
-        self._abort = threading.Event()
-        self._fatal: BaseException | None = None
-        self._fatal_lock = threading.Lock()
+        self._last_run: _MapRun | None = None
 
     # Legacy views onto the policy (kept so existing call sites and tests
     # that introspect the executor keep working).
@@ -230,8 +389,9 @@ class BatchExecutor:
 
     @property
     def aborted(self) -> bool:
-        """Whether the last ``map`` hit a fatal error and bailed out."""
-        return self._abort.is_set()
+        """Whether the most recent ``map`` hit a fatal error and bailed."""
+        run = self._last_run
+        return run is not None and run.abort.is_set()
 
     def _record(
         self, index: int, ok: bool, attempts: int, started: float,
@@ -249,23 +409,32 @@ class BatchExecutor:
         if self.usage is not None:
             self.usage.log_request(record)
 
-    def _set_fatal(self, exc: BaseException) -> None:
-        with self._fatal_lock:
-            if self._fatal is None:
-                self._fatal = exc
-        self._abort.set()
-
-    def _run_one(self, fn: Callable, item, index: int):
+    def _run_one(
+        self, fn: Callable, item, index: int, run: _MapRun, on_error: str
+    ):
         started = time.perf_counter()
         attempts = 0
         while True:
-            if self._abort.is_set():
+            if run.abort.is_set():
                 # Another worker hit a fatal error; don't start new
                 # attempts.  Items that never attempted are not recorded
                 # (they were cancelled, not failed).
-                exc = self._fatal or FatalError("batch aborted")
+                exc = run.fatal or FatalError("batch aborted")
                 if attempts:
                     self._record(index, False, attempts, started, error=exc)
+                raise exc
+            if self.breaker is not None and not self.breaker.allow():
+                # Endpoint presumed down: fail this item fast instead of
+                # burning its retry/backoff budget on a known outage.
+                attempts += 1
+                exc = CircuitOpenError(
+                    "circuit breaker open after "
+                    f"{self.breaker.failure_threshold} consecutive "
+                    "transient failures"
+                )
+                self._record(index, False, attempts, started, error=exc)
+                if on_error == "return":
+                    return BatchFailure(index, exc, attempts)
                 raise exc
             attempts += 1
             try:
@@ -276,39 +445,55 @@ class BatchExecutor:
             except FatalError as exc:
                 # Checked before retry_on: BudgetExhaustedError is a
                 # RateLimitError, but backing off cannot refill a budget.
-                self._set_fatal(exc)
+                run.set_fatal(exc)
                 self._record(index, False, attempts, started, error=exc)
                 raise
             except BaseException as exc:
+                if self.breaker is not None and self.policy.is_retryable(exc):
+                    # Transient failures gauge endpoint health; permanent
+                    # errors (a parse bug, bad input) say nothing about it.
+                    self.breaker.record_failure()
                 if not self.policy.should_retry(exc, attempts):
                     self._record(index, False, attempts, started, error=exc)
+                    if on_error == "return":
+                        return BatchFailure(index, exc, attempts)
                     raise
                 # Backoff that wakes immediately if the batch aborts —
                 # the abort check at loop top then raises without a new
                 # attempt.
-                self._abort.wait(self.policy.delay(attempts - 1))
+                run.abort.wait(self.policy.delay(attempts - 1))
                 continue
+            if self.breaker is not None:
+                self.breaker.record_success()
             self._record(index, True, attempts, started)
             return result
 
-    def map(self, fn: Callable, items: Iterable) -> list:
-        """Apply ``fn`` to every item, returning results in input order."""
+    def map(self, fn: Callable, items: Iterable, on_error: str = "raise") -> list:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        ``on_error="raise"`` (the default) re-raises the first terminal
+        failure.  ``on_error="return"`` keeps going: a terminally-failed
+        item's slot holds a :class:`BatchFailure` instead, letting the
+        caller quarantine it — fatal errors abort the batch either way.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f'on_error must be "raise" or "return", got {on_error!r}'
+            )
         items = list(items)
+        run = _MapRun()
+        self._last_run = run
         if not items:
             return []
-        # A fresh run: clear any abort state left by a previous map call.
-        self._abort.clear()
-        with self._fatal_lock:
-            self._fatal = None
         if self.workers == 1:
             return [
-                self._run_one(fn, item, index)
+                self._run_one(fn, item, index, run, on_error)
                 for index, item in enumerate(items)
             ]
         results: list = [None] * len(items)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                pool.submit(self._run_one, fn, item, index)
+                pool.submit(self._run_one, fn, item, index, run, on_error)
                 for index, item in enumerate(items)
             ]
             try:

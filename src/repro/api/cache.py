@@ -28,6 +28,29 @@ def _cache_key(model: str, prompt: str, temperature: float) -> str:
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def _is_memory_path(path: str) -> bool:
+    """Whether ``path`` opens an in-memory database.
+
+    WAL journaling is file-only — SQLite silently reports ``memory``
+    mode for in-memory databases, and issuing the pragma against them is
+    at best a no-op.  Covers every spelling sqlite3 accepts: the classic
+    ``":memory:"``, the empty string (anonymous temp/in-memory DB), and
+    ``file:`` URIs with ``:memory:`` authority-paths or ``mode=memory``
+    query parameters.
+    """
+    if path == "" or path == ":memory:":
+        return True
+    if not path.startswith("file:"):
+        return False
+    rest = path[len("file:") :]
+    body, _, query = rest.partition("?")
+    if body.lstrip("/") == ":memory:":
+        return True
+    return any(
+        param.strip() == "mode=memory" for param in query.split("&")
+    )
+
+
 class PromptCache:
     """Persistent (or in-memory) completion cache.
 
@@ -42,9 +65,11 @@ class PromptCache:
     def __init__(self, path: str = ":memory:"):
         self.path = path
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, uri=path.startswith("file:")
+        )
         with self._lock:
-            if path != ":memory:":
+            if not _is_memory_path(path):
                 self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
             self._conn.commit()

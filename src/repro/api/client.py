@@ -57,6 +57,7 @@ class CompletionClient:
         failure_every: int | None = None,
         max_retries: int | None = None,
         retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
     ):
         if isinstance(model, str):
             model = SimulatedFoundationModel(model)
@@ -77,6 +78,13 @@ class CompletionClient:
             )
         self.retry_policy = retry_policy
         self.max_retries = retry_policy.max_retries
+        # Optional chaos harness (see repro.api.faults.FaultPlan): every
+        # backend touch consults it for injected transient errors and
+        # response corruption.  Faults fire *inside* the accounting gate,
+        # so injected rate limits still consume request budget — exactly
+        # like a real 429 — and corrupted text is what gets cached, like
+        # a mangled wire response would be.
+        self.fault_plan = fault_plan
         self._n_backend_calls = 0
         self._n_transient_failures = 0
         self._lock = threading.Lock()
@@ -126,9 +134,15 @@ class CompletionClient:
             return caller()
 
     def _backend_complete(self, prompt: str, temperature: float) -> str:
-        return self._backend_call(
-            lambda: self.backend.complete(prompt, temperature=temperature)
-        )
+        def call() -> str:
+            if self.fault_plan is not None:
+                self.fault_plan.on_request(prompt)
+            text = self.backend.complete(prompt, temperature=temperature)
+            if self.fault_plan is not None:
+                text = self.fault_plan.on_response(prompt, text)
+            return text
+
+        return self._backend_call(call)
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
         """Cached completion of ``prompt`` (single-flight on misses)."""
@@ -186,13 +200,17 @@ class CompletionClient:
         through the same lock-protected paths.  Outer retries are
         disabled — the client already retries transient failures
         internally, and budget exhaustion is fatal (the executor cancels
-        the rest of the batch instead of backing off).
+        the rest of the batch instead of backing off) — unless a fault
+        plan is active: injected transient faults propagate out of
+        ``complete`` by design, so the executor then applies this
+        client's retry policy (deterministic backoff, bounded attempts).
         """
         from repro.api.batch import BatchExecutor
         from repro.api.retry import NO_RETRY
 
+        policy = NO_RETRY if self.fault_plan is None else self.retry_policy
         executor = BatchExecutor(
-            workers=workers, policy=NO_RETRY, usage=self.usage
+            workers=workers, policy=policy, usage=self.usage
         )
         return executor.map(
             lambda prompt: self.complete(prompt, temperature=temperature),

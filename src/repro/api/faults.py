@@ -1,0 +1,344 @@
+"""Deterministic fault injection for chaos-testing the completion stack.
+
+The paper's pipeline assumes a reliable GPT-3 endpoint; every production
+deployment of prompted wrangling instead sees rate limits, timeouts,
+dropped connections, latency spikes, truncated completions, and outright
+garbage text.  A :class:`FaultPlan` wraps the simulated backend inside
+:class:`~repro.api.client.CompletionClient` and injects a configurable
+mix of exactly those faults — reproducibly.
+
+**Determinism is the whole point.**  Every fault decision is a pure
+function of ``(seed, fault kind, prompt)`` through BLAKE2 hashes, never
+of call order, wall clock, worker count, or ``PYTHONHASHSEED``.  The
+same seed therefore yields a byte-identical fault schedule whether a run
+fans across 1 thread or 8, which is what makes "re-run the chaos sweep
+and get the same quarantine set" possible.
+
+Fault families:
+
+* **transient** — :class:`~repro.api.retry.RateLimitError`,
+  ``TimeoutError``, ``ConnectionError`` raised before the backend is
+  touched.  A faulted prompt fails its first ``depth`` attempts (depth
+  drawn deterministically in ``1..fault_depth``) and then recovers, so
+  the retry layer above usually saves it; a deterministic
+  ``unrecoverable`` fraction never recovers and exhausts retries.
+* **response corruption** — garbage text (marked with U+FFFD so the
+  engine's response validation can detect and quarantine it) or a silent
+  mid-text truncation (undetectable by construction — the degradation it
+  causes is what ``repro chaos`` reports as the resilience delta).
+* **latency spikes** — a deterministic subset of prompts sleeps before
+  answering; affects wall-clock only, never outcomes.
+
+A process-wide default plan (``set_default_fault_plan``) mirrors the
+default-cache/default-workers pattern: ``repro bench <exp> --chaos
+PROFILE`` installs one, and every client the engine builds underneath
+runs under it without threading a parameter through the bench modules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.api.retry import RateLimitError
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultPlan",
+    "FaultProfile",
+    "PromptSchedule",
+    "get_default_fault_plan",
+    "get_fault_profile",
+    "malformed_reason",
+    "set_default_fault_plan",
+]
+
+
+def _unit(seed: int, *parts: str) -> float:
+    """Deterministic uniform draw in [0, 1) from ``(seed, *parts)``.
+
+    BLAKE2-based, so the value is stable across processes, platforms and
+    ``PYTHONHASHSEED`` — unlike ``hash()``.
+    """
+    payload = "\x1f".join((str(seed), *parts)).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-fault rates and knobs for one chaos scenario.
+
+    ``rate_limit``/``timeout``/``connection`` are *disjoint* transient
+    rates (one draw decides which, if any, a prompt gets), so their sum
+    is the overall transient fraction.  ``fault_depth`` bounds how many
+    consecutive attempts a recoverable transient fault fires;
+    ``unrecoverable`` is the fraction of faulted prompts whose fault
+    never stops (these exhaust retries and get quarantined).
+    """
+
+    name: str = "custom"
+    rate_limit: float = 0.0
+    timeout: float = 0.0
+    connection: float = 0.0
+    garbage: float = 0.0
+    truncate: float = 0.0
+    latency_spike: float = 0.0
+    latency_spike_s: float = 0.005
+    fault_depth: int = 2
+    unrecoverable: float = 0.0
+
+    @property
+    def transient(self) -> float:
+        """Overall probability that a prompt draws a transient fault."""
+        return self.rate_limit + self.timeout + self.connection
+
+
+#: Named chaos scenarios for the CLI (``repro chaos --profile NAME``).
+#: ``ci`` is the canned acceptance profile: 10% transient (mostly
+#: recoverable within two retries), 2% malformed output — a run should
+#: complete degraded-but-scored with coverage >= 0.95.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "ci": FaultProfile(
+        name="ci", rate_limit=0.04, timeout=0.03, connection=0.03,
+        garbage=0.02, fault_depth=2, unrecoverable=0.1,
+    ),
+    "mild": FaultProfile(
+        name="mild", rate_limit=0.03, timeout=0.02, garbage=0.01,
+        fault_depth=1,
+    ),
+    "heavy": FaultProfile(
+        name="heavy", rate_limit=0.10, timeout=0.08, connection=0.07,
+        garbage=0.05, truncate=0.03, latency_spike=0.05, fault_depth=3,
+        unrecoverable=0.2,
+    ),
+    "garbage": FaultProfile(name="garbage", garbage=0.10, truncate=0.05),
+    "latency": FaultProfile(
+        name="latency", latency_spike=0.5, latency_spike_s=0.01,
+    ),
+}
+
+
+def get_fault_profile(name: str) -> FaultProfile:
+    """Resolve a named chaos profile (``repro chaos --profile``)."""
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise KeyError(f"unknown fault profile {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class PromptSchedule:
+    """The resolved fault schedule for one prompt (pure, inspectable)."""
+
+    transient_kind: str | None = None   # "rate_limit" | "timeout" | "connection"
+    depth: int = 0                      # attempts 1..depth fail (if recoverable)
+    unrecoverable: bool = False         # fault never stops firing
+    corrupt: str | None = None          # "garbage" | "truncate"
+    latency_spike: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "transient_kind": self.transient_kind,
+            "depth": self.depth,
+            "unrecoverable": self.unrecoverable,
+            "corrupt": self.corrupt,
+            "latency_spike": self.latency_spike,
+        }
+
+
+_TRANSIENT_ERRORS: dict[str, type[Exception]] = {
+    "rate_limit": RateLimitError,
+    "timeout": TimeoutError,
+    "connection": ConnectionError,
+}
+
+#: Characters that mark a response as garbage.  Injected garbage carries
+#: U+FFFD (the Unicode replacement character — what a real client sees
+#: when the wire mangles an encoding); :func:`malformed_reason` treats it
+#: and NUL as proof of corruption.
+_GARBAGE_MARKERS = ("�", "\x00")
+
+
+def malformed_reason(text) -> str | None:
+    """Why ``text`` is not a usable completion, or ``None`` if it is.
+
+    The engine's quarantine path validates responses before parsing the
+    way a production harness checks ``finish_reason`` and body shape:
+    empty/whitespace-only output and garbage bytes are errors, not
+    predictions.  (Silent truncation is undetectable here by design.)
+    """
+    if not isinstance(text, str):
+        return f"non-text response of type {type(text).__name__}"
+    if not text.strip():
+        return "empty response"
+    if any(marker in text for marker in _GARBAGE_MARKERS):
+        return "garbage bytes in response"
+    return None
+
+
+class FaultPlan:
+    """A seeded, deterministic fault schedule over prompts.
+
+    ``schedule_for(prompt)`` is a pure function of ``(seed, prompt)``;
+    the only mutable state is the per-prompt attempt counter (so a
+    recoverable fault stops after ``depth`` attempts) and the injection
+    tallies — both lock-protected, neither affecting *which* faults
+    fire.  One plan may be shared by every client of a bench sweep.
+    """
+
+    def __init__(self, profile: FaultProfile | str = "ci", seed: int = 0):
+        if isinstance(profile, str):
+            profile = get_fault_profile(profile)
+        self.profile = profile
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+
+    # -- schedule (pure) ---------------------------------------------------
+
+    def schedule_for(self, prompt: str) -> PromptSchedule:
+        """The deterministic fault schedule of one prompt."""
+        p = self.profile
+        transient_kind = None
+        depth = 0
+        unrecoverable = False
+        draw = _unit(self.seed, "transient", prompt)
+        edge = 0.0
+        for kind in ("rate_limit", "timeout", "connection"):
+            rate = getattr(p, kind)
+            if draw < edge + rate:
+                transient_kind = kind
+                break
+            edge += rate
+        if transient_kind is not None:
+            depth = 1 + int(
+                _unit(self.seed, "depth", prompt) * max(1, p.fault_depth)
+            )
+            unrecoverable = (
+                _unit(self.seed, "unrecoverable", prompt) < p.unrecoverable
+            )
+        corrupt = None
+        if _unit(self.seed, "garbage", prompt) < p.garbage:
+            corrupt = "garbage"
+        elif _unit(self.seed, "truncate", prompt) < p.truncate:
+            corrupt = "truncate"
+        latency_spike = _unit(self.seed, "latency", prompt) < p.latency_spike
+        return PromptSchedule(
+            transient_kind=transient_kind,
+            depth=depth,
+            unrecoverable=unrecoverable,
+            corrupt=corrupt,
+            latency_spike=latency_spike,
+        )
+
+    def schedule_digest(self, prompts: list[str]) -> str:
+        """SHA-256 over the full fault schedule of ``prompts``.
+
+        Two plans with the same seed and profile produce byte-identical
+        digests — the pinned determinism test compares these across
+        worker counts and ``PYTHONHASHSEED`` values.
+        """
+        import json
+
+        schedules = [self.schedule_for(prompt).to_dict() for prompt in prompts]
+        payload = json.dumps(schedules, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- injection hooks (called by CompletionClient) ----------------------
+
+    def _prompt_key(self, prompt: str) -> str:
+        return hashlib.blake2b(
+            prompt.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def on_request(self, prompt: str) -> None:
+        """Consult the schedule before a backend attempt; maybe raise.
+
+        Attempt numbers are tracked per prompt, so interleaving across
+        prompts (any worker count) cannot change when a given prompt's
+        fault stops firing.
+        """
+        schedule = self.schedule_for(prompt)
+        key = self._prompt_key(prompt)
+        with self._lock:
+            attempt = self._attempts[key] = self._attempts.get(key, 0) + 1
+        if schedule.latency_spike and attempt == 1:
+            self._count("latency_spike")
+            time.sleep(self.profile.latency_spike_s)
+        if schedule.transient_kind is not None and (
+            schedule.unrecoverable or attempt <= schedule.depth
+        ):
+            self._count(schedule.transient_kind)
+            raise _TRANSIENT_ERRORS[schedule.transient_kind](
+                f"injected {schedule.transient_kind} fault "
+                f"(attempt {attempt}, seed {self.seed})"
+            )
+
+    def on_response(self, prompt: str, text: str) -> str:
+        """Maybe corrupt a completion on its way back from the backend."""
+        schedule = self.schedule_for(prompt)
+        if schedule.corrupt == "garbage":
+            self._count("garbage")
+            noise = hashlib.blake2b(
+                f"{self.seed}|garbage|{prompt}".encode("utf-8"), digest_size=6
+            ).hexdigest()
+            return f"�{noise}�"
+        if schedule.corrupt == "truncate":
+            self._count("truncate")
+            return text[: max(1, len(text) // 2)]
+        return text
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative injection tallies (copy; safe to diff across runs)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def describe(self) -> dict:
+        """JSON-ready identity block for run manifests."""
+        return {
+            "profile": self.profile.name,
+            "seed": self.seed,
+            "rates": {
+                "rate_limit": self.profile.rate_limit,
+                "timeout": self.profile.timeout,
+                "connection": self.profile.connection,
+                "garbage": self.profile.garbage,
+                "truncate": self.profile.truncate,
+                "latency_spike": self.profile.latency_spike,
+            },
+        }
+
+    def fork(self) -> FaultPlan:
+        """A fresh plan with the same seed/profile and zeroed counters."""
+        return FaultPlan(replace(self.profile), seed=self.seed)
+
+
+# Process-wide default plan.  ``repro bench --chaos PROFILE`` installs
+# one so every client the engine constructs underneath injects the same
+# schedule — the same pattern as the default worker count and cache.
+_DEFAULT_PLAN: FaultPlan | None = None
+_DEFAULT_PLAN_LOCK = threading.Lock()
+
+
+def set_default_fault_plan(plan: FaultPlan | None) -> None:
+    """Install (or with ``None``, clear) the process-wide fault plan."""
+    global _DEFAULT_PLAN
+    with _DEFAULT_PLAN_LOCK:
+        _DEFAULT_PLAN = plan
+
+
+def get_default_fault_plan() -> FaultPlan | None:
+    with _DEFAULT_PLAN_LOCK:
+        return _DEFAULT_PLAN

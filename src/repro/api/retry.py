@@ -32,6 +32,29 @@ class FatalError(RuntimeError):
     """A failure no amount of backoff can fix — fail the batch fast."""
 
 
+class ParseError(ValueError):
+    """A completion could not be interpreted as a task prediction.
+
+    Raised instead of whatever ``IndexError``/``KeyError`` a naive parser
+    would leak when the model returns empty, truncated, or garbage text.
+    Not retryable: the response is cached, so re-requesting the same
+    prompt at temperature 0 yields the same unparseable text.  Under
+    ``run_task(on_error="quarantine")`` the affected example is
+    quarantined and scoring proceeds over the survivors.
+    """
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open — the endpoint is presumed down.
+
+    Raised (without touching the backend) for work attempted while a
+    :class:`~repro.api.batch.CircuitBreaker` is open, so a dead endpoint
+    costs one probe per cooldown instead of ``items × retries`` backoff
+    sleeps.  Not retryable by policy: the breaker itself decides when to
+    probe again.
+    """
+
+
 class BudgetExhaustedError(FatalError, RateLimitError):
     """A run-level request/token budget is spent.
 
@@ -93,10 +116,12 @@ NO_RETRY = RetryPolicy(max_retries=0)
 
 __all__ = [
     "BudgetExhaustedError",
+    "CircuitOpenError",
     "DEFAULT_POLICY",
     "DEFAULT_RETRY_ON",
     "FatalError",
     "NO_RETRY",
+    "ParseError",
     "RateLimitError",
     "RetryPolicy",
 ]

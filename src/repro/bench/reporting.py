@@ -99,6 +99,78 @@ def render_manifest(manifest) -> str:
         if m.get("unknown_price"):
             cost += " (some models unpriced)"
         lines.append(f"tokens: {tokens}, cost {cost}")
+    if m.get("degraded"):
+        quarantine = m.get("quarantine") or []
+        lines.append(
+            f"degraded: {len(quarantine)} quarantined, "
+            f"coverage {100 * m.get('coverage', 1.0):.1f}%"
+        )
+    faults = m.get("faults")
+    if faults:
+        injected = faults.get("injected") or {}
+        injected_text = (
+            ", ".join(
+                f"{kind}={count}" for kind, count in sorted(injected.items())
+            )
+            or "none"
+        )
+        lines.append(
+            f"faults: profile {faults.get('profile')} "
+            f"(seed {faults.get('seed')}), injected: {injected_text}"
+        )
+    return "\n".join(lines)
+
+
+def render_chaos_report(run, baseline=None) -> str:
+    """Resilience report for one chaos run (``repro chaos`` output).
+
+    ``run`` is the faulted :class:`~repro.core.tasks.common.TaskRun`;
+    ``baseline``, when given, is the fault-free run of the same
+    configuration and turns the report's last line into the degradation
+    delta (faulted metric minus clean metric).
+    """
+    manifest = _as_manifest_dict(run.manifest) if run.manifest else {}
+    faults = manifest.get("faults") or {}
+    injected = faults.get("injected") or {}
+    requests = manifest.get("requests") or {}
+    lines = [
+        f"== chaos report: {run.task}/{run.dataset} ({run.model}) ==",
+        f"profile: {faults.get('profile', 'none')} "
+        f"(seed {faults.get('seed', '-')})",
+        "faults injected: "
+        + (
+            ", ".join(
+                f"{kind}={count}" for kind, count in sorted(injected.items())
+            )
+            or "none"
+        ),
+        f"requests: {requests.get('n_requests', 0)} "
+        f"({requests.get('n_failures', 0)} failures, "
+        f"{requests.get('n_retries', 0)} retries)",
+        f"quarantined: {len(run.quarantine)} of {run.n_examples} examples "
+        f"(coverage {100 * run.coverage:.1f}%)",
+    ]
+    for record in run.quarantine:
+        lines.append(
+            f"  - example {record.index}: {record.error_type} "
+            f"[{record.stage}, {record.attempts} attempts]"
+        )
+    breaker = faults.get("breaker")
+    if breaker:
+        lines.append(
+            f"circuit breaker: {breaker.get('state')} "
+            f"({breaker.get('trips', 0)} trips, "
+            f"{breaker.get('rejections', 0)} rejections, "
+            f"{breaker.get('probes', 0)} probes)"
+        )
+    metric_text = f"{run.metric_name}={100 * run.metric:.1f}"
+    if baseline is not None:
+        delta = 100 * (run.metric - baseline.metric)
+        metric_text += (
+            f" vs fault-free {100 * baseline.metric:.1f} "
+            f"(degradation {delta:+.1f})"
+        )
+    lines.append(f"metric: {metric_text}")
     return "\n".join(lines)
 
 
@@ -117,6 +189,8 @@ def summarize_manifests(
     runs = [_as_manifest_dict(manifest) for manifest in manifests]
     hits = sum((run.get("cache") or {}).get("hits", 0) for run in runs)
     lookups = sum((run.get("cache") or {}).get("lookups", 0) for run in runs)
+    n_examples = sum(run.get("n_examples", 0) for run in runs)
+    n_quarantined = sum(len(run.get("quarantine") or []) for run in runs)
     return {
         "experiment": experiment,
         "wall_clock_s": wall_clock_s,
@@ -143,5 +217,12 @@ def summarize_manifests(
             "cache_hits": hits,
             "cache_lookups": lookups,
             "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "quarantined": n_quarantined,
+            "degraded": any(run.get("degraded") for run in runs),
+            "coverage": (
+                (n_examples - n_quarantined) / n_examples
+                if n_examples
+                else 1.0
+            ),
         },
     }

@@ -67,6 +67,9 @@ def evaluate_fm(
     seed: int = 0,
     workers: int | None = None,
     trace: bool = False,
+    on_error: str | None = None,
+    checkpoint=None,
+    fault_plan=None,
 ) -> TaskRun:
     """Foundation-model column for any registered task.
 
@@ -75,11 +78,15 @@ def evaluate_fm(
     paper default.  Returns the full :class:`TaskRun` — callers take
     ``.metric`` for a table cell or keep predictions/records for slicing.
     The run's manifest is also pushed to any active
-    :func:`collect_manifests` scope.
+    :func:`collect_manifests` scope.  ``on_error`` / ``checkpoint`` /
+    ``fault_plan`` pass straight through to
+    :func:`~repro.core.tasks.engine.run_task` (``None`` inherits the
+    process-wide defaults the CLI's chaos flags install).
     """
     run = run_task(
         task, model, dataset, k=k, selection=selection, config=config,
         max_examples=max_examples, seed=seed, workers=workers, trace=trace,
+        on_error=on_error, checkpoint=checkpoint, fault_plan=fault_plan,
     )
     if _MANIFEST_SINK is not None and run.manifest is not None:
         _MANIFEST_SINK.append(run.manifest)

@@ -12,6 +12,15 @@ Commands:
 * ``repair --row k=v,... --attribute a`` — propose a corrected value.
 * ``transform --value v --examples in=out;in=out`` — one transformation.
 * ``probe`` — the Table 6 functional-dependency probes across model sizes.
+* ``chaos <task> <dataset>`` — run an evaluation under a named fault
+  profile and print a resilience report (faults injected, retries,
+  quarantined examples, degradation vs. the fault-free run).
+
+Resilience flags: ``run``/``bench`` accept ``--chaos PROFILE`` (inject
+deterministic faults; implies quarantine mode unless ``--on-error`` says
+otherwise), ``run --checkpoint PATH`` / ``bench --checkpoint-dir DIR``
+(journal per-example completions and resume a killed run), and ``run
+--on-error quarantine`` (degrade gracefully instead of aborting).
 """
 
 from __future__ import annotations
@@ -85,6 +94,33 @@ def _install_default_cache(path: str | None):
     return cache
 
 
+def _install_chaos(profile: str | None, seed: int, on_error: str | None):
+    """Install the process-wide fault plan + error mode for this command.
+
+    ``--chaos PROFILE`` makes every client built underneath inject the
+    profile's deterministic fault schedule; unless ``--on-error raise``
+    was explicitly requested, it also flips the engine default to
+    quarantine mode — injecting unrecoverable faults into a run that
+    aborts on first failure would be pointless.
+    """
+    from repro.core.tasks import set_default_on_error
+
+    plan = None
+    if profile:
+        from repro.api import FaultPlan, get_fault_profile, set_default_fault_plan
+
+        try:
+            plan = FaultPlan(get_fault_profile(profile), seed=seed)
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from None
+        set_default_fault_plan(plan)
+        if on_error is None:
+            on_error = "quarantine"
+    if on_error is not None:
+        set_default_on_error(on_error)
+    return plan
+
+
 def _cmd_run(args) -> int:
     from repro.core.tasks import get_task, run_task
     from repro.datasets import available_datasets, load_dataset
@@ -104,10 +140,11 @@ def _cmd_run(args) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     _install_default_cache(args.cache)
+    _install_chaos(args.chaos, args.chaos_seed, args.on_error)
     result = run_task(
         spec, args.model, dataset, k=args.k, selection=args.selection,
         max_examples=args.max_examples, split=args.split, seed=args.seed,
-        workers=args.workers, trace=args.trace,
+        workers=args.workers, trace=args.trace, checkpoint=args.checkpoint,
     )
     if args.manifest and result.manifest is not None:
         from repro.bench.reporting import render_manifest
@@ -147,6 +184,11 @@ def _cmd_bench(args) -> int:
 
         set_default_workers(args.workers)
     _install_default_cache(args.cache)
+    _install_chaos(args.chaos, args.chaos_seed, args.on_error)
+    if args.checkpoint_dir:
+        from repro.core.tasks import set_default_checkpoint_dir
+
+        set_default_checkpoint_dir(args.checkpoint_dir)
     if not args.manifest:
         for result in run_experiment(args.experiment):
             print(result.render())
@@ -177,6 +219,55 @@ def _cmd_bench(args) -> int:
           f"{totals['requests']} requests, "
           f"{100 * totals['cache_hit_rate']:.1f}% cache hits, "
           f"${totals['cost_usd']:.4f})")
+    if totals.get("degraded"):
+        print(f"degraded: {totals['quarantined']} examples quarantined "
+              f"(coverage {100 * totals['coverage']:.1f}%)")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.api import FaultPlan, get_fault_profile
+    from repro.bench.reporting import render_chaos_report
+    from repro.core.tasks import get_task, run_task
+    from repro.datasets import available_datasets, load_dataset
+
+    try:
+        spec = get_task(args.task)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        dataset = load_dataset(args.dataset)
+    except KeyError:
+        raise SystemExit(f"unknown dataset {args.dataset!r}; "
+                         f"choose from {available_datasets()}") from None
+    if dataset.task != spec.name:
+        raise SystemExit(f"dataset {args.dataset!r} is a {dataset.task} "
+                         f"benchmark, not {spec.name}")
+    try:
+        profile = get_fault_profile(args.profile)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+
+    # No --cache here on purpose: corrupted completions are cached like
+    # any wire response would be, so chaos runs always use private
+    # in-memory caches — a shared persistent cache would be poisoned.
+    common = dict(
+        k=args.k, max_examples=args.max_examples, split=args.split,
+        seed=args.seed, workers=args.workers,
+    )
+    baseline = None
+    if not args.no_baseline:
+        baseline = run_task(spec, args.model, dataset, **common)
+    plan = FaultPlan(profile, seed=args.chaos_seed)
+    faulted = run_task(
+        spec, args.model, dataset, on_error="quarantine",
+        fault_plan=plan, checkpoint=args.checkpoint, **common,
+    )
+    if args.manifest and faulted.manifest is not None:
+        faulted.manifest.write(args.manifest)
+    print(render_chaos_report(faulted, baseline=baseline))
     return 0
 
 
@@ -260,6 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache", metavar="PATH", default=None,
                      help="file-backed prompt cache shared across runs "
                           "(re-runs become near-free)")
+    run.add_argument("--checkpoint", metavar="PATH", default=None,
+                     help="append-only JSONL journal; re-running with the "
+                          "same config resumes instead of restarting")
+    run.add_argument("--on-error", default=None,
+                     choices=("raise", "quarantine"),
+                     help="quarantine: set failed examples aside and score "
+                          "the survivors instead of aborting")
+    run.add_argument("--chaos", metavar="PROFILE", default=None,
+                     help="inject deterministic faults from a named profile "
+                          "(implies --on-error quarantine)")
+    run.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed of the injected fault schedule")
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a table/figure")
@@ -273,7 +376,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache", metavar="PATH", default=None,
                        help="file-backed prompt cache shared by every "
                             "evaluation in the experiment")
+    bench.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="journal every evaluation to auto-named JSONL "
+                            "files under DIR; a killed sweep resumes")
+    bench.add_argument("--on-error", default=None,
+                       choices=("raise", "quarantine"),
+                       help="quarantine: degrade gracefully instead of "
+                            "aborting on a failed example")
+    bench.add_argument("--chaos", metavar="PROFILE", default=None,
+                       help="inject deterministic faults from a named "
+                            "profile (implies --on-error quarantine)")
+    bench.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the injected fault schedule")
     bench.set_defaults(fn=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a task under fault injection, report resilience"
+    )
+    chaos.add_argument("task", help="task name or alias (em, ed, di, sm, dt)")
+    chaos.add_argument("dataset", help="benchmark dataset name")
+    chaos.add_argument("--profile", default="ci",
+                       help="fault profile: none|ci|mild|heavy|garbage|latency")
+    chaos.add_argument("--chaos-seed", "--seed-faults", dest="chaos_seed",
+                       type=int, default=0,
+                       help="seed of the injected fault schedule")
+    chaos.add_argument("--model", default="gpt3-175b",
+                       help="gpt3-1.3b | gpt3-6.7b | gpt3-175b")
+    chaos.add_argument("--k", type=int, default=None,
+                       help="demonstration count (default: the task's default)")
+    chaos.add_argument("--max-examples", type=int, default=None,
+                       help="cap on evaluated test examples")
+    chaos.add_argument("--split", default="test", help="evaluation split")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for subsampling/random selection")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="fan prompt completion across N threads")
+    chaos.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="journal the faulted run for resume")
+    chaos.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write the faulted run's manifest JSON to PATH")
+    chaos.add_argument("--no-baseline", action="store_true",
+                       help="skip the fault-free comparison run")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     def with_model(command, help_text):
         p = sub.add_parser(command, help=help_text)

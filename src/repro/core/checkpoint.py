@@ -1,0 +1,222 @@
+"""Append-only run checkpoints: journal completions, resume runs.
+
+A killed benchmark sweep should resume, not restart.  The engine
+journals every completed example (and every completion-stage quarantine)
+to an append-only JSONL file as it goes; re-running the same resolved
+configuration against the same journal skips the already-completed
+examples and finishes the run — with zero duplicate backend calls for
+journaled work.
+
+Journal format — one JSON object per line:
+
+* ``{"type": "header", "version": 1, "fingerprint": ..., "meta": {...}}``
+  — written once when the journal is created.  ``fingerprint`` is a
+  BLAKE2 hash of the resolved run configuration (task, dataset, model,
+  k, split, seed, prompt config, fault plan identity); resuming with a
+  *different* resolved config raises :class:`CheckpointMismatchError`
+  instead of silently mixing two runs in one file.
+* ``{"type": "example", "index": ..., "prompt_sha": ..., "response": ...}``
+  — one per completed example.  ``prompt_sha`` lets resume verify the
+  journaled entry really belongs to the prompt at that index.
+* ``{"type": "quarantine", "index": ..., "error_type": ..., "error": ...,
+  "attempts": ..., "stage": "completion"}`` — one per example whose
+  completion failed permanently.  Only completion-stage quarantines are
+  journaled; parse-stage failures are re-derived deterministically from
+  the journaled response text on resume.
+
+Lines are flushed on every append, so a hard kill loses at most the
+in-flight line; a trailing partial line (the kill landed mid-write) is
+tolerated and ignored on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointMismatchError",
+    "RunCheckpoint",
+    "prompt_sha",
+    "run_fingerprint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The journal on disk belongs to a different resolved run config."""
+
+
+def run_fingerprint(payload: dict) -> str:
+    """Stable digest of a resolved run configuration.
+
+    Canonical-JSON + BLAKE2, so the fingerprint is identical across
+    processes, platforms, and ``PYTHONHASHSEED`` — two invocations with
+    the same resolved config always agree on whether a journal is theirs.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def prompt_sha(prompt: str) -> str:
+    """Short content digest of one prompt (journal integrity check)."""
+    return hashlib.blake2b(prompt.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class RunCheckpoint:
+    """One append-only JSONL journal for one (resumable) task run.
+
+    Opening an existing journal replays it: ``completed`` maps example
+    index -> journaled response text and ``quarantined`` maps index ->
+    the journaled quarantine record.  Appends are lock-protected and
+    flushed line-by-line so concurrent executor workers can journal
+    safely and a kill loses at most one line.
+    """
+
+    def __init__(self, path, fingerprint: str, meta: dict | None = None):
+        self.path = os.fspath(path)
+        self.fingerprint = fingerprint
+        self.completed: dict[int, dict] = {}
+        self.quarantined: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existed:
+            self._load()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if not existed:
+            self._append(
+                {
+                    "type": "header",
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": fingerprint,
+                    "meta": meta or {},
+                }
+            )
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        # A trailing partial line means the previous run was killed
+        # mid-append; drop it (its example simply re-runs).
+        if lines and lines[-1]:
+            try:
+                json.loads(lines[-1])
+            except json.JSONDecodeError:
+                lines = lines[:-1]
+        header_seen = False
+        for line in lines:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "header":
+                header_seen = True
+                if record.get("fingerprint") != self.fingerprint:
+                    raise CheckpointMismatchError(
+                        f"checkpoint {self.path} was written by a different "
+                        f"run configuration (journal fingerprint "
+                        f"{record.get('fingerprint')!r}, this run "
+                        f"{self.fingerprint!r}); use a fresh checkpoint path"
+                    )
+            elif kind == "example":
+                self.completed[int(record["index"])] = record
+            elif kind == "quarantine":
+                self.quarantined[int(record["index"])] = record
+            # Unknown record types are skipped: newer writers stay
+            # readable by older code.
+        if not header_seen:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.path} has no header record — not a "
+                f"run journal (refusing to append to it)"
+            )
+
+    # -- appending ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def record_example(self, index: int, prompt: str, response: str) -> None:
+        """Journal one completed example (called as completions land)."""
+        self._append(
+            {
+                "type": "example",
+                "index": index,
+                "prompt_sha": prompt_sha(prompt),
+                "response": response,
+            }
+        )
+        with self._lock:
+            self.completed[index] = {
+                "index": index,
+                "prompt_sha": prompt_sha(prompt),
+                "response": response,
+            }
+
+    def record_quarantine(
+        self, index: int, error_type: str, error: str, attempts: int
+    ) -> None:
+        """Journal one permanently-failed example (completion stage)."""
+        record = {
+            "type": "quarantine",
+            "index": index,
+            "error_type": error_type,
+            "error": error,
+            "attempts": attempts,
+            "stage": "completion",
+        }
+        self._append(record)
+        with self._lock:
+            self.quarantined[index] = record
+
+    # -- resume queries ----------------------------------------------------
+
+    def response_for(self, index: int, prompt: str) -> str | None:
+        """The journaled response of ``prompt`` at ``index``, if any.
+
+        Verifies the journaled ``prompt_sha`` — a stale journal whose
+        example order drifted (e.g. the dataset changed underneath)
+        yields ``None`` so the example re-runs rather than resuming with
+        the wrong completion.
+        """
+        record = self.completed.get(index)
+        if record is None:
+            return None
+        if record.get("prompt_sha") != prompt_sha(prompt):
+            return None
+        return record["response"]
+
+    def verify_prompts(self, prompts: list[str]) -> int:
+        """How many of ``prompts`` have a valid journaled completion."""
+        return sum(
+            1
+            for index, prompt in enumerate(prompts)
+            if self.response_for(index, prompt) is not None
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> RunCheckpoint:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -87,6 +87,20 @@ class RunManifest:
     #: (its cost is reported as 0.0, not invented).
     unknown_price: bool = False
     config: dict = field(default_factory=dict)
+    #: Examples set aside under ``on_error="quarantine"`` — one dict per
+    #: example: index / error_type / error / attempts / stage.  Empty for
+    #: clean runs (and absent from pre-chaos manifests, which still
+    #: validate: the schema marks all four resilience fields optional).
+    quarantine: list = field(default_factory=list)
+    #: True when the metric was computed over a strict subset of the
+    #: evaluation set (some examples quarantined).
+    degraded: bool = False
+    #: Fraction of examples that survived to scoring (1.0 when clean).
+    coverage: float = 1.0
+    #: Fault-injection identity and tallies when the run executed under a
+    #: :class:`~repro.api.faults.FaultPlan` (profile, seed, rates,
+    #: injected counts); ``None`` for fault-free runs.
+    faults: dict | None = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:

@@ -10,12 +10,21 @@ call-site compatibility.
 """
 
 from repro.core.tasks import engine, spec
-from repro.core.tasks.common import ExampleRecord, TaskRun, parse_yes_no
+from repro.core.tasks.common import (
+    ExampleRecord,
+    QuarantineRecord,
+    TaskRun,
+    parse_yes_no,
+)
 from repro.core.tasks.engine import (
+    get_default_checkpoint_dir,
+    get_default_on_error,
     make_validation_scorer,
     predict,
     run_task,
     select_demonstrations,
+    set_default_checkpoint_dir,
+    set_default_on_error,
 )
 from repro.core.tasks.spec import TASKS, TaskSpec, available_tasks, get_task
 
@@ -28,10 +37,13 @@ from repro.core.tasks.transformation import run_transformation
 
 __all__ = [
     "ExampleRecord",
+    "QuarantineRecord",
     "TASKS",
     "TaskRun",
     "TaskSpec",
     "available_tasks",
+    "get_default_checkpoint_dir",
+    "get_default_on_error",
     "get_task",
     "make_validation_scorer",
     "parse_yes_no",
@@ -43,4 +55,6 @@ __all__ = [
     "run_task",
     "run_transformation",
     "select_demonstrations",
+    "set_default_checkpoint_dir",
+    "set_default_on_error",
 ]

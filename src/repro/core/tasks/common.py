@@ -33,6 +33,33 @@ class ExampleRecord:
     latency_s: float | None = None
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One example set aside by ``run_task(on_error="quarantine")``.
+
+    ``stage`` says where the example died: ``"completion"`` (transient
+    retries exhausted, budget, circuit open) or ``"parse"`` (the response
+    came back but was malformed/unparseable).  Quarantined examples get a
+    ``None`` prediction and are excluded from scoring; the run's
+    ``coverage`` is the surviving fraction.
+    """
+
+    index: int
+    error_type: str
+    error: str
+    attempts: int = 1
+    stage: str = "completion"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+            "stage": self.stage,
+        }
+
+
 @dataclass
 class TaskRun:
     """The outcome of evaluating one (model, dataset, configuration)."""
@@ -49,14 +76,27 @@ class TaskRun:
     details: dict = field(default_factory=dict)
     #: Optional per-example traces (see :class:`ExampleRecord`).
     records: list = field(default_factory=list)
+    #: Examples set aside under ``on_error="quarantine"`` (see
+    #: :class:`QuarantineRecord`); empty for clean runs.
+    quarantine: list = field(default_factory=list)
+    #: True when any example was quarantined — the metric was computed
+    #: over a strict subset of the evaluation set.
+    degraded: bool = False
+    #: Fraction of examples that survived to scoring (1.0 when clean).
+    coverage: float = 1.0
     #: Run telemetry (see :class:`repro.core.manifest.RunManifest`);
     #: always attached by the engine, ``None`` only for hand-built runs.
     manifest: object | None = None
 
     def describe(self) -> str:
+        degraded = (
+            f" [degraded, coverage={100 * self.coverage:.0f}%]"
+            if self.degraded
+            else ""
+        )
         return (
             f"{self.task}/{self.dataset} {self.model} (k={self.k}): "
-            f"{self.metric_name}={100 * self.metric:.1f}"
+            f"{self.metric_name}={100 * self.metric:.1f}{degraded}"
         )
 
 

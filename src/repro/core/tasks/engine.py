@@ -18,10 +18,29 @@ cache — the CLI's ``--cache PATH`` — apply without any per-task plumbing.
 :class:`~repro.core.tasks.common.ExampleRecord` per evaluated example —
 prompt, response, prediction, label and the request latency pulled from
 the executor's :class:`~repro.api.usage.UsageTracker` request log.
+
+Resilience (PR 4):
+
+* ``run_task(on_error="quarantine")`` degrades gracefully instead of
+  aborting — an example whose completion permanently fails (retries
+  exhausted, circuit open) or whose response is malformed/unparseable is
+  set aside as a :class:`~repro.core.tasks.common.QuarantineRecord`,
+  scoring proceeds over the survivors, and the run reports ``degraded``
+  plus a ``coverage`` fraction.
+* ``run_task(checkpoint=path)`` journals each completed example to an
+  append-only JSONL file (:mod:`repro.core.checkpoint`); re-running the
+  same resolved config resumes, skipping journaled examples with zero
+  duplicate backend calls.
+* ``run_task(fault_plan=...)`` (or a process-default installed by
+  ``repro ... --chaos``) attaches a deterministic
+  :class:`~repro.api.faults.FaultPlan` to the underlying client, and the
+  manifest grows a ``faults`` section with injection tallies.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 
 from repro.core.demonstrations import (
@@ -30,8 +49,63 @@ from repro.core.demonstrations import (
     RandomSelector,
 )
 from repro.core.manifest import RunManifest, jsonable
-from repro.core.tasks.common import ExampleRecord, TaskRun, subsample
+from repro.core.tasks.common import (
+    ExampleRecord,
+    QuarantineRecord,
+    TaskRun,
+    subsample,
+)
 from repro.core.tasks.spec import TaskSpec, get_task
+
+# Process-wide error-handling default.  ``repro ... --chaos`` flips this
+# to "quarantine" so every evaluation underneath a bench sweep degrades
+# gracefully — same ambient-default pattern as workers / cache / faults.
+_DEFAULT_ON_ERROR = "raise"
+_DEFAULT_ON_ERROR_LOCK = threading.Lock()
+
+# Process-wide checkpoint directory.  ``repro bench --checkpoint-dir``
+# sets it; every run_task underneath then journals to an auto-named file
+# in that directory, making whole sweeps resumable.
+_DEFAULT_CHECKPOINT_DIR: str | None = None
+_DEFAULT_CHECKPOINT_DIR_LOCK = threading.Lock()
+
+
+def set_default_on_error(mode: str) -> None:
+    """Set the process-wide ``on_error`` default ("raise"/"quarantine")."""
+    global _DEFAULT_ON_ERROR
+    if mode not in ("raise", "quarantine"):
+        raise ValueError(
+            f'on_error must be "raise" or "quarantine", got {mode!r}'
+        )
+    with _DEFAULT_ON_ERROR_LOCK:
+        _DEFAULT_ON_ERROR = mode
+
+
+def get_default_on_error() -> str:
+    with _DEFAULT_ON_ERROR_LOCK:
+        return _DEFAULT_ON_ERROR
+
+
+def set_default_checkpoint_dir(path: str | None) -> None:
+    """Install (or with ``None``, clear) the default checkpoint directory."""
+    global _DEFAULT_CHECKPOINT_DIR
+    with _DEFAULT_CHECKPOINT_DIR_LOCK:
+        _DEFAULT_CHECKPOINT_DIR = path
+
+
+def get_default_checkpoint_dir() -> str | None:
+    with _DEFAULT_CHECKPOINT_DIR_LOCK:
+        return _DEFAULT_CHECKPOINT_DIR
+
+
+def _resolve_on_error(on_error: str | None) -> str:
+    if on_error is None:
+        return get_default_on_error()
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(
+            f'on_error must be "raise" or "quarantine", got {on_error!r}'
+        )
+    return on_error
 
 
 def _complete(
@@ -40,16 +114,25 @@ def _complete(
     workers: int | None,
     tracker=None,
     retry_policy=None,
-) -> list[str]:
-    from repro.api.batch import BatchExecutor, complete_all
+    on_error: str = "raise",
+    breaker=None,
+) -> list:
+    """Fan ``prompts`` across an executor; maybe scatter failures.
+
+    In quarantine mode the returned list may contain
+    :class:`~repro.api.batch.BatchFailure` placeholders in the slots of
+    permanently-failed prompts; callers turn those into quarantines.
+    """
+    from repro.api.batch import BatchExecutor
 
     executor = BatchExecutor(
-        workers=workers, usage=tracker, policy=retry_policy
+        workers=workers, usage=tracker, policy=retry_policy, breaker=breaker
     )
-    return complete_all(model, prompts, executor=executor)
+    map_mode = "return" if on_error == "quarantine" else "raise"
+    return executor.map(model.complete, prompts, on_error=map_mode)
 
 
-def _resolve_model(model):
+def _resolve_model(model, fault_plan=None):
     """Model objects pass through; names become accounted clients.
 
     A :class:`~repro.api.client.CompletionClient` adds caching (the
@@ -58,21 +141,52 @@ def _resolve_model(model):
     at temperature 0 the wrapped simulator returns exactly what the bare
     simulator would.  Non-client model *objects* are wrapped only when a
     default cache is installed — a bench module's bare simulator then
-    shares the sweep's persistent cache too.
+    shares the sweep's persistent cache too — or when a fault plan must
+    be injected (the plan hooks live on the client).
     """
     from repro.api.cache import get_default_cache
     from repro.api.client import CompletionClient
 
     if isinstance(model, str):
-        return CompletionClient(model, cache=get_default_cache())
+        return CompletionClient(
+            model, cache=get_default_cache(), fault_plan=fault_plan
+        )
+    if isinstance(model, CompletionClient):
+        if fault_plan is not None and model.fault_plan is None:
+            model.fault_plan = fault_plan
+        return model
     default_cache = get_default_cache()
-    if (
-        default_cache is not None
-        and not isinstance(model, CompletionClient)
-        and hasattr(model, "complete")
+    if (fault_plan is not None or default_cache is not None) and hasattr(
+        model, "complete"
     ):
-        return CompletionClient(model, cache=default_cache)
+        return CompletionClient(
+            model, cache=default_cache, fault_plan=fault_plan
+        )
     return model
+
+
+def _parse_checked(spec: TaskSpec, response):
+    """Parse one response, normalizing malformation into ``ParseError``.
+
+    Quarantine-mode only: responses are validated the way a production
+    harness checks body shape before parsing (empty, non-text, garbage
+    bytes → typed error, not an ``IndexError`` three frames deep), and a
+    parser that still chokes has its untyped exception wrapped.
+    """
+    from repro.api.faults import malformed_reason
+    from repro.api.retry import ParseError
+
+    reason = malformed_reason(response)
+    if reason is not None:
+        raise ParseError(reason)
+    try:
+        return spec.parse_response(response)
+    except ParseError:
+        raise
+    except Exception as exc:
+        raise ParseError(
+            f"parse_response failed with {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def predict(
@@ -83,15 +197,36 @@ def predict(
     config,
     k: int = 0,
     workers: int | None = None,
+    on_error: str | None = None,
 ) -> list:
-    """Predictions for ``examples`` under ``spec`` (order-preserving)."""
+    """Predictions for ``examples`` under ``spec`` (order-preserving).
+
+    Under ``on_error="quarantine"`` a permanently-failed or unparseable
+    example yields ``None`` in its slot instead of raising; callers
+    (validation scorers) drop those slots before scoring.
+    """
+    from repro.api.batch import BatchFailure
+    from repro.api.retry import ParseError
+
     spec = get_task(spec)
+    on_error = _resolve_on_error(on_error)
     prompts = [
         spec.build_prompt(example, demonstrations, config, k)
         for example in examples
     ]
-    responses = _complete(model, prompts, workers)
-    return [spec.parse_response(response) for response in responses]
+    responses = _complete(model, prompts, workers, on_error=on_error)
+    if on_error != "quarantine":
+        return [spec.parse_response(response) for response in responses]
+    predictions = []
+    for response in responses:
+        if isinstance(response, BatchFailure):
+            predictions.append(None)
+            continue
+        try:
+            predictions.append(_parse_checked(spec, response))
+        except ParseError:
+            predictions.append(None)
+    return predictions
 
 
 def make_validation_scorer(
@@ -100,22 +235,46 @@ def make_validation_scorer(
     dataset,
     config,
     max_validation: int | None = None,
+    on_error: str | None = None,
 ):
     """Score a candidate demonstration list on a validation sample.
 
     The sample and cap come from the spec (error detection enriches its
     sample with positives; the rest take the head of the validation
     split), and the score is the spec's own metric — so manual curation
-    optimizes exactly what the task reports.
+    optimizes exactly what the task reports.  In quarantine mode,
+    examples that failed (``None`` predictions) are dropped from the
+    score rather than poisoning the curation signal.
     """
     spec = get_task(spec)
+    on_error = _resolve_on_error(on_error)
     if max_validation is None:
         max_validation = spec.max_validation
     validation = spec.validation_examples(dataset, max_validation)
     labels = [spec.label_of(example) for example in validation]
 
     def evaluate(demonstrations: list) -> float:
-        predictions = predict(spec, model, validation, demonstrations, config)
+        predictions = predict(
+            spec, model, validation, demonstrations, config,
+            on_error=on_error,
+        )
+        if on_error == "quarantine":
+            kept = [
+                (prediction, label, example)
+                for prediction, label, example in zip(
+                    predictions, labels, validation
+                )
+                if prediction is not None
+            ]
+            if not kept:
+                return 0.0
+            predictions = [item[0] for item in kept]
+            kept_labels = [item[1] for item in kept]
+            kept_examples = [item[2] for item in kept]
+            metric, _details = spec.score(
+                predictions, kept_labels, kept_examples
+            )
+            return metric
         metric, _details = spec.score(predictions, labels, validation)
         return metric
 
@@ -130,6 +289,7 @@ def select_demonstrations(
     config=None,
     selection: str | DemonstrationSelector = "manual",
     seed: int = 0,
+    on_error: str | None = None,
 ) -> list:
     """Pick ``k`` demonstrations by name ("manual"/"random") or selector."""
     spec = get_task(spec)
@@ -143,13 +303,21 @@ def select_demonstrations(
         selector = RandomSelector(seed=seed)
     elif selection == "manual":
         selector = ManualCurator(
-            evaluate=make_validation_scorer(spec, model, dataset, config),
+            evaluate=make_validation_scorer(
+                spec, model, dataset, config, on_error=on_error
+            ),
             seed=seed,
             label_of=spec.curation_label_of,
         )
     else:
         raise ValueError(f"unknown selection strategy {selection!r}")
     return selector.select(dataset.train, k)
+
+
+def _selection_name(selection) -> str:
+    if isinstance(selection, DemonstrationSelector):
+        return type(selection).__name__
+    return str(selection)
 
 
 def _build_manifest(
@@ -169,15 +337,14 @@ def _build_manifest(
     tracker,
     usage_before,
     config,
+    quarantine: list | None = None,
+    degraded: bool = False,
+    coverage: float = 1.0,
+    faults: dict | None = None,
 ) -> RunManifest:
     from repro.api.batch import resolve_workers
     from repro.api.client import CompletionClient
     from repro.api.usage import usage_delta
-
-    if isinstance(selection, DemonstrationSelector):
-        selection_name = type(selection).__name__
-    else:
-        selection_name = str(selection)
 
     usage_section: dict[str, dict] = {}
     cache_section = None
@@ -212,7 +379,7 @@ def _build_manifest(
         dataset=dataset.name,
         model=getattr(model, "name", type(model).__name__),
         k=k,
-        selection=selection_name,
+        selection=_selection_name(selection),
         split=split,
         seed=seed,
         workers=resolve_workers(workers),
@@ -227,7 +394,42 @@ def _build_manifest(
         cost_usd=cost_usd,
         unknown_price=unknown_price,
         config=jsonable(config),
+        quarantine=[record.to_dict() for record in (quarantine or [])],
+        degraded=degraded,
+        coverage=coverage,
+        faults=faults,
     )
+
+
+def _open_checkpoint(
+    checkpoint, spec, dataset, model, *,
+    k, selection, split, seed, max_examples, config, fault_plan,
+):
+    """Resolve the checkpoint path (explicit or ambient) and open it."""
+    from repro.core.checkpoint import RunCheckpoint, run_fingerprint
+
+    payload = {
+        "task": spec.name,
+        "dataset": dataset.name,
+        "model": getattr(model, "name", type(model).__name__),
+        "k": k,
+        "selection": _selection_name(selection),
+        "split": split,
+        "seed": seed,
+        "max_examples": max_examples,
+        "config": jsonable(config),
+        "faults": fault_plan.describe() if fault_plan is not None else None,
+    }
+    fingerprint = run_fingerprint(payload)
+    if checkpoint is None:
+        default_dir = get_default_checkpoint_dir()
+        if default_dir is None:
+            return None
+        checkpoint = os.path.join(
+            default_dir,
+            f"{spec.name}_{dataset.name}_{fingerprint[:12]}.jsonl",
+        )
+    return RunCheckpoint(checkpoint, fingerprint, meta=payload)
 
 
 def run_task(
@@ -243,6 +445,10 @@ def run_task(
     workers: int | None = None,
     trace: bool = False,
     retry_policy=None,
+    on_error: str | None = None,
+    checkpoint=None,
+    fault_plan=None,
+    breaker=None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` under the named task's spec.
 
@@ -256,13 +462,38 @@ def run_task(
     :class:`~repro.core.tasks.common.ExampleRecord` entries.  The
     returned run always carries a populated
     :class:`~repro.core.manifest.RunManifest` in ``.manifest``.
+
+    Resilience knobs (``None`` inherits the process-wide defaults the
+    CLI's chaos flags install):
+
+    * ``on_error="quarantine"`` — permanently-failed or unparseable
+      examples are quarantined instead of aborting the run; the metric
+      is computed over the survivors and the run reports ``degraded``
+      plus ``coverage``.
+    * ``checkpoint=path`` — journal per-example completions to an
+      append-only JSONL file and resume from it on re-invocation (zero
+      duplicate backend calls for journaled examples).
+    * ``fault_plan`` — a :class:`~repro.api.faults.FaultPlan` attached
+      to the underlying client for deterministic fault injection.
+    * ``breaker`` — a :class:`~repro.api.batch.CircuitBreaker` guarding
+      the completion fan-out.
     """
+    from repro.api.batch import BatchExecutor, BatchFailure
     from repro.api.client import CompletionClient
+    from repro.api.faults import get_default_fault_plan
+    from repro.api.retry import ParseError
     from repro.api.usage import UsageTracker
 
     run_started = time.perf_counter()
     spec = get_task(task)
-    model = _resolve_model(model)
+    on_error = _resolve_on_error(on_error)
+    if fault_plan is None:
+        fault_plan = get_default_fault_plan()
+    model = _resolve_model(model, fault_plan=fault_plan)
+    if fault_plan is None:
+        # A client handed in with its own plan attached still gets full
+        # fault accounting in the manifest.
+        fault_plan = getattr(model, "fault_plan", None)
     if isinstance(dataset, str):
         from repro.datasets import load_dataset
 
@@ -274,11 +505,12 @@ def run_task(
     usage_before = (
         model.usage.snapshot() if isinstance(model, CompletionClient) else None
     )
+    fault_stats_before = fault_plan.stats() if fault_plan is not None else {}
     phases: dict[str, float] = {}
 
     phase_started = time.perf_counter()
     demonstrations = select_demonstrations(
-        spec, model, dataset, k, config, selection, seed
+        spec, model, dataset, k, config, selection, seed, on_error=on_error
     )
     phases["selection"] = time.perf_counter() - phase_started
 
@@ -290,26 +522,123 @@ def run_task(
     ]
     phases["prompting"] = time.perf_counter() - phase_started
 
+    journal = _open_checkpoint(
+        checkpoint, spec, dataset, model,
+        k=k, selection=selection, split=split, seed=seed,
+        max_examples=max_examples, config=config, fault_plan=fault_plan,
+    )
+
     # The tracker receives one RequestRecord per evaluated example from
     # the executor — retries, failures, and latency for the manifest,
     # and the per-example latency join for trace records.
     tracker = UsageTracker()
     phase_started = time.perf_counter()
-    responses = _complete(
-        model, prompts, workers, tracker=tracker, retry_policy=retry_policy
-    )
+    quarantine: dict[int, QuarantineRecord] = {}
+    responses: list = [None] * len(prompts)
+    pending: list[int] = []
+    for index, prompt in enumerate(prompts):
+        journaled = (
+            journal.response_for(index, prompt) if journal is not None else None
+        )
+        if journaled is not None:
+            responses[index] = journaled
+            continue
+        prior = journal.quarantined.get(index) if journal is not None else None
+        if prior is not None and on_error == "quarantine":
+            # A previous attempt already exhausted this example's
+            # retries; honor the journaled verdict instead of re-failing.
+            quarantine[index] = QuarantineRecord(
+                index=index,
+                error_type=str(prior.get("error_type", "Exception")),
+                error=str(prior.get("error", "")),
+                attempts=int(prior.get("attempts", 1)),
+                stage="completion",
+            )
+            continue
+        pending.append(index)
+
+    def complete_one(index: int) -> str:
+        response = model.complete(prompts[index])
+        if journal is not None:
+            journal.record_example(index, prompts[index], response)
+        return response
+
+    if pending:
+        executor = BatchExecutor(
+            workers=workers, usage=tracker, policy=retry_policy,
+            breaker=breaker,
+        )
+        outcomes = executor.map(
+            complete_one,
+            pending,
+            on_error="return" if on_error == "quarantine" else "raise",
+        )
+        for position, outcome in enumerate(outcomes):
+            index = pending[position]
+            if isinstance(outcome, BatchFailure):
+                quarantine[index] = QuarantineRecord(
+                    index=index,
+                    error_type=outcome.error_type,
+                    error=str(outcome.error),
+                    attempts=outcome.attempts,
+                    stage="completion",
+                )
+                if journal is not None:
+                    journal.record_quarantine(
+                        index,
+                        outcome.error_type,
+                        str(outcome.error),
+                        outcome.attempts,
+                    )
+            else:
+                responses[index] = outcome
     phases["completion"] = time.perf_counter() - phase_started
 
     phase_started = time.perf_counter()
-    predictions = [spec.parse_response(response) for response in responses]
+    predictions: list = [None] * len(prompts)
+    for index, response in enumerate(responses):
+        if index in quarantine:
+            continue
+        if on_error == "quarantine":
+            try:
+                predictions[index] = _parse_checked(spec, response)
+            except ParseError as exc:
+                quarantine[index] = QuarantineRecord(
+                    index=index,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    attempts=1,
+                    stage="parse",
+                )
+        else:
+            predictions[index] = spec.parse_response(response)
     labels = [spec.label_of(example) for example in examples]
-    metric, details = spec.score(predictions, labels, examples)
+    survivors = [
+        index for index in range(len(examples)) if index not in quarantine
+    ]
+    if quarantine:
+        metric, details = spec.score(
+            [predictions[index] for index in survivors],
+            [labels[index] for index in survivors],
+            [examples[index] for index in survivors],
+        )
+    else:
+        metric, details = spec.score(predictions, labels, examples)
+    coverage = (len(survivors) / len(examples)) if examples else 1.0
+    degraded = bool(quarantine)
     phases["scoring"] = time.perf_counter() - phase_started
+
+    if journal is not None:
+        journal.close()
 
     records: list[ExampleRecord] = []
     if trace:
+        # Executor indices are positions in ``pending``; map them back
+        # to example indices for the latency join.
         latencies = {
-            record.index: record.latency_s for record in tracker.request_log
+            pending[record.index]: record.latency_s
+            for record in tracker.request_log
+            if record.index < len(pending)
         }
         records = [
             ExampleRecord(
@@ -324,6 +653,21 @@ def run_task(
                 zip(prompts, responses, predictions, labels)
             )
         ]
+
+    faults_section = None
+    if fault_plan is not None:
+        fault_stats_after = fault_plan.stats()
+        injected = {
+            kind: count - fault_stats_before.get(kind, 0)
+            for kind, count in fault_stats_after.items()
+            if count - fault_stats_before.get(kind, 0)
+        }
+        faults_section = dict(fault_plan.describe())
+        faults_section["injected"] = injected
+        if breaker is not None:
+            faults_section["breaker"] = breaker.stats()
+
+    quarantine_records = [quarantine[index] for index in sorted(quarantine)]
     effective_k = len(demonstrations) if spec.supports_selection else k
     manifest = _build_manifest(
         spec, dataset, model,
@@ -331,6 +675,8 @@ def run_task(
         workers=workers, n_examples=len(examples), metric=metric,
         phases=phases, wall_clock_s=time.perf_counter() - run_started,
         tracker=tracker, usage_before=usage_before, config=config,
+        quarantine=quarantine_records, degraded=degraded,
+        coverage=coverage, faults=faults_section,
     )
     return TaskRun(
         task=spec.name,
@@ -344,5 +690,8 @@ def run_task(
         labels=labels,
         details=details,
         records=records,
+        quarantine=quarantine_records,
+        degraded=degraded,
+        coverage=coverage,
         manifest=manifest,
     )

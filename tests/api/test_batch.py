@@ -7,7 +7,9 @@ import pytest
 
 from repro.api import (
     BatchExecutor,
+    BatchFailure,
     BudgetExhaustedError,
+    CircuitBreaker,
     CompletionClient,
     FatalError,
     PromptCache,
@@ -484,3 +486,177 @@ class TestTaskRunnerIntegration:
 
         verdict_maps = wrangler.detect_errors_many([row, row], workers=4)
         assert verdict_maps == [wrangler.detect_errors(row)] * 2
+
+
+class TestPerRunAbortState:
+    """Abort/fatal state is scoped to each map() call (chaos PR satellite)."""
+
+    def test_reuse_across_failing_then_succeeding_batches(self):
+        executor = BatchExecutor(workers=4)
+        fatal = CountingFn(error=FatalError)
+        with pytest.raises(FatalError):
+            executor.map(fatal, list(range(8)))
+        assert executor.aborted
+        # Same executor, clean batch: must start with cleared abort state.
+        assert executor.map(str.upper, ["a", "b", "c"]) == ["A", "B", "C"]
+        assert not executor.aborted
+
+    def test_empty_map_after_abort_clears_aborted(self):
+        """Regression: the early return for empty input used to skip the
+        abort reset, leaving ``aborted`` stale from the previous batch."""
+        executor = BatchExecutor(workers=2)
+        with pytest.raises(FatalError):
+            executor.map(CountingFn(error=FatalError), [1, 2])
+        assert executor.aborted
+        assert executor.map(str.upper, []) == []
+        assert not executor.aborted
+
+    def test_concurrent_maps_do_not_share_abort(self):
+        """A fatal abort in one map() must not cancel an unrelated one
+        running concurrently on the same executor."""
+        executor = BatchExecutor(workers=2)
+        release = threading.Event()
+        results: dict[str, object] = {}
+
+        def slow_ok(item):
+            release.wait(timeout=5.0)
+            return f"ok:{item}"
+
+        def run_slow():
+            results["slow"] = executor.map(slow_ok, ["x", "y"])
+
+        thread = threading.Thread(target=run_slow)
+        thread.start()
+        time.sleep(0.02)  # let the slow batch claim its _MapRun
+        with pytest.raises(FatalError):
+            executor.map(CountingFn(error=FatalError), [1, 2])
+        release.set()
+        thread.join(timeout=5.0)
+        assert results["slow"] == ["ok:x", "ok:y"]
+
+
+class TestScatterMode:
+    def test_on_error_return_captures_failures_in_slot(self):
+        executor = BatchExecutor(workers=2, policy=RetryPolicy(max_retries=0))
+        flaky = FlakyFn(n_failures=99)  # never recovers
+
+        def fn(item):
+            if item == "bad":
+                return flaky(item)
+            return f"ok:{item}"
+
+        results = executor.map(fn, ["a", "bad", "b"], on_error="return")
+        assert results[0] == "ok:a"
+        assert results[2] == "ok:b"
+        failure = results[1]
+        assert isinstance(failure, BatchFailure)
+        assert failure.index == 1
+        assert failure.error_type == "RateLimitError"
+        assert failure.attempts == 1
+
+    def test_scatter_counts_retry_attempts(self):
+        executor = BatchExecutor(
+            workers=1, policy=RetryPolicy(max_retries=2, backoff_base=0.0)
+        )
+        results = executor.map(
+            FlakyFn(n_failures=99), ["only"], on_error="return"
+        )
+        assert isinstance(results[0], BatchFailure)
+        assert results[0].attempts == 3  # 1 try + 2 retries
+
+    def test_fatal_still_aborts_in_scatter_mode(self):
+        budget = SharedBudget(max_requests=2)
+        executor = BatchExecutor(workers=2, budget=budget)
+        with pytest.raises(BudgetExhaustedError):
+            executor.map(CountingFn(), list(range(8)), on_error="return")
+
+    def test_rejects_unknown_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            BatchExecutor(workers=1).map(str, ["a"], on_error="ignore")
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_transient_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=60.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["trips"] == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recovers(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.01)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.02)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.01)
+        breaker.record_failure()
+        time.sleep(0.02)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats()["trips"] == 2
+
+    def test_executor_fails_pending_fast_when_open(self):
+        """With the circuit open, items fail with CircuitOpenError
+        without touching the backend or paying backoff sleeps."""
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        executor = BatchExecutor(
+            workers=1, breaker=breaker,
+            policy=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        results = executor.map(
+            FlakyFn(n_failures=99), ["a", "b"], on_error="return"
+        )
+        assert all(isinstance(r, BatchFailure) for r in results)
+        assert breaker.state == "open"
+        counting = CountingFn()
+        started = time.perf_counter()
+        results = executor.map(
+            counting, ["c", "d", "e"], on_error="return"
+        )
+        assert time.perf_counter() - started < 1.0
+        assert counting.calls == 0  # breaker rejected before fn ran
+        assert all(
+            isinstance(r, BatchFailure)
+            and r.error_type == "CircuitOpenError"
+            for r in results
+        )
+
+    def test_breaker_recovery_end_to_end(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=0.01)
+        executor = BatchExecutor(
+            workers=1, breaker=breaker,
+            policy=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        executor.map(FlakyFn(n_failures=99), ["a", "b"], on_error="return")
+        assert breaker.state == "open"
+        time.sleep(0.02)
+        # Endpoint "recovered": the half-open probe succeeds and the
+        # circuit closes, so the whole batch completes normally.
+        results = executor.map(str.upper, ["c", "d"], on_error="return")
+        assert results == ["C", "D"]
+        assert breaker.state == "closed"
+
+    def test_validates_constructor_args(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

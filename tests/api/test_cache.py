@@ -92,6 +92,32 @@ class TestCache:
         (mode,) = cache._conn.execute("PRAGMA journal_mode").fetchone()
         assert mode == "memory"
 
+    @pytest.mark.parametrize("path", [
+        ":memory:",
+        "",
+        "file::memory:",
+        "file::memory:?cache=shared",
+        "file:chaoscache?mode=memory&cache=shared",
+    ])
+    def test_every_memory_spelling_skips_wal(self, path):
+        """WAL is file-path-only; every in-memory spelling sqlite3
+        accepts (classic, anonymous temp, and file: URIs) must skip the
+        pragma — none may come up in WAL mode."""
+        cache = PromptCache(path)
+        (mode,) = cache._conn.execute("PRAGMA journal_mode").fetchone()
+        cache.put("m", "p", "c")
+        assert cache.get("m", "p") == "c"
+        cache.close()
+        assert mode != "wal"
+
+    def test_file_uri_to_real_path_still_uses_wal(self, tmp_path):
+        cache = PromptCache(f"file:{tmp_path / 'uri_cache.sqlite'}")
+        (mode,) = cache._conn.execute("PRAGMA journal_mode").fetchone()
+        cache.put("m", "p", "c")
+        assert cache.get("m", "p") == "c"
+        cache.close()
+        assert mode == "wal"
+
 
 class TestDefaultCache:
     def test_unset_by_default(self):

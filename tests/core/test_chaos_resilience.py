@@ -1,0 +1,199 @@
+"""Pinned resilience guarantees: determinism, degradation, schema.
+
+These are the acceptance tests of the chaos harness:
+
+* same fault seed ⇒ byte-identical fault schedule and identical
+  quarantine sets at ``workers=1`` and ``workers=8``,
+* under the canned ``ci`` profile (10% transient / 2% malformed) a
+  Table-1 style sweep completes *degraded but scored* with coverage
+  ≥ 0.95 and a schema-valid manifest,
+* predictions for non-quarantined examples are identical to a
+  fault-free run — injection may remove examples, never corrupt
+  survivors.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import CompletionClient, FaultPlan
+from repro.api.faults import set_default_fault_plan
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import run_task, set_default_on_error
+from repro.datasets import load_dataset
+
+pytestmark = pytest.mark.chaos
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "schemas"
+    / "run_manifest.schema.json"
+)
+
+MAX_EXAMPLES = 60
+
+
+def _chaos_run(dataset, seed=0, workers=1, profile="ci", **kwargs):
+    client = CompletionClient(fault_plan=FaultPlan(profile, seed=seed))
+    return run_task(
+        "em", client, dataset, k=0, max_examples=MAX_EXAMPLES,
+        workers=workers, on_error="quarantine", **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def fodors():
+    return load_dataset("fodors_zagats")
+
+
+class TestDeterminism:
+    def test_schedule_digest_pinned_to_seed(self, fodors):
+        """Byte-identical fault schedules from the same seed, regardless
+        of plan instance or draw order."""
+        from repro.core.prompts import (
+            EntityMatchingPromptConfig,
+            build_entity_matching_prompt,
+        )
+
+        config = EntityMatchingPromptConfig(entity_noun=fodors.entity_noun)
+        prompts = [
+            build_entity_matching_prompt(pair, [], config)
+            for pair in fodors.test[:MAX_EXAMPLES]
+        ]
+        digest_a = FaultPlan("ci", seed=0).schedule_digest(prompts)
+        digest_b = FaultPlan("ci", seed=0).schedule_digest(prompts)
+        assert digest_a == digest_b
+        # Shuffled draw order cannot move the schedule (pure per prompt).
+        plan = FaultPlan("ci", seed=0)
+        for prompt in reversed(prompts):
+            plan.schedule_for(prompt)
+        assert plan.schedule_digest(prompts) == digest_a
+
+    def test_quarantine_sets_identical_across_worker_counts(self, fodors):
+        """The pinned determinism criterion: same seed ⇒ identical
+        quarantine sets at workers=1 and workers=8."""
+        serial = _chaos_run(fodors, seed=0, workers=1)
+        parallel = _chaos_run(fodors, seed=0, workers=8)
+        serial_q = {(r.index, r.error_type, r.stage) for r in serial.quarantine}
+        parallel_q = {
+            (r.index, r.error_type, r.stage) for r in parallel.quarantine
+        }
+        assert serial_q == parallel_q
+        assert serial.predictions == parallel.predictions
+        assert serial.metric == parallel.metric
+
+    def test_different_seeds_differ(self, fodors):
+        """Sanity check that the seed actually drives the schedule (a
+        constant schedule would pass the identity tests trivially)."""
+        digests = {
+            FaultPlan("heavy", seed=seed).schedule_digest(
+                [f"probe prompt {i}" for i in range(200)]
+            )
+            for seed in range(3)
+        }
+        assert len(digests) == 3
+
+
+class TestGracefulDegradation:
+    def test_degraded_but_scored_with_high_coverage(self, fodors):
+        run = _chaos_run(fodors, seed=0)
+        assert run.degraded
+        assert len(run.quarantine) >= 1
+        assert run.coverage >= 0.95
+        assert run.metric > 0.5  # survivors still score like Table 1
+
+    def test_survivor_predictions_identical_to_fault_free(self, fodors):
+        clean = run_task(
+            "em", CompletionClient(), fodors, k=0, max_examples=MAX_EXAMPLES,
+        )
+        faulted = _chaos_run(fodors, seed=0)
+        quarantined = {record.index for record in faulted.quarantine}
+        assert quarantined  # otherwise this test proves nothing
+        for index in range(faulted.n_examples):
+            if index in quarantined:
+                assert faulted.predictions[index] is None
+            else:
+                assert faulted.predictions[index] == clean.predictions[index]
+
+    def test_quarantine_records_carry_forensics(self, fodors):
+        run = _chaos_run(fodors, seed=0)
+        for record in run.quarantine:
+            assert 0 <= record.index < run.n_examples
+            assert record.error_type
+            assert record.stage in ("completion", "parse")
+            assert record.attempts >= 1
+
+    def test_raise_mode_is_unchanged_default(self, fodors):
+        """Without quarantine mode, injected unrecoverable faults still
+        abort the run — graceful degradation is strictly opt-in."""
+        profile_run = lambda: run_task(  # noqa: E731
+            "em",
+            CompletionClient(fault_plan=FaultPlan("ci", seed=0)),
+            fodors,
+            k=0,
+            max_examples=MAX_EXAMPLES,
+        )
+        with pytest.raises(Exception):
+            profile_run()
+
+
+class TestManifestIntegration:
+    def test_chaos_manifest_validates_against_schema(self, fodors):
+        run = _chaos_run(fodors, seed=0)
+        schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+        problems = validate_manifest(run.manifest.to_dict(), schema)
+        assert problems == []
+
+    def test_manifest_reports_quarantine_and_faults(self, fodors):
+        run = _chaos_run(fodors, seed=0)
+        manifest = run.manifest.to_dict()
+        assert manifest["degraded"] is True
+        assert manifest["coverage"] == pytest.approx(run.coverage)
+        assert len(manifest["quarantine"]) == len(run.quarantine)
+        assert manifest["faults"]["profile"] == "ci"
+        assert manifest["faults"]["seed"] == 0
+        assert sum(manifest["faults"]["injected"].values()) >= 1
+
+    def test_fault_free_manifest_stays_clean(self, fodors):
+        run = run_task(
+            "em", CompletionClient(), fodors, k=0, max_examples=20,
+        )
+        manifest = run.manifest.to_dict()
+        assert manifest["degraded"] is False
+        assert manifest["coverage"] == 1.0
+        assert manifest["quarantine"] == []
+        assert manifest["faults"] is None
+
+
+class TestBenchUnderChaos:
+    def test_table1_sweep_completes_degraded_but_scored(self):
+        """The resilience acceptance: a Table-1 style sweep under the ci
+        profile (installed process-wide, exactly as ``repro bench
+        --chaos ci`` does) completes with degraded totals, coverage
+        ≥ 0.95, and schema-valid per-run manifests."""
+        from repro.bench import table1
+        from repro.bench.reporting import summarize_manifests
+        from repro.bench.runners import collect_manifests
+
+        set_default_fault_plan(FaultPlan("ci", seed=0))
+        set_default_on_error("quarantine")
+        try:
+            with collect_manifests() as sink:
+                result = table1.run(
+                    datasets=("fodors_zagats", "beer"), max_examples=40
+                )
+        finally:
+            set_default_fault_plan(None)
+            set_default_on_error("raise")
+        assert len(result.rows) == 2
+        summary = summarize_manifests("table1", sink, 0.0, 1)
+        totals = summary["totals"]
+        assert totals["degraded"] is True
+        assert totals["quarantined"] >= 1
+        assert totals["coverage"] >= 0.95
+        schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+        for run_manifest in summary["runs"]:
+            assert validate_manifest(run_manifest, schema) == []

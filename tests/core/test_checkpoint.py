@@ -1,0 +1,119 @@
+"""The append-only run journal: record, replay, resume, mismatch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    RunCheckpoint,
+    prompt_sha,
+    run_fingerprint,
+)
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+CONFIG = {"task": "em", "dataset": "d", "k": 0, "seed": 0}
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = run_fingerprint({"x": 1, "y": 2})
+        b = run_fingerprint({"y": 2, "x": 1})
+        assert a == b
+
+    def test_differs_on_any_field(self):
+        assert run_fingerprint(CONFIG) != run_fingerprint({**CONFIG, "k": 1})
+
+    def test_tolerates_unserializable_values(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert run_fingerprint({"v": Odd()}) == run_fingerprint({"v": Odd()})
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp) as journal:
+            journal.record_example(0, "prompt zero", "resp zero")
+            journal.record_example(2, "prompt two", "resp two")
+            journal.record_quarantine(1, "TimeoutError", "injected", 3)
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "prompt zero") == "resp zero"
+        assert resumed.response_for(2, "prompt two") == "resp two"
+        assert resumed.quarantined[1]["error_type"] == "TimeoutError"
+        assert resumed.verify_prompts(["prompt zero", "x", "prompt two"]) == 2
+        resumed.close()
+
+    def test_prompt_mismatch_forces_rerun(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp) as journal:
+            journal.record_example(0, "original prompt", "resp")
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "a different prompt") is None
+        resumed.close()
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunCheckpoint(path, run_fingerprint(CONFIG)).close()
+        other = run_fingerprint({**CONFIG, "k": 3})
+        with pytest.raises(CheckpointMismatchError, match="different"):
+            RunCheckpoint(path, other)
+
+    def test_non_journal_file_is_refused(self, tmp_path):
+        path = tmp_path / "notes.jsonl"
+        path.write_text('{"type": "something-else"}\n', encoding="utf-8")
+        with pytest.raises(CheckpointMismatchError, match="no header"):
+            RunCheckpoint(path, run_fingerprint(CONFIG))
+
+    def test_trailing_partial_line_is_tolerated(self, tmp_path):
+        """A kill mid-append leaves a torn last line; loading must drop
+        it (that example re-runs) instead of crashing."""
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp) as journal:
+            journal.record_example(0, "p0", "r0")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "example", "index": 1, "resp')
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "p0") == "r0"
+        assert resumed.response_for(1, "p1") is None
+        resumed.close()
+
+    def test_unknown_record_types_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        RunCheckpoint(path, fp).close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "future-extension", "data": 1}\n')
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.completed == {}
+        resumed.close()
+
+    def test_lines_are_valid_json_with_prompt_sha(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunCheckpoint(path, run_fingerprint(CONFIG)) as journal:
+            journal.record_example(5, "the prompt", "the response")
+        lines = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        assert lines[1] == {
+            "type": "example",
+            "index": 5,
+            "prompt_sha": prompt_sha("the prompt"),
+            "response": "the response",
+        }
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "run.jsonl"
+        with RunCheckpoint(path, run_fingerprint(CONFIG)) as journal:
+            journal.record_example(0, "p", "r")
+        assert path.exists()

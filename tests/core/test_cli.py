@@ -183,3 +183,90 @@ class TestCommands:
               "--row", "name=z,phone=415-775-7036", "--attribute", "city"])
         out = capsys.readouterr().out.casefold()
         assert "san francisco" not in out  # 1.3B cannot recall this
+
+
+@pytest.fixture()
+def clean_chaos_defaults():
+    """--chaos/--on-error/--checkpoint-dir install process-wide defaults;
+    never leak them to other tests."""
+    from repro.api.faults import set_default_fault_plan
+    from repro.core.tasks import (
+        set_default_checkpoint_dir,
+        set_default_on_error,
+    )
+
+    yield
+    set_default_fault_plan(None)
+    set_default_on_error("raise")
+    set_default_checkpoint_dir(None)
+
+
+@pytest.mark.chaos
+class TestChaosCommands:
+    def test_run_with_chaos_flag_degrades_gracefully(
+        self, capsys, clean_chaos_defaults
+    ):
+        assert main(["run", "em", "fodors_zagats", "--k", "0",
+                     "--max-examples", "60", "--chaos", "ci",
+                     "--chaos-seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "entity_matching/fodors_zagats" in out
+        assert "degraded" in out
+
+    def test_run_chaos_with_raise_on_error_fails(
+        self, capsys, clean_chaos_defaults
+    ):
+        """--on-error raise overrides the quarantine default that --chaos
+        implies: an unrecoverable injected fault aborts the run."""
+        with pytest.raises(Exception):
+            main(["run", "em", "fodors_zagats", "--k", "0",
+                  "--max-examples", "60", "--chaos", "ci",
+                  "--chaos-seed", "0", "--on-error", "raise"])
+
+    def test_run_checkpoint_flag_resumes(
+        self, capsys, tmp_path, clean_chaos_defaults
+    ):
+        journal = tmp_path / "run.jsonl"
+        argv = ["run", "em", "fodors_zagats", "--k", "0",
+                "--max-examples", "8", "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = journal.read_text(encoding="utf-8")
+        assert main(argv) == 0  # resumes: replays, appends nothing new
+        assert journal.read_text(encoding="utf-8") == first
+        out = capsys.readouterr().out
+        assert "entity_matching/fodors_zagats" in out
+
+    def test_chaos_subcommand_reports_resilience(
+        self, capsys, tmp_path, manifest_schema, clean_chaos_defaults
+    ):
+        from repro.core.manifest import validate_manifest
+
+        manifest = tmp_path / "chaos.json"
+        assert main(["chaos", "em", "fodors_zagats", "--k", "0",
+                     "--max-examples", "60", "--profile", "ci",
+                     "--chaos-seed", "0", "--manifest", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos report" in out
+        assert "quarantined" in out
+        assert "fault-free" in out  # baseline comparison ran
+        instance = json.loads(manifest.read_text(encoding="utf-8"))
+        assert validate_manifest(instance, manifest_schema) == []
+        assert instance["degraded"] is True
+        assert instance["faults"]["profile"] == "ci"
+
+    def test_chaos_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "em", "fodors_zagats", "--profile", "tsunami"])
+
+    def test_bench_checkpoint_dir_journals_runs(
+        self, capsys, tmp_path, clean_chaos_defaults, clean_default_cache
+    ):
+        out_dir = tmp_path / "journals"
+        assert main(["bench", "table5", "--checkpoint-dir",
+                     str(out_dir)]) == 0
+        journals = list(out_dir.glob("*.jsonl"))
+        assert journals
+        header = json.loads(
+            journals[0].read_text(encoding="utf-8").splitlines()[0]
+        )
+        assert header["type"] == "header"

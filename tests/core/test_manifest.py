@@ -87,6 +87,37 @@ class TestValidator:
         instance["cache"] = None
         assert validate_manifest(instance, schema) == []
 
+    def test_pre_chaos_manifest_still_validates(self, schema, em_run):
+        """The quarantine/degraded/coverage/faults fields are optional:
+        manifests written before the chaos harness keep validating."""
+        instance = em_run.manifest.to_dict()
+        for legacy_absent in ("quarantine", "degraded", "coverage", "faults"):
+            instance.pop(legacy_absent, None)
+        assert validate_manifest(instance, schema) == []
+
+    def test_quarantine_entries_are_typed(self, schema, em_run):
+        instance = em_run.manifest.to_dict()
+        instance["degraded"] = True
+        instance["coverage"] = 0.875
+        instance["quarantine"] = [
+            {"index": 3, "error_type": "TimeoutError",
+             "error": "injected", "attempts": 3, "stage": "completion"},
+        ]
+        assert validate_manifest(instance, schema) == []
+        instance["quarantine"] = [{"index": "three"}]
+        problems = validate_manifest(instance, schema)
+        assert problems != []
+
+    def test_faults_section_accepts_object_or_null(self, schema, em_run):
+        instance = em_run.manifest.to_dict()
+        instance["faults"] = None
+        assert validate_manifest(instance, schema) == []
+        instance["faults"] = {
+            "profile": "ci", "seed": 0,
+            "rates": {"rate_limit": 0.04}, "injected": {"rate_limit": 2},
+        }
+        assert validate_manifest(instance, schema) == []
+
 
 class TestEngineManifest:
     def test_every_run_carries_a_manifest(self, em_run):

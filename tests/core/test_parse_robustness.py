@@ -1,0 +1,98 @@
+"""Malformed-response robustness for every registered task parser.
+
+A completion that comes back empty, truncated, or garbled must never
+escape a parser as a raw ``IndexError``/``KeyError``/``TypeError`` —
+either the parser returns a graceful fallback, or the engine's
+quarantine-mode wrapper (`_parse_checked`) raises a typed
+:class:`~repro.api.retry.ParseError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.retry import ParseError
+from repro.core.tasks.engine import _parse_checked
+from repro.core.tasks.spec import available_tasks, get_task
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+#: Raw parser errors that indicate a parser assumed well-formed input.
+UNTYPED_ERRORS = (IndexError, KeyError, TypeError, AttributeError)
+
+MALFORMED_TEXT = {
+    "empty": "",
+    "whitespace": "   \n\t  ",
+    "truncated": "Yes, the two prod",
+    "garbage": "�3f9a�",
+    "nul_bytes": "ab\x00cd",
+}
+
+
+@pytest.fixture(params=available_tasks())
+def spec(request):
+    return get_task(request.param)
+
+
+class TestRawParsers:
+    @pytest.mark.parametrize("text", MALFORMED_TEXT.values(),
+                             ids=MALFORMED_TEXT.keys())
+    def test_malformed_text_never_raises_untyped(self, spec, text):
+        try:
+            spec.parse_response(text)
+        except ParseError:
+            pass  # a typed refusal is acceptable
+        except UNTYPED_ERRORS as exc:  # pragma: no cover - failure path
+            pytest.fail(
+                f"{spec.name}.parse_response({text!r}) leaked "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    def test_empty_text_yields_falsy_fallback(self, spec):
+        """All shipped parsers degrade to a falsy value on empty input
+        (False for yes/no tasks, '' for free-text tasks)."""
+        try:
+            assert not spec.parse_response("")
+        except ParseError:
+            pass
+
+
+class TestParseChecked:
+    @pytest.mark.parametrize("response", [None, 42, b"bytes", "", "  \n"],
+                             ids=["none", "int", "bytes", "empty", "blank"])
+    def test_non_text_and_empty_raise_parse_error(self, spec, response):
+        with pytest.raises(ParseError):
+            _parse_checked(spec, response)
+
+    def test_garbage_markers_raise_parse_error(self, spec):
+        with pytest.raises(ParseError):
+            _parse_checked(spec, "Yes� but corrupted")
+
+    def test_clean_text_parses_normally(self, spec):
+        clean = "No, they are different."
+        assert _parse_checked(spec, clean) == spec.parse_response(clean)
+
+    def test_untyped_parser_exception_is_wrapped(self):
+        """A parser that still chokes on clean-looking text surfaces as a
+        typed ParseError carrying the original exception as its cause."""
+        base = get_task("em")
+
+        def brittle(text):
+            return text.split(":")[3]  # IndexError on anything realistic
+
+        spec = dataclasses.replace(base, parse_response=brittle)
+        with pytest.raises(ParseError, match="IndexError") as info:
+            _parse_checked(spec, "a clean response")
+        assert isinstance(info.value.__cause__, IndexError)
+
+    def test_parse_error_from_parser_passes_through(self):
+        base = get_task("em")
+
+        def refusing(text):
+            raise ParseError("refused")
+
+        spec = dataclasses.replace(base, parse_response=refusing)
+        with pytest.raises(ParseError, match="refused"):
+            _parse_checked(spec, "a clean response")
