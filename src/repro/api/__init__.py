@@ -14,6 +14,15 @@ deterministic :class:`FaultPlan` injects rate limits, timeouts,
 connection drops, latency spikes, and corrupted completions at the
 backend boundary, and :class:`CircuitBreaker` keeps a dying endpoint
 from burning the whole batch on backoff sleeps.
+
+:mod:`repro.api.resilience` is the service-level layer above both: a
+:class:`Deadline` wall budget that fails a run fast at its SLO,
+:class:`HedgePolicy` backup requests that cut tail latency without
+double-charging budgets, :class:`AdmissionController` load shedding
+(AIMD queueing + priority classes) that refuses work before it burns
+budget, and a :class:`FallbackChain` that serves would-be quarantined
+examples from cheaper model tiers (the paper's own Figure 4 ladder)
+instead of dropping them.
 """
 
 from repro.api.batch import (
@@ -38,13 +47,23 @@ from repro.api.faults import (
     malformed_reason,
     set_default_fault_plan,
 )
+from repro.api.resilience import (
+    AdmissionController,
+    AIMDLimiter,
+    Deadline,
+    FallbackChain,
+    HedgePolicy,
+    PRIORITIES,
+)
 from repro.api.retry import (
     BudgetExhaustedError,
     CircuitOpenError,
+    DeadlineExceededError,
     FatalError,
     ParseError,
     RateLimitError,
     RetryPolicy,
+    Shed,
 )
 from repro.api.usage import (
     Usage,
@@ -54,22 +73,30 @@ from repro.api.usage import (
 )
 
 __all__ = [
+    "AIMDLimiter",
+    "AdmissionController",
     "BatchExecutor",
     "BatchFailure",
     "BudgetExhaustedError",
     "CircuitBreaker",
     "CircuitOpenError",
     "CompletionClient",
+    "Deadline",
+    "DeadlineExceededError",
     "FAULT_PROFILES",
+    "FallbackChain",
     "FatalError",
     "FaultPlan",
     "FaultProfile",
+    "HedgePolicy",
+    "PRIORITIES",
     "ParseError",
     "PromptCache",
     "RateLimitError",
     "RequestRecord",
     "RetryPolicy",
     "SharedBudget",
+    "Shed",
     "Usage",
     "UsageTracker",
     "complete_all",

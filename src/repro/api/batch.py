@@ -131,10 +131,18 @@ class CircuitBreaker:
     otherwise healthy endpoint never trip it.
 
     Thread-safe; state survives across ``map`` calls on purpose (the
-    breaker models endpoint health, not batch progress).
+    breaker models endpoint health, not batch progress).  The clock is
+    injectable (default ``time.monotonic``) so cooldown and half-open
+    transitions are testable without real sleeps; the same injected
+    clock can drive a :class:`~repro.api.resilience.Deadline`.
     """
 
-    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 0.1):
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
@@ -143,6 +151,7 @@ class CircuitBreaker:
             raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
         self._consecutive_failures = 0
@@ -163,7 +172,7 @@ class CircuitBreaker:
         with self._lock:
             if self._state == "closed":
                 return True
-            now = time.monotonic()
+            now = self._clock()
             if self._state == "open":
                 if now - self._opened_at < self.cooldown_s:
                     self.n_rejections += 1
@@ -192,7 +201,7 @@ class CircuitBreaker:
             self._consecutive_failures += 1
             if self._state == "half_open":
                 self._state = "open"
-                self._opened_at = time.monotonic()
+                self._opened_at = self._clock()
                 self._probing = False
                 self.n_trips += 1
             elif (
@@ -200,7 +209,7 @@ class CircuitBreaker:
                 and self._consecutive_failures >= self.failure_threshold
             ):
                 self._state = "open"
-                self._opened_at = time.monotonic()
+                self._opened_at = self._clock()
                 self.n_trips += 1
 
     def stats(self) -> dict[str, int | str]:
@@ -318,6 +327,24 @@ class BatchExecutor:
     items are also charged their prompt tokens); an optional
     :class:`UsageTracker` receives every :class:`RequestRecord`.
 
+    Service-level knobs (all optional, all off by default):
+
+    * ``deadline`` — a :class:`~repro.api.resilience.Deadline` checked
+      before every attempt and clamped around every backoff sleep, so
+      the fan-out can never sleep past its wall budget; expiry raises
+      :class:`~repro.api.retry.DeadlineExceededError` (fatal).
+    * ``admission`` — an
+      :class:`~repro.api.resilience.AdmissionController` consulted once
+      per ``map`` call, *before* the fan-out: shed items fail instantly
+      with :class:`~repro.api.retry.Shed` (zero backend calls), and its
+      AIMD limiter gates per-attempt concurrency.  ``priority`` names
+      the batch's priority class for the shed plan.
+
+    Backoff sleeps are decorrelated-jittered per item (a pure function
+    of the policy's seed, the attempt number, and the item's index — see
+    :meth:`~repro.api.retry.RetryPolicy.delay`), so concurrent retries
+    of different items never synchronize into a thundering herd.
+
     The legacy ``max_retries``/``backoff_base``/``backoff_cap``/
     ``retry_on`` knobs are still accepted and folded into a policy;
     passing both a ``policy`` and loose knobs is an error.
@@ -334,6 +361,9 @@ class BatchExecutor:
         usage: UsageTracker | None = None,
         policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        deadline=None,
+        admission=None,
+        priority: str = "bench",
     ):
         knobs = (max_retries, backoff_base, backoff_cap, retry_on)
         if policy is None:
@@ -361,6 +391,9 @@ class BatchExecutor:
         self.budget = budget
         self.usage = usage
         self.breaker = breaker
+        self.deadline = deadline
+        self.admission = admission
+        self.priority = priority
         self.records: list[RequestRecord] = []
         self._records_lock = threading.Lock()
         self._last_run: _MapRun | None = None
@@ -410,10 +443,24 @@ class BatchExecutor:
             self.usage.log_request(record)
 
     def _run_one(
-        self, fn: Callable, item, index: int, run: _MapRun, on_error: str
+        self, fn: Callable, item, index: int, run: _MapRun, on_error: str,
+        verdict: str = "admit",
     ):
         started = time.perf_counter()
         attempts = 0
+        if verdict == "shed":
+            # Planned before the fan-out: this item is refused outright —
+            # zero backend calls, zero retries, zero backoff.
+            from repro.api.retry import Shed
+
+            exc = Shed(
+                f"admission control shed item {index} "
+                f"(priority {self.priority!r})"
+            )
+            self._record(index, False, 0, started, error=exc)
+            if on_error == "return":
+                return BatchFailure(index, exc, 0)
+            raise exc
         while True:
             if run.abort.is_set():
                 # Another worker hit a fatal error; don't start new
@@ -437,19 +484,33 @@ class BatchExecutor:
                     return BatchFailure(index, exc, attempts)
                 raise exc
             attempts += 1
+            acquired = False
             try:
+                if self.deadline is not None:
+                    # Fatal on expiry — caught below with the other
+                    # FatalErrors so the whole batch fails fast.
+                    self.deadline.check()
                 if self.budget is not None:
                     tokens = count_tokens(item) if isinstance(item, str) else 0
                     self.budget.charge(requests=1, tokens=tokens)
+                if self.admission is not None:
+                    # The AIMD queue: blocks while the window is full.
+                    self.admission.acquire()
+                    acquired = True
                 result = fn(item)
             except FatalError as exc:
                 # Checked before retry_on: BudgetExhaustedError is a
                 # RateLimitError, but backing off cannot refill a budget.
+                if acquired:
+                    self.admission.release(ok=False)
                 run.set_fatal(exc)
                 self._record(index, False, attempts, started, error=exc)
                 raise
             except BaseException as exc:
-                if self.breaker is not None and self.policy.is_retryable(exc):
+                retryable = self.policy.is_retryable(exc)
+                if acquired:
+                    self.admission.release(ok=not retryable)
+                if self.breaker is not None and retryable:
                     # Transient failures gauge endpoint health; permanent
                     # errors (a parse bug, bad input) say nothing about it.
                     self.breaker.record_failure()
@@ -460,9 +521,16 @@ class BatchExecutor:
                     raise
                 # Backoff that wakes immediately if the batch aborts —
                 # the abort check at loop top then raises without a new
-                # attempt.
-                run.abort.wait(self.policy.delay(attempts - 1))
+                # attempt.  Jittered per item (so concurrent retries
+                # decorrelate) and clamped to the deadline (so a sleep
+                # can never outlive the wall budget).
+                delay = self.policy.delay(attempts - 1, key=str(index))
+                if self.deadline is not None:
+                    delay = self.deadline.clamp(delay)
+                run.abort.wait(delay)
                 continue
+            if acquired:
+                self.admission.release(ok=True)
             if self.breaker is not None:
                 self.breaker.record_success()
             self._record(index, True, attempts, started)
@@ -475,6 +543,10 @@ class BatchExecutor:
         failure.  ``on_error="return"`` keeps going: a terminally-failed
         item's slot holds a :class:`BatchFailure` instead, letting the
         caller quarantine it — fatal errors abort the batch either way.
+
+        With an admission controller attached, the shed plan is drawn
+        *here*, once, in input order, before any worker starts — which
+        is what makes shed decisions byte-identical at any worker count.
         """
         if on_error not in ("raise", "return"):
             raise ValueError(
@@ -485,15 +557,22 @@ class BatchExecutor:
         self._last_run = run
         if not items:
             return []
+        if self.admission is not None:
+            verdicts = self.admission.plan(len(items), self.priority)
+        else:
+            verdicts = ["admit"] * len(items)
         if self.workers == 1:
             return [
-                self._run_one(fn, item, index, run, on_error)
+                self._run_one(fn, item, index, run, on_error, verdicts[index])
                 for index, item in enumerate(items)
             ]
         results: list = [None] * len(items)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                pool.submit(self._run_one, fn, item, index, run, on_error)
+                pool.submit(
+                    self._run_one, fn, item, index, run, on_error,
+                    verdicts[index],
+                )
                 for index, item in enumerate(items)
             ]
             try:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import queue
 import threading
 
 from repro.api.cache import PromptCache
@@ -58,6 +59,8 @@ class CompletionClient:
         max_retries: int | None = None,
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
+        hedge_policy=None,
+        deadline=None,
     ):
         if isinstance(model, str):
             model = SimulatedFoundationModel(model)
@@ -85,7 +88,15 @@ class CompletionClient:
         # like a real 429 — and corrupted text is what gets cached, like
         # a mangled wire response would be.
         self.fault_plan = fault_plan
+        # Optional service-level knobs (see repro.api.resilience): a
+        # HedgePolicy races a backup backend attempt against stragglers
+        # (first success wins, budgets/usage charged once), a Deadline
+        # makes every completion check the run's wall budget before
+        # touching the backend.
+        self.hedge_policy = hedge_policy
+        self.deadline = deadline
         self._n_backend_calls = 0
+        self._n_hedge_calls = 0
         self._n_transient_failures = 0
         self._lock = threading.Lock()
         # Single-flight bookkeeping: cache key -> Event set once the
@@ -116,14 +127,28 @@ class CompletionClient:
             self._n_backend_calls += 1
             return self._n_backend_calls
 
-    def _backend_call(self, caller):
-        """Run one backend call with budget checks and simulated failures."""
+    def _backend_call(self, caller, charge: bool = True):
+        """Run one backend call with budget checks and simulated failures.
+
+        ``charge=False`` is the hedge path: the attempt is tallied as a
+        hedge instead of consuming ``requests_per_run`` budget or
+        counting in ``backend_calls`` — the dedup guarantee that makes
+        hedging free of double-charging.  Legacy ``failure_every``
+        injection only fires on charged calls (its counter *is* the
+        charged-call number).
+        """
         attempts = 0
         while True:
-            call_number = self._charge_backend_call()
+            if charge:
+                call_number = self._charge_backend_call()
+            else:
+                with self._lock:
+                    self._n_hedge_calls += 1
+                call_number = None
             attempts += 1
             inject_failure = (
-                self.failure_every is not None
+                charge
+                and self.failure_every is not None
                 and call_number % self.failure_every == 0
                 and attempts <= self.max_retries
             )
@@ -133,7 +158,9 @@ class CompletionClient:
                 continue  # "retry after backoff"
             return caller()
 
-    def _backend_complete(self, prompt: str, temperature: float) -> str:
+    def _backend_complete(
+        self, prompt: str, temperature: float, charge: bool = True
+    ) -> str:
         def call() -> str:
             if self.fault_plan is not None:
                 self.fault_plan.on_request(prompt)
@@ -142,11 +169,69 @@ class CompletionClient:
                 text = self.fault_plan.on_response(prompt, text)
             return text
 
-        return self._backend_call(call)
+        return self._backend_call(call, charge=charge)
+
+    def _hedged_backend_complete(self, prompt: str, temperature: float) -> str:
+        """Race a backup attempt against a straggling primary.
+
+        The primary attempt runs in a helper thread; if it has not
+        finished within the policy's deterministic per-prompt delay, one
+        hedge attempt fires (uncharged — see :meth:`_backend_call`) and
+        the first *success* wins.  At temperature 0 both attempts
+        produce byte-identical text (completions and injected
+        corruption are pure functions of the prompt), so the result
+        never depends on which attempt finishes first.  If every
+        in-flight attempt fails, the primary's error propagates —
+        hedging accelerates stragglers, it does not mask faults.
+
+        Runs under the single-flight leadership of :meth:`complete`, so
+        at most one primary/hedge pair exists per prompt at a time.
+        """
+        policy = self.hedge_policy
+        outcomes: queue.Queue = queue.Queue()
+
+        def attempt(kind: str, charge: bool) -> None:
+            try:
+                outcomes.put(
+                    (kind, None,
+                     self._backend_complete(prompt, temperature, charge=charge))
+                )
+            except BaseException as exc:  # reported via the queue
+                outcomes.put((kind, exc, None))
+
+        threading.Thread(
+            target=attempt, args=("primary", True), daemon=True
+        ).start()
+        in_flight = 1
+        try:
+            kind, error, text = outcomes.get(timeout=policy.delay_for(prompt))
+        except queue.Empty:
+            policy.record_fired()
+            threading.Thread(
+                target=attempt, args=("hedge", False), daemon=True
+            ).start()
+            in_flight += 1
+            kind, error, text = outcomes.get()
+        primary_error = error if kind == "primary" else None
+        while error is not None and in_flight > 1:
+            # First finisher failed; the other attempt may still win.
+            in_flight -= 1
+            kind, error, text = outcomes.get()
+            if kind == "primary" and error is not None:
+                primary_error = error
+        if error is None:
+            if kind == "hedge":
+                policy.record_win()
+            return text
+        raise primary_error if primary_error is not None else error
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
         """Cached completion of ``prompt`` (single-flight on misses)."""
         del kwargs  # accepted for API-compatibility with richer backends
+        if self.deadline is not None:
+            # Fatal on expiry: the batch layer above fails fast rather
+            # than letting a blown SLO grind through remaining prompts.
+            self.deadline.check()
         while True:
             cached = self.cache.get(self.name, prompt, temperature)
             if cached is not None:
@@ -174,7 +259,12 @@ class CompletionClient:
                 if cached is not None:
                     self.usage.record(self.name, prompt, cached, cached=True)
                     return cached
-                completion = self._backend_complete(prompt, temperature)
+                if self.hedge_policy is not None:
+                    completion = self._hedged_backend_complete(
+                        prompt, temperature
+                    )
+                else:
+                    completion = self._backend_complete(prompt, temperature)
                 # Populate the cache *before* releasing the waiters so
                 # their re-check hits.
                 self.cache.put(self.name, prompt, completion, temperature)
@@ -241,9 +331,11 @@ class CompletionClient:
     def stats(self) -> dict[str, int]:
         with self._lock:
             backend_calls = self._n_backend_calls
+            hedge_calls = self._n_hedge_calls
             transient_failures = self._n_transient_failures
         return {
             "backend_calls": backend_calls,
+            "hedge_calls": hedge_calls,
             "transient_failures": transient_failures,
             "cache_entries": len(self.cache),
         }

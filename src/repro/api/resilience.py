@@ -1,0 +1,432 @@
+"""Service-level resilience: deadlines, hedging, admission, degradation.
+
+PRs 3–4 made a *run* resilient — retries with backoff, fail-fast on
+fatal errors, per-example quarantine, checkpointed resume.  What they
+did not provide is the layer that keeps a run inside a latency/cost SLO
+when the backend misbehaves.  This module adds the four service-level
+mechanisms every production LLM harness grows, in the order they are
+consulted (see DESIGN §4b-iv):
+
+1. **Deadlines** (:class:`Deadline`) — a wall-clock budget propagated
+   from ``run_task`` through :class:`~repro.api.batch.BatchExecutor`
+   into :class:`~repro.api.client.CompletionClient`.  Backoff sleeps are
+   clamped to the remaining budget, and expiry raises a typed
+   :class:`~repro.api.retry.DeadlineExceededError` — fatal, so the
+   batch fails fast instead of grinding past its SLO.
+2. **Hedged requests** (:class:`HedgePolicy`) — after a deterministic
+   delay, a straggling completion gets a backup attempt and the first
+   success wins.  Hedge attempts are deduplicated: budgets, usage, and
+   ``backend_calls`` are charged once per logical request, and at
+   temperature 0 both attempts produce byte-identical text, so results
+   never depend on which one wins.
+3. **Admission control** (:class:`AdmissionController` +
+   :class:`AIMDLimiter`) — work is queued (AIMD concurrency window) or
+   shed (typed :class:`~repro.api.retry.Shed`) *before* it burns
+   budget, by priority class, when the circuit breaker is degraded or
+   the shared budget nears exhaustion.  Shed decisions are planned once
+   per batch in input order — a pure function of the pre-batch state —
+   so they are byte-identical at any worker count.
+4. **Graceful degradation** (:class:`FallbackChain`) — the paper's own
+   quality/cost ladder (Figure 4: 175B → 6.7B → 1.3B) as a fallback
+   chain: an example that would otherwise be quarantined or shed is
+   served by the next tier down, and the run reports ``coverage == 1.0``
+   with an explicit ``served_by_tier`` breakdown instead of a hole.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.api.retry import DeadlineExceededError
+
+__all__ = [
+    "AIMDLimiter",
+    "AdmissionController",
+    "Deadline",
+    "FallbackChain",
+    "HedgePolicy",
+    "PRIORITIES",
+    "PRIORITY_HEADROOM",
+]
+
+
+class Deadline:
+    """A wall-clock budget for one run, with an injectable clock.
+
+    Created when the run starts; :meth:`remaining` counts down from
+    ``budget_s``.  The executor calls :meth:`check` before every attempt
+    (expiry is fatal — see
+    :class:`~repro.api.retry.DeadlineExceededError`) and :meth:`clamp`
+    around every backoff sleep, so no retry can sleep past the budget.
+    The clock is injected (default ``time.monotonic``) for the same
+    reason the circuit breaker's is: expiry transitions must be testable
+    without real sleeps.
+    """
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.budget_s - self.elapsed_s)
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed_s >= self.budget_s
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_s:.3f}s exceeded "
+                f"({self.elapsed_s:.3f}s elapsed)"
+            )
+
+    def clamp(self, delay_s: float) -> float:
+        """``delay_s`` cut down so a sleep cannot outlive the budget."""
+        return min(delay_s, self.remaining())
+
+    def describe(self) -> dict:
+        """JSON-ready SLO block for run manifests."""
+        return {
+            "budget_s": self.budget_s,
+            "elapsed_s": self.elapsed_s,
+            "expired": self.expired,
+        }
+
+
+class HedgePolicy:
+    """When and how to fire a backup completion for a straggler.
+
+    ``delay_for(prompt)`` is the wait before hedging that prompt: the
+    base ``delay_s`` (pick it at a high percentile of healthy latency —
+    :meth:`from_latencies` calibrates one from an observed sample)
+    spread over ``[delay_s, (1 + spread) * delay_s]`` by a BLAKE2 draw
+    of ``(seed, prompt)`` — a pure function, exactly like
+    :class:`~repro.api.faults.FaultPlan`'s schedule, so hedge timing
+    never synchronizes across workers and never depends on call order.
+
+    The policy only decides *when*; the race itself lives in
+    :meth:`repro.api.client.CompletionClient.complete`, under the cache
+    and the single-flight lock, where it can guarantee the dedup
+    invariants: one budget charge and one usage record per logical
+    request no matter how many hedges fire, and (at temperature 0) a
+    byte-identical completion whichever attempt wins.  Counters here are
+    observability only — they never influence behavior.
+    """
+
+    def __init__(
+        self,
+        delay_s: float = 0.005,
+        spread: float = 0.25,
+        seed: int = 0,
+    ):
+        if delay_s <= 0:
+            raise ValueError(f"delay_s must be > 0, got {delay_s}")
+        if spread < 0:
+            raise ValueError(f"spread must be >= 0, got {spread}")
+        self.delay_s = float(delay_s)
+        self.spread = float(spread)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self.n_fired = 0
+        self.n_wins = 0
+
+    @classmethod
+    def from_latencies(
+        cls,
+        latencies: Sequence[float],
+        percentile: float = 0.95,
+        seed: int = 0,
+    ) -> HedgePolicy:
+        """Calibrate the hedge delay from an observed latency sample.
+
+        The classic tail-at-scale recipe: hedge requests that outlive
+        the ``percentile`` of healthy latency, so at most ``1 -
+        percentile`` of requests ever pay for a backup.
+        """
+        if not latencies:
+            raise ValueError("cannot calibrate from an empty sample")
+        if not 0.0 < percentile < 1.0:
+            raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+        ordered = sorted(latencies)
+        rank = min(len(ordered) - 1, int(percentile * len(ordered)))
+        return cls(delay_s=max(ordered[rank], 1e-4), seed=seed)
+
+    def delay_for(self, prompt: str) -> float:
+        """Deterministic per-prompt hedge delay (pure function)."""
+        if self.spread == 0.0:
+            return self.delay_s
+        payload = f"{self.seed}\x1fhedge\x1f{prompt}".encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / 2.0**64
+        return self.delay_s * (1.0 + self.spread * draw)
+
+    def record_fired(self) -> None:
+        with self._lock:
+            self.n_fired += 1
+
+    def record_win(self) -> None:
+        with self._lock:
+            self.n_wins += 1
+
+    def stats(self) -> dict:
+        """JSON-ready hedging block for run manifests."""
+        with self._lock:
+            return {
+                "delay_s": self.delay_s,
+                "fired": self.n_fired,
+                "wins": self.n_wins,
+            }
+
+
+#: Priority classes, most to least important.  Interactive work (a
+#: human waiting on one verdict) is never shed for budget headroom;
+#: bench sweeps keep a small reserve; backfill yields earliest.
+PRIORITIES = ("interactive", "bench", "backfill")
+
+#: Fraction of the *total* budget kept in reserve for higher-priority
+#: work: a class is shed once remaining budget falls below its headroom.
+PRIORITY_HEADROOM = {
+    "interactive": 0.0,
+    "bench": 0.10,
+    "backfill": 0.25,
+}
+
+
+class AIMDLimiter:
+    """Additive-increase / multiplicative-decrease concurrency window.
+
+    The classic TCP congestion-control shape applied to request
+    concurrency: every success grows the in-flight window by
+    ``increase / window`` (one full unit per window of successes), every
+    transient failure halves it.  ``acquire`` blocks while the window is
+    full — that blocking *is* the admission queue — so when the backend
+    degrades, pressure drops before retries pile up, and when it
+    recovers, the window reopens gradually.
+
+    The limiter shapes pacing only: it cannot change which requests run
+    or what they return, so determinism of results is untouched.
+    """
+
+    def __init__(
+        self,
+        initial: float = 8.0,
+        min_limit: float = 1.0,
+        max_limit: float = 64.0,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+    ):
+        if not min_limit <= initial <= max_limit:
+            raise ValueError(
+                f"need min_limit <= initial <= max_limit, got "
+                f"{min_limit}/{initial}/{max_limit}"
+            )
+        if not 0.0 < decrease < 1.0:
+            raise ValueError(f"decrease must be in (0, 1), got {decrease}")
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.increase = increase
+        self.decrease = decrease
+        self._limit = float(initial)
+        self._in_flight = 0
+        self._cond = threading.Condition()
+        self.n_waits = 0
+
+    @property
+    def limit(self) -> float:
+        with self._cond:
+            return self._limit
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    def acquire(self) -> None:
+        """Take one concurrency slot, blocking while the window is full."""
+        with self._cond:
+            if self._in_flight >= int(self._limit):
+                self.n_waits += 1
+            while self._in_flight >= int(self._limit):
+                self._cond.wait(0.01)
+            self._in_flight += 1
+
+    def release(self, ok: bool) -> None:
+        """Return a slot; grow the window on success, halve it on failure."""
+        with self._cond:
+            self._in_flight = max(0, self._in_flight - 1)
+            if ok:
+                self._limit = min(
+                    self.max_limit, self._limit + self.increase / self._limit
+                )
+            else:
+                self._limit = max(self.min_limit, self._limit * self.decrease)
+            self._cond.notify_all()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "limit": self._limit,
+                "in_flight": self._in_flight,
+                "waits": self.n_waits,
+            }
+
+
+class AdmissionController:
+    """Decide, before work burns budget, what runs and what is shed.
+
+    Two cooperating halves:
+
+    * :meth:`plan` — called once per batch, *before* the fan-out.  It
+      snapshots the circuit breaker and shared budget and returns one
+      ``"admit"``/``"shed"`` verdict per item, in input order.  Because
+      the decision precedes any concurrency, the shed set is a pure
+      function of the pre-batch state: byte-identical at workers=1 and
+      workers=8.  A shed item costs zero backend calls, zero retries,
+      zero backoff — it surfaces as a typed
+      :class:`~repro.api.retry.Shed` failure for the quarantine/fallback
+      machinery above.
+    * :meth:`acquire` / :meth:`release` — the per-attempt AIMD gate
+      (see :class:`AIMDLimiter`); this is the *queueing* half, shaping
+      pacing without affecting outcomes.
+
+    Shedding rules, in order: a breaker that is currently open sheds
+    every non-interactive item (interactive work rides the breaker's
+    own single-probe recovery instead); a shared budget sheds the tail
+    of the batch that cannot be served while keeping the priority
+    class's headroom in reserve (tail, not a sample — so the surviving
+    prefix is exactly the prefix a smaller budget-free run would have
+    produced).
+    """
+
+    def __init__(
+        self,
+        budget=None,
+        breaker=None,
+        limiter: AIMDLimiter | None = None,
+        headroom: dict | None = None,
+    ):
+        self.budget = budget
+        self.breaker = breaker
+        self.limiter = limiter
+        self.headroom = dict(PRIORITY_HEADROOM if headroom is None else headroom)
+        self._lock = threading.Lock()
+        self.n_admitted = 0
+        self.n_shed = 0
+
+    def plan(self, n_items: int, priority: str = "bench") -> list[str]:
+        """One ``"admit"``/``"shed"`` verdict per item, in input order."""
+        if priority not in self.headroom:
+            known = ", ".join(sorted(self.headroom))
+            raise ValueError(f"unknown priority {priority!r}; known: {known}")
+        admitted = n_items
+        if (
+            self.breaker is not None
+            and self.breaker.state == "open"
+            and priority != "interactive"
+        ):
+            admitted = 0
+        elif self.budget is not None:
+            remaining = self.budget.remaining_requests
+            if remaining is not None:
+                reserve = int(self.budget.max_requests * self.headroom[priority])
+                admitted = min(n_items, max(0, remaining - reserve))
+        with self._lock:
+            self.n_admitted += admitted
+            self.n_shed += n_items - admitted
+        return ["admit"] * admitted + ["shed"] * (n_items - admitted)
+
+    def acquire(self) -> None:
+        if self.limiter is not None:
+            self.limiter.acquire()
+
+    def release(self, ok: bool) -> None:
+        if self.limiter is not None:
+            self.limiter.release(ok)
+
+    def stats(self) -> dict:
+        """JSON-ready shedding block for run manifests."""
+        with self._lock:
+            block = {"admitted": self.n_admitted, "shed": self.n_shed}
+        if self.limiter is not None:
+            block["limiter"] = self.limiter.stats()
+        return block
+
+
+class FallbackChain:
+    """The graceful-degradation ladder: ordered model tiers.
+
+    The paper's Figure 4 frontier *is* a degradation ladder — 175B for
+    quality, 6.7B/1.3B for cost — and this class makes it operational:
+    an example that would otherwise be quarantined (retries exhausted,
+    garbage response) or shed (admission control) is re-served by the
+    next tier down, so a degraded run reports ``coverage == 1.0`` with
+    an explicit per-tier breakdown instead of silently missing rows.
+
+    Tiers are model names (resolved lazily through
+    :class:`~repro.api.client.CompletionClient`) or ready model objects.
+    Tier clients deliberately do **not** inherit the primary run's
+    :class:`~repro.api.faults.FaultPlan`: a fallback tier models a
+    *different* deployment, which is the whole reason degrading to it
+    helps — the fault schedule keyed on the same prompt would otherwise
+    re-inject the identical outage one tier down.  They do share the
+    primary client's usage tracker (per-tier cost lands in the manifest)
+    and the process-default prompt cache.
+    """
+
+    def __init__(self, tiers: Sequence):
+        tiers = list(tiers)
+        if not tiers:
+            raise ValueError("a FallbackChain needs at least one tier")
+        self.tiers = tiers
+        self._clients: dict[int, object] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, text: str) -> FallbackChain:
+        """``"gpt3-6.7b,gpt3-1.3b"`` (the CLI's ``--fallback``) → chain."""
+        tiers = [part.strip() for part in text.split(",") if part.strip()]
+        return cls(tiers)
+
+    def tier_name(self, index: int) -> str:
+        tier = self.tiers[index]
+        if isinstance(tier, str):
+            return tier
+        return getattr(tier, "name", type(tier).__name__)
+
+    def resolve(self, index: int, usage=None):
+        """The tier's ready-to-call model (clients built lazily, cached)."""
+        with self._lock:
+            client = self._clients.get(index)
+        if client is not None:
+            return client
+        tier = self.tiers[index]
+        if isinstance(tier, str):
+            from repro.api.cache import get_default_cache
+            from repro.api.client import CompletionClient
+
+            tier = CompletionClient(
+                tier, cache=get_default_cache(), usage=usage
+            )
+        with self._lock:
+            self._clients.setdefault(index, tier)
+            return self._clients[index]
+
+    def describe(self) -> list[str]:
+        return [self.tier_name(index) for index in range(len(self.tiers))]

@@ -21,6 +21,7 @@ three layers can never disagree about what "retry" means.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -30,6 +31,33 @@ class RateLimitError(RuntimeError):
 
 class FatalError(RuntimeError):
     """A failure no amount of backoff can fix — fail the batch fast."""
+
+
+class DeadlineExceededError(FatalError):
+    """The run's wall-clock budget is spent.
+
+    Raised by :meth:`repro.api.resilience.Deadline.check` — in the
+    executor before each attempt, and in the client before each backend
+    touch.  A :class:`FatalError`: time, like a request budget, cannot
+    recover mid-run, so the batch layer aborts instead of backing off,
+    and backoff sleeps are always clamped to the remaining budget so a
+    retry can never sleep past the deadline.
+    """
+
+
+class Shed(RuntimeError):
+    """Admission control refused this work unit before it burned budget.
+
+    Raised (without touching the backend) for items an
+    :class:`~repro.api.resilience.AdmissionController` decided to shed —
+    the circuit breaker is degraded, or the shared budget is too close
+    to exhaustion to serve this item's priority class.  Not retryable:
+    the shed decision is made once, deterministically, at batch-plan
+    time.  Under ``run_task(on_error="quarantine")`` a shed example
+    surfaces as a ``BatchFailure(error_type="Shed")`` and is either
+    served by the fallback chain or quarantined — never silently
+    dropped.
+    """
 
 
 class ParseError(ValueError):
@@ -75,14 +103,33 @@ DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (
 )
 
 
+def _jitter_unit(seed: int, attempt: int, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (attempt, key) pair.
+
+    BLAKE2-based like :func:`repro.api.faults._unit`, so the value is a
+    pure function of its inputs — stable across processes, platforms,
+    worker counts, and ``PYTHONHASHSEED``.
+    """
+    payload = f"{seed}\x1fretry\x1f{attempt}\x1f{key}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How (and whether) a failed request is retried.
 
-    ``delay`` is deterministic exponential backoff: ``backoff_base *
-    2**attempt`` capped at ``backoff_cap`` — no jitter, so test runs are
-    reproducible.  :class:`FatalError` is never retryable regardless of
-    ``retry_on``.
+    ``delay(attempt)`` is deterministic exponential backoff:
+    ``backoff_base * 2**attempt`` capped at ``backoff_cap``.
+    ``delay(attempt, key=...)`` additionally applies *decorrelated
+    jitter*: the delay is scaled into ``[(1 - jitter) * window, window]``
+    by a BLAKE2 draw over ``(jitter_seed, attempt, key)`` — a pure
+    function like :class:`~repro.api.faults.FaultPlan`'s schedule, so
+    runs stay reproducible while concurrent retries of *different* items
+    wake at different times instead of synchronizing into a thundering
+    herd.  With no ``key`` (or ``jitter=0``) the schedule is the exact
+    unjittered ladder.  :class:`FatalError` is never retryable
+    regardless of ``retry_on``.
     """
 
     max_retries: int = 2
@@ -91,10 +138,23 @@ class RetryPolicy:
     retry_on: tuple[type[BaseException], ...] = field(
         default=DEFAULT_RETRY_ON
     )
+    #: Fraction of the backoff window subject to jitter (0 = none,
+    #: 1 = "full jitter").  0.5 keeps every delay within [w/2, w].
+    jitter: float = 0.5
+    jitter_seed: int = 0
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt + 1`` (0-based)."""
-        return min(self.backoff_cap, self.backoff_base * (2**attempt))
+    def delay(self, attempt: int, key: str | None = None) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-based).
+
+        ``key`` identifies the work item (the executor passes one per
+        item); when given, the delay is decorrelated-jittered — still a
+        pure function of ``(jitter_seed, attempt, key)``.
+        """
+        window = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        if key is None or self.jitter <= 0.0:
+            return window
+        draw = _jitter_unit(self.jitter_seed, attempt, key)
+        return window * (1.0 - self.jitter * (1.0 - draw))
 
     def is_fatal(self, exc: BaseException) -> bool:
         return isinstance(exc, FatalError)
@@ -119,9 +179,11 @@ __all__ = [
     "CircuitOpenError",
     "DEFAULT_POLICY",
     "DEFAULT_RETRY_ON",
+    "DeadlineExceededError",
     "FatalError",
     "NO_RETRY",
     "ParseError",
     "RateLimitError",
     "RetryPolicy",
+    "Shed",
 ]

@@ -105,6 +105,7 @@ def render_manifest(manifest) -> str:
             f"degraded: {len(quarantine)} quarantined, "
             f"coverage {100 * m.get('coverage', 1.0):.1f}%"
         )
+    lines.extend(_resilience_lines(m))
     faults = m.get("faults")
     if faults:
         injected = faults.get("injected") or {}
@@ -119,6 +120,45 @@ def render_manifest(manifest) -> str:
             f"(seed {faults.get('seed')}), injected: {injected_text}"
         )
     return "\n".join(lines)
+
+
+def _resilience_lines(m: dict) -> list[str]:
+    """Service-level summary lines shared by manifest and chaos reports."""
+    lines: list[str] = []
+    slo = m.get("slo")
+    if slo:
+        status = "EXPIRED" if slo.get("expired") else "met"
+        lines.append(
+            f"slo: deadline {slo.get('budget_s', 0.0):.3f}s, "
+            f"elapsed {slo.get('elapsed_s', 0.0):.3f}s ({status})"
+        )
+    hedges = m.get("hedges")
+    if hedges:
+        lines.append(
+            f"hedges: {hedges.get('fired', 0)} fired, "
+            f"{hedges.get('wins', 0)} won "
+            f"(delay {1000 * hedges.get('delay_s', 0.0):.1f}ms)"
+        )
+    shed = m.get("shed")
+    if shed:
+        line = (
+            f"admission: {shed.get('admitted', 0)} admitted, "
+            f"{shed.get('shed', 0)} shed"
+        )
+        limiter = shed.get("limiter")
+        if limiter:
+            line += (
+                f" (AIMD limit {limiter.get('limit', 0.0):.1f}, "
+                f"{limiter.get('waits', 0)} waits)"
+            )
+        lines.append(line)
+    served = m.get("served_by_tier")
+    if served:
+        tiers = ", ".join(
+            f"{name}={count}" for name, count in served.items()
+        )
+        lines.append(f"served by tier: {tiers}")
+    return lines
 
 
 def render_chaos_report(run, baseline=None) -> str:
@@ -163,6 +203,7 @@ def render_chaos_report(run, baseline=None) -> str:
             f"{breaker.get('rejections', 0)} rejections, "
             f"{breaker.get('probes', 0)} probes)"
         )
+    lines.extend(_resilience_lines(manifest))
     metric_text = f"{run.metric_name}={100 * run.metric:.1f}"
     if baseline is not None:
         delta = 100 * (run.metric - baseline.metric)

@@ -18,9 +18,18 @@ Commands:
 
 Resilience flags: ``run``/``bench`` accept ``--chaos PROFILE`` (inject
 deterministic faults; implies quarantine mode unless ``--on-error`` says
-otherwise), ``run --checkpoint PATH`` / ``bench --checkpoint-dir DIR``
-(journal per-example completions and resume a killed run), and ``run
---on-error quarantine`` (degrade gracefully instead of aborting).
+otherwise; ``run`` also spells it ``--fault-profile``), ``run
+--checkpoint PATH`` / ``bench --checkpoint-dir DIR`` (journal
+per-example completions and resume a killed run), and ``run --on-error
+quarantine`` (degrade gracefully instead of aborting).
+
+Service-level flags (``run`` and ``chaos``): ``--deadline-s`` bounds the
+run by a wall budget (expiry fails fast), ``--hedge`` (+
+``--hedge-delay-s``) races backup completions against stragglers,
+``--budget-requests`` + ``--priority`` engage admission control (shed
+before spending), and ``--fallback TIER[,TIER...]`` serves would-be
+quarantined or shed examples from cheaper model tiers so coverage stays
+1.0 with an explicit ``served_by_tier`` breakdown.
 """
 
 from __future__ import annotations
@@ -121,6 +130,33 @@ def _install_chaos(profile: str | None, seed: int, on_error: str | None):
     return plan
 
 
+def _resilience_kwargs(args) -> dict:
+    """``run_task`` service-level kwargs from the parsed CLI flags."""
+    kwargs: dict = {"priority": args.priority}
+    if args.deadline_s is not None:
+        if args.deadline_s <= 0:
+            raise SystemExit(f"--deadline-s must be > 0, got {args.deadline_s}")
+        kwargs["deadline"] = args.deadline_s
+    if args.hedge:
+        kwargs["hedge"] = args.hedge_delay_s
+    if args.fallback:
+        kwargs["fallback"] = args.fallback
+    if args.budget_requests is not None:
+        from repro.api import SharedBudget
+
+        kwargs["budget"] = SharedBudget(max_requests=args.budget_requests)
+    return kwargs
+
+
+def _print_degradation(result) -> None:
+    if result.served_by_tier:
+        tiers = ", ".join(
+            f"{name}={count}"
+            for name, count in result.served_by_tier.items()
+        )
+        print(f"  served_by_tier: {tiers}")
+
+
 def _cmd_run(args) -> int:
     from repro.core.tasks import get_task, run_task
     from repro.datasets import available_datasets, load_dataset
@@ -145,6 +181,7 @@ def _cmd_run(args) -> int:
         spec, args.model, dataset, k=args.k, selection=args.selection,
         max_examples=args.max_examples, split=args.split, seed=args.seed,
         workers=args.workers, trace=args.trace, checkpoint=args.checkpoint,
+        **_resilience_kwargs(args),
     )
     if args.manifest and result.manifest is not None:
         from repro.bench.reporting import render_manifest
@@ -152,6 +189,7 @@ def _cmd_run(args) -> int:
         result.manifest.write(args.manifest)
         print(render_manifest(result.manifest))
     print(result.describe())
+    _print_degradation(result)
     for key, value in result.details.items():
         if isinstance(value, float):
             print(f"  {key}: {100 * value:.1f}")
@@ -261,9 +299,12 @@ def _cmd_chaos(args) -> int:
     if not args.no_baseline:
         baseline = run_task(spec, args.model, dataset, **common)
     plan = FaultPlan(profile, seed=args.chaos_seed)
+    # The service-level knobs apply to the faulted run only: the
+    # baseline shows what a healthy, unconstrained run produces.
     faulted = run_task(
         spec, args.model, dataset, on_error="quarantine",
-        fault_plan=plan, checkpoint=args.checkpoint, **common,
+        fault_plan=plan, checkpoint=args.checkpoint,
+        **common, **_resilience_kwargs(args),
     )
     if args.manifest and faulted.manifest is not None:
         faulted.manifest.write(args.manifest)
@@ -309,6 +350,29 @@ def _cmd_probe(args) -> int:
 
     print(table6.run().render())
     return 0
+
+
+def _add_resilience_flags(p) -> None:
+    """Service-level knobs shared by ``run`` and ``chaos``."""
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="wall budget for the whole run in seconds; expiry "
+                        "fails fast with DeadlineExceededError")
+    p.add_argument("--hedge", action="store_true",
+                   help="race a backup completion against stragglers; first "
+                        "success wins, budgets charged once")
+    p.add_argument("--hedge-delay-s", type=float, default=0.005,
+                   help="wait before hedging a straggler (pick ~p95 of "
+                        "healthy latency)")
+    p.add_argument("--fallback", metavar="TIER[,TIER...]", default=None,
+                   help="serve would-be quarantined/shed examples from "
+                        "cheaper model tiers, e.g. gpt3-6.7b,gpt3-1.3b")
+    p.add_argument("--priority", default="bench",
+                   choices=("interactive", "bench", "backfill"),
+                   help="admission-control priority class of this run")
+    p.add_argument("--budget-requests", type=int, default=None,
+                   help="shared request ceiling; admission control sheds "
+                        "work that cannot fit it (keeping the priority "
+                        "class's headroom in reserve)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -358,11 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("raise", "quarantine"),
                      help="quarantine: set failed examples aside and score "
                           "the survivors instead of aborting")
-    run.add_argument("--chaos", metavar="PROFILE", default=None,
+    run.add_argument("--chaos", "--fault-profile", metavar="PROFILE",
+                     dest="chaos", default=None,
                      help="inject deterministic faults from a named profile "
                           "(implies --on-error quarantine)")
     run.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the injected fault schedule")
+    _add_resilience_flags(run)
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a table/figure")
@@ -417,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the faulted run's manifest JSON to PATH")
     chaos.add_argument("--no-baseline", action="store_true",
                        help="skip the fault-free comparison run")
+    _add_resilience_flags(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     def with_model(command, help_text):

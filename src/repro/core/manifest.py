@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 #: Bumped on any backward-incompatible change to the manifest shape.
 MANIFEST_SCHEMA_VERSION = 1
 
-PHASE_NAMES = ("selection", "prompting", "completion", "scoring")
+PHASE_NAMES = ("selection", "prompting", "completion", "fallback", "scoring")
 
 
 def jsonable(value):
@@ -101,6 +101,20 @@ class RunManifest:
     #: :class:`~repro.api.faults.FaultPlan` (profile, seed, rates,
     #: injected counts); ``None`` for fault-free runs.
     faults: dict | None = None
+    #: Deadline/SLO block (budget_s / elapsed_s / expired) when the run
+    #: executed under a :class:`~repro.api.resilience.Deadline`.
+    slo: dict | None = None
+    #: Hedging tallies (delay_s / fired / wins) when a
+    #: :class:`~repro.api.resilience.HedgePolicy` was attached.
+    hedges: dict | None = None
+    #: Admission-control tallies (admitted / shed, plus the AIMD limiter
+    #: state when one is attached) when the run executed under an
+    #: :class:`~repro.api.resilience.AdmissionController`.
+    shed: dict | None = None
+    #: Graceful-degradation breakdown — tier name -> examples served —
+    #: when a :class:`~repro.api.resilience.FallbackChain` was configured
+    #: (the primary model is listed first).  ``None`` otherwise.
+    served_by_tier: dict | None = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:

@@ -38,10 +38,14 @@ class QuarantineRecord:
     """One example set aside by ``run_task(on_error="quarantine")``.
 
     ``stage`` says where the example died: ``"completion"`` (transient
-    retries exhausted, budget, circuit open) or ``"parse"`` (the response
-    came back but was malformed/unparseable).  Quarantined examples get a
-    ``None`` prediction and are excluded from scoring; the run's
-    ``coverage`` is the surviving fraction.
+    retries exhausted, budget, circuit open), ``"parse"`` (the response
+    came back but was malformed/unparseable), or ``"admission"`` (shed by
+    admission control before any backend call).  Quarantined examples get
+    a ``None`` prediction and are excluded from scoring; the run's
+    ``coverage`` is the surviving fraction.  A configured
+    :class:`~repro.api.resilience.FallbackChain` rescues quarantined
+    examples through cheaper tiers before scoring, removing them from
+    quarantine entirely.
     """
 
     index: int
@@ -84,16 +88,22 @@ class TaskRun:
     degraded: bool = False
     #: Fraction of examples that survived to scoring (1.0 when clean).
     coverage: float = 1.0
+    #: Graceful-degradation breakdown (tier name -> examples served,
+    #: primary first) when a fallback chain was configured; else ``None``.
+    served_by_tier: dict | None = None
     #: Run telemetry (see :class:`repro.core.manifest.RunManifest`);
     #: always attached by the engine, ``None`` only for hand-built runs.
     manifest: object | None = None
 
     def describe(self) -> str:
-        degraded = (
-            f" [degraded, coverage={100 * self.coverage:.0f}%]"
-            if self.degraded
-            else ""
-        )
+        if self.degraded and self.coverage >= 1.0 and self.served_by_tier:
+            # Fallback tiers rescued every would-be hole: full coverage,
+            # but the caller should still see the run was not pristine.
+            degraded = " [degraded: served by fallback tiers]"
+        elif self.degraded:
+            degraded = f" [degraded, coverage={100 * self.coverage:.0f}%]"
+        else:
+            degraded = ""
         return (
             f"{self.task}/{self.dataset} {self.model} (k={self.k}): "
             f"{self.metric_name}={100 * self.metric:.1f}{degraded}"

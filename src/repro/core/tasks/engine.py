@@ -35,6 +35,23 @@ Resilience (PR 4):
   ``repro ... --chaos``) attaches a deterministic
   :class:`~repro.api.faults.FaultPlan` to the underlying client, and the
   manifest grows a ``faults`` section with injection tallies.
+
+Service-level resilience (PR 5, see :mod:`repro.api.resilience`):
+
+* ``run_task(deadline=...)`` bounds the run by a wall budget propagated
+  into the executor and client; expiry fails fast with
+  :class:`~repro.api.retry.DeadlineExceededError` and the manifest
+  reports an ``slo`` block.
+* ``run_task(hedge=...)`` races backup completions against stragglers
+  (first success wins, budgets charged once); the manifest reports a
+  ``hedges`` block.
+* ``run_task(admission=...)`` (or ``budget=...``, which builds a
+  controller) sheds work before it burns budget; shed examples surface
+  as ``stage="admission"`` quarantines and a ``shed`` manifest block.
+* ``run_task(fallback=...)`` serves would-be quarantined or shed
+  examples from cheaper model tiers — the paper's own 175B→6.7B→1.3B
+  ladder — restoring ``coverage == 1.0`` with an explicit
+  ``served_by_tier`` breakdown.
 """
 
 from __future__ import annotations
@@ -341,6 +358,10 @@ def _build_manifest(
     degraded: bool = False,
     coverage: float = 1.0,
     faults: dict | None = None,
+    slo: dict | None = None,
+    hedges: dict | None = None,
+    shed: dict | None = None,
+    served_by_tier: dict | None = None,
 ) -> RunManifest:
     from repro.api.batch import resolve_workers
     from repro.api.client import CompletionClient
@@ -398,6 +419,10 @@ def _build_manifest(
         degraded=degraded,
         coverage=coverage,
         faults=faults,
+        slo=slo,
+        hedges=hedges,
+        shed=shed,
+        served_by_tier=served_by_tier,
     )
 
 
@@ -432,6 +457,41 @@ def _open_checkpoint(
     return RunCheckpoint(checkpoint, fingerprint, meta=payload)
 
 
+def _resolve_resilience(deadline, hedge, fallback, admission, budget, breaker):
+    """Normalize the service-level knobs into resilience objects.
+
+    Accepts the ergonomic forms the CLI produces — a float deadline in
+    seconds, ``hedge=True`` or a float hedge delay, a comma-separated
+    fallback string — as well as ready-made objects.  When a shared
+    budget (or a breaker worth consulting) is given without an explicit
+    controller, an :class:`~repro.api.resilience.AdmissionController` is
+    built so shedding engages by default.
+    """
+    from repro.api.resilience import (
+        AdmissionController,
+        Deadline,
+        FallbackChain,
+        HedgePolicy,
+    )
+
+    if deadline is not None and not isinstance(deadline, Deadline):
+        deadline = Deadline(float(deadline))
+    if hedge is False:
+        hedge = None
+    if hedge is not None and not isinstance(hedge, HedgePolicy):
+        hedge = HedgePolicy() if hedge is True else HedgePolicy(
+            delay_s=float(hedge)
+        )
+    if fallback is not None and not isinstance(fallback, FallbackChain):
+        if isinstance(fallback, str):
+            fallback = FallbackChain.parse(fallback)
+        else:
+            fallback = FallbackChain(fallback)
+    if admission is None and budget is not None:
+        admission = AdmissionController(budget=budget, breaker=breaker)
+    return deadline, hedge, fallback, admission
+
+
 def run_task(
     task: str | TaskSpec,
     model,
@@ -449,6 +509,12 @@ def run_task(
     checkpoint=None,
     fault_plan=None,
     breaker=None,
+    deadline=None,
+    hedge=None,
+    admission=None,
+    priority: str = "bench",
+    fallback=None,
+    budget=None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` under the named task's spec.
 
@@ -477,6 +543,28 @@ def run_task(
       to the underlying client for deterministic fault injection.
     * ``breaker`` — a :class:`~repro.api.batch.CircuitBreaker` guarding
       the completion fan-out.
+
+    Service-level knobs (consulted deadline → hedge → shed → degrade;
+    see DESIGN §4b-iv):
+
+    * ``deadline`` — seconds (or a ready
+      :class:`~repro.api.resilience.Deadline`) of wall budget for the
+      run; expiry is fatal (fail fast, typed
+      :class:`~repro.api.retry.DeadlineExceededError`).
+    * ``hedge`` — ``True`` (default policy), a float hedge delay in
+      seconds, or a ready :class:`~repro.api.resilience.HedgePolicy`:
+      straggling completions get one backup attempt, first success
+      wins, budgets/usage charged once.
+    * ``admission`` / ``budget`` / ``priority`` — an
+      :class:`~repro.api.resilience.AdmissionController` (built
+      automatically from a :class:`~repro.api.batch.SharedBudget` when
+      only ``budget`` is given) sheds work *before* it burns budget;
+      shed examples quarantine with ``stage="admission"`` under
+      ``on_error="quarantine"``.
+    * ``fallback`` — tier names (``"gpt3-6.7b,gpt3-1.3b"``, a list, or a
+      ready :class:`~repro.api.resilience.FallbackChain`): quarantined
+      or shed examples are re-served by cheaper tiers before scoring,
+      restoring coverage with a ``served_by_tier`` breakdown.
     """
     from repro.api.batch import BatchExecutor, BatchFailure
     from repro.api.client import CompletionClient
@@ -494,6 +582,17 @@ def run_task(
         # A client handed in with its own plan attached still gets full
         # fault accounting in the manifest.
         fault_plan = getattr(model, "fault_plan", None)
+    deadline, hedge, fallback, admission = _resolve_resilience(
+        deadline, hedge, fallback, admission, budget, breaker
+    )
+    if isinstance(model, CompletionClient):
+        # The client is where hedging can uphold its dedup invariants
+        # (under the cache and single-flight lock) and where a deadline
+        # catches stragglers between executor attempts.
+        if hedge is not None:
+            model.hedge_policy = hedge
+        if deadline is not None:
+            model.deadline = deadline
     if isinstance(dataset, str):
         from repro.datasets import load_dataset
 
@@ -566,7 +665,8 @@ def run_task(
     if pending:
         executor = BatchExecutor(
             workers=workers, usage=tracker, policy=retry_policy,
-            breaker=breaker,
+            breaker=breaker, budget=budget, deadline=deadline,
+            admission=admission, priority=priority,
         )
         outcomes = executor.map(
             complete_one,
@@ -576,14 +676,18 @@ def run_task(
         for position, outcome in enumerate(outcomes):
             index = pending[position]
             if isinstance(outcome, BatchFailure):
+                shed = outcome.error_type == "Shed"
                 quarantine[index] = QuarantineRecord(
                     index=index,
                     error_type=outcome.error_type,
                     error=str(outcome.error),
                     attempts=outcome.attempts,
-                    stage="completion",
+                    stage="admission" if shed else "completion",
                 )
-                if journal is not None:
+                if journal is not None and not shed:
+                    # Shedding is a capacity decision about *this* run,
+                    # not a verdict about the example — journaling it
+                    # would wrongly skip the example on resume.
                     journal.record_quarantine(
                         index,
                         outcome.error_type,
@@ -612,6 +716,61 @@ def run_task(
                 )
         else:
             predictions[index] = spec.parse_response(response)
+    parse_elapsed_s = time.perf_counter() - phase_started
+
+    # Graceful degradation: walk the fallback ladder for every example
+    # that would otherwise score as a hole (quarantined or shed).  Tier
+    # responses are parsed through the same checked path; an example a
+    # tier cannot serve carries to the next one.  Fallback completions
+    # are deliberately *not* journaled to the checkpoint — a resumed run
+    # should retry the primary first, not bake in a degraded answer.
+    served_by_tier: dict[str, int] | None = None
+    n_failed_primary = len(quarantine)
+    if fallback is not None:
+        phase_started = time.perf_counter()
+        failed = sorted(quarantine)
+        tier_usage = (
+            model.usage if isinstance(model, CompletionClient) else None
+        )
+        tier_counts: dict[str, int] = {}
+        for tier_index in range(len(fallback.tiers)):
+            tier_label = fallback.tier_name(tier_index)
+            tier_counts.setdefault(tier_label, 0)
+            if not failed:
+                continue
+            tier_model = fallback.resolve(tier_index, usage=tier_usage)
+            # A fresh executor, usage=None: tier requests must not enter
+            # ``tracker``'s request log, whose indices are positions in
+            # ``pending`` (the trace latency join relies on that).
+            tier_executor = BatchExecutor(workers=workers)
+            outcomes = tier_executor.map(
+                lambda index: tier_model.complete(prompts[index]),
+                failed,
+                on_error="return",
+            )
+            still_failed: list[int] = []
+            for position, outcome in enumerate(outcomes):
+                index = failed[position]
+                if isinstance(outcome, BatchFailure):
+                    still_failed.append(index)
+                    continue
+                try:
+                    prediction = _parse_checked(spec, outcome)
+                except ParseError:
+                    still_failed.append(index)
+                    continue
+                responses[index] = outcome
+                predictions[index] = prediction
+                del quarantine[index]
+                tier_counts[tier_label] += 1
+            failed = still_failed
+        primary_name = getattr(model, "name", type(model).__name__)
+        served_by_tier = {primary_name: len(examples) - n_failed_primary}
+        for name, count in tier_counts.items():
+            served_by_tier[name] = served_by_tier.get(name, 0) + count
+        phases["fallback"] = time.perf_counter() - phase_started
+
+    phase_started = time.perf_counter()
     labels = [spec.label_of(example) for example in examples]
     survivors = [
         index for index in range(len(examples)) if index not in quarantine
@@ -625,8 +784,10 @@ def run_task(
     else:
         metric, details = spec.score(predictions, labels, examples)
     coverage = (len(survivors) / len(examples)) if examples else 1.0
-    degraded = bool(quarantine)
-    phases["scoring"] = time.perf_counter() - phase_started
+    # A run the fallback ladder fully rescued still reports degraded:
+    # coverage is 1.0 but some answers came from a cheaper tier.
+    degraded = bool(quarantine) or n_failed_primary > 0
+    phases["scoring"] = parse_elapsed_s + (time.perf_counter() - phase_started)
 
     if journal is not None:
         journal.close()
@@ -677,6 +838,10 @@ def run_task(
         tracker=tracker, usage_before=usage_before, config=config,
         quarantine=quarantine_records, degraded=degraded,
         coverage=coverage, faults=faults_section,
+        slo=deadline.describe() if deadline is not None else None,
+        hedges=hedge.stats() if hedge is not None else None,
+        shed=admission.stats() if admission is not None else None,
+        served_by_tier=served_by_tier,
     )
     return TaskRun(
         task=spec.name,
@@ -693,5 +858,6 @@ def run_task(
         quarantine=quarantine_records,
         degraded=degraded,
         coverage=coverage,
+        served_by_tier=served_by_tier,
         manifest=manifest,
     )

@@ -129,7 +129,9 @@ class TestEngineManifest:
 
     def test_phase_timings_cover_the_run(self, em_run):
         manifest = em_run.manifest
-        assert set(manifest.phases) == set(PHASE_NAMES)
+        # "fallback" is emitted only when a degradation ladder ran.
+        assert set(manifest.phases) <= set(PHASE_NAMES)
+        assert set(PHASE_NAMES) - set(manifest.phases) <= {"fallback"}
         assert all(seconds >= 0.0 for seconds in manifest.phases.values())
         assert manifest.wall_clock_s >= sum(manifest.phases.values()) - 1e-6
 
@@ -209,15 +211,16 @@ class TestTraceLatencyAlignment:
         assert run.predictions == clean.predictions
         assert model.timed_out  # the flakiness actually fired
         # The latency join is pinned by the backoff floor: a retried
-        # example's record carries its wait (>= 0.05s backoff), a clean
-        # one finishes in microseconds.  Misaligned indices would hand
-        # some retried example a sub-millisecond latency.
+        # example's record carries its wait (the jittered first backoff
+        # lands in [0.025s, 0.05s]), a clean one finishes in
+        # microseconds.  Misaligned indices would hand some retried
+        # example a sub-millisecond latency.
         for record in run.records:
             assert record.latency_s is not None
             if record.prompt in model.timed_out:
-                assert record.latency_s >= 0.045
+                assert record.latency_s >= 0.02
             else:
-                assert record.latency_s < 0.045
+                assert record.latency_s < 0.02
         manifest = run.manifest
         assert manifest.requests["n_requests"] == 12
         assert manifest.requests["n_retries"] == len(model.timed_out)

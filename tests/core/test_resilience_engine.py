@@ -1,0 +1,221 @@
+"""Pinned service-level resilience guarantees at the engine level.
+
+The acceptance tests of the deadline → hedge → shed → degrade ladder:
+
+* under the ``heavy`` profile a ``fallback`` run completes with
+  coverage == 1.0 and a populated ``served_by_tier`` breakdown,
+* shed examples surface as typed ``stage="admission"`` quarantines —
+  never a silent drop — and admitted survivors are identical to an
+  unconstrained run,
+* every hedge/shed/degrade decision is byte-identical at ``workers=1``
+  and ``workers=8`` with the same seed,
+* with the knobs off, the run (manifest included) matches the PR 4
+  shape exactly,
+* the extended manifest validates against the checked-in schema.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import CompletionClient, FaultPlan, SharedBudget
+from repro.api.retry import DeadlineExceededError
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+
+pytestmark = pytest.mark.chaos
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "schemas"
+    / "run_manifest.schema.json"
+)
+
+MAX_EXAMPLES = 40
+
+
+@pytest.fixture(scope="module")
+def fodors():
+    return load_dataset("fodors_zagats")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _run(dataset, workers=1, **kwargs):
+    return run_task(
+        "em", "gpt3-175b", dataset, k=0, max_examples=MAX_EXAMPLES,
+        workers=workers, **kwargs,
+    )
+
+
+class TestFallbackLadder:
+    def test_heavy_profile_with_fallback_restores_full_coverage(
+        self, fodors, schema
+    ):
+        plan = FaultPlan("heavy", seed=7)
+        bare = _run(
+            fodors, on_error="quarantine", fault_plan=plan, workers=4,
+        )
+        assert bare.quarantine  # heavy must actually hurt
+        rescued = _run(
+            fodors, on_error="quarantine",
+            fault_plan=FaultPlan("heavy", seed=7),
+            fallback="gpt3-6.7b,gpt3-1.3b", workers=4,
+        )
+        assert rescued.coverage == 1.0
+        assert rescued.quarantine == []
+        assert rescued.degraded  # full coverage, but not pristine
+        assert rescued.served_by_tier
+        served = sum(rescued.served_by_tier.values())
+        assert served == rescued.n_examples
+        # The fallback tiers actually served the holes.
+        fallback_served = sum(
+            count for name, count in rescued.served_by_tier.items()
+            if name != "gpt3-175b"
+        )
+        assert fallback_served == len(bare.quarantine)
+        assert None not in rescued.predictions
+        manifest = rescued.manifest.to_dict()
+        assert manifest["served_by_tier"] == rescued.served_by_tier
+        assert validate_manifest(manifest, schema) == []
+
+    def test_fallback_tier_usage_lands_in_manifest(self, fodors):
+        rescued = _run(
+            fodors, on_error="quarantine",
+            fault_plan=FaultPlan("heavy", seed=7),
+            fallback="gpt3-6.7b", workers=4,
+        )
+        usage = rescued.manifest.to_dict()["usage"]
+        served = rescued.served_by_tier
+        if served.get("gpt3-6.7b", 0):
+            assert usage["gpt3-6.7b"]["n_requests"] >= served["gpt3-6.7b"]
+
+
+class TestAdmissionShedding:
+    def test_shed_is_typed_quarantine_never_silent(self, fodors, schema):
+        run = _run(
+            fodors, on_error="quarantine",
+            budget=SharedBudget(max_requests=10), workers=4,
+        )
+        shed = [r for r in run.quarantine if r.stage == "admission"]
+        assert shed and all(r.error_type == "Shed" for r in shed)
+        assert all(r.attempts == 0 for r in shed)
+        # Every example is accounted for: scored or quarantined.
+        assert len(run.quarantine) + sum(
+            1 for p in run.predictions if p is not None
+        ) == run.n_examples
+        manifest = run.manifest.to_dict()
+        assert manifest["shed"]["shed"] == len(shed)
+        assert manifest["shed"]["admitted"] + len(shed) == run.n_examples
+        assert validate_manifest(manifest, schema) == []
+
+    def test_admitted_survivors_identical_to_unconstrained_run(self, fodors):
+        clean = _run(fodors)
+        constrained = _run(
+            fodors, on_error="quarantine",
+            budget=SharedBudget(max_requests=10), workers=4,
+        )
+        quarantined = {r.index for r in constrained.quarantine}
+        assert quarantined
+        for index in range(constrained.n_examples):
+            if index in quarantined:
+                assert constrained.predictions[index] is None
+            else:
+                assert (
+                    constrained.predictions[index] == clean.predictions[index]
+                )
+
+    def test_fallback_rescues_shed_examples(self, fodors):
+        run = _run(
+            fodors, on_error="quarantine",
+            budget=SharedBudget(max_requests=10),
+            fallback="gpt3-6.7b", workers=4,
+        )
+        assert run.coverage == 1.0
+        assert run.quarantine == []
+        assert run.served_by_tier["gpt3-6.7b"] > 0
+        assert run.manifest.shed["shed"] > 0  # shedding still reported
+
+
+class TestWorkerCountDeterminism:
+    def test_shed_and_degrade_decisions_identical_across_workers(
+        self, fodors
+    ):
+        outcomes = []
+        for workers in (1, 8):
+            # The latency profile exercises hedging without transient
+            # failures, so the admitted prefix's request count is exact
+            # and the only quarantines are the budget's shed tail.
+            run = _run(
+                fodors, workers=workers, on_error="quarantine",
+                fault_plan=FaultPlan("latency", seed=3),
+                budget=SharedBudget(max_requests=30),
+                fallback="gpt3-6.7b,gpt3-1.3b", hedge=0.005,
+            )
+            outcomes.append((
+                run.predictions,
+                run.served_by_tier,
+                [(r.index, r.error_type, r.stage) for r in run.quarantine],
+                run.coverage,
+                run.degraded,
+                run.manifest.shed["shed"],
+            ))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestDeadline:
+    def test_expired_deadline_fails_fast_even_in_quarantine_mode(
+        self, fodors
+    ):
+        with pytest.raises(DeadlineExceededError):
+            _run(fodors, on_error="quarantine", deadline=1e-9, workers=4)
+
+    def test_met_deadline_reports_slo_block(self, fodors, schema):
+        run = _run(fodors, deadline=120.0)
+        slo = run.manifest.slo
+        assert slo["budget_s"] == 120.0
+        assert slo["expired"] is False
+        assert 0.0 <= slo["elapsed_s"] < 120.0
+        assert validate_manifest(run.manifest.to_dict(), schema) == []
+
+
+class TestHedging:
+    def test_hedged_run_identical_predictions_and_manifest_block(
+        self, fodors, schema
+    ):
+        plain = _run(fodors, fault_plan=FaultPlan("latency", seed=0),
+                     workers=4, on_error="quarantine")
+        hedged = _run(fodors, fault_plan=FaultPlan("latency", seed=0),
+                      workers=4, on_error="quarantine", hedge=True)
+        assert hedged.predictions == plain.predictions
+        block = hedged.manifest.hedges
+        assert block["fired"] >= 1
+        assert 0 <= block["wins"] <= block["fired"]
+        assert validate_manifest(hedged.manifest.to_dict(), schema) == []
+
+
+class TestDefaultsOffParity:
+    def test_knobs_off_matches_pr4_shape(self, fodors, schema):
+        with_knobs = _run(fodors)
+        manifest = with_knobs.manifest.to_dict()
+        assert manifest["slo"] is None
+        assert manifest["hedges"] is None
+        assert manifest["shed"] is None
+        assert manifest["served_by_tier"] is None
+        assert with_knobs.served_by_tier is None
+        assert "fallback" not in manifest["phases"]
+        assert validate_manifest(manifest, schema) == []
+
+    def test_client_defaults_off(self):
+        client = CompletionClient()
+        assert client.hedge_policy is None
+        assert client.deadline is None
+        assert client.stats["hedge_calls"] == 0
