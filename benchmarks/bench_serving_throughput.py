@@ -1,0 +1,254 @@
+"""Serving throughput — thread-pool barrier vs. async core with cached prefixes.
+
+PR 6's claim: on the workload the paper's sweeps actually generate —
+many prompts sharing one k-shot demonstration prefix, answers already in
+the persistent cache — the serving core (continuous batching on the
+asyncio loop + the demonstration prefix built and token-counted once)
+sustains ≥5× the single-process requests/sec of the PR 1 thread
+executor, with byte-identical responses at any concurrency.
+
+The baseline is the legacy pipeline shape: build the full prompt per
+example, fan out through ``BatchExecutor``, and let the shared budget
+re-count the full prompt's tokens on every request.  The serving core
+builds the prefix once, maps only the per-example suffixes, and charges
+the budget for suffix tokens only (the prefix is charged once per run).
+Both paths answer from the same warm :class:`PromptCache`, so the
+simulated backend is out of the loop and the measured gap is pure
+orchestration + accounting overhead — exactly what separates the two
+cores in a real sweep re-run.
+
+A final scenario runs the full pipeline end-to-end (``run_task`` with
+``executor="async"``) and validates the manifest, including the new
+``prefix_cache`` block, against ``schemas/run_manifest.schema.json``.
+
+``--smoke`` (or ``SMOKE=1`` via the CI gate) shrinks the request count
+and relaxes the bar to ≥2× so the assertion survives loaded runners.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from conftest import publish
+
+from repro.bench.reporting import ExperimentResult
+from repro.api import (
+    AsyncBatchExecutor,
+    BatchExecutor,
+    CompletionClient,
+    PromptCache,
+    SharedBudget,
+)
+from repro.api.usage import count_tokens
+from repro.core.manifest import validate_manifest
+from repro.core.prompts import (
+    EntityMatchingPromptConfig,
+    build_entity_matching_prefix,
+    entity_matching_block,
+)
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.fm import SimulatedFoundationModel
+
+WORKERS = 8
+#: Table 1's EM runs are 10-shot; that is also the regime where prefix
+#: caching pays most — the shared prefix dwarfs each query suffix.
+K_SHOT = 10
+
+#: Repetitions of the test split at full scale.  The per-request work is
+#: tens to hundreds of microseconds, so a few thousand requests give
+#: stable wall-clocks without making the benchmark slow.
+FULL_REPEATS = 8
+SMOKE_REPEATS = 2
+
+FULL_SPEEDUP_BAR = 5.0
+SMOKE_SPEEDUP_BAR = 2.0
+
+#: Each mode is timed this many times and reports its *minimum* — the
+#: standard low-noise estimator for sub-second CPU-bound runs, since the
+#: OS scheduler only ever adds time.  Responses are checked every trial.
+TRIALS = 3
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "schemas" / "run_manifest.schema.json"
+)
+
+
+def _workload(repeats: int):
+    """(config, demonstrations, query pairs) for a shared-prefix EM sweep.
+
+    iTunes-Amazon has the longest serialized rows of the Magellan suite,
+    so its 10-shot prefix is the largest — the workload where recounting
+    the full prompt per request hurts the baseline most.
+    """
+    dataset = load_dataset("itunes_amazon")
+    config = EntityMatchingPromptConfig(entity_noun=dataset.entity_noun)
+    demonstrations = list(dataset.train[:K_SHOT])
+    pairs = list(dataset.test) * repeats
+    return config, demonstrations, pairs
+
+
+def _warm_client(prompts: list[str]) -> CompletionClient:
+    """A client whose cache already holds every prompt's completion."""
+    client = CompletionClient(
+        SimulatedFoundationModel("gpt3-175b"), cache=PromptCache(":memory:")
+    )
+    for prompt in sorted(set(prompts)):
+        client.complete(prompt)
+    return client
+
+
+def _baseline_run(
+    client: CompletionClient, config, demonstrations, pairs
+) -> tuple[float, list[str]]:
+    """Legacy shape: full prompt per example, thread fan-out, full recount."""
+    budget = SharedBudget(max_tokens=10**9)
+    executor = BatchExecutor(workers=WORKERS, budget=budget)
+    started = time.perf_counter()
+    prompts = [
+        build_entity_matching_prefix(demonstrations, config)
+        + entity_matching_block(pair, config, include_answer=False)
+        for pair in pairs
+    ]
+    responses = executor.map(client.complete, prompts)
+    elapsed = time.perf_counter() - started
+    assert budget.n_tokens == sum(count_tokens(prompt) for prompt in prompts)
+    return elapsed, responses
+
+
+def _serving_run(
+    client: CompletionClient, config, demonstrations, pairs, workers: int
+) -> tuple[float, list[str]]:
+    """PR 6 shape: prefix built/counted once, async core maps suffixes."""
+    budget = SharedBudget(max_tokens=10**9)
+    executor = AsyncBatchExecutor(
+        workers=workers, budget=budget, token_cost=count_tokens
+    )
+    started = time.perf_counter()
+    prefix = build_entity_matching_prefix(demonstrations, config)
+    prefix_tokens = count_tokens(prefix)
+    budget.charge(requests=0, tokens=prefix_tokens)  # prefix charged once per run
+    suffixes = [
+        entity_matching_block(pair, config, include_answer=False)
+        for pair in pairs
+    ]
+    responses = executor.map(
+        lambda suffix: client.complete(prefix + suffix), suffixes
+    )
+    elapsed = time.perf_counter() - started
+    assert budget.n_tokens == prefix_tokens + sum(
+        count_tokens(suffix) for suffix in suffixes
+    )
+    return elapsed, responses
+
+
+def _manifest_scenario() -> tuple[dict, list, list]:
+    """End-to-end run_task through the async core; schema-validated manifest."""
+    shared = dict(
+        task="entity_matching", model="gpt3-175b", dataset="beer",
+        k=K_SHOT, selection="random", seed=0, max_examples=24,
+    )
+    async_run = run_task(executor="async", workers=WORKERS, **shared)
+    thread_run = run_task(executor="thread", workers=1, **shared)
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    errors = validate_manifest(async_run.manifest.to_dict(), schema)
+    assert not errors, f"async manifest violates schema: {errors}"
+    block = async_run.manifest.prefix_cache
+    assert block is not None and block["tokens_saved"] > 0
+    return block, async_run.predictions, thread_run.predictions
+
+
+def run(repeats: int = FULL_REPEATS) -> ExperimentResult:
+    config, demonstrations, pairs = _workload(repeats)
+    prefix = build_entity_matching_prefix(demonstrations, config)
+    prompts = [
+        prefix + entity_matching_block(pair, config, include_answer=False)
+        for pair in pairs
+    ]
+    client = _warm_client(prompts)
+
+    def best_of(timed_run) -> tuple[float, list[str]]:
+        best_s, responses = timed_run()
+        for _ in range(TRIALS - 1):
+            elapsed, again = timed_run()
+            assert again == responses  # determinism holds on every trial
+            best_s = min(best_s, elapsed)
+        return best_s, responses
+
+    baseline_s, baseline_responses = best_of(
+        lambda: _baseline_run(client, config, demonstrations, pairs)
+    )
+    serving_s, serving_responses = best_of(
+        lambda: _serving_run(client, config, demonstrations, pairs, WORKERS)
+    )
+    serial_s, serial_responses = best_of(
+        lambda: _serving_run(client, config, demonstrations, pairs, 1)
+    )
+    identical = serving_responses == baseline_responses
+    serial_identical = serial_responses == baseline_responses
+    speedup = baseline_s / serving_s
+
+    prefix_block, async_predictions, thread_predictions = _manifest_scenario()
+
+    result = ExperimentResult(
+        experiment="serving_throughput",
+        title=(
+            f"Serving throughput ({len(pairs)} warm-cache EM requests, "
+            f"{K_SHOT}-shot shared prefix, {count_tokens(prefix)} prefix tokens)"
+        ),
+        headers=["mode", "seconds", "req_per_s", "speedup", "identical"],
+        notes=(
+            "identical = responses byte-equal to the thread-executor baseline; "
+            "baseline re-counts the full prompt per request, the serving core "
+            "charges the cached prefix once and suffixes per request. "
+            f"End-to-end async run_task manifest: prefix_cache={prefix_block}, "
+            "schema-valid, predictions "
+            + ("identical" if async_predictions == thread_predictions else "DIVERGED")
+            + " to the thread path."
+        ),
+    )
+    result.add_row(
+        f"thread workers={WORKERS} (baseline)", baseline_s,
+        len(pairs) / baseline_s, 1.0, "yes",
+    )
+    result.add_row(
+        f"async workers={WORKERS} + prefix cache", serving_s,
+        len(pairs) / serving_s, speedup, "yes" if identical else "NO",
+    )
+    result.add_row(
+        "async workers=1 + prefix cache", serial_s,
+        len(pairs) / serial_s, baseline_s / serial_s,
+        "yes" if serial_identical else "NO",
+    )
+    result._async_predictions_identical = async_predictions == thread_predictions
+    return result
+
+
+def _assert_claims(result, bar: float) -> None:
+    assert result.cell(f"async workers={WORKERS} + prefix cache", "identical") == "yes"
+    assert result.cell("async workers=1 + prefix cache", "identical") == "yes"
+    assert result._async_predictions_identical
+    assert result.cell(f"async workers={WORKERS} + prefix cache", "speedup") >= bar
+
+
+def test_serving_throughput(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(result)
+    # The PR 6 acceptance bar: ≥5× requests/sec over the PR 1 executor on
+    # cached-prefix workloads, responses byte-identical at any concurrency.
+    _assert_claims(result, FULL_SPEEDUP_BAR)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    result = run(repeats=SMOKE_REPEATS if smoke else FULL_REPEATS)
+    print(result.render())
+    _assert_claims(result, SMOKE_SPEEDUP_BAR if smoke else FULL_SPEEDUP_BAR)
+    print(f"speedup bar {'≥2× (smoke)' if smoke else '≥5×'}: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

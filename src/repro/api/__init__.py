@@ -25,6 +25,11 @@ examples from cheaper model tiers (the paper's own Figure 4 ladder)
 instead of dropping them.
 """
 
+from repro.api.abatch import (
+    AsyncBatchExecutor,
+    get_serving_loop,
+    shutdown_serving_loop,
+)
 from repro.api.batch import (
     BatchExecutor,
     BatchFailure,
@@ -32,8 +37,11 @@ from repro.api.batch import (
     RequestRecord,
     SharedBudget,
     complete_all,
+    get_default_executor_kind,
     get_default_workers,
+    make_executor,
     resolve_workers,
+    set_default_executor_kind,
     set_default_workers,
 )
 from repro.api.cache import PromptCache, get_default_cache, set_default_cache
@@ -75,6 +83,7 @@ from repro.api.usage import (
 __all__ = [
     "AIMDLimiter",
     "AdmissionController",
+    "AsyncBatchExecutor",
     "BatchExecutor",
     "BatchFailure",
     "BudgetExhaustedError",
@@ -102,13 +111,18 @@ __all__ = [
     "complete_all",
     "count_tokens",
     "get_default_cache",
+    "get_default_executor_kind",
     "get_default_fault_plan",
     "get_default_workers",
     "get_fault_profile",
+    "get_serving_loop",
+    "make_executor",
     "malformed_reason",
     "resolve_workers",
     "set_default_cache",
+    "set_default_executor_kind",
     "set_default_fault_plan",
     "set_default_workers",
+    "shutdown_serving_loop",
     "usage_delta",
 ]

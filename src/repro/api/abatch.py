@@ -1,0 +1,319 @@
+"""Asyncio continuous batching: work joins the in-flight stream.
+
+The PR 1 :class:`~repro.api.batch.BatchExecutor` is a fan-out *barrier*:
+each ``map`` call spins up a thread pool, pays per-request thread and
+lock overhead, and later calls wait at the boundary even when capacity
+is free.  :class:`AsyncBatchExecutor` replaces the barrier with a
+process-wide serving event loop plus one per-executor semaphore: every
+item becomes a task on that loop, capacity is whatever the semaphore
+says, and a second ``map`` (from any thread — the serving-gateway shape)
+interleaves its items with the first call's stragglers instead of
+queueing behind them.  That is continuous batching in the vLLM sense,
+applied at the request orchestration layer.
+
+The facade guarantee: this class takes the same constructor arguments
+and exposes the same ``map``/``records``/``aborted`` API as
+``BatchExecutor``, and its per-item decision order is a line-for-line
+twin of ``BatchExecutor._run_one`` — abort check, circuit breaker,
+deadline, budget charge, admission, the call itself, retry
+classification, decorrelated per-item backoff.  Every PR 1–5 knob
+(retry policy, breaker, shared budget, fault plans via the client,
+deadlines, hedging, admission control, checkpoints) therefore behaves
+identically through either path, and predictions, quarantine sets, and
+manifests are byte-identical at any concurrency.
+
+Blocking callables: ``fn`` is ordinarily a cache-backed client call and
+runs inline on the loop (cheap, deterministic, GIL-bound anyway).  When
+an admission controller is attached — whose AIMD gate *blocks* until
+window capacity frees — attempts are offloaded to the default thread
+pool so the loop can keep releasing capacity; ``offload=True`` forces
+the same for genuinely blocking backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections.abc import Callable, Iterable
+
+from repro.api.batch import BatchExecutor, BatchFailure
+from repro.api.retry import CircuitOpenError, FatalError, Shed
+
+__all__ = [
+    "AsyncBatchExecutor",
+    "get_serving_loop",
+    "shutdown_serving_loop",
+]
+
+# The process-wide serving loop: one daemon thread running one asyncio
+# loop, started on first use.  Shared on purpose — a single loop is what
+# lets independent map() calls (and, later, gateway requests) merge into
+# one in-flight stream.
+_LOOP: asyncio.AbstractEventLoop | None = None
+_LOOP_THREAD: threading.Thread | None = None
+_LOOP_LOCK = threading.Lock()
+
+
+def get_serving_loop() -> asyncio.AbstractEventLoop:
+    """The process-wide serving event loop, starting it if needed."""
+    global _LOOP, _LOOP_THREAD
+    with _LOOP_LOCK:
+        if _LOOP is not None and not _LOOP.is_closed():
+            return _LOOP
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(
+            target=loop.run_forever, name="repro-serving-loop", daemon=True
+        )
+        thread.start()
+        _LOOP = loop
+        _LOOP_THREAD = thread
+        return loop
+
+
+def shutdown_serving_loop() -> None:
+    """Stop and close the serving loop (mainly for tests)."""
+    global _LOOP, _LOOP_THREAD
+    with _LOOP_LOCK:
+        loop, thread = _LOOP, _LOOP_THREAD
+        _LOOP = _LOOP_THREAD = None
+    if loop is None or loop.is_closed():
+        return
+    loop.call_soon_threadsafe(loop.stop)
+    if thread is not None:
+        thread.join(timeout=5.0)
+    loop.close()
+
+
+#: Slot marker for items skipped after a sibling's terminal failure in
+#: ``on_error="raise"`` mode — the async analog of a cancelled future.
+_CANCELLED = object()
+
+
+class _AsyncMapRun:
+    """Abort/fail state scoped to one ``amap`` call (loop-confined)."""
+
+    __slots__ = ("abort", "fatal", "stop")
+
+    def __init__(self):
+        self.abort = asyncio.Event()
+        self.fatal: BaseException | None = None
+        # raise-mode flag: a sibling failed terminally, so items that
+        # have not started yet skip (the thread pool's future.cancel()).
+        self.stop = False
+
+    def set_fatal(self, exc: BaseException) -> None:
+        if self.fatal is None:
+            self.fatal = exc
+        self.abort.set()
+
+
+class AsyncBatchExecutor(BatchExecutor):
+    """Continuous-batching twin of :class:`~repro.api.batch.BatchExecutor`.
+
+    Constructor, ``map``, ``records``, and ``aborted`` are inherited
+    API-for-API; ``workers`` becomes the semaphore width on the shared
+    serving loop instead of a thread count.  ``map`` bridges from sync
+    callers; async callers (the gateway) await :meth:`amap` directly on
+    the serving loop via :func:`asyncio.run_coroutine_threadsafe`.
+
+    ``offload=None`` (auto) runs attempts inline except when an
+    admission controller is attached; ``True`` always offloads to the
+    default thread pool, ``False`` never does (and is rejected together
+    with admission — a blocking AIMD gate inline on the loop would
+    deadlock against the releases it is waiting for).
+    """
+
+    def __init__(self, *args, offload: bool | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if offload is False and self.admission is not None:
+            raise ValueError(
+                "offload=False with an admission controller would block "
+                "the serving loop on the AIMD gate"
+            )
+        self.offload = offload
+        self._semaphore: asyncio.Semaphore | None = None
+
+    def _must_offload(self) -> bool:
+        if self.offload is not None:
+            return self.offload
+        return self.admission is not None
+
+    def _sem(self) -> asyncio.Semaphore:
+        # Created lazily on the loop so the executor can be constructed
+        # anywhere; one semaphore per executor is the shared-capacity
+        # contract that makes later map() calls join the in-flight batch.
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.workers)
+        return self._semaphore
+
+    async def _attempt(self, fn: Callable, item, loop) -> object:
+        """One guarded attempt: deadline, budget, admission, the call.
+
+        Mirrors the ``try`` body of ``BatchExecutor._run_one`` exactly;
+        admission release bookkeeping stays inside so the offloaded and
+        inline paths share one code path.
+        """
+
+        def attempt_once():
+            if self.deadline is not None:
+                self.deadline.check()
+            if self.budget is not None:
+                self.budget.charge(requests=1, tokens=self._tokens_for(item))
+            acquired = False
+            try:
+                if self.admission is not None:
+                    self.admission.acquire()
+                    acquired = True
+                result = fn(item)
+            except FatalError:
+                if acquired:
+                    self.admission.release(ok=False)
+                raise
+            except BaseException as exc:
+                if acquired:
+                    self.admission.release(ok=not self.policy.is_retryable(exc))
+                raise
+            if acquired:
+                self.admission.release(ok=True)
+            return result
+
+        if self._must_offload():
+            return await loop.run_in_executor(None, attempt_once)
+        return attempt_once()
+
+    async def _run_one_async(
+        self, fn: Callable, item, index: int, run: _AsyncMapRun,
+        on_error: str, verdict: str = "admit",
+    ):
+        started = time.perf_counter()
+        attempts = 0
+        if verdict == "shed":
+            # Planned before the fan-out, identically to the thread pool:
+            # refused outright, zero backend calls.
+            exc = Shed(
+                f"admission control shed item {index} "
+                f"(priority {self.priority!r})"
+            )
+            self._record(index, False, 0, started, error=exc)
+            if on_error == "return":
+                return BatchFailure(index, exc, 0)
+            raise exc
+        loop = asyncio.get_running_loop()
+        while True:
+            if run.abort.is_set():
+                exc = run.fatal or FatalError("batch aborted")
+                if attempts:
+                    self._record(index, False, attempts, started, error=exc)
+                raise exc
+            if on_error == "raise" and run.stop and not attempts:
+                # A sibling already failed terminally and map() is going
+                # to raise; never-started items skip, like cancelled
+                # futures (no record — cancelled, not failed).
+                return _CANCELLED
+            if self.breaker is not None and not self.breaker.allow():
+                attempts += 1
+                exc = CircuitOpenError(
+                    "circuit breaker open after "
+                    f"{self.breaker.failure_threshold} consecutive "
+                    "transient failures"
+                )
+                self._record(index, False, attempts, started, error=exc)
+                if on_error == "return":
+                    return BatchFailure(index, exc, attempts)
+                run.stop = True
+                raise exc
+            attempts += 1
+            try:
+                result = await self._attempt(fn, item, loop)
+            except FatalError as exc:
+                run.set_fatal(exc)
+                self._record(index, False, attempts, started, error=exc)
+                raise
+            except BaseException as exc:
+                if self.breaker is not None and self.policy.is_retryable(exc):
+                    self.breaker.record_failure()
+                if not self.policy.should_retry(exc, attempts):
+                    self._record(index, False, attempts, started, error=exc)
+                    if on_error == "return":
+                        return BatchFailure(index, exc, attempts)
+                    run.stop = True
+                    raise
+                # Same decorrelated per-item backoff as the thread pool,
+                # awaited instead of slept — and cut short by a fatal
+                # abort, exactly like Event.wait(delay).
+                delay = self.policy.delay(attempts - 1, key=str(index))
+                if self.deadline is not None:
+                    delay = self.deadline.clamp(delay)
+                try:
+                    await asyncio.wait_for(run.abort.wait(), timeout=delay)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            self._record(index, True, attempts, started)
+            return result
+
+    async def _run_item(
+        self, fn: Callable, item, index: int, run: _AsyncMapRun,
+        on_error: str, verdict: str,
+    ):
+        async with self._sem():
+            return await self._run_one_async(
+                fn, item, index, run, on_error, verdict
+            )
+
+    async def amap(
+        self, fn: Callable, items: Iterable, on_error: str = "raise"
+    ) -> list:
+        """Async ``map``: one task per item on the current (serving) loop.
+
+        Semantics match :meth:`BatchExecutor.map` exactly — input-order
+        results, scatter mode via ``on_error="return"``, fatal errors
+        aborting the whole call — with the semaphore, not a pool
+        boundary, as the only capacity limit.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(
+                f'on_error must be "raise" or "return", got {on_error!r}'
+            )
+        items = list(items)
+        run = _AsyncMapRun()
+        self._last_run = run
+        if not items:
+            return []
+        if self.admission is not None:
+            # Drawn here, once, in input order — the same pre-fan-out
+            # plan that makes shed sets identical at any concurrency.
+            verdicts = self.admission.plan(len(items), self.priority)
+        else:
+            verdicts = ["admit"] * len(items)
+        tasks = [
+            asyncio.ensure_future(
+                self._run_item(fn, item, index, run, on_error, verdicts[index])
+            )
+            for index, item in enumerate(items)
+        ]
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        if run.fatal is not None:
+            raise run.fatal
+        for result in results:
+            if isinstance(result, BaseException):
+                # raise-mode terminal failure (lowest index first, the
+                # order the thread pool awaits futures in) — or, in
+                # return mode, an unexpected executor bug.
+                raise result
+        return list(results)
+
+    def map(self, fn: Callable, items: Iterable, on_error: str = "raise") -> list:
+        """Sync bridge onto the serving loop (the facade entry point)."""
+        loop = get_serving_loop()
+        if threading.current_thread() is _LOOP_THREAD:
+            raise RuntimeError(
+                "map() called from the serving loop itself; await amap()"
+            )
+        future = asyncio.run_coroutine_threadsafe(
+            self.amap(fn, items, on_error), loop
+        )
+        return future.result()

@@ -49,8 +49,11 @@ __all__ = [
     "RequestRecord",
     "SharedBudget",
     "complete_all",
+    "get_default_executor_kind",
     "get_default_workers",
+    "make_executor",
     "resolve_workers",
+    "set_default_executor_kind",
     "set_default_workers",
 ]
 
@@ -83,6 +86,54 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+# Process-wide default executor kind.  "thread" is the PR 1 pool below;
+# "async" routes make_executor to the continuous-batching
+# :class:`~repro.api.abatch.AsyncBatchExecutor`.  The CLI's ``--executor``
+# flag sets this once per process — same ambient-default pattern as the
+# worker count above.
+EXECUTOR_KINDS = ("thread", "async")
+_DEFAULT_EXECUTOR_KIND = "thread"
+_DEFAULT_EXECUTOR_KIND_LOCK = threading.Lock()
+
+
+def set_default_executor_kind(kind: str) -> None:
+    """Set the process-wide executor kind ("thread" or "async")."""
+    global _DEFAULT_EXECUTOR_KIND
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"executor kind must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    with _DEFAULT_EXECUTOR_KIND_LOCK:
+        _DEFAULT_EXECUTOR_KIND = kind
+
+
+def get_default_executor_kind() -> str:
+    with _DEFAULT_EXECUTOR_KIND_LOCK:
+        return _DEFAULT_EXECUTOR_KIND
+
+
+def make_executor(kind: str | None = None, **kwargs):
+    """Build an executor of ``kind`` ("thread"/"async"; ``None`` = default).
+
+    The facade between the engine and the two execution cores: both
+    accept the same constructor arguments and expose the same
+    ``map``/``records`` API, so every caller (and every PR 1–5 knob —
+    retry policy, breaker, budget, deadline, admission, checkpoints)
+    works unchanged through either.
+    """
+    if kind is None:
+        kind = get_default_executor_kind()
+    if kind == "thread":
+        return BatchExecutor(**kwargs)
+    if kind == "async":
+        from repro.api.abatch import AsyncBatchExecutor
+
+        return AsyncBatchExecutor(**kwargs)
+    raise ValueError(
+        f"executor kind must be one of {EXECUTOR_KINDS}, got {kind!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -364,6 +415,7 @@ class BatchExecutor:
         deadline=None,
         admission=None,
         priority: str = "bench",
+        token_cost: Callable | None = None,
     ):
         knobs = (max_retries, backoff_base, backoff_cap, retry_on)
         if policy is None:
@@ -394,6 +446,11 @@ class BatchExecutor:
         self.deadline = deadline
         self.admission = admission
         self.priority = priority
+        # Optional ``item -> tokens`` override for budget charging.  The
+        # default counts string items in full; the prefix-cached serving
+        # path supplies the per-item suffix cost instead (the shared
+        # prefix having been charged to the budget once, up front).
+        self.token_cost = token_cost
         self.records: list[RequestRecord] = []
         self._records_lock = threading.Lock()
         self._last_run: _MapRun | None = None
@@ -425,6 +482,12 @@ class BatchExecutor:
         """Whether the most recent ``map`` hit a fatal error and bailed."""
         run = self._last_run
         return run is not None and run.abort.is_set()
+
+    def _tokens_for(self, item) -> int:
+        """Token cost of one attempt for budget charging."""
+        if self.token_cost is not None:
+            return self.token_cost(item)
+        return count_tokens(item) if isinstance(item, str) else 0
 
     def _record(
         self, index: int, ok: bool, attempts: int, started: float,
@@ -491,8 +554,7 @@ class BatchExecutor:
                     # FatalErrors so the whole batch fails fast.
                     self.deadline.check()
                 if self.budget is not None:
-                    tokens = count_tokens(item) if isinstance(item, str) else 0
-                    self.budget.charge(requests=1, tokens=tokens)
+                    self.budget.charge(requests=1, tokens=self._tokens_for(item))
                 if self.admission is not None:
                     # The AIMD queue: blocks while the window is full.
                     self.admission.acquire()

@@ -98,6 +98,11 @@ class CompletionClient:
         self._n_backend_calls = 0
         self._n_hedge_calls = 0
         self._n_transient_failures = 0
+        # One-shot prompt-prefix charge (see begin_prompt_prefix): token
+        # count of the run's shared demonstration prefix, folded into the
+        # first uncached request's accounting instead of every request's.
+        self._pending_prefix_tokens: int | None = None
+        self._prefix_charge_claimed = False
         self._lock = threading.Lock()
         # Single-flight bookkeeping: cache key -> Event set once the
         # leader has either populated the cache or failed.
@@ -225,8 +230,63 @@ class CompletionClient:
             return text
         raise primary_error if primary_error is not None else error
 
-    def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
-        """Cached completion of ``prompt`` (single-flight on misses)."""
+    def begin_prompt_prefix(self, n_tokens: int) -> None:
+        """Arm a one-shot prompt-prefix charge of ``n_tokens``.
+
+        The task engine calls this once per run with the token count of
+        the shared demonstration prefix.  The first *uncached* completion
+        that carries a ``prompt_tokens`` suffix hint claims the charge
+        (prefix + suffix tokens); every later hinted request charges its
+        suffix alone — "prefix tokens charged once per run".  A fully
+        cache-warm run never reaches the backend, never claims the
+        charge, and therefore accrues zero tokens, exactly like the
+        legacy path.
+        """
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        with self._lock:
+            self._pending_prefix_tokens = n_tokens
+            self._prefix_charge_claimed = False
+
+    def end_prompt_prefix(self) -> bool:
+        """Disarm the pending prefix charge after a run's completion phase.
+
+        Returns whether the charge was claimed by a request.  Always call
+        this when the run ends so a stale charge cannot leak into the
+        next run sharing this client.
+        """
+        with self._lock:
+            claimed = self._prefix_charge_claimed
+            self._pending_prefix_tokens = None
+            self._prefix_charge_claimed = False
+        return claimed
+
+    def _resolve_prompt_tokens(self, prompt_tokens: int | None) -> int | None:
+        """Fold the armed one-shot prefix charge into a suffix-token hint."""
+        if prompt_tokens is None:
+            return None
+        with self._lock:
+            pending = self._pending_prefix_tokens
+            if pending is not None:
+                self._pending_prefix_tokens = None
+                self._prefix_charge_claimed = True
+                return prompt_tokens + pending
+        return prompt_tokens
+
+    def complete(
+        self,
+        prompt: str,
+        temperature: float = 0.0,
+        prompt_tokens: int | None = None,
+        **kwargs,
+    ) -> str:
+        """Cached completion of ``prompt`` (single-flight on misses).
+
+        ``prompt_tokens`` is an optional pre-counted size hint for the
+        prompt (the prefix-cache path passes the query suffix's count);
+        see :meth:`begin_prompt_prefix` for how the shared prefix is
+        charged.
+        """
         del kwargs  # accepted for API-compatibility with richer backends
         if self.deadline is not None:
             # Fatal on expiry: the batch layer above fails fast rather
@@ -268,7 +328,10 @@ class CompletionClient:
                 # Populate the cache *before* releasing the waiters so
                 # their re-check hits.
                 self.cache.put(self.name, prompt, completion, temperature)
-                self.usage.record(self.name, prompt, completion, cached=False)
+                self.usage.record(
+                    self.name, prompt, completion, cached=False,
+                    prompt_tokens=self._resolve_prompt_tokens(prompt_tokens),
+                )
                 return completion
             finally:
                 with self._inflight_lock:
@@ -295,11 +358,11 @@ class CompletionClient:
         ``complete`` by design, so the executor then applies this
         client's retry policy (deterministic backoff, bounded attempts).
         """
-        from repro.api.batch import BatchExecutor
+        from repro.api.batch import make_executor
         from repro.api.retry import NO_RETRY
 
         policy = NO_RETRY if self.fault_plan is None else self.retry_policy
-        executor = BatchExecutor(
+        executor = make_executor(
             workers=workers, policy=policy, usage=self.usage
         )
         return executor.map(

@@ -88,15 +88,31 @@ class UsageTracker:
     )
 
     def record(
-        self, model: str, prompt: str, completion: str, cached: bool
+        self,
+        model: str,
+        prompt: str,
+        completion: str,
+        cached: bool,
+        prompt_tokens: int | None = None,
     ) -> None:
+        """Record one request.
+
+        ``prompt_tokens`` overrides the prompt's counted size when the
+        caller already knows it — the prefix-cache path passes the
+        (cached prefix count) + (suffix count) sum so the shared prefix
+        is tokenized once per run instead of once per request.  The
+        override only matters for uncached requests; cache hits never
+        accrue tokens.
+        """
         with self._lock:
             usage = self.per_model.setdefault(model, Usage(model=model))
             usage.n_requests += 1
             if cached:
                 usage.n_cache_hits += 1
                 return
-            usage.prompt_tokens += count_tokens(prompt)
+            if prompt_tokens is None:
+                prompt_tokens = count_tokens(prompt)
+            usage.prompt_tokens += prompt_tokens
             usage.completion_tokens += count_tokens(completion)
 
     def log_request(self, record) -> None:

@@ -92,6 +92,14 @@ def render_manifest(manifest) -> str:
             f"{cache['backend_calls']} backend calls, "
             f"{cache['entries']} entries"
         )
+    prefix = m.get("prefix_cache")
+    if prefix:
+        lines.append(
+            f"prefix cache: {prefix['hits']}/"
+            f"{prefix['hits'] + prefix['misses']} hits, "
+            f"{prefix['prefix_tokens']}-token prefix, "
+            f"{prefix['tokens_saved']} prompt tokens saved"
+        )
     usage = m.get("usage") or {}
     if usage:
         tokens = sum(entry["total_tokens"] for entry in usage.values())

@@ -103,6 +103,23 @@ def _install_default_cache(path: str | None):
     return cache
 
 
+def _install_executor(kind: str | None) -> None:
+    """Route every fan-out underneath through the chosen executor core.
+
+    ``--executor async`` serves requests from the continuous-batching
+    asyncio loop; ``thread`` is the PR 1 pool.  Results are byte-identical
+    either way — the flag trades orchestration overhead, nothing else.
+    """
+    if not kind:
+        return
+    from repro.api import set_default_executor_kind
+
+    try:
+        set_default_executor_kind(kind)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _install_chaos(profile: str | None, seed: int, on_error: str | None):
     """Install the process-wide fault plan + error mode for this command.
 
@@ -176,11 +193,13 @@ def _cmd_run(args) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     _install_default_cache(args.cache)
+    _install_executor(args.executor)
     _install_chaos(args.chaos, args.chaos_seed, args.on_error)
     result = run_task(
         spec, args.model, dataset, k=args.k, selection=args.selection,
         max_examples=args.max_examples, split=args.split, seed=args.seed,
         workers=args.workers, trace=args.trace, checkpoint=args.checkpoint,
+        prefix_cache=False if args.no_prefix_cache else None,
         **_resilience_kwargs(args),
     )
     if args.manifest and result.manifest is not None:
@@ -190,6 +209,13 @@ def _cmd_run(args) -> int:
         print(render_manifest(result.manifest))
     print(result.describe())
     _print_degradation(result)
+    prefix = result.manifest.prefix_cache if result.manifest else None
+    if prefix:
+        print(
+            f"  prefix cache: {prefix['hits']}/"
+            f"{prefix['hits'] + prefix['misses']} hits, "
+            f"{prefix['tokens_saved']} prompt tokens saved"
+        )
     for key, value in result.details.items():
         if isinstance(value, float):
             print(f"  {key}: {100 * value:.1f}")
@@ -222,6 +248,7 @@ def _cmd_bench(args) -> int:
 
         set_default_workers(args.workers)
     _install_default_cache(args.cache)
+    _install_executor(args.executor)
     _install_chaos(args.chaos, args.chaos_seed, args.on_error)
     if args.checkpoint_dir:
         from repro.core.tasks import set_default_checkpoint_dir
@@ -426,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
                      dest="chaos", default=None,
                      help="inject deterministic faults from a named profile "
                           "(implies --on-error quarantine)")
+    run.add_argument("--executor", choices=("thread", "async"), default=None,
+                     help="fan-out core: the PR 1 thread pool or the "
+                          "continuous-batching asyncio loop (identical "
+                          "predictions either way)")
+    run.add_argument("--no-prefix-cache", action="store_true",
+                     help="rebuild and recount the k-shot demonstration "
+                          "prefix per example instead of once per run")
     run.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the injected fault schedule")
     _add_resilience_flags(run)
@@ -449,6 +483,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("raise", "quarantine"),
                        help="quarantine: degrade gracefully instead of "
                             "aborting on a failed example")
+    bench.add_argument("--executor", choices=("thread", "async"), default=None,
+                       help="fan-out core for every run underneath")
     bench.add_argument("--chaos", metavar="PROFILE", default=None,
                        help="inject deterministic faults from a named "
                             "profile (implies --on-error quarantine)")

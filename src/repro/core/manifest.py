@@ -115,6 +115,13 @@ class RunManifest:
     #: when a :class:`~repro.api.resilience.FallbackChain` was configured
     #: (the primary model is listed first).  ``None`` otherwise.
     served_by_tier: dict | None = None
+    #: Demonstration-prefix cache tallies (hits / misses /
+    #: prefix_tokens / tokens_saved) when the run used the split
+    #: prefix + suffix prompt path (see :mod:`repro.core.tasks.prefix`);
+    #: ``None`` when the cache was disabled or the task has no prefix
+    #: form.  "Charged once" semantics: ``prefix_tokens`` entered the
+    #: usage tally at most once for the whole run.
+    prefix_cache: dict | None = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:

@@ -29,6 +29,24 @@ def _label_text(label: bool) -> str:
     return YES if label else NO
 
 
+def _demonstration_prefix(blocks: list[str]) -> str:
+    """Join instruction/demonstration blocks into a reusable prompt prefix.
+
+    The prefix carries its trailing :data:`BLOCK_SEPARATOR` so that every
+    full prompt is exactly ``prefix + query_block`` — the byte-level
+    identity the prefix cache (:mod:`repro.core.tasks.prefix`) relies on.
+    An empty block list (zero-shot, no instruction) yields ``""``, and
+    the prompt degrades to the bare query block.
+
+    The separator is whitespace, which also makes
+    :func:`repro.api.usage.count_tokens` additive across the split:
+    ``count(prefix + suffix) == count(prefix) + count(suffix)``.
+    """
+    if not blocks:
+        return ""
+    return BLOCK_SEPARATOR.join(blocks) + BLOCK_SEPARATOR
+
+
 # ---------------------------------------------------------------------------
 # Entity matching
 # ---------------------------------------------------------------------------
@@ -68,11 +86,11 @@ def entity_matching_block(
     return "\n".join(lines)
 
 
-def build_entity_matching_prompt(
-    query: MatchingPair,
+def build_entity_matching_prefix(
     demonstrations: list[MatchingPair],
     config: EntityMatchingPromptConfig | None = None,
 ) -> str:
+    """Instruction + demonstration blocks shared by every EM prompt."""
     config = config or EntityMatchingPromptConfig()
     blocks: list[str] = []
     if config.instruction:
@@ -81,8 +99,18 @@ def build_entity_matching_prompt(
         entity_matching_block(demo, config, include_answer=True)
         for demo in demonstrations
     )
-    blocks.append(entity_matching_block(query, config, include_answer=False))
-    return BLOCK_SEPARATOR.join(blocks)
+    return _demonstration_prefix(blocks)
+
+
+def build_entity_matching_prompt(
+    query: MatchingPair,
+    demonstrations: list[MatchingPair],
+    config: EntityMatchingPromptConfig | None = None,
+) -> str:
+    config = config or EntityMatchingPromptConfig()
+    return build_entity_matching_prefix(
+        demonstrations, config
+    ) + entity_matching_block(query, config, include_answer=False)
 
 
 # ---------------------------------------------------------------------------
@@ -114,11 +142,11 @@ def error_detection_block(
     return question
 
 
-def build_error_detection_prompt(
-    query: ErrorExample,
+def build_error_detection_prefix(
     demonstrations: list[ErrorExample],
     config: ErrorDetectionPromptConfig | None = None,
 ) -> str:
+    """Instruction + demonstration blocks shared by every ED prompt."""
     config = config or ErrorDetectionPromptConfig()
     blocks: list[str] = []
     if config.instruction:
@@ -127,8 +155,18 @@ def build_error_detection_prompt(
         error_detection_block(demo, config, include_answer=True)
         for demo in demonstrations
     )
-    blocks.append(error_detection_block(query, config, include_answer=False))
-    return BLOCK_SEPARATOR.join(blocks)
+    return _demonstration_prefix(blocks)
+
+
+def build_error_detection_prompt(
+    query: ErrorExample,
+    demonstrations: list[ErrorExample],
+    config: ErrorDetectionPromptConfig | None = None,
+) -> str:
+    config = config or ErrorDetectionPromptConfig()
+    return build_error_detection_prefix(
+        demonstrations, config
+    ) + error_detection_block(query, config, include_answer=False)
 
 
 # ---------------------------------------------------------------------------
@@ -167,11 +205,11 @@ def imputation_block(
     return line
 
 
-def build_imputation_prompt(
-    query: ImputationExample,
+def build_imputation_prefix(
     demonstrations: list[ImputationExample],
     config: ImputationPromptConfig | None = None,
 ) -> str:
+    """Instruction + demonstration blocks shared by every DI prompt."""
     config = config or ImputationPromptConfig()
     blocks: list[str] = []
     if config.instruction:
@@ -180,8 +218,18 @@ def build_imputation_prompt(
         imputation_block(demo, config, include_answer=True)
         for demo in demonstrations
     )
-    blocks.append(imputation_block(query, config, include_answer=False))
-    return BLOCK_SEPARATOR.join(blocks)
+    return _demonstration_prefix(blocks)
+
+
+def build_imputation_prompt(
+    query: ImputationExample,
+    demonstrations: list[ImputationExample],
+    config: ImputationPromptConfig | None = None,
+) -> str:
+    config = config or ImputationPromptConfig()
+    return build_imputation_prefix(
+        demonstrations, config
+    ) + imputation_block(query, config, include_answer=False)
 
 
 # ---------------------------------------------------------------------------
@@ -218,11 +266,11 @@ def schema_matching_block(
     return "\n".join(lines)
 
 
-def build_schema_matching_prompt(
-    query: SchemaPair,
+def build_schema_matching_prefix(
     demonstrations: list[SchemaPair],
     config: SchemaMatchingPromptConfig | None = None,
 ) -> str:
+    """Instruction + demonstration blocks shared by every SM prompt."""
     config = config or SchemaMatchingPromptConfig()
     blocks: list[str] = []
     if config.instruction:
@@ -231,8 +279,18 @@ def build_schema_matching_prompt(
         schema_matching_block(demo, config, include_answer=True)
         for demo in demonstrations
     )
-    blocks.append(schema_matching_block(query, config, include_answer=False))
-    return BLOCK_SEPARATOR.join(blocks)
+    return _demonstration_prefix(blocks)
+
+
+def build_schema_matching_prompt(
+    query: SchemaPair,
+    demonstrations: list[SchemaPair],
+    config: SchemaMatchingPromptConfig | None = None,
+) -> str:
+    config = config or SchemaMatchingPromptConfig()
+    return build_schema_matching_prefix(
+        demonstrations, config
+    ) + schema_matching_block(query, config, include_answer=False)
 
 
 # ---------------------------------------------------------------------------

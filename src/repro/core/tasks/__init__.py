@@ -26,6 +26,13 @@ from repro.core.tasks.engine import (
     set_default_checkpoint_dir,
     set_default_on_error,
 )
+from repro.core.tasks.prefix import (
+    PromptPrefix,
+    PromptPrefixCache,
+    get_default_prefix_cache,
+    prefix_key,
+    set_default_prefix_cache,
+)
 from repro.core.tasks.spec import TASKS, TaskSpec, available_tasks, get_task
 
 # Importing the task modules registers their specs.
@@ -42,12 +49,17 @@ __all__ = [
     "TaskRun",
     "TaskSpec",
     "available_tasks",
+    "PromptPrefix",
+    "PromptPrefixCache",
     "get_default_checkpoint_dir",
     "get_default_on_error",
+    "get_default_prefix_cache",
     "get_task",
     "make_validation_scorer",
     "parse_yes_no",
     "predict",
+    "prefix_key",
+    "set_default_prefix_cache",
     "run_entity_matching",
     "run_error_detection",
     "run_imputation",

@@ -72,6 +72,11 @@ from repro.core.tasks.common import (
     TaskRun,
     subsample,
 )
+from repro.core.tasks.prefix import (
+    PromptPrefixCache,
+    get_default_prefix_cache,
+    prefix_key,
+)
 from repro.core.tasks.spec import TaskSpec, get_task
 
 # Process-wide error-handling default.  ``repro ... --chaos`` flips this
@@ -140,9 +145,9 @@ def _complete(
     :class:`~repro.api.batch.BatchFailure` placeholders in the slots of
     permanently-failed prompts; callers turn those into quarantines.
     """
-    from repro.api.batch import BatchExecutor
+    from repro.api.batch import make_executor
 
-    executor = BatchExecutor(
+    executor = make_executor(
         workers=workers, usage=tracker, policy=retry_policy, breaker=breaker
     )
     map_mode = "return" if on_error == "quarantine" else "raise"
@@ -227,10 +232,19 @@ def predict(
 
     spec = get_task(spec)
     on_error = _resolve_on_error(on_error)
-    prompts = [
-        spec.build_prompt(example, demonstrations, config, k)
-        for example in examples
-    ]
+    if spec.supports_prefix:
+        # Build the shared demonstration prefix once for the whole call
+        # (no cross-call cache here: validation scoring sweeps many
+        # candidate demonstration lists, each used exactly once).
+        prefix = spec.build_prefix(demonstrations, config)
+        prompts = [
+            prefix + spec.build_suffix(example, config) for example in examples
+        ]
+    else:
+        prompts = [
+            spec.build_prompt(example, demonstrations, config, k)
+            for example in examples
+        ]
     responses = _complete(model, prompts, workers, on_error=on_error)
     if on_error != "quarantine":
         return [spec.parse_response(response) for response in responses]
@@ -362,6 +376,7 @@ def _build_manifest(
     hedges: dict | None = None,
     shed: dict | None = None,
     served_by_tier: dict | None = None,
+    prefix_cache: dict | None = None,
 ) -> RunManifest:
     from repro.api.batch import resolve_workers
     from repro.api.client import CompletionClient
@@ -423,6 +438,7 @@ def _build_manifest(
         hedges=hedges,
         shed=shed,
         served_by_tier=served_by_tier,
+        prefix_cache=prefix_cache,
     )
 
 
@@ -515,6 +531,8 @@ def run_task(
     priority: str = "bench",
     fallback=None,
     budget=None,
+    executor: str | None = None,
+    prefix_cache=None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` under the named task's spec.
 
@@ -565,12 +583,27 @@ def run_task(
       ready :class:`~repro.api.resilience.FallbackChain`): quarantined
       or shed examples are re-served by cheaper tiers before scoring,
       restoring coverage with a ``served_by_tier`` breakdown.
+
+    Serving knobs (PR 6):
+
+    * ``executor`` — ``"thread"`` (the PR 1 pool) or ``"async"`` (the
+      continuous-batching :class:`~repro.api.abatch.AsyncBatchExecutor`);
+      ``None`` inherits the process default (the CLI's ``--executor``).
+      Predictions, quarantines, and manifests are byte-identical through
+      either path.
+    * ``prefix_cache`` — ``False`` disables the demonstration-prefix
+      cache, a ready :class:`~repro.core.tasks.prefix.PromptPrefixCache`
+      replaces the process default.  When active (the default for tasks
+      whose prompts split), the shared prefix is built and tokenized
+      once per run, the manifest grows a ``prefix_cache`` block, and
+      prefix tokens are charged once per run (see
+      :meth:`~repro.api.client.CompletionClient.begin_prompt_prefix`).
     """
-    from repro.api.batch import BatchExecutor, BatchFailure
+    from repro.api.batch import BatchFailure, make_executor
     from repro.api.client import CompletionClient
     from repro.api.faults import get_default_fault_plan
     from repro.api.retry import ParseError
-    from repro.api.usage import UsageTracker
+    from repro.api.usage import UsageTracker, count_tokens
 
     run_started = time.perf_counter()
     spec = get_task(task)
@@ -615,10 +648,31 @@ def run_task(
 
     phase_started = time.perf_counter()
     examples = subsample(spec.examples_of(dataset, split), max_examples)
-    prompts = [
-        spec.build_prompt(example, demonstrations, config, k)
-        for example in examples
-    ]
+    prefix_obj = None
+    prefix_was_cached = False
+    suffixes: list[str] | None = None
+    if prefix_cache is not False and spec.supports_prefix:
+        cache_obj = (
+            prefix_cache
+            if isinstance(prefix_cache, PromptPrefixCache)
+            else get_default_prefix_cache()
+        )
+        key = prefix_key(
+            spec.name, k, seed, config,
+            dataset=dataset.name,
+            selection=_selection_name(selection),
+            demonstrations=demonstrations,
+        )
+        prefix_obj, prefix_was_cached = cache_obj.get_or_build(
+            key, lambda: spec.build_prefix(demonstrations, config)
+        )
+        suffixes = [spec.build_suffix(example, config) for example in examples]
+        prompts = [prefix_obj.text + suffix for suffix in suffixes]
+    else:
+        prompts = [
+            spec.build_prompt(example, demonstrations, config, k)
+            for example in examples
+        ]
     phases["prompting"] = time.perf_counter() - phase_started
 
     journal = _open_checkpoint(
@@ -656,19 +710,31 @@ def run_task(
             continue
         pending.append(index)
 
+    # Prefix-aware accounting: arm the one-shot prefix charge on the
+    # client and pass per-example suffix counts so the shared prefix is
+    # tokenized (and charged) once per run instead of once per request.
+    hint_client = model if isinstance(model, CompletionClient) else None
+    if prefix_obj is not None and hint_client is not None:
+        hint_client.begin_prompt_prefix(prefix_obj.n_tokens)
+
     def complete_one(index: int) -> str:
-        response = model.complete(prompts[index])
+        if suffixes is not None and hint_client is not None:
+            response = hint_client.complete(
+                prompts[index], prompt_tokens=count_tokens(suffixes[index])
+            )
+        else:
+            response = model.complete(prompts[index])
         if journal is not None:
             journal.record_example(index, prompts[index], response)
         return response
 
     if pending:
-        executor = BatchExecutor(
-            workers=workers, usage=tracker, policy=retry_policy,
+        batch_executor = make_executor(
+            executor, workers=workers, usage=tracker, policy=retry_policy,
             breaker=breaker, budget=budget, deadline=deadline,
             admission=admission, priority=priority,
         )
-        outcomes = executor.map(
+        outcomes = batch_executor.map(
             complete_one,
             pending,
             on_error="return" if on_error == "quarantine" else "raise",
@@ -696,6 +762,10 @@ def run_task(
                     )
             else:
                 responses[index] = outcome
+    if prefix_obj is not None and hint_client is not None:
+        # Disarm so an unclaimed charge (fully cache-warm run) cannot
+        # leak into the next run sharing this client.
+        hint_client.end_prompt_prefix()
     phases["completion"] = time.perf_counter() - phase_started
 
     phase_started = time.perf_counter()
@@ -742,7 +812,7 @@ def run_task(
             # A fresh executor, usage=None: tier requests must not enter
             # ``tracker``'s request log, whose indices are positions in
             # ``pending`` (the trace latency join relies on that).
-            tier_executor = BatchExecutor(workers=workers)
+            tier_executor = make_executor(executor, workers=workers)
             outcomes = tier_executor.map(
                 lambda index: tier_model.complete(prompts[index]),
                 failed,
@@ -828,6 +898,22 @@ def run_task(
         if breaker is not None:
             faults_section["breaker"] = breaker.stats()
 
+    prefix_section = None
+    if prefix_obj is not None:
+        # Per-run view: every example consulted the cached prefix; the
+        # build (if any) is the single miss.  ``tokens_saved`` is the
+        # token-counting work the cache avoided versus per-example
+        # full-prompt counting.
+        n_lookups = len(examples)
+        misses = 0 if prefix_was_cached else min(1, n_lookups)
+        hits = max(0, n_lookups - misses)
+        prefix_section = {
+            "hits": hits,
+            "misses": misses,
+            "prefix_tokens": prefix_obj.n_tokens,
+            "tokens_saved": prefix_obj.n_tokens * hits,
+        }
+
     quarantine_records = [quarantine[index] for index in sorted(quarantine)]
     effective_k = len(demonstrations) if spec.supports_selection else k
     manifest = _build_manifest(
@@ -842,6 +928,7 @@ def run_task(
         hedges=hedge.stats() if hedge is not None else None,
         shed=admission.stats() if admission is not None else None,
         served_by_tier=served_by_tier,
+        prefix_cache=prefix_section,
     )
     return TaskRun(
         task=spec.name,

@@ -8,7 +8,9 @@ from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     EntityMatchingPromptConfig,
+    build_entity_matching_prefix,
     build_entity_matching_prompt,
+    entity_matching_block,
 )
 from repro.core.serialization import SerializationConfig
 from repro.core.tasks import engine
@@ -58,6 +60,10 @@ SPEC = register(TaskSpec(
     default_k=10,
     build_prompt=lambda pair, demos, config, _k: build_entity_matching_prompt(
         pair, demos, config
+    ),
+    build_prefix=build_entity_matching_prefix,
+    build_suffix=lambda pair, config: entity_matching_block(
+        pair, config or EntityMatchingPromptConfig(), include_answer=False
     ),
     parse_response=parse_yes_no,
     label_of=lambda pair: pair.label,

@@ -8,7 +8,9 @@ from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     ErrorDetectionPromptConfig,
+    build_error_detection_prefix,
     build_error_detection_prompt,
+    error_detection_block,
 )
 from repro.core.tasks import engine
 from repro.core.tasks.common import TaskRun, parse_yes_no
@@ -40,6 +42,10 @@ SPEC = register(TaskSpec(
     default_k=10,
     build_prompt=lambda example, demos, config, _k: build_error_detection_prompt(
         example, demos, config
+    ),
+    build_prefix=build_error_detection_prefix,
+    build_suffix=lambda example, config: error_detection_block(
+        example, config or ErrorDetectionPromptConfig(), include_answer=False
     ),
     parse_response=parse_yes_no,
     label_of=lambda example: example.label,

@@ -6,7 +6,12 @@ from functools import partial
 
 from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import accuracy
-from repro.core.prompts import ImputationPromptConfig, build_imputation_prompt
+from repro.core.prompts import (
+    ImputationPromptConfig,
+    build_imputation_prefix,
+    build_imputation_prompt,
+    imputation_block,
+)
 from repro.core.tasks import engine
 from repro.core.tasks.common import TaskRun
 from repro.core.tasks.spec import TaskSpec, register
@@ -19,6 +24,10 @@ SPEC = register(TaskSpec(
     default_k=10,
     build_prompt=lambda example, demos, config, _k: build_imputation_prompt(
         example, demos, config
+    ),
+    build_prefix=build_imputation_prefix,
+    build_suffix=lambda example, config: imputation_block(
+        example, config or ImputationPromptConfig(), include_answer=False
     ),
     parse_response=str.strip,
     label_of=lambda example: example.answer,

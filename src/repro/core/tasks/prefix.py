@@ -1,0 +1,162 @@
+"""Cached demonstration prefixes for the prompt pipeline.
+
+The paper's prompts are dominated by the k-shot demonstration block, and
+within one run that block is byte-identical across every example — only
+the trailing query block changes.  :class:`PromptPrefixCache` stores the
+built-and-tokenized prefix keyed on the run identity that determines it
+(task, dataset, k, seed, selection, prompt config), so the engine builds,
+serializes, and token-counts the demonstrations once per run instead of
+once per example.
+
+The contract with :mod:`repro.core.prompts` is byte identity::
+
+    build_prompt(example, demos, config, k)
+        == build_prefix(demos, config) + build_suffix(example, config)
+
+so predictions through the split path are bit-for-bit the same as
+through per-example ``build_prompt``.  The prefix carries its trailing
+block separator (whitespace), which also makes
+:func:`repro.api.usage.count_tokens` additive across the split.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+
+from repro.api.usage import count_tokens
+from repro.core.manifest import jsonable
+
+
+@dataclass(frozen=True)
+class PromptPrefix:
+    """One built demonstration prefix plus its token count."""
+
+    text: str
+    n_tokens: int
+
+    @classmethod
+    def from_text(cls, text: str) -> "PromptPrefix":
+        return cls(text=text, n_tokens=count_tokens(text))
+
+
+def prefix_key(
+    task: str,
+    k: int,
+    seed: int,
+    config: object = None,
+    dataset: str | None = None,
+    selection: str | None = None,
+    demonstrations: list | None = None,
+) -> str:
+    """Stable digest of everything that determines a run's prefix.
+
+    The issue's identity is (task, k, seed, config); ``dataset`` and
+    ``selection`` ride along because they pick *which* demonstrations the
+    seed resolves to, and the resolved ``demonstrations`` themselves are
+    folded in so a custom selector object (whose name alone does not pin
+    its parameters) can never alias another run's prefix.  The key is
+    therefore a pure function of the prefix's actual inputs.
+    """
+    payload = json.dumps(
+        {
+            "task": task,
+            "dataset": dataset,
+            "k": k,
+            "seed": seed,
+            "selection": selection,
+            "config": jsonable(config),
+            "demonstrations": jsonable(demonstrations),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class PromptPrefixCache:
+    """Process-wide cache of demonstration prefixes.
+
+    Thread-safe via a single lock; entries are full prefix strings, so
+    the cache is capped (FIFO eviction) to keep a long sweep from
+    accumulating every prefix it ever built.  ``hits``/``misses`` count
+    ``get`` outcomes across the cache's lifetime; per-run tallies (the
+    manifest's ``prefix_cache`` block) are kept by the engine.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[str, PromptPrefix] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> PromptPrefix | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, key: str, prefix: PromptPrefix) -> PromptPrefix:
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = prefix
+            return prefix
+
+    def get_or_build(self, key: str, build) -> tuple[PromptPrefix, bool]:
+        """Return ``(prefix, was_cached)``, building via ``build()`` on miss.
+
+        ``build`` runs outside the lock — prefix construction is pure, so
+        a racing duplicate build is wasted work, not a correctness issue.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        built = PromptPrefix.from_text(build())
+        return self.put(key, built), False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+# Process-wide default prefix cache, mirroring the default prompt cache
+# in :mod:`repro.api.cache`: the CLI flips it off with
+# ``--no-prefix-cache``; everything underneath shares one instance.
+_DEFAULT_PREFIX_CACHE = PromptPrefixCache()
+_DEFAULT_PREFIX_CACHE_LOCK = threading.Lock()
+
+
+def set_default_prefix_cache(cache: PromptPrefixCache | None) -> None:
+    """Install (or with ``None``, reset to a fresh) default prefix cache."""
+    global _DEFAULT_PREFIX_CACHE
+    with _DEFAULT_PREFIX_CACHE_LOCK:
+        _DEFAULT_PREFIX_CACHE = cache if cache is not None else PromptPrefixCache()
+
+
+def get_default_prefix_cache() -> PromptPrefixCache:
+    with _DEFAULT_PREFIX_CACHE_LOCK:
+        return _DEFAULT_PREFIX_CACHE

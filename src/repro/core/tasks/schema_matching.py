@@ -8,7 +8,9 @@ from repro.core.demonstrations import DemonstrationSelector
 from repro.core.metrics import binary_metrics
 from repro.core.prompts import (
     SchemaMatchingPromptConfig,
+    build_schema_matching_prefix,
     build_schema_matching_prompt,
+    schema_matching_block,
 )
 from repro.core.tasks import engine
 from repro.core.tasks.common import TaskRun, parse_yes_no
@@ -27,6 +29,10 @@ SPEC = register(TaskSpec(
     default_k=3,
     build_prompt=lambda pair, demos, config, _k: build_schema_matching_prompt(
         pair, demos, config
+    ),
+    build_prefix=build_schema_matching_prefix,
+    build_suffix=lambda pair, config: schema_matching_block(
+        pair, config or SchemaMatchingPromptConfig(), include_answer=False
     ),
     parse_response=parse_yes_no,
     label_of=lambda pair: pair.label,

@@ -68,6 +68,17 @@ class TaskSpec:
     label_of: Callable[[object], object]
     score: Callable[..., tuple[float, dict]]
     default_config: Callable[[object], object]
+    #: Optional split form of ``build_prompt`` used by the prefix cache:
+    #: ``build_prefix(demonstrations, config) -> str`` builds the shared
+    #: instruction + demonstration prefix (trailing separator included) and
+    #: ``build_suffix(example, config) -> str`` builds the per-example query
+    #: block, with the invariant ``build_prompt(example, demos, config, k)
+    #: == build_prefix(demos, config) + build_suffix(example, config)``
+    #: byte for byte.  Tasks without the split (transformation, whose
+    #: demonstrations ride on each case) leave both ``None`` and the engine
+    #: falls back to per-example ``build_prompt``.
+    build_prefix: Callable[..., str] | None = None
+    build_suffix: Callable[..., str] | None = None
     examples_of: Callable[..., list] = _default_examples_of
     validation_examples: Callable[..., list] = _default_validation_examples
     curation_label_of: Callable[[object], bool] | None = None
@@ -78,6 +89,11 @@ class TaskSpec:
     max_validation: int = 48
     aliases: tuple[str, ...] = ()
     description: str = ""
+
+    @property
+    def supports_prefix(self) -> bool:
+        """Whether prompts split into a cacheable prefix + query suffix."""
+        return self.build_prefix is not None and self.build_suffix is not None
 
     def describe(self) -> str:
         return f"{self.name} ({self.metric_name}, default k={self.default_k})"

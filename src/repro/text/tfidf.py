@@ -26,6 +26,11 @@ class TfidfVectorizer:
         self.min_df = min_df
         self.sublinear_tf = sublinear_tf
         self.idf_: dict[str, float] = {}
+        #: Tokens seen in fit() but dropped by ``min_df``.  Kept so that
+        #: transform_one can tell "filtered as too rare" apart from
+        #: "never seen": pruned tokens weigh 0, truly unseen ones get
+        #: the max-rarity IDF.
+        self.pruned_: set[str] = set()
         self.n_docs_ = 0
 
     def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfVectorizer":
@@ -39,6 +44,9 @@ class TfidfVectorizer:
             token: math.log((1 + n_docs) / (1 + freq)) + 1.0
             for token, freq in doc_freq.items()
             if freq >= self.min_df
+        }
+        self.pruned_ = {
+            token for token, freq in doc_freq.items() if freq < self.min_df
         }
         return self
 
@@ -55,6 +63,11 @@ class TfidfVectorizer:
         for token, count in counts.items():
             idf = self.idf_.get(token)
             if idf is None:
+                if token in self.pruned_:
+                    # min_df filtered this token as too rare to trust;
+                    # treating it as unseen would hand it the *max*
+                    # rarity IDF — the exact opposite of pruning.
+                    continue
                 # Unseen token: give it the max-rarity IDF so out-of-corpus
                 # tokens still discriminate instead of vanishing.
                 idf = math.log((1 + self.n_docs_) / 1.0) + 1.0

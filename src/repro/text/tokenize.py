@@ -39,8 +39,16 @@ def char_ngrams(text: str, n: int = 3, pad: bool = True) -> list[str]:
     prefixes and suffixes get their own grams — the standard trick that makes
     character-gram Jaccard a robust fuzzy matcher.
 
+    A string shorter than ``n`` (only reachable with ``pad=False``; padding
+    guarantees length ``>= n``) has no n-grams and yields ``[]``.  The old
+    behaviour of returning the undersized string as a pseudo-gram silently
+    inflated Jaccard similarity between short values: ``"ab"`` and ``"ab"``
+    matched on a gram no real trigram set contains.
+
     >>> char_ngrams("ab", n=3)
     ['##a', '#ab', 'ab#', 'b##']
+    >>> char_ngrams("ab", n=3, pad=False)
+    []
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
@@ -49,20 +57,26 @@ def char_ngrams(text: str, n: int = 3, pad: bool = True) -> list[str]:
     if pad:
         text = "#" * (n - 1) + text + "#" * (n - 1)
     if len(text) < n:
-        return [text]
+        return []
     return [text[i : i + n] for i in range(len(text) - n + 1)]
 
 
 def word_ngrams(tokens: list[str], n: int = 2) -> list[str]:
     """Contiguous word n-grams joined by a single space.
 
+    Fewer than ``n`` tokens means no n-grams: the result is ``[]``,
+    consistent with :func:`char_ngrams` — an undersized pseudo-gram
+    would make every pair of short values spuriously similar.
+
     >>> word_ngrams(["new", "york", "city"], n=2)
     ['new york', 'york city']
+    >>> word_ngrams(["only"], n=2)
+    []
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
     if len(tokens) < n:
-        return [" ".join(tokens)] if tokens else []
+        return []
     return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
 
 

@@ -1,0 +1,350 @@
+"""Tests for repro.api.abatch — the asyncio continuous-batching core.
+
+The facade guarantee is the contract under test: AsyncBatchExecutor
+takes the same constructor, exposes the same map/records/aborted API,
+and produces byte-identical results, failure slots, and retry counts as
+the thread-pool BatchExecutor at any concurrency.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    AsyncBatchExecutor,
+    BatchExecutor,
+    CircuitBreaker,
+    CompletionClient,
+    FaultPlan,
+    RetryPolicy,
+    SharedBudget,
+    get_default_executor_kind,
+    get_serving_loop,
+    make_executor,
+    set_default_executor_kind,
+)
+from repro.api.abatch import shutdown_serving_loop
+from repro.api.batch import BatchFailure
+from repro.api.retry import (
+    BudgetExhaustedError,
+    FatalError,
+    RateLimitError,
+)
+from repro.api.usage import UsageTracker, count_tokens
+
+
+class Flaky:
+    """Fails each item a fixed number of times before succeeding."""
+
+    def __init__(self, failures: int, exc: type = RateLimitError):
+        self.failures = failures
+        self.exc = exc
+        self.attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, item: str) -> str:
+        with self._lock:
+            seen = self.attempts.get(item, 0)
+            self.attempts[item] = seen + 1
+        if seen < self.failures:
+            raise self.exc(f"transient #{seen} for {item}")
+        return item.upper()
+
+
+def fast_policy(max_retries: int = 2) -> RetryPolicy:
+    return RetryPolicy(max_retries=max_retries, backoff_base=0.001,
+                       backoff_cap=0.002)
+
+
+class TestServingLoop:
+    def test_singleton_loop_on_daemon_thread(self):
+        loop = get_serving_loop()
+        assert get_serving_loop() is loop
+        assert loop.is_running()
+
+    def test_shutdown_and_restart(self):
+        first = get_serving_loop()
+        shutdown_serving_loop()
+        assert first.is_closed()
+        second = get_serving_loop()
+        assert second is not first
+        assert second.is_running()
+
+    def test_shutdown_twice_is_safe(self):
+        shutdown_serving_loop()
+        shutdown_serving_loop()
+
+
+class TestAsyncMapBasics:
+    def test_preserves_input_order(self):
+        executor = AsyncBatchExecutor(workers=8)
+        items = [f"item-{i}" for i in range(50)]
+        assert executor.map(str.upper, items) == [i.upper() for i in items]
+
+    def test_empty_input(self):
+        assert AsyncBatchExecutor(workers=4).map(str.upper, []) == []
+
+    def test_map_inside_loop_thread_raises(self):
+        executor = AsyncBatchExecutor(workers=2)
+        loop = get_serving_loop()
+        caught = []
+
+        def on_loop():
+            try:
+                executor.map(str.upper, ["a"])
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        loop.call_soon_threadsafe(on_loop)
+        deadline = time.time() + 5
+        while not caught and time.time() < deadline:
+            time.sleep(0.01)
+        assert caught and "serving loop" in str(caught[0])
+
+    def test_invalid_on_error(self):
+        with pytest.raises(ValueError):
+            AsyncBatchExecutor(workers=2).map(str.upper, ["a"], on_error="bogus")
+
+    def test_concurrent_maps_interleave(self):
+        # Continuous batching: a second map() joins the in-flight stream
+        # instead of waiting for the first to drain.
+        executor = AsyncBatchExecutor(workers=4, offload=True)
+        started = time.perf_counter()
+        results = [None, None]
+
+        def work(item):
+            time.sleep(0.02)
+            return item
+
+        def call(slot):
+            results[slot] = executor.map(work, list(range(8)))
+
+        threads = [threading.Thread(target=call, args=(slot,))
+                   for slot in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert results[0] == results[1] == list(range(8))
+        # 16 items of 20ms at width 4 is 4 waves (~80ms) if the calls
+        # interleave; serialized calls need 8 waves.  Allow slack.
+        assert elapsed < 0.14
+
+
+class TestFacadeParity:
+    def test_plain_map_matches_thread_executor(self):
+        items = [f"prompt {i}" for i in range(40)]
+        thread_result = BatchExecutor(workers=8).map(str.upper, items)
+        for workers in (1, 8):
+            assert AsyncBatchExecutor(workers=workers).map(
+                str.upper, items
+            ) == thread_result
+
+    def test_retry_counts_match(self):
+        items = [f"item-{i}" for i in range(10)]
+        outcomes = []
+        for cls in (BatchExecutor, AsyncBatchExecutor):
+            executor = cls(workers=4, policy=fast_policy())
+            fn = Flaky(failures=1)
+            result = executor.map(fn, items)
+            outcomes.append((result, dict(fn.attempts)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_scatter_failures_match(self):
+        items = [f"item-{i}" for i in range(12)]
+
+        def fn(item):
+            if item.endswith(("3", "7")):
+                raise RateLimitError(f"always down: {item}")
+            return item.upper()
+
+        def normalize(slots):
+            return [
+                (slot.index, slot.error_type, slot.attempts)
+                if isinstance(slot, BatchFailure) else slot
+                for slot in slots
+            ]
+
+        thread = BatchExecutor(workers=4, policy=fast_policy())
+        expected = normalize(thread.map(fn, items, on_error="return"))
+        for workers in (1, 8):
+            executor = AsyncBatchExecutor(workers=workers, policy=fast_policy())
+            assert normalize(
+                executor.map(fn, items, on_error="return")
+            ) == expected
+
+    def test_raise_mode_raises_same_terminal_error(self):
+        def fn(item):
+            if item == "bad":
+                raise ValueError("not retryable")
+            return item
+
+        for cls in (BatchExecutor, AsyncBatchExecutor):
+            executor = cls(workers=4, policy=fast_policy())
+            with pytest.raises(ValueError, match="not retryable"):
+                executor.map(fn, ["ok-1", "bad", "ok-2"])
+
+    def test_budget_exhaustion_is_fatal_and_aborts(self):
+        items = [f"word{i}" for i in range(20)]
+        per_item = count_tokens(items[0])
+        for cls in (BatchExecutor, AsyncBatchExecutor):
+            budget = SharedBudget(max_tokens=per_item * 5)
+            executor = cls(workers=4, policy=fast_policy(), budget=budget)
+            with pytest.raises(BudgetExhaustedError):
+                executor.map(str.upper, items)
+            assert executor.aborted
+            assert budget.n_tokens <= per_item * 5
+
+    def test_abort_is_scoped_per_map_call(self):
+        def fn(item):
+            if item == "boom":
+                raise FatalError("dead")
+            return item.upper()
+
+        executor = AsyncBatchExecutor(workers=2, policy=fast_policy())
+        with pytest.raises(FatalError):
+            executor.map(fn, ["ok", "boom"])
+        assert executor.aborted
+        # Scoped abort: the executor is immediately reusable.
+        assert executor.map(fn, ["fresh"]) == ["FRESH"]
+        assert not executor.aborted
+
+    def test_fatal_error_aborts_without_retries(self):
+        for cls in (BatchExecutor, AsyncBatchExecutor):
+            calls = []
+
+            def fn(item):
+                calls.append(item)
+                raise FatalError("dead")
+
+            executor = cls(workers=2, policy=fast_policy(max_retries=5))
+            with pytest.raises(FatalError):
+                executor.map(fn, list(range(10)))
+            assert executor.aborted
+
+    def test_breaker_opens_identically(self):
+        items = [f"item-{i}" for i in range(8)]
+
+        def fn(item):
+            raise RateLimitError("down hard")
+
+        def run(cls):
+            breaker = CircuitBreaker(failure_threshold=3, cooldown_s=60.0)
+            executor = cls(
+                workers=1, policy=fast_policy(max_retries=0), breaker=breaker
+            )
+            slots = executor.map(fn, items, on_error="return")
+            return [slot.error_type for slot in slots]
+
+        assert run(BatchExecutor) == run(AsyncBatchExecutor)
+
+    def test_records_collected_like_thread_pool(self):
+        usage = UsageTracker()
+        executor = AsyncBatchExecutor(workers=4, usage=usage)
+        executor.map(str.upper, ["a", "b", "c"])
+        assert len(executor.records) == 3
+        assert sorted(record.index for record in executor.records) == [0, 1, 2]
+        assert all(record.ok and record.attempts == 1
+                   for record in executor.records)
+        assert len(usage.request_log) == 3
+
+
+class TestTokenCost:
+    def test_string_items_charged_in_full_by_default(self):
+        budget = SharedBudget(max_tokens=10**6)
+        AsyncBatchExecutor(workers=2, budget=budget).map(
+            str.upper, ["one two", "three four five"]
+        )
+        assert budget.n_tokens == count_tokens("one two") + count_tokens(
+            "three four five"
+        )
+
+    def test_token_cost_override_charges_suffix_only(self):
+        budget = SharedBudget(max_tokens=10**6)
+        executor = AsyncBatchExecutor(
+            workers=2, budget=budget, token_cost=lambda item: 3
+        )
+        executor.map(str.upper, ["anything at all", "and more of it"])
+        assert budget.n_tokens == 6
+
+    def test_override_applies_to_thread_executor_too(self):
+        budget = SharedBudget(max_tokens=10**6)
+        BatchExecutor(workers=2, budget=budget, token_cost=lambda item: 7).map(
+            str.upper, ["a", "b"]
+        )
+        assert budget.n_tokens == 14
+
+
+class TestOffload:
+    def test_offload_false_with_admission_rejected(self):
+        from repro.api import AdmissionController
+
+        with pytest.raises(ValueError, match="admission"):
+            AsyncBatchExecutor(
+                workers=2, admission=AdmissionController(), offload=False
+            )
+
+    def test_forced_offload_still_matches(self):
+        items = [f"item-{i}" for i in range(16)]
+        expected = BatchExecutor(workers=4).map(str.upper, items)
+        assert AsyncBatchExecutor(workers=4, offload=True).map(
+            str.upper, items
+        ) == expected
+
+
+class TestFaultPlanParity:
+    def test_faulty_client_identical_across_executors_and_workers(self):
+        prompts = [f"Question {i}: yes or no?" for i in range(24)]
+
+        def run(cls, workers):
+            client = CompletionClient(fault_plan=FaultPlan("ci", seed=11))
+            executor = cls(
+                workers=workers, policy=fast_policy(max_retries=4),
+                usage=client.usage,
+            )
+            slots = executor.map(client.complete, prompts, on_error="return")
+            return [
+                (slot.index, slot.error_type)
+                if isinstance(slot, BatchFailure) else slot
+                for slot in slots
+            ]
+
+        baseline = run(BatchExecutor, 1)
+        assert run(BatchExecutor, 8) == baseline
+        assert run(AsyncBatchExecutor, 1) == baseline
+        assert run(AsyncBatchExecutor, 8) == baseline
+
+
+class TestMakeExecutor:
+    def test_default_kind_is_thread(self):
+        assert get_default_executor_kind() == "thread"
+        assert type(make_executor(workers=2)) is BatchExecutor
+
+    def test_explicit_kinds(self):
+        assert type(make_executor("thread", workers=2)) is BatchExecutor
+        assert type(make_executor("async", workers=2)) is AsyncBatchExecutor
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            make_executor("bogus")
+
+    def test_process_default_routes_callers(self):
+        set_default_executor_kind("async")
+        try:
+            assert type(make_executor(workers=2)) is AsyncBatchExecutor
+        finally:
+            set_default_executor_kind("thread")
+        assert type(make_executor(workers=2)) is BatchExecutor
+
+    def test_invalid_default_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_executor_kind("fiber")
+
+    def test_kwargs_reach_both_kinds(self):
+        policy = fast_policy()
+        for kind in ("thread", "async"):
+            executor = make_executor(kind, workers=3, policy=policy)
+            assert executor.workers == 3
+            assert executor.policy is policy

@@ -1,0 +1,282 @@
+"""Tests for repro.core.tasks.prefix and the engine's prefix-cached path.
+
+Two contracts under test:
+
+* byte identity — ``build_prefix(demos, config) + build_suffix(example,
+  config)`` equals per-example ``build_prompt`` for every task that
+  supports the split, so predictions cannot drift; and
+* charged-once accounting — the shared prefix's tokens enter the usage
+  ledger once per run (not once per example), with the saving reported
+  in the manifest's ``prefix_cache`` block.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import CompletionClient, FaultPlan
+from repro.api.usage import count_tokens
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import (
+    PromptPrefix,
+    PromptPrefixCache,
+    get_default_prefix_cache,
+    get_task,
+    prefix_key,
+    run_task,
+    set_default_prefix_cache,
+)
+from repro.datasets import load_dataset
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "schemas"
+    / "run_manifest.schema.json"
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestPromptPrefix:
+    def test_from_text_counts_tokens(self):
+        prefix = PromptPrefix.from_text("hello world\n\n")
+        assert prefix.text == "hello world\n\n"
+        assert prefix.n_tokens == count_tokens("hello world\n\n")
+
+    def test_frozen(self):
+        prefix = PromptPrefix.from_text("x")
+        with pytest.raises(AttributeError):
+            prefix.text = "y"
+
+
+class TestPrefixKey:
+    def test_stable(self):
+        assert prefix_key("em", 4, 0, dataset="beer") == prefix_key(
+            "em", 4, 0, dataset="beer"
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(task="ed", k=4, seed=0, dataset="beer"),
+            dict(task="em", k=6, seed=0, dataset="beer"),
+            dict(task="em", k=4, seed=1, dataset="beer"),
+            dict(task="em", k=4, seed=0, dataset="fodors_zagats"),
+            dict(task="em", k=4, seed=0, dataset="beer", selection="random"),
+        ],
+    )
+    def test_every_component_discriminates(self, other):
+        base = prefix_key("em", 4, 0, dataset="beer")
+        assert prefix_key(
+            other.pop("task"), other.pop("k"), other.pop("seed"), **other
+        ) != base
+
+    def test_demonstrations_discriminate(self):
+        # A custom selector's *name* cannot pin its parameters, so the
+        # resolved demonstrations themselves are folded into the key.
+        dataset = load_dataset("beer")
+        a = prefix_key("em", 2, 0, demonstrations=list(dataset.train[:2]))
+        b = prefix_key("em", 2, 0, demonstrations=list(dataset.train[2:4]))
+        assert a != b
+
+
+class TestPromptPrefixCache:
+    def test_get_or_build_hits_and_misses(self):
+        cache = PromptPrefixCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return "prefix text\n\n"
+
+        first, was_cached = cache.get_or_build("key", build)
+        assert not was_cached
+        second, was_cached_again = cache.get_or_build("key", build)
+        assert was_cached_again
+        assert second is first
+        assert built == [1]  # built exactly once
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_fifo_eviction(self):
+        cache = PromptPrefixCache(max_entries=2)
+        cache.put("a", PromptPrefix.from_text("a"))
+        cache.put("b", PromptPrefix.from_text("b"))
+        cache.put("c", PromptPrefix.from_text("c"))
+        assert len(cache) == 2
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c") is not None
+
+    def test_clear_resets_counters(self):
+        cache = PromptPrefixCache()
+        cache.get_or_build("k", lambda: "text")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PromptPrefixCache(max_entries=0)
+
+    def test_default_cache_is_process_wide_and_swappable(self):
+        original = get_default_prefix_cache()
+        try:
+            mine = PromptPrefixCache()
+            set_default_prefix_cache(mine)
+            assert get_default_prefix_cache() is mine
+            set_default_prefix_cache(None)
+            fresh = get_default_prefix_cache()
+            assert fresh is not mine
+            assert len(fresh) == 0
+        finally:
+            set_default_prefix_cache(original)
+
+
+class TestSplitByteIdentity:
+    #: Every (task, dataset) whose prompts split into prefix + suffix.
+    CASES = [
+        ("entity_matching", "beer"),
+        ("error_detection", "hospital"),
+        ("imputation", "restaurant"),
+        ("schema_matching", "synthea"),
+    ]
+
+    @pytest.mark.parametrize("task_name,dataset_name", CASES)
+    def test_prefix_plus_suffix_equals_build_prompt(
+        self, task_name, dataset_name
+    ):
+        spec = get_task(task_name)
+        assert spec.supports_prefix
+        dataset = load_dataset(dataset_name)
+        demonstrations = list(dataset.train[:3])
+        config = spec.default_config(dataset)
+        prefix = spec.build_prefix(demonstrations, config)
+        for example in list(dataset.test)[:5]:
+            assert prefix + spec.build_suffix(example, config) == (
+                spec.build_prompt(example, demonstrations, config, 3)
+            )
+
+    @pytest.mark.parametrize("task_name,dataset_name", CASES)
+    def test_count_tokens_additive_across_split(self, task_name, dataset_name):
+        spec = get_task(task_name)
+        dataset = load_dataset(dataset_name)
+        demonstrations = list(dataset.train[:3])
+        config = spec.default_config(dataset)
+        prefix = spec.build_prefix(demonstrations, config)
+        suffix = spec.build_suffix(list(dataset.test)[0], config)
+        assert count_tokens(prefix + suffix) == count_tokens(
+            prefix
+        ) + count_tokens(suffix)
+
+    def test_transformation_does_not_split(self):
+        assert not get_task("transformation").supports_prefix
+
+
+def _run(**kwargs):
+    defaults = dict(
+        task="entity_matching", model="gpt3-175b", dataset="beer",
+        k=4, selection="random", seed=0, max_examples=24,
+    )
+    defaults.update(kwargs)
+    return run_task(**defaults)
+
+
+class TestEnginePrefixPath:
+    def test_predictions_identical_with_and_without_prefix_cache(self):
+        on = _run(prefix_cache=PromptPrefixCache())
+        off = _run(prefix_cache=False)
+        assert on.predictions == off.predictions
+        assert on.metric == off.metric
+
+    def test_manifest_block_and_schema(self, schema):
+        run = _run(prefix_cache=PromptPrefixCache())
+        block = run.manifest.prefix_cache
+        assert block["misses"] == 1  # cold cache: built once
+        assert block["hits"] == run.n_examples - 1
+        assert block["prefix_tokens"] > 0
+        assert block["tokens_saved"] == block["prefix_tokens"] * block["hits"]
+        assert validate_manifest(run.manifest.to_dict(), schema) == []
+
+    def test_warm_cache_across_runs(self):
+        cache = PromptPrefixCache()
+        _run(prefix_cache=cache)
+        warm = _run(prefix_cache=cache)
+        block = warm.manifest.prefix_cache
+        assert block["misses"] == 0
+        assert block["hits"] == warm.n_examples
+        assert len(cache) == 1
+
+    def test_prefix_tokens_charged_once_per_run(self):
+        on = _run(prefix_cache=PromptPrefixCache())
+        off = _run(prefix_cache=False)
+        block = on.manifest.prefix_cache
+        tokens = lambda run: run.manifest.usage["gpt3-175b"]["prompt_tokens"]
+        assert tokens(off) - tokens(on) == block["tokens_saved"]
+
+    def test_disabled_prefix_cache_matches_pr5_manifest_shape(self, schema):
+        run = _run(prefix_cache=False)
+        manifest = run.manifest.to_dict()
+        assert manifest["prefix_cache"] is None
+        assert validate_manifest(manifest, schema) == []
+
+    def test_zero_shot_has_no_prefix_block(self):
+        run = _run(k=0, selection="manual")
+        block = run.manifest.prefix_cache
+        # k=0 builds an empty prefix: nothing is saved, and the block
+        # must not claim otherwise.
+        assert block is None or block["tokens_saved"] == 0
+
+
+class TestExecutorParityThroughEngine:
+    def _outcomes(self, **kwargs):
+        run = _run(**kwargs)
+        return (
+            run.predictions,
+            run.metric,
+            [(r.index, r.error_type, r.stage) for r in run.quarantine],
+            run.coverage,
+        )
+
+    def test_async_matches_thread_at_any_concurrency(self):
+        baseline = self._outcomes(executor="thread", workers=1)
+        for executor in ("thread", "async"):
+            for workers in (1, 8):
+                assert self._outcomes(
+                    executor=executor, workers=workers
+                ) == baseline
+
+    def test_async_matches_thread_under_faults(self):
+        def outcomes(executor, workers):
+            return self._outcomes(
+                executor=executor, workers=workers, on_error="quarantine",
+                fault_plan=FaultPlan("heavy", seed=7),
+            )
+
+        baseline = outcomes("thread", 1)
+        assert baseline[2]  # the heavy profile must actually quarantine
+        assert outcomes("thread", 8) == baseline
+        assert outcomes("async", 1) == baseline
+        assert outcomes("async", 8) == baseline
+
+    def test_async_manifest_matches_thread_manifest(self, schema):
+        def manifest(executor):
+            run = _run(executor=executor, workers=4,
+                       prefix_cache=PromptPrefixCache())
+            data = run.manifest.to_dict()
+            assert validate_manifest(data, schema) == []
+            # Only timing differs between the cores.
+            for volatile in ("phases", "wall_clock_s", "requests"):
+                data.pop(volatile, None)
+            return data
+
+        assert manifest("async") == manifest("thread")
+
+    def test_async_usage_accounting_matches_thread(self):
+        thread = _run(executor="thread", workers=4)
+        awaited = _run(executor="async", workers=4)
+        assert awaited.manifest.usage == thread.manifest.usage
+        assert awaited.manifest.prefix_cache == thread.manifest.prefix_cache

@@ -30,6 +30,15 @@ class TestFit:
         assert "quick" not in vectorizer.idf_
         assert "fox" in vectorizer.idf_
 
+    def test_min_df_records_pruned_tokens(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        assert vectorizer.pruned_ == {"quick", "lazy", "and"}
+
+    def test_refit_clears_pruned(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        vectorizer.fit([["a", "b"], ["a", "b"]])
+        assert vectorizer.pruned_ == set()
+
     def test_invalid_min_df(self):
         with pytest.raises(ValueError):
             TfidfVectorizer(min_df=0)
@@ -52,6 +61,31 @@ class TestTransform:
     def test_batch_matches_single(self, fitted):
         batch = fitted.transform([["fox"], ["dog"]])
         assert batch[0] == fitted.transform_one(["fox"])
+
+    def test_pruned_token_weighs_zero(self):
+        # Regression for the min_df inversion: a token filtered as too
+        # rare used to look *unseen* in transform_one and collect the
+        # max-rarity IDF — pruning it raised its weight.
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        vector = vectorizer.transform_one(["quick", "fox"])
+        assert "quick" not in vector
+        assert vector["fox"] == pytest.approx(1.0)  # only survivor → unit norm
+
+    def test_pruned_only_document_is_empty(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        assert vectorizer.transform_one(["quick", "lazy"]) == {}
+
+    def test_unseen_still_beats_pruned(self):
+        # Truly out-of-corpus tokens keep the max-rarity IDF; only
+        # deliberately filtered ones vanish.
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        vector = vectorizer.transform_one(["zebra", "quick"])
+        assert vector == {"zebra": pytest.approx(1.0)}
+
+    def test_pruned_tokens_do_not_inflate_similarity(self):
+        vectorizer = TfidfVectorizer(min_df=2).fit(corpus)
+        # Overlap only on the pruned token must not count as similarity.
+        assert vectorizer.similarity(["quick", "fox"], ["quick", "dog"]) == 0.0
 
 
 class TestSimilarity:

@@ -68,13 +68,31 @@ class TestCharNgrams:
         grams = char_ngrams(text, n=n, pad=True)
         assert all(len(gram) == n for gram in grams)
 
+    def test_unpadded_short_input_yields_nothing(self):
+        # Regression: "ab" used to come back as a pseudo-trigram ["ab"],
+        # letting any two short values Jaccard-match on undersized grams.
+        assert char_ngrams("ab", n=3, pad=False) == []
+        assert char_ngrams("a", n=2, pad=False) == []
+
+    @given(st.text(min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+    def test_every_unpadded_gram_has_length_n(self, text, n):
+        grams = char_ngrams(text, n=n, pad=False)
+        assert all(len(gram) == n for gram in grams)
+        assert len(grams) == max(0, len(text) - n + 1)
+
 
 class TestWordNgrams:
     def test_bigrams(self):
         assert word_ngrams(["new", "york", "city"], n=2) == ["new york", "york city"]
 
-    def test_short_input_collapses(self):
-        assert word_ngrams(["only"], n=2) == ["only"]
+    def test_short_input_yields_nothing(self):
+        # Regression: one token used to collapse into a fake unigram,
+        # inconsistent with char_ngrams and inflating short-text overlap.
+        assert word_ngrams(["only"], n=2) == []
+        assert word_ngrams(["a", "b"], n=3) == []
+
+    def test_exact_length_input(self):
+        assert word_ngrams(["a", "b"], n=2) == ["a b"]
 
     def test_empty(self):
         assert word_ngrams([], n=2) == []
@@ -82,6 +100,15 @@ class TestWordNgrams:
     def test_invalid_n(self):
         with pytest.raises(ValueError):
             word_ngrams(["a"], n=0)
+
+    @given(
+        st.lists(st.sampled_from(["new", "york", "city", "the"]), max_size=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_gram_count_formula(self, tokens, n):
+        grams = word_ngrams(tokens, n=n)
+        assert len(grams) == max(0, len(tokens) - n + 1)
+        assert all(len(gram.split(" ")) == n for gram in grams)
 
 
 class TestSentenceSplit:
