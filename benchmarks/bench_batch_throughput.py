@@ -25,7 +25,7 @@ from repro.bench.reporting import ExperimentResult
 from repro.core.prompts import EntityMatchingPromptConfig, build_entity_matching_prompt
 from repro.core.tasks.common import parse_yes_no
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 #: Simulated network round trip per backend call.  Real GPT-3 calls ran
 #: hundreds of milliseconds; 10 ms keeps the benchmark fast while leaving
@@ -40,7 +40,7 @@ class LatencyBackend:
     """A simulated FM that pays a fixed per-request round-trip latency."""
 
     def __init__(self, model: str = "gpt3-175b"):
-        self._fm = SimulatedFoundationModel(model)
+        self._fm = get_backend(model)
         self.name = self._fm.name
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:

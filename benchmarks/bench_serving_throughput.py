@@ -49,7 +49,7 @@ from repro.core.prompts import (
 )
 from repro.core.tasks import run_task
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 WORKERS = 8
 #: Table 1's EM runs are 10-shot; that is also the regime where prefix
@@ -93,7 +93,7 @@ def _workload(repeats: int):
 def _warm_client(prompts: list[str]) -> CompletionClient:
     """A client whose cache already holds every prompt's completion."""
     client = CompletionClient(
-        SimulatedFoundationModel("gpt3-175b"), cache=PromptCache(":memory:")
+        get_backend("gpt3-175b"), cache=PromptCache(":memory:")
     )
     for prompt in sorted(set(prompts)):
         client.complete(prompt)

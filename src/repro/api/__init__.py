@@ -23,6 +23,16 @@ double-charging budgets, :class:`AdmissionController` load shedding
 budget, and a :class:`FallbackChain` that serves would-be quarantined
 examples from cheaper model tiers (the paper's own Figure 4 ladder)
 instead of dropping them.
+
+:mod:`repro.api.backends` makes the completion source pluggable: a
+:class:`CompletionBackend` protocol with a process-wide registry
+(simulated GPT-3 tiers registered at import, OpenAI-compatible HTTP
+adapters available for real endpoints), so :class:`CompletionClient`
+resolves string model names through :func:`get_backend` and everything
+above the client — caching, budgets, faults, resilience — is
+backend-agnostic.  :class:`~repro.api.resilience.CascadePolicy` builds
+on that to serve runs cheapest-tier-first, escalating only
+low-confidence predictions.
 """
 
 from repro.api.abatch import (
@@ -44,6 +54,19 @@ from repro.api.batch import (
     set_default_executor_kind,
     set_default_workers,
 )
+from repro.api.backends import (
+    AzureOpenAIBackend,
+    BackendInfo,
+    CompletionBackend,
+    DirectOpenAIBackend,
+    HTTPJSONTransport,
+    InProcessFakeTransport,
+    available_backends,
+    backend_info,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.api.cache import PromptCache, get_default_cache, set_default_cache
 from repro.api.client import CompletionClient
 from repro.api.faults import (
@@ -58,6 +81,7 @@ from repro.api.faults import (
 from repro.api.resilience import (
     AdmissionController,
     AIMDLimiter,
+    CascadePolicy,
     Deadline,
     FallbackChain,
     HedgePolicy,
@@ -84,20 +108,27 @@ __all__ = [
     "AIMDLimiter",
     "AdmissionController",
     "AsyncBatchExecutor",
+    "AzureOpenAIBackend",
+    "BackendInfo",
     "BatchExecutor",
     "BatchFailure",
     "BudgetExhaustedError",
+    "CascadePolicy",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CompletionBackend",
     "CompletionClient",
     "Deadline",
+    "DirectOpenAIBackend",
     "DeadlineExceededError",
     "FAULT_PROFILES",
     "FallbackChain",
     "FatalError",
     "FaultPlan",
     "FaultProfile",
+    "HTTPJSONTransport",
     "HedgePolicy",
+    "InProcessFakeTransport",
     "PRIORITIES",
     "ParseError",
     "PromptCache",
@@ -108,8 +139,11 @@ __all__ = [
     "Shed",
     "Usage",
     "UsageTracker",
+    "available_backends",
+    "backend_info",
     "complete_all",
     "count_tokens",
+    "get_backend",
     "get_default_cache",
     "get_default_executor_kind",
     "get_default_fault_plan",
@@ -118,11 +152,13 @@ __all__ = [
     "get_serving_loop",
     "make_executor",
     "malformed_reason",
+    "register_backend",
     "resolve_workers",
     "set_default_cache",
     "set_default_executor_kind",
     "set_default_fault_plan",
     "set_default_workers",
     "shutdown_serving_loop",
+    "unregister_backend",
     "usage_delta",
 ]

@@ -1,0 +1,461 @@
+"""Pluggable completion backends: protocol, registry, and HTTP adapters.
+
+The paper's experiments run against the OpenAI completion API; this repo
+simulates that endpoint with :class:`~repro.fm.engine.SimulatedFoundationModel`.
+Until this module existed, the simulator was *hard-wired* into
+:class:`~repro.api.client.CompletionClient`, so swapping tiers meant
+swapping model objects wholesale and fronting a real API meant editing
+the client.  This module is the seam that fixes both:
+
+* :class:`CompletionBackend` — the structural protocol every backend
+  satisfies: a ``name``, ``complete(prompt, ...) -> str``, and (for
+  confidence-routed serving) ``complete_verbose(prompt, ...) ->
+  Completion``.  The simulator already satisfies it unchanged.
+* A process-wide **registry** (:func:`register_backend` /
+  :func:`get_backend` / :func:`available_backends`) mapping model names
+  to backend *factories* plus :class:`BackendInfo` pricing/tier
+  metadata.  ``get_backend`` returns a **fresh instance per call** —
+  exactly the semantics ``CompletionClient("gpt3-175b")`` always had —
+  and the returned backend's ``name`` matches the registered name, so
+  every existing cache key, fault plan, and usage/budget path works
+  unchanged.  The simulated 1.3B/6.7B/175B tiers are pre-registered.
+* An **OpenAI-compatible HTTP adapter** pair
+  (:class:`DirectOpenAIBackend` / :class:`AzureOpenAIBackend`) shaped
+  like the released fm_data_tasks wrapper: same payload, same
+  ``choices[0].text`` extraction, per-vendor auth headers.  All network
+  code sits behind a one-method *transport seam*
+  (:class:`HTTPJSONTransport`), and :class:`InProcessFakeTransport` is a
+  deterministic in-process stand-in, so the adapters are fully testable
+  without ever touching the wire.
+
+Registry resolution order: exact registered name first, then registered
+aliases (``"175b"`` → ``"gpt3-175b"``, mirroring
+:func:`repro.fm.profiles.get_profile`'s shorthand).  Direct
+``SimulatedFoundationModel(...)`` construction remains supported
+everywhere — the registry is the canonical front door, not a breaking
+change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.api.usage import PRICE_PER_1K_TOKENS
+from repro.fm.engine import Completion, SimulatedFoundationModel
+from repro.fm.profiles import MODEL_PROFILES
+
+__all__ = [
+    "AzureOpenAIBackend",
+    "BackendInfo",
+    "CompletionBackend",
+    "DirectOpenAIBackend",
+    "HTTPJSONTransport",
+    "InProcessFakeTransport",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+
+@runtime_checkable
+class CompletionBackend(Protocol):
+    """What the completion stack requires of a model backend.
+
+    Structural (``isinstance`` works via ``runtime_checkable``): any
+    object with a ``name`` and a ``complete`` method qualifies —
+    :class:`~repro.fm.engine.SimulatedFoundationModel`, the HTTP
+    adapters below, and user-registered customs alike.
+    ``complete_verbose`` is optional but required for confidence-routed
+    serving (the cascade); backends without it raise ``AttributeError``
+    at the client layer.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> str: ...
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Pricing/tier metadata for one registered backend.
+
+    ``price_per_1k_tokens`` uses the same unit as
+    :data:`repro.api.usage.PRICE_PER_1K_TOKENS` (USD per 1000
+    :func:`~repro.api.usage.count_tokens` tokens), so cost estimates are
+    directly comparable across backends; ``None`` means unpriced — cost
+    is then reported as 0.0 with ``unknown_price`` flagged, never
+    invented.
+    """
+
+    name: str
+    kind: str = "simulated"
+    price_per_1k_tokens: float | None = None
+    n_parameters: int | None = None
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+    @property
+    def params_label(self) -> str:
+        """Human tier label: ``175_000_000_000 -> "175B"``."""
+        if self.n_parameters is None:
+            return "-"
+        for divisor, suffix in ((1_000_000_000, "B"), (1_000_000, "M")):
+            if self.n_parameters >= divisor:
+                value = self.n_parameters / divisor
+                text = f"{value:.1f}".rstrip("0").rstrip(".")
+                return f"{text}{suffix}"
+        return str(self.n_parameters)
+
+
+@dataclass(frozen=True)
+class _Registration:
+    factory: Callable[[], object]
+    info: BackendInfo
+
+
+_REGISTRY: dict[str, _Registration] = {}
+_ALIASES: dict[str, str] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], object],
+    *,
+    kind: str = "custom",
+    price_per_1k_tokens: float | None = None,
+    n_parameters: int | None = None,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+) -> BackendInfo:
+    """Register ``factory`` under ``name`` (plus optional aliases).
+
+    ``factory`` is called once per :func:`get_backend` resolution and
+    must return a fresh backend instance whose ``name`` is stable — the
+    prompt cache keys on it.  Re-registering a name replaces the old
+    entry (tests rely on this to install stand-ins); aliases may not
+    shadow an existing canonical name.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    info = BackendInfo(
+        name=name,
+        kind=kind,
+        price_per_1k_tokens=price_per_1k_tokens,
+        n_parameters=n_parameters,
+        description=description,
+        aliases=tuple(aliases),
+    )
+    with _REGISTRY_LOCK:
+        for alias in info.aliases:
+            canonical = _ALIASES.get(alias)
+            if alias in _REGISTRY and alias != name:
+                raise ValueError(
+                    f"alias {alias!r} would shadow a registered backend"
+                )
+            if canonical is not None and canonical != name:
+                raise ValueError(
+                    f"alias {alias!r} already points at {canonical!r}"
+                )
+        stale = [a for a, c in _ALIASES.items() if c == name]
+        for alias in stale:
+            del _ALIASES[alias]
+        _REGISTRY[name] = _Registration(factory=factory, info=info)
+        for alias in info.aliases:
+            _ALIASES[alias] = name
+    return info
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` (and its aliases) from the registry."""
+    with _REGISTRY_LOCK:
+        registration = _REGISTRY.pop(name, None)
+        if registration is None:
+            raise KeyError(f"unknown backend {name!r}")
+        for alias in registration.info.aliases:
+            _ALIASES.pop(alias, None)
+
+
+def _resolve_name(name: str) -> _Registration:
+    with _REGISTRY_LOCK:
+        registration = _REGISTRY.get(name)
+        if registration is None:
+            canonical = _ALIASES.get(name)
+            if canonical is not None:
+                registration = _REGISTRY.get(canonical)
+        if registration is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown backend {name!r}; registered: {known}")
+        return registration
+
+
+def get_backend(name: str):
+    """A fresh backend instance for ``name`` (exact name, then alias)."""
+    return _resolve_name(name).factory()
+
+
+def backend_info(name: str) -> BackendInfo:
+    """The registered :class:`BackendInfo` for ``name`` (or an alias)."""
+    return _resolve_name(name).info
+
+
+def available_backends() -> list[str]:
+    """Canonical registered backend names, in registration order."""
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# OpenAI-compatible HTTP adapters.
+#
+# Shaped like the released fm_data_tasks OpenAI wrapper: a Direct/Azure
+# pair sharing one request/response contract, differing only in URL
+# shape and auth header.  The transport is injected, and the default
+# (stdlib urllib, lazily constructed) is the only code that ever opens a
+# socket — tests swap in InProcessFakeTransport and never touch the
+# wire.
+
+
+class HTTPJSONTransport:
+    """POST a JSON payload, return the decoded JSON response.
+
+    The one and only network touchpoint of the adapter pair.  Stdlib
+    ``urllib`` keeps the repo dependency-free; a production deployment
+    would swap in a session-pooling transport through the same seam.
+    """
+
+    def __init__(self, timeout_s: float = 30.0):
+        self.timeout_s = float(timeout_s)
+
+    def post(self, url: str, headers: dict, payload: dict) -> dict:
+        import urllib.request
+
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json", **headers},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+
+class InProcessFakeTransport:
+    """A deterministic OpenAI-shaped endpoint that never leaves process.
+
+    Answers are produced by ``completer`` (default: a simulated 175B
+    model), wrapped in the completion-API response shape — including a
+    ``token_logprobs`` block when the payload asks for logprobs, derived
+    from the simulator's own confidence so adapter-reported confidence
+    round-trips.  Every request is recorded on ``requests`` for test
+    assertions.
+    """
+
+    def __init__(self, completer=None):
+        if completer is None:
+            completer = SimulatedFoundationModel("gpt3-175b")
+        self.completer = completer
+        self.requests: list[dict] = []
+        self._lock = threading.Lock()
+
+    def post(self, url: str, headers: dict, payload: dict) -> dict:
+        with self._lock:
+            self.requests.append(
+                {"url": url, "headers": dict(headers), "payload": dict(payload)}
+            )
+        prompt = payload["prompt"]
+        temperature = payload.get("temperature", 0.0)
+        confidence = None
+        if hasattr(self.completer, "complete_verbose"):
+            completion = self.completer.complete_verbose(
+                prompt, temperature=temperature
+            )
+            text, confidence = completion.text, completion.confidence
+        elif callable(getattr(self.completer, "complete", None)):
+            text = self.completer.complete(prompt, temperature=temperature)
+        else:
+            text = self.completer(prompt)
+        choice: dict = {"text": text, "index": 0, "finish_reason": "stop"}
+        if payload.get("logprobs") and confidence is not None:
+            # One "token" whose logprob encodes the confidence exactly:
+            # exp(mean(token_logprobs)) == confidence on the way back.
+            choice["logprobs"] = {
+                "token_logprobs": [math.log(max(confidence, 1e-9))]
+            }
+        return {"choices": [choice], "model": payload.get("model", "")}
+
+
+class _OpenAICompatibleBackend:
+    """Shared request/response contract of the Direct/Azure pair."""
+
+    def __init__(
+        self,
+        model: str,
+        api_key: str = "",
+        transport=None,
+        max_tokens: int = 64,
+    ):
+        self.model = model
+        self.api_key = api_key
+        self._transport = transport
+        self.max_tokens = max_tokens
+
+    @property
+    def name(self) -> str:
+        return self.model
+
+    @property
+    def transport(self):
+        # Lazily built so importing (or registering) an adapter never
+        # constructs network machinery.
+        if self._transport is None:
+            self._transport = HTTPJSONTransport()
+        return self._transport
+
+    def _url(self) -> str:
+        raise NotImplementedError
+
+    def _headers(self) -> dict:
+        raise NotImplementedError
+
+    def _payload(
+        self, prompt: str, temperature: float, logprobs: int | None
+    ) -> dict:
+        payload = {
+            "model": self.model,
+            "prompt": prompt,
+            "temperature": temperature,
+            "max_tokens": self.max_tokens,
+        }
+        if logprobs is not None:
+            payload["logprobs"] = logprobs
+        return payload
+
+    def _choice(self, prompt: str, temperature: float, logprobs=None) -> dict:
+        data = self.transport.post(
+            self._url(), self._headers(), self._payload(
+                prompt, temperature, logprobs
+            )
+        )
+        return data["choices"][0]
+
+    def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
+        del kwargs  # max_tokens etc. are fixed per-backend
+        return self._choice(prompt, temperature)["text"]
+
+    def complete_verbose(
+        self, prompt: str, temperature: float = 0.0, **kwargs
+    ) -> Completion:
+        """Completion plus confidence derived from returned logprobs.
+
+        Confidence is ``exp(mean(token_logprobs))`` — the geometric mean
+        token probability — clamped to [0, 1]; responses without
+        logprobs fall back to a neutral 0.5 (the cascade then treats
+        them as escalation candidates rather than trusting them).
+        """
+        del kwargs
+        choice = self._choice(prompt, temperature, logprobs=1)
+        text = choice["text"]
+        logprobs = (choice.get("logprobs") or {}).get("token_logprobs") or []
+        values = [value for value in logprobs if value is not None]
+        if not values:
+            return Completion(text=text, confidence=0.5)
+        confidence = math.exp(sum(values) / len(values))
+        return Completion(text=text, confidence=max(0.0, min(1.0, confidence)))
+
+
+class DirectOpenAIBackend(_OpenAICompatibleBackend):
+    """The api.openai.com flavor: bearer auth, /v1/completions."""
+
+    def __init__(
+        self,
+        model: str,
+        api_key: str = "",
+        base_url: str = "https://api.openai.com/v1",
+        transport=None,
+        max_tokens: int = 64,
+    ):
+        super().__init__(
+            model, api_key=api_key, transport=transport, max_tokens=max_tokens
+        )
+        self.base_url = base_url.rstrip("/")
+
+    def _url(self) -> str:
+        return f"{self.base_url}/completions"
+
+    def _headers(self) -> dict:
+        return {"Authorization": f"Bearer {self.api_key}"}
+
+
+class AzureOpenAIBackend(_OpenAICompatibleBackend):
+    """The Azure flavor: api-key auth, deployment-scoped URL."""
+
+    def __init__(
+        self,
+        deployment: str,
+        endpoint: str,
+        api_key: str = "",
+        api_version: str = "2023-05-15",
+        model: str | None = None,
+        transport=None,
+        max_tokens: int = 64,
+    ):
+        super().__init__(
+            model if model is not None else deployment,
+            api_key=api_key,
+            transport=transport,
+            max_tokens=max_tokens,
+        )
+        self.deployment = deployment
+        self.endpoint = endpoint.rstrip("/")
+        self.api_version = api_version
+
+    def _url(self) -> str:
+        return (
+            f"{self.endpoint}/openai/deployments/{self.deployment}"
+            f"/completions?api-version={self.api_version}"
+        )
+
+    def _headers(self) -> dict:
+        return {"api-key": self.api_key}
+
+    def _payload(
+        self, prompt: str, temperature: float, logprobs: int | None
+    ) -> dict:
+        # Azure scopes the model by deployment URL, not payload field.
+        payload = super()._payload(prompt, temperature, logprobs)
+        payload.pop("model", None)
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Default registrations: the simulated GPT-3 family, priced from the
+# usage table, with the same size-suffix shorthand get_profile accepts.
+
+def _register_simulated_tiers() -> None:
+    for name, profile in MODEL_PROFILES.items():
+        suffix = name.split("-", 1)[1] if "-" in name else name
+        register_backend(
+            name,
+            # Bind by name, not profile object: a fresh simulator per
+            # resolution, exactly like CompletionClient always built.
+            (lambda model=name: SimulatedFoundationModel(model)),
+            kind="simulated",
+            price_per_1k_tokens=PRICE_PER_1K_TOKENS.get(name),
+            n_parameters=profile.n_parameters,
+            description=(
+                "simulated GPT-3 tier (deterministic, offline)"
+            ),
+            aliases=(suffix,) if suffix != name else (),
+        )
+
+
+_register_simulated_tiers()

@@ -13,7 +13,6 @@ from repro.api.retry import (
     RetryPolicy,
 )
 from repro.api.usage import UsageTracker
-from repro.fm.engine import SimulatedFoundationModel
 
 __all__ = [
     "BudgetExhaustedError",
@@ -26,9 +25,13 @@ __all__ = [
 class CompletionClient:
     """Drop-in ``complete()`` provider with caching and accounting.
 
-    Wraps any backend exposing ``complete(prompt, ...) -> str`` (by default
-    a :class:`SimulatedFoundationModel`).  Mirrors the ergonomics of the
-    released fm_data_tasks wrapper around the OpenAI API:
+    Wraps any :class:`~repro.api.backends.CompletionBackend` — string
+    model names resolve through the backend registry
+    (:func:`repro.api.backends.get_backend`), so ``"gpt3-175b"`` builds
+    a fresh simulated tier exactly as before while registered HTTP
+    adapters or custom backends plug in with no client changes.  Mirrors
+    the ergonomics of the released fm_data_tasks wrapper around the
+    OpenAI API:
 
     * identical prompts are served from the cache without touching the
       backend (and without re-counting tokens),
@@ -63,7 +66,9 @@ class CompletionClient:
         deadline=None,
     ):
         if isinstance(model, str):
-            model = SimulatedFoundationModel(model)
+            from repro.api.backends import get_backend
+
+            model = get_backend(model)
         self.backend = model
         # `cache or PromptCache()` would silently replace a shared *empty*
         # cache (PromptCache defines __len__, so an empty one is falsy).
@@ -108,6 +113,12 @@ class CompletionClient:
         # leader has either populated the cache or failed.
         self._inflight: dict[tuple[str, str, float], threading.Event] = {}
         self._inflight_lock = threading.Lock()
+        # Verbose (confidence-carrying) calls are serialized: the
+        # simulator reports confidence through per-instance state, so
+        # concurrent verbose calls from executor workers would race and
+        # cross-wire confidences — the cascade's determinism guarantee
+        # (byte-identical at any worker count) depends on this lock.
+        self._verbose_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -370,24 +381,40 @@ class CompletionClient:
             prompts,
         )
 
-    def complete_verbose(self, prompt: str, temperature: float = 0.0):
+    def complete_verbose(
+        self,
+        prompt: str,
+        temperature: float = 0.0,
+        prompt_tokens: int | None = None,
+    ):
         """Confidence-carrying completion (uncached pass-through).
 
         Confidence is not stored in the cache (it is a model introspection,
         not part of the API response contract), so verbose calls always
         reach the backend — and therefore always consume request budget,
         face failure injection, and count in ``stats["backend_calls"]``,
-        exactly like plain completions.
+        exactly like plain completions.  Calls are serialized per client
+        (see ``_verbose_lock``) so confidences never cross-wire between
+        worker threads.  ``prompt_tokens`` is the same pre-counted
+        suffix-size hint :meth:`complete` takes — the cascade's serving
+        path passes it so each tier charges the shared demonstration
+        prefix once per run, not once per example.
         """
         if not hasattr(self.backend, "complete_verbose"):
             raise AttributeError("backend does not report confidence")
-        completion = self._backend_call(
-            lambda: self.backend.complete_verbose(
-                prompt, temperature=temperature
+        if self.deadline is not None:
+            self.deadline.check()
+        with self._verbose_lock:
+            completion = self._backend_call(
+                lambda: self.backend.complete_verbose(
+                    prompt, temperature=temperature
+                )
             )
-        )
         self.cache.put(self.name, prompt, completion.text, temperature)
-        self.usage.record(self.name, prompt, completion.text, cached=False)
+        self.usage.record(
+            self.name, prompt, completion.text, cached=False,
+            prompt_tokens=self._resolve_prompt_tokens(prompt_tokens),
+        )
         return completion
 
     @property

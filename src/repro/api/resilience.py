@@ -45,6 +45,7 @@ from repro.api.retry import DeadlineExceededError
 __all__ = [
     "AIMDLimiter",
     "AdmissionController",
+    "CascadePolicy",
     "Deadline",
     "FallbackChain",
     "HedgePolicy",
@@ -427,6 +428,141 @@ class FallbackChain:
         with self._lock:
             self._clients.setdefault(index, tier)
             return self._clients[index]
+
+    def describe(self) -> list[str]:
+        return [self.tier_name(index) for index in range(len(self.tiers))]
+
+
+class CascadePolicy:
+    """The fallback ladder inverted: cheapest-first, confidence-routed.
+
+    :class:`FallbackChain` degrades *downward* after failures; a cascade
+    runs the economics the other way.  Every example is served by the
+    cheapest tier first, and only predictions whose self-reported
+    confidence (see :meth:`~repro.fm.engine.SimulatedFoundationModel.
+    complete_verbose`) falls below ``threshold`` escalate to the next
+    tier up — the run's primary model is always the final authority.
+    That turns the paper's Figure 4 cost/quality frontier into a runtime
+    policy: most examples are easy enough for a small model, and only
+    the uncertain tail pays the 175B rate (Peeters & Bizer's
+    cheap-model-first observation, PAPERS.md).
+
+    ``threshold=None`` means *calibrate per task*: the engine picks one
+    threshold per cheap tier on the validation split — the smallest
+    whose accepted predictions never disagree with the primary model's
+    own, pruning tiers that flip even at full confidence — and then
+    requires the composed cascade's validation metric (scored against
+    ``make_validation_scorer``'s reference) to stay within
+    ``max_quality_loss`` of the primary's.  Calibration reads
+    ``calibration_examples`` validation examples (``None``, the default,
+    means the whole validation split: a cheap tier may end up serving
+    most of the traffic, so the zero-disagreement certificate wants
+    every held-out example it can get, not manual curation's small
+    sample).
+
+    Determinism: escalation is decided per example as a pure function of
+    (confidence, threshold, prompt) — the optional ``spread`` jitters
+    the effective threshold by a BLAKE2 draw of ``(seed, prompt)``,
+    exactly the :class:`HedgePolicy`/FaultPlan idiom — and the client
+    serializes confidence-carrying calls, so cascade results are
+    byte-identical at any worker count through both the thread and async
+    executors.
+
+    Tier clients (resolved lazily, like :class:`FallbackChain`) share
+    the primary client's usage tracker and prompt cache but deliberately
+    not its :class:`~repro.api.faults.FaultPlan` — each tier models a
+    separate deployment.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence = ("gpt3-1.3b", "gpt3-6.7b"),
+        threshold: float | None = None,
+        spread: float = 0.0,
+        seed: int = 0,
+        max_quality_loss: float = 0.01,
+        calibration_examples: int | None = None,
+    ):
+        tiers = tuple(tiers)
+        if not tiers:
+            raise ValueError("a CascadePolicy needs at least one cheap tier")
+        if threshold is not None and not 0.0 <= threshold <= 2.0:
+            raise ValueError(
+                f"threshold must be in [0, 2] (confidence is in [0, 1]), "
+                f"got {threshold}"
+            )
+        if spread < 0:
+            raise ValueError(f"spread must be >= 0, got {spread}")
+        if max_quality_loss < 0:
+            raise ValueError(
+                f"max_quality_loss must be >= 0, got {max_quality_loss}"
+            )
+        if calibration_examples is not None and calibration_examples < 1:
+            raise ValueError(
+                f"calibration_examples must be >= 1 or None (the whole "
+                f"validation split), got {calibration_examples}"
+            )
+        self.tiers = tiers
+        self.threshold = threshold
+        self.spread = float(spread)
+        self.seed = seed
+        self.max_quality_loss = float(max_quality_loss)
+        self.calibration_examples = calibration_examples
+        self._clients: dict[int, object] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, text: str, threshold: float | None = None) -> CascadePolicy:
+        """``"gpt3-1.3b,gpt3-6.7b"`` (the CLI's ``--cascade``) → policy."""
+        tiers = [part.strip() for part in text.split(",") if part.strip()]
+        return cls(tiers, threshold=threshold)
+
+    def tier_name(self, index: int) -> str:
+        tier = self.tiers[index]
+        if isinstance(tier, str):
+            return tier
+        return getattr(tier, "name", type(tier).__name__)
+
+    def resolve(self, index: int, usage=None, cache=None):
+        """The tier's ready-to-call client (built lazily, cached)."""
+        with self._lock:
+            client = self._clients.get(index)
+        if client is not None:
+            return client
+        tier = self.tiers[index]
+        if isinstance(tier, str):
+            from repro.api.cache import get_default_cache
+            from repro.api.client import CompletionClient
+
+            tier = CompletionClient(
+                tier,
+                cache=cache if cache is not None else get_default_cache(),
+                usage=usage,
+            )
+        with self._lock:
+            self._clients.setdefault(index, tier)
+            return self._clients[index]
+
+    def effective_threshold(self, prompt: str, threshold: float) -> float:
+        """Deterministic per-example threshold (pure function of prompt)."""
+        if self.spread == 0.0:
+            return threshold
+        payload = f"{self.seed}\x1fcascade\x1f{prompt}".encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / 2.0**64
+        return threshold + self.spread * (draw - 0.5)
+
+    def should_escalate(
+        self, prompt: str, confidence: float, threshold: float | None = None
+    ) -> bool:
+        """Whether a prediction at ``confidence`` moves up a tier."""
+        if threshold is None:
+            threshold = self.threshold
+        if threshold is None:
+            raise ValueError(
+                "threshold unresolved: pass one or calibrate the policy"
+            )
+        return confidence < self.effective_threshold(prompt, threshold)
 
     def describe(self) -> list[str]:
         return [self.tier_name(index) for index in range(len(self.tiers))]

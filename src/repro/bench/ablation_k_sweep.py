@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import evaluate_fm
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 K_VALUES = (0, 1, 2, 5, 10, 20)
 MAX_EXAMPLES = 300
@@ -25,7 +25,7 @@ SWEEPS = (
 
 
 def run(model: str = "gpt3-175b") -> ExperimentResult:
-    fm = SimulatedFoundationModel(model)
+    fm = get_backend(model)
     result = ExperimentResult(
         experiment="ablation_k_sweep",
         title=f"Demonstration-count sweep ({model})",

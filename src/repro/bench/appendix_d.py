@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import evaluate_fm
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 MODELS = ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b")
 MAX_EXAMPLES = 300
@@ -26,7 +26,7 @@ TASKS = (
 
 
 def run() -> ExperimentResult:
-    models = {name: SimulatedFoundationModel(name) for name in MODELS}
+    models = {name: get_backend(name) for name in MODELS}
     result = ExperimentResult(
         experiment="appendix_d",
         title="Model-size grid across all five tasks (few-shot)",

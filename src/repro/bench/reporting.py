@@ -166,6 +166,26 @@ def _resilience_lines(m: dict) -> list[str]:
             f"{name}={count}" for name, count in served.items()
         )
         lines.append(f"served by tier: {tiers}")
+    cascade = m.get("cascade")
+    if cascade:
+        calibrated = " calibrated" if cascade.get("calibrated") else ""
+        if cascade.get("threshold") is not None:
+            threshold_text = f"threshold {cascade['threshold']:.3f}"
+        else:
+            threshold_text = "thresholds [{}]".format(
+                ", ".join(
+                    f"{value:.3f}" for value in cascade.get("thresholds", [])
+                )
+            )
+        lines.append(
+            f"cascade: {threshold_text}"
+            f"{calibrated}, "
+            f"{cascade.get('escalated', 0)} escalated "
+            f"({100 * cascade.get('escalation_rate', 0.0):.1f}%), "
+            f"est ${cascade.get('est_cost_usd', 0.0):.4f} vs "
+            f"${cascade.get('est_baseline_cost_usd', 0.0):.4f} primary-only "
+            f"({100 * cascade.get('est_savings_rate', 0.0):.0f}% saved)"
+        )
     return lines
 
 

@@ -29,7 +29,7 @@ from repro.core.tasks.entity_matching import (
 )
 from repro.datasets import load_dataset
 from repro.datasets.base import MatchingPair
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 DATASET = "walmart_amazon"
 
@@ -37,7 +37,7 @@ DATASET = "walmart_amazon"
 def run_prototyping() -> ExperimentResult:
     """§5.1: FM-labeled training vs gold training vs the FM itself."""
     dataset = load_dataset(DATASET)
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     config = default_prompt_config(dataset)
     demos = select_demonstrations(fm, dataset, 10, config, "manual")
 
@@ -73,7 +73,7 @@ def run_prototyping() -> ExperimentResult:
 def run_selective_prediction() -> ExperimentResult:
     """§5.2: confidence-gated verdicts (coverage vs accuracy)."""
     dataset = load_dataset(DATASET)
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     config = default_prompt_config(dataset)
     demos = select_demonstrations(fm, dataset, 10, config, "manual")
 
@@ -107,7 +107,7 @@ def run_ensembling() -> ExperimentResult:
         notes="ensemble = majority vote over 5 question rewordings",
     )
     for name in ("gpt3-6.7b", "gpt3-175b"):
-        fm = SimulatedFoundationModel(name)
+        fm = get_backend(name)
         single = evaluate_fm("entity_matching", dataset, k=10, model=fm)
         ensemble = PromptEnsemble(fm)
         ensembled = evaluate_fm("entity_matching", dataset, k=10, model=ensemble)

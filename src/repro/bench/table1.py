@@ -6,7 +6,7 @@ from repro.bench.paper_numbers import TABLE1
 from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import evaluate_ditto, evaluate_fm, evaluate_magellan
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 DATASETS = (
     "fodors_zagats", "beer", "itunes_amazon", "walmart_amazon",
@@ -24,7 +24,7 @@ def run(
     Columns mirror the paper: Magellan, Ditto, FM zero-shot, FM k=10 with
     manually curated demonstrations — plus the published value for each.
     """
-    fm = SimulatedFoundationModel(model)
+    fm = get_backend(model)
     result = ExperimentResult(
         experiment="table1",
         title="Entity matching (F1)",

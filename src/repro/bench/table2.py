@@ -12,7 +12,7 @@ from repro.bench.runners import (
     evaluate_imp,
 )
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 #: The paper evaluates Adult on a 1K-row sample "due to budget constraints";
 #: we likewise cap prompted error detection at 1 000 cells.
@@ -33,8 +33,8 @@ def run_imputation_table(max_examples: int | None = None) -> ExperimentResult:
         ],
         notes="paper columns: Narayan et al. VLDB 2022, Table 2",
     )
-    fm_large = SimulatedFoundationModel("gpt3-175b")
-    fm_small = SimulatedFoundationModel("gpt3-6.7b")
+    fm_large = get_backend("gpt3-175b")
+    fm_small = get_backend("gpt3-6.7b")
     for name in ("restaurant", "buy"):
         dataset = load_dataset(name)
         holoclean = 100 * evaluate_holoclean_imputation(dataset)
@@ -73,8 +73,8 @@ def run_error_detection_table(max_examples: int | None = MAX_ED_EXAMPLES) -> Exp
         ],
         notes="paper columns: Narayan et al. VLDB 2022, Table 2",
     )
-    fm_large = SimulatedFoundationModel("gpt3-175b")
-    fm_small = SimulatedFoundationModel("gpt3-6.7b")
+    fm_large = get_backend("gpt3-175b")
+    fm_small = get_backend("gpt3-6.7b")
     for name in ("hospital", "adult"):
         dataset = load_dataset(name)
         holoclean = 100 * evaluate_holoclean_detection(dataset, max_test=max_examples)

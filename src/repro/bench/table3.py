@@ -6,7 +6,7 @@ from repro.bench.paper_numbers import TABLE3_SCHEMA, TABLE3_TRANSFORMATION
 from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import evaluate_fm, evaluate_smat, evaluate_tde
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 
 def run_transformation_table() -> ExperimentResult:
@@ -16,7 +16,7 @@ def run_transformation_table() -> ExperimentResult:
         headers=["dataset", "tde", "paper", "fm175_k0", "paper", "fm175_k3", "paper"],
         notes="previous SoTA is TDE; paper columns: Narayan et al. Table 3",
     )
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     for name in ("stackoverflow", "bing_querylogs"):
         dataset = load_dataset(name)
         tde = 100 * evaluate_tde(dataset)
@@ -34,7 +34,7 @@ def run_schema_table() -> ExperimentResult:
         headers=["dataset", "smat", "paper", "fm175_k0", "paper", "fm175_k3", "paper"],
         notes="previous SoTA is SMAT; paper columns: Narayan et al. Table 3",
     )
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     dataset = load_dataset("synthea")
     smat = 100 * evaluate_smat(dataset)
     zero_shot = 100 * evaluate_fm("schema_matching", dataset, k=0, model=fm).metric

@@ -18,7 +18,7 @@ from repro.bench.reporting import ExperimentResult
 from repro.bench.runners import evaluate_fm
 from repro.core.tasks.entity_matching import default_prompt_config
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 DATASETS = ("beer", "itunes_amazon", "walmart_amazon")
 MAX_EXAMPLES = 200
@@ -42,7 +42,7 @@ def _f1(model, dataset, config, selection="manual", seed: int = 0) -> float:
 
 
 def run(model: str = "gpt3-175b") -> ExperimentResult:
-    fm = SimulatedFoundationModel(model)
+    fm = get_backend(model)
     result = ExperimentResult(
         experiment="table4",
         title="EM prompt ablations (F1, k=10)",

@@ -19,7 +19,8 @@ from repro.bench.runners import evaluate_fm
 from repro.core.metrics import normalize_answer
 from repro.datasets.base import ImputationExample
 from repro.datasets.imputation_datasets import RestaurantSliceInfo, build_restaurant
-from repro.fm import AdapterModel, FinetunedModel, SimulatedFoundationModel
+from repro.api.backends import get_backend
+from repro.fm import AdapterModel, FinetunedModel
 
 SLICES = ("freq=0", "0<freq<=10", "freq>10")
 
@@ -72,7 +73,7 @@ def run() -> ExperimentResult:
         notes="paper columns: Narayan et al. VLDB 2022, Table 5",
     )
 
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     run_fm = evaluate_fm("imputation", dataset, k=10, model=fm)
     rows: list[tuple[str, str, dict[str, float]]] = [
         ("175b_few_shot", "GPT3-175B (few-shot)",

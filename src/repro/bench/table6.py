@@ -9,7 +9,7 @@ wrong identity — the paper's qualitative observation.
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentResult
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 PROBES = (
     ("Address: 1720 university blvd. State: AL. ZipCode?", "zip in AL (352xx)"),
@@ -27,7 +27,7 @@ def run() -> ExperimentResult:
         headers=["prompt", "expected"] + list(MODELS),
         notes="paper: Narayan et al. VLDB 2022, Table 6 (qualitative)",
     )
-    models = {name: SimulatedFoundationModel(name) for name in MODELS}
+    models = {name: get_backend(name) for name in MODELS}
     for prompt, expected in PROBES:
         row: list = [prompt[:46] + "…", expected]
         for name in MODELS:

@@ -22,7 +22,7 @@ from repro.core.tasks.entity_matching import (
     select_demonstrations,
 )
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 DATASET = "walmart_amazon"
 TEMPERATURES = (0.0, 0.3, 0.7)
@@ -45,7 +45,7 @@ def _f1_at(fm, dataset, demos, config, temperature: float, resample: int) -> flo
 
 
 def run() -> ExperimentResult:
-    fm = SimulatedFoundationModel("gpt3-175b")
+    fm = get_backend("gpt3-175b")
     dataset = load_dataset(DATASET)
     config = default_prompt_config(dataset)
     demos = select_demonstrations(fm, dataset, 10, config, "manual")

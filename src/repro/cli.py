@@ -92,6 +92,22 @@ def _cmd_tasks(_args) -> int:
     return 0
 
 
+def _cmd_backends(_args) -> int:
+    from repro.api import available_backends, backend_info
+
+    for name in available_backends():
+        info = backend_info(name)
+        aliases = f" ({', '.join(info.aliases)})" if info.aliases else ""
+        price = (
+            f"${info.price_per_1k_tokens:.4f}/1k"
+            if info.price_per_1k_tokens is not None
+            else "unpriced"
+        )
+        print(f"{name:12s}{aliases:9s} {info.kind:10s} "
+              f"{info.params_label:>6s} {price:>12s}  {info.description}")
+    return 0
+
+
 def _install_default_cache(path: str | None):
     """Point every client built underneath at one persistent cache."""
     if not path:
@@ -192,6 +208,21 @@ def _cmd_run(args) -> int:
                          f"benchmark, not {spec.name}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.cascade_threshold is not None and args.cascade is None:
+        raise SystemExit("--cascade-threshold requires --cascade")
+    cascade = None
+    if args.cascade is not None:
+        from repro.api import CascadePolicy
+
+        try:
+            if args.cascade is True:
+                cascade = CascadePolicy(threshold=args.cascade_threshold)
+            else:
+                cascade = CascadePolicy.parse(
+                    args.cascade, threshold=args.cascade_threshold
+                )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     _install_default_cache(args.cache)
     _install_executor(args.executor)
     _install_chaos(args.chaos, args.chaos_seed, args.on_error)
@@ -200,6 +231,7 @@ def _cmd_run(args) -> int:
         max_examples=args.max_examples, split=args.split, seed=args.seed,
         workers=args.workers, trace=args.trace, checkpoint=args.checkpoint,
         prefix_cache=False if args.no_prefix_cache else None,
+        cascade=cascade,
         **_resilience_kwargs(args),
     )
     if args.manifest and result.manifest is not None:
@@ -209,6 +241,23 @@ def _cmd_run(args) -> int:
         print(render_manifest(result.manifest))
     print(result.describe())
     _print_degradation(result)
+    casc = result.manifest.cascade if result.manifest else None
+    if casc:
+        calibrated = " (calibrated)" if casc["calibrated"] else ""
+        if casc["threshold"] is not None:
+            threshold_text = f"threshold={casc['threshold']:.3f}"
+        else:
+            threshold_text = "thresholds=[{}]".format(
+                ", ".join(f"{value:.3f}" for value in casc["thresholds"])
+            )
+        print(
+            f"  cascade: {threshold_text}{calibrated}, "
+            f"escalated {casc['escalated']} "
+            f"({100 * casc['escalation_rate']:.1f}%), "
+            f"est ${casc['est_cost_usd']:.4f} vs "
+            f"${casc['est_baseline_cost_usd']:.4f} primary-only "
+            f"({100 * casc['est_savings_rate']:.0f}% saved)"
+        )
     prefix = result.manifest.prefix_cache if result.manifest else None
     if prefix:
         print(
@@ -417,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_tasks
     )
 
+    sub.add_parser(
+        "backends", help="list registered completion backends"
+    ).set_defaults(fn=_cmd_backends)
+
     run = sub.add_parser("run", help="evaluate a task on a dataset")
     run.add_argument("task", help="task name or alias (em, ed, di, sm, dt)")
     run.add_argument("dataset", help="benchmark dataset name")
@@ -460,6 +513,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-prefix-cache", action="store_true",
                      help="rebuild and recount the k-shot demonstration "
                           "prefix per example instead of once per run")
+    run.add_argument("--cascade", nargs="?", const=True, default=None,
+                     metavar="TIER[,TIER...]",
+                     help="serve cheapest-tier-first, escalating only "
+                          "low-confidence predictions; optional explicit "
+                          "tier ladder (default gpt3-1.3b,gpt3-6.7b, the "
+                          "--model tier is always the final authority)")
+    run.add_argument("--cascade-threshold", type=float, default=None,
+                     metavar="CONF",
+                     help="fixed escalation threshold in [0, 2]; omit to "
+                          "calibrate per task on the validation split")
     run.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the injected fault schedule")
     _add_resilience_flags(run)

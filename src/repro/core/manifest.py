@@ -35,7 +35,10 @@ from dataclasses import dataclass, field
 #: Bumped on any backward-incompatible change to the manifest shape.
 MANIFEST_SCHEMA_VERSION = 1
 
-PHASE_NAMES = ("selection", "prompting", "completion", "fallback", "scoring")
+PHASE_NAMES = (
+    "selection", "prompting", "calibration", "completion", "fallback",
+    "scoring",
+)
 
 
 def jsonable(value):
@@ -122,6 +125,13 @@ class RunManifest:
     #: form.  "Charged once" semantics: ``prefix_tokens`` entered the
     #: usage tally at most once for the whole run.
     prefix_cache: dict | None = None
+    #: Confidence-routed cascade telemetry when the run served examples
+    #: cheapest-tier-first (see :class:`~repro.api.resilience.CascadePolicy`):
+    #: tier order, escalation threshold (and whether it was calibrated
+    #: per task), per-tier served counts and backend calls, escalation
+    #: rate, and estimated serving cost vs. a primary-tier-only run.
+    #: ``None`` for non-cascade runs.
+    cascade: dict | None = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:

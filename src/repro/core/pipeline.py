@@ -40,16 +40,16 @@ from repro.datasets.base import (
     SchemaPair,
 )
 from repro.datasets.table import Row
-from repro.fm.engine import SimulatedFoundationModel
 from repro.knowledge.medical import SchemaAttribute
 
 
 class Wrangler:
     """Prompt-driven data wrangling over one foundation model.
 
-    ``model`` may be a model name ("gpt3-175b"), a
-    :class:`~repro.fm.SimulatedFoundationModel`, or any object with a
-    ``complete(prompt) -> str`` method (e.g. an API client).
+    ``model`` may be a registered backend name ("gpt3-175b", see
+    ``repro backends``), a :class:`~repro.fm.SimulatedFoundationModel`,
+    or any object with a ``complete(prompt) -> str`` method (e.g. an
+    API client).
 
     Demonstrations are optional everywhere; provide them to move from
     zero-shot to few-shot prompting.
@@ -57,7 +57,9 @@ class Wrangler:
 
     def __init__(self, model="gpt3-175b"):
         if isinstance(model, str):
-            model = SimulatedFoundationModel(model)
+            from repro.api.backends import get_backend
+
+            model = get_backend(model)
         if not hasattr(model, "complete"):
             raise TypeError("model must expose complete(prompt) -> str")
         self.model = model

@@ -377,6 +377,7 @@ def _build_manifest(
     shed: dict | None = None,
     served_by_tier: dict | None = None,
     prefix_cache: dict | None = None,
+    cascade: dict | None = None,
 ) -> RunManifest:
     from repro.api.batch import resolve_workers
     from repro.api.client import CompletionClient
@@ -439,6 +440,7 @@ def _build_manifest(
         shed=shed,
         served_by_tier=served_by_tier,
         prefix_cache=prefix_cache,
+        cascade=cascade,
     )
 
 
@@ -471,6 +473,414 @@ def _open_checkpoint(
             f"{spec.name}_{dataset.name}_{fingerprint[:12]}.jsonl",
         )
     return RunCheckpoint(checkpoint, fingerprint, meta=payload)
+
+
+def _price_per_1k(name: str) -> float | None:
+    """USD per 1k tokens for ``name``: registry metadata, then price table."""
+    from repro.api.backends import backend_info
+    from repro.api.usage import PRICE_PER_1K_TOKENS
+
+    try:
+        return backend_info(name).price_per_1k_tokens
+    except KeyError:
+        return PRICE_PER_1K_TOKENS.get(name)
+
+
+def _resolve_cascade(cascade):
+    """Normalize the ``cascade`` knob into a :class:`CascadePolicy`.
+
+    Accepts the CLI forms — ``True`` (default cheap-tier ladder), a
+    comma-separated tier string, a list of tier names — or a ready
+    :class:`~repro.api.resilience.CascadePolicy`.
+    """
+    from repro.api.resilience import CascadePolicy
+
+    if cascade is None or cascade is False:
+        return None
+    if isinstance(cascade, CascadePolicy):
+        return cascade
+    if cascade is True:
+        return CascadePolicy()
+    if isinstance(cascade, str):
+        return CascadePolicy.parse(cascade)
+    return CascadePolicy(cascade)
+
+
+def calibrate_cascade_threshold(
+    spec: TaskSpec | str,
+    policy,
+    model,
+    dataset,
+    config,
+    demonstrations: list,
+    k: int = 0,
+    on_error: str | None = None,
+) -> dict:
+    """Pick per-tier escalation thresholds that preserve quality.
+
+    Per-task calibration on the validation split, one threshold per
+    cheap tier, greedy from the cheapest rung up.  A tier's threshold is
+    the smallest candidate whose accepted predictions *never disagree
+    with the primary model's own predictions* on validation — fidelity
+    to the tier being substituted, not merely metric parity, because a
+    cheap tier can match the reference metric on validation while
+    flipping a different (and on the test split, costlier) set of
+    examples, and on class-imbalanced metrics like EM's F1 even one
+    tolerated flip per hundred validation examples compounds into
+    multi-point test losses.  Candidates are the observed confidences of
+    the examples that reach the tier (each nudged up one ulp, so
+    "escalate everything up to and including confidence c" is
+    expressible); a tier that still flips at its highest confidence is
+    pruned outright (threshold 2.0 — serving then skips its probe
+    entirely), which is how a dataset with an untrustworthy 1.3B rung
+    can still serve from a trustworthy 6.7B rung.
+
+    As a backstop, the composed cascade's validation metric must stay
+    within ``max_quality_loss`` of the *reference* — the primary model's
+    validation metric computed by the exact :func:`make_validation_scorer`
+    manual curation uses; otherwise every tier is pruned and the cascade
+    degenerates to a plain primary-only run (quality and serving cost
+    both), never silently below the quality bar.
+
+    Pure given its inputs (temperature-0 completions and confidences are
+    pure functions of the prompt), so calibrated runs stay deterministic.
+    """
+    import math
+    import sys
+
+    from repro.api.client import CompletionClient
+    from repro.api.retry import ParseError
+
+    spec = get_task(spec)
+    on_error = _resolve_on_error(on_error)
+    primary_name = getattr(model, "name", type(model).__name__)
+    cheap_tiers = [
+        index for index in range(len(policy.tiers))
+        if policy.tier_name(index) != primary_name
+    ]
+    # The whole validation split by default: a cheap tier may end up
+    # serving most of the traffic, so its zero-disagreement certificate
+    # wants every held-out example — not manual curation's small sample.
+    max_validation = (
+        policy.calibration_examples
+        if policy.calibration_examples is not None
+        else sys.maxsize
+    )
+    validation = spec.validation_examples(dataset, max_validation)
+    if not validation:
+        return {
+            "thresholds": [0.0] * len(cheap_tiers),
+            "reference_metric": None,
+            "validation_metric": None,
+        }
+    labels = [spec.label_of(example) for example in validation]
+    prompts = [
+        spec.build_prompt(example, demonstrations, config, k)
+        for example in validation
+    ]
+    scorer = make_validation_scorer(
+        spec, model, dataset, config, max_validation=max_validation,
+        on_error=on_error,
+    )
+    reference = scorer(demonstrations)
+    top_predictions = predict(
+        spec, model, validation, demonstrations, config, k=k,
+        on_error=on_error,
+    )
+    shared_usage = model.usage if isinstance(model, CompletionClient) else None
+    shared_cache = model.cache if isinstance(model, CompletionClient) else None
+    escalate_all = 2.0  # above any confidence: the tier is pruned
+
+    def metric_of(predictions: list) -> float:
+        kept = [
+            (prediction, label, example)
+            for prediction, label, example in zip(
+                predictions, labels, validation
+            )
+            if prediction is not None
+        ]
+        if not kept:
+            return 0.0
+        metric, _details = spec.score(
+            [item[0] for item in kept],
+            [item[1] for item in kept],
+            [item[2] for item in kept],
+        )
+        return metric
+
+    thresholds: list[float] = []
+    composed = list(top_predictions)
+    remaining = list(range(len(validation)))
+    for tier_index in cheap_tiers:
+        if not remaining:
+            thresholds.append(escalate_all)
+            continue
+        client = policy.resolve(
+            tier_index, usage=shared_usage, cache=shared_cache
+        )
+        scored: dict[int, tuple[object, float]] = {}
+        for position in remaining:
+            completion = client.complete_verbose(prompts[position])
+            try:
+                parsed = _parse_checked(spec, completion.text)
+            except ParseError:
+                parsed = None  # the serving path escalates these too
+            scored[position] = (parsed, completion.confidence)
+
+        def accepted_at(threshold: float) -> list[int]:
+            return [
+                position for position in remaining
+                if scored[position][0] is not None
+                and not policy.should_escalate(
+                    prompts[position], scored[position][1], threshold
+                )
+            ]
+
+        # The escalation floor: one ulp above the tier's most confident
+        # disagreement, then pushed halfway toward certainty.  The
+        # *disagreement rate* at a given confidence transfers from
+        # validation to test; the direction of any one disagreement
+        # (tier right, primary wrong — or the reverse) is sampling luck,
+        # so tolerating "helpful" flips would launder coin flips into
+        # the certificate — and stopping one ulp above the worst flip
+        # would accept the test flips sitting just past it, so the
+        # guard demands the tier be at least half again closer to
+        # certain than it ever was while wrong.
+        flip_confidences = [
+            scored[position][1] for position in remaining
+            if scored[position][0] is not None
+            and scored[position][0] != top_predictions[position]
+        ]
+        floor = 0.0
+        if flip_confidences:
+            worst = max(flip_confidences)
+            floor = math.nextafter(worst + 0.5 * (1.0 - worst), 2.0)
+        candidates = sorted(
+            {
+                math.nextafter(confidence, 2.0)
+                for _parsed, confidence in scored.values()
+            }
+        )
+        chosen = escalate_all
+        for candidate in [floor, *candidates]:
+            if candidate < floor:
+                continue
+            accepted = accepted_at(candidate)
+            flips = sum(
+                1 for position in accepted
+                if scored[position][0] != top_predictions[position]
+            )
+            # Zero flips over a non-empty accepted set; an empty
+            # accepted set is no certificate at all — such a threshold
+            # would extrapolate to confidences the split never
+            # exhibited.
+            if accepted and flips == 0:
+                chosen = candidate
+                break
+        thresholds.append(chosen)
+        accepted = accepted_at(chosen)
+        for position in accepted:
+            composed[position] = scored[position][0]
+        taken = set(accepted)
+        remaining = [
+            position for position in remaining if position not in taken
+        ]
+
+    validation_metric = metric_of(composed)
+    if validation_metric < reference - policy.max_quality_loss:
+        thresholds = [escalate_all] * len(thresholds)
+        validation_metric = metric_of(list(top_predictions))
+    return {
+        "thresholds": thresholds,
+        "reference_metric": reference,
+        "validation_metric": validation_metric,
+    }
+
+
+def _serve_cascade(
+    policy,
+    thresholds,
+    spec,
+    model,
+    prompts: list[str],
+    pending: list[int],
+    *,
+    executor,
+    workers,
+    tracker,
+    retry_policy,
+    breaker,
+    deadline,
+    admission,
+    priority,
+    budget,
+    on_error: str,
+    quarantine: dict,
+    suffixes: list[str] | None = None,
+    prefix_tokens: int | None = None,
+):
+    """Serve ``pending`` prompts cheapest-tier-first with escalation.
+
+    Tier 0 is the primary fan-out (it owns the run's request tracker —
+    record indices are positions in ``pending``, which the trace latency
+    join relies on — and the admission plan); escalation rounds run on
+    fresh executors.  ``thresholds`` is either a single escalation
+    threshold shared by every cheap tier or a per-tier sequence aligned
+    with the cheap tiers (what calibration produces).  A non-final tier
+    keeps an example only when its confidence clears its threshold
+    *and* its text parses — otherwise
+    the example escalates, so a cheap tier can never inject garbage the
+    calibration didn't price in.  The primary model is always the final
+    authority: its failures quarantine (or raise) exactly like a
+    non-cascade run's.
+
+    When the run uses the split prefix + suffix prompt path,
+    ``suffixes``/``prefix_tokens`` carry the PR 6 accounting hints: each
+    tier models a separate deployment with its own prefix KV cache, so
+    the shared demonstration prefix is charged once per *tier touched*
+    and every request is otherwise billed for its suffix alone.
+
+    Returns ``(responses_by_index, cascade_section)``; the caller adds
+    the cost fields from usage deltas.
+    """
+    from repro.api.batch import BatchFailure, make_executor
+    from repro.api.client import CompletionClient
+    from repro.api.retry import ParseError
+    from repro.api.usage import count_tokens
+
+    primary_name = getattr(model, "name", type(model).__name__)
+    shared_usage = model.usage if isinstance(model, CompletionClient) else None
+    shared_cache = model.cache if isinstance(model, CompletionClient) else None
+    chain = [
+        (
+            policy.tier_name(index),
+            policy.resolve(index, usage=shared_usage, cache=shared_cache),
+        )
+        for index in range(len(policy.tiers))
+        if policy.tier_name(index) != primary_name
+    ]
+    chain.append((primary_name, model))
+    if isinstance(thresholds, (int, float)):
+        thresholds = [float(thresholds)] * (len(chain) - 1)
+    thresholds = list(thresholds)
+    if len(thresholds) != len(chain) - 1:
+        raise ValueError(
+            f"expected {len(chain) - 1} cascade thresholds, "
+            f"got {len(thresholds)}"
+        )
+    responses: dict[int, str] = {}
+    served_by: dict[str, int] = {}
+    backend_calls: dict[str, int] = {}
+    escalated: set[int] = set()
+    current = list(pending)
+    for depth, (tier_label, tier_model) in enumerate(chain):
+        served_by.setdefault(tier_label, 0)
+        backend_calls.setdefault(tier_label, 0)
+        if not current:
+            continue
+        final = depth == len(chain) - 1
+        if not final and thresholds[depth] - policy.spread / 2.0 > 1.0:
+            # Pruned tier (calibration found it untrustworthy): no
+            # confidence can clear its threshold, so skip the probe
+            # instead of paying for calls that can never be accepted.
+            escalated.update(current)
+            continue
+        calls_before = (
+            tier_model.stats["backend_calls"]
+            if isinstance(tier_model, CompletionClient)
+            else None
+        )
+        if depth == 0:
+            tier_executor = make_executor(
+                executor, workers=workers, usage=tracker, policy=retry_policy,
+                breaker=breaker, budget=budget, deadline=deadline,
+                admission=admission, priority=priority,
+            )
+        else:
+            tier_executor = make_executor(
+                executor, workers=workers, policy=retry_policy,
+                breaker=breaker, deadline=deadline,
+            )
+
+        hinted = suffixes is not None and isinstance(
+            tier_model, CompletionClient
+        )
+
+        def serve(index: int, tier=tier_model, verbose=not final,
+                  hinted=hinted):
+            hint = count_tokens(suffixes[index]) if hinted else None
+            if verbose:
+                if hint is not None:
+                    return tier.complete_verbose(
+                        prompts[index], prompt_tokens=hint
+                    )
+                return tier.complete_verbose(prompts[index])
+            if hint is not None:
+                return tier.complete(prompts[index], prompt_tokens=hint)
+            return tier.complete(prompts[index])
+
+        armed = hinted and prefix_tokens is not None
+        if armed:
+            tier_model.begin_prompt_prefix(prefix_tokens)
+        try:
+            outcomes = tier_executor.map(serve, current, on_error="return")
+        finally:
+            if armed:
+                tier_model.end_prompt_prefix()
+        next_round: list[int] = []
+        for position, outcome in enumerate(outcomes):
+            index = current[position]
+            if isinstance(outcome, BatchFailure):
+                shed = outcome.error_type == "Shed"
+                if not shed and not final:
+                    # A cheap tier's terminal failure is just an
+                    # escalation: the pricier tier is the retry.
+                    escalated.add(index)
+                    next_round.append(index)
+                    continue
+                if on_error != "quarantine":
+                    raise outcome.error
+                quarantine[index] = QuarantineRecord(
+                    index=index,
+                    error_type=outcome.error_type,
+                    error=str(outcome.error),
+                    attempts=outcome.attempts,
+                    stage="admission" if shed else "completion",
+                )
+                continue
+            if final:
+                responses[index] = outcome
+                served_by[tier_label] += 1
+                continue
+            accept = not policy.should_escalate(
+                prompts[index], outcome.confidence, thresholds[depth]
+            )
+            if accept:
+                try:
+                    _parse_checked(spec, outcome.text)
+                except ParseError:
+                    accept = False
+            if accept:
+                responses[index] = outcome.text
+                served_by[tier_label] += 1
+            else:
+                escalated.add(index)
+                next_round.append(index)
+        if calls_before is not None:
+            backend_calls[tier_label] = (
+                tier_model.stats["backend_calls"] - calls_before
+            )
+        current = next_round
+    section = {
+        "tiers": [label for label, _tier in chain],
+        "threshold": policy.threshold,
+        "thresholds": thresholds,
+        "served_by_tier": served_by,
+        "escalated": len(escalated),
+        "escalation_rate": (len(escalated) / len(pending)) if pending else 0.0,
+        "backend_calls_by_tier": backend_calls,
+    }
+    return responses, section
 
 
 def _resolve_resilience(deadline, hedge, fallback, admission, budget, breaker):
@@ -533,6 +943,7 @@ def run_task(
     budget=None,
     executor: str | None = None,
     prefix_cache=None,
+    cascade=None,
 ) -> TaskRun:
     """Evaluate ``model`` on ``dataset`` under the named task's spec.
 
@@ -598,6 +1009,22 @@ def run_task(
       once per run, the manifest grows a ``prefix_cache`` block, and
       prefix tokens are charged once per run (see
       :meth:`~repro.api.client.CompletionClient.begin_prompt_prefix`).
+
+    Cost-aware serving (PR 7):
+
+    * ``cascade`` — ``True`` (default cheap-tier ladder), tier names
+      (``"gpt3-1.3b,gpt3-6.7b"``, a list), or a ready
+      :class:`~repro.api.resilience.CascadePolicy`: every example is
+      served by the cheapest tier first and only low-confidence
+      predictions escalate toward the primary model (always the final
+      authority).  ``--cascade-threshold``/``CascadePolicy(threshold=)``
+      pins the escalation bar; ``None`` calibrates it per task on the
+      validation split (see :func:`calibrate_cascade_threshold`).  The
+      manifest grows a ``cascade`` block (per-tier served counts,
+      escalation rate, estimated cost vs. primary-only) and results are
+      byte-identical at any worker count through either executor.
+      Mutually exclusive with ``checkpoint`` (a journaled response does
+      not record which tier produced it).
     """
     from repro.api.batch import BatchFailure, make_executor
     from repro.api.client import CompletionClient
@@ -618,6 +1045,12 @@ def run_task(
     deadline, hedge, fallback, admission = _resolve_resilience(
         deadline, hedge, fallback, admission, budget, breaker
     )
+    cascade = _resolve_cascade(cascade)
+    if cascade is not None and checkpoint is not None:
+        raise ValueError(
+            "cascade serving does not support checkpoint resume: a "
+            "journaled response does not record which tier produced it"
+        )
     if isinstance(model, CompletionClient):
         # The client is where hedging can uphold its dedup invariants
         # (under the cache and single-flight lock) and where a deadline
@@ -675,11 +1108,16 @@ def run_task(
         ]
     phases["prompting"] = time.perf_counter() - phase_started
 
-    journal = _open_checkpoint(
-        checkpoint, spec, dataset, model,
-        k=k, selection=selection, split=split, seed=seed,
-        max_examples=max_examples, config=config, fault_plan=fault_plan,
-    )
+    # Cascade runs never journal — not even under an ambient default
+    # checkpoint directory — because resume could not attribute a
+    # journaled response to its serving tier.
+    journal = None
+    if cascade is None:
+        journal = _open_checkpoint(
+            checkpoint, spec, dataset, model,
+            k=k, selection=selection, split=split, seed=seed,
+            max_examples=max_examples, config=config, fault_plan=fault_plan,
+        )
 
     # The tracker receives one RequestRecord per evaluated example from
     # the executor — retries, failures, and latency for the manifest,
@@ -710,10 +1148,32 @@ def run_task(
             continue
         pending.append(index)
 
+    # Per-task threshold calibration happens before the serving clock
+    # starts (its own phase) so the cascade's cost telemetry measures
+    # serving alone.
+    cascade_thresholds = cascade.threshold if cascade is not None else None
+    cascade_calibration = None
+    if cascade is not None and cascade_thresholds is None and pending:
+        calibration_started = time.perf_counter()
+        cascade_calibration = calibrate_cascade_threshold(
+            spec, cascade, model, dataset, config, demonstrations, k=k,
+            on_error=on_error,
+        )
+        cascade_thresholds = cascade_calibration["thresholds"]
+        phases["calibration"] = time.perf_counter() - calibration_started
+        phase_started = time.perf_counter()
+
     # Prefix-aware accounting: arm the one-shot prefix charge on the
     # client and pass per-example suffix counts so the shared prefix is
     # tokenized (and charged) once per run instead of once per request.
-    hint_client = model if isinstance(model, CompletionClient) else None
+    # Cascade serving manages its own arming — each tier models a
+    # separate deployment with its own prefix KV cache, so the charge is
+    # armed once per *tier* inside ``_serve_cascade`` instead of here.
+    hint_client = (
+        model
+        if isinstance(model, CompletionClient) and cascade is None
+        else None
+    )
     if prefix_obj is not None and hint_client is not None:
         hint_client.begin_prompt_prefix(prefix_obj.n_tokens)
 
@@ -728,7 +1188,33 @@ def run_task(
             journal.record_example(index, prompts[index], response)
         return response
 
-    if pending:
+    cascade_section = None
+    usage_before_serving = (
+        model.usage.snapshot() if isinstance(model, CompletionClient) else None
+    )
+    if pending and cascade is not None:
+        served, cascade_section = _serve_cascade(
+            cascade, cascade_thresholds, spec, model, prompts, pending,
+            executor=executor, workers=workers, tracker=tracker,
+            retry_policy=retry_policy, breaker=breaker, deadline=deadline,
+            admission=admission, priority=priority, budget=budget,
+            on_error=on_error, quarantine=quarantine,
+            suffixes=suffixes,
+            prefix_tokens=(
+                prefix_obj.n_tokens if prefix_obj is not None else None
+            ),
+        )
+        for index, text in served.items():
+            responses[index] = text
+        cascade_section["calibrated"] = cascade_calibration is not None
+        if cascade_calibration is not None:
+            cascade_section["reference_metric"] = (
+                cascade_calibration["reference_metric"]
+            )
+            cascade_section["validation_metric"] = (
+                cascade_calibration["validation_metric"]
+            )
+    elif pending:
         batch_executor = make_executor(
             executor, workers=workers, usage=tracker, policy=retry_policy,
             breaker=breaker, budget=budget, deadline=deadline,
@@ -766,6 +1252,46 @@ def run_task(
         # Disarm so an unclaimed charge (fully cache-warm run) cannot
         # leak into the next run sharing this client.
         hint_client.end_prompt_prefix()
+    if cascade_section is not None:
+        # Cost telemetry: actual serving spend (usage delta across the
+        # tier clients, which share the primary tracker) vs. what the
+        # primary tier alone would have been estimated to charge for the
+        # same prompts and final responses.
+        from repro.api.usage import usage_delta
+
+        est_cost = 0.0
+        if usage_before_serving is not None:
+            serving_delta = usage_delta(
+                usage_before_serving, model.usage.snapshot()
+            )
+            est_cost = sum(
+                usage.cost_usd for usage in serving_delta.values()
+            )
+        top_rate = _price_per_1k(getattr(model, "name", ""))
+        baseline = 0.0
+        if top_rate is not None:
+            served_any = False
+            for index in pending:
+                if responses[index] is None:
+                    continue
+                served_any = True
+                prompt_cost_tokens = (
+                    count_tokens(suffixes[index])
+                    if suffixes is not None
+                    else count_tokens(prompts[index])
+                )
+                baseline += (
+                    prompt_cost_tokens + count_tokens(responses[index])
+                ) * top_rate / 1000.0
+            if served_any and suffixes is not None and prefix_obj is not None:
+                # The primary-only baseline would also charge the shared
+                # demonstration prefix exactly once (PR 6 semantics).
+                baseline += prefix_obj.n_tokens * top_rate / 1000.0
+        cascade_section["est_cost_usd"] = est_cost
+        cascade_section["est_baseline_cost_usd"] = baseline
+        cascade_section["est_savings_rate"] = (
+            (1.0 - est_cost / baseline) if baseline > 0 else 0.0
+        )
     phases["completion"] = time.perf_counter() - phase_started
 
     phase_started = time.perf_counter()
@@ -834,11 +1360,19 @@ def run_task(
                 del quarantine[index]
                 tier_counts[tier_label] += 1
             failed = still_failed
-        primary_name = getattr(model, "name", type(model).__name__)
-        served_by_tier = {primary_name: len(examples) - n_failed_primary}
+        if cascade_section is not None:
+            # Under a cascade the per-tier serving split is already
+            # known; fold the fallback rescues into it instead of
+            # crediting every non-quarantined example to the primary.
+            served_by_tier = dict(cascade_section["served_by_tier"])
+        else:
+            primary_name = getattr(model, "name", type(model).__name__)
+            served_by_tier = {primary_name: len(examples) - n_failed_primary}
         for name, count in tier_counts.items():
             served_by_tier[name] = served_by_tier.get(name, 0) + count
         phases["fallback"] = time.perf_counter() - phase_started
+    elif cascade_section is not None:
+        served_by_tier = dict(cascade_section["served_by_tier"])
 
     phase_started = time.perf_counter()
     labels = [spec.label_of(example) for example in examples]
@@ -929,6 +1463,7 @@ def run_task(
         shed=admission.stats() if admission is not None else None,
         served_by_tier=served_by_tier,
         prefix_cache=prefix_section,
+        cascade=cascade_section,
     )
     return TaskRun(
         task=spec.name,

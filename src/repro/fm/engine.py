@@ -8,6 +8,7 @@ thresholds, knowledge recall, and deterministic "temperature-0" noise.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass
 
@@ -259,7 +260,14 @@ class SimulatedFoundationModel:
             0.05 + zero_shot_jitter + imbalance_jitter + 0.25 * temperature
         )
         margin = abs(score + noise - threshold)
-        self._last_confidence = min(1.0, 0.5 + 2.0 * margin)
+        # Exponential squash of the decision margin into [0.5, 1.0):
+        # strictly monotone, so no two distinct margins collapse into one
+        # confidence bucket (a clamped-linear map saturates every wide
+        # margin at exactly 1.0, which blinds any downstream consumer —
+        # confidence-routed cascades in particular — to the difference
+        # between "fairly sure" and "certain").  Real LM confidences
+        # derived from token logprobs are continuous the same way.
+        self._last_confidence = 1.0 - 0.5 * math.exp(-3.0 * margin)
         return "Yes" if score + noise >= threshold else "No"
 
     def _answer_match(self, parsed: ParsedPrompt, temperature: float) -> str:

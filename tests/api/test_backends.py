@@ -1,0 +1,220 @@
+"""Tests for the pluggable backend protocol, registry, and HTTP adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CompletionClient, PromptCache
+from repro.api.backends import (
+    AzureOpenAIBackend,
+    BackendInfo,
+    CompletionBackend,
+    DirectOpenAIBackend,
+    InProcessFakeTransport,
+    available_backends,
+    backend_info,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.usage import PRICE_PER_1K_TOKENS, UsageTracker
+from repro.fm.engine import SimulatedFoundationModel
+
+PROMPT = (
+    "Product A is name: sony headphones. Product B is name: sony "
+    "headphones. Are Product A and Product B the same? Yes or No?\n"
+)
+
+
+class TestRegistry:
+    def test_simulated_tiers_are_preregistered_in_size_order(self):
+        names = available_backends()
+        for tier in ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b"):
+            assert tier in names
+
+    def test_get_backend_returns_fresh_simulator_instances(self):
+        first = get_backend("gpt3-175b")
+        second = get_backend("gpt3-175b")
+        assert isinstance(first, SimulatedFoundationModel)
+        assert first is not second
+        assert first.name == second.name == "gpt3-175b"
+
+    def test_alias_resolution_matches_profile_shorthand(self):
+        assert get_backend("175b").name == "gpt3-175b"
+        assert get_backend("6.7b").name == "gpt3-6.7b"
+        assert backend_info("1.3b").name == "gpt3-1.3b"
+
+    def test_unknown_backend_raises_keyerror_listing_registered(self):
+        with pytest.raises(KeyError, match="gpt3-175b"):
+            get_backend("gpt5-nano")
+
+    def test_backends_satisfy_the_protocol(self):
+        assert isinstance(get_backend("gpt3-175b"), CompletionBackend)
+        fake = DirectOpenAIBackend("m", transport=InProcessFakeTransport())
+        assert isinstance(fake, CompletionBackend)
+
+    def test_pricing_metadata_matches_usage_table(self):
+        for name in ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b"):
+            info = backend_info(name)
+            assert info.price_per_1k_tokens == PRICE_PER_1K_TOKENS[name]
+            assert info.kind == "simulated"
+            assert info.n_parameters is not None
+
+    def test_params_label_human_readable(self):
+        assert backend_info("gpt3-175b").params_label == "175B"
+        assert backend_info("gpt3-1.3b").params_label == "1.3B"
+        assert BackendInfo(name="x").params_label == "-"
+
+    def test_register_and_unregister_custom_backend(self):
+        class Canned:
+            name = "canned-backend"
+
+            def complete(self, prompt, temperature=0.0, **kwargs):
+                return "Yes"
+
+        register_backend(
+            "canned-backend", Canned, kind="custom", aliases=("canned",)
+        )
+        try:
+            assert get_backend("canned").complete(PROMPT) == "Yes"
+            assert backend_info("canned-backend").kind == "custom"
+            assert "canned-backend" in available_backends()
+        finally:
+            unregister_backend("canned-backend")
+        with pytest.raises(KeyError):
+            get_backend("canned-backend")
+        with pytest.raises(KeyError):
+            get_backend("canned")
+
+    def test_alias_may_not_shadow_canonical_name(self):
+        with pytest.raises(ValueError, match="shadow"):
+            register_backend(
+                "shadow-test", object, aliases=("gpt3-175b",)
+            )
+        assert "shadow-test" not in available_backends()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", object)
+
+
+class TestClientIntegration:
+    def test_string_resolution_equals_explicit_construction(self):
+        by_name = CompletionClient("gpt3-175b", cache=PromptCache(":memory:"))
+        explicit = CompletionClient(
+            SimulatedFoundationModel("gpt3-175b"),
+            cache=PromptCache(":memory:"),
+        )
+        assert by_name.name == explicit.name
+        assert by_name.complete(PROMPT) == explicit.complete(PROMPT)
+
+    def test_client_accepts_alias_names(self):
+        client = CompletionClient("175b", cache=PromptCache(":memory:"))
+        assert client.name == "gpt3-175b"
+
+    def test_client_over_http_adapter_caches_and_meters(self):
+        transport = InProcessFakeTransport()
+        register_backend(
+            "openai-fake",
+            lambda: DirectOpenAIBackend(
+                "openai-fake", api_key="k", transport=transport
+            ),
+            kind="openai",
+        )
+        try:
+            usage = UsageTracker()
+            client = CompletionClient(
+                "openai-fake", cache=PromptCache(":memory:"), usage=usage
+            )
+            first = client.complete(PROMPT)
+            second = client.complete(PROMPT)
+        finally:
+            unregister_backend("openai-fake")
+        assert first == second
+        assert len(transport.requests) == 1  # second hit the prompt cache
+        assert client.stats["backend_calls"] == 1
+        snapshot = usage.snapshot()["openai-fake"]
+        assert snapshot["n_requests"] == 2
+        assert snapshot["n_cache_hits"] == 1
+
+
+class TestHTTPAdapters:
+    def test_direct_openai_request_shape(self):
+        transport = InProcessFakeTransport()
+        backend = DirectOpenAIBackend(
+            "gpt3-fake", api_key="sk-test", transport=transport
+        )
+        text = backend.complete(PROMPT)
+        assert isinstance(text, str) and text
+        request = transport.requests[0]
+        assert request["url"] == "https://api.openai.com/v1/completions"
+        assert request["headers"]["Authorization"] == "Bearer sk-test"
+        assert request["payload"]["model"] == "gpt3-fake"
+        assert request["payload"]["prompt"] == PROMPT
+        assert "logprobs" not in request["payload"]
+
+    def test_azure_request_shape(self):
+        transport = InProcessFakeTransport()
+        backend = AzureOpenAIBackend(
+            deployment="davinci-dep",
+            endpoint="https://unit.openai.azure.com/",
+            api_key="azure-key",
+            transport=transport,
+        )
+        backend.complete(PROMPT)
+        request = transport.requests[0]
+        assert request["url"] == (
+            "https://unit.openai.azure.com/openai/deployments/davinci-dep"
+            "/completions?api-version=2023-05-15"
+        )
+        assert request["headers"]["api-key"] == "azure-key"
+        # Azure scopes the model via the deployment URL, not the payload.
+        assert "model" not in request["payload"]
+
+    def test_verbose_confidence_round_trips_through_logprobs(self):
+        simulator = SimulatedFoundationModel("gpt3-175b")
+        backend = DirectOpenAIBackend(
+            "gpt3-175b",
+            transport=InProcessFakeTransport(
+                SimulatedFoundationModel("gpt3-175b")
+            ),
+        )
+        direct = simulator.complete_verbose(PROMPT)
+        adapted = backend.complete_verbose(PROMPT)
+        assert adapted.text == direct.text
+        assert adapted.confidence == pytest.approx(
+            direct.confidence, abs=1e-6
+        )
+        request = backend.transport.requests[0]
+        assert request["payload"]["logprobs"] == 1
+
+    def test_verbose_without_logprobs_falls_back_to_neutral(self):
+        class NoLogprobs:
+            def post(self, url, headers, payload):
+                return {"choices": [{"text": "Yes"}]}
+
+        backend = DirectOpenAIBackend("m", transport=NoLogprobs())
+        completion = backend.complete_verbose(PROMPT)
+        assert completion.text == "Yes"
+        assert completion.confidence == 0.5
+
+    def test_adapter_via_full_engine_run(self):
+        """An HTTP-adapter backend drives run_task end to end."""
+        from repro.core.tasks import run_task
+
+        register_backend(
+            "openai-engine-fake",
+            lambda: DirectOpenAIBackend(
+                "openai-engine-fake", transport=InProcessFakeTransport()
+            ),
+            kind="openai",
+        )
+        try:
+            run = run_task(
+                "entity_matching", "openai-engine-fake", "fodors_zagats",
+                k=0, max_examples=6,
+            )
+        finally:
+            unregister_backend("openai-engine-fake")
+        assert run.manifest.n_examples == 6
+        assert run.manifest.unknown_price is True  # no registered price

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 from repro.knowledge.world import default_world
 
 
@@ -20,14 +20,14 @@ def kb(world):
 
 @pytest.fixture(scope="session")
 def fm_175b():
-    return SimulatedFoundationModel("gpt3-175b")
+    return get_backend("gpt3-175b")
 
 
 @pytest.fixture(scope="session")
 def fm_67b():
-    return SimulatedFoundationModel("gpt3-6.7b")
+    return get_backend("gpt3-6.7b")
 
 
 @pytest.fixture(scope="session")
 def fm_13b():
-    return SimulatedFoundationModel("gpt3-1.3b")
+    return get_backend("gpt3-1.3b")

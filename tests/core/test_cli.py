@@ -93,6 +93,52 @@ class TestCommands:
         assert main(["bench", "table6"]) == 0
         assert "Encoded functional dependencies" in capsys.readouterr().out
 
+    def test_backends_lists_the_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gpt3-1.3b", "gpt3-6.7b", "gpt3-175b"):
+            assert name in out
+        assert "$0.0200/1k" in out
+        assert "175B" in out
+
+    def test_run_cascade_flag_end_to_end(
+        self, capsys, tmp_path, manifest_schema
+    ):
+        from repro.core.manifest import validate_manifest
+
+        path = tmp_path / "cascade.json"
+        assert main([
+            "run", "em", "walmart_amazon", "--k", "4",
+            "--selection", "random", "--max-examples", "20",
+            "--workers", "4", "--cascade",
+            "--cascade-threshold", "0.9", "--manifest", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cascade: threshold=0.900" in out
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_manifest(manifest, manifest_schema) == []
+        assert manifest["cascade"]["threshold"] == 0.9
+        assert sum(manifest["cascade"]["served_by_tier"].values()) == 20
+
+    def test_run_cascade_accepts_explicit_tier_ladder(self, capsys):
+        assert main([
+            "run", "em", "fodors_zagats", "--k", "0",
+            "--max-examples", "8", "--cascade", "gpt3-1.3b",
+            "--cascade-threshold", "0.0",
+        ]) == 0
+        assert "cascade: threshold=0.000" in capsys.readouterr().out
+
+    def test_cascade_threshold_requires_cascade(self):
+        with pytest.raises(SystemExit, match="--cascade"):
+            main(["run", "em", "fodors_zagats", "--k", "0",
+                  "--max-examples", "4", "--cascade-threshold", "0.5"])
+
+    def test_cascade_rejects_out_of_range_threshold(self):
+        with pytest.raises(SystemExit, match="threshold"):
+            main(["run", "em", "fodors_zagats", "--k", "0",
+                  "--max-examples", "4", "--cascade",
+                  "--cascade-threshold", "3.0"])
+
     def test_tasks_lists_the_registry(self, capsys):
         assert main(["tasks"]) == 0
         out = capsys.readouterr().out

@@ -16,7 +16,7 @@ from repro.core.manifest import (
 )
 from repro.core.tasks import run_task
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 SCHEMA_PATH = (
     Path(__file__).resolve().parents[2] / "schemas" / "run_manifest.schema.json"
@@ -129,9 +129,12 @@ class TestEngineManifest:
 
     def test_phase_timings_cover_the_run(self, em_run):
         manifest = em_run.manifest
-        # "fallback" is emitted only when a degradation ladder ran.
+        # "fallback" is emitted only when a degradation ladder ran, and
+        # "calibration" only when a cascade calibrated its threshold.
         assert set(manifest.phases) <= set(PHASE_NAMES)
-        assert set(PHASE_NAMES) - set(manifest.phases) <= {"fallback"}
+        assert set(PHASE_NAMES) - set(manifest.phases) <= {
+            "fallback", "calibration",
+        }
         assert all(seconds >= 0.0 for seconds in manifest.phases.values())
         assert manifest.wall_clock_s >= sum(manifest.phases.values()) - 1e-6
 
@@ -177,7 +180,7 @@ class FlakyModel:
     """
 
     def __init__(self, model="gpt3-175b", every=3):
-        self._fm = SimulatedFoundationModel(model)
+        self._fm = get_backend(model)
         self.name = self._fm.name
         self.every = every
         self.timed_out = set()
@@ -203,7 +206,7 @@ class TestTraceLatencyAlignment:
         run = run_task("entity_matching", model, dataset, k=0,
                        max_examples=12, workers=4, trace=True)
         clean = run_task(
-            "entity_matching", SimulatedFoundationModel("gpt3-175b"),
+            "entity_matching", get_backend("gpt3-175b"),
             dataset, k=0, max_examples=12,
         )
         # Retries must not perturb predictions or ordering.

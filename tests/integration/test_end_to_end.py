@@ -15,7 +15,7 @@ from repro.core.tasks import (
     run_transformation,
 )
 from repro.datasets import load_dataset
-from repro.fm import SimulatedFoundationModel
+from repro.api.backends import get_backend
 
 
 class TestFewShotBeatsZeroShot:
@@ -85,11 +85,11 @@ class TestDeterminism:
     def test_same_run_twice(self):
         dataset = load_dataset("beer")
         a = run_entity_matching(
-            SimulatedFoundationModel("gpt3-175b"), dataset, k=10,
+            get_backend("gpt3-175b"), dataset, k=10,
             selection="manual",
         )
         b = run_entity_matching(
-            SimulatedFoundationModel("gpt3-175b"), dataset, k=10,
+            get_backend("gpt3-175b"), dataset, k=10,
             selection="manual",
         )
         assert a.metric == b.metric
