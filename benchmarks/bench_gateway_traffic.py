@@ -1,0 +1,337 @@
+"""Gateway traffic — sustained mixed interactive+backfill serving.
+
+PR 8's claim: the multi-tenant gateway (bounded queue, tenant gates,
+coalescing scheduler) serves a sustained mixed workload — interactive
+singles from two tenants riding alongside backfill batches — at ≥ the
+offline ``run_task`` serving throughput within 10%, while keeping
+p50/p99 queue-to-answer latency pinned in the report and returning
+predictions byte-identical to the offline path on the same examples.
+
+Both paths answer from one warm :class:`PromptCache`, so the simulated
+backend is out of the loop and the measured gap is pure gateway
+overhead (queueing, tenant gates, coalescing, response fan-back) —
+exactly what a shared serving deployment adds over a solo sweep.
+
+Two drive modes:
+
+* **in-process** (default) — constructs the Gateway directly; used by
+  the tier-2 bench and the throughput bar.
+* **``--gateway-url URL``** — drives a separately-started ``repro
+  serve`` over HTTP (the CI ``gateway`` job): asserts byte-identical
+  predictions, **zero** shed interactive requests, and a schema-valid
+  ``/stats`` block (written to ``--stats-out`` when given).
+
+``--smoke`` shrinks repeats and relaxes the throughput bar so the
+assertion survives loaded CI runners.
+"""
+
+import json
+import pathlib
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import publish
+
+from repro.api import PromptCache, set_default_cache
+from repro.bench.reporting import ExperimentResult
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.serve import (
+    Gateway,
+    GatewayConfig,
+    ShedResponse,
+    WrangleRequest,
+)
+
+WORKERS = 8
+K_SHOT = 10
+TASK, DATASET, SEED = "entity_matching", "itunes_amazon", 0
+
+FULL_REPEATS = 4
+SMOKE_REPEATS = 1
+
+#: Gateway examples/s must reach this fraction of offline examples/s.
+FULL_THROUGHPUT_BAR = 0.9
+SMOKE_THROUGHPUT_BAR = 0.5
+
+TRIALS = 3
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "schemas" / "gateway_stats.schema.json"
+)
+
+
+def _mixed_requests(n_examples: int):
+    """Deterministic mixed traffic over indices ``0..n_examples-1``.
+
+    Per 8-index stride: one 4-example backfill batch from tenant
+    ``bulk``, then four interactive singles alternating tenants
+    ``alice``/``bob`` — every index covered exactly once, so the
+    concatenated predictions line up against the offline run.
+    """
+    plan = []  # (tenant, priority, indices)
+    index = 0
+    while index < n_examples:
+        batch = list(range(index, min(index + 4, n_examples)))
+        plan.append(("bulk", "backfill", batch))
+        index += len(batch)
+        for _ in range(4):
+            if index >= n_examples:
+                break
+            tenant = "alice" if index % 2 else "bob"
+            plan.append((tenant, "interactive", [index]))
+            index += 1
+    return plan
+
+
+def _request_payload(tenant, priority, indices) -> dict:
+    return dict(
+        tenant=tenant, task=TASK, dataset=DATASET, indices=indices,
+        priority=priority, k=K_SHOT, selection="random", seed=SEED,
+    )
+
+
+def _offline_run():
+    return run_task(
+        TASK, "gpt3-175b", load_dataset(DATASET), k=K_SHOT,
+        selection="random", seed=SEED, executor="async", workers=WORKERS,
+    )
+
+
+def _time_offline(repeats: int) -> tuple[float, list]:
+    started = time.perf_counter()
+    predictions = None
+    for _ in range(repeats):
+        run = _offline_run()
+        if predictions is None:
+            predictions = run.predictions
+        else:
+            assert run.predictions == predictions
+    return time.perf_counter() - started, predictions
+
+
+def _time_gateway(plan, repeats: int) -> tuple[float, dict, dict]:
+    """Drive ``plan`` through an in-process gateway ``repeats`` times."""
+    config = GatewayConfig(
+        queue_capacity=max(64, len(plan) * repeats),
+        max_batch=32,
+        workers=WORKERS,
+        executor="async",
+    )
+    gateway = Gateway(config)
+    predictions: dict[int, object] = {}
+    with gateway:
+        started = time.perf_counter()
+        futures = []
+        for _ in range(repeats):
+            for tenant, priority, indices in plan:
+                futures.append((indices, gateway.submit(WrangleRequest(
+                    **_request_payload(tenant, priority, indices)
+                ))))
+        for indices, future in futures:
+            response = future.result(timeout=300)
+            assert not isinstance(response, ShedResponse), (
+                f"request shed: {response.reason}"
+            )
+            assert response.ok
+            for offset, result in enumerate(response.results):
+                value = result["prediction"]
+                seen = predictions.setdefault(indices[offset], value)
+                assert seen == value  # repeats agree with each other
+        elapsed = time.perf_counter() - started
+        stats = gateway.stats()
+    return elapsed, predictions, stats
+
+
+def _drive_http(url: str, plan, repeats: int):
+    """The CI shape: same workload over HTTP against `repro serve`."""
+    def post(payload: dict):
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url.rstrip("/") + "/v1/wrangle", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=300) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    started = time.perf_counter()
+    outcomes = []
+    with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+        for _ in range(repeats):
+            for tenant, priority, indices in plan:
+                outcomes.append((
+                    (tenant, priority, indices),
+                    pool.submit(post, _request_payload(
+                        tenant, priority, indices
+                    )),
+                ))
+        outcomes = [(meta, future.result()) for meta, future in outcomes]
+    elapsed = time.perf_counter() - started
+
+    predictions: dict[int, object] = {}
+    shed_interactive = 0
+    for (tenant, priority, indices), (status, payload) in outcomes:
+        if status != 200:
+            if priority == "interactive":
+                shed_interactive += 1
+            continue
+        for offset, result in enumerate(payload["results"]):
+            predictions.setdefault(indices[offset], result["prediction"])
+    with urllib.request.urlopen(
+        url.rstrip("/") + "/stats", timeout=30
+    ) as response:
+        stats = json.loads(response.read())
+    return elapsed, predictions, stats, shed_interactive
+
+
+def run(repeats: int = FULL_REPEATS, gateway_url: str | None = None,
+        bar: float = FULL_THROUGHPUT_BAR) -> ExperimentResult:
+    pool = load_dataset(DATASET).test
+    n_examples = len(pool)
+    plan = _mixed_requests(n_examples)
+    n_interactive = sum(1 for _, p, _ in plan if p == "interactive")
+    n_backfill = len(plan) - n_interactive
+
+    if gateway_url is None:
+        # One process-wide warm cache shared by the offline path and
+        # every gateway context: the simulator is out of the loop.
+        set_default_cache(PromptCache(":memory:"))
+    try:
+        warm = _offline_run()  # warms cache + pins the baseline outputs
+
+        offline_s, offline_predictions = _time_offline(repeats)
+        for _ in range(TRIALS - 1):
+            elapsed, again = _time_offline(repeats)
+            assert again == offline_predictions
+            offline_s = min(offline_s, elapsed)
+        assert offline_predictions == warm.predictions
+
+        if gateway_url is not None:
+            gateway_s, predictions, stats, shed_interactive = _drive_http(
+                gateway_url, plan, repeats
+            )
+            assert shed_interactive == 0, (
+                f"{shed_interactive} interactive requests shed"
+            )
+        else:
+            gateway_s, predictions, stats = _time_gateway(plan, repeats)
+            for _ in range(TRIALS - 1):
+                elapsed, again, stats = _time_gateway(plan, repeats)
+                assert again == predictions
+                gateway_s = min(gateway_s, elapsed)
+            assert stats["shed"]["by_reason"]["queue_full"] == 0
+            assert stats["shed"]["by_reason"]["queue_evicted"] == 0
+    finally:
+        if gateway_url is None:
+            set_default_cache(None)
+
+    flat = [predictions[i] for i in range(n_examples)]
+    identical = flat == offline_predictions
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    schema_problems = validate_manifest(stats, schema)
+
+    volume = n_examples * repeats
+    offline_eps = volume / offline_s
+    gateway_eps = volume / gateway_s
+    ratio = gateway_eps / offline_eps
+    latency = stats["latency"]
+
+    result = ExperimentResult(
+        experiment="gateway_traffic",
+        title=(
+            f"Gateway traffic ({volume} warm-cache EM examples over "
+            f"{len(plan) * repeats} requests: {n_interactive * repeats} "
+            f"interactive singles / {n_backfill * repeats} backfill "
+            f"batches, {K_SHOT}-shot shared prefix, workers={WORKERS})"
+        ),
+        headers=["mode", "seconds", "examples_per_s", "req_per_s",
+                 "p50_s", "p99_s", "identical"],
+        notes=(
+            "identical = gateway predictions byte-equal to offline "
+            "run_task on the same examples; p50/p99 are queue-to-answer "
+            "latency from the gateway stats block "
+            "(interactive class). Stats block schema-valid: "
+            + ("yes" if not schema_problems else f"NO: {schema_problems}")
+            + f". Interactive shed: "
+            + str(stats["shed"]["by_reason"].get("tenant_rate", 0)
+                  + stats["shed"]["by_reason"].get("queue_full", 0))
+            + "."
+        ),
+    )
+    result.add_row(
+        f"offline run_task x{repeats} (async)", offline_s, offline_eps,
+        (len(plan) * repeats) / offline_s, 0.0, 0.0, "yes",
+    )
+    result.add_row(
+        "gateway mixed traffic", gateway_s, gateway_eps,
+        (len(plan) * repeats) / gateway_s,
+        latency["interactive"]["p50_s"], latency["interactive"]["p99_s"],
+        "yes" if identical else "NO",
+    )
+    result._identical = identical
+    result._ratio = ratio
+    result._schema_problems = schema_problems
+    result._served_interactive = stats["served_by_priority"]["interactive"]
+    result._expected_interactive = n_interactive * repeats
+    return result
+
+
+def _assert_claims(result, bar: float, check_throughput: bool = True) -> None:
+    assert result._identical, "gateway predictions diverged from offline"
+    assert result._schema_problems == [], result._schema_problems
+    assert result._served_interactive == result._expected_interactive, (
+        f"served {result._served_interactive} of "
+        f"{result._expected_interactive} interactive requests"
+    )
+    if check_throughput:
+        assert result._ratio >= bar, (
+            f"gateway at {result._ratio:.2f}x offline throughput, "
+            f"bar is {bar}x"
+        )
+
+
+def test_gateway_traffic(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(result)
+    # The PR 8 acceptance bar: mixed gateway traffic sustains offline
+    # serving throughput within 10%, byte-identical predictions.
+    _assert_claims(result, FULL_THROUGHPUT_BAR)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    gateway_url = None
+    stats_out = None
+    if "--gateway-url" in argv:
+        gateway_url = argv[argv.index("--gateway-url") + 1]
+    if "--stats-out" in argv:
+        stats_out = argv[argv.index("--stats-out") + 1]
+    repeats = SMOKE_REPEATS if smoke else FULL_REPEATS
+    bar = SMOKE_THROUGHPUT_BAR if smoke else FULL_THROUGHPUT_BAR
+    result = run(repeats=repeats, gateway_url=gateway_url, bar=bar)
+    print(result.render())
+    # Over HTTP the gateway sits in another process with a cold cache,
+    # so the throughput bar applies to the in-process drive only; the
+    # identity, zero-interactive-shed, and schema claims always hold.
+    _assert_claims(result, bar, check_throughput=gateway_url is None)
+    if stats_out:
+        stats_url = gateway_url.rstrip("/") + "/stats" if gateway_url else None
+        if stats_url is not None:
+            with urllib.request.urlopen(stats_url, timeout=30) as response:
+                pathlib.Path(stats_out).write_bytes(response.read())
+            print(f"stats written to {stats_out}")
+    bar_label = f"≥{bar}x offline" if gateway_url is None else "identity+shed"
+    print(f"gateway traffic claims ({bar_label}): PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,6 +33,7 @@ the same for genuinely blocking backends.
 from __future__ import annotations
 
 import asyncio
+import atexit
 import threading
 import time
 from collections.abc import Callable, Iterable
@@ -72,17 +73,36 @@ def get_serving_loop() -> asyncio.AbstractEventLoop:
 
 
 def shutdown_serving_loop() -> None:
-    """Stop and close the serving loop (mainly for tests)."""
+    """Stop and close the serving loop.
+
+    Safe to call at any time, from any thread, any number of times —
+    including concurrently with :func:`get_serving_loop` (the globals
+    swap atomically under the lock, so a racing getter either reuses
+    the loop before we detach it or starts a fresh one).  Called
+    explicitly by ``repro serve`` on exit and registered via ``atexit``
+    so one-shot CLI runs stop the daemon thread cleanly too.
+    """
     global _LOOP, _LOOP_THREAD
     with _LOOP_LOCK:
         loop, thread = _LOOP, _LOOP_THREAD
         _LOOP = _LOOP_THREAD = None
     if loop is None or loop.is_closed():
         return
-    loop.call_soon_threadsafe(loop.stop)
-    if thread is not None:
+    try:
+        loop.call_soon_threadsafe(loop.stop)
+    except RuntimeError:
+        # Lost a race with another shutdown that already closed it.
+        return
+    if thread is not None and thread is not threading.current_thread():
         thread.join(timeout=5.0)
-    loop.close()
+    if thread is None or not thread.is_alive():
+        loop.close()
+
+
+# One-shot runs never call shutdown themselves; without this the daemon
+# loop thread dies mid-instruction at interpreter teardown and can spray
+# "Exception ignored in..." noise on 3.12.
+atexit.register(shutdown_serving_loop)
 
 
 #: Slot marker for items skipped after a sibling's terminal failure in
@@ -308,12 +328,21 @@ class AsyncBatchExecutor(BatchExecutor):
 
     def map(self, fn: Callable, items: Iterable, on_error: str = "raise") -> list:
         """Sync bridge onto the serving loop (the facade entry point)."""
-        loop = get_serving_loop()
         if threading.current_thread() is _LOOP_THREAD:
             raise RuntimeError(
                 "map() called from the serving loop itself; await amap()"
             )
-        future = asyncio.run_coroutine_threadsafe(
-            self.amap(fn, items, on_error), loop
-        )
-        return future.result()
+        # A concurrent shutdown_serving_loop() can close the loop between
+        # our lookup and the submit; one retry picks up the fresh loop.
+        for retry in (False, True):
+            loop = get_serving_loop()
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.amap(fn, items, on_error), loop
+                )
+            except RuntimeError:
+                if retry:
+                    raise
+                continue
+            return future.result()
+        raise RuntimeError("serving loop unavailable")  # pragma: no cover

@@ -56,28 +56,81 @@ class PromptCache:
 
     ``path=":memory:"`` gives a per-process cache; a file path persists
     across runs, which is what makes re-running a benchmark sweep free.
-    File-backed caches run in WAL journal mode so concurrent processes
-    (a sweep fanned across shells, all pointed at one ``--cache`` file)
-    can read while another writes.  Thread-safe via a single lock —
-    contention is irrelevant next to the latency the cache is hiding.
+    File-backed caches run in WAL journal mode so concurrent readers
+    (a sweep fanned across shells, all pointed at one ``--cache`` file,
+    or the gateway's worker threads) proceed while another writes.
+
+    Threading model: an sqlite connection is not safe for concurrent
+    use, so file-backed caches open **one connection per thread** —
+    WAL then gives genuinely parallel reads instead of funneling every
+    worker through one lock.  In-memory databases are per-connection,
+    so ``":memory:"`` paths keep a single shared connection serialized
+    by a lock (correctness over parallelism; tests use tiny caches).
     """
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
+        self._is_uri = path.startswith("file:")
+        self._shared = _is_memory_path(path)
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(
-            path, check_same_thread=False, uri=path.startswith("file:")
+        self._closed = False
+        self._local = threading.local()
+        # Connections are tracked so close() can tear down every
+        # thread's handle, not just the calling thread's.
+        self._all_conns: list[sqlite3.Connection] = []
+        if self._shared:
+            self._shared_conn = self._connect(first=True)
+        else:
+            self._shared_conn = None
+            # Create schema eagerly from the constructing thread so a
+            # bad path fails here, not on first worker access.
+            self._thread_conn()
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection (compatibility accessor)."""
+        if self._shared:
+            return self._shared_conn
+        return self._thread_conn()
+
+    def _connect(self, first: bool) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path, check_same_thread=False, uri=self._is_uri
         )
-        with self._lock:
-            if not _is_memory_path(path):
-                self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+        if not self._shared:
+            conn.execute("PRAGMA journal_mode=WAL")
+            # Writers back off instead of failing fast when another
+            # thread's transaction briefly holds the write lock.
+            conn.execute("PRAGMA busy_timeout=10000")
+        if first or not self._shared:
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        return conn
+
+    def _thread_conn(self) -> sqlite3.Connection:
+        """This thread's connection, opened on first use."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            with self._lock:
+                if self._closed:
+                    raise sqlite3.ProgrammingError(
+                        "Cannot operate on a closed database."
+                    )
+            conn = self._connect(first=False)
+            self._local.conn = conn
+            with self._lock:
+                self._all_conns.append(conn)
+        return conn
 
     def get(self, model: str, prompt: str, temperature: float = 0.0) -> str | None:
         key = _cache_key(model, prompt, temperature)
-        with self._lock:
-            row = self._conn.execute(
+        if self._shared:
+            with self._lock:
+                row = self._shared_conn.execute(
+                    "SELECT completion FROM completions WHERE key = ?", (key,)
+                ).fetchone()
+        else:
+            row = self._thread_conn().execute(
                 "SELECT completion FROM completions WHERE key = ?", (key,)
             ).fetchone()
         return row[0] if row else None
@@ -86,30 +139,55 @@ class PromptCache:
         self, model: str, prompt: str, completion: str, temperature: float = 0.0
     ) -> None:
         key = _cache_key(model, prompt, temperature)
-        with self._lock:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO completions "
-                "(key, model, prompt, completion, created_at) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (key, model, prompt, completion, time.time()),
-            )
-            self._conn.commit()
+        statement = (
+            "INSERT OR REPLACE INTO completions "
+            "(key, model, prompt, completion, created_at) "
+            "VALUES (?, ?, ?, ?, ?)"
+        )
+        values = (key, model, prompt, completion, time.time())
+        if self._shared:
+            with self._lock:
+                self._shared_conn.execute(statement, values)
+                self._shared_conn.commit()
+        else:
+            conn = self._thread_conn()
+            conn.execute(statement, values)
+            conn.commit()
 
     def __len__(self) -> int:
-        with self._lock:
-            (count,) = self._conn.execute(
+        if self._shared:
+            with self._lock:
+                (count,) = self._shared_conn.execute(
+                    "SELECT COUNT(*) FROM completions"
+                ).fetchone()
+        else:
+            (count,) = self._thread_conn().execute(
                 "SELECT COUNT(*) FROM completions"
             ).fetchone()
         return count
 
     def clear(self) -> None:
-        with self._lock:
-            self._conn.execute("DELETE FROM completions")
-            self._conn.commit()
+        if self._shared:
+            with self._lock:
+                self._shared_conn.execute("DELETE FROM completions")
+                self._shared_conn.commit()
+        else:
+            conn = self._thread_conn()
+            conn.execute("DELETE FROM completions")
+            conn.commit()
 
     def close(self) -> None:
         with self._lock:
-            self._conn.close()
+            self._closed = True
+            conns = list(self._all_conns)
+            self._all_conns.clear()
+            if self._shared_conn is not None:
+                conns.append(self._shared_conn)
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - already closed
+                pass
 
 
 # Process-wide default cache.  The CLI's ``--cache PATH`` flag sets this

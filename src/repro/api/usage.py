@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import re
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 # GPT-style BPE averages ~4 characters/token on English text; we count
@@ -79,13 +80,27 @@ class UsageTracker:
     addition to per-model token tallies, the tracker keeps a per-request
     log of latency/outcome records (see
     :class:`~repro.api.batch.RequestRecord`) pushed by the executor.
+
+    ``max_request_log`` bounds the log: a long-lived process (the
+    gateway) would otherwise leak one record per request forever.  When
+    set, the log becomes a ring buffer over the most recent N records
+    and ``dropped_records`` counts evictions; ``None`` (the default)
+    keeps the unbounded one-shot behavior.
     """
 
     per_model: dict[str, Usage] = field(default_factory=dict)
     request_log: list = field(default_factory=list)
+    max_request_log: int | None = None
+    dropped_records: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        if self.max_request_log is not None:
+            if self.max_request_log < 1:
+                raise ValueError("max_request_log must be >= 1")
+            self.request_log = deque(self.request_log, maxlen=self.max_request_log)
 
     def record(
         self,
@@ -116,8 +131,17 @@ class UsageTracker:
             usage.completion_tokens += count_tokens(completion)
 
     def log_request(self, record) -> None:
-        """Append one per-request latency/outcome record."""
+        """Append one per-request latency/outcome record.
+
+        With a capped log, appending at capacity evicts the oldest
+        record and bumps :attr:`dropped_records`.
+        """
         with self._lock:
+            if (
+                self.max_request_log is not None
+                and len(self.request_log) >= self.max_request_log
+            ):
+                self.dropped_records += 1
             self.request_log.append(record)
 
     def snapshot(self) -> dict[str, dict[str, int]]:
@@ -139,13 +163,19 @@ class UsageTracker:
             }
 
     def latency_summary(self) -> dict[str, float]:
-        """Aggregate view of the request log (counts and seconds)."""
+        """Aggregate view of the request log (counts and seconds).
+
+        With a capped log the summary covers the retained window only;
+        ``dropped_records`` says how many older records fell out of it.
+        """
         with self._lock:
             log = list(self.request_log)
+            dropped = self.dropped_records
         if not log:
             return {
                 "n_requests": 0, "n_failures": 0, "n_retries": 0,
                 "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0,
+                "dropped_records": dropped,
             }
         latencies = [record.latency_s for record in log]
         return {
@@ -155,6 +185,7 @@ class UsageTracker:
             "total_s": sum(latencies),
             "mean_s": sum(latencies) / len(latencies),
             "max_s": max(latencies),
+            "dropped_records": dropped,
         }
 
     @property

@@ -451,6 +451,90 @@ def _add_resilience_flags(p) -> None:
                         "class's headroom in reserve)")
 
 
+def _parse_tenant_flag(value: str):
+    """``NAME:rate=R,burst=B,budget=N`` → (name, TenantPolicy)."""
+    from repro.serve import TenantPolicy
+
+    name, _, spec = value.partition(":")
+    if not name:
+        raise SystemExit(f"--tenant needs a name, got {value!r}")
+    rate = burst = budget = None
+    for part in filter(None, spec.split(",")):
+        key, _, raw = part.partition("=")
+        try:
+            if key == "rate":
+                rate = float(raw)
+            elif key == "burst":
+                burst = float(raw)
+            elif key == "budget":
+                budget = int(raw)
+            else:
+                raise SystemExit(
+                    f"--tenant key must be rate/burst/budget, got {key!r}"
+                )
+        except ValueError:
+            raise SystemExit(f"bad --tenant value {part!r}") from None
+    return name, TenantPolicy(max_requests=budget, rate=rate, burst=burst)
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-lived wrangling gateway until interrupted.
+
+    The serve command owns the serving-loop lifecycle explicitly: the
+    asyncio loop starts with the gateway and is shut down on exit, so
+    Ctrl-C terminates cleanly with no daemon-thread warnings.
+    """
+    import signal
+
+    from repro.api.abatch import shutdown_serving_loop
+    from repro.serve import Gateway, GatewayConfig, GatewayHTTPServer, TenantPolicy
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    _install_default_cache(args.cache)
+    tenants = dict(
+        _parse_tenant_flag(value) for value in (args.tenant or [])
+    )
+    default_tenant = TenantPolicy(
+        max_requests=args.default_budget,
+        rate=args.default_rate,
+    )
+    config = GatewayConfig(
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        executor=args.executor or "async",
+        max_request_log=args.request_log_cap,
+        tenants=tenants,
+        default_tenant=default_tenant,
+        deadline_default_s=args.deadline_default_s,
+    )
+    gateway = Gateway(config)
+    server = GatewayHTTPServer(gateway, host=args.host, port=args.port)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    gateway.start()
+    try:
+        host, port = server.address
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(queue={config.queue_capacity}, batch={config.max_batch}, "
+              f"workers={config.workers}, executor={config.executor})",
+              flush=True)
+        server.httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down gateway...", flush=True)
+    finally:
+        server.httpd.shutdown()
+        server.httpd.server_close()
+        gateway.stop()
+        shutdown_serving_loop()
+    print("gateway stopped cleanly", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -614,6 +698,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     probe = sub.add_parser("probe", help="Table 6 knowledge probes")
     probe.set_defaults(fn=_cmd_probe)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent multi-tenant wrangling gateway"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="completion fan-out width per micro-batch")
+    serve.add_argument("--executor", choices=("thread", "async"),
+                       default="async",
+                       help="fan-out core (default: async continuous batching)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="bounded request queue size")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max examples coalesced into one micro-batch")
+    serve.add_argument("--cache", metavar="PATH", default=None,
+                       help="persistent completion cache shared by all tenants")
+    serve.add_argument("--request-log-cap", type=int, default=2048,
+                       help="ring-buffer cap on the request latency log")
+    serve.add_argument("--tenant", action="append", metavar="NAME:K=V,...",
+                       help="per-tenant policy, e.g. "
+                            "acme:rate=50,burst=100,budget=10000 (repeatable)")
+    serve.add_argument("--default-rate", type=float, default=None,
+                       help="examples/s token-bucket rate for unlisted tenants")
+    serve.add_argument("--default-budget", type=int, default=None,
+                       help="lifetime request budget for unlisted tenants")
+    serve.add_argument("--deadline-default-s", type=float, default=None,
+                       help="queueing deadline applied when a request sets none")
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -17,12 +17,16 @@ from repro.core.tasks.common import (
     parse_yes_no,
 )
 from repro.core.tasks.engine import (
+    ServedItem,
+    ServingContext,
     get_default_checkpoint_dir,
     get_default_on_error,
     make_validation_scorer,
     predict,
+    resolve_serving_context,
     run_task,
     select_demonstrations,
+    serve_group,
     set_default_checkpoint_dir,
     set_default_on_error,
 )
@@ -45,6 +49,8 @@ from repro.core.tasks.transformation import run_transformation
 __all__ = [
     "ExampleRecord",
     "QuarantineRecord",
+    "ServedItem",
+    "ServingContext",
     "TASKS",
     "TaskRun",
     "TaskSpec",
@@ -59,6 +65,8 @@ __all__ = [
     "parse_yes_no",
     "predict",
     "prefix_key",
+    "resolve_serving_context",
+    "serve_group",
     "set_default_prefix_cache",
     "run_entity_matching",
     "run_error_detection",

@@ -1483,3 +1483,207 @@ def run_task(
         served_by_tier=served_by_tier,
         manifest=manifest,
     )
+
+
+class ServingContext:
+    """Everything a gateway needs to serve one compatible request group.
+
+    A group is pinned by (task, dataset, model, k, selection, seed,
+    config): the demonstrations and the shared prompt prefix are
+    resolved **once**, exactly the way :func:`run_task` resolves them,
+    and then reused for every micro-batch routed through
+    :func:`serve_group`.  That reuse is the determinism guarantee — at
+    temperature 0 a completion is a pure function of its prompt, and
+    the prompt here is byte-identical to the offline path's
+    ``prefix + suffix`` (or ``build_prompt``) for the same example.
+    """
+
+    __slots__ = (
+        "spec", "dataset", "model", "k", "selection", "seed", "config",
+        "demonstrations", "prefix",
+    )
+
+    def __init__(self, spec, dataset, model, k, selection, seed, config,
+                 demonstrations, prefix):
+        self.spec = spec
+        self.dataset = dataset
+        self.model = model
+        self.k = k
+        self.selection = selection
+        self.seed = seed
+        self.config = config
+        self.demonstrations = demonstrations
+        self.prefix = prefix
+
+    @property
+    def model_name(self) -> str:
+        return getattr(self.model, "name", type(self.model).__name__)
+
+
+class ServedItem:
+    """Outcome slot for one example served through :func:`serve_group`."""
+
+    __slots__ = ("index", "ok", "prediction", "response", "error_type",
+                 "error", "attempts")
+
+    def __init__(self, index, ok, prediction=None, response=None,
+                 error_type=None, error=None, attempts=0):
+        self.index = index
+        self.ok = ok
+        self.prediction = prediction
+        self.response = response
+        self.error_type = error_type
+        self.error = error
+        self.attempts = attempts
+
+
+def resolve_serving_context(
+    task: str | TaskSpec,
+    model,
+    dataset,
+    k: int | None = None,
+    selection: str | DemonstrationSelector = "random",
+    seed: int = 0,
+    config=None,
+    prefix_cache=None,
+) -> ServingContext:
+    """Resolve the per-group state a gateway caches between requests.
+
+    Mirrors the head of :func:`run_task` exactly: same model
+    resolution, same ``default_k``/``default_config`` fallbacks, same
+    demonstration selection, and the same
+    :func:`~repro.core.tasks.prefix.prefix_key` lookup — so a gateway
+    group and an offline run over the same knobs build the same
+    prompts byte for byte.
+    """
+    spec = get_task(task)
+    model = _resolve_model(model)
+    if isinstance(dataset, str):
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(dataset)
+    if k is None:
+        k = spec.default_k
+    if config is None:
+        config = spec.default_config(dataset)
+    demonstrations = select_demonstrations(
+        spec, model, dataset, k, config, selection, seed
+    )
+    prefix_obj = None
+    if prefix_cache is not False and spec.supports_prefix:
+        cache_obj = (
+            prefix_cache
+            if isinstance(prefix_cache, PromptPrefixCache)
+            else get_default_prefix_cache()
+        )
+        key = prefix_key(
+            spec.name, k, seed, config,
+            dataset=dataset.name,
+            selection=_selection_name(selection),
+            demonstrations=demonstrations,
+        )
+        prefix_obj, _was_cached = cache_obj.get_or_build(
+            key, lambda: spec.build_prefix(demonstrations, config)
+        )
+    return ServingContext(
+        spec=spec, dataset=dataset, model=model, k=k,
+        selection=_selection_name(selection), seed=seed, config=config,
+        demonstrations=demonstrations, prefix=prefix_obj,
+    )
+
+
+def serve_group(
+    context: ServingContext,
+    examples,
+    workers: int | None = None,
+    executor: str | None = None,
+    tracker=None,
+    retry_policy=None,
+    breaker=None,
+    deadline=None,
+    admission=None,
+    priority: str = "interactive",
+    budget=None,
+) -> list[ServedItem]:
+    """Serve one micro-batch of ``examples`` under a resolved context.
+
+    The gateway's engine entry: prompts are built exactly as
+    :func:`run_task` builds them (shared prefix + per-example suffix
+    when the task supports splitting), fanned through the same
+    ``make_executor`` facade with the same admission/priority/deadline
+    knobs, and parsed through the same checked parser.  Failures never
+    raise — every example gets a :class:`ServedItem` slot, typed with
+    the executor's error classification (``Shed``, retry exhaustion,
+    parse errors), so a multi-tenant caller can answer each request
+    individually.
+    """
+    from repro.api.batch import BatchFailure, make_executor
+    from repro.api.client import CompletionClient
+    from repro.api.retry import ParseError
+    from repro.api.usage import count_tokens
+
+    spec = context.spec
+    examples = list(examples)
+    if not examples:
+        return []
+    suffixes: list[str] | None = None
+    if context.prefix is not None:
+        suffixes = [
+            spec.build_suffix(example, context.config) for example in examples
+        ]
+        prompts = [context.prefix.text + suffix for suffix in suffixes]
+    else:
+        prompts = [
+            spec.build_prompt(
+                example, context.demonstrations, context.config, context.k
+            )
+            for example in examples
+        ]
+
+    model = context.model
+    hint_client = model if isinstance(model, CompletionClient) else None
+    if context.prefix is not None and hint_client is not None:
+        hint_client.begin_prompt_prefix(context.prefix.n_tokens)
+
+    def complete_one(index: int) -> str:
+        if suffixes is not None and hint_client is not None:
+            return hint_client.complete(
+                prompts[index], prompt_tokens=count_tokens(suffixes[index])
+            )
+        return model.complete(prompts[index])
+
+    batch_executor = make_executor(
+        executor, workers=workers, usage=tracker, policy=retry_policy,
+        breaker=breaker, budget=budget, deadline=deadline,
+        admission=admission, priority=priority,
+    )
+    try:
+        outcomes = batch_executor.map(
+            complete_one, range(len(prompts)), on_error="return"
+        )
+    finally:
+        if context.prefix is not None and hint_client is not None:
+            hint_client.end_prompt_prefix()
+
+    items: list[ServedItem] = []
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, BatchFailure):
+            items.append(ServedItem(
+                index=index, ok=False,
+                error_type=outcome.error_type,
+                error=str(outcome.error),
+                attempts=outcome.attempts,
+            ))
+            continue
+        try:
+            prediction = _parse_checked(spec, outcome)
+        except ParseError as exc:
+            items.append(ServedItem(
+                index=index, ok=False, response=outcome,
+                error_type=type(exc).__name__, error=str(exc), attempts=1,
+            ))
+            continue
+        items.append(ServedItem(
+            index=index, ok=True, prediction=prediction, response=outcome,
+        ))
+    return items

@@ -1,0 +1,50 @@
+"""repro.serve — the persistent, multi-tenant wrangling gateway.
+
+One long-lived process in front of the task engine: requests arrive
+(HTTP or in-process), pass per-tenant budget and rate gates, wait in a
+bounded priority queue, and are coalesced — same task + dataset +
+model + prompt config → one micro-batch through the continuous-batching
+executor and the shared demonstration-prefix cache — before being
+served by the same engine path the offline CLI uses.  Predictions are
+byte-identical to ``run_task`` on the same examples (see DESIGN §4d).
+
+Layers:
+
+* :mod:`repro.serve.request` — :class:`WrangleRequest` /
+  :class:`WrangleResponse` / typed :class:`ShedResponse`, plus the
+  bounded priority :class:`RequestQueue`.
+* :mod:`repro.serve.tenancy` — per-tenant token-bucket rate limits and
+  request budgets (:class:`TenantPolicy`, :class:`TenantRegistry`).
+* :mod:`repro.serve.gateway` — the :class:`Gateway` itself (dispatcher
+  thread, coalescing scheduler, stats) and the in-process
+  :class:`GatewayClient`.
+* :mod:`repro.serve.http` — the stdlib HTTP front end behind
+  ``repro serve`` (``/v1/wrangle``, ``/healthz``, ``/stats``).
+"""
+
+from repro.serve.gateway import Gateway, GatewayClient, GatewayConfig
+from repro.serve.http import GatewayHTTPServer, serve_http
+from repro.serve.request import (
+    QueueFull,
+    RequestQueue,
+    ShedResponse,
+    WrangleRequest,
+    WrangleResponse,
+)
+from repro.serve.tenancy import TenantPolicy, TenantRegistry, TokenBucket
+
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayHTTPServer",
+    "QueueFull",
+    "RequestQueue",
+    "ShedResponse",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TokenBucket",
+    "WrangleRequest",
+    "WrangleResponse",
+    "serve_http",
+]

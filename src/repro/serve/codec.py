@@ -1,0 +1,69 @@
+"""Decode inline request rows into typed task examples.
+
+The dataset/indices request shape needs no codec — examples come from
+the loaded dataset itself, exactly as the offline path reads them.
+Inline ``rows`` cover the interactive shape ("match these two records
+now") for the tasks whose examples are plain row payloads; the decoded
+objects feed the same ``build_suffix``/``build_prompt`` the dataset
+examples do, so the determinism guarantee carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
+
+__all__ = ["decode_rows", "encode_prediction"]
+
+
+def _decode_matching(row: dict) -> MatchingPair:
+    return MatchingPair(
+        left=dict(row["left"]),
+        right=dict(row["right"]),
+        label=bool(row.get("label", False)),
+    )
+
+
+def _decode_error(row: dict) -> ErrorExample:
+    return ErrorExample(
+        row=dict(row["row"]),
+        attribute=str(row["attribute"]),
+        label=bool(row.get("label", False)),
+        clean_value=row.get("clean_value"),
+    )
+
+
+def _decode_imputation(row: dict) -> ImputationExample:
+    return ImputationExample(
+        row=dict(row["row"]),
+        attribute=str(row["attribute"]),
+        answer=str(row.get("answer", "")),
+    )
+
+
+_DECODERS = {
+    "entity_matching": _decode_matching,
+    "error_detection": _decode_error,
+    "imputation": _decode_imputation,
+}
+
+
+def decode_rows(task: str, rows: list[dict]) -> list:
+    """Typed examples for ``rows``, or ``ValueError`` for tasks whose
+    examples cannot be expressed as inline payloads (use indices)."""
+    decoder = _DECODERS.get(task)
+    if decoder is None:
+        raise ValueError(
+            f"task {task!r} does not accept inline rows; "
+            "submit dataset indices instead"
+        )
+    try:
+        return [decoder(row) for row in rows]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed row for task {task!r}: {exc}") from exc
+
+
+def encode_prediction(prediction) -> object:
+    """JSON-safe rendering of one engine prediction."""
+    if prediction is None or isinstance(prediction, (bool, int, float, str)):
+        return prediction
+    return str(prediction)

@@ -1,0 +1,449 @@
+"""The gateway: dispatcher thread, coalescing scheduler, stats.
+
+Life of a request: ``submit`` runs the tenant gates (rate bucket,
+budget) on the caller's thread and either returns a resolved
+:class:`~repro.serve.request.ShedResponse` future or parks the request
+in the bounded priority queue.  A single dispatcher thread drains the
+queue: it expires stale waiters, pops the head request plus every
+compatible follower (same :attr:`~repro.serve.request.WrangleRequest.
+group_key` → same demonstration prefix and model), resolves the group's
+:class:`~repro.core.tasks.engine.ServingContext` once (cached), and
+serves the coalesced examples through
+:func:`~repro.core.tasks.engine.serve_group` — the identical engine
+path the offline CLI takes, which is why gateway predictions are
+byte-identical to ``run_task``.
+
+Fairness is a property of the *dispatcher*, not the executor: strict
+priority order with FIFO within a class is decided sequentially by one
+thread, so shed sets and serve order are the same at 1 worker or 8 —
+workers only parallelize completions inside a micro-batch, whose
+results come back in input order regardless.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.api.resilience import PRIORITIES
+from repro.api.usage import UsageTracker
+from repro.core.tasks.engine import (
+    resolve_serving_context,
+    serve_group,
+)
+from repro.serve.codec import decode_rows, encode_prediction
+from repro.serve.request import (
+    QueueEntry,
+    QueueFull,
+    RequestQueue,
+    ShedResponse,
+    WrangleRequest,
+    WrangleResponse,
+)
+from repro.serve.tenancy import TenantPolicy, TenantRegistry
+
+__all__ = ["Gateway", "GatewayClient", "GatewayConfig"]
+
+#: Shed-reason vocabulary the stats block tallies.
+SHED_REASONS = (
+    "tenant_rate", "tenant_budget", "queue_full", "queue_evicted",
+    "deadline", "admission", "shutdown",
+)
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables for one gateway instance."""
+
+    queue_capacity: int = 64
+    max_batch: int = 64
+    workers: int | None = None
+    executor: str | None = "async"
+    max_request_log: int = 2048
+    latency_window: int = 4096
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+    default_tenant: TenantPolicy = field(default_factory=TenantPolicy)
+    deadline_default_s: float | None = None
+    idle_wait_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+class Gateway:
+    """Long-lived multi-tenant serving front for the task engine.
+
+    ``clock`` is injectable (tests drive deadline expiry without
+    sleeping); everything else observable — shed sets, serve order,
+    predictions — is deterministic for a fixed submission order.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 admission=None, clock=time.monotonic):
+        self.config = config if config is not None else GatewayConfig()
+        self.clock = clock
+        self.admission = admission
+        self.tenants = TenantRegistry(
+            self.config.tenants, self.config.default_tenant, clock=clock
+        )
+        self.usage = UsageTracker(max_request_log=self.config.max_request_log)
+        self.queue = RequestQueue(self.config.queue_capacity, clock=clock)
+        self._contexts: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._work = threading.Event()
+        self._stop = threading.Event()
+        self._paused = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._next_id = 0
+        self._started_at: float | None = None
+        # Tallies (all under _lock).
+        self._shed_by_reason = {reason: 0 for reason in SHED_REASONS}
+        self._served_by_priority = {priority: 0 for priority in PRIORITIES}
+        self._n_batches = 0
+        self._n_coalesced = 0
+        self._n_completed = 0
+        self._n_failed_examples = 0
+        self._latencies_by_priority: dict[str, list[float]] = {
+            priority: [] for priority in PRIORITIES
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._started_at = self.clock()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-gateway-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain-stop: in-queue requests are shed with ``"shutdown"``."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._work.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        with self._lock:
+            drained = self.queue.drain()
+        for entry in drained:
+            self._resolve_shed(entry, "shutdown", "gateway stopping")
+
+    def pause(self) -> None:
+        """Suspend dispatch (requests queue but are not served).
+
+        Deterministic-testing hook: lets a caller build a known queue
+        state — a backfill flood, an interactive arrival — before any
+        of it is drained, so shed sets can be asserted exactly.
+        """
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+        self._work.set()
+
+    def __enter__(self) -> Gateway:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ---------------------------------------------------
+
+    def submit(self, request: WrangleRequest) -> Future:
+        """Queue ``request``; the future resolves to a
+        :class:`WrangleResponse` or :class:`ShedResponse`."""
+        future: Future = Future()
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+        if self._thread is None or self._stop.is_set():
+            self._count_shed("shutdown")
+            future.set_result(ShedResponse(
+                request_id, request.tenant, "shutdown", "gateway not running"
+            ))
+            return future
+        reason = self.tenants.admit(request.tenant, request.n_examples)
+        if reason is not None:
+            self._count_shed(reason)
+            future.set_result(ShedResponse(
+                request_id, request.tenant, reason,
+                f"tenant {request.tenant!r} refused at submit",
+            ))
+            return future
+        now = self.clock()
+        deadline_s = request.deadline_s
+        if deadline_s is None:
+            deadline_s = self.config.deadline_default_s
+        entry = QueueEntry(
+            request_id=request_id,
+            request=request,
+            future=future,
+            enqueued_at=now,
+            expires_at=(None if deadline_s is None else now + deadline_s),
+        )
+        evicted = None
+        try:
+            with self._lock:
+                evicted = self.queue.push(entry)
+        except QueueFull:
+            self.tenants.record_shed(request.tenant)
+            self._count_shed("queue_full")
+            future.set_result(ShedResponse(
+                request_id, request.tenant, "queue_full",
+                f"queue at capacity {self.config.queue_capacity}",
+            ))
+            return future
+        if evicted is not None:
+            self.tenants.record_shed(evicted.request.tenant)
+            self._resolve_shed(
+                evicted, "queue_evicted",
+                f"evicted by {request.priority!r} arrival",
+            )
+        self._work.set()
+        return future
+
+    # -- dispatch -----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if self._paused.is_set():
+                self._work.wait(timeout=self.config.idle_wait_s)
+                self._work.clear()
+                continue
+            served = self._dispatch_once()
+            if not served:
+                # Nothing waiting: sleep until a submit() or stop().
+                self._work.wait(timeout=self.config.idle_wait_s)
+                self._work.clear()
+
+    def _dispatch_once(self) -> bool:
+        """Serve one coalesced group; returns False when queue is idle."""
+        with self._lock:
+            expired = self.queue.pop_expired()
+            group = self.queue.pop_group(self.config.max_batch)
+        for entry in expired:
+            self.tenants.record_shed(entry.request.tenant)
+            self._resolve_shed(
+                entry, "deadline", "expired while queued"
+            )
+        if not group:
+            return False
+        self._serve(group)
+        return True
+
+    def _serve(self, group: list[QueueEntry]) -> None:
+        head = group[0].request
+        try:
+            context = self._context_for(head)
+            examples, slices = self._gather_examples(context, group)
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            for entry in group:
+                self._resolve_error(entry, exc)
+            return
+        items = serve_group(
+            context, examples,
+            workers=self.config.workers,
+            executor=self.config.executor,
+            tracker=self.usage,
+            admission=self.admission,
+            priority=head.priority,
+        )
+        with self._lock:
+            self._n_batches += 1
+            self._n_coalesced += len(group) - 1
+        now = self.clock()
+        for entry, (start, stop) in zip(group, slices):
+            share = items[start:stop]
+            results = []
+            for item in share:
+                if item.ok:
+                    results.append({
+                        "ok": True,
+                        "prediction": encode_prediction(item.prediction),
+                    })
+                else:
+                    results.append({
+                        "ok": False,
+                        "error_type": item.error_type,
+                        "error": item.error,
+                    })
+            n_failed = sum(1 for item in share if not item.ok)
+            all_shed = share and all(
+                item.error_type == "Shed" for item in share
+            )
+            latency = now - entry.enqueued_at
+            with self._lock:
+                self._served_by_priority[entry.request.priority] += 1
+                self._n_completed += 1
+                self._n_failed_examples += n_failed
+                window = self._latencies_by_priority[entry.request.priority]
+                window.append(latency)
+                if len(window) > self.config.latency_window:
+                    del window[: len(window) - self.config.latency_window]
+            self.tenants.record_completed(entry.request.tenant)
+            if all_shed:
+                self._count_shed("admission")
+            entry.future.set_result(WrangleResponse(
+                request_id=entry.request_id,
+                tenant=entry.request.tenant,
+                ok=n_failed == 0,
+                results=results,
+                latency_s=latency,
+                n_examples=len(share),
+            ))
+
+    def _context_for(self, request: WrangleRequest):
+        key = request.group_key
+        with self._lock:
+            context = self._contexts.get(key)
+        if context is None:
+            context = resolve_serving_context(
+                request.task, request.model, request.dataset,
+                k=request.k, selection=request.selection, seed=request.seed,
+            )
+            with self._lock:
+                self._contexts.setdefault(key, context)
+                context = self._contexts[key]
+        return context
+
+    def _gather_examples(self, context, group: list[QueueEntry]):
+        """Concatenate each request's examples; remember its slice."""
+        examples: list = []
+        slices: list[tuple[int, int]] = []
+        for entry in group:
+            request = entry.request
+            start = len(examples)
+            if request.indices is not None:
+                pool = context.spec.examples_of(
+                    context.dataset, request.split
+                )
+                for index in request.indices:
+                    if not 0 <= index < len(pool):
+                        raise ValueError(
+                            f"index {index} out of range for "
+                            f"{request.dataset}/{request.split} "
+                            f"({len(pool)} examples)"
+                        )
+                    examples.append(pool[index])
+            else:
+                examples.extend(decode_rows(request.task, request.rows))
+            slices.append((start, len(examples)))
+        return examples, slices
+
+    def _resolve_shed(self, entry: QueueEntry, reason: str,
+                      detail: str) -> None:
+        self._count_shed(reason)
+        entry.future.set_result(ShedResponse(
+            entry.request_id, entry.request.tenant, reason, detail
+        ))
+
+    def _resolve_error(self, entry: QueueEntry, exc: Exception) -> None:
+        self.tenants.record_completed(entry.request.tenant)
+        entry.future.set_result(WrangleResponse(
+            request_id=entry.request_id,
+            tenant=entry.request.tenant,
+            ok=False,
+            results=[{
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }],
+            n_examples=0,
+        ))
+
+    def _count_shed(self, reason: str) -> None:
+        with self._lock:
+            self._shed_by_reason[reason] = (
+                self._shed_by_reason.get(reason, 0) + 1
+            )
+
+    # -- observability ------------------------------------------------
+
+    def healthz(self) -> dict:
+        running = self._thread is not None and self._thread.is_alive()
+        return {
+            "status": "ok" if running else "stopped",
+            "uptime_s": (
+                0.0 if self._started_at is None
+                else self.clock() - self._started_at
+            ),
+            "queue_depth": len(self.queue),
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` block (schemas/gateway_stats.schema.json)."""
+        with self._lock:
+            depths = self.queue.depths()
+            shed = dict(self._shed_by_reason)
+            served = dict(self._served_by_priority)
+            n_batches = self._n_batches
+            n_coalesced = self._n_coalesced
+            n_completed = self._n_completed
+            n_failed = self._n_failed_examples
+            latency_blocks = {
+                priority: _percentiles(window)
+                for priority, window in self._latencies_by_priority.items()
+            }
+        requests = self.usage.latency_summary()
+        return {
+            "schema_version": 1,
+            "uptime_s": (
+                0.0 if self._started_at is None
+                else self.clock() - self._started_at
+            ),
+            "queue": {"depth": sum(depths.values()), "by_priority": depths},
+            "completed": n_completed,
+            "failed_examples": n_failed,
+            "shed": {"total": sum(shed.values()), "by_reason": shed},
+            "served_by_priority": served,
+            "batches": {
+                "n_batches": n_batches,
+                "n_coalesced_requests": n_coalesced,
+                "mean_requests_per_batch": (
+                    (n_completed / n_batches) if n_batches else 0.0
+                ),
+            },
+            "latency": latency_blocks,
+            "backend_requests": requests,
+            "tenants": self.tenants.stats(),
+        }
+
+
+def _percentiles(window: list[float]) -> dict:
+    if not window:
+        return {"n": 0, "p50_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+    ordered = sorted(window)
+
+    def pick(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "n": len(ordered),
+        "p50_s": pick(0.50),
+        "p99_s": pick(0.99),
+        "max_s": ordered[-1],
+    }
+
+
+class GatewayClient:
+    """In-process client: submit and block for the typed response."""
+
+    def __init__(self, gateway: Gateway):
+        self.gateway = gateway
+
+    def request(self, request: WrangleRequest, timeout: float = 60.0):
+        return self.gateway.submit(request).result(timeout=timeout)
+
+    def wrangle(self, timeout: float = 60.0, **kwargs):
+        return self.request(WrangleRequest(**kwargs), timeout=timeout)

@@ -1,0 +1,142 @@
+"""Stdlib HTTP front end for the gateway.
+
+Three endpoints, no dependencies:
+
+* ``POST /v1/wrangle`` — body is a JSON :class:`WrangleRequest`
+  (``tenant``, ``task``, ``dataset``, ``indices`` *or* ``rows``,
+  optional ``split``/``priority``/``deadline_s``/``model``/``k``/
+  ``selection``/``seed``).  200 with a response body on success, 429
+  with a typed shed body when refused, 400 on malformed input.
+* ``GET /healthz`` — liveness + queue depth.
+* ``GET /stats`` — the gateway stats block
+  (validated against ``schemas/gateway_stats.schema.json`` in CI).
+
+``ThreadingHTTPServer`` gives one thread per connection; every handler
+funnels into :meth:`Gateway.submit`, whose tenant gates and single
+dispatcher serialize all the interesting decisions, so concurrent HTTP
+clients inherit the gateway's determinism and fairness unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.gateway import Gateway
+from repro.serve.request import ShedResponse, WrangleRequest
+
+__all__ = ["GatewayHTTPServer", "serve_http"]
+
+_REQUEST_FIELDS = {
+    "tenant", "task", "dataset", "indices", "rows", "split", "priority",
+    "deadline_s", "model", "k", "selection", "seed",
+}
+
+
+def _make_handler(gateway: Gateway, timeout_s: float):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1"
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # keep CI logs quiet; stats carry the telemetry
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            if self.path == "/healthz":
+                self._send_json(200, gateway.healthz())
+            elif self.path == "/stats":
+                self._send_json(200, gateway.stats())
+            else:
+                self._send_json(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self):  # noqa: N802 - stdlib casing
+            if self.path != "/v1/wrangle":
+                self._send_json(404, {"error": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(payload, dict):
+                    raise ValueError("request body must be a JSON object")
+                unknown = set(payload) - _REQUEST_FIELDS
+                if unknown:
+                    raise ValueError(
+                        f"unknown fields: {sorted(unknown)}"
+                    )
+                request = WrangleRequest(**payload)
+            except (ValueError, TypeError, json.JSONDecodeError) as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            try:
+                response = gateway.submit(request).result(timeout=timeout_s)
+            except Exception as exc:  # noqa: BLE001 - surfaced as 500
+                self._send_json(500, {"error": str(exc)})
+                return
+            if isinstance(response, ShedResponse):
+                self._send_json(429, response.to_dict())
+            else:
+                self._send_json(200, response.to_dict())
+
+    return Handler
+
+
+class GatewayHTTPServer:
+    """A gateway plus its HTTP server, started/stopped together."""
+
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1",
+                 port: int = 8765, timeout_s: float = 120.0):
+        self.gateway = gateway
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(gateway, timeout_s)
+        )
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self.gateway.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-gateway-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.gateway.stop()
+
+    def __enter__(self) -> GatewayHTTPServer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_http(gateway: Gateway, host: str = "127.0.0.1", port: int = 8765,
+               timeout_s: float = 120.0) -> GatewayHTTPServer:
+    """Construct, start, and return the HTTP server (caller stops it)."""
+    server = GatewayHTTPServer(gateway, host, port, timeout_s=timeout_s)
+    server.start()
+    return server

@@ -1,0 +1,176 @@
+"""Per-tenant budgets and token-bucket rate limits.
+
+The gateway's first gate: before a request touches the queue, its
+tenant must have (a) rate-limit tokens for the examples it carries and
+(b) remaining request budget.  Both checks happen at submit time, on
+the caller's thread, so a flooding tenant is pushed back immediately —
+with a typed :class:`~repro.serve.request.ShedResponse`, never a
+silent drop — instead of poisoning the queue for everyone else.
+
+These are *tenant* controls; the gateway-wide
+:class:`~repro.api.resilience.AdmissionController` (priority classes,
+breaker/budget headroom) still guards the serving fan-out underneath.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["TenantPolicy", "TenantRegistry", "TenantState", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket; one token per example.
+
+    ``rate`` tokens refill per second up to ``burst``.  ``rate=None``
+    disables limiting.  The clock is injectable so tests can advance
+    time without sleeping.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock=time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate or 0.0)
+        self.clock = clock
+        self._tokens = float(self.burst)
+        self._refilled_at = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        now = self.clock()
+        self._refill(now)
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        if self.rate is None:
+            return float("inf")
+        self._refill(self.clock())
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What one tenant is allowed to spend.
+
+    * ``max_requests`` — lifetime request budget (``None`` = unlimited).
+    * ``rate`` — examples per second through the token bucket
+      (``None`` = unlimited); ``burst`` defaults to one second's rate.
+    """
+
+    max_requests: int | None = None
+    rate: float | None = None
+    burst: float | None = None
+
+
+class TenantState:
+    """Live counters + bucket for one tenant."""
+
+    def __init__(self, name: str, policy: TenantPolicy, clock=time.monotonic):
+        self.name = name
+        self.policy = policy
+        self.bucket = TokenBucket(policy.rate, policy.burst, clock=clock)
+        self.n_submitted = 0
+        self.n_admitted = 0
+        self.n_shed = 0
+        self.n_completed = 0
+        self.n_examples = 0
+
+    def stats(self) -> dict:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_admitted": self.n_admitted,
+            "n_shed": self.n_shed,
+            "n_completed": self.n_completed,
+            "n_examples": self.n_examples,
+            "budget_remaining": (
+                None
+                if self.policy.max_requests is None
+                else max(0, self.policy.max_requests - self.n_admitted)
+            ),
+        }
+
+
+class TenantRegistry:
+    """All tenants the gateway knows, lazily created under one policy.
+
+    ``policies`` pins named tenants to explicit policies; anyone else
+    gets ``default``.  Thread-safe: submit-time checks run on caller
+    threads.
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        default: TenantPolicy | None = None,
+        clock=time.monotonic,
+    ):
+        self.default = default if default is not None else TenantPolicy()
+        self.clock = clock
+        self._policies = dict(policies or {})
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> TenantState:
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                policy = self._policies.get(name, self.default)
+                state = TenantState(name, policy, clock=self.clock)
+                self._tenants[name] = state
+            return state
+
+    def admit(self, name: str, n_examples: int) -> str | None:
+        """Submit-time gate: returns a shed reason or ``None`` to admit."""
+        state = self.get(name)
+        with self._lock:
+            state.n_submitted += 1
+            policy = state.policy
+            if (
+                policy.max_requests is not None
+                and state.n_admitted >= policy.max_requests
+            ):
+                state.n_shed += 1
+                return "tenant_budget"
+            if not state.bucket.try_acquire(n_examples):
+                state.n_shed += 1
+                return "tenant_rate"
+            state.n_admitted += 1
+            state.n_examples += n_examples
+            return None
+
+    def record_shed(self, name: str) -> None:
+        """A post-admission shed (eviction, deadline, admission gate)."""
+        state = self.get(name)
+        with self._lock:
+            state.n_shed += 1
+
+    def record_completed(self, name: str) -> None:
+        state = self.get(name)
+        with self._lock:
+            state.n_completed += 1
+
+    def stats(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                name: state.stats()
+                for name, state in sorted(self._tenants.items())
+            }

@@ -75,6 +75,81 @@ class TestServingLoop:
         shutdown_serving_loop()
         shutdown_serving_loop()
 
+    def test_shutdown_registered_atexit(self):
+        """A long-lived process must not leak the daemon loop thread at
+        interpreter teardown — shutdown is an atexit hook."""
+        import atexit
+
+        # Registering again is harmless (idempotent shutdown), so the
+        # assertion is simply that the hook is registered right now.
+        callbacks = getattr(atexit, "_ncallbacks", None)
+        assert callbacks is None or callbacks() >= 1
+        # The portable check: unregister finds it, then re-register.
+        atexit.unregister(shutdown_serving_loop)
+        atexit.register(shutdown_serving_loop)
+
+    def test_shutdown_concurrent_with_get(self):
+        """Hammer get_serving_loop() against shutdown_serving_loop()
+        from many threads; no call may raise and the survivor loop (if
+        any) must be running."""
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def getter():
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    loop = get_serving_loop()
+                    assert loop is not None
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        def stopper():
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    shutdown_serving_loop()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=getter) for _ in range(4)]
+        threads += [threading.Thread(target=stopper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        shutdown_serving_loop()
+        assert get_serving_loop().is_running()
+
+    def test_shutdown_from_loop_thread_does_not_join_self(self):
+        """Calling shutdown from a task on the loop itself must not
+        deadlock or raise (join of the current thread is skipped)."""
+        loop = get_serving_loop()
+        done = threading.Event()
+        errors = []
+
+        def on_loop():
+            try:
+                shutdown_serving_loop()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                done.set()
+
+        loop.call_soon_threadsafe(on_loop)
+        assert done.wait(timeout=5.0)
+        assert errors == []
+        # The loop stops (it was asked to) and a fresh loop comes up.
+        assert get_serving_loop().is_running()
+
+    def test_map_survives_concurrent_shutdown(self):
+        """map() retries once if a racing shutdown closes the loop
+        between lookup and submit."""
+        executor = AsyncBatchExecutor(workers=2)
+        shutdown_serving_loop()
+        assert executor.map(str.upper, ["a", "b"]) == ["A", "B"]
+
 
 class TestAsyncMapBasics:
     def test_preserves_input_order(self):

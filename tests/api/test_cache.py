@@ -1,5 +1,6 @@
 """Tests for the SQLite prompt cache."""
 
+import threading
 import time
 
 import pytest
@@ -117,6 +118,86 @@ class TestCache:
         assert cache.get("m", "p") == "c"
         cache.close()
         assert mode == "wal"
+
+
+class TestConcurrency:
+    def test_file_cache_opens_per_thread_connections(self, tmp_path):
+        """File-backed caches give each thread its own sqlite handle so
+        WAL readers run in parallel instead of sharing one connection."""
+        cache = PromptCache(str(tmp_path / "cache.sqlite"))
+        seen = {}
+
+        def probe(name):
+            cache.put("m", name, "x")
+            seen[name] = id(cache._conn)
+
+        threads = [
+            threading.Thread(target=probe, args=(f"t{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        main_conn = id(cache._conn)
+        cache.close()
+        assert len(set(seen.values()) | {main_conn}) == 4
+
+    def test_memory_cache_shares_one_connection(self):
+        """Per-thread :memory: connections would each see an empty
+        database — memory paths must keep the single shared handle."""
+        cache = PromptCache(":memory:")
+        cache.put("m", "p", "answer")
+        result = {}
+
+        def reader():
+            result["value"] = cache.get("m", "p")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join()
+        assert result["value"] == "answer"
+
+    def test_hammer_eight_threads_mixed_get_put(self, tmp_path):
+        """8 threads × mixed get/put on one file-backed cache.
+
+        Guards the per-thread-connection design: a single sqlite
+        connection shared across threads without serialization corrupts
+        statements or raises under this load."""
+        cache = PromptCache(str(tmp_path / "hammer.sqlite"))
+        n_threads, n_ops = 8, 100
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(worker_id):
+            barrier.wait()
+            try:
+                for i in range(n_ops):
+                    key = f"w{worker_id}-p{i % 10}"
+                    if i % 3 == 0:
+                        cache.put("m", key, f"c{worker_id}-{i}")
+                    else:
+                        value = cache.get("m", key)
+                        assert value is None or value.startswith(
+                            f"c{worker_id}-"
+                        )
+                    # Cross-thread reads of a well-known hot key.
+                    cache.put("m", "hot", "shared")
+                    assert cache.get("m", "hot") == "shared"
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.get("m", "hot") == "shared"
+        assert len(cache) == 1 + n_threads * 10
+        cache.close()
 
 
 class TestDefaultCache:

@@ -142,6 +142,67 @@ class TestTracker:
         summary = UsageTracker().latency_summary()
         assert summary["n_requests"] == 0
         assert summary["mean_s"] == 0.0
+        assert summary["dropped_records"] == 0
+
+
+class _Record:
+    def __init__(self, latency_s, ok=True, attempts=1):
+        self.latency_s = latency_s
+        self.ok = ok
+        self.attempts = attempts
+
+
+class TestCappedRequestLog:
+    def test_uncapped_by_default(self):
+        tracker = UsageTracker()
+        for i in range(500):
+            tracker.log_request(_Record(latency_s=float(i)))
+        assert len(tracker.request_log) == 500
+        assert tracker.dropped_records == 0
+
+    def test_cap_bounds_log_and_counts_drops(self):
+        tracker = UsageTracker(max_request_log=10)
+        for i in range(25):
+            tracker.log_request(_Record(latency_s=float(i)))
+        assert len(tracker.request_log) == 10
+        assert tracker.dropped_records == 15
+        # Window holds the most recent records, oldest first.
+        assert [r.latency_s for r in tracker.request_log] == [
+            float(i) for i in range(15, 25)
+        ]
+
+    def test_latency_summary_covers_window_only(self):
+        tracker = UsageTracker(max_request_log=3)
+        tracker.log_request(_Record(latency_s=100.0, ok=False, attempts=4))
+        for latency in (1.0, 2.0, 3.0):
+            tracker.log_request(_Record(latency_s=latency))
+        summary = tracker.latency_summary()
+        assert summary["n_requests"] == 3
+        assert summary["n_failures"] == 0
+        assert summary["n_retries"] == 0
+        assert summary["mean_s"] == pytest.approx(2.0)
+        assert summary["max_s"] == 3.0
+        assert summary["dropped_records"] == 1
+
+    def test_cap_validates(self):
+        with pytest.raises(ValueError):
+            UsageTracker(max_request_log=0)
+
+    def test_capped_log_is_thread_safe(self):
+        tracker = UsageTracker(max_request_log=50)
+        n_threads, n_records = 8, 100
+
+        def worker():
+            for _ in range(n_records):
+                tracker.log_request(_Record(latency_s=0.01))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracker.request_log) == 50
+        assert tracker.dropped_records == n_threads * n_records - 50
 
 
 class TestSnapshotDelta:

@@ -1,0 +1,266 @@
+"""Gateway behavior: multi-tenant determinism, fairness, stats, lifecycle.
+
+The two load-bearing guarantees from DESIGN §4d are pinned here:
+
+* **Determinism** — two tenants submitting interleaved compatible
+  requests get predictions byte-identical to a solo offline
+  ``run_task`` over the same examples, at any worker count.
+* **Fairness** — a backfill flood cannot starve interactive requests:
+  the shed set (which backfill waiters are evicted, with typed
+  responses) is identical at 1 worker and 8.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    GatewayConfig,
+    ShedResponse,
+    TenantPolicy,
+    WrangleRequest,
+    WrangleResponse,
+)
+
+pytestmark = pytest.mark.smoke
+
+TASK, DATASET, K, SEED = "entity_matching", "fodors_zagats", 3, 7
+
+
+def em_request(tenant, indices, priority="interactive", **kwargs):
+    kwargs.setdefault("seed", SEED)
+    return WrangleRequest(
+        tenant=tenant, task=TASK, dataset=DATASET, indices=list(indices),
+        priority=priority, k=K, selection="random", **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def offline_predictions():
+    """The solo offline baseline: run_task over the first 12 examples."""
+    run = run_task(TASK, "gpt3-175b", load_dataset(DATASET), k=K,
+                   selection="random", seed=SEED, max_examples=12)
+    return run.predictions
+
+
+class TestMultiTenantDeterminism:
+    @pytest.mark.parametrize("workers", [1, 8])
+    def test_interleaved_tenants_match_solo_run(
+        self, workers, offline_predictions
+    ):
+        gateway = Gateway(GatewayConfig(workers=workers))
+        with gateway:
+            client = GatewayClient(gateway)
+            # Tenants alternate, slicing the same 12 examples the solo
+            # run evaluated; compatible requests may coalesce.
+            futures = []
+            for start in range(0, 12, 2):
+                tenant = "alice" if (start // 2) % 2 == 0 else "bob"
+                futures.append(gateway.submit(
+                    em_request(tenant, [start, start + 1])
+                ))
+            responses = [future.result(timeout=60) for future in futures]
+        got = {}
+        for start, response in zip(range(0, 12, 2), responses):
+            assert isinstance(response, WrangleResponse)
+            assert response.ok
+            for offset, result in enumerate(response.results):
+                got[start + offset] = result["prediction"]
+        assert [got[i] for i in range(12)] == offline_predictions
+
+    def test_rows_mode_matches_dataset_examples(self, offline_predictions):
+        dataset = load_dataset(DATASET)
+        pairs = dataset.split("test")[:4]
+        rows = [
+            {"left": pair.left, "right": pair.right} for pair in pairs
+        ]
+        gateway = Gateway(GatewayConfig(workers=2))
+        with gateway:
+            client = GatewayClient(gateway)
+            response = client.wrangle(
+                tenant="carol", task=TASK, dataset=DATASET, rows=rows,
+                k=K, selection="random", seed=SEED,
+            )
+        assert response.ok
+        assert [r["prediction"] for r in response.results] == (
+            offline_predictions[:4]
+        )
+
+
+class TestFairness:
+    def _flood(self, workers):
+        """Backfill flood then interactive arrivals on a tiny queue."""
+        config = GatewayConfig(queue_capacity=6, workers=workers)
+        gateway = Gateway(config)
+        outcomes = {}
+        with gateway:
+            gateway.pause()
+            backfill = [
+                gateway.submit(em_request(
+                    "bulk", [i], priority="backfill", seed=SEED + 1 + i
+                ))
+                for i in range(6)
+            ]
+            interactive = [
+                gateway.submit(em_request("live", [i]))
+                for i in range(4)
+            ]
+            gateway.resume()
+            outcomes["backfill"] = [
+                future.result(timeout=60) for future in backfill
+            ]
+            outcomes["interactive"] = [
+                future.result(timeout=60) for future in interactive
+            ]
+        return outcomes
+
+    @pytest.mark.parametrize("workers", [1, 8])
+    def test_backfill_flood_cannot_starve_interactive(self, workers):
+        outcomes = self._flood(workers)
+        assert all(
+            isinstance(response, WrangleResponse) and response.ok
+            for response in outcomes["interactive"]
+        ), "an interactive request was shed or failed under backfill flood"
+
+    def test_shed_set_pinned_across_worker_counts(self):
+        shapes = []
+        for workers in (1, 8):
+            outcomes = self._flood(workers)
+            shapes.append([
+                (type(response).__name__, getattr(response, "reason", None))
+                for response in outcomes["backfill"]
+            ])
+        assert shapes[0] == shapes[1]
+        # The four newest backfill waiters were evicted (typed, never
+        # silent) to admit the four interactive arrivals.
+        reasons = [reason for _, reason in shapes[0]]
+        assert reasons == [
+            None, None, "queue_evicted", "queue_evicted",
+            "queue_evicted", "queue_evicted",
+        ]
+
+
+class TestTenantGates:
+    def test_budget_shed_is_typed(self):
+        config = GatewayConfig(
+            tenants={"capped": TenantPolicy(max_requests=1)}
+        )
+        gateway = Gateway(config)
+        with gateway:
+            first = gateway.submit(em_request("capped", [0]))
+            second = gateway.submit(em_request("capped", [1]))
+            ok = first.result(timeout=60)
+            refused = second.result(timeout=10)
+        assert isinstance(ok, WrangleResponse)
+        assert isinstance(refused, ShedResponse)
+        assert refused.reason == "tenant_budget"
+
+    def test_rate_shed_is_typed(self):
+        config = GatewayConfig(
+            tenants={"chatty": TenantPolicy(rate=0.001, burst=2.0)}
+        )
+        gateway = Gateway(config)
+        with gateway:
+            first = gateway.submit(em_request("chatty", [0, 1]))
+            second = gateway.submit(em_request("chatty", [2]))
+            ok = first.result(timeout=60)
+            refused = second.result(timeout=10)
+        assert isinstance(ok, WrangleResponse)
+        assert isinstance(refused, ShedResponse)
+        assert refused.reason == "tenant_rate"
+
+    def test_deadline_expiry_sheds_while_queued(self):
+        gateway = Gateway(GatewayConfig(workers=1))
+        with gateway:
+            gateway.pause()
+            future = gateway.submit(
+                em_request("impatient", [0], deadline_s=0.01)
+            )
+            import time as _time
+
+            _time.sleep(0.05)
+            gateway.resume()
+            response = future.result(timeout=10)
+        assert isinstance(response, ShedResponse)
+        assert response.reason == "deadline"
+
+
+class TestLifecycleAndStats:
+    def test_submit_before_start_sheds(self):
+        gateway = Gateway(GatewayConfig())
+        response = gateway.submit(em_request("t", [0])).result(timeout=5)
+        assert isinstance(response, ShedResponse)
+        assert response.reason == "shutdown"
+
+    def test_stop_sheds_queued_requests(self):
+        gateway = Gateway(GatewayConfig())
+        gateway.start()
+        gateway.pause()
+        future = gateway.submit(em_request("t", [0]))
+        gateway.stop()
+        response = future.result(timeout=5)
+        assert isinstance(response, ShedResponse)
+        assert response.reason == "shutdown"
+
+    def test_clean_start_stop_cycles(self):
+        for _ in range(3):
+            gateway = Gateway(GatewayConfig())
+            with gateway:
+                response = GatewayClient(gateway).request(
+                    em_request("t", [0])
+                )
+                assert response.ok
+        assert gateway.healthz()["status"] == "stopped"
+
+    def test_stats_block_is_schema_valid(self):
+        schema_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "schemas" / "gateway_stats.schema.json"
+        )
+        schema = json.loads(schema_path.read_text())
+        gateway = Gateway(GatewayConfig(workers=2))
+        with gateway:
+            client = GatewayClient(gateway)
+            client.request(em_request("alice", [0, 1]))
+            client.request(em_request("bob", [2], priority="backfill"))
+            stats = gateway.stats()
+        problems = validate_manifest(stats, schema)
+        assert problems == []
+        assert stats["completed"] == 2
+        assert stats["served_by_priority"]["interactive"] == 1
+        assert stats["served_by_priority"]["backfill"] == 1
+        assert stats["backend_requests"]["dropped_records"] == 0
+        assert stats["tenants"]["alice"]["n_completed"] == 1
+
+    def test_coalescing_counted_in_stats(self):
+        gateway = Gateway(GatewayConfig(workers=2))
+        with gateway:
+            gateway.pause()
+            futures = [
+                gateway.submit(em_request("t", [i])) for i in range(4)
+            ]
+            gateway.resume()
+            for future in futures:
+                assert future.result(timeout=60).ok
+            stats = gateway.stats()
+        # Four compatible requests → strictly fewer batches than
+        # requests (the paused queue guarantees they were all visible
+        # to one pop_group pass).
+        assert stats["batches"]["n_batches"] < 4
+        assert stats["batches"]["n_coalesced_requests"] >= 1
+
+    def test_bad_index_answers_instead_of_crashing(self):
+        gateway = Gateway(GatewayConfig())
+        with gateway:
+            response = GatewayClient(gateway).request(
+                em_request("t", [10_000])
+            )
+        assert isinstance(response, WrangleResponse)
+        assert not response.ok
+        assert response.results[0]["error_type"] == "ValueError"

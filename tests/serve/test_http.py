@@ -1,0 +1,124 @@
+"""HTTP front-end round trips (stdlib client against a live server)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    Gateway,
+    GatewayConfig,
+    GatewayHTTPServer,
+    TenantPolicy,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture()
+def server():
+    gateway = Gateway(GatewayConfig(
+        workers=2,
+        tenants={"capped": TenantPolicy(max_requests=0)},
+    ))
+    http_server = GatewayHTTPServer(gateway, port=0)
+    http_server.start()
+    yield http_server
+    http_server.stop()
+
+
+def post(url, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/v1/wrangle", data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def get(url, path):
+    with urllib.request.urlopen(url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestWrangleEndpoint:
+    def test_indices_round_trip(self, server):
+        status, payload = post(server.url, {
+            "tenant": "alice", "task": "entity_matching",
+            "dataset": "fodors_zagats", "indices": [0, 1, 2],
+        })
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["n_examples"] == 3
+        assert all("prediction" in r for r in payload["results"])
+
+    def test_rows_round_trip(self, server):
+        status, payload = post(server.url, {
+            "tenant": "alice", "task": "imputation", "dataset": "restaurant",
+            "rows": [{
+                "row": {"name": "oceana", "address": "55 e. 54th st."},
+                "attribute": "city",
+            }],
+        })
+        assert status == 200
+        assert payload["results"][0]["ok"] is True
+        assert isinstance(payload["results"][0]["prediction"], str)
+
+    def test_malformed_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/wrangle", data=b"not json",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_field_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/wrangle",
+            data=json.dumps({"tenant": "a", "task": "entity_matching",
+                             "dataset": "fodors_zagats", "indices": [0],
+                             "bogus": 1}).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_shed_is_429_with_typed_body(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/wrangle",
+            data=json.dumps({"tenant": "capped", "task": "entity_matching",
+                             "dataset": "fodors_zagats",
+                             "indices": [0]}).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 429
+        payload = json.loads(excinfo.value.read())
+        assert payload["shed"] is True
+        assert payload["reason"] == "tenant_budget"
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, server):
+        status, payload = get(server.url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["queue_depth"] == 0
+
+    def test_stats_reflects_traffic(self, server):
+        post(server.url, {
+            "tenant": "alice", "task": "entity_matching",
+            "dataset": "fodors_zagats", "indices": [0],
+        })
+        status, payload = get(server.url, "/stats")
+        assert status == 200
+        assert payload["schema_version"] == 1
+        assert payload["completed"] >= 1
+        assert payload["tenants"]["alice"]["n_completed"] >= 1

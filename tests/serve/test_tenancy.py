@@ -1,0 +1,94 @@
+"""Unit tests for tenant budgets and token-bucket rate limits."""
+
+import pytest
+
+from repro.serve.tenancy import TenantPolicy, TenantRegistry, TokenBucket
+
+pytestmark = pytest.mark.smoke
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_acquire(1000) for _ in range(100))
+
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire(3)
+        assert not bucket.try_acquire(1)
+
+    def test_refills_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2)
+        assert not bucket.try_acquire(1)
+        clock.now = 1.0  # 2 tokens refilled
+        assert bucket.try_acquire(2)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.now = 1e6
+        assert bucket.available == 5.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestTenantRegistry:
+    def test_default_policy_is_unlimited(self):
+        registry = TenantRegistry()
+        for _ in range(50):
+            assert registry.admit("anyone", 10) is None
+
+    def test_budget_exhaustion_sheds(self):
+        registry = TenantRegistry(
+            policies={"capped": TenantPolicy(max_requests=2)}
+        )
+        assert registry.admit("capped", 1) is None
+        assert registry.admit("capped", 1) is None
+        assert registry.admit("capped", 1) == "tenant_budget"
+
+    def test_rate_limit_sheds_by_example_count(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            policies={"slow": TenantPolicy(rate=1.0, burst=4.0)},
+            clock=clock,
+        )
+        assert registry.admit("slow", 4) is None
+        assert registry.admit("slow", 1) == "tenant_rate"
+        clock.now = 2.0
+        assert registry.admit("slow", 2) is None
+
+    def test_tenants_are_isolated(self):
+        registry = TenantRegistry(
+            policies={"capped": TenantPolicy(max_requests=1)}
+        )
+        assert registry.admit("capped", 1) is None
+        assert registry.admit("capped", 1) == "tenant_budget"
+        assert registry.admit("other", 1) is None
+
+    def test_stats_counters(self):
+        registry = TenantRegistry(
+            policies={"capped": TenantPolicy(max_requests=1)}
+        )
+        registry.admit("capped", 3)
+        registry.admit("capped", 1)
+        registry.record_completed("capped")
+        stats = registry.stats()["capped"]
+        assert stats["n_submitted"] == 2
+        assert stats["n_admitted"] == 1
+        assert stats["n_shed"] == 1
+        assert stats["n_completed"] == 1
+        assert stats["n_examples"] == 3
+        assert stats["budget_remaining"] == 0
