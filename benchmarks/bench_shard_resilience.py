@@ -1,0 +1,159 @@
+"""Shard resilience — exactly-once under process violence.
+
+Four scenarios over the same EM configuration (fodors_zagats, k=3,
+random selection), each judged against the single-process ``run_task``
+oracle.  The headline guarantee being pinned: whatever gets SIGKILLed —
+workers, the supervisor, or both — a (possibly resumed) sharded run
+produces **byte-identical predictions** with **zero duplicate backend
+calls**.
+
+* **single-process** — the ``run_task`` oracle everything is judged
+  against.
+* **shard-clean** — 4 shards / 2 workers, no faults: the multi-process
+  distribution itself must be invisible in the output.
+* **shard-chaos** — the ``shard-heavy`` profile self-SIGKILLs workers at
+  journal boundaries and injects transient API faults; the supervisor's
+  restart/lease-reclaim machinery must absorb all of it.
+* **kill-supervisor** — the whole run driver is SIGKILLed mid-flight,
+  then the run is finished with ``--resume`` in a fresh supervisor.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.bench.reporting import ExperimentResult
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.shard import ShardSupervisor, build_shard_plan
+
+TASK, DATASET, MODEL = "em", "fodors_zagats", "gpt3-175b"
+K, SEED, MAX_EXAMPLES = 3, 0, 48
+N_SHARDS, N_WORKERS = 6, 2
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _plan():
+    return build_shard_plan(
+        TASK, DATASET, model=MODEL, n_shards=N_SHARDS, k=K,
+        selection="random", seed=SEED, max_examples=MAX_EXAMPLES,
+    )
+
+
+def _drive(run_dir, **kwargs):
+    started = time.perf_counter()
+    merged = ShardSupervisor(
+        run_dir, _plan(), n_workers=N_WORKERS, lease_ttl_s=2.0, **kwargs
+    ).run()
+    return time.perf_counter() - started, merged
+
+
+def _spawn_and_sigkill(run_dir):
+    """Start ``repro shard-run`` as a real process, SIGKILL it mid-run."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-run", TASK, DATASET,
+         "--run-dir", str(run_dir), "--shards", str(N_SHARDS),
+         "--workers", str(N_WORKERS), "--k", str(K), "--seed", str(SEED),
+         "--max-examples", str(MAX_EXAMPLES), "--lease-ttl-s", "2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    journals = pathlib.Path(run_dir) / "journals"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and process.poll() is None:
+        if journals.is_dir() and any(journals.iterdir()):
+            break
+        time.sleep(0.05)
+    if process.poll() is None:
+        os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=30)
+    time.sleep(1.0)  # orphaned workers notice re-parenting and drain
+
+
+def _row(scenario, seconds, merged, oracle):
+    shards = merged.manifest.shards
+    identical = merged.predictions == oracle
+    return (
+        scenario, seconds, 100 * merged.metric,
+        shards["chaos_kills"], shards["restarts"],
+        shards["duplicate_backend_calls"],
+        "yes" if identical and shards["duplicate_backend_calls"] == 0
+        else "NO",
+    )
+
+
+def run() -> ExperimentResult:
+    dataset = load_dataset(DATASET)
+
+    oracle_started = time.perf_counter()
+    oracle_run = run_task(
+        TASK, MODEL, dataset, k=K, selection="random", seed=SEED,
+        max_examples=MAX_EXAMPLES,
+    )
+    oracle_s = time.perf_counter() - oracle_started
+    oracle = list(oracle_run.predictions)
+
+    result = ExperimentResult(
+        experiment="shard_resilience",
+        title=f"Shard resilience (fodors_zagats k={K}, {MAX_EXAMPLES} "
+              f"examples, {N_SHARDS} shards, {N_WORKERS} workers)",
+        headers=["scenario", "seconds", "f1", "chaos_kills", "restarts",
+                 "duplicates", "identical"],
+        notes="identical = predictions byte-identical to the "
+              "single-process run_task oracle AND zero duplicate backend "
+              "calls; shard-chaos = shard-heavy profile (18% worker "
+              "SIGKILL at journal boundaries + transient faults); "
+              "kill-supervisor = whole driver SIGKILLed, then --resume",
+    )
+    result.add_row(
+        "single-process", oracle_s, 100 * oracle_run.metric, 0, 0, 0, "yes"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_s, clean = _drive(os.path.join(tmp, "clean"))
+        result.add_row(*_row("shard-clean", clean_s, clean, oracle))
+
+        chaos_s, chaos = _drive(
+            os.path.join(tmp, "chaos"),
+            chaos_profile="shard-heavy", chaos_seed=0,
+        )
+        row = _row("shard-chaos", chaos_s, chaos, oracle)
+        if chaos.manifest.shards["chaos_kills"] < 1:
+            row = row[:-1] + ("NO(kills=0)",)
+        result.add_row(*row)
+
+        kill_dir = os.path.join(tmp, "killed")
+        kill_started = time.perf_counter()
+        _spawn_and_sigkill(kill_dir)
+        resume_s, resumed = _drive(kill_dir, resume=True)
+        total_s = time.perf_counter() - kill_started
+        row = _row("kill-supervisor", total_s, resumed, oracle)
+        if not resumed.manifest.shards["resumed"]:
+            row = row[:-1] + ("NO(not-resumed)",)
+        result.add_row(*row)
+
+    return result
+
+
+def test_shard_resilience(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(result)
+    assert result.cell("shard-clean", "identical") == "yes"
+    assert result.cell("shard-chaos", "identical") == "yes"
+    assert result.cell("shard-chaos", "chaos_kills") >= 1
+    assert result.cell("kill-supervisor", "identical") == "yes"
+    assert result.cell("shard-clean", "duplicates") == 0
+    assert result.cell("shard-chaos", "duplicates") == 0
+    assert result.cell("kill-supervisor", "duplicates") == 0
+
+
+if __name__ == "__main__":
+    print(run().render())

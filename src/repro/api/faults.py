@@ -48,6 +48,7 @@ __all__ = [
     "FAULT_PROFILES",
     "FaultPlan",
     "FaultProfile",
+    "ProcessChaos",
     "PromptSchedule",
     "get_default_fault_plan",
     "get_fault_profile",
@@ -89,6 +90,11 @@ class FaultProfile:
     latency_spike_s: float = 0.005
     fault_depth: int = 2
     unrecoverable: float = 0.0
+    #: Process-level chaos (sharded runs only): probability that a worker
+    #: SIGKILLs itself at a given shard journal boundary.  See
+    #: :class:`ProcessChaos` — kills land *after* the journal append, so
+    #: "zero duplicate backend calls on resume" stays provable.
+    worker_kill: float = 0.0
 
     @property
     def transient(self) -> float:
@@ -125,6 +131,15 @@ FAULT_PROFILES: dict[str, FaultProfile] = {
     # is unambiguous even on noisy CI machines.
     "latency": FaultProfile(
         name="latency", latency_spike=0.5, latency_spike_s=0.03,
+    ),
+    # Process-level violence for sharded runs: a high worker-kill rate
+    # plus recoverable transients.  Deliberately *no* unrecoverable or
+    # corrupting faults — the shard drill pins byte-identical predictions
+    # against an unfaulted run, so every injected fault must be one the
+    # retry/restart machinery can fully absorb.
+    "shard-heavy": FaultProfile(
+        name="shard-heavy", rate_limit=0.03, timeout=0.03, fault_depth=2,
+        unrecoverable=0.0, worker_kill=0.18,
     ),
 }
 
@@ -324,12 +339,95 @@ class FaultPlan:
                 "garbage": self.profile.garbage,
                 "truncate": self.profile.truncate,
                 "latency_spike": self.profile.latency_spike,
+                "worker_kill": self.profile.worker_kill,
             },
         }
 
     def fork(self) -> FaultPlan:
         """A fresh plan with the same seed/profile and zeroed counters."""
         return FaultPlan(replace(self.profile), seed=self.seed)
+
+
+class ProcessChaos:
+    """Seeded worker-kill schedule for sharded runs (``repro shard-run``).
+
+    ``should_kill(shard_id, boundary)`` is a pure function of
+    ``(seed, shard_id, boundary)`` — which *worker process* happens to
+    hold the shard is irrelevant, so the kill schedule is reproducible
+    even though shard-to-worker assignment is timing-dependent (work
+    stealing).  Workers consult it at journal-append boundaries only and
+    deliver a real ``SIGKILL`` to themselves, which keeps the
+    exactly-once invariant checkable: at a boundary nothing is in flight
+    between the backend and the journal.
+
+    One kill per shard: the worker drops a marker file (O_EXCL) before
+    dying, and the schedule never fires for a marked shard again —
+    otherwise a restarted worker would deterministically die at the same
+    boundary forever.
+    """
+
+    def __init__(
+        self,
+        profile: FaultProfile | str = "shard-heavy",
+        seed: int = 0,
+        marker_dir: str | None = None,
+    ):
+        if isinstance(profile, str):
+            profile = get_fault_profile(profile)
+        self.profile = profile
+        self.seed = seed
+        self.marker_dir = marker_dir
+
+    def _marker_path(self, shard_id: int) -> str | None:
+        if self.marker_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.marker_dir, f"shard_{shard_id:04d}.killed")
+
+    def kill_scheduled(self, shard_id: int, boundary: int) -> bool:
+        """Pure draw: does the schedule fire at this shard boundary?"""
+        return (
+            _unit(self.seed, "worker_kill", str(shard_id), str(boundary))
+            < self.profile.worker_kill
+        )
+
+    def should_kill(self, shard_id: int, boundary: int) -> bool:
+        """Scheduled *and* this shard has not already been killed once."""
+        if self.profile.worker_kill <= 0.0:
+            return False
+        if not self.kill_scheduled(shard_id, boundary):
+            return False
+        path = self._marker_path(shard_id)
+        if path is None:
+            return True
+        import os
+
+        return not os.path.exists(path)
+
+    def mark_and_kill(self, shard_id: int, boundary: int) -> None:
+        """Drop the one-kill-per-shard marker, then SIGKILL ourselves.
+
+        The marker is created with ``O_EXCL`` *before* the kill so the
+        next incarnation (supervisor restart or ``--resume``) sees the
+        shard as already-martyred and makes progress.  Never returns.
+        """
+        import os
+        import signal
+
+        path = self._marker_path(shard_id)
+        if path is not None:
+            os.makedirs(self.marker_dir, exist_ok=True)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return  # lost a race with another incarnation; live on
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(
+                    f'{{"shard_id": {shard_id}, "boundary": {boundary}, '
+                    f'"seed": {self.seed}}}\n'
+                )
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 # Process-wide default plan.  ``repro bench --chaos PROFILE`` installs

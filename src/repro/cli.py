@@ -199,10 +199,12 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         raise SystemExit(str(exc)) from None
     try:
-        dataset = load_dataset(args.dataset)
+        dataset = load_dataset(args.dataset, scale=args.scale)
     except KeyError:
         raise SystemExit(f"unknown dataset {args.dataset!r}; "
                          f"choose from {available_datasets()}") from None
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     if dataset.task != spec.name:
         raise SystemExit(f"dataset {args.dataset!r} is a {dataset.task} "
                          f"benchmark, not {spec.name}")
@@ -477,6 +479,34 @@ def _parse_tenant_flag(value: str):
     return name, TenantPolicy(max_requests=budget, rate=rate, burst=burst)
 
 
+def _make_terminate_handler():
+    """SIGTERM handler that converts the *first* signal into a clean
+    KeyboardInterrupt shutdown and swallows any repeats.
+
+    A second SIGTERM used to land while the ``finally`` cleanup was
+    already tearing the gateway down, raising a second KeyboardInterrupt
+    from inside the handler and crashing with a traceback instead of
+    exiting 0.  Idempotence alone is not enough: a repeat can also
+    arrive after cleanup, during interpreter finalization, when Python
+    has already restored the default disposition — so the first signal
+    flips the OS-level disposition to SIG_IGN, making every later
+    SIGTERM inert no matter where the process is in its shutdown.
+    """
+    import signal
+
+    fired = False
+
+    def _terminate(signum, frame):
+        nonlocal fired
+        if fired:
+            return
+        fired = True
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        raise KeyboardInterrupt
+
+    return _terminate
+
+
 def _cmd_serve(args) -> int:
     """Run the long-lived wrangling gateway until interrupted.
 
@@ -512,10 +542,7 @@ def _cmd_serve(args) -> int:
     gateway = Gateway(config)
     server = GatewayHTTPServer(gateway, host=args.host, port=args.port)
 
-    def _terminate(signum, frame):
-        raise KeyboardInterrupt
-
-    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGTERM, _make_terminate_handler())
     gateway.start()
     try:
         host, port = server.address
@@ -527,12 +554,86 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\nshutting down gateway...", flush=True)
     finally:
-        server.httpd.shutdown()
+        # No httpd.shutdown() here: serve_forever runs in *this* thread,
+        # so by the time we get here it has already returned (or never
+        # started — a SIGTERM can land before it enters its loop, and
+        # shutdown() would then wait forever on an event only
+        # serve_forever sets).  Closing the socket is all that's left.
         server.httpd.server_close()
         gateway.stop()
         shutdown_serving_loop()
     print("gateway stopped cleanly", flush=True)
     return 0
+
+
+def _cmd_shard_run(args) -> int:
+    """Drive a crash-safe multi-process sharded run to a merged manifest."""
+    import json as _json
+    import os
+
+    from repro.shard import (
+        IncompleteRunError,
+        ShardRunIncompleteError,
+        ShardSupervisor,
+        build_shard_plan,
+    )
+
+    try:
+        plan = build_shard_plan(
+            args.task,
+            args.dataset,
+            model=args.model,
+            n_shards=args.shards,
+            k=args.k,
+            selection=args.selection,
+            split=args.split,
+            seed=args.seed,
+            max_examples=args.max_examples,
+            scale=args.scale,
+        )
+        supervisor = ShardSupervisor(
+            args.run_dir,
+            plan,
+            n_workers=args.workers,
+            executor_kind=args.executor or "thread",
+            intra_workers=args.intra_workers,
+            lease_ttl_s=args.lease_ttl_s,
+            max_restarts=args.max_restarts,
+            chaos_profile=args.chaos,
+            chaos_seed=args.chaos_seed,
+            resume=args.resume,
+        )
+        merged = supervisor.run()
+    except (ShardRunIncompleteError, IncompleteRunError) as exc:
+        raise SystemExit(str(exc)) from None
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    manifest_path = args.manifest or os.path.join(args.run_dir, "manifest.json")
+    merged.manifest.write(manifest_path)
+    predictions_path = os.path.join(args.run_dir, "predictions.json")
+    with open(predictions_path, "w", encoding="utf-8") as handle:
+        _json.dump(merged.predictions, handle, indent=2)
+        handle.write("\n")
+    print(merged.describe())
+    print(f"manifest -> {manifest_path}")
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    """(internal) one worker process of a sharded run; see shard-run."""
+    from repro.shard import run_worker
+
+    return run_worker(
+        args.run_dir,
+        args.worker_id,
+        executor_kind=args.executor or "thread",
+        intra_workers=args.intra_workers,
+        lease_ttl_s=args.lease_ttl_s,
+        chaos_profile=args.chaos,
+        chaos_seed=args.chaos_seed,
+        supervisor_pid=args.supervisor_pid,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -609,6 +710,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "calibrate per task on the validation split")
     run.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the injected fault schedule")
+    run.add_argument("--scale", type=int, default=None, metavar="N",
+                     help="scale the dataset's eval split to N rows with "
+                          "deterministic perturbed variants (stress knob)")
     _add_resilience_flags(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -729,6 +833,72 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-default-s", type=float, default=None,
                        help="queueing deadline applied when a request sets none")
     serve.set_defaults(fn=_cmd_serve)
+
+    shard_run = sub.add_parser(
+        "shard-run",
+        help="crash-safe multi-process run: shards, leases, journals, merge",
+    )
+    shard_run.add_argument("task", help="task name or alias (em, ed, di, sm, dt)")
+    shard_run.add_argument("dataset", help="benchmark dataset name")
+    shard_run.add_argument("--run-dir", required=True, metavar="DIR",
+                           help="run directory (plan, journals, leases, "
+                                "manifest); survives crashes and resumes")
+    shard_run.add_argument("--shards", type=int, default=4,
+                           help="number of contiguous example shards")
+    shard_run.add_argument("--workers", type=int, default=2,
+                           help="number of worker processes")
+    shard_run.add_argument("--intra-workers", type=int, default=1,
+                           help="completion fan-out width inside each worker")
+    shard_run.add_argument("--executor", choices=("thread", "async"),
+                           default=None,
+                           help="per-worker fan-out core (default thread)")
+    shard_run.add_argument("--model", default="gpt3-175b",
+                           help="gpt3-1.3b | gpt3-6.7b | gpt3-175b")
+    shard_run.add_argument("--k", type=int, default=0,
+                           help="demonstration count (random selection only)")
+    shard_run.add_argument("--selection", default="random",
+                           choices=("random",),
+                           help="demonstration selection (sharded runs only "
+                                "support model-free random selection)")
+    shard_run.add_argument("--seed", type=int, default=0,
+                           help="seed for subsampling/random selection")
+    shard_run.add_argument("--split", default="test", help="evaluation split")
+    shard_run.add_argument("--max-examples", type=int, default=None,
+                           help="cap on evaluated test examples")
+    shard_run.add_argument("--scale", type=int, default=None, metavar="N",
+                           help="scale the eval split to N rows")
+    shard_run.add_argument("--resume", action="store_true",
+                           help="continue an interrupted run in --run-dir "
+                                "(journaled work is never redone)")
+    shard_run.add_argument("--chaos", metavar="PROFILE", default=None,
+                           help="deterministic process+transient chaos "
+                                "(fully-recoverable profiles only, e.g. "
+                                "shard-heavy)")
+    shard_run.add_argument("--chaos-seed", type=int, default=0,
+                           help="seed of the chaos schedule")
+    shard_run.add_argument("--lease-ttl-s", type=float, default=10.0,
+                           help="shard lease TTL (heartbeat interval = ttl/3)")
+    shard_run.add_argument("--max-restarts", type=int, default=8,
+                           help="global crashed-worker restart budget")
+    shard_run.add_argument("--manifest", metavar="PATH", default=None,
+                           help="merged manifest path (default "
+                                "RUN_DIR/manifest.json)")
+    shard_run.set_defaults(fn=_cmd_shard_run)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="(internal) one worker process spawned by shard-run",
+    )
+    shard_worker.add_argument("--run-dir", required=True)
+    shard_worker.add_argument("--worker-id", required=True)
+    shard_worker.add_argument("--executor", choices=("thread", "async"),
+                              default=None)
+    shard_worker.add_argument("--intra-workers", type=int, default=1)
+    shard_worker.add_argument("--lease-ttl-s", type=float, default=10.0)
+    shard_worker.add_argument("--supervisor-pid", type=int, default=None)
+    shard_worker.add_argument("--chaos", default=None)
+    shard_worker.add_argument("--chaos-seed", type=int, default=0)
+    shard_worker.set_defaults(fn=_cmd_shard_worker)
     return parser
 
 

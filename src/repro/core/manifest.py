@@ -132,6 +132,14 @@ class RunManifest:
     #: rate, and estimated serving cost vs. a primary-tier-only run.
     #: ``None`` for non-cascade runs.
     cascade: dict | None = None
+    #: Sharded-run telemetry when the manifest was merged from per-shard
+    #: journals by ``repro shard-run`` (see :mod:`repro.shard`): shard and
+    #: worker counts, restart/lease-reclaim tallies, chaos kill count,
+    #: cross-process backend-call accounting (``duplicate_backend_calls``
+    #: is the exactly-once invariant — 0 on every clean or resumed run),
+    #: and a per-shard progress breakdown.  ``None`` for single-process
+    #: runs.
+    shards: dict | None = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:

@@ -33,6 +33,7 @@ from repro.datasets.registry import (
     available_datasets,
     load_dataset,
 )
+from repro.datasets.scale import scale_dataset
 
 __all__ = [
     "DATASET_BUILDERS",
@@ -49,4 +50,5 @@ __all__ = [
     "TransformationDataset",
     "available_datasets",
     "load_dataset",
+    "scale_dataset",
 ]

@@ -28,11 +28,19 @@ def available_datasets() -> list[str]:
     return sorted(DATASET_BUILDERS)
 
 
-def load_dataset(name: str, seed: int | None = None, world=None):
+def load_dataset(
+    name: str,
+    seed: int | None = None,
+    world=None,
+    scale: int | None = None,
+):
     """Build the dataset called ``name``.
 
     ``seed`` overrides the builder's canonical seed (use this only for
     robustness studies — the canonical seeds define the benchmark).
+    ``scale`` stretches the test split to that many rows (EM/ED/DI only;
+    see :func:`repro.datasets.scale.scale_dataset`) — the knob behind
+    ``repro run --scale`` and sharded runs.
     """
     try:
         builder = DATASET_BUILDERS[name]
@@ -44,4 +52,9 @@ def load_dataset(name: str, seed: int | None = None, world=None):
         kwargs["seed"] = seed
     if world is not None:
         kwargs["world"] = world
-    return builder(**kwargs)
+    dataset = builder(**kwargs)
+    if scale is not None:
+        from repro.datasets.scale import scale_dataset
+
+        dataset = scale_dataset(dataset, int(scale))
+    return dataset

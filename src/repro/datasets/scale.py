@@ -1,0 +1,171 @@
+"""Scale knob: grow a benchmark dataset's test split to N rows.
+
+ROADMAP item 2 (sharded million-row runs) needs workloads bigger than
+the paper's benchmark-sized splits.  ``scale_dataset`` stretches an
+EM/ED/DI dataset's *test* split to exactly ``n_rows`` examples by
+cycling the base examples and deriving perturbed variants — the same
+typo/variant dirt the generators themselves inject — with labels
+carried over unchanged.  Train/valid splits (the demonstration pools)
+are left alone, so demonstration selection and prompt prefixes are
+identical at every scale.
+
+Determinism: every derived example is a pure function of
+``(seed, copy_round, base_index)`` through ``random.Random``, so two
+processes that scale the same dataset agree byte-for-byte — which is
+what lets sharded workers (:mod:`repro.shard`) rebuild the workload
+independently instead of shipping rows around.
+
+Each variant also carries an explicit variant marker in one attribute
+value, so every scaled example renders to a *distinct* prompt; the
+sharded runner's duplicate-backend-call accounting (one call per unique
+prompt digest) relies on that.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import (
+    EntityMatchingDataset,
+    ErrorDetectionDataset,
+    ErrorExample,
+    ImputationDataset,
+    ImputationExample,
+    MatchingPair,
+)
+from repro.datasets.perturb import typo
+
+__all__ = ["scale_dataset"]
+
+
+def _variant_value(value: str, copy_round: int, rng: random.Random) -> str:
+    """A deterministically-dirtied variant of one cell value.
+
+    The ``~N`` marker guarantees distinctness across copy rounds even
+    when the typo operator happens to be a no-op (short values).
+    """
+    return f"{typo(value, rng)} ~{copy_round}"
+
+
+def _pick_attribute(row: dict, exclude: set[str]) -> str | None:
+    """First attribute (insertion order) with a usable string value."""
+    for name, value in row.items():
+        if name in exclude:
+            continue
+        if isinstance(value, str) and value.strip():
+            return name
+    return None
+
+
+def _variant_row(
+    row: dict, exclude: set[str], copy_round: int, rng: random.Random
+) -> dict:
+    out = dict(row)
+    attribute = _pick_attribute(out, exclude)
+    if attribute is not None:
+        out[attribute] = _variant_value(out[attribute], copy_round, rng)
+    return out
+
+
+def _scaled_examples(base: list, n_rows: int, derive) -> list:
+    """Cycle ``base`` out to ``n_rows``: round 0 verbatim, then variants."""
+    if not base:
+        raise ValueError("cannot scale an empty test split")
+    out = []
+    copy_round = 0
+    while len(out) < n_rows:
+        for index, example in enumerate(base):
+            if len(out) >= n_rows:
+                break
+            if copy_round == 0:
+                out.append(example)
+            else:
+                out.append(derive(example, copy_round, index))
+        copy_round += 1
+    return out
+
+
+def scale_dataset(dataset, n_rows: int, seed: int = 0):
+    """Return a copy of ``dataset`` whose test split has ``n_rows`` rows.
+
+    Supports the three per-row tasks the shard driver targets (EM, ED,
+    DI).  The scaled dataset's ``name`` gains an ``@N`` suffix so run
+    fingerprints and manifests distinguish scales.
+    """
+    if n_rows <= 0:
+        raise ValueError(f"scale must be positive, got {n_rows}")
+
+    def rng_for(copy_round: int, index: int) -> random.Random:
+        return random.Random((seed * 1_000_003 + copy_round) * 1_000_003 + index)
+
+    name = f"{dataset.name}@{n_rows}"
+    if isinstance(dataset, EntityMatchingDataset):
+        exclude = set()
+
+        def derive_pair(pair, copy_round, index):
+            rng = rng_for(copy_round, index)
+            return MatchingPair(
+                left=_variant_row(pair.left, exclude, copy_round, rng),
+                right=_variant_row(pair.right, exclude, copy_round, rng),
+                label=pair.label,
+            )
+
+        return EntityMatchingDataset(
+            name=name,
+            attributes=list(dataset.attributes),
+            key_attributes=list(dataset.key_attributes),
+            train=list(dataset.train),
+            valid=list(dataset.valid),
+            test=_scaled_examples(dataset.test, n_rows, derive_pair),
+            entity_noun=dataset.entity_noun,
+        )
+    if isinstance(dataset, ErrorDetectionDataset):
+
+        def derive_error(example, copy_round, index):
+            rng = rng_for(copy_round, index)
+            # Never touch the cell under scrutiny: its dirtiness is the
+            # label.  Variants dirty a *different* attribute.
+            row = _variant_row(
+                example.row, {example.attribute}, copy_round, rng
+            )
+            return ErrorExample(
+                row=row,
+                attribute=example.attribute,
+                label=example.label,
+                clean_value=example.clean_value,
+            )
+
+        return ErrorDetectionDataset(
+            name=name,
+            attributes=list(dataset.attributes),
+            train=list(dataset.train),
+            valid=list(dataset.valid),
+            test=_scaled_examples(dataset.test, n_rows, derive_error),
+            clean_rows=list(dataset.clean_rows),
+        )
+    if isinstance(dataset, ImputationDataset):
+
+        def derive_imputation(example, copy_round, index):
+            rng = rng_for(copy_round, index)
+            row = _variant_row(
+                example.row, {dataset.target_attribute}, copy_round, rng
+            )
+            return ImputationExample(
+                row=row,
+                attribute=example.attribute,
+                answer=example.answer,
+            )
+
+        return ImputationDataset(
+            name=name,
+            attributes=list(dataset.attributes),
+            target_attribute=dataset.target_attribute,
+            train=list(dataset.train),
+            valid=list(dataset.valid),
+            test=_scaled_examples(dataset.test, n_rows, derive_imputation),
+            complete_train_rows=list(dataset.complete_train_rows),
+        )
+    raise ValueError(
+        f"the scale knob supports EM/ED/DI datasets, not "
+        f"{type(dataset).__name__}"
+    )

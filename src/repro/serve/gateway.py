@@ -216,8 +216,15 @@ class Gateway:
     # -- dispatch -----------------------------------------------------
 
     def _dispatch_loop(self) -> None:
+        # Deadline expiry must fire on *every* wake-up — including the
+        # paused branch, which used to skip _dispatch_once entirely and
+        # let expired entries sit in the queue until resume().  The wait
+        # below is bounded by idle_wait_s, so expiry also fires on an
+        # otherwise idle gateway instead of blocking until the next
+        # submit().
         while not self._stop.is_set():
             if self._paused.is_set():
+                self._shed_expired()
                 self._work.wait(timeout=self.config.idle_wait_s)
                 self._work.clear()
                 continue
@@ -227,16 +234,21 @@ class Gateway:
                 self._work.wait(timeout=self.config.idle_wait_s)
                 self._work.clear()
 
-    def _dispatch_once(self) -> bool:
-        """Serve one coalesced group; returns False when queue is idle."""
+    def _shed_expired(self) -> None:
+        """Shed every queued entry whose deadline has passed."""
         with self._lock:
             expired = self.queue.pop_expired()
-            group = self.queue.pop_group(self.config.max_batch)
         for entry in expired:
             self.tenants.record_shed(entry.request.tenant)
             self._resolve_shed(
                 entry, "deadline", "expired while queued"
             )
+
+    def _dispatch_once(self) -> bool:
+        """Serve one coalesced group; returns False when queue is idle."""
+        self._shed_expired()
+        with self._lock:
+            group = self.queue.pop_group(self.config.max_batch)
         if not group:
             return False
         self._serve(group)

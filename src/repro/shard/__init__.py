@@ -1,0 +1,39 @@
+"""Crash-safe sharded multi-process runs (``repro shard-run``).
+
+The paper's pipeline is one process evaluating one dataset; production
+wrangling is a fleet.  This package splits one task run into N shards
+under a deterministic, fingerprinted :class:`~repro.shard.plan.ShardPlan`,
+executes them across worker *processes* that journal every completion to
+per-shard checkpoint files (:mod:`repro.core.checkpoint`), coordinates
+the fleet with a file-based lease + heartbeat protocol
+(:mod:`repro.shard.lease`), and merges the journals back into one
+schema-valid :class:`~repro.core.manifest.RunManifest`
+(:mod:`repro.shard.merge`).
+
+The headline invariant is **exactly-once under violence**: SIGKILL any
+worker — or the supervisor itself — mid-run, re-invoke with
+``--resume``, and the merged predictions are byte-identical to an
+unfaulted single-process :func:`~repro.core.tasks.engine.run_task` with
+zero duplicate backend calls.  DESIGN §4e walks the argument.
+"""
+
+from repro.shard.lease import Lease, LeaseBoard, LeaseLostError
+from repro.shard.merge import IncompleteRunError, MergedRun, merge_run
+from repro.shard.plan import ShardPlan, ShardSpec, build_shard_plan
+from repro.shard.supervisor import ShardRunIncompleteError, ShardSupervisor
+from repro.shard.worker import run_worker
+
+__all__ = [
+    "IncompleteRunError",
+    "Lease",
+    "LeaseBoard",
+    "LeaseLostError",
+    "MergedRun",
+    "ShardPlan",
+    "ShardRunIncompleteError",
+    "ShardSpec",
+    "ShardSupervisor",
+    "build_shard_plan",
+    "merge_run",
+    "run_worker",
+]

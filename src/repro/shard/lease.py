@@ -1,0 +1,223 @@
+"""File-based shard leases: who may work a shard, and for how long.
+
+One JSON file per shard under ``leases/`` is the whole coordination
+substrate — no sockets, no shared memory, nothing a SIGKILL can corrupt.
+The protocol:
+
+* **acquire** — ``O_CREAT | O_EXCL``: exactly one creator wins.  Workers
+  scan shards in order and acquire the first unleased incomplete one, so
+  work stealing falls out of the data structure (a surviving worker's
+  next scan picks up whatever a dead worker dropped).
+* **heartbeat/renew** — the owner rewrites its lease atomically
+  (temp + ``os.replace``) with a pushed-out ``expires_at`` while it
+  works.  A renew that discovers a different owner token raises
+  :class:`LeaseLostError`: the worker was presumed dead and must abandon
+  the shard (its journal appends so far are still valid — journaling,
+  not leasing, is what makes the run exactly-once).
+* **reclaim/steal** — a lease whose ``expires_at`` passed *or* whose
+  owner pid no longer exists is stolen by atomically renaming the lease
+  file to a per-stealer tombstone; ``os.rename`` succeeds for exactly
+  one stealer, which then acquires fresh.  The pid check makes recovery
+  after SIGKILL immediate instead of one TTL later.
+
+Leases are *advisory* for scheduling and liveness; correctness never
+depends on them.  The exactly-once argument (DESIGN §4e) rests on the
+append-only journals alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+__all__ = ["Lease", "LeaseBoard", "LeaseLostError"]
+
+
+class LeaseLostError(RuntimeError):
+    """The shard's lease now belongs to someone else; abandon it."""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted claim on one shard."""
+
+    shard_id: int
+    owner: str
+    pid: int
+    token: str
+    acquired_at: float
+    renewed_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class LeaseBoard:
+    """The lease directory of one sharded run."""
+
+    def __init__(self, directory, ttl_s: float = 10.0, clock=time.time):
+        self.directory = os.fspath(directory)
+        self.ttl_s = float(ttl_s)
+        self.clock = clock
+        #: Leases this board stole from expired/dead owners (tally only).
+        self.reclaimed = 0
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard_{shard_id:04d}.lease")
+
+    # -- inspection --------------------------------------------------------
+
+    def read(self, shard_id: int) -> Lease | None:
+        """The current lease on ``shard_id``, or ``None`` (unleased or a
+        torn/in-flight write, which the caller treats as leased-by-other
+        and simply retries later)."""
+        try:
+            with open(self._path(shard_id), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return Lease(**payload)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, TypeError, KeyError):
+            return None
+
+    def holder_dead(self, lease: Lease) -> bool:
+        return lease.expired(self.clock()) or not _pid_alive(lease.pid)
+
+    # -- protocol ----------------------------------------------------------
+
+    def _write_new(self, shard_id: int, owner: str) -> Lease | None:
+        now = self.clock()
+        lease = Lease(
+            shard_id=shard_id,
+            owner=owner,
+            pid=os.getpid(),
+            token=os.urandom(8).hex(),
+            acquired_at=now,
+            renewed_at=now,
+            expires_at=now + self.ttl_s,
+        )
+        try:
+            fd = os.open(
+                self._path(shard_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(asdict(lease), handle)
+            handle.write("\n")
+        return lease
+
+    def try_acquire(self, shard_id: int, owner: str) -> Lease | None:
+        """Claim ``shard_id`` if unleased (stealing a dead owner's lease);
+        ``None`` when a live owner holds it or we lost the race."""
+        lease = self._write_new(shard_id, owner)
+        if lease is not None:
+            return lease
+        current = self.read(shard_id)
+        if current is None:
+            # Vanished between create-fail and read (owner released or a
+            # stealer won); try the fresh-create path once more.
+            return self._write_new(shard_id, owner)
+        if not self.holder_dead(current):
+            return None
+        # Steal: the rename is atomic, so exactly one stealer proceeds.
+        tombstone = (
+            f"{self._path(shard_id)}.stolen.{os.getpid()}.{os.urandom(4).hex()}"
+        )
+        try:
+            os.rename(self._path(shard_id), tombstone)
+        except FileNotFoundError:
+            return None  # someone else stole it first
+        try:
+            os.unlink(tombstone)
+        except FileNotFoundError:
+            pass
+        self.reclaimed += 1
+        return self._write_new(shard_id, owner)
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: push ``expires_at`` out by one TTL, atomically."""
+        current = self.read(lease.shard_id)
+        if current is None or current.token != lease.token:
+            raise LeaseLostError(
+                f"shard {lease.shard_id} lease now held by "
+                f"{getattr(current, 'owner', None)!r} (we were presumed "
+                f"dead); abandoning the shard"
+            )
+        now = self.clock()
+        renewed = Lease(
+            shard_id=lease.shard_id,
+            owner=lease.owner,
+            pid=lease.pid,
+            token=lease.token,
+            acquired_at=lease.acquired_at,
+            renewed_at=now,
+            expires_at=now + self.ttl_s,
+        )
+        path = self._path(lease.shard_id)
+        tmp = f"{path}.renew.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(asdict(renewed), handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Drop our claim (no-op if it was already stolen)."""
+        current = self.read(lease.shard_id)
+        if current is not None and current.token == lease.token:
+            try:
+                os.unlink(self._path(lease.shard_id))
+            except FileNotFoundError:
+                pass
+
+    def sweep(self) -> int:
+        """Supervisor-side reclaim: steal every expired/dead lease so a
+        restarted worker finds the shards free immediately.  Returns how
+        many leases were reclaimed by this sweep."""
+        reclaimed = 0
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if not name.endswith(".lease"):
+                continue
+            try:
+                shard_id = int(name[len("shard_"): -len(".lease")])
+            except ValueError:
+                continue
+            current = self.read(shard_id)
+            if current is None or not self.holder_dead(current):
+                continue
+            tombstone = (
+                f"{self._path(shard_id)}.swept.{os.getpid()}."
+                f"{os.urandom(4).hex()}"
+            )
+            try:
+                os.rename(self._path(shard_id), tombstone)
+            except FileNotFoundError:
+                continue
+            try:
+                os.unlink(tombstone)
+            except FileNotFoundError:
+                pass
+            reclaimed += 1
+        self.reclaimed += reclaimed
+        return reclaimed

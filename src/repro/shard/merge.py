@@ -1,0 +1,422 @@
+"""Merge per-shard journals into one resumable RunManifest.
+
+Merge rules (DESIGN §4e):
+
+* Every shard journal is read with the *tolerant* loader (bad-CRC or
+  torn records are skipped exactly as :class:`~repro.core.checkpoint.
+  RunCheckpoint` would skip them) and verified against its per-shard
+  fingerprint and the rebuilt prompts' digests — a journaled response
+  only counts if it provably belongs to this plan, this shard, and this
+  prompt.
+* A run merges only when every global index is covered by a journaled
+  completion or quarantine; otherwise :class:`IncompleteRunError` lists
+  what's missing (the CLI turns that into "re-run with --resume").
+* Predictions are parsed and scored by the same TaskSpec code paths as
+  a single-process run, in global index order — which is what makes
+  "byte-identical to an unfaulted ``run_task``" a positional comparison
+  rather than a multiset one.
+* The call logs under ``calls/`` are aggregated across every worker
+  incarnation that ever ran in this directory; a prompt digest appearing
+  more than once is a duplicate backend call.  The merged manifest's
+  ``shards.duplicate_backend_calls`` pins the exactly-once invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+
+from repro.core.checkpoint import (
+    CheckpointCorruptionWarning,
+    _record_crc,
+    prompt_sha,
+)
+from repro.core.manifest import RunManifest, jsonable
+from repro.shard.plan import ShardPlan
+
+__all__ = [
+    "IncompleteRunError",
+    "MergedRun",
+    "Workload",
+    "count_duplicate_calls",
+    "merge_run",
+    "read_journal",
+    "resolve_workload",
+]
+
+
+class IncompleteRunError(RuntimeError):
+    """Some shard is missing journaled work; resume before merging."""
+
+    def __init__(self, message: str, missing: dict[int, int]):
+        super().__init__(message)
+        #: shard_id -> number of examples still pending.
+        self.missing = missing
+
+
+def read_journal(path, fingerprint: str) -> tuple[dict, dict]:
+    """Read-only tolerant journal load: (completed, quarantined) by index.
+
+    Mirrors :meth:`RunCheckpoint._load`'s recovery semantics (torn final
+    line dropped, corrupt mid-file records skipped with a warning, CRC
+    verified when present) without opening the file for append — the
+    merge and the workers' completeness scans must never mutate
+    journals.  A missing file is simply an empty journal.  A journal
+    written under a different fingerprint contributes nothing (it
+    belongs to another run; resume will redo the work).
+    """
+    completed: dict[int, dict] = {}
+    quarantined: dict[int, dict] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return completed, quarantined
+    lines = raw.split("\n")
+    if lines and lines[-1]:
+        try:
+            json.loads(lines[-1])
+        except json.JSONDecodeError:
+            lines = lines[:-1]
+    header_ok = False
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            warnings.warn(
+                f"shard journal {path} line {lineno}: unparseable record "
+                f"skipped",
+                CheckpointCorruptionWarning,
+                stacklevel=2,
+            )
+            continue
+        if not isinstance(record, dict):
+            continue
+        if "crc" in record and record["crc"] != _record_crc(record):
+            warnings.warn(
+                f"shard journal {path} line {lineno}: CRC mismatch — "
+                f"record skipped, its example will re-run",
+                CheckpointCorruptionWarning,
+                stacklevel=2,
+            )
+            continue
+        kind = record.get("type")
+        if kind == "header":
+            header_ok = record.get("fingerprint") == fingerprint
+        elif kind == "example" and header_ok:
+            completed[int(record["index"])] = record
+        elif kind == "quarantine" and header_ok:
+            quarantined[int(record["index"])] = record
+    return completed, quarantined
+
+
+# ---------------------------------------------------------------------------
+# Workload resolution (shared by workers and the merge)
+
+
+@dataclass
+class Workload:
+    """The deterministically-rebuilt workload of one shard plan."""
+
+    spec: object
+    dataset: object
+    config: object
+    demonstrations: list
+    examples: list
+    _prompts: dict = field(default_factory=dict)
+
+    def prompt_for(self, index: int, plan: ShardPlan) -> str:
+        prompt = self._prompts.get(index)
+        if prompt is None:
+            prompt = self.spec.build_prompt(
+                self.examples[index],
+                self.demonstrations,
+                self.config,
+                plan.k,
+            )
+            self._prompts[index] = prompt
+        return prompt
+
+
+def resolve_workload(plan: ShardPlan, model=None) -> Workload:
+    """Rebuild spec/dataset/config/demonstrations from the plan alone.
+
+    Every worker process and the merge call this with identical inputs
+    and — because dataset generation, demonstration selection (random,
+    seeded), and prompt building are all deterministic — get
+    byte-identical prompts.  That shared derivation is what lets shards
+    ship *indices* instead of rows.
+    """
+    from repro.core.tasks.common import subsample
+    from repro.core.tasks.engine import select_demonstrations
+    from repro.core.tasks.spec import get_task
+    from repro.datasets import load_dataset
+
+    if plan.selection not in ("random",) and plan.k > 0:
+        raise ValueError(
+            f"sharded runs support selection='random' (or k=0), not "
+            f"{plan.selection!r}: manual curation scores candidates "
+            f"against the model inside every worker, which would "
+            f"multiply backend calls across the fleet"
+        )
+    spec = get_task(plan.task)
+    dataset = load_dataset(plan.dataset, scale=plan.scale)
+    config = spec.default_config(dataset)
+    examples = subsample(
+        spec.examples_of(dataset, plan.split), plan.max_examples
+    )
+    if len(examples) != plan.n_examples:
+        raise RuntimeError(
+            f"dataset {plan.dataset!r} resolved to {len(examples)} "
+            f"examples but the plan was built over {plan.n_examples} — "
+            f"generator drift; start a fresh run directory"
+        )
+    demonstrations = select_demonstrations(
+        spec, model, dataset, plan.k, config, plan.selection, plan.seed
+    )
+    return Workload(
+        spec=spec,
+        dataset=dataset,
+        config=config,
+        demonstrations=demonstrations,
+        examples=examples,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Call-log accounting
+
+
+def count_duplicate_calls(calls_dir) -> tuple[int, int]:
+    """(total successful backend calls, duplicates) across all workers."""
+    counts: dict[str, int] = {}
+    try:
+        names = sorted(os.listdir(calls_dir))
+    except FileNotFoundError:
+        return 0, 0
+    for name in names:
+        if not name.endswith(".calls"):
+            continue
+        with open(
+            os.path.join(calls_dir, name), "r", encoding="utf-8"
+        ) as handle:
+            for line in handle:
+                sha = line.strip()
+                if sha:
+                    counts[sha] = counts.get(sha, 0) + 1
+    total = sum(counts.values())
+    duplicates = sum(count - 1 for count in counts.values() if count > 1)
+    return total, duplicates
+
+
+# ---------------------------------------------------------------------------
+# The merge
+
+
+@dataclass
+class MergedRun:
+    """The scored outcome of a completed sharded run."""
+
+    predictions: list
+    labels: list
+    metric: float
+    metric_name: str
+    n_examples: int
+    manifest: RunManifest
+    duplicate_backend_calls: int
+    backend_calls_logged: int
+
+    def describe(self) -> str:
+        shards = self.manifest.shards or {}
+        return (
+            f"{self.manifest.task}/{self.manifest.dataset} "
+            f"{self.manifest.model} (k={self.manifest.k}): "
+            f"{self.metric_name}={100 * self.metric:.1f} over "
+            f"{self.n_examples} examples in {shards.get('n_shards', '?')} "
+            f"shards — duplicates={self.duplicate_backend_calls}, "
+            f"restarts={shards.get('restarts', 0)}, "
+            f"chaos_kills={shards.get('chaos_kills', 0)}"
+        )
+
+
+def merge_run(
+    run_dir,
+    plan: ShardPlan,
+    *,
+    n_workers: int = 1,
+    restarts: int = 0,
+    reclaimed_leases: int = 0,
+    resumed: bool = False,
+    wall_clock_s: float = 0.0,
+    faults: dict | None = None,
+    workload: Workload | None = None,
+) -> MergedRun:
+    """Fuse every shard journal into one scored, schema-valid manifest."""
+    from repro.shard.worker import CALL_DIR, CHAOS_DIR, journal_path
+
+    run_dir = os.fspath(run_dir)
+    if workload is None:
+        workload = resolve_workload(plan)
+    spec = workload.spec
+
+    responses: dict[int, str] = {}
+    quarantine_records: list[dict] = []
+    per_shard: list[dict] = []
+    missing: dict[int, int] = {}
+    for shard in plan.shards:
+        completed, quarantined = read_journal(
+            journal_path(run_dir, shard.shard_id),
+            plan.shard_fingerprint(shard.shard_id),
+        )
+        n_completed = 0
+        n_missing = 0
+        for index in shard.indices:
+            record = completed.get(index)
+            if record is not None and record.get("prompt_sha") == prompt_sha(
+                workload.prompt_for(index, plan)
+            ):
+                responses[index] = record["response"]
+                n_completed += 1
+            elif index in quarantined:
+                quarantine_records.append(quarantined[index])
+            else:
+                n_missing += 1
+        if n_missing:
+            missing[shard.shard_id] = n_missing
+        per_shard.append(
+            {
+                "shard_id": shard.shard_id,
+                "start": shard.start,
+                "stop": shard.stop,
+                "n_examples": shard.n_examples,
+                "n_completed": n_completed,
+                "n_quarantined": sum(
+                    1 for index in shard.indices if index in quarantined
+                ),
+            }
+        )
+    if missing:
+        detail = ", ".join(
+            f"shard {shard_id}: {count} pending"
+            for shard_id, count in sorted(missing.items())
+        )
+        raise IncompleteRunError(
+            f"cannot merge an incomplete run ({detail}); re-invoke with "
+            f"--resume to finish it",
+            missing,
+        )
+
+    # Parse + score through the same spec paths as run_task.
+    predictions: list = [None] * plan.n_examples
+    quarantined_indices = {
+        int(record["index"]) for record in quarantine_records
+    }
+    for index, response in responses.items():
+        predictions[index] = spec.parse_response(response)
+    labels = [spec.label_of(example) for example in workload.examples]
+    survivors = [
+        index
+        for index in range(plan.n_examples)
+        if index not in quarantined_indices
+    ]
+    if quarantined_indices:
+        metric, _details = spec.score(
+            [predictions[index] for index in survivors],
+            [labels[index] for index in survivors],
+            [workload.examples[index] for index in survivors],
+        )
+    else:
+        metric, _details = spec.score(
+            predictions, labels, workload.examples
+        )
+    coverage = (
+        len(survivors) / plan.n_examples if plan.n_examples else 1.0
+    )
+
+    backend_calls, duplicates = count_duplicate_calls(
+        os.path.join(run_dir, CALL_DIR)
+    )
+    try:
+        chaos_kills = sum(
+            1
+            for name in os.listdir(os.path.join(run_dir, CHAOS_DIR))
+            if name.endswith(".killed")
+        )
+    except FileNotFoundError:
+        chaos_kills = 0
+
+    shards_block = {
+        "n_shards": plan.n_shards,
+        "n_workers": n_workers,
+        "plan_fingerprint": plan.fingerprint,
+        "restarts": restarts,
+        "reclaimed_leases": reclaimed_leases,
+        "chaos_kills": chaos_kills,
+        "backend_calls_logged": backend_calls,
+        "duplicate_backend_calls": duplicates,
+        "resumed": resumed,
+        "per_shard": per_shard,
+    }
+    manifest = RunManifest(
+        task=spec.name,
+        dataset=workload.dataset.name,
+        model=plan.model,
+        k=plan.k,
+        selection=plan.selection,
+        split=plan.split,
+        seed=plan.seed,
+        workers=n_workers,
+        n_examples=plan.n_examples,
+        metric_name=spec.metric_name,
+        metric=metric,
+        phases={
+            "selection": 0.0,
+            "prompting": 0.0,
+            "completion": wall_clock_s,
+            "scoring": 0.0,
+        },
+        wall_clock_s=wall_clock_s,
+        requests={
+            "n_requests": backend_calls,
+            "n_failures": len(quarantine_records),
+            "n_retries": 0,
+            "total_s": wall_clock_s,
+            "mean_s": (wall_clock_s / backend_calls) if backend_calls else 0.0,
+            "max_s": 0.0,
+        },
+        cache=None,
+        usage={},
+        cost_usd=0.0,
+        unknown_price=False,
+        config=jsonable(workload.config),
+        quarantine=[
+            {
+                "index": int(record["index"]),
+                "error_type": record.get("error_type", "Error"),
+                "error": record.get("error", ""),
+                "attempts": int(record.get("attempts", 1)),
+                "stage": record.get("stage", "completion"),
+            }
+            for record in sorted(
+                quarantine_records, key=lambda record: int(record["index"])
+            )
+        ],
+        degraded=bool(quarantined_indices),
+        coverage=coverage,
+        faults=faults,
+        shards=shards_block,
+    )
+    return MergedRun(
+        predictions=predictions,
+        labels=labels,
+        metric=metric,
+        metric_name=spec.metric_name,
+        n_examples=plan.n_examples,
+        manifest=manifest,
+        duplicate_backend_calls=duplicates,
+        backend_calls_logged=backend_calls,
+    )

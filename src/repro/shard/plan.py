@@ -1,0 +1,240 @@
+"""Deterministic shard plans: one fingerprinted split of one run.
+
+A :class:`ShardPlan` pins *everything* workers need to rebuild the
+workload independently — task, dataset (plus scale), model, k,
+selection, split, seed, max_examples — and carves the example index
+space ``[0, n_examples)`` into N contiguous shards.  The plan is
+BLAKE2-fingerprinted with the same canonicalization as checkpoint
+fingerprints (:func:`repro.core.checkpoint.run_fingerprint`), saved as
+``plan.json`` in the run directory, and verified on every resume:
+changing any knob between invocations is a hard error, never a silent
+mix of two runs.
+
+Shard journals are namespaced by a per-shard fingerprint derived from
+the plan fingerprint plus the shard's identity, so a journal can never
+be replayed against the wrong shard (or the wrong run).
+
+Example indices in journals are **global** split indices, which makes
+the merge trivial and makes "byte-identical to a single-process run"
+checkable by position.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from repro.core.checkpoint import run_fingerprint
+
+__all__ = [
+    "PLAN_VERSION",
+    "ShardPlan",
+    "ShardPlanMismatchError",
+    "ShardSpec",
+    "build_shard_plan",
+    "partition",
+]
+
+PLAN_VERSION = 1
+
+
+class ShardPlanMismatchError(RuntimeError):
+    """plan.json on disk was built from a different resolved run."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous block of global example indices ``[start, stop)``."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def n_examples(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The resolved, fingerprinted description of one sharded run."""
+
+    task: str
+    dataset: str
+    model: str
+    k: int
+    selection: str
+    split: str
+    seed: int
+    max_examples: int | None
+    scale: int | None
+    n_examples: int
+    n_shards: int
+    shards: tuple[ShardSpec, ...] = field(default_factory=tuple)
+    version: int = PLAN_VERSION
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint_payload(self) -> dict:
+        # Deliberately excludes chaos knobs: a chaotic run must be
+        # resumable with chaos off (the CI drill does exactly that), and
+        # shard-run restricts chaos to response-preserving profiles so
+        # journaled responses are valid either way.
+        return {
+            "version": self.version,
+            "task": self.task,
+            "dataset": self.dataset,
+            "model": self.model,
+            "k": self.k,
+            "selection": self.selection,
+            "split": self.split,
+            "seed": self.seed,
+            "max_examples": self.max_examples,
+            "scale": self.scale,
+            "n_examples": self.n_examples,
+            "n_shards": self.n_shards,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        return run_fingerprint(self.fingerprint_payload())
+
+    def shard_fingerprint(self, shard_id: int) -> str:
+        shard = self.shards[shard_id]
+        return run_fingerprint(
+            {
+                "plan": self.fingerprint,
+                "shard_id": shard.shard_id,
+                "start": shard.start,
+                "stop": shard.stop,
+            }
+        )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["shards"] = [asdict(shard) for shard in self.shards]
+        payload["fingerprint"] = self.fingerprint
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> ShardPlan:
+        shards = tuple(
+            ShardSpec(**shard) for shard in payload.get("shards", ())
+        )
+        plan = cls(
+            task=payload["task"],
+            dataset=payload["dataset"],
+            model=payload["model"],
+            k=payload["k"],
+            selection=payload["selection"],
+            split=payload["split"],
+            seed=payload["seed"],
+            max_examples=payload["max_examples"],
+            scale=payload["scale"],
+            n_examples=payload["n_examples"],
+            n_shards=payload["n_shards"],
+            shards=shards,
+            version=payload.get("version", PLAN_VERSION),
+        )
+        recorded = payload.get("fingerprint")
+        if recorded is not None and recorded != plan.fingerprint:
+            raise ShardPlanMismatchError(
+                f"plan fingerprint mismatch: recorded {recorded!r}, "
+                f"recomputed {plan.fingerprint!r} — plan.json is corrupt "
+                f"or was edited"
+            )
+        return plan
+
+    def save(self, path) -> None:
+        """Atomic write (temp + rename): a crashed save never leaves a
+        torn plan.json for the next resume to trip over."""
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path) -> ShardPlan:
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def require_same(self, other: ShardPlan) -> None:
+        """Resume safety: refuse to mix two resolved runs in one dir."""
+        if self.fingerprint != other.fingerprint:
+            raise ShardPlanMismatchError(
+                "the run directory holds a plan for a different resolved "
+                "run configuration "
+                f"(on disk {other.fingerprint_payload()!r}, requested "
+                f"{self.fingerprint_payload()!r}); use a fresh --run-dir "
+                "or matching flags"
+            )
+
+
+def partition(n_examples: int, n_shards: int) -> tuple[ShardSpec, ...]:
+    """Near-equal contiguous blocks; the first ``n % k`` get one extra."""
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    n_shards = min(n_shards, max(1, n_examples))
+    base, extra = divmod(n_examples, n_shards)
+    shards = []
+    start = 0
+    for shard_id in range(n_shards):
+        size = base + (1 if shard_id < extra else 0)
+        shards.append(
+            ShardSpec(shard_id=shard_id, start=start, stop=start + size)
+        )
+        start += size
+    return tuple(shards)
+
+
+def build_shard_plan(
+    task: str,
+    dataset_name: str,
+    *,
+    model: str,
+    n_shards: int,
+    k: int = 0,
+    selection: str = "random",
+    split: str = "test",
+    seed: int = 0,
+    max_examples: int | None = None,
+    scale: int | None = None,
+) -> ShardPlan:
+    """Resolve the dataset, count the split, and carve the shards."""
+    from repro.core.tasks.common import subsample
+    from repro.core.tasks.spec import get_task
+    from repro.datasets import load_dataset
+
+    spec = get_task(task)
+    dataset = load_dataset(dataset_name, scale=scale)
+    examples = subsample(spec.examples_of(dataset, split), max_examples)
+    n_examples = len(examples)
+    if n_examples == 0:
+        raise ValueError(
+            f"{dataset_name}:{split} has no examples to shard"
+        )
+    return ShardPlan(
+        task=spec.name,
+        dataset=dataset_name,
+        model=model,
+        k=k,
+        selection=selection,
+        split=split,
+        seed=seed,
+        max_examples=max_examples,
+        scale=scale,
+        n_examples=n_examples,
+        n_shards=len(partition(n_examples, n_shards)),
+        shards=partition(n_examples, n_shards),
+    )

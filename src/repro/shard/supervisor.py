@@ -1,0 +1,297 @@
+"""The shard supervisor: spawn, watch, restart, reclaim, merge.
+
+The supervisor owns the run directory.  On a fresh run it writes
+``plan.json`` (atomic) and the directory skeleton; on ``--resume`` it
+verifies the existing plan against the requested flags and refuses to
+mix runs.  It then spawns N worker *processes* (``python -m repro
+shard-worker``) and sits in a monitor loop:
+
+* a worker that exits non-zero (crash, SIGKILL) is restarted with
+  bounded exponential backoff until the global restart budget is spent;
+* expired or dead-owner leases are swept every pass so surviving
+  workers can steal orphaned shards immediately (work stealing);
+* the loop ends when every shard's journal is complete — or when no
+  workers remain and the budget is gone, in which case
+  :class:`ShardRunIncompleteError` tells the caller to ``--resume``.
+
+The supervisor itself holds **no run state that matters**: every
+byte of progress lives in the journals.  SIGKILL the supervisor and the
+workers notice the re-parenting at their next journal boundary, release
+their leases, and exit cleanly; ``--resume`` starts a fresh supervisor
+over the same directory and the run continues exactly where the
+journals say it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.shard.lease import LeaseBoard
+from repro.shard.merge import MergedRun, merge_run, resolve_workload
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import (
+    CALL_DIR,
+    CHAOS_DIR,
+    JOURNAL_DIR,
+    LEASE_DIR,
+    PLAN_FILE,
+    journal_path,
+)
+
+__all__ = ["ShardRunIncompleteError", "ShardSupervisor"]
+
+
+class ShardRunIncompleteError(RuntimeError):
+    """Workers are gone but shards remain; re-invoke with ``--resume``."""
+
+
+class _WorkerSlot:
+    """One supervised worker identity (stable across restarts)."""
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        self.process: subprocess.Popen | None = None
+        self.restarts = 0
+        self.next_start_at = 0.0
+        self.gave_up = False
+
+
+class ShardSupervisor:
+    """Drive one sharded run to completion (see module docstring)."""
+
+    def __init__(
+        self,
+        run_dir,
+        plan: ShardPlan,
+        *,
+        n_workers: int = 2,
+        executor_kind: str = "thread",
+        intra_workers: int = 1,
+        lease_ttl_s: float = 10.0,
+        max_restarts: int = 8,
+        restart_backoff_s: float = 0.05,
+        max_backoff_s: float = 1.0,
+        chaos_profile: str | None = None,
+        chaos_seed: int = 0,
+        resume: bool = False,
+        poll_interval_s: float = 0.02,
+    ):
+        self.run_dir = os.fspath(run_dir)
+        self.plan = plan
+        self.n_workers = max(1, int(n_workers))
+        self.executor_kind = executor_kind
+        self.intra_workers = max(1, int(intra_workers))
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.max_restarts = int(max_restarts)
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.chaos_profile = chaos_profile
+        self.chaos_seed = int(chaos_seed)
+        self.resume = bool(resume)
+        self.poll_interval_s = float(poll_interval_s)
+        self.restarts = 0
+        self.board = LeaseBoard(
+            os.path.join(self.run_dir, LEASE_DIR), ttl_s=self.lease_ttl_s
+        )
+        # Chaos must never corrupt the merged result: only profiles whose
+        # faults are fully absorbable (transients that retries recover,
+        # process kills that restarts recover) are legal here.
+        if chaos_profile is not None and chaos_profile != "none":
+            from repro.api.faults import get_fault_profile
+
+            profile = get_fault_profile(chaos_profile)
+            dirty = {
+                "garbage": profile.garbage,
+                "truncate": profile.truncate,
+                "unrecoverable": profile.unrecoverable,
+            }
+            bad = [name for name, rate in dirty.items() if rate > 0.0]
+            if bad:
+                raise ValueError(
+                    f"chaos profile {profile.name!r} injects "
+                    f"response-corrupting or unrecoverable faults "
+                    f"({', '.join(bad)}); sharded runs guarantee "
+                    f"byte-identical predictions and only accept "
+                    f"fully-recoverable profiles (e.g. 'shard-heavy')"
+                )
+
+    # -- layout ------------------------------------------------------------
+
+    def _prepare_run_dir(self) -> None:
+        plan_path = os.path.join(self.run_dir, PLAN_FILE)
+        os.makedirs(self.run_dir, exist_ok=True)
+        for sub in (JOURNAL_DIR, LEASE_DIR, CALL_DIR, CHAOS_DIR):
+            os.makedirs(os.path.join(self.run_dir, sub), exist_ok=True)
+        if os.path.exists(plan_path):
+            existing = ShardPlan.load(plan_path)
+            self.plan.require_same(existing)
+            self.resume = True
+        else:
+            self.plan.save(plan_path)
+
+    # -- progress ----------------------------------------------------------
+
+    def _shards_pending(self, workload) -> dict[int, int]:
+        """shard_id -> examples not yet journaled (empty == run done)."""
+        from repro.shard.merge import read_journal
+
+        pending: dict[int, int] = {}
+        for shard in self.plan.shards:
+            completed, quarantined = read_journal(
+                journal_path(self.run_dir, shard.shard_id),
+                self.plan.shard_fingerprint(shard.shard_id),
+            )
+            done = set(completed) | set(quarantined)
+            n_pending = sum(
+                1 for index in shard.indices if index not in done
+            )
+            if n_pending:
+                pending[shard.shard_id] = n_pending
+        return pending
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "shard-worker",
+            "--run-dir",
+            self.run_dir,
+            "--worker-id",
+            slot.worker_id,
+            "--executor",
+            self.executor_kind,
+            "--intra-workers",
+            str(self.intra_workers),
+            "--lease-ttl-s",
+            str(self.lease_ttl_s),
+            "--supervisor-pid",
+            str(os.getpid()),
+        ]
+        if self.chaos_profile is not None:
+            argv += [
+                "--chaos",
+                self.chaos_profile,
+                "--chaos-seed",
+                str(self.chaos_seed),
+            ]
+        slot.process = subprocess.Popen(argv)
+
+    def _tend_workers(self, now: float) -> int:
+        """Restart dead workers within budget; return live-worker count."""
+        live = 0
+        for slot in self._slots:
+            process = slot.process
+            if process is not None and process.poll() is None:
+                live += 1
+                continue
+            returncode = None if process is None else process.returncode
+            if returncode == 0:
+                continue  # finished cleanly (no shards left for it)
+            if slot.gave_up:
+                continue
+            if process is not None and slot.next_start_at == 0.0:
+                # Just found it dead: schedule the restart with backoff.
+                if self.restarts >= self.max_restarts:
+                    slot.gave_up = True
+                    continue
+                self.restarts += 1
+                slot.restarts += 1
+                delay = min(
+                    self.max_backoff_s,
+                    self.restart_backoff_s * (2 ** (slot.restarts - 1)),
+                )
+                slot.next_start_at = now + delay
+                slot.process = None
+                continue
+            if now >= slot.next_start_at:
+                slot.next_start_at = 0.0
+                self._spawn(slot)
+                live += 1
+        return live
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> MergedRun:
+        started = time.monotonic()
+        self._prepare_run_dir()
+        workload = resolve_workload(self.plan)
+
+        self._slots = [
+            _WorkerSlot(f"w{index}") for index in range(self.n_workers)
+        ]
+        for slot in self._slots:
+            self._spawn(slot)
+
+        try:
+            while True:
+                now = time.monotonic()
+                live = self._tend_workers(now)
+                self.board.sweep()
+                pending = self._shards_pending(workload)
+                if not pending:
+                    break
+                restartable = any(
+                    not slot.gave_up
+                    and (
+                        slot.process is None
+                        or slot.process.poll() is None
+                        or slot.process.returncode != 0
+                    )
+                    for slot in self._slots
+                )
+                if live == 0 and not restartable:
+                    detail = ", ".join(
+                        f"shard {shard_id}: {count} pending"
+                        for shard_id, count in sorted(pending.items())
+                    )
+                    raise ShardRunIncompleteError(
+                        f"all workers exhausted their restart budget "
+                        f"({self.max_restarts}) with work remaining "
+                        f"({detail}); re-invoke with --resume"
+                    )
+                time.sleep(self.poll_interval_s)
+        finally:
+            self._reap()
+
+        faults = None
+        if self.chaos_profile is not None and self.chaos_profile != "none":
+            from repro.api.faults import FaultPlan
+
+            faults = FaultPlan(
+                self.chaos_profile, seed=self.chaos_seed
+            ).describe()
+        return merge_run(
+            self.run_dir,
+            self.plan,
+            n_workers=self.n_workers,
+            restarts=self.restarts,
+            reclaimed_leases=self.board.reclaimed,
+            resumed=self.resume,
+            wall_clock_s=time.monotonic() - started,
+            faults=faults,
+            workload=workload,
+        )
+
+    def _reap(self) -> None:
+        """Wait for still-running workers (they exit once shards run dry)."""
+        deadline = time.monotonic() + max(5.0, 2 * self.lease_ttl_s)
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                process.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()

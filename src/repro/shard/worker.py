@@ -1,0 +1,311 @@
+"""One shard worker process: claim, complete, journal, heartbeat, die.
+
+A worker is spawned as ``python -m repro shard-worker --run-dir DIR
+--worker-id wN`` (so it is a real OS process the chaos harness can
+SIGKILL) and self-schedules: it rebuilds the workload deterministically
+from ``plan.json``, scans the shards in order, leases the first
+incomplete unleased one, and works it in micro-batches:
+
+    complete (executor fan-out) -> append call log -> append journal
+    -> [chaos boundary] -> renew lease / orphan check
+
+Every durability-relevant append lands *before* the next boundary, and
+process-level chaos (:class:`repro.api.faults.ProcessChaos`) only ever
+kills *at* a boundary — which is why the drill's "zero duplicate
+backend calls" assertion is exact, not probabilistic.  An external
+SIGKILL at an arbitrary instant still resumes to byte-identical
+predictions (journaled work is never redone); at worst the calls that
+landed in the kill window are re-made, and the call log makes even that
+visible.
+
+The call log (``calls/<worker>-<pid>.calls``, one prompt digest per
+*successful* backend completion) is the cross-process audit trail the
+merge uses to prove the exactly-once invariant: a digest appearing
+twice anywhere in ``calls/`` is a duplicate backend call.
+
+Orphan watch: each boundary compares ``os.getppid()`` with the
+supervisor pid recorded at spawn.  If the supervisor was SIGKILLed the
+worker releases its lease and exits cleanly at the next boundary, so
+``--resume`` finds a quiet run directory instead of racing zombies.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.api.faults import FaultPlan, ProcessChaos, get_fault_profile
+from repro.core.checkpoint import RunCheckpoint, prompt_sha
+from repro.shard.lease import LeaseBoard, LeaseLostError
+from repro.shard.plan import ShardPlan
+
+__all__ = ["WorkerContext", "run_worker"]
+
+#: Run-directory layout (shared with supervisor/merge).
+PLAN_FILE = "plan.json"
+JOURNAL_DIR = "journals"
+LEASE_DIR = "leases"
+CALL_DIR = "calls"
+CHAOS_DIR = "chaos"
+
+
+def journal_path(run_dir: str, shard_id: int) -> str:
+    return os.path.join(run_dir, JOURNAL_DIR, f"shard_{shard_id:04d}.jsonl")
+
+
+class CallLog:
+    """Append-only per-process log of successful backend completions."""
+
+    def __init__(self, path: str):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def record(self, prompt: str) -> None:
+        with self._lock:
+            self._handle.write(prompt_sha(prompt) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class _LoggedBackend:
+    """Backend wrapper that records every *successful* completion.
+
+    Sits under the :class:`~repro.api.client.CompletionClient`, so
+    injected transient faults and their retries (which never reach the
+    backend) don't pollute the audit trail.
+    """
+
+    def __init__(self, backend, call_log: CallLog):
+        self._backend = backend
+        self._call_log = call_log
+
+    def complete(self, prompt: str, *args, **kwargs) -> str:
+        text = self._backend.complete(prompt, *args, **kwargs)
+        self._call_log.record(prompt)
+        return text
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+
+class WorkerContext:
+    """The deterministically-rebuilt workload of one worker process."""
+
+    def __init__(
+        self,
+        run_dir: str,
+        worker_id: str,
+        *,
+        executor_kind: str = "thread",
+        intra_workers: int = 1,
+        lease_ttl_s: float = 10.0,
+        chaos_profile: str | None = None,
+        chaos_seed: int = 0,
+        supervisor_pid: int | None = None,
+    ):
+        from repro.api.backends import get_backend
+        from repro.api.client import CompletionClient
+        from repro.shard.merge import resolve_workload
+
+        self.run_dir = os.fspath(run_dir)
+        self.worker_id = worker_id
+        self.executor_kind = executor_kind
+        self.intra_workers = max(1, int(intra_workers))
+        self.supervisor_pid = supervisor_pid
+        self.plan = ShardPlan.load(os.path.join(self.run_dir, PLAN_FILE))
+        plan = self.plan
+        self.workload = resolve_workload(plan)
+
+        self.call_log = CallLog(
+            os.path.join(
+                self.run_dir, CALL_DIR, f"{worker_id}-{os.getpid()}.calls"
+            )
+        )
+        fault_plan = None
+        self.chaos = None
+        if chaos_profile is not None and chaos_profile != "none":
+            profile = get_fault_profile(chaos_profile)
+            fault_plan = FaultPlan(profile, seed=chaos_seed)
+            self.chaos = ProcessChaos(
+                profile,
+                seed=chaos_seed,
+                marker_dir=os.path.join(self.run_dir, CHAOS_DIR),
+            )
+        self.client = CompletionClient(
+            _LoggedBackend(get_backend(plan.model), self.call_log),
+            cache=None,
+            fault_plan=fault_plan,
+        )
+        self.board = LeaseBoard(
+            os.path.join(self.run_dir, LEASE_DIR), ttl_s=lease_ttl_s
+        )
+
+    # -- workload ----------------------------------------------------------
+
+    def prompt_for(self, index: int) -> str:
+        return self.workload.prompt_for(index, self.plan)
+
+    def orphaned(self) -> bool:
+        """Did our supervisor die?  (Re-parented == orphaned.)"""
+        return (
+            self.supervisor_pid is not None
+            and os.getppid() != self.supervisor_pid
+        )
+
+    def shard_done(self, shard_id: int) -> bool:
+        from repro.shard.merge import read_journal
+
+        shard = self.plan.shards[shard_id]
+        completed, quarantined = read_journal(
+            journal_path(self.run_dir, shard_id),
+            self.plan.shard_fingerprint(shard_id),
+        )
+        done = set(completed) | set(quarantined)
+        return all(index in done for index in shard.indices)
+
+    # -- the work loop -----------------------------------------------------
+
+    def work_shard(self, shard_id: int, lease) -> None:
+        """Complete every pending example of one leased shard."""
+        from repro.api.batch import BatchFailure, make_executor
+
+        plan = self.plan
+        shard = plan.shards[shard_id]
+        journal = RunCheckpoint(
+            journal_path(self.run_dir, shard_id),
+            plan.shard_fingerprint(shard_id),
+            meta={
+                "shard_id": shard_id,
+                "start": shard.start,
+                "stop": shard.stop,
+                "plan": plan.fingerprint,
+            },
+            fsync=True,
+        )
+        try:
+            pending = [
+                index
+                for index in shard.indices
+                if index not in journal.quarantined
+                and journal.response_for(index, self.prompt_for(index)) is None
+            ]
+            done = shard.n_examples - len(pending)
+            executor = make_executor(
+                self.executor_kind, workers=self.intra_workers
+            )
+            chunk_size = max(1, self.intra_workers)
+            renew_at = time.monotonic() + self.board.ttl_s / 3.0
+            for offset in range(0, len(pending), chunk_size):
+                chunk = pending[offset: offset + chunk_size]
+                outcomes = executor.map(
+                    lambda index: self.client.complete(self.prompt_for(index)),
+                    chunk,
+                    on_error="return",
+                )
+                for index, outcome in zip(chunk, outcomes):
+                    if isinstance(outcome, BatchFailure):
+                        journal.record_quarantine(
+                            index,
+                            outcome.error_type,
+                            str(outcome.error),
+                            outcome.attempts,
+                        )
+                    else:
+                        journal.record_example(
+                            index, self.prompt_for(index), outcome
+                        )
+                    done += 1
+                    # Chaos boundary: the journal append for this example
+                    # is durable, so a kill here cannot cause a duplicate
+                    # call on resume.  Keyed by (shard, progress), not by
+                    # worker, so the schedule survives work stealing.
+                    if self.chaos is not None and self.chaos.should_kill(
+                        shard_id, done
+                    ):
+                        journal.close()
+                        self.chaos.mark_and_kill(shard_id, done)
+                        return  # only reached if another process won the marker race
+                if self.orphaned():
+                    return
+                if time.monotonic() >= renew_at:
+                    lease = self.board.renew(lease)
+                    renew_at = time.monotonic() + self.board.ttl_s / 3.0
+        finally:
+            journal.close()
+
+    def run(self) -> int:
+        """Claim-work-release until every shard is done.  Returns 0."""
+        plan = self.plan
+        idle_since = None
+        while True:
+            if self.orphaned():
+                return 0
+            claimed = False
+            remaining = False
+            for shard in plan.shards:
+                if self.shard_done(shard.shard_id):
+                    continue
+                remaining = True
+                lease = self.board.try_acquire(shard.shard_id, self.worker_id)
+                if lease is None:
+                    continue
+                claimed = True
+                idle_since = None
+                try:
+                    self.work_shard(shard.shard_id, lease)
+                except LeaseLostError:
+                    # Presumed dead and replaced; our journal appends
+                    # stand, the new owner skips them.
+                    continue
+                finally:
+                    self.board.release(lease)
+            if not remaining:
+                return 0
+            if not claimed:
+                # Everything pending is leased to live workers; nap and
+                # rescan (a dying worker's lease frees up for stealing).
+                if idle_since is None:
+                    idle_since = time.monotonic()
+                elif time.monotonic() - idle_since > 10 * self.board.ttl_s:
+                    return 0  # pathological stall; let the supervisor act
+                time.sleep(0.02)
+
+    def close(self) -> None:
+        self.call_log.close()
+
+
+def run_worker(
+    run_dir,
+    worker_id: str,
+    *,
+    executor_kind: str = "thread",
+    intra_workers: int = 1,
+    lease_ttl_s: float = 10.0,
+    chaos_profile: str | None = None,
+    chaos_seed: int = 0,
+    supervisor_pid: int | None = None,
+) -> int:
+    """Entry point behind ``repro shard-worker``."""
+    context = WorkerContext(
+        run_dir,
+        worker_id,
+        executor_kind=executor_kind,
+        intra_workers=intra_workers,
+        lease_ttl_s=lease_ttl_s,
+        chaos_profile=chaos_profile,
+        chaos_seed=chaos_seed,
+        supervisor_pid=supervisor_pid,
+    )
+    try:
+        return context.run()
+    finally:
+        context.close()

@@ -7,8 +7,10 @@ import json
 import pytest
 
 from repro.core.checkpoint import (
+    CheckpointCorruptionWarning,
     CheckpointMismatchError,
     RunCheckpoint,
+    _record_crc,
     prompt_sha,
     run_fingerprint,
 )
@@ -105,15 +107,82 @@ class TestJournal:
             for line in path.read_text(encoding="utf-8").splitlines()
         ]
         assert lines[0]["type"] == "header"
-        assert lines[1] == {
+        body = {
             "type": "example",
             "index": 5,
             "prompt_sha": prompt_sha("the prompt"),
             "response": "the response",
         }
+        assert lines[1] == {**body, "crc": _record_crc(body)}
 
     def test_creates_parent_directories(self, tmp_path):
         path = tmp_path / "nested" / "dir" / "run.jsonl"
         with RunCheckpoint(path, run_fingerprint(CONFIG)) as journal:
             journal.record_example(0, "p", "r")
         assert path.exists()
+
+
+class TestDurability:
+    """CRC-per-line + corrupt-record recovery + opt-in fsync."""
+
+    def test_corrupt_midfile_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp) as journal:
+            journal.record_example(0, "p0", "r0")
+            journal.record_example(1, "p1", "r1")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        # Mangle the *middle* record (index 0's example), keep the rest.
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\x00garbage"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning, match="skipped"):
+            resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "p0") is None  # re-runs
+        assert resumed.response_for(1, "p1") == "r1"  # survives
+        resumed.close()
+
+    def test_crc_mismatch_is_skipped_with_warning(self, tmp_path):
+        """A bit-rotted but still-parseable record must not be trusted."""
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp) as journal:
+            journal.record_example(0, "p0", "r0")
+            journal.record_example(1, "p1", "r1")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        rotted = json.loads(lines[1])
+        rotted["response"] = "r0-flipped-bit"  # payload changed, crc stale
+        lines[1] = json.dumps(rotted, sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning, match="CRC mismatch"):
+            resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "p0") is None
+        assert resumed.response_for(1, "p1") == "r1"
+        resumed.close()
+
+    def test_pre_crc_journals_still_load(self, tmp_path):
+        """Journals written before the CRC field existed load unchanged."""
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        header = {"type": "header", "version": 1, "fingerprint": fp, "meta": {}}
+        old = {
+            "type": "example",
+            "index": 0,
+            "prompt_sha": prompt_sha("p0"),
+            "response": "r0",
+        }
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps(old) + "\n",
+            encoding="utf-8",
+        )
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "p0") == "r0"
+        resumed.close()
+
+    def test_fsync_journal_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fp = run_fingerprint(CONFIG)
+        with RunCheckpoint(path, fp, fsync=True) as journal:
+            journal.record_example(0, "p0", "r0")
+        resumed = RunCheckpoint(path, fp)
+        assert resumed.response_for(0, "p0") == "r0"
+        resumed.close()

@@ -1,0 +1,95 @@
+"""The --scale knob: deterministic N-row splits for EM/ED/DI."""
+
+import pytest
+
+from repro.datasets import load_dataset, scale_dataset
+
+pytestmark = pytest.mark.smoke
+
+
+class TestScaleMechanics:
+    @pytest.mark.parametrize("name", ["fodors_zagats", "hospital", "restaurant"])
+    def test_exact_row_count_and_renamed(self, name):
+        base = load_dataset(name)
+        target = 2 * len(base.split("test")) + 3
+        scaled = scale_dataset(base, target)
+        assert len(scaled.split("test")) == target
+        assert scaled.name == f"{base.name}@{target}"
+        assert scaled.task == base.task
+
+    @pytest.mark.parametrize("name", ["fodors_zagats", "hospital", "restaurant"])
+    def test_deterministic_across_processes(self, name):
+        # Two independent loads must agree byte-for-byte: sharded
+        # workers rebuild the scaled workload without shipping rows.
+        first = load_dataset(name, scale=150).split("test")
+        second = load_dataset(name, scale=150).split("test")
+        assert first == second
+
+    def test_round_zero_is_verbatim(self):
+        base = load_dataset("fodors_zagats")
+        n = len(base.split("test"))
+        scaled = scale_dataset(base, n + 5)
+        assert scaled.split("test")[:n] == base.split("test")
+
+    def test_variants_are_distinct_examples(self):
+        base = load_dataset("fodors_zagats")
+        n = len(base.split("test"))
+        scaled = scale_dataset(base, 3 * n)
+        rendered = {
+            (tuple(sorted(p.left.items())), tuple(sorted(p.right.items())))
+            for p in scaled.split("test")
+        }
+        assert len(rendered) == 3 * n
+
+    def test_labels_carried_over(self):
+        base = load_dataset("fodors_zagats")
+        n = len(base.split("test"))
+        scaled = scale_dataset(base, 2 * n)
+        base_labels = [p.label for p in base.split("test")]
+        assert [p.label for p in scaled.split("test")] == base_labels * 2
+
+    def test_demo_pools_untouched(self):
+        base = load_dataset("fodors_zagats")
+        scaled = scale_dataset(base, 500)
+        assert scaled.train == base.train
+        assert scaled.valid == base.valid
+
+
+class TestScaleGuards:
+    def test_ed_never_dirties_the_cell_under_scrutiny(self):
+        base = load_dataset("hospital")
+        n = len(base.split("test"))
+        scaled = scale_dataset(base, 2 * n)
+        for original, variant in zip(
+            base.split("test"), scaled.split("test")[n:]
+        ):
+            assert variant.row[variant.attribute] == original.row[original.attribute]
+            assert variant.label == original.label
+
+    def test_di_never_touches_the_target_attribute(self):
+        base = load_dataset("restaurant")
+        n = len(base.split("test"))
+        scaled = scale_dataset(base, 2 * n)
+        target = base.target_attribute
+        for original, variant in zip(
+            base.split("test"), scaled.split("test")[n:]
+        ):
+            assert variant.row.get(target) == original.row.get(target)
+            assert variant.answer == original.answer
+
+    def test_nonpositive_scale_rejected(self):
+        base = load_dataset("fodors_zagats")
+        with pytest.raises(ValueError, match="positive"):
+            scale_dataset(base, 0)
+
+    def test_unsupported_dataset_type_rejected(self):
+        sm = load_dataset("synthea")
+        if sm.task in ("entity_matching", "error_detection", "imputation"):
+            pytest.skip("need a non-EM/ED/DI dataset for this guard")
+        with pytest.raises(ValueError, match="EM/ED/DI"):
+            scale_dataset(sm, 10)
+
+    def test_cli_run_accepts_scale(self):
+        # The knob is plumbed through load_dataset(name, scale=...).
+        scaled = load_dataset("fodors_zagats", scale=130)
+        assert len(scaled.split("test")) == 130

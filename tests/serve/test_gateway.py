@@ -264,3 +264,58 @@ class TestLifecycleAndStats:
         assert isinstance(response, WrangleResponse)
         assert not response.ok
         assert response.results[0]["error_type"] == "ValueError"
+
+
+class TestIdleExpiry:
+    """Deadline expiry must not depend on dispatch traffic (PR 9 fix).
+
+    A paused gateway used to skip expiry entirely: the paused branch of
+    the dispatch loop never called ``_dispatch_once``, so a queued
+    request with a passed deadline sat unresolved until ``resume()``.
+    These tests drive the dead branch with an injected fake clock — the
+    waiter must be shed while the gateway is still paused.
+    """
+
+    def test_paused_gateway_sheds_expired_waiter_without_resume(self):
+        fake_now = [1000.0]
+        gateway = Gateway(GatewayConfig(workers=1), clock=lambda: fake_now[0])
+        with gateway:
+            gateway.pause()
+            future = gateway.submit(
+                em_request("impatient", [0], deadline_s=5.0)
+            )
+            fake_now[0] += 6.0  # past the deadline; gateway stays paused
+            response = future.result(timeout=10)
+            assert gateway._paused.is_set(), "expiry must not need resume()"
+        assert isinstance(response, ShedResponse)
+        assert response.reason == "deadline"
+
+    def test_idle_gateway_sheds_expired_waiter_without_new_traffic(self):
+        fake_now = [0.0]
+        gateway = Gateway(GatewayConfig(workers=1), clock=lambda: fake_now[0])
+        with gateway:
+            gateway.pause()
+            future = gateway.submit(em_request("t", [0], deadline_s=2.0))
+            gateway.resume()
+            fake_now[0] += 3.0
+            # No further submits: the bounded idle wait alone must wake
+            # the loop and shed the expired entry.
+            response = future.result(timeout=10)
+        assert isinstance(response, ShedResponse)
+        assert response.reason == "deadline"
+
+    def test_unexpired_waiter_survives_pause(self):
+        fake_now = [0.0]
+        gateway = Gateway(GatewayConfig(workers=1), clock=lambda: fake_now[0])
+        with gateway:
+            gateway.pause()
+            future = gateway.submit(em_request("t", [0], deadline_s=60.0))
+            fake_now[0] += 1.0  # well inside the deadline
+            import time as _time
+
+            _time.sleep(0.2)  # give the paused loop several wake-ups
+            assert not future.done()
+            gateway.resume()
+            response = future.result(timeout=60)
+        assert isinstance(response, WrangleResponse)
+        assert response.ok

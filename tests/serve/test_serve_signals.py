@@ -1,0 +1,100 @@
+"""Signal handling of ``repro serve``: a SIGTERM storm must exit clean.
+
+The original handler raised KeyboardInterrupt unconditionally, so a
+second SIGTERM arriving while the ``finally`` block was tearing the
+gateway down re-raised from inside cleanup and the process died with a
+traceback instead of "gateway stopped cleanly" + exit 0.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import _make_terminate_handler
+
+pytestmark = pytest.mark.smoke
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _restore_sigterm():
+    # The handler flips the process-wide SIGTERM disposition to SIG_IGN
+    # on first fire; undo that so it can't leak into other tests.
+    previous = signal.getsignal(signal.SIGTERM)
+    yield
+    signal.signal(signal.SIGTERM, previous)
+
+
+class TestTerminateHandler:
+    def test_first_signal_raises(self):
+        handler = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGTERM, None)
+
+    def test_first_signal_ignores_further_sigterm_at_os_level(self):
+        # A repeat can arrive during interpreter finalization, after
+        # Python has restored default dispositions — only an OS-level
+        # SIG_IGN survives that window.
+        handler = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGTERM, None)
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_IGN
+
+    def test_second_signal_is_swallowed(self):
+        handler = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGTERM, None)
+        assert handler(signal.SIGTERM, None) is None  # no re-raise
+
+    def test_signal_storm_is_swallowed(self):
+        handler = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGTERM, None)
+        for _ in range(10):
+            handler(signal.SIGTERM, None)
+
+    def test_fresh_handler_is_independent(self):
+        first = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            first(signal.SIGTERM, None)
+        second = _make_terminate_handler()
+        with pytest.raises(KeyboardInterrupt):
+            second(signal.SIGTERM, None)
+
+
+class TestDoubleSigtermIntegration:
+    def test_two_sigterms_exit_zero_without_traceback(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait for the gateway to come up (it announces its address).
+            deadline = time.monotonic() + 60
+            line = ""
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "listening" in line:
+                    break
+            assert "listening" in line, "gateway never came up"
+            process.send_signal(signal.SIGTERM)
+            time.sleep(0.05)  # let cleanup start, then hit it again
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr[-2000:]
+        assert "Traceback" not in stderr
+        assert "gateway stopped cleanly" in stdout

@@ -1,0 +1,117 @@
+"""Lease protocol: acquire, renew, release, steal, expiry, pid-death."""
+
+import json
+import os
+
+import pytest
+
+from repro.shard.lease import LeaseBoard, LeaseLostError
+
+pytestmark = pytest.mark.smoke
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def board(tmp_path, clock):
+    return LeaseBoard(tmp_path / "leases", ttl_s=10.0, clock=clock)
+
+
+class TestAcquire:
+    def test_acquire_then_conflict(self, board):
+        lease = board.try_acquire(0, "w0")
+        assert lease is not None and lease.owner == "w0"
+        assert board.try_acquire(0, "w1") is None
+
+    def test_release_frees_the_shard(self, board):
+        lease = board.try_acquire(0, "w0")
+        board.release(lease)
+        assert board.try_acquire(0, "w1") is not None
+
+    def test_independent_shards_coexist(self, board):
+        assert board.try_acquire(0, "w0") is not None
+        assert board.try_acquire(1, "w1") is not None
+
+
+class TestRenew:
+    def test_renew_pushes_expiry(self, board, clock):
+        lease = board.try_acquire(0, "w0")
+        clock.now += 6.0
+        renewed = board.renew(lease)
+        assert renewed.expires_at == clock.now + board.ttl_s
+        assert renewed.token == lease.token
+
+    def test_renew_after_steal_raises(self, board, clock):
+        lease = board.try_acquire(0, "w0")
+        clock.now += 11.0  # expired
+        stolen = board.try_acquire(0, "w1")
+        assert stolen is not None
+        with pytest.raises(LeaseLostError):
+            board.renew(lease)
+
+    def test_release_after_steal_leaves_new_owner_alone(self, board, clock):
+        lease = board.try_acquire(0, "w0")
+        clock.now += 11.0
+        board.try_acquire(0, "w1")
+        board.release(lease)  # token mismatch: must be a no-op
+        assert board.read(0).owner == "w1"
+
+
+class TestSteal:
+    def test_expired_lease_is_stolen(self, board, clock):
+        board.try_acquire(0, "w0")
+        clock.now += 10.0
+        stolen = board.try_acquire(0, "w1")
+        assert stolen is not None and stolen.owner == "w1"
+        assert board.reclaimed == 1
+
+    def test_live_lease_is_not_stolen(self, board, clock):
+        board.try_acquire(0, "w0")
+        clock.now += 5.0
+        assert board.try_acquire(0, "w1") is None
+        assert board.reclaimed == 0
+
+    def test_dead_pid_is_stolen_before_expiry(self, tmp_path, clock):
+        board = LeaseBoard(tmp_path / "leases", ttl_s=10.0, clock=clock)
+        lease = board.try_acquire(0, "w0")
+        # Rewrite the lease as if owned by a long-dead pid.
+        path = board._path(0)
+        payload = json.loads(open(path).read())
+        payload["pid"] = 2**22 - 1  # far beyond any live pid here
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert clock.now < lease.expires_at  # not yet expired
+        stolen = board.try_acquire(0, "w1")
+        assert stolen is not None and stolen.owner == "w1"
+
+    def test_torn_lease_file_reads_as_none(self, board):
+        os.makedirs(board.directory, exist_ok=True)
+        with open(board._path(3), "w") as handle:
+            handle.write('{"shard_id": 3, "owner"')  # torn mid-write
+        assert board.read(3) is None
+
+
+class TestSweep:
+    def test_sweep_reclaims_only_dead_leases(self, board, clock):
+        board.try_acquire(0, "w0")
+        board.try_acquire(1, "w0")
+        clock.now += 11.0
+        live = board.try_acquire(2, "w1")  # fresh, must survive
+        assert live is not None
+        assert board.sweep() == 2
+        assert board.read(0) is None and board.read(1) is None
+        assert board.read(2).owner == "w1"
+
+    def test_sweep_on_empty_board_is_zero(self, board):
+        assert board.sweep() == 0

@@ -1,0 +1,92 @@
+"""ShardPlan: fingerprints, partitioning, round-trips, resume safety."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.shard.plan import (
+    ShardPlan,
+    ShardPlanMismatchError,
+    build_shard_plan,
+    partition,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+def em_plan(**overrides):
+    kwargs = dict(
+        model="gpt3-175b", n_shards=4, k=3, selection="random",
+        split="test", seed=0, max_examples=24,
+    )
+    kwargs.update(overrides)
+    return build_shard_plan("em", "fodors_zagats", **kwargs)
+
+
+class TestPartition:
+    def test_covers_every_index_exactly_once(self):
+        for n_examples, n_shards in [(24, 4), (25, 4), (7, 3), (1, 5)]:
+            shards = partition(n_examples, n_shards)
+            seen = [i for shard in shards for i in shard.indices]
+            assert seen == list(range(n_examples))
+
+    def test_near_equal_sizes(self):
+        shards = partition(25, 4)
+        sizes = [shard.n_examples for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_more_shards_than_examples_clamps(self):
+        assert len(partition(3, 10)) == 3
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            partition(10, 0)
+
+
+class TestFingerprint:
+    def test_deterministic_across_builds(self):
+        assert em_plan().fingerprint == em_plan().fingerprint
+
+    def test_every_knob_changes_the_fingerprint(self):
+        base = em_plan()
+        for overrides in [
+            dict(k=0), dict(seed=1), dict(max_examples=20),
+            dict(n_shards=2), dict(model="gpt3-6.7b"),
+        ]:
+            assert em_plan(**overrides).fingerprint != base.fingerprint
+
+    def test_shard_fingerprints_are_distinct(self):
+        plan = em_plan()
+        digests = {plan.shard_fingerprint(s.shard_id) for s in plan.shards}
+        assert len(digests) == plan.n_shards
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_identity(self, tmp_path):
+        plan = em_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = ShardPlan.load(path)
+        assert loaded == plan
+        assert loaded.fingerprint == plan.fingerprint
+
+    def test_edited_plan_json_is_rejected(self, tmp_path):
+        plan = em_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        payload = json.loads(path.read_text())
+        payload["seed"] = 99  # tampered, fingerprint now stale
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ShardPlanMismatchError):
+            ShardPlan.load(path)
+
+    def test_require_same_refuses_a_different_run(self):
+        with pytest.raises(ShardPlanMismatchError):
+            em_plan().require_same(em_plan(seed=1))
+        em_plan().require_same(em_plan())  # identical: no error
+
+    def test_plan_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            em_plan().seed = 1

@@ -1,0 +1,217 @@
+"""The headline guarantee: exactly-once under violence.
+
+Every test here compares a sharded multi-process run against the
+single-process ``run_task`` oracle — predictions must be byte-identical
+(positional list equality) and the merged manifest must report zero
+duplicate backend calls, whatever was SIGKILLed along the way.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.manifest import validate_manifest
+from repro.core.tasks import run_task
+from repro.datasets import load_dataset
+from repro.shard import ShardSupervisor, build_shard_plan, merge_run
+from repro.shard.plan import ShardPlan
+
+pytestmark = pytest.mark.smoke
+
+TASK, DATASET, MODEL = "em", "fodors_zagats", "gpt3-175b"
+K, SEED, MAX_EXAMPLES = 3, 0, 24
+
+MANIFEST_SCHEMA = json.loads(
+    (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "schemas" / "run_manifest.schema.json"
+    ).read_text()
+)
+
+
+def assert_schema_valid(manifest) -> None:
+    problems = validate_manifest(manifest.to_dict(), MANIFEST_SCHEMA)
+    assert problems == []
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """Single-process reference predictions for the shared config."""
+    run = run_task(
+        TASK, MODEL, load_dataset(DATASET), k=K, selection="random",
+        seed=SEED, max_examples=MAX_EXAMPLES,
+    )
+    return list(run.predictions)
+
+
+def shard_plan(n_shards=4):
+    return build_shard_plan(
+        TASK, DATASET, model=MODEL, n_shards=n_shards, k=K,
+        selection="random", seed=SEED, max_examples=MAX_EXAMPLES,
+    )
+
+
+def drive(run_dir, *, n_workers=2, n_shards=4, **kwargs):
+    supervisor = ShardSupervisor(
+        run_dir, shard_plan(n_shards), n_workers=n_workers,
+        lease_ttl_s=2.0, **kwargs,
+    )
+    return supervisor.run()
+
+
+class TestCleanRun:
+    def test_matches_single_process_oracle(self, tmp_path, oracle):
+        merged = drive(tmp_path / "run")
+        assert merged.predictions == oracle
+        assert merged.duplicate_backend_calls == 0
+        assert merged.manifest.shards["chaos_kills"] == 0
+        assert_schema_valid(merged.manifest)
+
+    def test_merge_refuses_selection_that_calls_the_model(self, tmp_path):
+        plan = build_shard_plan(
+            TASK, DATASET, model=MODEL, n_shards=2, k=3,
+            selection="manual", max_examples=8,
+        )
+        with pytest.raises(ValueError, match="random"):
+            ShardSupervisor(tmp_path / "run", plan).run()
+
+    def test_dirty_chaos_profile_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fully-recoverable"):
+            ShardSupervisor(
+                tmp_path / "run", shard_plan(), chaos_profile="garbage"
+            )
+
+
+class TestChaosRun:
+    def test_worker_kills_leave_predictions_identical(self, tmp_path, oracle):
+        merged = drive(
+            tmp_path / "run", chaos_profile="shard-heavy", chaos_seed=0,
+        )
+        shards = merged.manifest.shards
+        assert shards["chaos_kills"] >= 1, "the drill must actually kill"
+        assert shards["restarts"] >= 1
+        assert merged.predictions == oracle
+        assert merged.duplicate_backend_calls == 0
+        assert_schema_valid(merged.manifest)
+
+
+class TestResumeDeterminism:
+    """ISSUE matrix: {1, 4} workers x {thread, async} executors."""
+
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    @pytest.mark.parametrize("executor_kind", ["thread", "async"])
+    def test_matrix_cell_matches_oracle(
+        self, tmp_path, oracle, n_workers, executor_kind
+    ):
+        merged = drive(
+            tmp_path / "run", n_workers=n_workers,
+            executor_kind=executor_kind, intra_workers=2,
+        )
+        assert merged.predictions == oracle
+        assert merged.duplicate_backend_calls == 0
+        assert merged.metric == pytest.approx(merged.metric)
+        stable = {
+            key: merged.manifest.to_dict()[key]
+            for key in ("task", "dataset", "model", "k", "selection",
+                        "seed", "n_examples", "metric")
+        }
+        reference = drive(tmp_path / "ref", n_workers=1)
+        ref_stable = {
+            key: reference.manifest.to_dict()[key] for key in stable
+        }
+        assert stable == ref_stable
+
+
+class TestSupervisorViolence:
+    def _spawn_shard_run(self, run_dir, extra=()):
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        argv = [
+            sys.executable, "-m", "repro", "shard-run", TASK, DATASET,
+            "--run-dir", str(run_dir), "--shards", "4", "--workers", "2",
+            "--k", str(K), "--seed", str(SEED),
+            "--max-examples", str(MAX_EXAMPLES), "--lease-ttl-s", "2",
+            *extra,
+        ]
+        return subprocess.Popen(
+            argv, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+
+    def test_sigkill_supervisor_then_resume_is_identical(
+        self, tmp_path, oracle
+    ):
+        run_dir = tmp_path / "run"
+        process = self._spawn_shard_run(run_dir)
+        # Let it make partial progress, then kill the supervisor dead.
+        deadline = time.monotonic() + 60
+        journals = run_dir / "journals"
+        while time.monotonic() < deadline:
+            if journals.is_dir() and any(journals.iterdir()):
+                break
+            if process.poll() is not None:
+                break
+            time.sleep(0.05)
+        if process.poll() is None:
+            os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+        # Workers notice the re-parenting and drain; then resume.
+        time.sleep(1.0)
+        merged = drive(run_dir, resume=True)
+        assert merged.predictions == oracle
+        assert merged.duplicate_backend_calls == 0
+        assert_schema_valid(merged.manifest)
+
+    def test_worker_exhaustion_reports_resumable_error(self, tmp_path):
+        from repro.shard import ShardRunIncompleteError
+
+        run_dir = tmp_path / "run"
+        # One worker, zero restart budget, aggressive kill schedule: the
+        # run cannot finish in one invocation.
+        with pytest.raises(ShardRunIncompleteError, match="--resume"):
+            drive(
+                run_dir, n_workers=1, max_restarts=0,
+                chaos_profile="shard-heavy", chaos_seed=0,
+            )
+        # The same directory resumes clean with chaos off (the plan
+        # fingerprint excludes chaos knobs by design).
+        merged = drive(run_dir, resume=True)
+        assert merged.duplicate_backend_calls == 0
+        assert merged.manifest.shards["resumed"] is True
+        assert merged.manifest.shards["chaos_kills"] >= 1
+
+
+class TestMergeGuards:
+    def test_incomplete_run_refuses_to_merge(self, tmp_path):
+        from repro.shard import IncompleteRunError
+
+        plan = shard_plan()
+        run_dir = tmp_path / "run"
+        (run_dir / "journals").mkdir(parents=True)
+        plan.save(run_dir / "plan.json")
+        with pytest.raises(IncompleteRunError, match="--resume"):
+            merge_run(run_dir, plan)
+
+    def test_journal_from_another_plan_is_ignored(self, tmp_path):
+        from repro.shard.merge import read_journal
+        from repro.shard.worker import journal_path
+
+        merged_dir = tmp_path / "run"
+        drive(merged_dir, n_shards=2, n_workers=1)
+        plan = ShardPlan.load(merged_dir / "plan.json")
+        completed, _ = read_journal(
+            journal_path(str(merged_dir), 0), plan.shard_fingerprint(0)
+        )
+        assert completed  # sanity: the real fingerprint reads fine
+        wrong, _ = read_journal(
+            journal_path(str(merged_dir), 0), "not-the-fingerprint"
+        )
+        assert wrong == {}
