@@ -17,3 +17,11 @@ def test_k_sweep(benchmark):
         assert scores[4] > scores[0]
         # Saturation: doubling k from 10 to 20 moves little.
         assert abs(scores[5] - scores[4]) < 10.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("ablation_k_sweep", ablation_k_sweep.run))

@@ -24,3 +24,11 @@ def test_knowledge_knockout(benchmark):
     stackoverflow = rows[("transformation", "stackoverflow", 3)]
     assert bing[stock_col] - bing[ablated_col] > 30.0
     assert stackoverflow[stock_col] - stackoverflow[ablated_col] < 15.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("ablation_knowledge", ablation_knowledge.run))

@@ -18,3 +18,11 @@ def test_model_grid(benchmark):
     # Hospital error detection is the scale cliff: only 175B solves it.
     hospital = next(row for row in result.rows if "hospital" in row[0])
     assert hospital[small] < 10.0 <= hospital[large]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("appendix_d_model_grid", appendix_d.run))

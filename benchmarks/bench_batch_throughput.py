@@ -142,4 +142,8 @@ def test_batch_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("batch_throughput", run))

@@ -21,3 +21,11 @@ def test_blocking_study(benchmark):
         assert row[reduction_col] >= 70.0, row[0]
         # …which is where the simulated API bill shrinks.
         assert row[blocked_col] < row[full_col] / 3, row[0]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("blocking_study", blocking_study.run))

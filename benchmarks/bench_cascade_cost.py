@@ -145,4 +145,8 @@ def test_cascade_cost(benchmark):
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("cascade_cost", run))

@@ -136,4 +136,8 @@ def test_chaos_resilience(benchmark):
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("chaos_resilience", run))

@@ -26,3 +26,11 @@ def test_figure4_tradeoff(benchmark):
     # Full finetuning of the 6.7B model reaches the target with some
     # fraction of the labels (sample efficiency of the finetuned regime).
     assert isinstance(full[labels_column], int)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("figure4_tradeoff", figure4.run))

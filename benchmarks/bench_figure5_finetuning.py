@@ -43,3 +43,11 @@ def test_figure5_finetuning(benchmark):
     curve_13 = _series(result, "walmart_amazon", "gpt3-1.3b full")[:3]
     curve_67 = _series(result, "walmart_amazon", "gpt3-6.7b full")[:3]
     assert sum(curve_67) / 3 >= sum(curve_13) / 3 - 3.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("figure5_finetuning", figure5.run))

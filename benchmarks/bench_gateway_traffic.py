@@ -310,14 +310,22 @@ def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
     gateway_url = None
     stats_out = None
+    json_out = None
     if "--gateway-url" in argv:
         gateway_url = argv[argv.index("--gateway-url") + 1]
     if "--stats-out" in argv:
         stats_out = argv[argv.index("--stats-out") + 1]
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
     repeats = SMOKE_REPEATS if smoke else FULL_REPEATS
     bar = SMOKE_THROUGHPUT_BAR if smoke else FULL_THROUGHPUT_BAR
     result = run(repeats=repeats, gateway_url=gateway_url, bar=bar)
     print(result.render())
+    if json_out:
+        from repro.bench.reporting import bench_metrics, write_bench_json
+
+        write_bench_json(json_out, "gateway_traffic", bench_metrics(result))
+        print(f"json summary written to {json_out}")
     # Over HTTP the gateway sits in another process with a cold cache,
     # so the throughput bar applies to the in-process drive only; the
     # identity, zero-interactive-shed, and schema claims always hold.

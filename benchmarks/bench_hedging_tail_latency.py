@@ -110,4 +110,8 @@ def test_hedging_tail_latency(benchmark):
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("hedging_tail_latency", run))

@@ -36,3 +36,13 @@ def test_prompt_ensembling(benchmark):
     # Voting over rewordings never hurts and usually helps the small model.
     assert f1["gpt3-6.7b ensemble"] >= f1["gpt3-6.7b single prompt"] - 0.5
     assert f1["gpt3-175b ensemble"] >= f1["gpt3-175b single prompt"] - 0.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("research_agenda", [research_agenda.run_prototyping,
+                    research_agenda.run_selective_prediction,
+                    research_agenda.run_ensembling]))

@@ -246,6 +246,14 @@ def main(argv: list[str]) -> int:
     result = run(repeats=SMOKE_REPEATS if smoke else FULL_REPEATS)
     print(result.render())
     _assert_claims(result, SMOKE_SPEEDUP_BAR if smoke else FULL_SPEEDUP_BAR)
+    if "--json-out" in argv:
+        from repro.bench.reporting import bench_metrics, write_bench_json
+
+        json_out = argv[argv.index("--json-out") + 1]
+        write_bench_json(
+            json_out, "serving_throughput", bench_metrics(result)
+        )
+        print(f"json summary written to {json_out}")
     print(f"speedup bar {'≥2× (smoke)' if smoke else '≥5×'}: PASS")
     return 0
 

@@ -156,4 +156,8 @@ def test_shard_resilience(benchmark):
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("shard_resilience", run))

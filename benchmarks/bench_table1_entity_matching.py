@@ -28,3 +28,11 @@ def test_table1_entity_matching(benchmark):
     # Amazon-Google stays the hardest dataset for the FM.
     fm_scores = {d: result.cell(d, "fm_k10") for d in table1.DATASETS}
     assert min(fm_scores, key=fm_scores.get) == "amazon_google"
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table1_entity_matching", table1.run))

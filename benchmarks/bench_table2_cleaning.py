@@ -38,3 +38,12 @@ def test_table2b_error_detection(benchmark):
     # detection needs scale (subword tokenization), domain violations don't.
     assert result.cell("hospital", "fm6.7_k10") <= 10.0
     assert result.cell("adult", "fm6.7_k10") >= 80.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table2_cleaning", [table2.run_imputation_table,
+                    table2.run_error_detection_table]))

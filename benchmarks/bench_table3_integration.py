@@ -36,3 +36,12 @@ def test_table3b_schema_matching(benchmark):
     assert zero_shot <= 5.0
     assert few_shot >= smat - 2.0
     assert few_shot > zero_shot
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table3_integration", [table3.run_transformation_table,
+                    table3.run_schema_table]))

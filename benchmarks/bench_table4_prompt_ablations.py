@@ -40,3 +40,11 @@ def test_table4_prompt_ablations(benchmark):
     # Prompt wording moves the numbers (brittleness), without a universal
     # winner: Prompt 2 differs from Prompt 1 on every dataset-mean.
     assert abs(default - prompt2) > 0.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table4_prompt_ablations", table4.run))

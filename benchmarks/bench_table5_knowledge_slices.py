@@ -28,3 +28,11 @@ def test_table5_knowledge_slices(benchmark):
     # Less training data ⇒ no better on rare entities.
     assert result.cell("GPT3-6.7B (adapter, 10%)", "0<freq<=10") <= \
         result.cell("GPT3-6.7B (adapter, 100%)", "0<freq<=10")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table5_knowledge_slices", table5.run))

@@ -24,3 +24,11 @@ def test_table6_qualitative(benchmark):
     assert any(ch.isdigit() for ch in small_zip)
     assert not small_zip.startswith("352")
     assert "san francisco" not in sf_row[4].casefold()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("table6_qualitative", table6.run))

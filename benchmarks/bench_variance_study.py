@@ -19,3 +19,11 @@ def test_variance_study(benchmark):
     assert rows[0.7][std_col] > 0.0
     # …and hotter sampling does not beat greedy decoding on average.
     assert rows[0.7][mean_col] <= rows[0.0][mean_col] + 1.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main("variance_study", variance_study.run))

@@ -28,3 +28,39 @@ def publish(result) -> None:
 def publish_many(results) -> None:
     for result in results:
         publish(result)
+
+
+def bench_main(name: str, run_fns, argv=None) -> int:
+    """Uniform CLI shim for bench modules.
+
+    Runs each callable in ``run_fns`` once, publishes the rendered
+    tables, and honors ``--json-out PATH`` by writing a combined
+    ``{"bench": name, "metrics": {...}}`` summary (multi-experiment
+    benches prefix metric keys with the experiment name).
+    """
+    import sys
+
+    from repro.bench.reporting import bench_metrics, write_bench_json
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    json_out = None
+    if "--json-out" in argv:
+        json_out = argv[argv.index("--json-out") + 1]
+    if callable(run_fns):
+        run_fns = [run_fns]
+    results = [run_fn() for run_fn in run_fns]
+    for result in results:
+        publish(result)
+    if json_out:
+        metrics: dict = {}
+        for result in results:
+            flat = bench_metrics(result)
+            if len(results) > 1:
+                flat = {
+                    f"{result.experiment}/{key}": value
+                    for key, value in flat.items()
+                }
+            metrics.update(flat)
+        write_bench_json(json_out, name, metrics)
+        print(f"json summary written to {json_out}")
+    return 0

@@ -59,43 +59,61 @@ from repro.api.backends import (
     BackendInfo,
     CompletionBackend,
     DirectOpenAIBackend,
+    FailoverBackend,
     HTTPJSONTransport,
     InProcessFakeTransport,
     available_backends,
     backend_info,
     get_backend,
+    get_default_backend_timeout,
     register_backend,
+    register_failover,
+    set_default_backend_timeout,
     unregister_backend,
+    validate_completion_response,
 )
 from repro.api.cache import PromptCache, get_default_cache, set_default_cache
 from repro.api.client import CompletionClient
 from repro.api.faults import (
     FAULT_PROFILES,
+    WIRE_PROFILES,
+    ChaosTransport,
     FaultPlan,
     FaultProfile,
+    WireFaultProfile,
     get_default_fault_plan,
     get_fault_profile,
+    get_wire_profile,
     malformed_reason,
     set_default_fault_plan,
 )
 from repro.api.resilience import (
     AdmissionController,
     AIMDLimiter,
+    BackendHealthTracker,
     CascadePolicy,
     Deadline,
+    FailoverPolicy,
     FallbackChain,
     HedgePolicy,
     PRIORITIES,
 )
 from repro.api.retry import (
+    BackendHTTPError,
+    BackendRateLimitError,
+    BackendRequestError,
+    BackendUnavailableError,
     BudgetExhaustedError,
     CircuitOpenError,
     DeadlineExceededError,
     FatalError,
+    MalformedResponseError,
     ParseError,
     RateLimitError,
     RetryPolicy,
     Shed,
+    classify_http_error,
+    retry_after_floor,
 )
 from repro.api.usage import (
     Usage,
@@ -109,11 +127,17 @@ __all__ = [
     "AdmissionController",
     "AsyncBatchExecutor",
     "AzureOpenAIBackend",
+    "BackendHTTPError",
+    "BackendHealthTracker",
     "BackendInfo",
+    "BackendRateLimitError",
+    "BackendRequestError",
+    "BackendUnavailableError",
     "BatchExecutor",
     "BatchFailure",
     "BudgetExhaustedError",
     "CascadePolicy",
+    "ChaosTransport",
     "CircuitBreaker",
     "CircuitOpenError",
     "CompletionBackend",
@@ -122,6 +146,8 @@ __all__ = [
     "DirectOpenAIBackend",
     "DeadlineExceededError",
     "FAULT_PROFILES",
+    "FailoverBackend",
+    "FailoverPolicy",
     "FallbackChain",
     "FatalError",
     "FaultPlan",
@@ -129,6 +155,7 @@ __all__ = [
     "HTTPJSONTransport",
     "HedgePolicy",
     "InProcessFakeTransport",
+    "MalformedResponseError",
     "PRIORITIES",
     "ParseError",
     "PromptCache",
@@ -139,21 +166,29 @@ __all__ = [
     "Shed",
     "Usage",
     "UsageTracker",
+    "WIRE_PROFILES",
+    "WireFaultProfile",
     "available_backends",
     "backend_info",
+    "classify_http_error",
     "complete_all",
     "count_tokens",
     "get_backend",
+    "get_default_backend_timeout",
     "get_default_cache",
     "get_default_executor_kind",
     "get_default_fault_plan",
     "get_default_workers",
     "get_fault_profile",
     "get_serving_loop",
+    "get_wire_profile",
     "make_executor",
     "malformed_reason",
     "register_backend",
+    "register_failover",
     "resolve_workers",
+    "retry_after_floor",
+    "set_default_backend_timeout",
     "set_default_cache",
     "set_default_executor_kind",
     "set_default_fault_plan",
@@ -161,4 +196,5 @@ __all__ = [
     "shutdown_serving_loop",
     "unregister_backend",
     "usage_delta",
+    "validate_completion_response",
 ]

@@ -39,7 +39,12 @@ import time
 from collections.abc import Callable, Iterable
 
 from repro.api.batch import BatchExecutor, BatchFailure
-from repro.api.retry import CircuitOpenError, FatalError, Shed
+from repro.api.retry import (
+    CircuitOpenError,
+    FatalError,
+    Shed,
+    retry_after_floor,
+)
 
 __all__ = [
     "AsyncBatchExecutor",
@@ -263,6 +268,8 @@ class AsyncBatchExecutor(BatchExecutor):
                 # awaited instead of slept — and cut short by a fatal
                 # abort, exactly like Event.wait(delay).
                 delay = self.policy.delay(attempts - 1, key=str(index))
+                # Same Retry-After floor as the thread pool.
+                delay = max(delay, retry_after_floor(exc))
                 if self.deadline is not None:
                     delay = self.deadline.clamp(delay)
                 try:

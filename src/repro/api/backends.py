@@ -45,6 +45,10 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro.api.retry import (
+    MalformedResponseError,
+    classify_http_error,
+)
 from repro.api.usage import PRICE_PER_1K_TOKENS
 from repro.fm.engine import Completion, SimulatedFoundationModel
 from repro.fm.profiles import MODEL_PROFILES
@@ -54,13 +58,18 @@ __all__ = [
     "BackendInfo",
     "CompletionBackend",
     "DirectOpenAIBackend",
+    "FailoverBackend",
     "HTTPJSONTransport",
     "InProcessFakeTransport",
     "available_backends",
     "backend_info",
     "get_backend",
+    "get_default_backend_timeout",
     "register_backend",
+    "register_failover",
+    "set_default_backend_timeout",
     "unregister_backend",
+    "validate_completion_response",
 ]
 
 
@@ -224,18 +233,66 @@ def available_backends() -> list[str]:
 # wire.
 
 
+# Process-wide default transport timeout.  ``repro run/serve
+# --backend-timeout-s`` installs it; lazily-built HTTPJSONTransports
+# pick it up, making the knob reachable from every entry point.
+_DEFAULT_BACKEND_TIMEOUT_S = 30.0
+_DEFAULT_BACKEND_TIMEOUT_LOCK = threading.Lock()
+
+
+def set_default_backend_timeout(timeout_s: float) -> None:
+    """Install the process-wide HTTP transport timeout (seconds)."""
+    global _DEFAULT_BACKEND_TIMEOUT_S
+    value = float(timeout_s)
+    if value <= 0:
+        raise ValueError(f"backend timeout must be positive, got {value}")
+    with _DEFAULT_BACKEND_TIMEOUT_LOCK:
+        _DEFAULT_BACKEND_TIMEOUT_S = value
+
+
+def get_default_backend_timeout() -> float:
+    with _DEFAULT_BACKEND_TIMEOUT_LOCK:
+        return _DEFAULT_BACKEND_TIMEOUT_S
+
+
+def _parse_retry_after(value) -> float | None:
+    """``Retry-After`` header → seconds (delta form only), else None."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(str(value).strip()))
+    except (TypeError, ValueError):
+        # HTTP-date form (or garbage): ignore rather than guess clocks.
+        return None
+
+
 class HTTPJSONTransport:
     """POST a JSON payload, return the decoded JSON response.
 
     The one and only network touchpoint of the adapter pair.  Stdlib
     ``urllib`` keeps the repo dependency-free; a production deployment
     would swap in a session-pooling transport through the same seam.
+
+    Every wire failure surfaces as a typed exception the retry policy
+    already classifies — never a raw ``urllib.error.HTTPError``:
+
+    * non-2xx status → :func:`repro.api.retry.classify_http_error`
+      (429 retryable with any ``Retry-After`` as a backoff floor,
+      5xx retryable, other 4xx fatal);
+    * reset / DNS / refused → :class:`ConnectionError`;
+    * socket timeout → :class:`TimeoutError`;
+    * undecodable body → :class:`repro.api.retry.MalformedResponseError`.
     """
 
-    def __init__(self, timeout_s: float = 30.0):
-        self.timeout_s = float(timeout_s)
+    def __init__(self, timeout_s: float | None = None):
+        self.timeout_s = float(
+            timeout_s if timeout_s is not None
+            else get_default_backend_timeout()
+        )
 
     def post(self, url: str, headers: dict, payload: dict) -> dict:
+        import socket
+        import urllib.error
         import urllib.request
 
         request = urllib.request.Request(
@@ -244,8 +301,41 @@ class HTTPJSONTransport:
             headers={"Content-Type": "application/json", **headers},
             method="POST",
         )
-        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-            return json.loads(resp.read().decode("utf-8"))
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as resp:
+                body = resp.read().decode("utf-8", errors="replace")
+        except urllib.error.HTTPError as exc:
+            retry_after = _parse_retry_after(
+                exc.headers.get("Retry-After") if exc.headers else None
+            )
+            raise classify_http_error(
+                exc.code, str(exc.reason), retry_after
+            ) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise TimeoutError(
+                f"backend request timed out after {self.timeout_s}s"
+            ) from exc
+        except urllib.error.URLError as exc:
+            reason = exc.reason
+            if isinstance(reason, (socket.timeout, TimeoutError)):
+                raise TimeoutError(
+                    f"backend request timed out after {self.timeout_s}s"
+                ) from exc
+            raise ConnectionError(
+                f"backend connection failed: {reason}"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionError(
+                f"backend connection failed: {exc}"
+            ) from exc
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise MalformedResponseError(
+                f"backend returned undecodable JSON: {exc}"
+            ) from exc
 
 
 class InProcessFakeTransport:
@@ -291,6 +381,73 @@ class InProcessFakeTransport:
                 "token_logprobs": [math.log(max(confidence, 1e-9))]
             }
         return {"choices": [choice], "model": payload.get("model", "")}
+
+
+#: ``finish_reason`` values the completion API contract allows.  A
+#: value outside this set is a schema violation, not a new feature.
+_KNOWN_FINISH_REASONS = frozenset(
+    {"stop", "length", "content_filter", "timeout"}
+)
+
+
+def validate_completion_response(data) -> dict:
+    """Check one decoded completion response against the API contract.
+
+    Returns ``choices[0]`` on success; raises
+    :class:`~repro.api.retry.MalformedResponseError` (typed, retryable)
+    on any violation — a non-dict body, a missing/empty ``choices``
+    list, a non-string ``text``, an unknown ``finish_reason``, or a
+    ``logprobs.token_logprobs`` that is not a list of numbers/None —
+    so schema-violating-but-valid JSON from a real endpoint becomes a
+    classified wire fault instead of a downstream ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise MalformedResponseError(
+            f"completion response must be an object, got "
+            f"{type(data).__name__}"
+        )
+    choices = data.get("choices")
+    if not isinstance(choices, list) or not choices:
+        raise MalformedResponseError(
+            "completion response missing a non-empty 'choices' list"
+        )
+    choice = choices[0]
+    if not isinstance(choice, dict):
+        raise MalformedResponseError(
+            f"choices[0] must be an object, got {type(choice).__name__}"
+        )
+    text = choice.get("text")
+    if not isinstance(text, str):
+        raise MalformedResponseError(
+            f"choices[0].text must be a string, got {type(text).__name__}"
+        )
+    finish_reason = choice.get("finish_reason")
+    if finish_reason is not None and (
+        not isinstance(finish_reason, str)
+        or finish_reason not in _KNOWN_FINISH_REASONS
+    ):
+        raise MalformedResponseError(
+            f"unknown finish_reason {finish_reason!r}"
+        )
+    logprobs = choice.get("logprobs")
+    if logprobs is not None:
+        if not isinstance(logprobs, dict):
+            raise MalformedResponseError(
+                "choices[0].logprobs must be an object"
+            )
+        token_logprobs = logprobs.get("token_logprobs")
+        if token_logprobs is not None:
+            if not isinstance(token_logprobs, list) or any(
+                value is not None
+                and not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                for value in token_logprobs
+            ):
+                raise MalformedResponseError(
+                    "logprobs.token_logprobs must be a list of "
+                    "numbers or nulls"
+                )
+    return choice
 
 
 class _OpenAICompatibleBackend:
@@ -345,7 +502,7 @@ class _OpenAICompatibleBackend:
                 prompt, temperature, logprobs
             )
         )
-        return data["choices"][0]
+        return validate_completion_response(data)
 
     def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
         del kwargs  # max_tokens etc. are fixed per-backend
@@ -434,6 +591,239 @@ class AzureOpenAIBackend(_OpenAICompatibleBackend):
         payload = super()._payload(prompt, temperature, logprobs)
         payload.pop("model", None)
         return payload
+
+
+# ---------------------------------------------------------------------------
+# Health-gated failover across an equivalence group of backends.
+
+
+#: Wire-level failures worth trying the next group member for.  Fatal
+#: *request* errors (4xx) are included deliberately: bad auth or a
+#: missing deployment on one replica says nothing about its siblings.
+_FAILOVER_ON = None  # resolved lazily to avoid an import cycle
+
+
+def _failover_on() -> tuple:
+    global _FAILOVER_ON
+    if _FAILOVER_ON is None:
+        from repro.api.retry import BackendHTTPError, RateLimitError
+
+        _FAILOVER_ON = (
+            BackendHTTPError,
+            RateLimitError,
+            TimeoutError,
+            ConnectionError,
+        )
+    return _FAILOVER_ON
+
+
+def _is_wire_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` is the kind of failure another member can fix.
+
+    HTTP status errors (even fatal 4xx — the *member* may be
+    misconfigured while its replica is fine), resets, timeouts and
+    malformed payloads fail over.  Everything else — a bug, a
+    :class:`~repro.api.retry.BudgetExhaustedError` from a nested client
+    (fatal despite being a ``RateLimitError``) — propagates untouched:
+    failing over would mask the real problem and double-spend.
+    """
+    from repro.api.retry import BackendHTTPError, FatalError
+
+    if not isinstance(exc, _failover_on()):
+        return False
+    return not isinstance(exc, FatalError) or isinstance(
+        exc, BackendHTTPError
+    )
+
+
+class FailoverBackend:
+    """One logical backend served by an equivalence group of real ones.
+
+    Sits *below* :class:`~repro.api.client.CompletionClient` — the
+    client charges its request budget once per logical completion, so
+    however many group members a serve touches, budget accounting stays
+    exactly-once.  Members are tried in the order the
+    :class:`~repro.api.resilience.FailoverPolicy` emits (declared order,
+    health-gated, refused circuits demoted to last resort, never
+    skipped); the first success wins and every attempt's outcome feeds
+    the shared :class:`~repro.api.resilience.BackendHealthTracker`.
+
+    Only wire-level failures fail over (HTTP status errors, resets,
+    timeouts, malformed payloads); anything else — a bug, a budget
+    error from a nested client — propagates untouched.  If every member
+    fails, the *first* member's error propagates (it is the primary:
+    its classification, e.g. a 429's ``Retry-After``, is the one the
+    retry layer above should honor).
+
+    Determinism: at temperature 0, members of an equivalence group
+    return byte-identical text for the same prompt, so *predictions*
+    never depend on which member was healthy; only routing telemetry
+    (``attempts_by_backend`` / ``served_by_backend``) varies with
+    fault timing.
+    """
+
+    def __init__(self, name: str, members, policy=None, health=None):
+        from repro.api.resilience import FailoverPolicy
+
+        self._name = str(name)
+        members = list(members)
+        if not members:
+            raise ValueError("a FailoverBackend needs at least one member")
+        self._member_names = [
+            member if isinstance(member, str)
+            else getattr(member, "name", type(member).__name__)
+            for member in members
+        ]
+        self._instances: dict[str, object] = {
+            label: member
+            for label, member in zip(self._member_names, members)
+            if not isinstance(member, str)
+        }
+        if policy is None:
+            policy = FailoverPolicy(self._member_names, health=health)
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._attempts_by_backend: dict[str, int] = {}
+        self._served_by_backend: dict[str, int] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(self._member_names)
+
+    def _resolve(self, label: str):
+        with self._lock:
+            instance = self._instances.get(label)
+        if instance is not None:
+            return instance
+        instance = get_backend(label)
+        with self._lock:
+            self._instances.setdefault(label, instance)
+            return self._instances[label]
+
+    def _serve(self, call):
+        import time as _time
+
+        first_error: BaseException | None = None
+        for label in self.policy.candidates():
+            backend = self._resolve(label)
+            with self._lock:
+                self._attempts_by_backend[label] = (
+                    self._attempts_by_backend.get(label, 0) + 1
+                )
+            started = _time.perf_counter()
+            try:
+                result = call(backend)
+            except Exception as exc:
+                if not _is_wire_failure(exc):
+                    raise
+                self.policy.record(
+                    label, ok=False,
+                    latency_s=_time.perf_counter() - started,
+                )
+                if first_error is None:
+                    first_error = exc
+                continue
+            self.policy.record(
+                label, ok=True, latency_s=_time.perf_counter() - started
+            )
+            with self._lock:
+                self._served_by_backend[label] = (
+                    self._served_by_backend.get(label, 0) + 1
+                )
+            return result
+        assert first_error is not None
+        raise first_error
+
+    def complete(self, prompt: str, temperature: float = 0.0, **kwargs) -> str:
+        return self._serve(
+            lambda backend: backend.complete(
+                prompt, temperature=temperature, **kwargs
+            )
+        )
+
+    def complete_verbose(
+        self, prompt: str, temperature: float = 0.0, **kwargs
+    ) -> Completion:
+        return self._serve(
+            lambda backend: backend.complete_verbose(
+                prompt, temperature=temperature, **kwargs
+            )
+        )
+
+    def failover_stats(self) -> dict:
+        """JSON-ready ``failover`` block for run manifests."""
+        with self._lock:
+            attempts = dict(sorted(self._attempts_by_backend.items()))
+            served = dict(sorted(self._served_by_backend.items()))
+        return {
+            "group": self._name,
+            "members": list(self._member_names),
+            "attempts_by_backend": attempts,
+            "served_by_backend": served,
+            "health": self.policy.health.snapshot(),
+        }
+
+
+def register_failover(
+    name: str,
+    members,
+    *,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    health_kwargs: dict | None = None,
+) -> BackendInfo:
+    """Register an equivalence group as one routable backend name.
+
+    ``members`` are registered backend names (or ready backend
+    objects), primary first.  Pricing metadata is inherited from the
+    primary member when it is registered — the group serves the
+    primary's traffic at the primary's declared rate.  Each
+    :func:`get_backend` resolution builds a fresh
+    :class:`FailoverBackend` with a fresh health tracker, matching the
+    fresh-instance semantics of every other registration.
+    """
+    members = list(members)
+    if not members:
+        raise ValueError("a failover group needs at least one member")
+    # Validate *named* members eagerly: a typo in --failover should
+    # fail at registration, not on the first completion of a run.
+    for member in members:
+        if isinstance(member, str):
+            backend_info(member)
+    primary = (
+        members[0] if isinstance(members[0], str)
+        else getattr(members[0], "name", type(members[0]).__name__)
+    )
+    try:
+        primary_info = backend_info(primary)
+        price = primary_info.price_per_1k_tokens
+        n_parameters = primary_info.n_parameters
+    except KeyError:
+        price = None
+        n_parameters = None
+    kwargs = dict(health_kwargs or {})
+
+    def factory(group=name, group_members=tuple(members), hk=kwargs):
+        from repro.api.resilience import BackendHealthTracker
+
+        health = BackendHealthTracker(**hk) if hk else None
+        return FailoverBackend(group, list(group_members), health=health)
+
+    return register_backend(
+        name,
+        factory,
+        kind="failover",
+        price_per_1k_tokens=price,
+        n_parameters=n_parameters,
+        description=description or (
+            f"failover group over {', '.join(str(m) for m in members)}"
+        ),
+        aliases=aliases,
+    )
 
 
 # ---------------------------------------------------------------------------

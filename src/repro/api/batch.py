@@ -39,6 +39,7 @@ from repro.api.retry import (
     CircuitOpenError,
     FatalError,
     RetryPolicy,
+    retry_after_floor,
 )
 from repro.api.usage import UsageTracker, count_tokens
 
@@ -587,6 +588,9 @@ class BatchExecutor:
                 # decorrelate) and clamped to the deadline (so a sleep
                 # can never outlive the wall budget).
                 delay = self.policy.delay(attempts - 1, key=str(index))
+                # An explicit Retry-After from the endpoint is a floor
+                # under the ladder, never undercut by its early rungs.
+                delay = max(delay, retry_after_floor(exc))
                 if self.deadline is not None:
                     delay = self.deadline.clamp(delay)
                 run.abort.wait(delay)

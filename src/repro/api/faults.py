@@ -42,16 +42,25 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-from repro.api.retry import RateLimitError
+from repro.api.retry import (
+    MalformedResponseError,
+    RateLimitError,
+    classify_http_error,
+)
 
 __all__ = [
     "FAULT_PROFILES",
+    "WIRE_PROFILES",
+    "ChaosTransport",
     "FaultPlan",
     "FaultProfile",
     "ProcessChaos",
     "PromptSchedule",
+    "WireFaultProfile",
+    "WireSchedule",
     "get_default_fault_plan",
     "get_fault_profile",
+    "get_wire_profile",
     "malformed_reason",
     "set_default_fault_plan",
 ]
@@ -428,6 +437,289 @@ class ProcessChaos:
                     f'"seed": {self.seed}}}\n'
                 )
         os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# Wire-level chaos: the same deterministic discipline applied one layer
+# down, at the HTTP transport seam, where faults look like what a real
+# completion API actually sends — status codes, resets, stalled bodies,
+# mangled JSON — instead of pre-classified Python exceptions.
+
+
+@dataclass(frozen=True)
+class WireFaultProfile:
+    """Per-fault rates for one wire-chaos scenario.
+
+    The six *failing* kinds (429, 5xx, reset, truncated JSON, malformed
+    JSON, schema-violating JSON) are disjoint — one draw decides which,
+    if any, a prompt gets — so their sum is the overall failure
+    fraction.  ``stall`` is independent (latency only, never outcomes).
+    ``fault_depth``/``unrecoverable`` work exactly like
+    :class:`FaultProfile`'s: a recoverable fault fires on a prompt's
+    first ``depth`` posts through the transport and then stops; an
+    unrecoverable one never stops — only failover to a clean group
+    member can serve that prompt.
+    """
+
+    name: str = "custom"
+    rate_limit: float = 0.0       # HTTP 429 with Retry-After
+    server_error: float = 0.0     # HTTP 500/502/503
+    reset: float = 0.0            # connection reset mid-request
+    truncate_json: float = 0.0    # body cut mid-byte → undecodable
+    malformed_json: float = 0.0   # body is not JSON at all
+    schema_violation: float = 0.0  # valid JSON violating the contract
+    stall: float = 0.0            # slow body (sleep, then succeed)
+    stall_s: float = 0.005
+    retry_after_s: float = 0.02   # advertised by injected 429s
+    fault_depth: int = 2
+    unrecoverable: float = 0.0
+
+    @property
+    def failing(self) -> float:
+        """Overall probability that a prompt draws a failing wire fault."""
+        return (
+            self.rate_limit + self.server_error + self.reset
+            + self.truncate_json + self.malformed_json
+            + self.schema_violation
+        )
+
+
+#: Named wire-chaos scenarios (``--wire-chaos NAME``).  ``wire-heavy``
+#: includes unrecoverable faults, so completing it with full coverage
+#: requires failover to a clean equivalence-group member — exactly what
+#: benchmarks/bench_transport_chaos.py pins.
+WIRE_PROFILES: dict[str, WireFaultProfile] = {
+    "wire-none": WireFaultProfile(name="wire-none"),
+    "wire-ci": WireFaultProfile(
+        name="wire-ci", rate_limit=0.04, server_error=0.03, reset=0.02,
+        truncate_json=0.02, schema_violation=0.02, fault_depth=2,
+        retry_after_s=0.01,
+    ),
+    "wire-heavy": WireFaultProfile(
+        name="wire-heavy", rate_limit=0.08, server_error=0.06, reset=0.05,
+        truncate_json=0.04, malformed_json=0.03, schema_violation=0.04,
+        stall=0.05, stall_s=0.003, fault_depth=2, unrecoverable=0.35,
+        retry_after_s=0.01,
+    ),
+}
+
+
+def get_wire_profile(name: str) -> WireFaultProfile:
+    """Resolve a named wire-chaos profile."""
+    try:
+        return WIRE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(WIRE_PROFILES))
+        raise KeyError(
+            f"unknown wire profile {name!r}; known: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WireSchedule:
+    """The resolved wire-fault schedule for one prompt (pure)."""
+
+    kind: str | None = None  # one of _WIRE_KINDS
+    depth: int = 0
+    unrecoverable: bool = False
+    stall: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "depth": self.depth,
+            "unrecoverable": self.unrecoverable,
+            "stall": self.stall,
+        }
+
+
+_WIRE_KINDS = (
+    "rate_limit", "server_error", "reset",
+    "truncate_json", "malformed_json", "schema_violation",
+)
+
+#: The 5xx statuses injected server errors rotate through
+#: (deterministically, by a per-prompt draw).
+_SERVER_ERROR_STATUSES = (500, 502, 503)
+
+#: Schema-violating-but-valid JSON bodies, rotated deterministically.
+#: Each decodes fine and then fails the adapter's contract validation —
+#: the exact class of garbage a proxy or a misconfigured endpoint emits.
+_SCHEMA_VIOLATIONS = (
+    {"choices": []},
+    {"choices": [{"text": 12345, "finish_reason": "stop"}]},
+    {"choices": [{"finish_reason": "stop"}]},
+    {"choices": [{"text": "yes", "finish_reason": "because"}]},
+    {"choices": [{"text": "yes", "logprobs": {"token_logprobs": ["hi"]}}]},
+    {"object": "error", "message": "model overloaded"},
+)
+
+
+class ChaosTransport:
+    """Wire-level chaos at the one-method transport seam.
+
+    Wraps any transport with a ``post(url, headers, payload) -> dict``
+    method and deterministically injects the faults a real completion
+    API exhibits: 429 with ``Retry-After``, 500/502/503, connection
+    resets, stalled bodies, truncated and malformed JSON, and
+    schema-violating-but-valid JSON.  Same discipline as
+    :class:`FaultPlan`: every decision is a BLAKE2 pure function of
+    ``(seed, kind, payload["prompt"])`` — never call order, worker
+    count, or ``PYTHONHASHSEED`` — with a per-prompt attempt counter so
+    recoverable faults stop after their drawn depth.
+
+    Faults surface exactly as the hardened
+    :class:`~repro.api.backends.HTTPJSONTransport` would surface them:
+    status faults raise the typed
+    :class:`~repro.api.retry.BackendHTTPError` family via
+    :func:`~repro.api.retry.classify_http_error`; truncated and
+    malformed bodies are *actually* mangled JSON text run through
+    ``json.loads`` (raising
+    :class:`~repro.api.retry.MalformedResponseError`); schema
+    violations are returned as decoded dicts so the adapter's contract
+    validation is what catches them.
+    """
+
+    def __init__(
+        self,
+        inner,
+        profile: WireFaultProfile | str = "wire-ci",
+        seed: int = 0,
+    ):
+        if isinstance(profile, str):
+            profile = get_wire_profile(profile)
+        self.inner = inner
+        self.profile = profile
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+
+    # -- schedule (pure) ---------------------------------------------------
+
+    def schedule_for(self, prompt: str) -> WireSchedule:
+        """The deterministic wire-fault schedule of one prompt."""
+        p = self.profile
+        kind = None
+        draw = _unit(self.seed, "wire", prompt)
+        edge = 0.0
+        for candidate in _WIRE_KINDS:
+            rate = getattr(p, candidate)
+            if draw < edge + rate:
+                kind = candidate
+                break
+            edge += rate
+        depth = 0
+        unrecoverable = False
+        if kind is not None:
+            depth = 1 + int(
+                _unit(self.seed, "wire-depth", prompt) * max(1, p.fault_depth)
+            )
+            unrecoverable = (
+                _unit(self.seed, "wire-unrecoverable", prompt)
+                < p.unrecoverable
+            )
+        stall = _unit(self.seed, "wire-stall", prompt) < p.stall
+        return WireSchedule(
+            kind=kind, depth=depth, unrecoverable=unrecoverable, stall=stall
+        )
+
+    def schedule_digest(self, prompts: list[str]) -> str:
+        """SHA-256 over the wire schedule of ``prompts`` (pure)."""
+        import json
+
+        schedules = [self.schedule_for(prompt).to_dict() for prompt in prompts]
+        payload = json.dumps(schedules, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- injection ---------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def _pick(self, options, prompt: str, salt: str):
+        index = int(
+            _unit(self.seed, salt, prompt) * len(options)
+        ) % len(options)
+        return options[index]
+
+    def post(self, url: str, headers: dict, payload: dict) -> dict:
+        import json
+
+        prompt = str(payload.get("prompt", ""))
+        schedule = self.schedule_for(prompt)
+        key = hashlib.blake2b(
+            prompt.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        with self._lock:
+            attempt = self._attempts[key] = self._attempts.get(key, 0) + 1
+        if schedule.stall and attempt == 1:
+            self._count("stall")
+            time.sleep(self.profile.stall_s)
+        if schedule.kind is None or not (
+            schedule.unrecoverable or attempt <= schedule.depth
+        ):
+            return self.inner.post(url, headers, payload)
+        kind = schedule.kind
+        self._count(kind)
+        if kind == "rate_limit":
+            raise classify_http_error(
+                429,
+                f"injected rate limit (attempt {attempt}, seed {self.seed})",
+                retry_after_s=self.profile.retry_after_s,
+            )
+        if kind == "server_error":
+            status = self._pick(_SERVER_ERROR_STATUSES, prompt, "wire-status")
+            raise classify_http_error(
+                status,
+                f"injected server error (attempt {attempt}, "
+                f"seed {self.seed})",
+            )
+        if kind == "reset":
+            raise ConnectionError(
+                f"injected connection reset (attempt {attempt}, "
+                f"seed {self.seed})"
+            )
+        if kind == "truncate_json":
+            body = json.dumps(self.inner.post(url, headers, payload))
+            mangled = body[: max(1, len(body) // 2)]
+        elif kind == "malformed_json":
+            noise = hashlib.blake2b(
+                f"{self.seed}|wire|{prompt}".encode("utf-8"), digest_size=6
+            ).hexdigest()
+            mangled = f"<html>502 bad gateway {noise}</html>"
+        else:  # schema_violation: valid JSON, broken contract
+            return dict(
+                self._pick(_SCHEMA_VIOLATIONS, prompt, "wire-schema")
+            )
+        try:
+            json.loads(mangled)
+        except json.JSONDecodeError as exc:
+            raise MalformedResponseError(
+                f"injected {kind} (attempt {attempt}, seed {self.seed}): "
+                f"{exc}"
+            ) from exc
+        raise MalformedResponseError(
+            f"injected {kind} (attempt {attempt}, seed {self.seed})"
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative injection tallies (copy; safe to diff)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def describe(self) -> dict:
+        """JSON-ready identity block for manifests and benches."""
+        return {
+            "profile": self.profile.name,
+            "seed": self.seed,
+            "rates": {
+                kind: getattr(self.profile, kind) for kind in _WIRE_KINDS
+            } | {"stall": self.profile.stall},
+        }
 
 
 # Process-wide default plan.  ``repro bench --chaos PROFILE`` installs

@@ -45,8 +45,10 @@ from repro.api.retry import DeadlineExceededError
 __all__ = [
     "AIMDLimiter",
     "AdmissionController",
+    "BackendHealthTracker",
     "CascadePolicy",
     "Deadline",
+    "FailoverPolicy",
     "FallbackChain",
     "HedgePolicy",
     "PRIORITIES",
@@ -431,6 +433,199 @@ class FallbackChain:
 
     def describe(self) -> list[str]:
         return [self.tier_name(index) for index in range(len(self.tiers))]
+
+
+class _BackendHealth:
+    """Mutable per-backend record inside a :class:`BackendHealthTracker`."""
+
+    __slots__ = (
+        "window", "consecutive_failures", "state", "opened_at",
+        "n_ok", "n_failed",
+    )
+
+    def __init__(self, window_size: int):
+        from collections import deque
+
+        self.window = deque(maxlen=window_size)  # (ok, latency_s) pairs
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.opened_at = 0.0
+        self.n_ok = 0
+        self.n_failed = 0
+
+
+class BackendHealthTracker:
+    """Rolling per-*backend* health with its own circuit state.
+
+    Distinct from the per-*run* :class:`~repro.api.batch.CircuitBreaker`:
+    that breaker answers "is this run's endpoint usable right now", this
+    tracker answers "which member of an equivalence group should serve
+    the next request".  Per backend it keeps a rolling window of
+    (outcome, latency) observations plus a closed → open → half-open
+    circuit: ``failure_threshold`` *consecutive* failures open the
+    circuit, ``cooldown_s`` later a single probe is allowed through, and
+    the probe's outcome closes or re-opens it.  The clock is injectable
+    so transitions are testable without real sleeps.
+
+    Thread-safe; used by :class:`FailoverPolicy` to order candidates and
+    snapshotted into the manifest's ``failover.health`` block.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 32,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.window_size = int(window_size)
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._backends: dict[str, _BackendHealth] = {}
+
+    def _entry(self, name: str) -> _BackendHealth:
+        entry = self._backends.get(name)
+        if entry is None:
+            entry = _BackendHealth(self.window_size)
+            self._backends[name] = entry
+        return entry
+
+    def record(self, name: str, ok: bool, latency_s: float = 0.0) -> None:
+        """Record one request outcome against backend ``name``."""
+        with self._lock:
+            entry = self._entry(name)
+            entry.window.append((bool(ok), float(latency_s)))
+            if ok:
+                entry.n_ok += 1
+                entry.consecutive_failures = 0
+                entry.state = "closed"
+            else:
+                entry.n_failed += 1
+                entry.consecutive_failures += 1
+                if (
+                    entry.state == "half_open"
+                    or entry.consecutive_failures >= self.failure_threshold
+                ):
+                    entry.state = "open"
+                    entry.opened_at = self._clock()
+
+    def allow(self, name: str) -> bool:
+        """Whether routing to ``name`` is currently permitted.
+
+        Closed circuits always pass.  An open circuit refuses until
+        ``cooldown_s`` has elapsed, then moves to half-open; a half-open
+        circuit admits probes whose recorded outcome closes or re-opens
+        it.  Deliberately latch-free: consulting ``allow`` never
+        consumes anything, so a candidate ordering that checks a member
+        it ends up not serving cannot wedge that member's circuit.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if entry.state == "closed":
+                return True
+            if entry.state == "open":
+                if self._clock() - entry.opened_at >= self.cooldown_s:
+                    entry.state = "half_open"
+                    return True
+                return False
+            return True  # half_open
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._entry(name).state
+
+    def error_rate(self, name: str) -> float:
+        """Failure fraction over the rolling window (0.0 when empty)."""
+        with self._lock:
+            window = self._entry(name).window
+            if not window:
+                return 0.0
+            return sum(1 for ok, _lat in window if not ok) / len(window)
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-backend health for the manifest."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for name in sorted(self._backends):
+                entry = self._backends[name]
+                window = list(entry.window)
+                latencies = sorted(lat for _ok, lat in window)
+                failures = sum(1 for ok, _lat in window if not ok)
+                out[name] = {
+                    "state": entry.state,
+                    "ok": entry.n_ok,
+                    "failed": entry.n_failed,
+                    "consecutive_failures": entry.consecutive_failures,
+                    "window_error_rate": (
+                        failures / len(window) if window else 0.0
+                    ),
+                    "p50_latency_s": (
+                        latencies[len(latencies) // 2] if latencies else 0.0
+                    ),
+                }
+            return out
+
+
+class FailoverPolicy:
+    """Order an equivalence group's members for one serve attempt.
+
+    ``members`` is the registry-declared group, primary first, simulated
+    shim (or whatever the operator trusts as always-up) last.  The
+    routing decision is deterministic given the health state: candidates
+    are the members in declared order whose per-backend circuit admits
+    them (:meth:`BackendHealthTracker.allow`), followed — as a last
+    resort, never skipped — by the refused members in declared order, so
+    a group where every circuit is open still serves rather than failing
+    without trying.  No randomness, no worker-count dependence: at
+    temperature 0 every member of an equivalence group returns
+    byte-identical text, so *predictions* are independent of which
+    member happened to be healthy.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[str],
+        health: BackendHealthTracker | None = None,
+    ):
+        members = [str(member) for member in members]
+        if not members:
+            raise ValueError("a FailoverPolicy needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate failover members in {members}")
+        self.members = tuple(members)
+        self.health = health if health is not None else BackendHealthTracker()
+
+    @classmethod
+    def parse(cls, text: str) -> FailoverPolicy:
+        """``"gpt3-175b,gpt3-6.7b"`` (the CLI's ``--failover``) → policy."""
+        members = [part.strip() for part in text.split(",") if part.strip()]
+        return cls(members)
+
+    def candidates(self) -> list[str]:
+        """Members to try, in order; always covers the whole group."""
+        admitted = []
+        refused = []
+        for member in self.members:
+            (admitted if self.health.allow(member) else refused).append(
+                member
+            )
+        return admitted + refused
+
+    def record(self, member: str, ok: bool, latency_s: float = 0.0) -> None:
+        self.health.record(member, ok, latency_s)
+
+    def describe(self) -> list[str]:
+        return list(self.members)
 
 
 class CascadePolicy:

@@ -93,9 +93,97 @@ class BudgetExhaustedError(FatalError, RateLimitError):
     """
 
 
+class BackendHTTPError(RuntimeError):
+    """An HTTP completion endpoint answered with a non-2xx status.
+
+    Carries the ``status`` code and, for 429/503 responses that set a
+    ``Retry-After`` header, ``retry_after_s`` — which the batch layer
+    honors as a *floor* under its own exponential backoff (see
+    :func:`retry_after_floor`).  Never raised directly: the transport
+    calls :func:`classify_http_error`, which picks the subclass whose
+    extra bases (:class:`RateLimitError`, :class:`ConnectionError`,
+    :class:`FatalError`) make the existing :data:`DEFAULT_RETRY_ON`
+    classification land correctly with zero policy changes.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str = "",
+        retry_after_s: float | None = None,
+    ):
+        detail = message or f"HTTP {status}"
+        super().__init__(f"backend returned HTTP {status}: {detail}")
+        self.status = int(status)
+        self.retry_after_s = (
+            float(retry_after_s) if retry_after_s is not None else None
+        )
+
+
+class BackendRateLimitError(BackendHTTPError, RateLimitError):
+    """HTTP 429 — transient; back off (honoring any ``Retry-After``)."""
+
+
+class BackendUnavailableError(BackendHTTPError, ConnectionError):
+    """HTTP 5xx — the endpoint is degraded; transient, worth a retry."""
+
+
+class BackendRequestError(BackendHTTPError, FatalError):
+    """HTTP 4xx (other than 429) — the *request* is wrong.
+
+    Bad auth, an unknown model, an oversized payload: retrying the same
+    bytes yields the same rejection, so this is fatal and the batch
+    layer fails fast instead of burning the backoff ladder.
+    """
+
+
+class MalformedResponseError(ConnectionError):
+    """The endpoint answered, but with bytes violating its own contract.
+
+    Truncated/garbage JSON, a missing ``choices`` list, a non-string
+    ``text``, an impossible logprob shape: all the ways a proxy or an
+    overloaded endpoint mangles a response in flight.  A
+    :class:`ConnectionError` subclass — wire-level corruption is
+    transient the way a reset is — so the default policy retries it,
+    and a backend that *persistently* violates the contract exhausts
+    retries into a typed error instead of a downstream ``KeyError``.
+    """
+
+
+def classify_http_error(
+    status: int, message: str = "", retry_after_s: float | None = None
+) -> BackendHTTPError:
+    """The right :class:`BackendHTTPError` subclass for ``status``."""
+    if status == 429:
+        return BackendRateLimitError(status, message, retry_after_s)
+    if status >= 500:
+        return BackendUnavailableError(status, message, retry_after_s)
+    return BackendRequestError(status, message, retry_after_s)
+
+
+def retry_after_floor(exc: BaseException) -> float:
+    """The server-mandated minimum backoff carried by ``exc`` (or 0).
+
+    Applied by the batch layers as ``delay = max(delay, floor)`` so an
+    explicit ``Retry-After`` is never undercut by the exponential
+    ladder's small early rungs.
+    """
+    floor = getattr(exc, "retry_after_s", None)
+    if floor is None:
+        return 0.0
+    try:
+        return max(0.0, float(floor))
+    except (TypeError, ValueError):
+        return 0.0
+
+
 #: Exception types worth a backoff-and-retry by default.  Fatal
 #: subclasses are screened out explicitly, so ``BudgetExhaustedError``
-#: being a ``RateLimitError`` does not make it retryable.
+#: being a ``RateLimitError`` does not make it retryable.  The wire
+#: taxonomy folds in through inheritance: ``BackendRateLimitError`` is a
+#: ``RateLimitError``, ``BackendUnavailableError`` and
+#: ``MalformedResponseError`` are ``ConnectionError``s, and
+#: ``BackendRequestError`` is screened by ``is_fatal``.
 DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (
     RateLimitError,
     TimeoutError,
@@ -175,15 +263,22 @@ DEFAULT_POLICY = RetryPolicy()
 NO_RETRY = RetryPolicy(max_retries=0)
 
 __all__ = [
+    "BackendHTTPError",
+    "BackendRateLimitError",
+    "BackendRequestError",
+    "BackendUnavailableError",
     "BudgetExhaustedError",
     "CircuitOpenError",
     "DEFAULT_POLICY",
     "DEFAULT_RETRY_ON",
     "DeadlineExceededError",
     "FatalError",
+    "MalformedResponseError",
     "NO_RETRY",
     "ParseError",
     "RateLimitError",
     "RetryPolicy",
     "Shed",
+    "classify_http_error",
+    "retry_after_floor",
 ]

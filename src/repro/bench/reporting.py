@@ -2,7 +2,34 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+
+
+def bench_metrics(result) -> dict:
+    """Flatten one :class:`ExperimentResult` into a metrics dict.
+
+    Every numeric cell becomes ``"<row key>/<column>": value`` — a
+    machine-readable mirror of the rendered table, so CI and sweep
+    tooling can diff bench outputs without parsing ASCII art.
+    """
+    metrics: dict[str, float] = {}
+    for row in result.rows:
+        key = str(row[0])
+        for header, value in zip(result.headers[1:], row[1:]):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{key}/{header}"] = value
+    return metrics
+
+
+def write_bench_json(path, name: str, metrics: dict) -> None:
+    """Write one bench's machine-readable summary:
+    ``{"bench": name, "metrics": {...}}``."""
+    payload = {"bench": name, "metrics": metrics}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _format_cell(value) -> str:

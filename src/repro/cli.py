@@ -136,6 +136,36 @@ def _install_executor(kind: str | None) -> None:
         raise SystemExit(str(exc)) from None
 
 
+def _install_backend_timeout(timeout_s: float | None) -> None:
+    """Pin the ambient per-call HTTP transport timeout for this command."""
+    if timeout_s is None:
+        return
+    from repro.api import set_default_backend_timeout
+
+    try:
+        set_default_backend_timeout(timeout_s)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _install_failover(model: str, spec: str | None) -> str:
+    """Register ``model`` + the ``--failover`` replica list as an
+    equivalence group; returns the backend name the run should use."""
+    if not spec:
+        return model
+    from repro.api import register_failover
+
+    members = [part.strip() for part in spec.split(",") if part.strip()]
+    if not members:
+        raise SystemExit(f"--failover needs at least one backend, got {spec!r}")
+    name = f"{model}+failover"
+    try:
+        register_failover(name, [model, *members])
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    return name
+
+
 def _install_chaos(profile: str | None, seed: int, on_error: str | None):
     """Install the process-wide fault plan + error mode for this command.
 
@@ -227,9 +257,11 @@ def _cmd_run(args) -> int:
             raise SystemExit(str(exc)) from None
     _install_default_cache(args.cache)
     _install_executor(args.executor)
+    _install_backend_timeout(args.backend_timeout_s)
     _install_chaos(args.chaos, args.chaos_seed, args.on_error)
+    model = _install_failover(args.model, args.failover)
     result = run_task(
-        spec, args.model, dataset, k=args.k, selection=args.selection,
+        spec, model, dataset, k=args.k, selection=args.selection,
         max_examples=args.max_examples, split=args.split, seed=args.seed,
         workers=args.workers, trace=args.trace, checkpoint=args.checkpoint,
         prefix_cache=False if args.no_prefix_cache else None,
@@ -522,6 +554,14 @@ def _cmd_serve(args) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     _install_default_cache(args.cache)
+    _install_backend_timeout(args.backend_timeout_s)
+    journal = None
+    if args.journal:
+        import os
+
+        from repro.serve.journal import IntakeJournal
+
+        journal = IntakeJournal(os.path.join(args.journal, "intake.jsonl"))
     tenants = dict(
         _parse_tenant_flag(value) for value in (args.tenant or [])
     )
@@ -539,16 +579,22 @@ def _cmd_serve(args) -> int:
         default_tenant=default_tenant,
         deadline_default_s=args.deadline_default_s,
     )
-    gateway = Gateway(config)
-    server = GatewayHTTPServer(gateway, host=args.host, port=args.port)
+    gateway = Gateway(config, journal=journal, resume=args.resume)
+    server = GatewayHTTPServer(gateway, host=args.host, port=args.port,
+                               timeout_s=args.request_timeout_s)
 
     signal.signal(signal.SIGTERM, _make_terminate_handler())
     gateway.start()
     try:
         host, port = server.address
+        journal_note = (
+            f", journal={args.journal}"
+            f"{' resumed' if args.resume else ''}" if args.journal else ""
+        )
         print(f"repro serve listening on http://{host}:{port} "
               f"(queue={config.queue_capacity}, batch={config.max_batch}, "
-              f"workers={config.workers}, executor={config.executor})",
+              f"workers={config.workers}, executor={config.executor}"
+              f"{journal_note})",
               flush=True)
         server.httpd.serve_forever()
     except KeyboardInterrupt:
@@ -562,6 +608,8 @@ def _cmd_serve(args) -> int:
         server.httpd.server_close()
         gateway.stop()
         shutdown_serving_loop()
+        if journal is not None:
+            journal.close()
     print("gateway stopped cleanly", flush=True)
     return 0
 
@@ -710,6 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "calibrate per task on the validation split")
     run.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the injected fault schedule")
+    run.add_argument("--backend-timeout-s", type=float, default=None,
+                     metavar="S",
+                     help="per-call HTTP transport timeout for every "
+                          "backend built under this command")
+    run.add_argument("--failover", metavar="BACKEND[,BACKEND...]",
+                     default=None,
+                     help="equivalence-group replicas tried in order when "
+                          "--model fails at the wire (health-gated; the "
+                          "last member is tried even when unhealthy)")
     run.add_argument("--scale", type=int, default=None, metavar="N",
                      help="scale the dataset's eval split to N rows with "
                           "deterministic perturbed variants (stress knob)")
@@ -832,6 +889,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lifetime request budget for unlisted tenants")
     serve.add_argument("--deadline-default-s", type=float, default=None,
                        help="queueing deadline applied when a request sets none")
+    serve.add_argument("--backend-timeout-s", type=float, default=None,
+                       metavar="S",
+                       help="per-call HTTP transport timeout for every "
+                            "backend the gateway builds")
+    serve.add_argument("--request-timeout-s", type=float, default=120.0,
+                       metavar="S",
+                       help="how long one HTTP handler waits for its "
+                            "response before cancelling the request "
+                            "(typed client_timeout shed) and answering 504")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="durable intake journal under DIR: accepted "
+                            "requests survive a gateway crash")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay accepted-but-unserved requests from "
+                            "--journal DIR on startup (exactly once)")
     serve.set_defaults(fn=_cmd_serve)
 
     shard_run = sub.add_parser(

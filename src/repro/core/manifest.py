@@ -132,6 +132,12 @@ class RunManifest:
     #: rate, and estimated serving cost vs. a primary-tier-only run.
     #: ``None`` for non-cascade runs.
     cascade: dict | None = None
+    #: Health-gated failover telemetry when the run's model resolved to a
+    #: :class:`~repro.api.backends.FailoverBackend` equivalence group:
+    #: group name, member order, per-backend attempt and served counts,
+    #: and a per-backend health snapshot (circuit state, rolling error
+    #: rate, p50 latency).  ``None`` for single-backend runs.
+    failover: dict | None = None
     #: Sharded-run telemetry when the manifest was merged from per-shard
     #: journals by ``repro shard-run`` (see :mod:`repro.shard`): shard and
     #: worker counts, restart/lease-reclaim tallies, chaos kill count,

@@ -411,6 +411,14 @@ def _build_manifest(
             "backend_calls": model.stats["backend_calls"],
         }
 
+    # A model resolved to a failover equivalence group reports its
+    # routing telemetry (FailoverBackend.failover_stats) in the manifest.
+    failover_section = None
+    backend = getattr(model, "backend", None)
+    stats_of = getattr(backend, "failover_stats", None)
+    if callable(stats_of):
+        failover_section = stats_of()
+
     return RunManifest(
         task=spec.name,
         dataset=dataset.name,
@@ -441,6 +449,7 @@ def _build_manifest(
         served_by_tier=served_by_tier,
         prefix_cache=prefix_cache,
         cascade=cascade,
+        failover=failover_section,
     )
 
 

@@ -20,10 +20,15 @@ Layers:
   :class:`GatewayClient`.
 * :mod:`repro.serve.http` — the stdlib HTTP front end behind
   ``repro serve`` (``/v1/wrangle``, ``/healthz``, ``/stats``).
+* :mod:`repro.serve.journal` — the durable intake journal behind
+  ``repro serve --journal DIR``: accepted-but-unserved requests survive
+  a crash and ``--resume`` replays them exactly once.
 """
 
+from repro.serve.codec import RowDecodeError
 from repro.serve.gateway import Gateway, GatewayClient, GatewayConfig
 from repro.serve.http import GatewayHTTPServer, serve_http
+from repro.serve.journal import IntakeJournal
 from repro.serve.request import (
     QueueFull,
     RequestQueue,
@@ -38,8 +43,10 @@ __all__ = [
     "GatewayClient",
     "GatewayConfig",
     "GatewayHTTPServer",
+    "IntakeJournal",
     "QueueFull",
     "RequestQueue",
+    "RowDecodeError",
     "ShedResponse",
     "TenantPolicy",
     "TenantRegistry",

@@ -6,36 +6,104 @@ Inline ``rows`` cover the interactive shape ("match these two records
 now") for the tasks whose examples are plain row payloads; the decoded
 objects feed the same ``build_suffix``/``build_prompt`` the dataset
 examples do, so the determinism guarantee carries over unchanged.
+
+Validation is typed and eager: a malformed row — missing field, wrong
+type, oversized cell — raises :class:`RowDecodeError` naming the row
+position and offending field, never a bare ``KeyError`` from deep
+inside a decoder.  ``RowDecodeError`` subclasses ``ValueError`` so the
+HTTP front end's existing 400 path catches it unchanged.
 """
 
 from __future__ import annotations
 
 from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
 
-__all__ = ["decode_rows", "encode_prediction"]
+__all__ = [
+    "MAX_CELL_CHARS",
+    "RowDecodeError",
+    "decode_rows",
+    "encode_prediction",
+]
+
+#: Upper bound on one serialized cell value — a row is a handful of
+#: short attributes, not a document; anything bigger is a malformed or
+#: adversarial payload that would bloat the prompt past any budget.
+MAX_CELL_CHARS = 8192
 
 
-def _decode_matching(row: dict) -> MatchingPair:
+class RowDecodeError(ValueError):
+    """An inline row failed validation (missing field / wrong type /
+    oversized cell).  The message names the row position and field."""
+
+
+def _checked_record(value, label: str) -> dict:
+    """Validate one attribute map: a dict of scalar, size-capped cells."""
+    if not isinstance(value, dict):
+        raise RowDecodeError(
+            f"{label} must be an object of attribute -> value, "
+            f"got {type(value).__name__}"
+        )
+    record = {}
+    for key, cell in value.items():
+        if cell is not None and not isinstance(cell, (bool, int, float, str)):
+            raise RowDecodeError(
+                f"{label} cell {key!r} must be a scalar or null, "
+                f"got {type(cell).__name__}"
+            )
+        if isinstance(cell, str) and len(cell) > MAX_CELL_CHARS:
+            raise RowDecodeError(
+                f"{label} cell {key!r} is {len(cell)} characters "
+                f"(limit {MAX_CELL_CHARS})"
+            )
+        record[str(key)] = cell
+    return record
+
+
+def _required(row: dict, name: str, label: str):
+    if name not in row:
+        raise RowDecodeError(f"{label} is missing required field {name!r}")
+    return row[name]
+
+
+def _checked_str(value, label: str) -> str:
+    if not isinstance(value, str):
+        raise RowDecodeError(
+            f"{label} must be a string, got {type(value).__name__}"
+        )
+    if len(value) > MAX_CELL_CHARS:
+        raise RowDecodeError(
+            f"{label} is {len(value)} characters (limit {MAX_CELL_CHARS})"
+        )
+    return value
+
+
+def _decode_matching(row: dict, label: str) -> MatchingPair:
     return MatchingPair(
-        left=dict(row["left"]),
-        right=dict(row["right"]),
+        left=_checked_record(_required(row, "left", label), f"{label}.left"),
+        right=_checked_record(
+            _required(row, "right", label), f"{label}.right"
+        ),
         label=bool(row.get("label", False)),
     )
 
 
-def _decode_error(row: dict) -> ErrorExample:
+def _decode_error(row: dict, label: str) -> ErrorExample:
     return ErrorExample(
-        row=dict(row["row"]),
-        attribute=str(row["attribute"]),
+        row=_checked_record(_required(row, "row", label), f"{label}.row"),
+        attribute=_checked_str(
+            _required(row, "attribute", label), f"{label}.attribute"
+        ),
         label=bool(row.get("label", False)),
         clean_value=row.get("clean_value"),
     )
 
 
-def _decode_imputation(row: dict) -> ImputationExample:
+def _decode_imputation(row: dict, label: str) -> ImputationExample:
     return ImputationExample(
-        row=dict(row["row"]),
-        attribute=str(row["attribute"]),
+        row=_checked_record(_required(row, "row", label), f"{label}.row"),
+        attribute=_checked_str(
+            _required(row, "attribute", label), f"{label}.attribute"
+        ),
         answer=str(row.get("answer", "")),
     )
 
@@ -48,18 +116,29 @@ _DECODERS = {
 
 
 def decode_rows(task: str, rows: list[dict]) -> list:
-    """Typed examples for ``rows``, or ``ValueError`` for tasks whose
-    examples cannot be expressed as inline payloads (use indices)."""
+    """Typed examples for ``rows``; :class:`RowDecodeError` on any
+    malformed row, ``ValueError`` for tasks whose examples cannot be
+    expressed as inline payloads (use indices)."""
     decoder = _DECODERS.get(task)
     if decoder is None:
         raise ValueError(
             f"task {task!r} does not accept inline rows; "
             "submit dataset indices instead"
         )
-    try:
-        return [decoder(row) for row in rows]
-    except (KeyError, TypeError) as exc:
-        raise ValueError(f"malformed row for task {task!r}: {exc}") from exc
+    decoded = []
+    for position, row in enumerate(rows):
+        label = f"row[{position}]"
+        if not isinstance(row, dict):
+            raise RowDecodeError(
+                f"{label} must be an object, got {type(row).__name__}"
+            )
+        try:
+            decoded.append(decoder(row, label))
+        except RowDecodeError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise RowDecodeError(f"malformed {label}: {exc}") from exc
+    return decoded
 
 
 def encode_prediction(prediction) -> object:

@@ -22,6 +22,7 @@ results come back in input order regardless.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future
@@ -49,7 +50,7 @@ __all__ = ["Gateway", "GatewayClient", "GatewayConfig"]
 #: Shed-reason vocabulary the stats block tallies.
 SHED_REASONS = (
     "tenant_rate", "tenant_budget", "queue_full", "queue_evicted",
-    "deadline", "admission", "shutdown",
+    "deadline", "admission", "shutdown", "client_timeout",
 )
 
 
@@ -84,10 +85,15 @@ class Gateway:
     """
 
     def __init__(self, config: GatewayConfig | None = None,
-                 admission=None, clock=time.monotonic):
+                 admission=None, clock=time.monotonic, journal=None,
+                 resume: bool = True):
         self.config = config if config is not None else GatewayConfig()
         self.clock = clock
         self.admission = admission
+        self.journal = journal
+        # With resume off, pending journal entries are left untouched
+        # (a later --resume start still picks them up).
+        self._resume = resume
         self.tenants = TenantRegistry(
             self.config.tenants, self.config.default_tenant, clock=clock
         )
@@ -99,7 +105,10 @@ class Gateway:
         self._stop = threading.Event()
         self._paused = threading.Event()
         self._thread: threading.Thread | None = None
-        self._next_id = 0
+        # Fresh ids start above anything the journal has seen, so a
+        # replayed request can keep its original id without collision.
+        self._next_id = 0 if journal is None else journal.max_request_id
+        self._n_replayed = 0
         self._started_at: float | None = None
         # Tallies (all under _lock).
         self._shed_by_reason = {reason: 0 for reason in SHED_REASONS}
@@ -124,6 +133,54 @@ class Gateway:
             daemon=True,
         )
         self._thread.start()
+        if self.journal is not None and self._resume:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Re-enqueue accepted-but-unserved requests from the journal.
+
+        Replays bypass the tenant gates — admission already happened
+        (and was journaled) before the crash; charging a second
+        rate-bucket slot would punish the tenant for our failure.
+        Original request ids are preserved so the journal's terminal
+        records line up, and fresh traffic allocates above them.
+        """
+        for request_id, payload in self.journal.pending_requests():
+            try:
+                request = WrangleRequest(**payload)
+            except (TypeError, ValueError) as exc:
+                # A journal from an older schema or a corrupted payload:
+                # mark terminal so it never replays again.
+                self.journal.record_terminal(
+                    request_id, "failed", detail=f"unreplayable: {exc}"
+                )
+                continue
+            now = self.clock()
+            deadline_s = request.deadline_s
+            if deadline_s is None:
+                deadline_s = self.config.deadline_default_s
+            entry = QueueEntry(
+                request_id=request_id,
+                request=request,
+                future=Future(),
+                enqueued_at=now,
+                expires_at=(None if deadline_s is None else now + deadline_s),
+            )
+            try:
+                with self._lock:
+                    evicted = self.queue.push(entry)
+                    self._n_replayed += 1
+            except QueueFull:
+                self._resolve_shed(
+                    entry, "queue_full",
+                    "queue at capacity during journal replay",
+                )
+                continue
+            if evicted is not None:
+                self._resolve_shed(
+                    evicted, "queue_evicted", "evicted by journal replay"
+                )
+        self._work.set()
 
     def stop(self, timeout: float = 10.0) -> None:
         """Drain-stop: in-queue requests are shed with ``"shutdown"``."""
@@ -167,6 +224,9 @@ class Gateway:
         with self._lock:
             self._next_id += 1
             request_id = self._next_id
+        # The id rides the future so a caller that gives up waiting can
+        # name the request it wants cancelled (see serve/http.py).
+        future.request_id = request_id
         if self._thread is None or self._stop.is_set():
             self._count_shed("shutdown")
             future.set_result(ShedResponse(
@@ -196,6 +256,15 @@ class Gateway:
         try:
             with self._lock:
                 evicted = self.queue.push(entry)
+                # Journal acceptance under the same lock that admitted
+                # the entry: the dispatcher (which also pops under
+                # _lock) cannot serve it before the accepted line is
+                # durable, so a crash never orphans an accepted-but-
+                # unjournaled request.
+                if self.journal is not None:
+                    self.journal.record_accepted(
+                        request_id, dataclasses.asdict(request)
+                    )
         except QueueFull:
             self.tenants.record_shed(request.tenant)
             self._count_shed("queue_full")
@@ -212,6 +281,23 @@ class Gateway:
             )
         self._work.set()
         return future
+
+    def cancel(self, request_id: int, reason: str = "client_timeout",
+               detail: str = "client abandoned request") -> bool:
+        """Shed a still-queued request whose caller gave up waiting.
+
+        Returns True when the request was waiting and is now shed with
+        ``reason`` (typed, counted, journaled); False when it already
+        dispatched or resolved — in that case its result simply goes
+        unread, but the work is not double-counted or re-served.
+        """
+        with self._lock:
+            entry = self.queue.remove(request_id)
+        if entry is None:
+            return False
+        self.tenants.record_shed(entry.request.tenant)
+        self._resolve_shed(entry, reason, detail)
+        return True
 
     # -- dispatch -----------------------------------------------------
 
@@ -306,6 +392,9 @@ class Gateway:
             self.tenants.record_completed(entry.request.tenant)
             if all_shed:
                 self._count_shed("admission")
+            # Terminal record lands before the future resolves: a crash
+            # after the client saw its answer can never replay it.
+            self._journal_terminal(entry.request_id, "served")
             entry.future.set_result(WrangleResponse(
                 request_id=entry.request_id,
                 tenant=entry.request.tenant,
@@ -356,12 +445,16 @@ class Gateway:
     def _resolve_shed(self, entry: QueueEntry, reason: str,
                       detail: str) -> None:
         self._count_shed(reason)
+        self._journal_terminal(entry.request_id, "shed", reason=reason,
+                               detail=detail)
         entry.future.set_result(ShedResponse(
             entry.request_id, entry.request.tenant, reason, detail
         ))
 
     def _resolve_error(self, entry: QueueEntry, exc: Exception) -> None:
         self.tenants.record_completed(entry.request.tenant)
+        self._journal_terminal(entry.request_id, "failed",
+                               detail=f"{type(exc).__name__}: {exc}")
         entry.future.set_result(WrangleResponse(
             request_id=entry.request_id,
             tenant=entry.request.tenant,
@@ -373,6 +466,13 @@ class Gateway:
             }],
             n_examples=0,
         ))
+
+    def _journal_terminal(self, request_id: int, outcome: str,
+                          reason: str = "", detail: str = "") -> None:
+        if self.journal is not None:
+            self.journal.record_terminal(
+                request_id, outcome, reason=reason, detail=detail
+            )
 
     def _count_shed(self, reason: str) -> None:
         with self._lock:
@@ -428,6 +528,13 @@ class Gateway:
             },
             "latency": latency_blocks,
             "backend_requests": requests,
+            "journal": (
+                None if self.journal is None else {
+                    "path": self.journal.path,
+                    "replayed": self._n_replayed,
+                    "pending": len(self.journal.pending_requests()),
+                }
+            ),
             "tenants": self.tenants.stats(),
         }
 

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import json
 import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.serve.codec import decode_rows
 from repro.serve.gateway import Gateway
 from repro.serve.request import ShedResponse, WrangleRequest
 
@@ -73,11 +75,37 @@ def _make_handler(gateway: Gateway, timeout_s: float):
                         f"unknown fields: {sorted(unknown)}"
                     )
                 request = WrangleRequest(**payload)
+                if request.rows is not None:
+                    # Validate inline rows *before* admission: a
+                    # malformed payload is the client's 400, not a
+                    # serve-time 500 after it consumed a queue slot.
+                    decode_rows(request.task, request.rows)
             except (ValueError, TypeError, json.JSONDecodeError) as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
+            future = gateway.submit(request)
             try:
-                response = gateway.submit(request).result(timeout=timeout_s)
+                response = future.result(timeout=timeout_s)
+            except FutureTimeoutError:
+                # Don't abandon the future: cancel the queued request
+                # (typed "client_timeout" shed) so it stops holding a
+                # queue slot nobody will read.  If it already
+                # dispatched, the work completes but the result is
+                # discarded — never re-served, never double-counted.
+                gateway.cancel(
+                    getattr(future, "request_id", -1),
+                    reason="client_timeout",
+                    detail=f"client gave up after {timeout_s}s",
+                )
+                self._send_json(504, {
+                    "ok": False,
+                    "shed": True,
+                    "reason": "client_timeout",
+                    "error": (
+                        f"request did not complete within {timeout_s}s"
+                    ),
+                })
+                return
             except Exception as exc:  # noqa: BLE001 - surfaced as 500
                 self._send_json(500, {"error": str(exc)})
                 return

@@ -1,0 +1,200 @@
+"""Durable gateway intake journal: accepted requests survive a crash.
+
+The gateway's admission decision is a promise — once ``submit`` parks a
+request in the queue, the tenant has been charged a rate-bucket slot
+and told "accepted".  A gateway crash used to break that promise
+silently: queued-but-unserved requests simply vanished.  The
+:class:`IntakeJournal` makes acceptance durable with the same
+append-only JSONL discipline as :mod:`repro.core.checkpoint` (per-line
+CRC-32, flush + fsync on every append, torn-tail tolerance,
+skip-corrupt-mid-file):
+
+* ``{"type": "header", "version": 1, "meta": {...}}`` — written once
+  when the journal file is created.
+* ``{"type": "accepted", "request_id": ..., "request": {...}}`` — one
+  per request that cleared the tenant gates and entered the queue.
+  ``request`` is the full :class:`~repro.serve.request.WrangleRequest`
+  payload, sufficient to reconstruct and re-enqueue it.
+* ``{"type": "terminal", "request_id": ..., "outcome": ...}`` — one per
+  accepted request that reached a final state: ``"served"`` (response
+  delivered), ``"failed"`` (answered with a typed error), or ``"shed"``
+  (typed refusal; ``reason`` carries the shed vocabulary).
+
+On reopen, ``pending_requests()`` returns every accepted request with
+no terminal record — exactly the work a crash orphaned.  The gateway
+re-enqueues those under their *original* request ids on ``--resume``,
+and allocates new ids strictly above ``max_request_id``, so a replayed
+request is served exactly once and never collides with fresh traffic.
+
+Records are tolerated out of order (a terminal may land before its
+accepted line under concurrent appends); replay set-subtracts terminal
+ids from accepted ids, so ordering races cannot double-serve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+
+# Deliberately the same CRC the run checkpoints stamp — one journal
+# discipline across the repo, not two near-copies.
+from repro.core.checkpoint import CheckpointCorruptionWarning, _record_crc
+
+__all__ = ["INTAKE_JOURNAL_VERSION", "IntakeJournal", "TERMINAL_OUTCOMES"]
+
+INTAKE_JOURNAL_VERSION = 1
+
+#: Final states an accepted request can reach.
+TERMINAL_OUTCOMES = ("served", "failed", "shed")
+
+
+class IntakeJournal:
+    """One append-only JSONL intake journal for one gateway.
+
+    Opening an existing file replays it: ``pending`` maps request_id ->
+    journaled request payload for every accepted-but-unterminal
+    request, and ``max_request_id`` is the highest id ever journaled
+    (fresh ids must start above it).  Appends are lock-protected and
+    fsync'd line-by-line — the whole point is surviving SIGKILL.
+    """
+
+    def __init__(self, path, meta: dict | None = None):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._accepted: dict[int, dict] = {}
+        self._terminal: set[int] = set()
+        self.max_request_id = 0
+        self.n_replayed = 0
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existed:
+            self._load()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if not existed:
+            self._append(
+                {
+                    "type": "header",
+                    "version": INTAKE_JOURNAL_VERSION,
+                    "meta": meta or {},
+                }
+            )
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        # Trailing partial line == killed mid-append; drop it.  The
+        # request it described is either unjournaled (client saw no
+        # acceptance) or re-reaches terminal on replay — both safe.
+        if lines and lines[-1]:
+            try:
+                json.loads(lines[-1])
+            except json.JSONDecodeError:
+                lines = lines[:-1]
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"intake journal {self.path} line {lineno}: unparseable "
+                    f"record skipped",
+                    CheckpointCorruptionWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                warnings.warn(
+                    f"intake journal {self.path} line {lineno}: non-object "
+                    f"record skipped",
+                    CheckpointCorruptionWarning,
+                    stacklevel=2,
+                )
+                continue
+            if "crc" in record and record["crc"] != _record_crc(record):
+                warnings.warn(
+                    f"intake journal {self.path} line {lineno}: CRC "
+                    f"mismatch — record skipped",
+                    CheckpointCorruptionWarning,
+                    stacklevel=2,
+                )
+                continue
+            kind = record.get("type")
+            if kind == "accepted":
+                request_id = int(record["request_id"])
+                self._accepted[request_id] = record.get("request", {})
+                self.max_request_id = max(self.max_request_id, request_id)
+            elif kind == "terminal":
+                request_id = int(record["request_id"])
+                self._terminal.add(request_id)
+                self.max_request_id = max(self.max_request_id, request_id)
+            # header / unknown types: skipped (forward-compatible).
+
+    # -- appending ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        stamped = dict(record)
+        stamped["crc"] = _record_crc(record)
+        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_accepted(self, request_id: int, request: dict) -> None:
+        """Journal one admitted request *before* its future can resolve."""
+        self._append(
+            {"type": "accepted", "request_id": request_id, "request": request}
+        )
+        with self._lock:
+            self._accepted[request_id] = request
+            self.max_request_id = max(self.max_request_id, request_id)
+
+    def record_terminal(
+        self, request_id: int, outcome: str, reason: str = "",
+        detail: str = "",
+    ) -> None:
+        """Journal one accepted request reaching a final state."""
+        if outcome not in TERMINAL_OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {TERMINAL_OUTCOMES}, got {outcome!r}"
+            )
+        record = {"type": "terminal", "request_id": request_id,
+                  "outcome": outcome}
+        if reason:
+            record["reason"] = reason
+        if detail:
+            record["detail"] = detail
+        self._append(record)
+        with self._lock:
+            self._terminal.add(request_id)
+
+    # -- replay ------------------------------------------------------------
+
+    def pending_requests(self) -> list[tuple[int, dict]]:
+        """Accepted-but-unterminal requests, oldest id first."""
+        with self._lock:
+            pending = [
+                (request_id, dict(payload))
+                for request_id, payload in self._accepted.items()
+                if request_id not in self._terminal
+            ]
+        return sorted(pending, key=lambda item: item[0])
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> IntakeJournal:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

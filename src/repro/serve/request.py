@@ -215,6 +215,18 @@ class RequestQueue:
             f"waiter to evict for a {entry.request.priority!r} arrival"
         )
 
+    def remove(self, request_id: int) -> QueueEntry | None:
+        """O(1) removal of one waiter by id (abandoned requests).
+
+        Returns the removed entry, or ``None`` when ``request_id`` is
+        not waiting (already dispatched, resolved, or never queued).
+        """
+        for waiting in self._waiting.values():
+            entry = waiting.pop(request_id, None)
+            if entry is not None:
+                return entry
+        return None
+
     def pop_expired(self) -> list[QueueEntry]:
         """Remove and return every waiter whose deadline has passed."""
         now = self.clock()

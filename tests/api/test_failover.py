@@ -1,0 +1,375 @@
+"""Backend health gating and equivalence-group failover.
+
+DESIGN §4f's second layer: per-backend circuits
+(:class:`~repro.api.resilience.BackendHealthTracker`), the
+deterministic routing order (:class:`~repro.api.resilience.
+FailoverPolicy` — healthy members in declared order, refused circuits
+demoted to last resort, never skipped), and the
+:class:`~repro.api.backends.FailoverBackend` itself: only wire-level
+failures fail over, all-members-fail propagates the *primary's* error,
+and budget charging stays exactly-once because the group sits below
+the :class:`~repro.api.client.CompletionClient`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.backends import (
+    DirectOpenAIBackend,
+    FailoverBackend,
+    InProcessFakeTransport,
+    get_backend,
+    register_backend,
+    register_failover,
+    unregister_backend,
+)
+from repro.api.resilience import BackendHealthTracker, FailoverPolicy
+from repro.api.retry import (
+    BackendRateLimitError,
+    BackendUnavailableError,
+    BudgetExhaustedError,
+    MalformedResponseError,
+    classify_http_error,
+)
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FlakyBackend:
+    """Scripted member: fails the first ``fail_first`` completions."""
+
+    def __init__(self, name: str, fail_first: int = 0, error=None):
+        self.name = name
+        self.fail_first = fail_first
+        self.error = error or classify_http_error(503, f"{name} down")
+        self.calls = 0
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> str:
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise self.error
+        return f"{self.name}:{prompt}"
+
+
+class TestHealthTracker:
+    def test_circuit_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(
+            failure_threshold=3, cooldown_s=5.0, clock=clock
+        )
+        for _ in range(2):
+            health.record("api", ok=False)
+        assert health.state("api") == "closed"
+        assert health.allow("api")
+        health.record("api", ok=False)
+        assert health.state("api") == "open"
+        assert not health.allow("api")
+
+    def test_success_resets_the_consecutive_count(self):
+        health = BackendHealthTracker(failure_threshold=3)
+        for _ in range(2):
+            health.record("api", ok=False)
+        health.record("api", ok=True)
+        for _ in range(2):
+            health.record("api", ok=False)
+        assert health.state("api") == "closed"
+
+    def test_cooldown_half_opens_and_probe_decides(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(
+            failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        health.record("api", ok=False)
+        assert not health.allow("api")
+        clock.advance(5.0)
+        assert health.allow("api")          # half-open probe admitted
+        assert health.state("api") == "half_open"
+        health.record("api", ok=False)      # probe failed → re-open
+        assert health.state("api") == "open"
+        assert not health.allow("api")
+        clock.advance(5.0)
+        assert health.allow("api")
+        health.record("api", ok=True)       # probe succeeded → closed
+        assert health.state("api") == "closed"
+
+    def test_allow_is_latch_free(self):
+        # Consulting allow() must never consume a probe: a policy that
+        # orders candidates checks members it may not end up serving.
+        clock = FakeClock()
+        health = BackendHealthTracker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        health.record("api", ok=False)
+        clock.advance(1.0)
+        for _ in range(5):
+            assert health.allow("api")
+
+    def test_unknown_backend_is_healthy(self):
+        health = BackendHealthTracker()
+        assert health.allow("never-seen")
+        assert health.state("never-seen") == "closed"
+        assert health.error_rate("never-seen") == 0.0
+
+    def test_error_rate_over_rolling_window(self):
+        health = BackendHealthTracker(window_size=4, failure_threshold=100)
+        for ok in (True, False, False, True):
+            health.record("api", ok=ok)
+        assert health.error_rate("api") == 0.5
+        health.record("api", ok=True)  # evicts the oldest (True)
+        assert health.error_rate("api") == 0.5
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        health = BackendHealthTracker(failure_threshold=1)
+        health.record("a", ok=True, latency_s=0.1)
+        health.record("b", ok=False)
+        snapshot = health.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["a"]["state"] == "closed"
+        assert snapshot["b"]["state"] == "open"
+        assert snapshot["b"]["consecutive_failures"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendHealthTracker(window_size=0)
+        with pytest.raises(ValueError):
+            BackendHealthTracker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BackendHealthTracker(cooldown_s=-1.0)
+
+
+class TestFailoverPolicy:
+    def test_declared_order_when_all_healthy(self):
+        policy = FailoverPolicy(["a", "b", "c"])
+        assert policy.candidates() == ["a", "b", "c"]
+
+    def test_open_circuit_demoted_not_skipped(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(failure_threshold=1, clock=clock)
+        policy = FailoverPolicy(["a", "b", "c"], health=health)
+        health.record("a", ok=False)
+        assert policy.candidates() == ["b", "c", "a"]
+
+    def test_all_open_still_covers_the_group(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(failure_threshold=1, clock=clock)
+        policy = FailoverPolicy(["a", "b"], health=health)
+        health.record("a", ok=False)
+        health.record("b", ok=False)
+        assert policy.candidates() == ["a", "b"]
+
+    def test_parse_cli_spec(self):
+        policy = FailoverPolicy.parse("gpt3-175b, gpt3-6.7b ,gpt3-1.3b")
+        assert policy.members == ("gpt3-175b", "gpt3-6.7b", "gpt3-1.3b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailoverPolicy([])
+        with pytest.raises(ValueError):
+            FailoverPolicy(["a", "a"])
+
+
+class TestFailoverBackend:
+    def test_primary_serves_when_healthy(self):
+        primary = FlakyBackend("primary")
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica])
+        assert group.complete("p") == "primary:p"
+        assert replica.calls == 0
+        stats = group.failover_stats()
+        assert stats["served_by_backend"] == {"primary": 1}
+
+    def test_wire_failure_fails_over(self):
+        primary = FlakyBackend("primary", fail_first=10**9)
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica])
+        assert group.complete("p") == "replica:p"
+        stats = group.failover_stats()
+        assert stats["attempts_by_backend"]["primary"] == 1
+        assert stats["served_by_backend"] == {"replica": 1}
+
+    @pytest.mark.parametrize("error", [
+        classify_http_error(429, "slow down", retry_after_s=0.1),
+        classify_http_error(503, "down"),
+        MalformedResponseError("mangled"),
+        ConnectionError("reset"),
+        TimeoutError("stalled"),
+    ])
+    def test_every_wire_error_kind_fails_over(self, error):
+        primary = FlakyBackend("primary", fail_first=10**9, error=error)
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica])
+        assert group.complete("p") == "replica:p"
+
+    def test_non_wire_error_propagates_untouched(self):
+        # A budget error (or any bug) is not a wire fault: failing over
+        # would mask real problems and double-spend.
+        primary = FlakyBackend(
+            "primary", fail_first=10**9,
+            error=BudgetExhaustedError("request budget of 3 exhausted"),
+        )
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica])
+        with pytest.raises(BudgetExhaustedError):
+            group.complete("p")
+        assert replica.calls == 0
+
+    def test_all_members_fail_raises_primary_error(self):
+        primary = FlakyBackend(
+            "primary", fail_first=10**9,
+            error=classify_http_error(429, "primary 429", retry_after_s=2.0),
+        )
+        replica = FlakyBackend(
+            "replica", fail_first=10**9,
+            error=classify_http_error(503, "replica 503"),
+        )
+        group = FailoverBackend("group", [primary, replica])
+        with pytest.raises(BackendRateLimitError) as excinfo:
+            group.complete("p")
+        # The primary's classification — and its Retry-After — is what
+        # the retry layer above must honor.
+        assert excinfo.value.retry_after_s == 2.0
+
+    def test_open_primary_circuit_routes_to_replica(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(
+            failure_threshold=2, cooldown_s=60.0, clock=clock
+        )
+        primary = FlakyBackend("primary", fail_first=2)
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica], health=health)
+        group.complete("p1")  # primary fails once, replica serves
+        group.complete("p2")  # primary fails again → circuit opens
+        primary_calls = primary.calls
+        group.complete("p3")  # circuit open: replica tried first
+        assert primary.calls == primary_calls
+        assert group.failover_stats()["health"]["primary"]["state"] == "open"
+
+    def test_recovered_primary_serves_again_after_cooldown(self):
+        clock = FakeClock()
+        health = BackendHealthTracker(
+            failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        primary = FlakyBackend("primary", fail_first=1)
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica], health=health)
+        group.complete("p1")  # opens the primary circuit
+        clock.advance(5.0)
+        assert group.complete("p2") == "primary:p2"  # probe succeeds
+        assert health.state("primary") == "closed"
+
+    def test_stats_shape_matches_manifest_schema_block(self):
+        primary = FlakyBackend("primary", fail_first=1)
+        replica = FlakyBackend("replica")
+        group = FailoverBackend("group", [primary, replica])
+        group.complete("p")
+        stats = group.failover_stats()
+        assert set(stats) == {
+            "group", "members", "attempts_by_backend",
+            "served_by_backend", "health",
+        }
+        assert stats["group"] == "group"
+        assert stats["members"] == ["primary", "replica"]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverBackend("group", [])
+
+
+class TestRegistry:
+    def test_register_failover_resolves_fresh_groups(self):
+        register_backend(
+            "ft-primary",
+            lambda: DirectOpenAIBackend(
+                "gpt3-175b", transport=InProcessFakeTransport()
+            ),
+        )
+        register_backend(
+            "ft-replica",
+            lambda: DirectOpenAIBackend(
+                "gpt3-175b", transport=InProcessFakeTransport()
+            ),
+        )
+        register_failover("ft-group", ["ft-primary", "ft-replica"])
+        try:
+            group = get_backend("ft-group")
+            assert isinstance(group, FailoverBackend)
+            assert group.members == ("ft-primary", "ft-replica")
+            assert group.complete("hello") == get_backend(
+                "ft-primary"
+            ).complete("hello")
+            # Fresh instance per resolution: stats do not leak between runs.
+            again = get_backend("ft-group")
+            assert again is not group
+            assert again.failover_stats()["served_by_backend"] == {}
+        finally:
+            for name in ("ft-group", "ft-primary", "ft-replica"):
+                unregister_backend(name)
+
+    def test_register_failover_requires_known_members(self):
+        with pytest.raises(KeyError):
+            register_failover("ghost-group", ["no-such-backend-anywhere"])
+
+    def test_manifest_failover_block_end_to_end(self):
+        # run_task over a registered group: the manifest grows a
+        # failover block that validates against the run-manifest schema.
+        import json
+        import pathlib
+
+        from repro.api.faults import ChaosTransport
+        from repro.core.manifest import validate_manifest
+        from repro.core.tasks import run_task
+
+        register_backend(
+            "ft-chaos-primary",
+            lambda: DirectOpenAIBackend(
+                "gpt3-175b",
+                transport=ChaosTransport(
+                    InProcessFakeTransport(), "wire-heavy", seed=0
+                ),
+            ),
+        )
+        register_backend(
+            "ft-clean-replica",
+            lambda: DirectOpenAIBackend(
+                "gpt3-175b", transport=InProcessFakeTransport()
+            ),
+        )
+        register_failover(
+            "ft-chaos-group", ["ft-chaos-primary", "ft-clean-replica"]
+        )
+        try:
+            run = run_task(
+                task="entity_matching", model="ft-chaos-group",
+                dataset="beer", k=2, selection="random", seed=0,
+                max_examples=8, workers=2,
+            )
+        finally:
+            for name in (
+                "ft-chaos-group", "ft-chaos-primary", "ft-clean-replica"
+            ):
+                unregister_backend(name)
+        assert run.coverage == 1.0
+        block = run.manifest.failover
+        assert block is not None
+        assert block["group"] == "ft-chaos-group"
+        schema_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "schemas" / "run_manifest.schema.json"
+        )
+        schema = json.loads(schema_path.read_text(encoding="utf-8"))
+        errors = validate_manifest(run.manifest.to_dict(), schema)
+        assert not errors, errors

@@ -1,0 +1,331 @@
+"""Wire-level fault model: taxonomy, contract validation, ChaosTransport.
+
+DESIGN §4f's first layer, pinned: every way a real completion endpoint
+misbehaves on the wire surfaces as a *typed* exception the existing
+:class:`~repro.api.retry.RetryPolicy` already classifies correctly —
+429s retryable with ``Retry-After`` as a backoff floor, 5xx retryable,
+other 4xx fatal, mangled bodies retryable — and the injected chaos is a
+pure function of ``(seed, kind, prompt)``, never call order or worker
+count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api.backends import (
+    DirectOpenAIBackend,
+    InProcessFakeTransport,
+    validate_completion_response,
+)
+from repro.api.faults import (
+    WIRE_PROFILES,
+    ChaosTransport,
+    WireFaultProfile,
+    get_wire_profile,
+)
+from repro.api.retry import (
+    BackendHTTPError,
+    BackendRateLimitError,
+    BackendRequestError,
+    BackendUnavailableError,
+    DEFAULT_RETRY_ON,
+    FatalError,
+    MalformedResponseError,
+    RateLimitError,
+    RetryPolicy,
+    classify_http_error,
+    retry_after_floor,
+)
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+PROMPTS = [f"Song A is track {i}. Are they the same? " for i in range(400)]
+
+POLICY = RetryPolicy()
+
+
+class TestTaxonomy:
+    def test_429_is_a_retryable_rate_limit(self):
+        exc = classify_http_error(429, "slow down", retry_after_s=0.5)
+        assert isinstance(exc, BackendRateLimitError)
+        assert isinstance(exc, BackendHTTPError)
+        assert isinstance(exc, RateLimitError)
+        assert not POLICY.is_fatal(exc)
+        assert exc.status == 429
+        assert exc.retry_after_s == 0.5
+
+    def test_5xx_is_a_retryable_connection_error(self):
+        for status in (500, 502, 503, 504):
+            exc = classify_http_error(status, "degraded")
+            assert isinstance(exc, BackendUnavailableError)
+            assert isinstance(exc, ConnectionError)
+            assert not POLICY.is_fatal(exc)
+            assert exc.status == status
+
+    def test_other_4xx_is_fatal(self):
+        for status in (400, 401, 403, 404, 413):
+            exc = classify_http_error(status, "bad request")
+            assert isinstance(exc, BackendRequestError)
+            assert isinstance(exc, FatalError)
+            assert POLICY.is_fatal(exc)
+
+    def test_malformed_response_is_retryable(self):
+        exc = MalformedResponseError("truncated body")
+        assert isinstance(exc, ConnectionError)
+        assert isinstance(exc, DEFAULT_RETRY_ON)
+        assert not POLICY.is_fatal(exc)
+
+    def test_taxonomy_lands_in_default_retry_on(self):
+        # The whole point of the multiple inheritance: zero policy
+        # changes needed for the wire taxonomy to retry correctly.
+        assert isinstance(classify_http_error(429), DEFAULT_RETRY_ON)
+        assert isinstance(classify_http_error(500), DEFAULT_RETRY_ON)
+        assert POLICY.is_fatal(classify_http_error(401))
+
+    def test_message_carries_status(self):
+        exc = classify_http_error(502, "bad gateway")
+        assert "502" in str(exc)
+        assert "bad gateway" in str(exc)
+
+
+class TestRetryAfterFloor:
+    def test_floor_from_header(self):
+        assert retry_after_floor(classify_http_error(
+            429, retry_after_s=1.5)) == 1.5
+
+    def test_no_header_no_floor(self):
+        assert retry_after_floor(classify_http_error(429)) == 0.0
+        assert retry_after_floor(ConnectionError("reset")) == 0.0
+
+    def test_garbage_floor_is_zero(self):
+        exc = ConnectionError("reset")
+        exc.retry_after_s = "soon"
+        assert retry_after_floor(exc) == 0.0
+
+    def test_negative_floor_clamped(self):
+        exc = classify_http_error(429, retry_after_s=-3.0)
+        assert retry_after_floor(exc) == 0.0
+
+
+class TestContractValidation:
+    def test_good_response_returns_first_choice(self):
+        choice = validate_completion_response(
+            {"choices": [{"text": "yes", "finish_reason": "stop"}]}
+        )
+        assert choice["text"] == "yes"
+
+    @pytest.mark.parametrize("body", [
+        "not an object",
+        {},
+        {"choices": []},
+        {"choices": "yes"},
+        {"choices": [None]},
+        {"choices": [{"finish_reason": "stop"}]},          # no text
+        {"choices": [{"text": 12345}]},                    # non-string text
+        {"choices": [{"text": "yes", "finish_reason": "because"}]},
+        {"choices": [{"text": "yes",
+                      "logprobs": {"token_logprobs": ["hi"]}}]},
+        {"object": "error", "message": "model overloaded"},
+    ])
+    def test_contract_violations_are_typed(self, body):
+        with pytest.raises(MalformedResponseError):
+            validate_completion_response(body)
+
+
+class TestWireProfiles:
+    def test_named_profiles_resolve(self):
+        for name in ("wire-none", "wire-ci", "wire-heavy"):
+            assert get_wire_profile(name).name == name
+        assert set(WIRE_PROFILES) >= {"wire-none", "wire-ci", "wire-heavy"}
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_wire_profile("wire-apocalypse")
+
+    def test_failing_fraction_sums_disjoint_kinds(self):
+        profile = WireFaultProfile(
+            rate_limit=0.1, server_error=0.05, reset=0.05,
+            truncate_json=0.02, malformed_json=0.02, schema_violation=0.01,
+        )
+        assert profile.failing == pytest.approx(0.25)
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_schedule(self):
+        a = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=7)
+        b = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=7)
+        assert a.schedule_digest(PROMPTS) == b.schedule_digest(PROMPTS)
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=7)
+        b = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=8)
+        assert a.schedule_digest(PROMPTS) != b.schedule_digest(PROMPTS)
+
+    def test_schedule_is_pure(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=3)
+        first = [chaos.schedule_for(p).to_dict() for p in PROMPTS]
+        second = [chaos.schedule_for(p).to_dict() for p in reversed(PROMPTS)]
+        assert first == list(reversed(second))
+
+    def test_rates_roughly_honored(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        schedules = [chaos.schedule_for(p) for p in PROMPTS]
+        faulted = sum(1 for s in schedules if s.kind is not None)
+        expected = chaos.profile.failing * len(PROMPTS)
+        assert 0.5 * expected <= faulted <= 1.5 * expected
+
+    def test_wire_none_injects_nothing(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-none", seed=0)
+        assert all(
+            chaos.schedule_for(p).kind is None for p in PROMPTS[:50]
+        )
+
+
+class TestChaosInjection:
+    def _post(self, chaos, prompt):
+        return chaos.post(
+            "https://example.invalid/v1/completions", {},
+            {"model": "gpt3-175b", "prompt": prompt},
+        )
+
+    def _prompt_with(self, chaos, kind, recoverable=None):
+        for prompt in PROMPTS:
+            schedule = chaos.schedule_for(prompt)
+            if schedule.kind != kind:
+                continue
+            if recoverable is not None and schedule.unrecoverable == recoverable:
+                continue
+            return prompt, schedule
+        pytest.skip(f"no prompt draws {kind} under this seed")
+
+    def test_rate_limit_carries_retry_after(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        prompt, _ = self._prompt_with(chaos, "rate_limit")
+        with pytest.raises(BackendRateLimitError) as excinfo:
+            self._post(chaos, prompt)
+        assert excinfo.value.retry_after_s == chaos.profile.retry_after_s
+        assert retry_after_floor(excinfo.value) > 0
+
+    def test_server_error_is_unavailable(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        prompt, _ = self._prompt_with(chaos, "server_error")
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            self._post(chaos, prompt)
+        assert excinfo.value.status in (500, 502, 503)
+
+    def test_truncated_json_is_malformed(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        prompt, _ = self._prompt_with(chaos, "truncate_json")
+        with pytest.raises(MalformedResponseError):
+            self._post(chaos, prompt)
+
+    def test_schema_violation_returns_decoded_dict(self):
+        # Valid JSON, broken contract: the transport hands it back and
+        # the *adapter's* validation is what must catch it.
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        prompt, _ = self._prompt_with(chaos, "schema_violation")
+        body = self._post(chaos, prompt)
+        assert isinstance(body, dict)
+        json.dumps(body)  # decodable, JSON-shaped
+        with pytest.raises(MalformedResponseError):
+            validate_completion_response(body)
+
+    def test_recoverable_fault_stops_after_depth(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        for prompt in PROMPTS:
+            schedule = chaos.schedule_for(prompt)
+            if schedule.kind in ("rate_limit", "server_error", "reset") and \
+                    not schedule.unrecoverable:
+                break
+        else:
+            pytest.skip("no recoverable status fault under this seed")
+        for _ in range(schedule.depth):
+            with pytest.raises(Exception):
+                self._post(chaos, prompt)
+        # Attempt depth+1 clears the fault and reaches the inner wire.
+        body = self._post(chaos, prompt)
+        assert validate_completion_response(body)["text"]
+
+    def test_unrecoverable_fault_never_stops(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        for prompt in PROMPTS:
+            schedule = chaos.schedule_for(prompt)
+            if schedule.kind is not None and schedule.unrecoverable:
+                break
+        else:
+            pytest.skip("no unrecoverable fault under this seed")
+        for _ in range(schedule.depth + 4):
+            with pytest.raises(Exception):
+                self._post(chaos, prompt)
+
+    def test_stats_tally_injections(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        for prompt in PROMPTS[:120]:
+            try:
+                self._post(chaos, prompt)
+            except Exception:
+                pass
+        stats = chaos.stats()
+        assert stats, "wire-heavy over 120 prompts injected nothing"
+        assert all(count > 0 for count in stats.values())
+
+    def test_describe_names_profile_and_seed(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-ci", seed=11)
+        described = chaos.describe()
+        assert described["profile"] == "wire-ci"
+        assert described["seed"] == 11
+
+    def test_attempt_counter_is_thread_safe(self):
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-heavy", seed=0)
+        prompt, schedule = self._prompt_with(chaos, "rate_limit", recoverable=True)
+        outcomes = []
+
+        def hammer():
+            try:
+                self._post(chaos, prompt)
+                outcomes.append("ok")
+            except Exception:
+                outcomes.append("fault")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Exactly `depth` attempts fault; the rest reach the wire.
+        assert outcomes.count("fault") == schedule.depth
+
+
+class TestAdapterUnderChaos:
+    def test_batch_layer_retries_through_the_chaos(self):
+        # End-to-end through the adapter: a chaos-wrapped backend inside
+        # a CompletionClient, retried by the batch layer (where the
+        # RetryPolicy lives), returns byte-identical text to a clean
+        # one — wire-ci has no unrecoverable faults, so backoff alone
+        # recovers everything.
+        from repro.api.batch import BatchExecutor
+        from repro.api.cache import PromptCache
+        from repro.api.client import CompletionClient
+
+        chaos = ChaosTransport(InProcessFakeTransport(), "wire-ci", seed=0)
+        faulted = CompletionClient(
+            DirectOpenAIBackend("gpt3-175b", transport=chaos),
+            cache=PromptCache(":memory:"),
+        )
+        clean = CompletionClient(
+            DirectOpenAIBackend(
+                "gpt3-175b", transport=InProcessFakeTransport()
+            ),
+            cache=PromptCache(":memory:"),
+        )
+        executor = BatchExecutor(
+            workers=4,
+            policy=RetryPolicy(max_retries=6, backoff_base=0.0),
+        )
+        prompts = PROMPTS[:40]
+        responses = executor.map(faulted.complete, prompts)
+        assert responses == [clean.complete(prompt) for prompt in prompts]

@@ -1,0 +1,121 @@
+"""Inline-row codec validation: typed errors, never a deep KeyError.
+
+The gateway's HTTP front end decodes rows *eagerly* (before admission),
+so a malformed inline row costs a 400 — not a queue slot, not a backend
+call, not an engine traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import ErrorExample, ImputationExample, MatchingPair
+from repro.serve.codec import (
+    MAX_CELL_CHARS,
+    RowDecodeError,
+    decode_rows,
+    encode_prediction,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+GOOD_PAIR = {
+    "left": {"name": "oceana", "city": "new york"},
+    "right": {"name": "oceana grill", "city": "nyc"},
+}
+GOOD_IMPUTATION = {
+    "row": {"name": "oceana", "address": "55 e. 54th st."},
+    "attribute": "city",
+}
+
+
+class TestHappyPath:
+    def test_matching_pair(self):
+        [pair] = decode_rows("entity_matching", [GOOD_PAIR])
+        assert isinstance(pair, MatchingPair)
+        assert pair.left["name"] == "oceana"
+        assert pair.label is False
+
+    def test_imputation(self):
+        [example] = decode_rows("imputation", [GOOD_IMPUTATION])
+        assert isinstance(example, ImputationExample)
+        assert example.attribute == "city"
+
+    def test_error_detection(self):
+        [example] = decode_rows(
+            "error_detection",
+            [{"row": {"city": "sna francisco"}, "attribute": "city",
+              "label": True}],
+        )
+        assert isinstance(example, ErrorExample)
+        assert example.label is True
+
+    def test_scalar_and_null_cells_pass(self):
+        [pair] = decode_rows("entity_matching", [{
+            "left": {"name": "a", "year": 1999, "score": 4.5,
+                     "active": True, "note": None},
+            "right": {"name": "a"},
+        }])
+        assert pair.left["year"] == 1999
+        assert pair.left["note"] is None
+
+
+class TestMalformedRows:
+    def test_non_dict_row(self):
+        with pytest.raises(RowDecodeError, match=r"row\[0\] must be an object"):
+            decode_rows("entity_matching", ["not a row"])
+
+    def test_missing_required_field(self):
+        with pytest.raises(RowDecodeError, match=r"row\[0\].*'right'"):
+            decode_rows("entity_matching", [{"left": {"name": "a"}}])
+
+    def test_wrong_record_type(self):
+        with pytest.raises(RowDecodeError, match=r"row\[0\]\.left"):
+            decode_rows(
+                "entity_matching", [{"left": "name=a", "right": {}}]
+            )
+
+    def test_non_scalar_cell(self):
+        with pytest.raises(RowDecodeError, match=r"row\[0\]\.row cell 'tags'"):
+            decode_rows("imputation", [{
+                "row": {"tags": ["a", "b"]}, "attribute": "city",
+            }])
+
+    def test_oversized_cell(self):
+        with pytest.raises(RowDecodeError, match="limit"):
+            decode_rows("imputation", [{
+                "row": {"bio": "x" * (MAX_CELL_CHARS + 1)},
+                "attribute": "city",
+            }])
+
+    def test_non_string_attribute(self):
+        with pytest.raises(RowDecodeError, match=r"row\[0\]\.attribute"):
+            decode_rows("imputation", [{"row": {"a": 1}, "attribute": 7}])
+
+    def test_error_names_the_offending_position(self):
+        rows = [GOOD_PAIR, GOOD_PAIR, {"left": {}}]
+        with pytest.raises(RowDecodeError, match=r"row\[2\]"):
+            decode_rows("entity_matching", rows)
+
+    def test_row_decode_error_is_a_value_error(self):
+        # The HTTP front end's existing 400 catch handles ValueError;
+        # the subclass rides it with zero handler changes.
+        assert issubclass(RowDecodeError, ValueError)
+
+    def test_task_without_inline_shape_rejects_rows(self):
+        with pytest.raises(ValueError, match="does not accept inline rows"):
+            decode_rows("schema_matching", [GOOD_PAIR])
+
+
+class TestEncodePrediction:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "yes"):
+            assert encode_prediction(value) == value
+
+    def test_rich_objects_stringify(self):
+        class Pred:
+            def __str__(self):
+                return "match"
+
+        assert encode_prediction(Pred()) == "match"

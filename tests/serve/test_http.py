@@ -122,3 +122,69 @@ class TestObservabilityEndpoints:
         assert payload["schema_version"] == 1
         assert payload["completed"] >= 1
         assert payload["tenants"]["alice"]["n_completed"] >= 1
+
+
+class TestMalformedRows:
+    def test_malformed_inline_row_is_400(self, server):
+        # Eager codec validation: a bad row costs a 400, not a queue
+        # slot or a backend call.
+        request = urllib.request.Request(
+            server.url + "/v1/wrangle",
+            data=json.dumps({
+                "tenant": "alice", "task": "entity_matching",
+                "dataset": "fodors_zagats",
+                "rows": [{"left": {"name": "a"}}],  # missing "right"
+            }).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert "right" in payload["error"]
+
+    def test_oversized_cell_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/wrangle",
+            data=json.dumps({
+                "tenant": "alice", "task": "imputation",
+                "dataset": "restaurant",
+                "rows": [{"row": {"bio": "x" * 10_000},
+                          "attribute": "city"}],
+            }).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "limit" in json.loads(excinfo.value.read())["error"]
+
+
+class TestClientTimeout:
+    def test_handler_timeout_sheds_with_504(self):
+        # A paused gateway never serves; the handler must give up at
+        # its timeout, cancel the queued request (so the slot frees and
+        # the shed is typed + counted), and answer 504 — not leak the
+        # thread waiting forever.
+        gateway = Gateway(GatewayConfig(workers=2))
+        http_server = GatewayHTTPServer(gateway, port=0, timeout_s=0.3)
+        http_server.start()
+        try:
+            gateway.pause()
+            request = urllib.request.Request(
+                http_server.url + "/v1/wrangle",
+                data=json.dumps({
+                    "tenant": "alice", "task": "entity_matching",
+                    "dataset": "fodors_zagats", "indices": [0],
+                }).encode(),
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 504
+            payload = json.loads(excinfo.value.read())
+            assert payload["shed"] is True
+            assert payload["reason"] == "client_timeout"
+            stats = gateway.stats()
+            assert stats["shed"]["by_reason"]["client_timeout"] == 1
+            assert stats["queue"]["depth"] == 0  # slot actually freed
+        finally:
+            gateway.resume()
+            http_server.stop()

@@ -1,0 +1,342 @@
+"""Durable intake journal: crash-safe acceptance, exactly-once replay.
+
+DESIGN §4f's third layer.  The file-format guarantees (CRC per line,
+fsync per append, torn-tail tolerance, out-of-order records) are tested
+directly on :class:`~repro.serve.journal.IntakeJournal`; the
+gateway-level guarantees (acceptance journaled before the dispatcher
+can serve, terminals written before futures resolve, ``--resume``
+replays exactly the orphaned work under original ids) are tested
+through :class:`~repro.serve.gateway.Gateway` itself, including the
+client-timeout cancel path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+
+import pytest
+
+from repro.core.checkpoint import CheckpointCorruptionWarning
+from repro.serve import Gateway, GatewayConfig, IntakeJournal, WrangleRequest
+from repro.serve.journal import TERMINAL_OUTCOMES
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+
+def request_payload(i: int = 0) -> dict:
+    return dict(
+        tenant="t", task="entity_matching", dataset="beer",
+        indices=[i], rows=None, split="test", priority="interactive",
+        deadline_s=None, model="gpt3-175b", k=2, selection="random",
+        seed=0,
+    )
+
+
+def read_records(path) -> list[dict]:
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestJournalFile:
+    def test_records_carry_valid_crc(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(1, request_payload())
+            journal.record_terminal(1, "served")
+        for record in read_records(path):
+            crc = record.pop("crc")
+            canonical = json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+            assert crc == zlib.crc32(canonical.encode("utf-8"))
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        IntakeJournal(path, meta={"who": "test"}).close()
+        IntakeJournal(path).close()
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["header"]
+        assert records[0]["meta"] == {"who": "test"}
+
+    def test_pending_is_accepted_minus_terminal(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            for i in (1, 2, 3):
+                journal.record_accepted(i, request_payload(i))
+            journal.record_terminal(2, "served")
+        reopened = IntakeJournal(path)
+        pending = reopened.pending_requests()
+        reopened.close()
+        assert [rid for rid, _payload in pending] == [1, 3]
+        assert pending[0][1]["indices"] == [1]
+
+    def test_max_request_id_spans_all_records(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(7, request_payload())
+            journal.record_terminal(12, "shed", reason="queue_full")
+        reopened = IntakeJournal(path)
+        assert reopened.max_request_id == 12
+        reopened.close()
+
+    def test_out_of_order_terminal_tolerated(self, tmp_path):
+        # Under concurrent appends a terminal may land before its
+        # accepted line; replay set-subtracts, so order cannot
+        # double-serve.
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_terminal(5, "served")
+            journal.record_accepted(5, request_payload())
+        reopened = IntakeJournal(path)
+        assert reopened.pending_requests() == []
+        reopened.close()
+
+    def test_torn_tail_dropped_silently(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(1, request_payload())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "terminal", "request_id": 1, "outc')
+        reopened = IntakeJournal(path)
+        assert [rid for rid, _p in reopened.pending_requests()] == [1]
+        reopened.close()
+
+    def test_corrupt_mid_file_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(1, request_payload())
+        raw = path.read_text(encoding="utf-8").splitlines()
+        raw.insert(1, "garbage that is not json")
+        path.write_text("\n".join(raw) + "\n", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning):
+            reopened = IntakeJournal(path)
+        assert [rid for rid, _p in reopened.pending_requests()] == [1]
+        reopened.close()
+
+    def test_bad_crc_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(1, request_payload())
+            journal.record_accepted(2, request_payload())
+        raw = path.read_text(encoding="utf-8").splitlines()
+        tampered = json.loads(raw[1])
+        tampered["request"]["indices"] = [999]  # flip bytes, keep old crc
+        raw[1] = json.dumps(tampered, sort_keys=True)
+        path.write_text("\n".join(raw) + "\n", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning):
+            reopened = IntakeJournal(path)
+        assert [rid for rid, _p in reopened.pending_requests()] == [2]
+        reopened.close()
+
+    def test_unknown_outcome_rejected(self, tmp_path):
+        with IntakeJournal(tmp_path / "intake.jsonl") as journal:
+            with pytest.raises(ValueError):
+                journal.record_terminal(1, "vanished")
+        assert set(TERMINAL_OUTCOMES) == {"served", "failed", "shed"}
+
+
+def wait_for(predicate, timeout_s: float = 30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached in time")
+
+
+class TestGatewayJournal:
+    def test_lifecycle_is_journaled(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        journal = IntakeJournal(path)
+        with Gateway(GatewayConfig(workers=2), journal=journal) as gateway:
+            future = gateway.submit(WrangleRequest(
+                tenant="t", task="entity_matching", dataset="beer",
+                indices=[0], model="gpt3-175b", k=2, selection="random",
+            ))
+            response = future.result(timeout=60)
+        journal.close()
+        assert response.results
+        records = read_records(path)
+        kinds = [(r["type"], r.get("outcome")) for r in records[1:]]
+        assert kinds == [("accepted", None), ("terminal", "served")]
+        assert records[1]["request_id"] == records[2]["request_id"]
+
+    def test_shed_is_a_terminal_record(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        journal = IntakeJournal(path)
+        gateway = Gateway(GatewayConfig(workers=2), journal=journal)
+        gateway.start()
+        gateway.pause()
+        gateway.submit(WrangleRequest(
+            tenant="t", task="entity_matching", dataset="beer",
+            indices=[0], model="gpt3-175b",
+        ))
+        gateway.stop()  # drain-stop sheds the queue as "shutdown"
+        journal.close()
+        terminals = [
+            r for r in read_records(path) if r["type"] == "terminal"
+        ]
+        assert len(terminals) == 1
+        assert terminals[0]["outcome"] == "shed"
+        assert terminals[0]["reason"] == "shutdown"
+        # Nothing pending: a --resume start replays no shed work.
+        reopened = IntakeJournal(path)
+        assert reopened.pending_requests() == []
+        reopened.close()
+
+    def test_crash_then_resume_serves_exactly_once(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        config = GatewayConfig(workers=2)
+        journal = IntakeJournal(path)
+        crashed = Gateway(config, journal=journal)
+        crashed.start()
+        crashed.pause()  # accepted + journaled, never dispatched
+        n = 4
+        for i in range(n):
+            crashed.submit(WrangleRequest(
+                tenant="t", task="entity_matching", dataset="beer",
+                indices=[i], model="gpt3-175b", k=2, selection="random",
+            ))
+        # Simulated SIGKILL: no stop(), only the journal survives.
+        journal.close()
+
+        resumed_journal = IntakeJournal(path)
+        resumed = Gateway(config, journal=resumed_journal, resume=True)
+        resumed.start()
+        wait_for(lambda: resumed.stats()["journal"]["pending"] == 0)
+        stats = resumed.stats()
+        resumed.stop()
+        resumed_journal.close()
+
+        assert stats["journal"]["replayed"] == n
+        accepted: dict[int, int] = {}
+        outcomes: dict[int, list[str]] = {}
+        for record in read_records(path):
+            if record["type"] == "accepted":
+                rid = record["request_id"]
+                accepted[rid] = accepted.get(rid, 0) + 1
+            elif record["type"] == "terminal":
+                outcomes.setdefault(record["request_id"], []).append(
+                    record["outcome"]
+                )
+        assert len(accepted) == n
+        assert all(count == 1 for count in accepted.values())
+        assert sorted(outcomes) == sorted(accepted)
+        assert all(v == ["served"] for v in outcomes.values())
+
+    def test_resume_false_leaves_pending_untouched(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        journal = IntakeJournal(path)
+        crashed = Gateway(GatewayConfig(), journal=journal)
+        crashed.start()
+        crashed.pause()
+        crashed.submit(WrangleRequest(
+            tenant="t", task="entity_matching", dataset="beer",
+            indices=[0], model="gpt3-175b",
+        ))
+        journal.close()
+
+        journal2 = IntakeJournal(path)
+        fresh = Gateway(GatewayConfig(), journal=journal2, resume=False)
+        fresh.start()
+        time.sleep(0.2)
+        stats = fresh.stats()
+        fresh.stop()
+        journal2.close()
+        assert stats["journal"]["replayed"] == 0
+        assert stats["journal"]["pending"] == 1  # still there for --resume
+
+    def test_fresh_ids_allocated_above_journaled_ones(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        journal = IntakeJournal(path)
+        crashed = Gateway(GatewayConfig(), journal=journal)
+        crashed.start()
+        crashed.pause()
+        for i in range(3):
+            crashed.submit(WrangleRequest(
+                tenant="t", task="entity_matching", dataset="beer",
+                indices=[i], model="gpt3-175b", k=2, selection="random",
+            ))
+        journal.close()
+
+        journal2 = IntakeJournal(path)
+        resumed = Gateway(GatewayConfig(workers=2), journal=journal2,
+                          resume=True)
+        resumed.start()
+        future = resumed.submit(WrangleRequest(
+            tenant="t", task="entity_matching", dataset="beer",
+            indices=[0], model="gpt3-175b", k=2, selection="random",
+        ))
+        assert future.request_id > 3  # never collides with replayed ids
+        wait_for(lambda: resumed.stats()["journal"]["pending"] == 0)
+        resumed.stop()
+        journal2.close()
+
+    def test_unreplayable_payload_marked_failed(self, tmp_path):
+        path = tmp_path / "intake.jsonl"
+        with IntakeJournal(path) as journal:
+            journal.record_accepted(1, {"bogus_field": 1})
+        journal2 = IntakeJournal(path)
+        gateway = Gateway(GatewayConfig(), journal=journal2, resume=True)
+        gateway.start()
+        wait_for(lambda: gateway.stats()["journal"]["pending"] == 0)
+        gateway.stop()
+        journal2.close()
+        terminals = [
+            r for r in read_records(path) if r["type"] == "terminal"
+        ]
+        assert len(terminals) == 1
+        assert terminals[0]["outcome"] == "failed"
+        assert "unreplayable" in terminals[0]["detail"]
+
+    def test_stats_journal_block(self, tmp_path):
+        journal = IntakeJournal(tmp_path / "intake.jsonl")
+        with Gateway(GatewayConfig(), journal=journal) as gateway:
+            block = gateway.stats()["journal"]
+            assert block == {
+                "path": journal.path, "replayed": 0, "pending": 0,
+            }
+        journal.close()
+
+    def test_no_journal_stats_block_is_none(self):
+        with Gateway(GatewayConfig()) as gateway:
+            assert gateway.stats()["journal"] is None
+
+
+class TestCancel:
+    def test_cancel_queued_request_sheds_client_timeout(self, tmp_path):
+        journal = IntakeJournal(tmp_path / "intake.jsonl")
+        gateway = Gateway(GatewayConfig(), journal=journal)
+        gateway.start()
+        gateway.pause()
+        future = gateway.submit(WrangleRequest(
+            tenant="t", task="entity_matching", dataset="beer",
+            indices=[0], model="gpt3-175b",
+        ))
+        assert gateway.cancel(future.request_id) is True
+        response = future.result(timeout=5)
+        assert response.reason == "client_timeout"
+        stats = gateway.stats()
+        assert stats["shed"]["by_reason"]["client_timeout"] == 1
+        gateway.stop()
+        journal.close()
+        terminals = [
+            r for r in read_records(journal.path)
+            if r["type"] == "terminal"
+        ]
+        assert terminals[0]["outcome"] == "shed"
+        assert terminals[0]["reason"] == "client_timeout"
+
+    def test_cancel_unknown_or_completed_is_false(self):
+        with Gateway(GatewayConfig(workers=2)) as gateway:
+            assert gateway.cancel(999) is False
+            future = gateway.submit(WrangleRequest(
+                tenant="t", task="entity_matching", dataset="beer",
+                indices=[0], model="gpt3-175b", k=2, selection="random",
+            ))
+            future.result(timeout=60)
+            # Already served: cancel must not double-count or re-shed.
+            assert gateway.cancel(future.request_id) is False
+            assert gateway.stats()["shed"]["by_reason"]["client_timeout"] == 0
